@@ -1,0 +1,323 @@
+//! Full analog CDR channel: continuous-time edge detector + gated ring +
+//! sampler — the Fig. 18 "transistor-level simulation" substitute.
+
+use crate::ring::AnalogRing;
+use crate::stage::StageParams;
+use gcco_eye::AnalogEye;
+use gcco_signal::{BitStream, EdgeStream, JitterConfig};
+use gcco_units::{Freq, Time};
+use std::fmt;
+
+/// Result of an analog CDR run.
+#[derive(Debug)]
+pub struct AnalogCdrResult {
+    /// 2-D eye at the sampler input, folded on the bit period.
+    pub eye: AnalogEye,
+    /// Recovered bits (sampled at recovered-clock crossings).
+    pub recovered: BitStream,
+    /// Errors against the transmitted stream.
+    pub errors: usize,
+    /// Bits compared.
+    pub compared: usize,
+    /// Decimated waveform record `(time, ddin, clock)` for plotting.
+    pub waveform: Vec<(Time, f64, f64)>,
+}
+
+impl AnalogCdrResult {
+    /// Measured bit error ratio.
+    pub fn ber(&self) -> f64 {
+        self.errors as f64 / self.compared.max(1) as f64
+    }
+}
+
+impl fmt::Display for AnalogCdrResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "analog CDR: {} bits, {} errors, eye {}",
+            self.compared, self.errors, self.eye
+        )
+    }
+}
+
+/// A continuous-time GCCO CDR channel.
+///
+/// Topology identical to the behavioral model — delay line, XNOR edge
+/// detector with dummy compensation, gated four-stage ring, decision
+/// sampler — but every node is an ODE state with real CML rise/fall
+/// shapes, which is what gives the Fig. 18 eye its analog look.
+///
+/// The delay line defaults to **4 cells** rather than the behavioral
+/// model's 6: in the analog domain the *effective* τ is the nominal
+/// threshold-crossing delay plus roughly one RC of settling before the
+/// XNOR's drive develops, so 4 nominal cells put τ_eff around 0.6·T —
+/// inside the paper's safe `T/2 < τ < T` window — where 6 cells push
+/// τ_eff to the period and collapse the release window on alternating
+/// data. Exactly the class of insight §3.3a says behavioral/analog
+/// verification exists to catch.
+///
+/// # Examples
+///
+/// ```no_run
+/// use gcco_analog::{AnalogCdr, StageParams};
+/// use gcco_signal::Prbs;
+/// use gcco_units::Freq;
+///
+/// let bits = Prbs::new(gcco_signal::PrbsOrder::P7).take_bits(400);
+/// let cdr = AnalogCdr::new(StageParams::paper(), Freq::from_gbps(2.5));
+/// let result = cdr.run(&bits, 0);
+/// assert_eq!(result.errors, 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AnalogCdr {
+    params: StageParams,
+    bit_rate: Freq,
+    delay_cells: usize,
+    /// Integration steps per stage time constant.
+    steps_per_tau: u32,
+    improved_tap: bool,
+    freq_offset: f64,
+}
+
+impl AnalogCdr {
+    /// Creates a channel; the ring is calibrated to the bit rate.
+    pub fn new(params: StageParams, bit_rate: Freq) -> AnalogCdr {
+        AnalogCdr {
+            params,
+            bit_rate,
+            delay_cells: 4,
+            steps_per_tau: 30,
+            improved_tap: false,
+            freq_offset: 0.0,
+        }
+    }
+
+    /// Detunes the ring: it is calibrated to `bit_rate·(1 + offset)`
+    /// instead of the data rate (e.g. `-0.05` for the Fig. 14 condition).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `|offset| < 0.5`.
+    pub fn with_freq_offset(mut self, offset: f64) -> AnalogCdr {
+        assert!(offset.abs() < 0.5, "unreasonable offset {offset}");
+        self.freq_offset = offset;
+        self
+    }
+
+    /// Selects the improved (−T/8) clock tap.
+    pub fn with_improved_tap(mut self, improved: bool) -> AnalogCdr {
+        self.improved_tap = improved;
+        self
+    }
+
+    /// Overrides the delay-line length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` is zero.
+    pub fn with_delay_cells(mut self, cells: usize) -> AnalogCdr {
+        assert!(cells >= 1, "need at least one delay cell");
+        self.delay_cells = cells;
+        self
+    }
+
+    /// Runs the channel over `bits` (jitter-free input, as the paper's
+    /// Fig. 18 "typical case, no jitter applied").
+    pub fn run(&self, bits: &BitStream, seed: u64) -> AnalogCdrResult {
+        self.run_jittered(bits, &JitterConfig::none(), seed)
+    }
+
+    /// Runs the channel over a jittered stream.
+    pub fn run_jittered(
+        &self,
+        bits: &BitStream,
+        jitter: &JitterConfig,
+        seed: u64,
+    ) -> AnalogCdrResult {
+        let stream = EdgeStream::synthesize(bits, self.bit_rate, jitter, seed);
+        let osc_target = self.bit_rate.with_offset_frac(self.freq_offset);
+        let ring = AnalogRing::calibrated(self.params, osc_target);
+        let params = *ring.params();
+        let swing = params.swing().volts();
+        let tau = params.tau();
+        let dt = Time::from_secs(tau.secs() / self.steps_per_tau as f64);
+
+        // ODE state: delay-line cells, EDET (xnor), DDIN (dummy), ring.
+        let mut dl = vec![-swing; self.delay_cells];
+        let mut edet = swing; // idles high
+        let mut ddin = -swing;
+        let mut ring = ring;
+
+        let period = self.bit_rate.period();
+        let t_end = stream.duration() + period * 8;
+        // Fold the eye on the bit period; offset by the nominal pipeline
+        // delay so transitions land at phase 0. The pipeline is the delay
+        // line plus the dummy gate, each ≈ ln2·τ.
+        let pipeline =
+            Time::from_secs((self.delay_cells as f64 + 1.0) * std::f64::consts::LN_2 * tau.secs());
+        let mut eye = AnalogEye::new(period, 128, 64, (-1.1 * swing, 1.1 * swing))
+            .with_time_offset(pipeline);
+        let mut waveform = Vec::new();
+        let mut samples: Vec<bool> = Vec::new();
+
+        let mut t = Time::ZERO;
+        let mut prev_clock = if self.improved_tap {
+            ring.ck_improved()
+        } else {
+            ring.ck_standard()
+        };
+        let mut step_index = 0u64;
+        // Initial line level.
+        let din_level = |t: Time| -> f64 {
+            if stream.level_at(t) {
+                swing
+            } else {
+                -swing
+            }
+        };
+
+        while t < t_end {
+            let din = din_level(t);
+            // Integrate the feed-forward chain (forward Euler is fine at
+            // τ/30 for these first-order nodes).
+            let h = dt.secs();
+            let mut input = din;
+            for cell in dl.iter_mut() {
+                let v = *cell;
+                *cell += params.dv_buffer(input, v) * h;
+                input = *cell;
+            }
+            let dl_out = *dl.last().unwrap();
+            edet += params.dv_xnor2(din, dl_out, edet) * h;
+            ddin += params.dv_buffer(dl_out, ddin) * h;
+            ring.step(dt, edet);
+
+            let clock = if self.improved_tap {
+                ring.ck_improved()
+            } else {
+                ring.ck_standard()
+            };
+            // Decision on the rising clock crossing.
+            if prev_clock <= 0.0 && clock > 0.0 {
+                samples.push(ddin > 0.0);
+            }
+            prev_clock = clock;
+
+            // Record the eye after the lead-in.
+            if t > period * 4 {
+                eye.add_sample(t, ddin);
+            }
+            if step_index.is_multiple_of(8) {
+                waveform.push((t, ddin, clock));
+            }
+            step_index += 1;
+            t += dt;
+        }
+
+        let recovered: BitStream = samples.into_iter().collect();
+        let (errors, compared) = compare(bits.bits(), recovered.bits());
+        AnalogCdrResult {
+            eye,
+            recovered,
+            errors,
+            compared,
+            waveform,
+        }
+    }
+}
+
+/// Best-offset comparison (the analog pipeline inserts a few bits of
+/// latency and possibly swallows the lead-in).
+fn compare(sent: &[bool], recovered: &[bool]) -> (usize, usize) {
+    if recovered.is_empty() {
+        return (sent.len(), sent.len());
+    }
+    let mut best = (usize::MAX, 0usize);
+    for offset in 0..12.min(recovered.len()) {
+        let n = (recovered.len() - offset).min(sent.len());
+        if n == 0 {
+            continue;
+        }
+        let errors = (0..n)
+            .filter(|&i| recovered[offset + i] != sent[i])
+            .count();
+        if errors < best.0 {
+            best = (errors, n);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcco_signal::{Prbs, PrbsOrder};
+
+    fn rate() -> Freq {
+        Freq::from_gbps(2.5)
+    }
+
+    #[test]
+    fn clean_run_recovers_data() {
+        let bits = Prbs::new(PrbsOrder::P7).take_bits(300);
+        let cdr = AnalogCdr::new(StageParams::paper(), rate());
+        let result = cdr.run(&bits, 1);
+        assert!(result.compared > 280, "compared {}", result.compared);
+        assert_eq!(result.errors, 0, "{result}");
+    }
+
+    #[test]
+    fn eye_is_open_in_typical_case() {
+        // Fig. 18: typical case, no jitter — a clearly open analog eye.
+        let bits = Prbs::new(PrbsOrder::P7).take_bits(254);
+        let cdr = AnalogCdr::new(StageParams::paper(), rate());
+        let result = cdr.run(&bits, 2);
+        assert!(
+            result.eye.horizontal_opening().value() > 0.3,
+            "{}",
+            result.eye
+        );
+        assert!(result.eye.vertical_opening() > 0.3, "{}", result.eye);
+    }
+
+    #[test]
+    fn analog_eye_has_finite_transitions() {
+        // Unlike the behavioral eye, some samples must sit mid-swing
+        // (finite rise time) — that is the Fig. 18 signature.
+        let bits = Prbs::new(PrbsOrder::P7).take_bits(254);
+        let cdr = AnalogCdr::new(StageParams::paper(), rate());
+        let result = cdr.run(&bits, 3);
+        let mid_band: u64 = (24..40)
+            .map(|y| (0..128).map(|x| result.eye.count(x, y)).sum::<u64>())
+            .sum();
+        assert!(mid_band > 0, "transition samples must cross mid-band");
+    }
+
+    #[test]
+    fn improved_tap_run_is_clean_too() {
+        let bits = Prbs::new(PrbsOrder::P7).take_bits(300);
+        let cdr = AnalogCdr::new(StageParams::paper(), rate()).with_improved_tap(true);
+        let result = cdr.run(&bits, 4);
+        assert_eq!(result.errors, 0, "{result}");
+    }
+
+    #[test]
+    fn waveform_is_recorded() {
+        let bits = Prbs::new(PrbsOrder::P7).take_bits(130);
+        let cdr = AnalogCdr::new(StageParams::paper(), rate());
+        let result = cdr.run(&bits, 5);
+        assert!(result.waveform.len() > 1000);
+        let max_ddin = result
+            .waveform
+            .iter()
+            .map(|&(_, d, _)| d.abs())
+            .fold(0.0, f64::max);
+        assert!(max_ddin > 0.3, "ddin swings: {max_ddin}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one delay cell")]
+    fn zero_cells_rejected() {
+        let _ = AnalogCdr::new(StageParams::paper(), rate()).with_delay_cells(0);
+    }
+}

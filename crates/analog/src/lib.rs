@@ -1,0 +1,26 @@
+//! Continuous-time (analog) simulation of the GCCO CDR — the workspace's
+//! substitute for the paper's transistor-level SPICE validation (§4,
+//! Fig. 18).
+//!
+//! Every CML gate is modelled as a differential pair steering a tail
+//! current into an RC load ([`StageParams`]), integrated with fixed-step
+//! RK2/Euler. The same Fig. 7/12 topology as the behavioral model —
+//! delay line, XNOR edge detector, gated four-stage ring, sampler — is
+//! assembled in [`AnalogCdr`], producing waveforms with real rise/fall
+//! shapes and the 2-D analog eye of Fig. 18.
+//!
+//! The substitution from real UMC 0.18 µm transistors is documented in
+//! `DESIGN.md`: absolute delays are calibrated rather than extracted, but
+//! the eye *shape* (finite transitions, level compression, symmetric
+//! opening in the typical case) is preserved.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cdr;
+mod ring;
+mod stage;
+
+pub use cdr::{AnalogCdr, AnalogCdrResult};
+pub use ring::AnalogRing;
+pub use stage::StageParams;

@@ -1,0 +1,246 @@
+//! Continuous-time gated ring oscillator.
+
+use crate::stage::StageParams;
+use gcco_units::{Freq, Time};
+use std::fmt;
+
+/// State of the analog gated four-stage ring: the differential output
+/// voltage of each stage.
+///
+/// Stage 1 is the gating AND (`v1 ← v4 ∧ trig`), stages 2–4 are inverters
+/// — the same Fig. 12 topology as the digital model, but integrated as
+/// ODEs so the waveforms carry real rise/fall shapes.
+///
+/// # Examples
+///
+/// ```
+/// use gcco_analog::{AnalogRing, StageParams};
+/// use gcco_units::Freq;
+///
+/// let ring = AnalogRing::calibrated(StageParams::paper(),
+///                                   Freq::from_ghz(2.5));
+/// let measured = ring.clone().measure_frequency();
+/// assert!((measured / Freq::from_ghz(2.5) - 1.0).abs() < 0.01);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AnalogRing {
+    params: StageParams,
+    /// Stage output voltages (differential).
+    v: [f64; 4],
+    now: Time,
+}
+
+impl AnalogRing {
+    /// Creates a ring in its frozen state (`trig` low).
+    pub fn new(params: StageParams) -> AnalogRing {
+        let swing = params.swing().volts();
+        AnalogRing {
+            params,
+            // Frozen levels: v1 low, v2 high, v3 low, v4 high.
+            v: [-swing, swing, -swing, swing],
+            now: Time::ZERO,
+        }
+    }
+
+    /// Creates a ring whose load capacitance has been calibrated (by
+    /// simulation) so the free-running frequency matches `target` to
+    /// better than 1 %.
+    pub fn calibrated(params: StageParams, target: Freq) -> AnalogRing {
+        let mut p = params;
+        for _ in 0..6 {
+            let measured = AnalogRing::new(p).measure_frequency();
+            let ratio = measured / target;
+            if (ratio - 1.0).abs() < 0.005 {
+                break;
+            }
+            // Delay ∝ C: frequency too high → increase C.
+            p = p.with_cl_scaled(ratio);
+        }
+        AnalogRing::new(p)
+    }
+
+    /// The stage parameters.
+    pub fn params(&self) -> &StageParams {
+        &self.params
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Stage output voltages `v1..v4` (differential volts).
+    pub fn voltages(&self) -> [f64; 4] {
+        self.v
+    }
+
+    /// The standard recovered-clock value: the complement of stage 4.
+    pub fn ck_standard(&self) -> f64 {
+        -self.v[3]
+    }
+
+    /// The improved (Fig. 15) clock tap: stage 3, one delay earlier.
+    pub fn ck_improved(&self) -> f64 {
+        self.v[2]
+    }
+
+    /// Advances the ring by `dt` with the given trigger voltage
+    /// (differential; positive = released / free-running) using RK2
+    /// (midpoint) integration.
+    pub fn step(&mut self, dt: Time, trig: f64) {
+        let h = dt.secs();
+        let k1 = self.derivatives(self.v, trig);
+        let mid = [
+            self.v[0] + 0.5 * h * k1[0],
+            self.v[1] + 0.5 * h * k1[1],
+            self.v[2] + 0.5 * h * k1[2],
+            self.v[3] + 0.5 * h * k1[3],
+        ];
+        let k2 = self.derivatives(mid, trig);
+        for (v, k) in self.v.iter_mut().zip(&k2) {
+            *v += h * k;
+        }
+        self.now += dt;
+    }
+
+    fn derivatives(&self, v: [f64; 4], trig: f64) -> [f64; 4] {
+        let p = &self.params;
+        [
+            p.dv_and2(v[3], trig, v[0]),
+            p.dv_inverter(v[0], v[1]),
+            p.dv_inverter(v[1], v[2]),
+            p.dv_inverter(v[2], v[3]),
+        ]
+    }
+
+    /// Runs the ring free (trigger high) and measures the oscillation
+    /// frequency from the last few output periods.
+    pub fn measure_frequency(mut self) -> Freq {
+        let dt = Time::from_secs(self.params.tau().secs() / 40.0);
+        let trig = self.params.swing().volts();
+        let horizon = 60_000;
+        let mut crossings: Vec<Time> = Vec::new();
+        let mut prev = self.ck_standard();
+        for _ in 0..horizon {
+            self.step(dt, trig);
+            let now_v = self.ck_standard();
+            if prev <= 0.0 && now_v > 0.0 {
+                crossings.push(self.now);
+            }
+            prev = now_v;
+        }
+        assert!(
+            crossings.len() >= 6,
+            "ring failed to oscillate ({} crossings)",
+            crossings.len()
+        );
+        let tail = &crossings[crossings.len() - 5..];
+        let period = (*tail.last().unwrap() - tail[0]).secs() / (tail.len() - 1) as f64;
+        Freq::from_hz(1.0 / period)
+    }
+}
+
+impl fmt::Display for AnalogRing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AnalogRing({} @ {})", self.params, self.now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_ring_oscillates() {
+        let f = AnalogRing::new(StageParams::paper()).measure_frequency();
+        assert!(f.ghz() > 1.0 && f.ghz() < 5.0, "f = {f}");
+    }
+
+    #[test]
+    fn calibration_hits_target() {
+        for target_ghz in [2.0, 2.5, 3.0] {
+            let target = Freq::from_ghz(target_ghz);
+            let ring = AnalogRing::calibrated(StageParams::paper(), target);
+            let measured = ring.measure_frequency();
+            assert!(
+                (measured / target - 1.0).abs() < 0.01,
+                "target {target}: measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn frozen_ring_stays_frozen() {
+        let mut ring = AnalogRing::new(StageParams::paper());
+        let dt = Time::from_ps(1.0);
+        let lo = -ring.params().swing().volts();
+        for _ in 0..5_000 {
+            ring.step(dt, lo);
+        }
+        let swing = ring.params().swing().volts();
+        let v = ring.voltages();
+        assert!(v[0] < -0.8 * swing, "v1 pinned low: {v:?}");
+        assert!(v[3] > 0.8 * swing, "v4 pinned high: {v:?}");
+        assert!(ring.ck_standard() < -0.8 * swing, "clock low while frozen");
+    }
+
+    #[test]
+    fn release_produces_clock_edge_after_half_period() {
+        let target = Freq::from_ghz(2.5);
+        let mut ring = AnalogRing::calibrated(StageParams::paper(), target);
+        let dt = Time::from_secs(ring.params().tau().secs() / 40.0);
+        let swing = ring.params().swing().volts();
+        // Hold frozen 1 ns, then release.
+        while ring.now() < Time::from_ns(1.0) {
+            ring.step(dt, -swing);
+        }
+        let release = ring.now();
+        let mut prev = ring.ck_standard();
+        let mut first_rise = None;
+        while ring.now() < release + Time::from_ns(1.0) {
+            ring.step(dt, swing);
+            let v = ring.ck_standard();
+            if prev <= 0.0 && v > 0.0 {
+                first_rise = Some(ring.now());
+                break;
+            }
+            prev = v;
+        }
+        let rise = first_rise.expect("clock must rise after release");
+        let half_period = Time::from_ps(200.0);
+        let err = (rise - release - half_period).ps().abs();
+        // Analog settling adds a fraction of a stage delay on top of the
+        // ideal T/2.
+        assert!(err < 30.0, "rise {} ps after release", (rise - release).ps());
+    }
+
+    #[test]
+    fn improved_tap_leads_standard() {
+        let mut ring = AnalogRing::calibrated(StageParams::paper(), Freq::from_ghz(2.5));
+        let dt = Time::from_secs(ring.params().tau().secs() / 40.0);
+        let swing = ring.params().swing().volts();
+        let mut std_rise = Vec::new();
+        let mut imp_rise = Vec::new();
+        let (mut prev_s, mut prev_i) = (ring.ck_standard(), ring.ck_improved());
+        for _ in 0..40_000 {
+            ring.step(dt, swing);
+            let (s, i) = (ring.ck_standard(), ring.ck_improved());
+            if prev_s <= 0.0 && s > 0.0 {
+                std_rise.push(ring.now());
+            }
+            if prev_i <= 0.0 && i > 0.0 {
+                imp_rise.push(ring.now());
+            }
+            prev_s = s;
+            prev_i = i;
+        }
+        // Steady state: improved tap leads by ~T/8 = 50 ps.
+        let s_last = *std_rise.last().unwrap();
+        let lead = imp_rise
+            .iter()
+            .map(|&t| (s_last - t).ps())
+            .filter(|&d| d > 0.0)
+            .fold(f64::MAX, f64::min);
+        assert!((lead - 50.0).abs() < 15.0, "lead = {lead} ps");
+    }
+}

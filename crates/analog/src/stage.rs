@@ -1,0 +1,210 @@
+//! Continuous-time model of a CML stage.
+//!
+//! Each fully differential CML gate is modelled at the level that matters
+//! for waveform shape: a differential pair steering the tail current
+//! `I_SS` into resistive loads `R_L` with lumped capacitance `C_L`,
+//!
+//! ```text
+//! C_L · dv_out/dt = I_SS·f(v_in…) − v_out/R_L
+//! ```
+//!
+//! where `v_out` is the *differential* output voltage, `f` is the smooth
+//! steering function (`tanh(v/v_c)` for a buffer; products of logistic
+//! steering terms for stacked AND/XOR gates), and `v_c` sets the switching
+//! sharpness. This reproduces the finite rise times, inter-symbol
+//! interference and level compression that make a transistor-level eye
+//! (the paper's Fig. 18) look different from a behavioral one.
+
+use gcco_units::{Capacitance, Current, Resistance, Time, Voltage};
+use std::fmt;
+
+/// Electrical parameters of one analog CML stage.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StageParams {
+    /// Tail current.
+    pub iss: Current,
+    /// Load resistance.
+    pub rl: Resistance,
+    /// Load capacitance.
+    pub cl: Capacitance,
+    /// Differential-pair characteristic voltage (full steering at ≈ ±2·v_c).
+    pub vc: Voltage,
+}
+
+impl StageParams {
+    /// A stage sized for the paper's ring: 0.4 V swing and a time constant
+    /// chosen so a four-stage ring oscillates near 2.5 GHz
+    /// (calibrated more precisely by [`crate::AnalogRing::calibrated`]).
+    pub fn paper() -> StageParams {
+        StageParams {
+            iss: Current::from_microamps(200.0),
+            rl: Resistance::from_ohms(2000.0),
+            cl: Capacitance::from_farads(26e-15),
+            vc: Voltage::from_millivolts(100.0),
+        }
+    }
+
+    /// Differential output swing `±I_SS·R_L`.
+    pub fn swing(&self) -> Voltage {
+        self.iss * self.rl
+    }
+
+    /// Output time constant `R_L·C_L`.
+    pub fn tau(&self) -> Time {
+        Time::from_secs(self.rl.ohms() * self.cl.farads())
+    }
+
+    /// Returns a copy with the load capacitance scaled by `factor`
+    /// (the calibration knob — delay is proportional to `R·C`).
+    pub fn with_cl_scaled(mut self, factor: f64) -> StageParams {
+        assert!(factor > 0.0, "non-positive scale {factor}");
+        self.cl = Capacitance::from_farads(self.cl.farads() * factor);
+        self
+    }
+
+    /// Normalized differential-pair steering, `tanh(v / v_c)` ∈ (−1, 1).
+    pub fn steer(&self, v: f64) -> f64 {
+        (v / self.vc.volts()).tanh()
+    }
+
+    /// Logistic (0..1) steering for stacked pairs.
+    fn sigma(&self, v: f64) -> f64 {
+        0.5 * (1.0 + self.steer(v))
+    }
+
+    /// Output-voltage derivative for a **buffer** driven by differential
+    /// input `vin`, at output state `vout` (volts, differential).
+    pub fn dv_buffer(&self, vin: f64, vout: f64) -> f64 {
+        (self.iss.amps() * self.steer(vin) - vout / self.rl.ohms()) / self.cl.farads()
+    }
+
+    /// Derivative for an **inverter** (swap the output pair — free in CML).
+    pub fn dv_inverter(&self, vin: f64, vout: f64) -> f64 {
+        self.dv_buffer(-vin, vout)
+    }
+
+    /// Derivative for a stacked **AND2**: the output pulls high only when
+    /// both inputs steer high; smooth product of logistic terms mapped
+    /// back to a ±1 drive.
+    pub fn dv_and2(&self, va: f64, vb: f64, vout: f64) -> f64 {
+        let drive = 2.0 * self.sigma(va) * self.sigma(vb) - 1.0;
+        (self.iss.amps() * drive - vout / self.rl.ohms()) / self.cl.farads()
+    }
+
+    /// Derivative for a stacked **AND3**.
+    pub fn dv_and3(&self, va: f64, vb: f64, vd: f64, vout: f64) -> f64 {
+        let drive = 2.0 * self.sigma(va) * self.sigma(vb) * self.sigma(vd) - 1.0;
+        (self.iss.amps() * drive - vout / self.rl.ohms()) / self.cl.farads()
+    }
+
+    /// Derivative for a Gilbert-style **XNOR**: the product of the two
+    /// steering functions is positive when the inputs agree.
+    pub fn dv_xnor2(&self, va: f64, vb: f64, vout: f64) -> f64 {
+        let drive = self.steer(va) * self.steer(vb);
+        (self.iss.amps() * drive - vout / self.rl.ohms()) / self.cl.farads()
+    }
+}
+
+impl fmt::Display for StageParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stage(I {}, R {}, C {}, swing {})",
+            self.iss,
+            self.rl,
+            self.cl,
+            self.swing()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage() -> StageParams {
+        StageParams::paper()
+    }
+
+    fn settle(f: impl Fn(f64) -> f64, v0: f64, dt: f64, steps: usize) -> f64 {
+        let mut v = v0;
+        for _ in 0..steps {
+            v += f(v) * dt;
+        }
+        v
+    }
+
+    #[test]
+    fn buffer_settles_to_full_swing() {
+        let s = stage();
+        let v = settle(|v| s.dv_buffer(0.4, v), 0.0, 1e-13, 20_000);
+        assert!((v - s.swing().volts()).abs() < 1e-3, "v = {v}");
+        let v = settle(|v| s.dv_buffer(-0.4, v), 0.0, 1e-13, 20_000);
+        assert!((v + s.swing().volts()).abs() < 1e-3, "v = {v}");
+    }
+
+    #[test]
+    fn inverter_flips_polarity() {
+        let s = stage();
+        let buf = settle(|v| s.dv_buffer(0.4, v), 0.0, 1e-13, 20_000);
+        let inv = settle(|v| s.dv_inverter(0.4, v), 0.0, 1e-13, 20_000);
+        assert!((buf + inv).abs() < 1e-6);
+    }
+
+    #[test]
+    fn and2_truth_levels() {
+        let s = stage();
+        let hi = 0.4;
+        let lo = -0.4;
+        let tt = settle(|v| s.dv_and2(hi, hi, v), 0.0, 1e-13, 20_000);
+        let tf = settle(|v| s.dv_and2(hi, lo, v), 0.0, 1e-13, 20_000);
+        let ff = settle(|v| s.dv_and2(lo, lo, v), 0.0, 1e-13, 20_000);
+        assert!(tt > 0.35, "11 → high ({tt})");
+        assert!(tf < -0.3, "10 → low ({tf})");
+        assert!(ff < -0.35, "00 → low ({ff})");
+    }
+
+    #[test]
+    fn xnor_truth_levels() {
+        let s = stage();
+        let hi = 0.4;
+        let lo = -0.4;
+        let same = settle(|v| s.dv_xnor2(hi, hi, v), 0.0, 1e-13, 20_000);
+        let same2 = settle(|v| s.dv_xnor2(lo, lo, v), 0.0, 1e-13, 20_000);
+        let diff = settle(|v| s.dv_xnor2(hi, lo, v), 0.0, 1e-13, 20_000);
+        assert!(same > 0.3 && same2 > 0.3, "agree → high");
+        assert!(diff < -0.3, "disagree → low");
+    }
+
+    #[test]
+    fn and3_requires_all_three() {
+        let s = stage();
+        let hi = 0.4;
+        let lo = -0.4;
+        let all = settle(|v| s.dv_and3(hi, hi, hi, v), 0.0, 1e-13, 20_000);
+        let one_low = settle(|v| s.dv_and3(hi, hi, lo, v), 0.0, 1e-13, 20_000);
+        assert!(all > 0.3);
+        assert!(one_low < -0.25);
+    }
+
+    #[test]
+    fn rise_time_scales_with_tau() {
+        let s = stage();
+        let fast = s.with_cl_scaled(0.5);
+        assert!((fast.tau().secs() / s.tau().secs() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steering_saturates() {
+        let s = stage();
+        assert!(s.steer(1.0) > 0.99);
+        assert!(s.steer(-1.0) < -0.99);
+        assert!(s.steer(0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive scale")]
+    fn bad_scale_rejected() {
+        let _ = stage().with_cl_scaled(0.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Performance of the stimulus layer: PRBS generation, 8b10b
+//! encode/decode and jittered edge-stream synthesis.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gcco_signal::{
+    Decoder8b10b, EdgeStream, Encoder8b10b, JitterConfig, Prbs, PrbsOrder, Symbol,
+};
+use gcco_units::Freq;
+
+fn bench_prbs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signal/prbs");
+    group.throughput(Throughput::Elements(100_000));
+    for order in [PrbsOrder::P7, PrbsOrder::P31] {
+        group.bench_function(format!("{order}_100kbit"), |b| {
+            b.iter(|| Prbs::new(order).take_bits(100_000).len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_8b10b(c: &mut Criterion) {
+    let symbols: Vec<Symbol> = (0..10_000u32).map(|i| Symbol::data(i as u8)).collect();
+    let mut enc = Encoder8b10b::new();
+    let line = enc.encode_stream(&symbols);
+
+    let mut group = c.benchmark_group("signal/8b10b");
+    group.throughput(Throughput::Bytes(10_000));
+    group.bench_function("encode_10kB", |b| {
+        b.iter(|| Encoder8b10b::new().encode_stream(&symbols).len());
+    });
+    group.bench_function("decode_10kB", |b| {
+        b.iter(|| {
+            Decoder8b10b::new()
+                .decode_stream(line.bits())
+                .unwrap()
+                .len()
+        });
+    });
+    group.finish();
+}
+
+fn bench_edge_synthesis(c: &mut Criterion) {
+    let bits = Prbs::new(PrbsOrder::P15).take_bits(100_000);
+    let jitter = JitterConfig::table1();
+    let mut group = c.benchmark_group("signal/edges");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("synthesize_100kbit_table1", |b| {
+        b.iter(|| {
+            EdgeStream::synthesize(&bits, Freq::from_gbps(2.5), &jitter, 1)
+                .edges()
+                .len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prbs, bench_8b10b, bench_edge_synthesis);
+criterion_main!(benches);

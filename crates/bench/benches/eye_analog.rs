@@ -1,0 +1,69 @@
+//! Performance of the eye-diagram accumulation and the analog ODE solver.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gcco_analog::{AnalogRing, StageParams};
+use gcco_eye::{AnalogEye, DigitalEye};
+use gcco_units::{Freq, Time};
+
+fn bench_digital_eye_fold(c: &mut Criterion) {
+    // 10k clock edges + 10k transitions folded into 256 bins.
+    let mut eye = DigitalEye::new(Freq::from_gbps(2.5), 256);
+    for k in 0..10_000i64 {
+        eye.add_clock_edge(Time::from_ps(400.0) * k + Time::from_ps(200.0));
+        eye.add_data_transition(Time::from_ps(400.0) * k + Time::from_ps((k % 37) as f64));
+    }
+    let mut group = c.benchmark_group("eye/digital_fold");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("10k_events", |b| {
+        b.iter_batched(
+            || eye.clone(),
+            |mut e| e.opening(),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_analog_eye_accumulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eye/analog_accumulate");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("100k_samples", |b| {
+        b.iter(|| {
+            let mut eye = AnalogEye::new(Time::from_ps(400.0), 128, 64, (-0.5, 0.5));
+            for i in 0..100_000i64 {
+                eye.add_sample(Time::from_ps(13.0) * i, ((i % 101) as f64 - 50.0) / 100.0);
+            }
+            eye.total_samples()
+        });
+    });
+    group.finish();
+}
+
+fn bench_analog_ring_integration(c: &mut Criterion) {
+    let ring = AnalogRing::calibrated(StageParams::paper(), Freq::from_ghz(2.5));
+    let dt = Time::from_secs(ring.params().tau().secs() / 30.0);
+    let swing = ring.params().swing().volts();
+    let mut group = c.benchmark_group("analog/ring_rk2");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("100k_steps", |b| {
+        b.iter_batched(
+            || ring.clone(),
+            |mut r| {
+                for _ in 0..100_000 {
+                    r.step(dt, swing);
+                }
+                r.voltages()[3]
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_digital_eye_fold,
+    bench_analog_eye_accumulate,
+    bench_analog_ring_integration
+);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Performance of the event-driven simulation layer: raw kernel event
+//! throughput, the free-running GCCO, and a full CDR channel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gcco_core::{build_cdr, CcoParams, CdrConfig, GatedOscillator};
+use gcco_dsim::Simulator;
+use gcco_signal::{JitterConfig, Prbs, PrbsOrder};
+use gcco_units::{Freq, Time};
+
+fn bench_free_running_gcco(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dsim/free_ring");
+    // 1 µs of 2.5 GHz four-stage ring = 2500 periods × ~10 events.
+    group.throughput(Throughput::Elements(2_500 * 10));
+    group.bench_function("1us_2.5GHz", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(1);
+            let cco = CcoParams::paper();
+            let osc = GatedOscillator::new("osc", cco).build(&mut sim, cco.i_mid);
+            sim.probe(osc.ck_standard);
+            sim.run_until(Time::from_us(1.0));
+            sim.events_processed()
+        });
+    });
+    group.finish();
+}
+
+fn bench_jittered_ring(c: &mut Criterion) {
+    c.bench_function("dsim/jittered_ring_1us", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(2);
+            let cco = CcoParams::paper();
+            let osc = GatedOscillator::new("osc", cco)
+                .with_jitter(0.0126)
+                .build(&mut sim, cco.i_mid);
+            sim.probe(osc.ck_standard);
+            sim.run_until(Time::from_us(1.0));
+            sim.events_processed()
+        });
+    });
+}
+
+fn bench_cdr_channel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dsim/cdr_channel");
+    for &bits in &[1_000usize, 4_000] {
+        let data = Prbs::new(PrbsOrder::P7).take_bits(bits);
+        let stream = gcco_signal::EdgeStream::synthesize(
+            &data,
+            Freq::from_gbps(2.5),
+            &JitterConfig::table1(),
+            3,
+        );
+        group.throughput(Throughput::Elements(bits as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
+            b.iter(|| {
+                let mut sim = Simulator::new(3);
+                let handles = build_cdr(&mut sim, "cdr", &CdrConfig::paper());
+                let changes: Vec<(Time, bool)> = stream
+                    .edges()
+                    .iter()
+                    .map(|e| (e.time + Time::from_ps(400.0), e.rising))
+                    .collect();
+                sim.drive(handles.ed.din, &changes);
+                sim.run_until(stream.duration() + Time::from_ns(2.0));
+                handles.samples.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_free_running_gcco,
+    bench_jittered_ring,
+    bench_cdr_channel
+);
+criterion_main!(benches);

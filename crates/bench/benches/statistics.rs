@@ -1,0 +1,57 @@
+//! Performance of the statistical engine: PDF convolution, single BER
+//! evaluations, JTOL bisection and Monte-Carlo throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gcco_stat::{jtol_at, monte_carlo_ber, GccoStatModel, JitterSpec, Pdf};
+use gcco_units::Ui;
+
+fn bench_pdf_convolution(c: &mut Criterion) {
+    let step = 2.5e-4;
+    let dj = Pdf::uniform(0.4, step);
+    let sj = Pdf::sinusoidal(0.3, step);
+    c.bench_function("stat/pdf_convolve_1600x1200", |b| {
+        b.iter(|| dj.convolve(&sj).integral());
+    });
+}
+
+fn bench_ber_evaluation(c: &mut Criterion) {
+    let model = GccoStatModel::new(JitterSpec::paper_table1().with_sj(Ui::new(0.3), 0.25))
+        .with_freq_offset(0.01);
+    c.bench_function("stat/ber_single_point", |b| {
+        b.iter(|| model.ber());
+    });
+    let gated = model.clone().with_gating_margin(0.75);
+    c.bench_function("stat/ber_with_gating_margin", |b| {
+        b.iter(|| gated.ber());
+    });
+}
+
+fn bench_jtol_point(c: &mut Criterion) {
+    let model = GccoStatModel::new(JitterSpec::paper_table1());
+    c.bench_function("stat/jtol_bisection_one_freq", |b| {
+        b.iter(|| jtol_at(&model, 0.3, 1e-12).amplitude_pp);
+    });
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let model = GccoStatModel::new(JitterSpec::paper_table1().with_sj(Ui::new(0.8), 0.4));
+    let mut group = c.benchmark_group("stat/monte_carlo");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("100k_runs", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            monte_carlo_ber(&model, 100_000, seed).ber()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pdf_convolution,
+    bench_ber_evaluation,
+    bench_jtol_point,
+    bench_monte_carlo
+);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Ablation — the gating kill margin: the statistical-model refinement
+//! this reproduction adds (see EXPERIMENTS.md "Findings"). Compares the
+//! paper-faithful statistical model, the gating-margin model and the
+//! event-driven simulator across a frequency-offset sweep.
+
+use gcco_bench::{fmt_ber, header, result_line};
+use gcco_core::{run_cdr, CdrConfig};
+use gcco_signal::{JitterConfig, Prbs, PrbsOrder};
+use gcco_stat::{GccoStatModel, JitterSpec, RunDist};
+use gcco_units::{Freq, Ui};
+
+fn main() {
+    header(
+        "Ablation: gating margin",
+        "Paper-faithful vs gating-margin statistical model vs simulator",
+        "(reproduction finding) the freeze kills clock edges within tau - T/2 \
+         of the closing transition",
+    );
+
+    let bits = Prbs::new(PrbsOrder::P7).take_bits(10_000);
+    let rate = Freq::from_gbps(2.5);
+    let jitter = JitterConfig {
+        rj_rms: Ui::new(0.02),
+        ..JitterConfig::none()
+    };
+
+    println!("\n  ε       | paper-model BER | gated-model BER | simulator BER");
+    println!("  --------+-----------------+-----------------+--------------");
+    let mut agreements = 0usize;
+    let offsets = [-0.01, -0.02, -0.03, -0.04, -0.05];
+    for &eps in &offsets {
+        let spec = {
+            let mut s = JitterSpec::clean();
+            s.rj_rms = Ui::new(0.02);
+            s
+        };
+        let faithful = GccoStatModel::new(spec.clone())
+            .with_run_dist(RunDist::geometric(7))
+            .with_freq_offset(eps)
+            .ber();
+        let gated = GccoStatModel::new(spec)
+            .with_run_dist(RunDist::geometric(7))
+            .with_freq_offset(eps)
+            .with_gating_margin(0.75)
+            .ber();
+        let config = CdrConfig::paper().with_freq_offset(eps);
+        let measured = run_cdr(&bits, rate, &jitter, &config, 31).ber();
+        println!(
+            "  {eps:+.2}   | {:>15} | {:>15} | {:>13}",
+            fmt_ber(faithful),
+            fmt_ber(gated),
+            fmt_ber(measured)
+        );
+        // Agreement metric: the simulator's BERT-style burst counting
+        // inflates each swallowed bit into a realignment burst, so "agrees"
+        // means within two orders of magnitude; "diverges" means the model
+        // predicts essentially zero where the simulator sees a broken link.
+        let agrees = |model: f64| -> bool {
+            if measured < 1e-9 {
+                model < 1e-6
+            } else {
+                model / measured < 100.0 && measured / model < 100.0
+            }
+        };
+        if agrees(gated) && !agrees(faithful) {
+            agreements += 1;
+        }
+    }
+    result_line("offsets_where_only_gated_model_agrees", agreements);
+    assert!(
+        agreements >= 2,
+        "the gating margin must be what reconciles the layers"
+    );
+    println!(
+        "\nOK: at {agreements} of {} offsets only the gating-margin model matches the\n\
+         simulator — the paper's Matlab-style model misses the failure mode\n\
+         entirely (predicting <1e-15 where the gate-level model shows 1e-1).",
+        offsets.len()
+    );
+}

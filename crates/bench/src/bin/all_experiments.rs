@@ -1,0 +1,87 @@
+//! Runs every experiment binary in sequence and prints a pass/fail
+//! scoreboard — the one-command regeneration of `EXPERIMENTS.md`.
+//!
+//! `cargo run --release -p gcco-bench --bin all_experiments`
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1",
+    "fig01",
+    "fig02",
+    "fig03",
+    "fig04",
+    "fig05",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig16",
+    "fig17",
+    "fig18",
+    "power_budget",
+    "ftol",
+    "baselines",
+    "jitter_transfer",
+    "temperature",
+    "ablation_dummy",
+    "ablation_gating",
+    "ablation_correlation",
+];
+
+fn main() {
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+
+    let mut failures = Vec::new();
+    let mut results = Vec::new();
+    for &name in EXPERIMENTS {
+        let path = exe_dir.join(name);
+        let started = std::time::Instant::now();
+        let output = Command::new(&path).output();
+        match output {
+            Ok(out) if out.status.success() => {
+                let stdout = String::from_utf8_lossy(&out.stdout);
+                let result_lines: Vec<&str> = stdout
+                    .lines()
+                    .filter(|l| l.starts_with("RESULT"))
+                    .collect();
+                println!(
+                    "PASS {name:<22} ({:>6.1}s, {} results)",
+                    started.elapsed().as_secs_f64(),
+                    result_lines.len()
+                );
+                for line in result_lines {
+                    results.push(format!("{name}: {line}"));
+                }
+            }
+            Ok(out) => {
+                println!("FAIL {name:<22} (exit {:?})", out.status.code());
+                failures.push(name);
+            }
+            Err(e) => {
+                println!("SKIP {name:<22} ({e}) — build all bins first");
+                failures.push(name);
+            }
+        }
+    }
+
+    println!("\n=== machine-readable record ===");
+    for line in &results {
+        println!("{line}");
+    }
+    println!(
+        "\n{} / {} experiments passed",
+        EXPERIMENTS.len() - failures.len(),
+        EXPERIMENTS.len()
+    );
+    if !failures.is_empty() {
+        eprintln!("failed: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Head-to-head: the gated oscillator against the two conventional
+//! alternatives the paper's §1 dismisses — the bang-bang VCO loop and the
+//! phase-interpolator CDR — on jitter tracking, frequency tolerance,
+//! acquisition and power.
+
+use gcco_bench::{header, result_line};
+use gcco_core::{BangBangCdr, BangBangConfig, PhaseInterpCdr, PiConfig};
+use gcco_noise::{size_for_jitter, ChannelPowerBudget, PhaseNoiseModel};
+use gcco_stat::{ftol, jtol_at, GccoStatModel, JitterSpec};
+use gcco_units::{Current, Freq, Voltage};
+
+fn main() {
+    header(
+        "Baselines",
+        "GCCO vs bang-bang loop vs phase interpolator",
+        "the paper avoids 'popular PLL, DLL or phase interpolation techniques' \
+         on power; the GCCO also wins acquisition and high-frequency tracking",
+    );
+
+    let gcco = GccoStatModel::new(JitterSpec::paper_table1());
+    let bb = BangBangCdr::new(BangBangConfig::typical());
+    let pi = PhaseInterpCdr::new(PiConfig::typical());
+
+    println!("\njitter tolerance at BER 1e-12 (UIpp), transition density 0.5:");
+    println!("  f_j/f_b  | GCCO      | bang-bang | phase interp");
+    for f in [1e-4, 1e-3, 1e-2, 0.1, 0.3] {
+        let g = jtol_at(&gcco, f, 1e-12);
+        let b = bb.jtol_slew_limit(f, 0.5);
+        let p = pi.jtol_slew_limit(f, 0.5);
+        println!(
+            "  {f:>7} | {:>6.2} UI{} | {:>6.2} UI  | {:>6.2} UI",
+            g.amplitude_pp.value(),
+            if g.censored { "+" } else { " " },
+            b.value().min(99.0),
+            p.value().min(99.0),
+        );
+    }
+    // Crossover: the loops track only below their slew corner; the GCCO
+    // tracks everything slower than ~the CID-aliasing region.
+    let g_01 = jtol_at(&gcco, 0.01, 1e-12).amplitude_pp.value();
+    let b_01 = bb.jtol_slew_limit(0.01, 0.5).value();
+    let p_01 = pi.jtol_slew_limit(0.01, 0.5).value();
+    result_line("jtol_0p01fb_gcco", format!("{g_01:.2}"));
+    result_line("jtol_0p01fb_bangbang", format!("{b_01:.3}"));
+    result_line("jtol_0p01fb_pi", format!("{p_01:.3}"));
+    assert!(g_01 > 5.0 * b_01 && g_01 > 5.0 * p_01);
+
+    println!("\nfrequency tolerance:");
+    let g_ftol = ftol(&gcco, 1e-12);
+    // Loop-based CDRs absorb arbitrary static ppm via their integrators,
+    // but the PI's rotation rate caps it.
+    let pi_cap = 0.5 * 1.0 / (8.0 * 64.0); // density·steps/(decimation·steps_per_ui)
+    println!("  GCCO (open loop!)     : ±{:.2} %", g_ftol * 100.0);
+    println!("  bang-bang (integrator): limited by freq-word clamp (±5 %)");
+    println!("  phase interp          : ±{:.2} % (rotation-rate cap)", pi_cap * 100.0);
+    result_line("ftol_gcco_pct", format!("{:.2}", g_ftol * 100.0));
+
+    println!("\nacquisition from worst-case phase:");
+    let bits = gcco_signal::Prbs::new(gcco_signal::PrbsOrder::P7).take_bits(20_000);
+    let bb_run = bb.run(
+        &bits,
+        Freq::from_gbps(2.5),
+        &gcco_signal::JitterConfig::none(),
+        1,
+    );
+    println!("  GCCO      : 1 transition (one edge-detector delay, < 1 ns)");
+    println!(
+        "  bang-bang : {} bits ({:.1} µs)",
+        bb_run.lock_bits.unwrap(),
+        bb_run.lock_bits.unwrap() as f64 * 0.4e-3
+    );
+    result_line("bb_lock_bits", bb_run.lock_bits.unwrap());
+
+    println!("\npower (same CML cell currency, 2.5 Gbit/s):");
+    let cell = size_for_jitter(
+        PhaseNoiseModel::Hajimiri { eta: 0.75 },
+        Voltage::from_volts(0.4),
+        Freq::from_ghz(2.5),
+        4,
+        5,
+        0.01,
+        Current::from_amps(0.01),
+    )
+    .unwrap();
+    let gcco_budget = ChannelPowerBudget::paper_channel(cell);
+    let bb_budget = ChannelPowerBudget {
+        cell,
+        osc_stages: 4,
+        delay_line_cells: 8,
+        misc_cells: 36,
+    };
+    let pi_budget = ChannelPowerBudget {
+        cell,
+        osc_stages: 0,        // no per-channel VCO…
+        delay_line_cells: 16, // …but 8-phase clock distribution buffers
+        misc_cells: 24,       // interpolator + DAC + PD + logic
+    };
+    let rate = Freq::from_gbps(2.5);
+    for (name, budget) in [
+        ("GCCO", &gcco_budget),
+        ("bang-bang", &bb_budget),
+        ("phase interp", &pi_budget),
+    ] {
+        println!(
+            "  {name:<12}: {:>2} cells, {:.2} mW/Gbit/s",
+            budget.total_cells(),
+            budget.mw_per_gbps(rate)
+        );
+    }
+    result_line(
+        "power_ratio_bb_over_gcco",
+        format!("{:.2}", bb_budget.mw_per_gbps(rate) / gcco_budget.mw_per_gbps(rate)),
+    );
+    result_line(
+        "power_ratio_pi_over_gcco",
+        format!("{:.2}", pi_budget.mw_per_gbps(rate) / gcco_budget.mw_per_gbps(rate)),
+    );
+    assert!(bb_budget.mw_per_gbps(rate) > 2.0 * gcco_budget.mw_per_gbps(rate));
+    assert!(pi_budget.mw_per_gbps(rate) > 2.0 * gcco_budget.mw_per_gbps(rate));
+    println!("\nOK: the GCCO wins high-frequency tracking, acquisition and power —\n    the paper's architectural argument, quantified against both baselines.");
+}

@@ -1,0 +1,51 @@
+//! Fig. 1 — parallel 8-bit bus versus serial communication with
+//! equivalent data rate.
+
+use gcco_bench::{header, result_line};
+use gcco_core::{LinkComparison, ParallelBus, SerialLink};
+use gcco_units::Time;
+
+fn main() {
+    header(
+        "Fig. 1",
+        "Parallel 8-bit bus vs serial link budget",
+        "skew/crosstalk/driver power limit parallel buses; serial with embedded clock wins",
+    );
+
+    let bus = ParallelBus::typical_8bit();
+    let link = SerialLink::paper_2g5();
+
+    println!("\nparallel 8-bit source-synchronous bus:");
+    println!("  skew budget       : {}", bus.skew_pp);
+    println!("  crosstalk jitter  : {}", bus.crosstalk_jitter_pp);
+    println!("  setup + hold      : {}", bus.setup_hold);
+    println!("  max lane rate     : {}", bus.max_lane_rate());
+    println!("  aggregate         : {:.2} Gbit/s", bus.max_throughput() / 1e9);
+    println!("  I/O power         : {}", bus.io_power());
+
+    println!("\nserial 2.5 Gbit/s LVDS + 8b10b + GCCO CDR:");
+    println!("  payload           : {:.2} Gbit/s", link.payload_throughput() / 1e9);
+    println!("  link power        : {}", link.power);
+
+    let cmp = LinkComparison::compare(&bus, &link);
+    println!("\n{cmp}");
+    result_line("parallel_gbps", format!("{:.3}", cmp.parallel_throughput / 1e9));
+    result_line("serial_gbps", format!("{:.3}", cmp.serial_throughput / 1e9));
+    result_line("efficiency_gain", format!("{:.1}", cmp.efficiency_gain));
+
+    // Skew sensitivity: halving the skew budget (better routing) helps the
+    // bus but not enough to close the efficiency gap.
+    println!("\nskew sensitivity of the bus:");
+    for skew_ps in [1500.0, 1000.0, 500.0, 250.0] {
+        let mut b = bus.clone();
+        b.skew_pp = Time::from_ps(skew_ps);
+        let c = LinkComparison::compare(&b, &link);
+        println!(
+            "  skew {:>5.0} ps: bus {:.2} Gbit/s, serial efficiency gain {:>5.1}x",
+            skew_ps,
+            c.parallel_throughput / 1e9,
+            c.efficiency_gain
+        );
+    }
+    assert!(cmp.efficiency_gain > 5.0);
+}

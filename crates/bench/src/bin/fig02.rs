@@ -1,0 +1,50 @@
+//! Fig. 2 — integrated multi-channel photo-receiver array: a 4-channel
+//! GCCO receiver with shared PLL, run end to end.
+
+use gcco_bench::{header, result_line};
+use gcco_core::MultiChannelReceiver;
+use gcco_signal::JitterConfig;
+use gcco_units::Ui;
+
+fn main() {
+    header(
+        "Fig. 2",
+        "Multi-channel receiver array smoke run",
+        "one shared PLL + per-channel gated oscillators recover N independent streams",
+    );
+
+    let mut rx = MultiChannelReceiver::paper(4);
+    // Spread of CCO mismatch across the array (process variation).
+    for (i, m) in [-0.002, -0.0005, 0.001, 0.0025].iter().enumerate() {
+        rx.channel_mut(i).mismatch = *m;
+        rx.channel_mut(i).jitter = JitterConfig {
+            rj_rms: Ui::new(0.012),
+            dj_pp: Ui::new(0.1),
+            ..JitterConfig::table1()
+        };
+    }
+    let result = rx.run(3_000, 2026);
+
+    println!("\nshared PLL: {}", result.pll);
+    println!("\nchannel | mismatch | errors | compared");
+    for (i, ch) in result.channels.iter().enumerate() {
+        println!(
+            "   {i}    | {:+.2} %  | {:>5}  | {}",
+            [-0.2, -0.05, 0.1, 0.25][i],
+            ch.errors,
+            ch.compared
+        );
+    }
+    result_line("channels", result.channels.len());
+    result_line("total_errors", result.total_errors());
+    result_line("worst_ber", format!("{:.2e}", result.worst_ber()));
+    result_line(
+        "pll_lock_us",
+        format!(
+            "{:.2}",
+            result.pll.lock_time.map(|t| t.secs() * 1e6).unwrap_or(f64::NAN)
+        ),
+    );
+    assert_eq!(result.total_errors(), 0);
+    println!("\nOK: 4 channels recovered error-free from one shared control current.");
+}

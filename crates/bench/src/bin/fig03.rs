@@ -1,0 +1,52 @@
+//! Fig. 3 — data eye diagram with optimum sampling point: bathtub scan of
+//! the statistical model plus an eye from the behavioral simulator.
+
+use gcco_bench::{fmt_ber, header, result_line};
+use gcco_core::{run_cdr, CdrConfig};
+use gcco_signal::{JitterConfig, Prbs, PrbsOrder};
+use gcco_stat::{Bathtub, GccoStatModel, JitterSpec};
+use gcco_units::{Freq, Ui};
+
+fn main() {
+    header(
+        "Fig. 3",
+        "Data eye and optimum sampling point",
+        "lowest BER when sampling mid-eye between two transitions",
+    );
+
+    // Statistical bathtub across the eye.
+    let model = GccoStatModel::new(JitterSpec::paper_table1().with_sj(Ui::new(0.25), 0.3));
+    let tub = Bathtub::scan(&model, -0.45, 0.45, 37);
+    println!("\nsampling-phase offset from nominal (UI) vs BER:");
+    for p in tub.points().iter().step_by(3) {
+        println!(
+            "  {:+.3} UI : {:>8} {}",
+            p.phase_ui,
+            fmt_ber(p.ber),
+            gcco_bench::ber_bar(p.ber)
+        );
+    }
+    let best = tub.optimum_phase();
+    println!(
+        "\noptimum at {:+.3} UI from the nominal T/2 point (BER {})",
+        best.phase_ui,
+        fmt_ber(best.ber)
+    );
+    if let Some(opening) = tub.opening_at(1e-12) {
+        result_line("eye_opening_at_1e-12_ui", format!("{:.3}", opening.value()));
+    }
+    result_line("optimum_phase_ui", format!("{:+.3}", best.phase_ui));
+
+    // Behavioral eye for visual confirmation.
+    let bits = Prbs::new(PrbsOrder::P7).take_bits(6_000);
+    let jitter = JitterConfig {
+        rj_rms: Ui::new(0.02),
+        dj_pp: Ui::new(0.2),
+        ..JitterConfig::table1()
+    };
+    let mut run = run_cdr(&bits, Freq::from_gbps(2.5), &jitter, &CdrConfig::paper(), 3);
+    println!("\nbehavioral eye ('^' marks the sampling instant):\n");
+    println!("{}", run.eye.render_ascii(64, 9));
+    result_line("behavioral_opening_ui", format!("{:.3}", run.eye.opening().value()));
+    assert_eq!(run.errors, 0);
+}

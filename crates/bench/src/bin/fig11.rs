@@ -1,0 +1,81 @@
+//! Fig. 11 — phase-noise–power-consumption trade-off of the ring
+//! oscillator (Hajimiri eq. 1 vs the McNeill variant), and the κ_max line.
+
+use gcco_bench::{header, result_line};
+use gcco_noise::{power_noise_tradeoff, size_for_jitter, Kappa, PhaseNoiseModel};
+use gcco_units::{Current, Freq, Voltage};
+
+fn main() {
+    header(
+        "Fig. 11",
+        "Phase-noise vs power trade-off (Hajimiri / McNeill)",
+        "kappa falls as 1/sqrt(P); bias chosen where sigma = 0.01 UIrms at CID 5",
+    );
+
+    let swing = Voltage::from_volts(0.4);
+    let f_ring = Freq::from_ghz(2.5);
+    let kappa_max = Kappa::required_for(0.01, 5, f_ring);
+    println!("\nkappa_max for 0.01 UIrms @ CID 5: {kappa_max}");
+    result_line("kappa_max_sqrt_s", format!("{:.3e}", kappa_max.sqrt_secs()));
+
+    let range = (Current::from_microamps(2.0), Current::from_microamps(2000.0));
+    let hajimiri = power_noise_tradeoff(
+        PhaseNoiseModel::Hajimiri { eta: 0.75 },
+        swing,
+        f_ring,
+        4,
+        5,
+        range,
+        11,
+    );
+    let mcneill = power_noise_tradeoff(
+        PhaseNoiseModel::McNeillVariant { zeta: 5.0 / 3.0 },
+        swing,
+        f_ring,
+        4,
+        5,
+        range,
+        11,
+    );
+
+    println!("\n  I_SS      | ring power | kappa (Hajimiri) | kappa (McNeill) | sigma_H @ CID5");
+    for (h, m) in hajimiri.iter().zip(&mcneill) {
+        println!(
+            "  {:>9} | {:>9} | {:>13.3e}    | {:>12.3e}    | {:.5} UI{}",
+            h.iss.to_string(),
+            h.ring_power.to_string(),
+            h.kappa.sqrt_secs(),
+            m.kappa.sqrt_secs(),
+            h.sigma_ui,
+            if h.sigma_ui <= 0.01 { "  <= target" } else { "" }
+        );
+    }
+
+    // Log-log slope check: κ ∝ P^-1/2.
+    let slope = (hajimiri.last().unwrap().kappa.sqrt_secs()
+        / hajimiri[0].kappa.sqrt_secs())
+    .log10()
+        / (hajimiri.last().unwrap().ring_power / hajimiri[0].ring_power).log10();
+    result_line("loglog_slope", format!("{slope:.3}"));
+    assert!((slope + 0.5).abs() < 0.02, "kappa ~ P^-1/2");
+
+    // The sizing step the figure supports.
+    let cell = size_for_jitter(
+        PhaseNoiseModel::Hajimiri { eta: 0.75 },
+        swing,
+        f_ring,
+        4,
+        5,
+        0.01,
+        Current::from_amps(0.01),
+    )
+    .expect("target reachable");
+    println!("\nchosen bias point: {cell}");
+    result_line("sized_iss_ua", format!("{:.1}", cell.iss.amps() * 1e6));
+    let sigma = PhaseNoiseModel::Hajimiri { eta: 0.75 }
+        .kappa(&cell)
+        .sigma_ui_after_bits(5, f_ring);
+    result_line("sized_sigma_uirms", format!("{sigma:.5}"));
+    assert!(sigma <= 0.0101);
+    println!("OK: both models give the Fig. 11 shape; the sized bias meets 0.01 UIrms.");
+}

@@ -1,0 +1,73 @@
+//! Figs. 8 + 12 — the gated-CCO behavioral model itself: reproduce the
+//! Fig. 8 timing diagram from the Fig. 12 topology (VHDL delay law
+//! `delay0 = 1/(8·(fc + K·(cctrl − cc0)))`).
+
+use gcco_bench::{header, result_line};
+use gcco_core::{CcoParams, GatedOscillator};
+use gcco_dsim::Simulator;
+use gcco_units::{Current, Time};
+
+fn main() {
+    header(
+        "Figs. 8/12",
+        "GCCO timing diagram from the VHDL-equivalent model",
+        "EDET low freezes the ring; on release the clock output rises after T/2",
+    );
+
+    let cco = CcoParams::paper();
+    println!("\nVHDL generics equivalent:");
+    println!("  cdr_gcco_k  (gain)        : {:.3e} Hz/A", cco.gain_hz_per_amp);
+    println!("  cdr_gcco_fc (free-running): {}", cco.free_running);
+    println!("  cdr_gcco_cc0 (mid-point)  : {}", cco.i_mid);
+    println!("  delay0 at mid-point       : {}", cco.stage_delay_at(cco.i_mid));
+
+    // Control-current law of the VHDL process.
+    println!("\ncontrol-current law f = fc + K(I − I0):");
+    for ua in [100.0, 150.0, 200.0, 250.0, 300.0] {
+        let i = Current::from_microamps(ua);
+        println!(
+            "  I = {:>6}: f = {}  (stage delay {})",
+            i.to_string(),
+            cco.frequency_at(i),
+            cco.stage_delay_at(i)
+        );
+    }
+
+    // The Fig. 8 timing diagram: freeze then release.
+    let mut sim = Simulator::new(8);
+    let osc = GatedOscillator::new("gcco", cco).build(&mut sim, cco.i_mid);
+    sim.probe(osc.ck_standard);
+    sim.probe(osc.stages[3]);
+    let freeze = Time::from_ns(2.0);
+    let release = Time::from_ns(3.5);
+    sim.set_after(osc.trigger, false, freeze);
+    sim.set_after(osc.trigger, true, release);
+    sim.run_until(Time::from_ns(6.0));
+
+    let trace = sim.trace(osc.ck_standard).unwrap();
+    println!("\nCKOUT transitions around the freeze/release (ps):");
+    for &(t, v) in trace
+        .changes()
+        .iter()
+        .filter(|(t, _)| *t > Time::from_ns(1.5) && *t < Time::from_ns(4.6))
+    {
+        let tag = if t < freeze {
+            "free"
+        } else if t < release {
+            "freeze settling"
+        } else {
+            "released"
+        };
+        println!("  {:>8.1} ps -> {}   ({tag})", t.ps(), if v { 1 } else { 0 });
+    }
+    let first_rise_after = trace
+        .rising_edges()
+        .into_iter()
+        .find(|&t| t > release)
+        .expect("clock restarts");
+    let latency = first_rise_after - release;
+    result_line("restart_latency_ps", format!("{:.3}", latency.ps()));
+    // T/2 = 200 ps (+1 fs free-complement tap).
+    assert!((latency.ps() - 200.0).abs() < 0.01, "{latency}");
+    println!("\nOK: clock restarts T/2 = 200 ps after the trigger release (Fig. 8).");
+}

@@ -1,0 +1,93 @@
+//! Figs. 15/16 — the improved GCCO topology: sampling from the inverted
+//! third-stage output (−T/8), same conditions as Fig. 14. The eye opening
+//! becomes almost symmetrical around the sampling instant.
+
+use gcco_bench::{header, result_line};
+use gcco_core::{run_cdr, CdrConfig};
+use gcco_signal::{JitterConfig, Prbs, PrbsOrder, SinusoidalJitter};
+use gcco_stat::SamplingTap;
+use gcco_units::{Freq, Ui};
+
+fn main() {
+    header(
+        "Figs. 15/16",
+        "Improved (-T/8) sampling tap, Fig. 14 conditions",
+        "obvious improvement in timing margin on the right data edge; \
+         eye opening almost symmetrical around UI/2",
+    );
+
+    let offset = 2.375 / 2.5 - 1.0;
+    let bits = Prbs::new(PrbsOrder::P7).take_bits(25_000);
+    let jitter = JitterConfig::none().with_sj(SinusoidalJitter::new(
+        Ui::new(0.10),
+        Freq::from_mhz(250.0),
+    ));
+    let base = CdrConfig::paper()
+        .with_freq_offset(offset)
+        .with_cell_jitter(0.0126);
+
+    let mut standard = run_cdr(&bits, Freq::from_gbps(2.5), &jitter, &base, 14);
+    let improved_cfg = base.clone().with_tap(SamplingTap::Improved);
+    let mut improved = run_cdr(&bits, Freq::from_gbps(2.5), &jitter, &improved_cfg, 14);
+
+    println!("\nimproved-tap eye (compare with fig14's output):\n");
+    println!("{}", improved.eye.render_ascii(64, 12));
+
+    let (s_left, s_right) = standard.eye.margins();
+    let (i_left, i_right) = improved.eye.margins();
+    println!("                    | standard (Fig.14) | improved (Fig.16)");
+    println!(
+        "  left margin       | {:>13.3} UI  | {:>13.3} UI",
+        s_left.value(),
+        i_left.value()
+    );
+    println!(
+        "  right margin      | {:>13.3} UI  | {:>13.3} UI",
+        s_right.value(),
+        i_right.value()
+    );
+    println!(
+        "  margin imbalance  | {:>16.3} | {:>16.3}",
+        (s_left.value() - s_right.value()).abs(),
+        (i_left.value() - i_right.value()).abs()
+    );
+    println!(
+        "  errors            | {:>16} | {:>16}",
+        standard.errors, improved.errors
+    );
+
+    result_line("standard_right_margin_ui", format!("{:.3}", s_right.value()));
+    result_line("improved_right_margin_ui", format!("{:.3}", i_right.value()));
+    result_line("standard_errors", standard.errors);
+    result_line("improved_errors", improved.errors);
+
+    // The paper's two claims for this figure.
+    assert!(
+        i_right > s_right,
+        "right-edge margin must improve: {s_right} -> {i_right}"
+    );
+    assert!(
+        (i_left.value() - i_right.value()).abs()
+            < (s_left.value() - s_right.value()).abs(),
+        "the eye must become more symmetrical around the sampling instant"
+    );
+    // Refinement over the paper: the missing-pulse errors at this −5 %
+    // offset are tap-independent — the improved tap samples T/8 earlier
+    // but its wavefront also has one stage less of head start against the
+    // gating freeze, an exact cancellation (gcco-stat's gating model
+    // encodes it). The improvement is in the *jitter margins*, exactly
+    // what the eye shows.
+    let rel = (improved.errors as f64 - standard.errors as f64).abs()
+        / standard.errors.max(1) as f64;
+    assert!(rel < 0.05, "missing-pulse rate is tap-independent ({rel})");
+    println!(
+        "\nOK: the -T/8 tap recovers {:.3} UI of right-edge margin and re-centres\n\
+         the eye (imbalance {:.3} -> {:.3}) — Figs. 15/16 reproduced. The missing\n\
+         bits of PRBS7's 7-runs at −5 % are tap-independent (launch-time\n\
+         cancellation), visible only because PRBS7 exceeds the 8b10b CID ≤ 5\n\
+         design bound the paper notes in §3.3b.",
+        i_right.value() - s_right.value(),
+        (s_left.value() - s_right.value()).abs(),
+        (i_left.value() - i_right.value()).abs(),
+    );
+}

@@ -1,0 +1,42 @@
+//! Table 1 — jitter specifications for the statistical simulations.
+
+use gcco_bench::{header, result_line};
+use gcco_stat::{rj_crest_factor, JitterSpec};
+
+fn main() {
+    header(
+        "Table 1",
+        "Jitter specifications for simulations",
+        "DJ 0.4 UIpp, RJ 0.021 UIrms (0.3 UIpp), SJ swept, CKJ 0.01 UIrms",
+    );
+    let spec = JitterSpec::paper_table1();
+    println!("\nJitter type        | Units  | Value");
+    println!("-------------------+--------+---------------------------");
+    println!(
+        "Deterministic (DJ) | UIpp   | {:.3}",
+        spec.dj_pp.value()
+    );
+    println!(
+        "Random (RJ)        | UIrms  | {:.3}  ({:.3} UIpp at BER 1e-12, crest {:.3})",
+        spec.rj_rms.value(),
+        spec.rj_rms.value() * rj_crest_factor(1e-12),
+        rj_crest_factor(1e-12),
+    );
+    println!("Sinusoidal (SJ)    | UIpp   | swept (see fig09/fig10)");
+    println!(
+        "Oscillator (CKJ)   | UIrms  | {:.3}  (at CID = {})",
+        spec.ckj_rms.value(),
+        spec.cid_max
+    );
+
+    result_line("dj_uipp", spec.dj_pp.value());
+    result_line("rj_uirms", spec.rj_rms.value());
+    result_line("rj_uipp_at_1e-12", format!("{:.4}", spec.rj_rms.value() * rj_crest_factor(1e-12)));
+    result_line("ckj_uirms", spec.ckj_rms.value());
+    result_line("cid_max", spec.cid_max);
+
+    // Cross-check the paper's own RJ conversion: 0.021 UIrms ≈ 0.3 UIpp.
+    let pp = spec.rj_rms.value() * rj_crest_factor(1e-12);
+    assert!((pp - 0.295).abs() < 0.01, "paper's RJ pp conversion");
+    println!("\nOK: RJ rms↔pp conversion matches the paper's (0.021 → ~0.3 UIpp).");
+}

@@ -1,0 +1,81 @@
+//! Corner analysis the paper defers to the (never-published) follow-up:
+//! how the phase-noise sizing and the power budget move across the
+//! commercial temperature range.
+
+use gcco_bench::{header, result_line};
+use gcco_noise::{size_for_jitter, ChannelPowerBudget, CmlCell, PhaseNoiseModel};
+use gcco_units::{Current, Freq, Temperature, Time, Voltage};
+
+fn main() {
+    header(
+        "Temperature corners",
+        "Phase-noise sizing and power across -40..125 C",
+        "thermal noise ∝ kT: the κ budget tightens with temperature (extension \
+         beyond the paper's typical-case analysis)",
+    );
+
+    let swing = Voltage::from_volts(0.4);
+    let f_ring = Freq::from_ghz(2.5);
+    println!("\n  T       | kappa @ 200 µA | sigma @ CID5 | sized I_SS | mW/Gbit/s");
+    let mut previous_kappa = 0.0;
+    let mut room_eff = 0.0;
+    let mut hot_eff = 0.0;
+    for celsius in [-40.0, 0.0, 27.0, 85.0, 125.0] {
+        let temp = Temperature::from_celsius(celsius);
+        let probe = CmlCell::sized_for_delay(
+            Current::from_microamps(200.0),
+            swing,
+            Time::from_ps(50.0),
+        )
+        .with_temp(temp);
+        let model = PhaseNoiseModel::Hajimiri { eta: 0.75 };
+        let kappa = model.kappa(&probe);
+        let sigma = kappa.sigma_ui_after_bits(5, f_ring);
+        // Re-size at this temperature (the parasitic floor usually binds,
+        // but the noise constraint is what moves).
+        let cell = size_for_jitter(
+            model,
+            swing,
+            f_ring,
+            4,
+            5,
+            0.01,
+            Current::from_amps(0.01),
+        )
+        .map(|c| {
+            // size_for_jitter sizes at ROOM; re-evaluate at temp by scaling
+            // the noise constraint kT-linearly: I_noise ∝ T.
+            let scale = temp.kelvin() / 300.0;
+            CmlCell::sized_for_delay(
+                Current::from_amps((c.iss.amps() * scale).max(c.iss.amps() * 0.9)),
+                swing,
+                Time::from_ps(50.0),
+            )
+            .with_temp(temp)
+        })
+        .expect("reachable");
+        let eff = ChannelPowerBudget::paper_channel(cell).mw_per_gbps(f_ring);
+        println!(
+            "  {celsius:>5} C | {kappa}   | {sigma:.5} UI   | {:>8} | {eff:.2}",
+            cell.iss.to_string()
+        );
+        assert!(
+            kappa.sqrt_secs() > previous_kappa,
+            "thermal noise must grow with T"
+        );
+        previous_kappa = kappa.sqrt_secs();
+        if (celsius - 27.0).abs() < 1.0 {
+            room_eff = eff;
+        }
+        if (celsius - 125.0).abs() < 1.0 {
+            hot_eff = eff;
+        }
+    }
+    result_line("room_mw_per_gbps", format!("{room_eff:.3}"));
+    result_line("hot_mw_per_gbps", format!("{hot_eff:.3}"));
+    assert!(hot_eff < 5.0, "budget must hold at the hot corner");
+    println!(
+        "\nOK: κ grows as √T as thermal noise dictates; even at 125 °C the sized\n\
+         channel stays at {hot_eff:.2} mW/Gbit/s — inside the 5 mW/Gbit/s budget."
+    );
+}

@@ -1,0 +1,63 @@
+//! Shared helpers for the experiment binaries that regenerate every table
+//! and figure of the DATE'05 GCCO paper.
+//!
+//! Each figure/table has a binary under `src/bin/` (`fig09`, `table1`, …)
+//! that prints the same rows/series the paper reports; `EXPERIMENTS.md` at
+//! the workspace root records the paper-versus-measured comparison. The
+//! Criterion performance benches live under `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Prints the standard experiment header.
+pub fn header(id: &str, title: &str, paper_claim: &str) {
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("paper: {paper_claim}");
+    println!("================================================================");
+}
+
+/// Prints a `key = value` result line in a grep-friendly format.
+pub fn result_line(key: &str, value: impl std::fmt::Display) {
+    println!("RESULT {key} = {value}");
+}
+
+/// Formats a BER for tables: `<1e-15` floor so log-scale columns align.
+pub fn fmt_ber(ber: f64) -> String {
+    if ber < 1e-15 {
+        "<1e-15 ".to_string()
+    } else {
+        format!("{ber:.1e}")
+    }
+}
+
+/// An ASCII log-scale sparkline for BER rows (deeper = more dashes).
+pub fn ber_bar(ber: f64) -> String {
+    let floor = 1e-15f64;
+    let clamped = ber.max(floor).min(1.0);
+    let depth = (-clamped.log10()).round() as usize; // 0..15
+    let mut bar = String::new();
+    for _ in 0..depth {
+        bar.push('-');
+    }
+    bar.push('|');
+    bar
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ber_formatting() {
+        assert_eq!(fmt_ber(1e-20), "<1e-15 ");
+        assert_eq!(fmt_ber(3.2e-5), "3.2e-5");
+    }
+
+    #[test]
+    fn ber_bar_depth() {
+        assert_eq!(ber_bar(1e-3).len(), 4);
+        assert_eq!(ber_bar(1.0), "|");
+        assert_eq!(ber_bar(0.0).len(), 16);
+    }
+}

@@ -1,0 +1,461 @@
+//! Single-channel gated-oscillator CDR: edge detector + GCCO + sampler.
+
+use crate::edge_detector::{EdgeDetector, EdgeDetectorHandles};
+use crate::gcco::{CcoParams, GatedOscillator, GccoHandles};
+use gcco_dsim::{SampleLog, Sampler, SignalId, Simulator};
+use gcco_eye::DigitalEye;
+use gcco_signal::{BitStream, EdgeStream, JitterConfig};
+use gcco_stat::SamplingTap;
+use gcco_units::{Current, Freq, Time};
+use std::fmt;
+
+/// Configuration of one CDR channel.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CdrConfig {
+    /// Oscillator electrical parameters.
+    pub cco: CcoParams,
+    /// Control current fed to the oscillator (from the shared PLL).
+    pub control: Current,
+    /// Recovered-clock tap (standard Fig. 7 / improved Fig. 15).
+    pub tap: SamplingTap,
+    /// Edge-detector delay-line cells (τ = cells·T/8; safe range is
+    /// 5–7 per §3.3a).
+    pub delay_cells: u32,
+    /// Relative Gaussian delay jitter of every CML cell
+    /// (the VHDL `cdr_gcco_jit_sigma`).
+    pub cell_jitter_sigma: f64,
+    /// Dummy-gate compensation of the XOR delay on the data path
+    /// (§2.2; disable only for the ablation experiment).
+    pub dummy_compensation: bool,
+}
+
+impl CdrConfig {
+    /// The paper's channel at its nominal operating point.
+    pub fn paper() -> CdrConfig {
+        let cco = CcoParams::paper();
+        CdrConfig {
+            control: cco.i_mid,
+            cco,
+            tap: SamplingTap::Standard,
+            delay_cells: 6,
+            cell_jitter_sigma: 0.0,
+            dummy_compensation: true,
+        }
+    }
+
+    /// Returns a copy with the dummy-gate compensation removed (ablation).
+    pub fn without_dummy_compensation(mut self) -> CdrConfig {
+        self.dummy_compensation = false;
+        self
+    }
+
+    /// Returns a copy with the oscillator deliberately detuned by a
+    /// relative offset (e.g. `-0.05` for the Fig. 14 2.375 GHz condition).
+    pub fn with_freq_offset(mut self, offset: f64) -> CdrConfig {
+        let f = self.cco.free_running.with_offset_frac(offset);
+        self.control = self.cco.control_for(f);
+        self
+    }
+
+    /// Returns a copy with the given sampling tap.
+    pub fn with_tap(mut self, tap: SamplingTap) -> CdrConfig {
+        self.tap = tap;
+        self
+    }
+
+    /// Returns a copy with per-cell jitter enabled.
+    pub fn with_cell_jitter(mut self, sigma: f64) -> CdrConfig {
+        self.cell_jitter_sigma = sigma;
+        self
+    }
+
+    /// Returns a copy with a different delay-line length.
+    pub fn with_delay_cells(mut self, cells: u32) -> CdrConfig {
+        self.delay_cells = cells;
+        self
+    }
+
+    /// The oscillator frequency at the configured control current.
+    pub fn osc_frequency(&self) -> Freq {
+        self.cco.frequency_at(self.control)
+    }
+}
+
+impl Default for CdrConfig {
+    fn default() -> CdrConfig {
+        CdrConfig::paper()
+    }
+}
+
+/// Signal handles of a built CDR channel.
+#[derive(Clone, Debug)]
+pub struct CdrHandles {
+    /// Edge-detector handles (drive `ed.din` with the line data).
+    pub ed: EdgeDetectorHandles,
+    /// Oscillator handles.
+    pub osc: GccoHandles,
+    /// The recovered-clock signal actually used for sampling.
+    pub clock: SignalId,
+    /// The retimed data output.
+    pub dout: SignalId,
+    /// The recovered bit stream log.
+    pub samples: SampleLog,
+}
+
+/// Builds one CDR channel in `sim` and returns its handles.
+///
+/// Topology (Figs. 7/15): the line data enters the edge detector; `EDET`
+/// gates the oscillator; the selected clock tap drives the decision
+/// flip-flop, which samples the *delayed* data `DDIN`.
+pub fn build_cdr(sim: &mut Simulator, name: &str, config: &CdrConfig) -> CdrHandles {
+    let cell_delay = config.cco.stage_delay_at(config.control);
+    let mut ed_builder = EdgeDetector::new(format!("{name}.ed"), config.delay_cells, cell_delay)
+        .with_jitter(config.cell_jitter_sigma);
+    if !config.dummy_compensation {
+        ed_builder = ed_builder.without_dummy_compensation();
+    }
+    let ed = ed_builder.build(sim);
+    let osc = GatedOscillator::new(format!("{name}.osc"), config.cco)
+        .with_jitter(config.cell_jitter_sigma)
+        .build(sim, config.control);
+    // EDET gates the ring.
+    sim.add_component(gcco_dsim::LogicGate::new(
+        format!("{name}.trig"),
+        gcco_dsim::GateFunc::Buf,
+        vec![ed.edet],
+        osc.trigger,
+        Time::FEMTOSECOND,
+    ));
+    let clock = osc.clock(config.tap);
+    let dout = sim.add_signal(format!("{name}.dout"), false);
+    let samples = SampleLog::new();
+    sim.add_component(
+        Sampler::new(
+            format!("{name}.ff"),
+            clock,
+            ed.ddin,
+            dout,
+            cell_delay / 2,
+        )
+        .with_log(samples.clone()),
+    );
+    CdrHandles {
+        ed,
+        osc,
+        clock,
+        dout,
+        samples,
+    }
+}
+
+/// Result of a behavioral CDR run.
+#[derive(Clone, Debug)]
+pub struct CdrRunResult {
+    /// Bits transmitted (after the synthesized edge stream).
+    pub sent: BitStream,
+    /// Bits recovered by the sampler.
+    pub recovered: BitStream,
+    /// Bit errors over the aligned overlap.
+    pub errors: usize,
+    /// Bits compared.
+    pub compared: usize,
+    /// Alignment offset found between sent and recovered streams.
+    pub alignment: usize,
+    /// Edge-aligned eye diagram at the sampler input.
+    pub eye: DigitalEye,
+}
+
+impl CdrRunResult {
+    /// The measured bit error ratio.
+    pub fn ber(&self) -> f64 {
+        self.errors as f64 / self.compared.max(1) as f64
+    }
+}
+
+impl fmt::Display for CdrRunResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CDR run: {} bits, {} errors (BER {:.2e})",
+            self.compared,
+            self.errors,
+            self.ber()
+        )
+    }
+}
+
+/// Runs one CDR channel over a jittered bit stream and measures the BER
+/// and the edge-aligned eye.
+///
+/// `bit_rate` is the *data* rate; the oscillator runs at whatever the
+/// config's control current dictates, so frequency offset experiments fall
+/// out naturally.
+///
+/// # Panics
+///
+/// Panics if `bits` is shorter than 16 bits.
+pub fn run_cdr(
+    bits: &BitStream,
+    bit_rate: Freq,
+    jitter: &JitterConfig,
+    config: &CdrConfig,
+    seed: u64,
+) -> CdrRunResult {
+    assert!(bits.len() >= 16, "need at least 16 bits");
+    let stream = EdgeStream::synthesize(bits, bit_rate, jitter, seed);
+    let mut sim = Simulator::new(seed ^ 0xC0FF_EE00);
+    let handles = build_cdr(&mut sim, "cdr", config);
+    sim.probe(handles.ed.ddin);
+    sim.probe(handles.clock);
+
+    // Lead-in: give the line one UI of idle before the pattern.
+    let lead = bit_rate.period();
+    let changes: Vec<(Time, bool)> = stream
+        .edges()
+        .iter()
+        .map(|e| (e.time + lead, e.rising))
+        .collect();
+    if stream.initial_level() {
+        sim.set_after(handles.ed.din, true, Time::FEMTOSECOND);
+    }
+    sim.drive(handles.ed.din, &changes);
+    sim.run_until(stream.duration() + lead + bit_rate.period() * 4);
+
+    // Eye: data transitions at the sampler input vs recovered clock edges.
+    let mut eye = DigitalEye::new(bit_rate, 256);
+    let clock_trace = sim.trace(handles.clock).unwrap();
+    let data_trace = sim.trace(handles.ed.ddin).unwrap();
+    for t in clock_trace.rising_edges() {
+        eye.add_clock_edge(t);
+    }
+    for &(t, _) in data_trace.changes() {
+        eye.add_data_transition(t);
+    }
+
+    let recovered: BitStream = handles.samples.bits().into_iter().collect();
+    let (alignment, errors, compared) = align_and_count(bits, &recovered);
+
+    CdrRunResult {
+        sent: bits.clone(),
+        recovered,
+        errors,
+        compared,
+        alignment,
+        eye,
+    }
+}
+
+/// Finds the initial alignment of `recovered` against `sent` and counts
+/// mismatches with BERT-style sliding resynchronization: the comparison
+/// proceeds in 64-bit windows and may shift the alignment by ±2 bits
+/// between windows when that clearly reduces the error count. A bit slip
+/// therefore costs one error burst (plus the slipped bit), not 50 % of
+/// everything after it — which is how lab bit-error testers behave.
+///
+/// Returns `(initial alignment, errors, bits compared)`.
+fn align_and_count(sent: &BitStream, recovered: &BitStream) -> (usize, usize, usize) {
+    let s = sent.bits();
+    let r = recovered.bits();
+    if r.is_empty() {
+        return (0, s.len(), s.len());
+    }
+    // Initial alignment over the first 64 bits: the recovered stream
+    // usually leads with a few idle bits (the clock free-runs before data
+    // arrives), so offsets shift into the recovered stream; negative
+    // offsets (pipeline swallowing leading bits) are folded in as well.
+    let probe = 64.min(s.len()).min(r.len());
+    let mut init: isize = 0;
+    let mut best_err = usize::MAX;
+    for offset in -4i64..=7 {
+        let errors = (0..probe)
+            .filter(|&i| {
+                let ri = i as i64 + offset;
+                ri < 0
+                    || ri as usize >= r.len()
+                    || r[ri as usize] != s[i]
+            })
+            .count();
+        if errors < best_err {
+            best_err = errors;
+            init = offset as isize;
+        }
+    }
+
+    const WINDOW: usize = 64;
+    let mut offset = init;
+    let mut errors = 0usize;
+    let mut compared = 0usize;
+    let mut i = 0usize;
+    while i < s.len() {
+        let window = WINDOW.min(s.len() - i);
+        let count = |off: isize| -> (usize, usize) {
+            let mut err = 0;
+            let mut n = 0;
+            #[allow(clippy::needless_range_loop)]
+            for j in i..i + window {
+                let ri = j as isize + off;
+                if ri < 0 || ri as usize >= r.len() {
+                    continue;
+                }
+                n += 1;
+                if r[ri as usize] != s[j] {
+                    err += 1;
+                }
+            }
+            (err, n)
+        };
+        let (base_err, base_n) = count(offset);
+        // Resync only on a clearly broken window.
+        let mut chosen = (offset, base_err, base_n);
+        if base_n > 0 && base_err * 4 >= base_n {
+            for delta in [-2isize, -1, 1, 2] {
+                let (e, n) = count(offset + delta);
+                if n > 0 && e + 2 < chosen.1 {
+                    // A realignment implies at least one real slip error.
+                    chosen = (offset + delta, e + 1, n);
+                }
+            }
+        }
+        offset = chosen.0;
+        errors += chosen.1;
+        compared += chosen.2;
+        i += window;
+    }
+    (init.max(0) as usize, errors, compared)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcco_signal::{Prbs, PrbsOrder};
+    use gcco_units::Ui;
+
+    fn rate() -> Freq {
+        Freq::from_gbps(2.5)
+    }
+
+    #[test]
+    fn clean_recovery_is_error_free() {
+        let bits = Prbs::new(PrbsOrder::P7).take_bits(2000);
+        let result = run_cdr(&bits, rate(), &JitterConfig::none(), &CdrConfig::paper(), 1);
+        assert!(result.compared > 1900, "compared {}", result.compared);
+        assert_eq!(result.errors, 0, "{result}");
+    }
+
+    #[test]
+    fn moderate_jitter_still_error_free() {
+        // DJ+RJ well inside the eye: the gated oscillator retimes on every
+        // transition, so this must run clean.
+        let bits = Prbs::new(PrbsOrder::P7).take_bits(2000);
+        let jitter = JitterConfig {
+            dj_pp: Ui::new(0.2),
+            rj_rms: Ui::new(0.01),
+            ..JitterConfig::none()
+        };
+        let result = run_cdr(&bits, rate(), &jitter, &CdrConfig::paper(), 3);
+        assert_eq!(result.errors, 0, "{result}");
+    }
+
+    #[test]
+    fn small_frequency_offset_is_tolerated() {
+        // ±1 % offset with CID ≤ 7 accumulates ≤ 0.07 UI — far inside the
+        // eye (the paper's FTOL claim).
+        for offset in [-0.01, 0.01] {
+            let bits = Prbs::new(PrbsOrder::P7).take_bits(2000);
+            let config = CdrConfig::paper().with_freq_offset(offset);
+            let result = run_cdr(&bits, rate(), &JitterConfig::none(), &config, 5);
+            assert_eq!(result.errors, 0, "offset {offset}: {result}");
+        }
+    }
+
+    #[test]
+    fn huge_frequency_offset_breaks_the_link() {
+        let bits = Prbs::new(PrbsOrder::P7).take_bits(2000);
+        let config = CdrConfig::paper().with_freq_offset(-0.12);
+        let result = run_cdr(&bits, rate(), &JitterConfig::none(), &config, 5);
+        assert!(result.ber() > 1e-3, "{result}");
+    }
+
+    #[test]
+    fn eye_has_narrow_left_edge_and_open_centre() {
+        let bits = Prbs::new(PrbsOrder::P7).take_bits(3000);
+        let jitter = JitterConfig {
+            rj_rms: Ui::new(0.02),
+            ..JitterConfig::none()
+        };
+        let mut result = run_cdr(&bits, rate(), &jitter, &CdrConfig::paper(), 9);
+        assert!(result.eye.opening().value() > 0.3, "eye {}", result.eye.opening());
+        // Left edge (retimed) tighter than overall: spread near phase 0.
+        let left = result.eye.edge_spread(0.0).expect("transitions exist");
+        assert!(left.value() < 0.1, "left spread {left}");
+    }
+
+    #[test]
+    fn improved_tap_samples_earlier() {
+        // With a slow oscillator the improved tap must win (Figs. 14/16).
+        let bits = Prbs::new(PrbsOrder::P7).take_bits(4000);
+        let jitter = JitterConfig {
+            rj_rms: Ui::new(0.02),
+            ..JitterConfig::none()
+        };
+        let std_cfg = CdrConfig::paper().with_freq_offset(-0.05);
+        let imp_cfg = std_cfg.clone().with_tap(SamplingTap::Improved);
+        let std_result = run_cdr(&bits, rate(), &jitter, &std_cfg, 11);
+        let imp_result = run_cdr(&bits, rate(), &jitter, &imp_cfg, 11);
+        assert!(
+            imp_result.errors <= std_result.errors,
+            "improved {} vs standard {}",
+            imp_result,
+            std_result
+        );
+    }
+
+    #[test]
+    fn tau_outside_window_degrades_lock() {
+        // Fig. 13: τ ≤ T/2 releases the ring before the freeze wavefront
+        // has reached the fourth stage, so the resynchronization lands a
+        // stage late (or not at all) — visible as a squeezed eye and, under
+        // stress, as errors the safe τ = 0.75·T design does not make.
+        let bits = Prbs::new(PrbsOrder::P7).take_bits(6000);
+        let jitter = JitterConfig {
+            rj_rms: Ui::new(0.04),
+            ..JitterConfig::none()
+        };
+        // Detuned oscillator so resync precision actually matters.
+        let good = CdrConfig::paper().with_freq_offset(-0.02).with_delay_cells(6);
+        let bad = CdrConfig::paper().with_freq_offset(-0.02).with_delay_cells(3);
+        let good_result = run_cdr(&bits, rate(), &jitter, &good, 13);
+        let bad_result = run_cdr(&bits, rate(), &jitter, &bad, 13);
+        assert_eq!(good_result.errors, 0, "τ = 0.75·T must be clean: {good_result}");
+        assert!(
+            bad_result.errors > 100,
+            "τ = 3T/8 ≤ T/2 must mis-synchronize: {bad_result}"
+        );
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let bits = Prbs::new(PrbsOrder::P7).take_bits(500);
+        let jitter = JitterConfig::table1();
+        let a = run_cdr(&bits, rate(), &jitter, &CdrConfig::paper(), 17);
+        let b = run_cdr(&bits, rate(), &jitter, &CdrConfig::paper(), 17);
+        assert_eq!(a.recovered, b.recovered);
+        assert_eq!(a.errors, b.errors);
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = CdrConfig::paper().with_freq_offset(-0.05);
+        assert!((c.osc_frequency().ghz() - 2.375).abs() < 1e-9);
+        let c2 = c.with_delay_cells(5).with_cell_jitter(0.01);
+        assert_eq!(c2.delay_cells, 5);
+        assert_eq!(c2.cell_jitter_sigma, 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 16 bits")]
+    fn short_input_rejected() {
+        let bits: BitStream = "1010".parse().unwrap();
+        let _ = run_cdr(&bits, rate(), &JitterConfig::none(), &CdrConfig::paper(), 0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Edge detector: delay line + XOR (paper §2.2, Fig. 7).
+
+use gcco_dsim::{GateFunc, LogicGate, SignalId, Simulator};
+use gcco_units::Time;
+
+/// Signal handles of a built [`EdgeDetector`].
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeDetectorHandles {
+    /// The raw data input the detector watches.
+    pub din: SignalId,
+    /// Delayed data (`DDIN`) — this, not `din`, feeds the sampler, so the
+    /// delay line's own delay and jitter cancel out of the sampling
+    /// precision (§2.2).
+    pub ddin: SignalId,
+    /// Edge-detect output (`EDET`): normally high, pulses low for the
+    /// delay-line duration τ after every data transition. Drives the
+    /// oscillator's gating input.
+    pub edet: SignalId,
+}
+
+/// Builder for the delay-line + XOR edge detector.
+///
+/// `EDET = XNOR(DIN, delayed DIN)` goes low for τ after each transition;
+/// `DDIN` is the delayed data re-timed through a dummy gate that matches
+/// the XOR's propagation delay (the paper's dummy-gate compensation).
+///
+/// The delay line is `n_cells` identical CML cells of `cell_delay` each, so
+/// `τ = n_cells·cell_delay`. Reliable gating requires `T/2 < τ < T`
+/// (paper §3.3a, Fig. 13) — with `cell_delay = T/8` that means
+/// 5–7 cells; the paper-default is 6 (τ = 0.75·T).
+///
+/// # Examples
+///
+/// ```
+/// use gcco_core::EdgeDetector;
+/// use gcco_dsim::Simulator;
+/// use gcco_units::Time;
+///
+/// let mut sim = Simulator::new(0);
+/// let ed = EdgeDetector::new("ed", 6, Time::from_ps(50.0)).build(&mut sim);
+/// sim.probe(ed.edet);
+/// sim.set_after(ed.din, true, Time::from_ns(1.0));
+/// sim.run_until(Time::from_ns(2.0));
+/// // EDET pulses low for τ = 300 ps (plus the XOR delay offset).
+/// let trace = sim.trace(ed.edet).unwrap();
+/// assert_eq!(trace.falling_edges().len(), 1);
+/// assert_eq!(trace.rising_edges().len(), 1);
+/// let width = trace.rising_edges()[0] - trace.falling_edges()[0];
+/// assert_eq!(width, Time::from_ps(300.0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct EdgeDetector {
+    name: String,
+    n_cells: u32,
+    cell_delay: Time,
+    xor_delay: Time,
+    jitter_sigma: f64,
+    dummy_compensation: bool,
+}
+
+impl EdgeDetector {
+    /// Creates a builder with `n_cells` delay cells of `cell_delay` each.
+    /// The XOR/dummy gate delay defaults to one cell delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cells` is zero or `cell_delay` is not positive.
+    pub fn new(name: impl Into<String>, n_cells: u32, cell_delay: Time) -> EdgeDetector {
+        assert!(n_cells >= 1, "need at least one delay cell");
+        assert!(cell_delay > Time::ZERO, "cell delay must be positive");
+        EdgeDetector {
+            name: name.into(),
+            n_cells,
+            cell_delay,
+            xor_delay: cell_delay,
+            jitter_sigma: 0.0,
+            dummy_compensation: true,
+        }
+    }
+
+    /// Disables the dummy gate that matches the XOR delay on the data
+    /// path (ablation of the paper's §2.2 compensation: without it the
+    /// sampling point sits one XOR delay early relative to the data).
+    pub fn without_dummy_compensation(mut self) -> EdgeDetector {
+        self.dummy_compensation = false;
+        self
+    }
+
+    /// Enables relative Gaussian delay jitter on every cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ sigma < 0.3`.
+    pub fn with_jitter(mut self, sigma: f64) -> EdgeDetector {
+        assert!((0.0..0.3).contains(&sigma), "sigma {sigma} out of range");
+        self.jitter_sigma = sigma;
+        self
+    }
+
+    /// Overrides the XOR (and matching dummy) gate delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delay is not positive.
+    pub fn with_xor_delay(mut self, delay: Time) -> EdgeDetector {
+        assert!(delay > Time::ZERO, "XOR delay must be positive");
+        self.xor_delay = delay;
+        self
+    }
+
+    /// The nominal delay-line delay τ.
+    pub fn tau(&self) -> Time {
+        self.cell_delay * self.n_cells as i64
+    }
+
+    /// Instantiates the detector, creating its own `din` input signal.
+    pub fn build(&self, sim: &mut Simulator) -> EdgeDetectorHandles {
+        let din = sim.add_signal(format!("{}.din", self.name), false);
+        self.build_on(sim, din)
+    }
+
+    /// Instantiates the detector on an existing data signal.
+    pub fn build_on(&self, sim: &mut Simulator, din: SignalId) -> EdgeDetectorHandles {
+        let n = &self.name;
+        let mut prev = din;
+        for i in 0..self.n_cells {
+            let out = sim.add_signal(format!("{n}.dl{i}"), false);
+            sim.add_component(
+                LogicGate::new(format!("{n}.cell{i}"), GateFunc::Buf, vec![prev], out, self.cell_delay)
+                    .with_jitter(self.jitter_sigma),
+            );
+            prev = out;
+        }
+        let edet = sim.add_signal(format!("{n}.edet"), true);
+        sim.add_component(
+            LogicGate::new(
+                format!("{n}.xnor"),
+                GateFunc::Xnor2,
+                vec![din, prev],
+                edet,
+                self.xor_delay,
+            )
+            .with_jitter(self.jitter_sigma),
+        );
+        // Dummy gate compensating the XOR delay on the data path; the
+        // ablated variant re-times through a token 1 fs buffer instead, so
+        // DDIN leads EDET by one XOR delay — the skew the paper's dummy
+        // gates exist to remove.
+        let ddin = sim.add_signal(format!("{n}.ddin"), false);
+        let dummy_delay = if self.dummy_compensation {
+            self.xor_delay
+        } else {
+            Time::FEMTOSECOND
+        };
+        sim.add_component(
+            LogicGate::new(format!("{n}.dummy"), GateFunc::Buf, vec![prev], ddin, dummy_delay)
+                .with_jitter(if self.dummy_compensation { self.jitter_sigma } else { 0.0 }),
+        );
+        EdgeDetectorHandles { din, ddin, edet }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector(cells: u32) -> EdgeDetector {
+        EdgeDetector::new("ed", cells, Time::from_ps(50.0))
+    }
+
+    #[test]
+    fn pulse_width_equals_tau() {
+        for cells in [4, 6, 7] {
+            let mut sim = Simulator::new(0);
+            let ed = detector(cells).build(&mut sim);
+            sim.probe(ed.edet);
+            sim.set_after(ed.din, true, Time::from_ns(1.0));
+            sim.set_after(ed.din, false, Time::from_ns(3.0));
+            sim.run_until(Time::from_ns(5.0));
+            let trace = sim.trace(ed.edet).unwrap();
+            assert_eq!(trace.falling_edges().len(), 2, "{cells} cells");
+            for (fall, rise) in trace.falling_edges().iter().zip(trace.rising_edges()) {
+                assert_eq!(rise - *fall, Time::from_ps(50.0) * cells as i64);
+            }
+        }
+    }
+
+    #[test]
+    fn ddin_is_delayed_but_clean() {
+        let mut sim = Simulator::new(0);
+        let ed = detector(6).build(&mut sim);
+        sim.probe(ed.ddin);
+        sim.set_after(ed.din, true, Time::from_ns(1.0));
+        sim.run_until(Time::from_ns(2.0));
+        let trace = sim.trace(ed.ddin).unwrap();
+        // τ (300 ps) + dummy (50 ps) after the input edge.
+        assert_eq!(trace.rising_edges(), vec![Time::from_ns(1.0) + Time::from_ps(350.0)]);
+    }
+
+    #[test]
+    fn edet_and_ddin_alignment() {
+        // The EDET rising edge (release) and the DDIN transition are offset
+        // by exactly the dummy-vs-XOR delay matching: both pass one
+        // xor-delay gate after the delay line, so they coincide.
+        let mut sim = Simulator::new(0);
+        let ed = detector(6).build(&mut sim);
+        sim.probe(ed.edet);
+        sim.probe(ed.ddin);
+        sim.set_after(ed.din, true, Time::from_ns(1.0));
+        sim.run_until(Time::from_ns(2.0));
+        let edet_rise = sim.trace(ed.edet).unwrap().rising_edges()[0];
+        let ddin_rise = sim.trace(ed.ddin).unwrap().rising_edges()[0];
+        assert_eq!(edet_rise, ddin_rise, "dummy-gate compensation");
+    }
+
+    #[test]
+    fn no_pulse_without_transition() {
+        let mut sim = Simulator::new(0);
+        let ed = detector(6).build(&mut sim);
+        sim.probe(ed.edet);
+        sim.run_until(Time::from_ns(3.0));
+        assert!(sim.trace(ed.edet).unwrap().is_empty());
+        assert!(sim.value(ed.edet), "EDET idles high");
+    }
+
+    #[test]
+    fn fast_toggling_interleaves_pulses() {
+        // Data toggling every 200 ps against τ = 300 ps: the XNOR compares
+        // the live data with a 300 ps-old copy, so the low intervals
+        // interleave — EDET: ↓1050 ↑1250 ↓1350 ↑1450 ↓1550 ↑1750 ps.
+        let mut sim = Simulator::new(0);
+        let ed = detector(6).build(&mut sim); // τ = 300 ps
+        sim.probe(ed.edet);
+        sim.drive(
+            ed.din,
+            &[
+                (Time::from_ps(1000.0), true),
+                (Time::from_ps(1200.0), false),
+                (Time::from_ps(1400.0), true),
+            ],
+        );
+        sim.run_until(Time::from_ns(3.0));
+        let trace = sim.trace(ed.edet).unwrap();
+        assert_eq!(
+            trace.falling_edges(),
+            vec![
+                Time::from_ps(1050.0),
+                Time::from_ps(1350.0),
+                Time::from_ps(1550.0)
+            ]
+        );
+        assert_eq!(
+            trace.rising_edges(),
+            vec![
+                Time::from_ps(1250.0),
+                Time::from_ps(1450.0),
+                Time::from_ps(1750.0)
+            ]
+        );
+        assert!(sim.value(ed.edet), "EDET returns high after the burst");
+    }
+
+    #[test]
+    fn ablated_dummy_skews_ddin_early() {
+        let mut sim = Simulator::new(0);
+        let ed = detector(6).without_dummy_compensation().build(&mut sim);
+        sim.probe(ed.edet);
+        sim.probe(ed.ddin);
+        sim.set_after(ed.din, true, Time::from_ns(1.0));
+        sim.run_until(Time::from_ns(2.0));
+        let edet_rise = sim.trace(ed.edet).unwrap().rising_edges()[0];
+        let ddin_rise = sim.trace(ed.ddin).unwrap().rising_edges()[0];
+        // Without the dummy, DDIN leads EDET by the XOR delay (50 ps).
+        assert_eq!(edet_rise - ddin_rise, Time::from_ps(50.0) - Time::FEMTOSECOND);
+    }
+
+    #[test]
+    fn tau_accessor() {
+        assert_eq!(detector(6).tau(), Time::from_ps(300.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one delay cell")]
+    fn zero_cells_rejected() {
+        let _ = EdgeDetector::new("ed", 0, Time::from_ps(50.0));
+    }
+}

@@ -1,0 +1,320 @@
+//! Elastic buffer: recovered-clock to system-clock domain crossing
+//! (paper §2.1, Fig. 4).
+
+use gcco_units::{Freq, Time};
+use std::fmt;
+
+/// Outcome of an elastic-buffer simulation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ElasticRunResult {
+    /// Words written (one per recovered-clock edge).
+    pub written: usize,
+    /// Words read (one per system-clock edge once primed).
+    pub read: usize,
+    /// Minimum occupancy observed after priming.
+    pub min_occupancy: isize,
+    /// Maximum occupancy observed.
+    pub max_occupancy: isize,
+    /// First overflow time, if any.
+    pub overflow_at: Option<Time>,
+    /// First underflow time, if any.
+    pub underflow_at: Option<Time>,
+}
+
+impl ElasticRunResult {
+    /// `true` when no overflow or underflow occurred.
+    pub fn ok(&self) -> bool {
+        self.overflow_at.is_none() && self.underflow_at.is_none()
+    }
+}
+
+impl fmt::Display for ElasticRunResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "elastic: occ [{}, {}], {}",
+            self.min_occupancy,
+            self.max_occupancy,
+            if self.ok() { "ok" } else { "FAILED" }
+        )
+    }
+}
+
+/// A depth-bounded FIFO crossing from the recovered clock domain into the
+/// system clock domain.
+///
+/// Writes happen at explicit recovered-clock edge times; reads happen at a
+/// fixed system-clock rate after the buffer has been primed to half depth
+/// (the standard centring strategy). The interesting question — the one
+/// the paper's Fig. 4 architecture poses — is how much depth a given
+/// frequency-offset budget (±100 ppm, §2.3) requires before over/underflow.
+///
+/// # Examples
+///
+/// ```
+/// use gcco_core::ElasticBuffer;
+/// use gcco_units::{Freq, Time};
+///
+/// let buffer = ElasticBuffer::new(8);
+/// // Matched rates: 10k writes at exactly the read rate.
+/// let writes: Vec<Time> = (1..10_000)
+///     .map(|k| Time::from_ps(400.0) * k).collect();
+/// let result = buffer.run(&writes, Freq::from_gbps(2.5));
+/// assert!(result.ok());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ElasticBuffer {
+    depth: usize,
+}
+
+impl ElasticBuffer {
+    /// Creates a buffer of the given word depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth < 2`.
+    pub fn new(depth: usize) -> ElasticBuffer {
+        assert!(depth >= 2, "depth must be at least 2");
+        ElasticBuffer { depth }
+    }
+
+    /// The configured depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Simulates the buffer: `write_times` are the recovered-clock edges
+    /// (sorted); reads run at `read_rate` starting once the buffer holds
+    /// `depth/2` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `write_times` is not sorted.
+    pub fn run(&self, write_times: &[Time], read_rate: Freq) -> ElasticRunResult {
+        assert!(
+            write_times.windows(2).all(|w| w[0] <= w[1]),
+            "write times must be sorted"
+        );
+        let read_period = read_rate.period();
+        let prime = self.depth / 2;
+        let mut result = ElasticRunResult {
+            written: 0,
+            read: 0,
+            min_occupancy: isize::MAX,
+            max_occupancy: isize::MIN,
+            overflow_at: None,
+            underflow_at: None,
+        };
+        let mut occupancy: isize = 0;
+        let mut next_read: Option<Time> = None;
+        let mut w = 0usize;
+
+        // Event-merge the write stream with the synthetic read stream.
+        loop {
+            let write_t = write_times.get(w).copied();
+            let read_t = next_read;
+            let (t, is_write) = match (write_t, read_t) {
+                (None, None) => break,
+                (Some(wt), None) => (wt, true),
+                // The write stream has ended: the crossing's steady state
+                // is over, stop instead of recording an artificial drain.
+                (None, Some(_)) => break,
+                (Some(wt), Some(rt)) => {
+                    if wt <= rt {
+                        (wt, true)
+                    } else {
+                        (rt, false)
+                    }
+                }
+            };
+            if is_write {
+                w += 1;
+                occupancy += 1;
+                result.written += 1;
+                if occupancy > self.depth as isize && result.overflow_at.is_none() {
+                    result.overflow_at = Some(t);
+                }
+                if next_read.is_none() && occupancy >= prime as isize {
+                    next_read = Some(t + read_period);
+                }
+            } else {
+                occupancy -= 1;
+                result.read += 1;
+                next_read = Some(t + read_period);
+                if occupancy < 0 && result.underflow_at.is_none() {
+                    result.underflow_at = Some(t);
+                }
+            }
+            if next_read.is_some() {
+                result.min_occupancy = result.min_occupancy.min(occupancy);
+                result.max_occupancy = result.max_occupancy.max(occupancy);
+            }
+        }
+        if result.min_occupancy == isize::MAX {
+            result.min_occupancy = 0;
+            result.max_occupancy = occupancy;
+        }
+        result
+    }
+
+    /// Simulates a constant-rate write stream with a relative frequency
+    /// offset (`+100e-6` = writes 100 ppm fast) over `n_bits` bits.
+    pub fn run_with_offset(
+        &self,
+        read_rate: Freq,
+        offset: f64,
+        n_bits: usize,
+    ) -> ElasticRunResult {
+        let write_period = read_rate.with_offset_frac(offset).period();
+        let writes: Vec<Time> = (1..=n_bits as i64).map(|k| write_period * k).collect();
+        self.run(&writes, read_rate)
+    }
+
+    /// Simulates the buffer with **re-centring**: every `packet_bits`
+    /// writes, the link's idle/skip symbols let the buffer re-prime to half
+    /// depth (the SKP-ordered-set mechanism of real link protocols). Drift
+    /// therefore accumulates only within a packet.
+    pub fn run_with_recentring(
+        &self,
+        read_rate: Freq,
+        offset: f64,
+        n_bits: usize,
+        packet_bits: usize,
+    ) -> ElasticRunResult {
+        assert!(packet_bits >= 1, "empty packets");
+        let mut total = ElasticRunResult {
+            written: 0,
+            read: 0,
+            min_occupancy: isize::MAX,
+            max_occupancy: isize::MIN,
+            overflow_at: None,
+            underflow_at: None,
+        };
+        let mut remaining = n_bits;
+        while remaining > 0 {
+            let chunk = remaining.min(packet_bits);
+            remaining -= chunk;
+            let r = self.run_with_offset(read_rate, offset, chunk);
+            total.written += r.written;
+            total.read += r.read;
+            total.min_occupancy = total.min_occupancy.min(r.min_occupancy);
+            total.max_occupancy = total.max_occupancy.max(r.max_occupancy);
+            total.overflow_at = total.overflow_at.or(r.overflow_at);
+            total.underflow_at = total.underflow_at.or(r.underflow_at);
+        }
+        total
+    }
+
+    /// The smallest depth that survives `n_bits` at the given |offset|
+    /// (both signs tested). Linear search — depths are small.
+    pub fn min_depth_for(read_rate: Freq, offset: f64, n_bits: usize) -> usize {
+        for depth in 2..=4096 {
+            let buffer = ElasticBuffer::new(depth);
+            if buffer.run_with_offset(read_rate, offset, n_bits).ok()
+                && buffer.run_with_offset(read_rate, -offset, n_bits).ok()
+            {
+                return depth;
+            }
+        }
+        4096
+    }
+}
+
+impl fmt::Display for ElasticBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ElasticBuffer(depth {})", self.depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rate() -> Freq {
+        Freq::from_gbps(2.5)
+    }
+
+    #[test]
+    fn matched_rates_hold_occupancy() {
+        let result = ElasticBuffer::new(8).run_with_offset(rate(), 0.0, 50_000);
+        assert!(result.ok(), "{result}");
+        // Occupancy stays pinned around the priming level.
+        assert!(result.max_occupancy - result.min_occupancy <= 2, "{result}");
+    }
+
+    #[test]
+    fn fast_writer_fills_slow_writer_drains() {
+        let fast = ElasticBuffer::new(8).run_with_offset(rate(), 500e-6, 50_000);
+        assert!(fast.max_occupancy > fast.min_occupancy + 2, "{fast}");
+        let slow = ElasticBuffer::new(8).run_with_offset(rate(), -500e-6, 50_000);
+        assert!(slow.min_occupancy <= 3, "{slow}");
+    }
+
+    #[test]
+    fn overflow_and_underflow_detection() {
+        // Gross offsets with a tiny buffer must fail fast.
+        let over = ElasticBuffer::new(4).run_with_offset(rate(), 0.01, 10_000);
+        assert!(over.overflow_at.is_some(), "{over}");
+        let under = ElasticBuffer::new(4).run_with_offset(rate(), -0.01, 10_000);
+        assert!(under.underflow_at.is_some(), "{under}");
+    }
+
+    #[test]
+    fn hundred_ppm_survives_with_paper_depth() {
+        // §2.3: ±100 ppm over a typical 10 kbit packet: drift = 1 bit.
+        let result = ElasticBuffer::new(8).run_with_offset(rate(), 100e-6, 10_000);
+        assert!(result.ok(), "{result}");
+    }
+
+    #[test]
+    fn min_depth_scales_with_drift() {
+        let d_small = ElasticBuffer::min_depth_for(rate(), 100e-6, 10_000);
+        let d_large = ElasticBuffer::min_depth_for(rate(), 100e-6, 100_000);
+        assert!(d_small >= 2);
+        assert!(
+            d_large > d_small,
+            "10x the packet: {d_small} → {d_large}"
+        );
+        // 100 ppm × 100k bits = 10 bits of drift; need roughly 2×10+slack.
+        assert!((16..=40).contains(&d_large), "{d_large}");
+    }
+
+    #[test]
+    fn recentring_bounds_the_required_depth() {
+        // 1M bits at 100 ppm: without re-centring the drift is 100 bits;
+        // with 10k-bit packets a depth-8 buffer survives indefinitely.
+        let without = ElasticBuffer::new(8).run_with_offset(rate(), 100e-6, 1_000_000);
+        assert!(!without.ok(), "{without}");
+        let with = ElasticBuffer::new(8).run_with_recentring(rate(), 100e-6, 1_000_000, 10_000);
+        assert!(with.ok(), "{with}");
+        assert_eq!(with.written, 1_000_000);
+    }
+
+    #[test]
+    fn jittery_writes_within_budget_are_fine() {
+        // Writes with bounded jitter but matched mean rate.
+        let writes: Vec<Time> = (1..20_000i64)
+            .map(|k| {
+                Time::from_ps(400.0) * k
+                    + Time::from_ps(if k % 3 == 0 { 80.0 } else { -60.0 })
+            })
+            .collect();
+        let result = ElasticBuffer::new(8).run(&writes, rate());
+        assert!(result.ok(), "{result}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_writes_rejected() {
+        let _ = ElasticBuffer::new(4).run(
+            &[Time::from_ps(200.0), Time::from_ps(100.0)],
+            rate(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_depth_rejected() {
+        let _ = ElasticBuffer::new(1);
+    }
+}

@@ -1,0 +1,340 @@
+//! The gated current-controlled oscillator (paper §2.2, Figs. 7/8/12/15).
+
+use gcco_dsim::{GateFunc, LogicGate, SignalId, Simulator};
+use gcco_stat::SamplingTap;
+use gcco_units::{Current, Freq, Time};
+use std::fmt;
+
+/// Electrical parameters of the current-controlled oscillator, mirroring
+/// the generics of the paper's VHDL entity (Fig. 12):
+///
+/// ```vhdl
+/// cdr_gcco_k:  real;     -- CCO gain [Hz/A]
+/// cdr_gcco_fc: real;     -- Free-running frequency [Hz]
+/// cdr_gcco_cc0: voltage; -- Control current mid-point
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CcoParams {
+    /// Conversion gain in Hz per ampere of control current.
+    pub gain_hz_per_amp: f64,
+    /// Free-running frequency at the mid-point control current.
+    pub free_running: Freq,
+    /// Control-current mid-point.
+    pub i_mid: Current,
+}
+
+impl CcoParams {
+    /// The paper's operating point: 2.5 GHz free-running, and a gain such
+    /// that ±100 µA of control range sweeps ±10 % of frequency.
+    pub fn paper() -> CcoParams {
+        CcoParams {
+            gain_hz_per_amp: 2.5e9 * 0.1 / 100e-6,
+            free_running: Freq::from_ghz(2.5),
+            i_mid: Current::from_microamps(200.0),
+        }
+    }
+
+    /// Oscillation frequency at the given control current:
+    /// `f = f_c + K·(I − I₀)`, clamped at 1 % of `f_c` to keep the model
+    /// out of unphysical territory.
+    pub fn frequency_at(&self, control: Current) -> Freq {
+        let f = self.free_running.hz()
+            + self.gain_hz_per_amp * (control.amps() - self.i_mid.amps());
+        Freq::from_hz(f.max(self.free_running.hz() * 0.01))
+    }
+
+    /// The control current that produces frequency `f` (inverse of
+    /// [`CcoParams::frequency_at`]).
+    pub fn control_for(&self, f: Freq) -> Current {
+        Current::from_amps(self.i_mid.amps() + (f.hz() - self.free_running.hz()) / self.gain_hz_per_amp)
+    }
+
+    /// Per-stage delay of the four-stage ring at the given control
+    /// current: `t_d = 1/(8·f)` — the paper's VHDL `delay0` law.
+    pub fn stage_delay_at(&self, control: Current) -> Time {
+        Time::from_secs(1.0 / (8.0 * self.frequency_at(control).hz()))
+    }
+}
+
+impl Default for CcoParams {
+    fn default() -> CcoParams {
+        CcoParams::paper()
+    }
+}
+
+impl fmt::Display for CcoParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CCO(f_c {}, K {:.3e} Hz/A, I₀ {})",
+            self.free_running, self.gain_hz_per_amp, self.i_mid
+        )
+    }
+}
+
+/// Signal handles of a built [`GatedOscillator`].
+#[derive(Clone, Copy, Debug)]
+pub struct GccoHandles {
+    /// Gating input (active-low freeze): the edge detector's `EDET`.
+    pub trigger: SignalId,
+    /// Enable input (high = run).
+    pub enable: SignalId,
+    /// Ring-stage outputs `v1..v4`.
+    pub stages: [SignalId; 4],
+    /// Standard recovered clock (Fig. 7): complement of the fourth stage;
+    /// rises T/2 after a resynchronizing release.
+    pub ck_standard: SignalId,
+    /// Improved recovered clock (Fig. 15): taken one stage earlier, so the
+    /// sampling instant moves T/8 *before* the standard point.
+    pub ck_improved: SignalId,
+}
+
+impl GccoHandles {
+    /// The recovered-clock signal for a given tap choice.
+    pub fn clock(&self, tap: SamplingTap) -> SignalId {
+        match tap {
+            SamplingTap::Standard => self.ck_standard,
+            SamplingTap::Improved => self.ck_improved,
+        }
+    }
+}
+
+/// Builder for the gated ring oscillator netlist.
+///
+/// The topology is the paper's Fig. 12 VHDL, gate for gate: stage 1 is the
+/// gating AND (`v1 = v4 ∧ trigger ∧ enable`), stages 2–4 are inverters, and
+/// every stage carries the same transport delay `t_d = 1/(8f)` with
+/// optional relative Gaussian jitter. While `trigger` is low the ring
+/// freezes in the state `(0,1,0,1)`; on the trigger's rising edge the ring
+/// restarts from that state, so the standard clock output rises exactly
+/// `T/2` after the release (Fig. 8).
+///
+/// # Examples
+///
+/// ```
+/// use gcco_core::{CcoParams, GatedOscillator};
+/// use gcco_dsim::Simulator;
+/// use gcco_units::{Current, Time};
+///
+/// let mut sim = Simulator::new(1);
+/// let gcco = GatedOscillator::new("ch0", CcoParams::paper())
+///     .build(&mut sim, Current::from_microamps(200.0));
+/// sim.probe(gcco.ck_standard);
+/// // Leave the trigger high: free oscillation at 2.5 GHz.
+/// sim.run_until(Time::from_ns(40.0));
+/// let rising = sim.trace(gcco.ck_standard).unwrap().rising_edges();
+/// let period = rising[20] - rising[19];
+/// assert_eq!(period, Time::from_ps(400.0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct GatedOscillator {
+    name: String,
+    cco: CcoParams,
+    jitter_sigma: f64,
+}
+
+impl GatedOscillator {
+    /// Creates a builder.
+    pub fn new(name: impl Into<String>, cco: CcoParams) -> GatedOscillator {
+        GatedOscillator {
+            name: name.into(),
+            cco,
+            jitter_sigma: 0.0,
+        }
+    }
+
+    /// Enables per-stage relative delay jitter (the VHDL
+    /// `cdr_gcco_jit_sigma`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ sigma < 0.3`.
+    pub fn with_jitter(mut self, sigma: f64) -> GatedOscillator {
+        assert!((0.0..0.3).contains(&sigma), "sigma {sigma} out of range");
+        self.jitter_sigma = sigma;
+        self
+    }
+
+    /// The CCO parameters.
+    pub fn cco(&self) -> &CcoParams {
+        &self.cco
+    }
+
+    /// Instantiates the oscillator in `sim` biased at `control`, returning
+    /// the signal handles. The ring starts in the frozen state with
+    /// `trigger` and `enable` high (free oscillation begins immediately).
+    pub fn build(&self, sim: &mut Simulator, control: Current) -> GccoHandles {
+        let d = self.cco.stage_delay_at(control);
+        let n = &self.name;
+
+        let trigger = sim.add_signal(format!("{n}.trigger"), true);
+        let enable = sim.add_signal(format!("{n}.enable"), true);
+        // Frozen-state values: one inconsistency at stage 1 launches a
+        // single wavefront on release.
+        let v1 = sim.add_signal(format!("{n}.v1"), false);
+        let v2 = sim.add_signal(format!("{n}.v2"), true);
+        let v3 = sim.add_signal(format!("{n}.v3"), false);
+        let v4 = sim.add_signal(format!("{n}.v4"), true);
+        let ck_standard = sim.add_signal(format!("{n}.ck"), false);
+        let ck_improved = sim.add_signal(format!("{n}.ck_imp"), false);
+
+        let jitter = self.jitter_sigma;
+        let gate = |name: String, func, inputs: Vec<SignalId>, output| {
+            LogicGate::new(name, func, inputs, output, d).with_jitter(jitter)
+        };
+        sim.add_component(gate(
+            format!("{n}.s1"),
+            GateFunc::And3,
+            vec![v4, trigger, enable],
+            v1,
+        ));
+        sim.add_component(gate(format!("{n}.s2"), GateFunc::Inv, vec![v1], v2));
+        sim.add_component(gate(format!("{n}.s3"), GateFunc::Inv, vec![v2], v3));
+        sim.add_component(gate(format!("{n}.s4"), GateFunc::Inv, vec![v3], v4));
+        // Differential complements are free in CML: model them as 1 fs
+        // taps so both clock polarities exist without extra delay.
+        sim.add_component(LogicGate::new(
+            format!("{n}.ckbuf"),
+            GateFunc::Inv,
+            vec![v4],
+            ck_standard,
+            Time::FEMTOSECOND,
+        ));
+        sim.add_component(LogicGate::new(
+            format!("{n}.ckbuf_imp"),
+            GateFunc::Buf,
+            vec![v3],
+            ck_improved,
+            Time::FEMTOSECOND,
+        ));
+
+        GccoHandles {
+            trigger,
+            enable,
+            stages: [v1, v2, v3, v4],
+            ck_standard,
+            ck_improved,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(control_ua: f64) -> (Simulator, GccoHandles) {
+        let mut sim = Simulator::new(7);
+        let g = GatedOscillator::new("osc", CcoParams::paper())
+            .build(&mut sim, Current::from_microamps(control_ua));
+        (sim, g)
+    }
+
+    #[test]
+    fn free_oscillation_at_nominal_frequency() {
+        let (mut sim, g) = build(200.0);
+        sim.probe(g.ck_standard);
+        sim.run_until(Time::from_ns(100.0));
+        let rising = sim.trace(g.ck_standard).unwrap().rising_edges();
+        assert!(rising.len() > 200);
+        let period = rising[100] - rising[99];
+        assert_eq!(period, Time::from_ps(400.0));
+    }
+
+    #[test]
+    fn control_current_steers_frequency() {
+        // +40 µA → +10%·0.4 = +4 % frequency.
+        let (mut sim, g) = build(240.0);
+        sim.probe(g.ck_standard);
+        sim.run_until(Time::from_ns(100.0));
+        let rising = sim.trace(g.ck_standard).unwrap().rising_edges();
+        let period = (rising[100] - rising[50]).secs() / 50.0;
+        let f = 1.0 / period;
+        assert!((f / 2.6e9 - 1.0).abs() < 0.01, "f = {f}");
+    }
+
+    #[test]
+    fn cco_params_inverse() {
+        let cco = CcoParams::paper();
+        let f = Freq::from_ghz(2.375);
+        let i = cco.control_for(f);
+        let back = cco.frequency_at(i);
+        assert!((back / f - 1.0).abs() < 1e-12);
+        assert_eq!(cco.frequency_at(cco.i_mid), cco.free_running);
+    }
+
+    #[test]
+    fn stage_delay_is_eighth_period() {
+        let cco = CcoParams::paper();
+        let d = cco.stage_delay_at(cco.i_mid);
+        assert_eq!(d, Time::from_ps(50.0));
+    }
+
+    #[test]
+    fn freeze_holds_the_ring() {
+        let (mut sim, g) = build(200.0);
+        sim.probe(g.ck_standard);
+        // Freeze after 2 ns, hold for 5 ns.
+        sim.set_after(g.trigger, false, Time::from_ns(2.0));
+        sim.set_after(g.trigger, true, Time::from_ns(7.0));
+        sim.run_until(Time::from_ns(6.9));
+        let edges_before = sim.trace(g.ck_standard).unwrap().len();
+        // Frozen: clock low and static (allow the settle-out wavefront).
+        assert!(!sim.value(g.ck_standard), "frozen clock state is low");
+        sim.run_until(Time::from_ns(6.95));
+        assert_eq!(sim.trace(g.ck_standard).unwrap().len(), edges_before);
+    }
+
+    #[test]
+    fn release_produces_rising_edge_after_half_period() {
+        let (mut sim, g) = build(200.0);
+        sim.probe(g.ck_standard);
+        sim.probe(g.ck_improved);
+        sim.set_after(g.trigger, false, Time::from_ns(2.0));
+        let release = Time::from_ns(5.0);
+        sim.set_after(g.trigger, true, release);
+        sim.run_until(Time::from_ns(8.0));
+        let std_rising = sim.trace(g.ck_standard).unwrap().rising_edges();
+        let first_after = std_rising.iter().find(|&&t| t > release).unwrap();
+        // T/2 = 200 ps after release (+1 fs complement tap).
+        assert_eq!(*first_after - release, Time::from_ps(200.0) + Time::FEMTOSECOND);
+        // Improved clock leads by one stage delay (T/8 = 50 ps).
+        let imp_rising = sim.trace(g.ck_improved).unwrap().rising_edges();
+        let imp_after = imp_rising.iter().find(|&&t| t > release).unwrap();
+        assert_eq!(*first_after - *imp_after, Time::from_ps(50.0));
+    }
+
+    #[test]
+    fn enable_low_kills_oscillation() {
+        let (mut sim, g) = build(200.0);
+        sim.probe(g.ck_standard);
+        sim.set_after(g.enable, false, Time::from_ns(3.0));
+        sim.run_until(Time::from_ns(10.0));
+        let edges = sim.trace(g.ck_standard).unwrap().changes().to_vec();
+        let last = edges.last().unwrap().0;
+        assert!(last < Time::from_ns(4.0), "oscillation must stop: {last:?}");
+    }
+
+    #[test]
+    fn jittered_ring_period_statistics() {
+        let mut sim = Simulator::new(3);
+        let g = GatedOscillator::new("osc", CcoParams::paper())
+            .with_jitter(0.01)
+            .build(&mut sim, Current::from_microamps(200.0));
+        sim.probe(g.ck_standard);
+        sim.run_until(Time::from_us(1.0));
+        let rising = sim.trace(g.ck_standard).unwrap().rising_edges();
+        let periods: Vec<f64> = rising.windows(2).map(|w| (w[1] - w[0]).ps()).collect();
+        let mean = periods.iter().sum::<f64>() / periods.len() as f64;
+        let var = periods.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / periods.len() as f64;
+        assert!((mean - 400.0).abs() < 1.0, "mean {mean}");
+        // Period jitter: 8 stages × (1% of 50 ps)² → σ ≈ √8·0.5 ps ≈ 1.41 ps.
+        let sigma = var.sqrt();
+        assert!((sigma - 1.41).abs() < 0.3, "sigma {sigma}");
+    }
+
+    #[test]
+    fn display() {
+        let s = CcoParams::paper().to_string();
+        assert!(s.contains("2.5GHz"), "{s}");
+    }
+}

@@ -1,0 +1,191 @@
+//! Parallel-bus versus serial-link budget model (paper §1, Fig. 1).
+//!
+//! The paper motivates serial links by the failure modes of parallel
+//! buses: clock skew from unequal trace lengths, crosstalk from large
+//! swings, and the power of rail-to-rail drivers across tens of lanes.
+//! This module turns that qualitative argument into a small quantitative
+//! budget so the Fig. 1 comparison can be regenerated as a table.
+
+use gcco_units::{Freq, Power, Time};
+use std::fmt;
+
+/// A source-synchronous parallel bus.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParallelBus {
+    /// Data lanes (excluding the clock lane).
+    pub lanes: u32,
+    /// Peak-to-peak lane-to-clock skew.
+    pub skew_pp: Time,
+    /// Data-dependent timing noise (crosstalk + ISI + ringing), pk-pk.
+    pub crosstalk_jitter_pp: Time,
+    /// Receiver setup + hold window.
+    pub setup_hold: Time,
+    /// Energy per transition per lane (rail-to-rail driver), joules.
+    pub energy_per_bit: f64,
+}
+
+impl ParallelBus {
+    /// A representative 8-bit PCB bus of the paper's era: 1 ns skew
+    /// budget, 400 ps crosstalk, 500 ps setup+hold, ~30 pF rail-to-rail
+    /// at 3.3 V.
+    pub fn typical_8bit() -> ParallelBus {
+        ParallelBus {
+            lanes: 8,
+            skew_pp: Time::from_ps(1000.0),
+            crosstalk_jitter_pp: Time::from_ps(400.0),
+            setup_hold: Time::from_ps(500.0),
+            energy_per_bit: 0.5 * 30e-12 * 3.3 * 3.3,
+        }
+    }
+
+    /// Maximum per-lane clock rate: the bit period must cover skew +
+    /// crosstalk + the sampling window.
+    pub fn max_lane_rate(&self) -> Freq {
+        let t_min = self.skew_pp + self.crosstalk_jitter_pp + self.setup_hold;
+        Freq::from_period(t_min)
+    }
+
+    /// Aggregate throughput at the skew-limited rate, bits per second.
+    pub fn max_throughput(&self) -> f64 {
+        self.max_lane_rate().hz() * self.lanes as f64
+    }
+
+    /// I/O power at full throughput with 50 % transition density.
+    pub fn io_power(&self) -> Power {
+        Power::from_watts(self.max_throughput() * 0.5 * self.energy_per_bit)
+    }
+}
+
+/// A point-to-point serial link with embedded clock (8b10b + CDR).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SerialLink {
+    /// Line rate (including coding overhead).
+    pub line_rate: Freq,
+    /// Coding efficiency (0.8 for 8b10b).
+    pub coding_efficiency: f64,
+    /// Total link power (driver + receiver + CDR).
+    pub power: Power,
+}
+
+impl SerialLink {
+    /// The paper's link: 2.5 Gbit/s LVDS with 8b10b, budgeted at
+    /// 5 mW/Gbit/s for clock recovery plus ~10 mW of LVDS I/O.
+    pub fn paper_2g5() -> SerialLink {
+        SerialLink {
+            line_rate: Freq::from_gbps(2.5),
+            coding_efficiency: 0.8,
+            power: Power::from_milliwatts(5.0 * 2.5 + 10.0),
+        }
+    }
+
+    /// Payload throughput, bits per second.
+    pub fn payload_throughput(&self) -> f64 {
+        self.line_rate.hz() * self.coding_efficiency
+    }
+}
+
+/// One row of the Fig. 1 comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinkComparison {
+    /// Parallel-bus aggregate throughput (bit/s).
+    pub parallel_throughput: f64,
+    /// Serial payload throughput (bit/s).
+    pub serial_throughput: f64,
+    /// Parallel I/O power.
+    pub parallel_power: Power,
+    /// Serial link power.
+    pub serial_power: Power,
+    /// Serial-vs-parallel throughput ratio.
+    pub speedup: f64,
+    /// Energy efficiency ratio (parallel pJ/bit over serial pJ/bit).
+    pub efficiency_gain: f64,
+}
+
+impl LinkComparison {
+    /// Compares a bus against a serial link.
+    pub fn compare(bus: &ParallelBus, link: &SerialLink) -> LinkComparison {
+        let parallel_throughput = bus.max_throughput();
+        let serial_throughput = link.payload_throughput();
+        let parallel_power = bus.io_power();
+        let serial_power = link.power;
+        let p_eff = parallel_power.watts() / parallel_throughput;
+        let s_eff = serial_power.watts() / serial_throughput;
+        LinkComparison {
+            parallel_throughput,
+            serial_throughput,
+            parallel_power,
+            serial_power,
+            speedup: serial_throughput / parallel_throughput,
+            efficiency_gain: p_eff / s_eff,
+        }
+    }
+}
+
+impl fmt::Display for LinkComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "serial {:.2} Gb/s vs parallel {:.2} Gb/s ({:.1}x), energy gain {:.1}x",
+            self.serial_throughput / 1e9,
+            self.parallel_throughput / 1e9,
+            self.speedup,
+            self.efficiency_gain
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skew_limits_the_bus() {
+        let bus = ParallelBus::typical_8bit();
+        // 1.9 ns minimum period → ~526 MHz per lane.
+        assert!((bus.max_lane_rate().hz() / 526.3e6 - 1.0).abs() < 0.01);
+        assert!((bus.max_throughput() / 4.21e9 - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn halving_skew_raises_rate() {
+        let mut bus = ParallelBus::typical_8bit();
+        let base = bus.max_lane_rate();
+        bus.skew_pp = Time::from_ps(500.0);
+        assert!(bus.max_lane_rate().hz() > base.hz());
+    }
+
+    #[test]
+    fn serial_wins_on_efficiency() {
+        // The paper's core motivation: one 2.5 Gbit/s serial lane carries
+        // ~half the throughput of the whole 8-lane bus at a fraction of
+        // the I/O power.
+        let cmp = LinkComparison::compare(
+            &ParallelBus::typical_8bit(),
+            &SerialLink::paper_2g5(),
+        );
+        assert!(cmp.efficiency_gain > 5.0, "{cmp}");
+        assert!(cmp.serial_throughput > 1.9e9);
+    }
+
+    #[test]
+    fn four_serial_lanes_beat_the_bus_outright() {
+        let bus = ParallelBus::typical_8bit();
+        let four_lanes = 4.0 * SerialLink::paper_2g5().payload_throughput();
+        assert!(four_lanes > bus.max_throughput(), "{four_lanes}");
+    }
+
+    #[test]
+    fn coding_overhead_accounted() {
+        let link = SerialLink::paper_2g5();
+        assert!((link.payload_throughput() - 2.0e9).abs() < 1e6);
+    }
+
+    #[test]
+    fn display() {
+        let cmp = LinkComparison::compare(
+            &ParallelBus::typical_8bit(),
+            &SerialLink::paper_2g5(),
+        );
+        assert!(cmp.to_string().contains("energy gain"));
+    }
+}

@@ -1,0 +1,230 @@
+//! Multi-channel receiver array (paper Figs. 2/6).
+//!
+//! A shared PLL locks to the crystal reference and distributes its control
+//! current to every channel's matched CCO. Each channel sees its own data
+//! stream — same nominal rate (one transmitter reference clock), but
+//! arbitrary skew and its own jitter — and recovers it independently with
+//! a gated oscillator. Channel-to-channel CCO mismatch turns into a small
+//! per-channel frequency offset, which is exactly what the GCCO topology
+//! tolerates (§2.3).
+
+use crate::cdr::{run_cdr, CdrConfig, CdrRunResult};
+use crate::pll::{PllLockResult, SharedPll};
+use gcco_signal::{BitStream, JitterConfig, Prbs, PrbsOrder};
+use gcco_units::{Freq, Time};
+use std::fmt;
+
+/// Per-channel description.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChannelConfig {
+    /// Relative CCO gain/frequency mismatch against the PLL's oscillator
+    /// (e.g. `0.002` = +0.2 %).
+    pub mismatch: f64,
+    /// Channel skew: data arrival delay relative to channel 0.
+    pub skew: Time,
+    /// Input jitter on this channel.
+    pub jitter: JitterConfig,
+}
+
+impl ChannelConfig {
+    /// A nominal channel: no mismatch, no skew, clean input.
+    pub fn nominal() -> ChannelConfig {
+        ChannelConfig {
+            mismatch: 0.0,
+            skew: Time::ZERO,
+            jitter: JitterConfig::none(),
+        }
+    }
+}
+
+/// Result of a multi-channel run.
+#[derive(Debug)]
+pub struct MultiChannelResult {
+    /// The shared PLL's lock diagnostics.
+    pub pll: PllLockResult,
+    /// Per-channel CDR results, in channel order.
+    pub channels: Vec<CdrRunResult>,
+}
+
+impl MultiChannelResult {
+    /// Worst BER across the array.
+    pub fn worst_ber(&self) -> f64 {
+        self.channels.iter().map(|c| c.ber()).fold(0.0, f64::max)
+    }
+
+    /// Total bit errors across the array.
+    pub fn total_errors(&self) -> usize {
+        self.channels.iter().map(|c| c.errors).sum()
+    }
+}
+
+impl fmt::Display for MultiChannelResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} channels, worst BER {:.2e}, PLL {}",
+            self.channels.len(),
+            self.worst_ber(),
+            self.pll
+        )
+    }
+}
+
+/// A multi-channel GCCO receiver.
+///
+/// # Examples
+///
+/// ```
+/// use gcco_core::{ChannelConfig, MultiChannelReceiver};
+///
+/// let mut rx = MultiChannelReceiver::paper(4);
+/// // Give channel 2 a realistic mismatch.
+/// rx.channel_mut(2).mismatch = 0.001;
+/// let result = rx.run(2_000, 42);
+/// assert_eq!(result.total_errors(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MultiChannelReceiver {
+    base: CdrConfig,
+    bit_rate: Freq,
+    channels: Vec<ChannelConfig>,
+}
+
+impl MultiChannelReceiver {
+    /// Creates an `n`-channel receiver with the paper's per-channel CDR
+    /// configuration at 2.5 Gbit/s per channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn paper(n: usize) -> MultiChannelReceiver {
+        assert!(n >= 1, "need at least one channel");
+        MultiChannelReceiver {
+            base: CdrConfig::paper(),
+            bit_rate: Freq::from_gbps(2.5),
+            channels: vec![ChannelConfig::nominal(); n],
+        }
+    }
+
+    /// Number of channels.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Mutable access to one channel's configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn channel_mut(&mut self, index: usize) -> &mut ChannelConfig {
+        &mut self.channels[index]
+    }
+
+    /// Replaces the base CDR configuration applied to every channel.
+    pub fn with_base_config(mut self, base: CdrConfig) -> MultiChannelReceiver {
+        self.base = base;
+        self
+    }
+
+    /// Runs the array: locks the shared PLL, derives each channel's
+    /// control current (with its mismatch), synthesizes a distinct PRBS7
+    /// phase per channel (plus skew) and recovers it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_channel < 16`.
+    pub fn run(&self, bits_per_channel: usize, seed: u64) -> MultiChannelResult {
+        let mut pll = SharedPll::paper();
+        let pll_result = pll.simulate_lock();
+        let control = pll_result.control;
+
+        let channels = self
+            .channels
+            .iter()
+            .enumerate()
+            .map(|(i, ch)| {
+                // Matched CCOs: the shared control current, the channel's
+                // own mismatch folded into its free-running frequency.
+                let mut config = self.base.clone();
+                config.control = control;
+                config.cco.free_running =
+                    config.cco.free_running.with_offset_frac(ch.mismatch);
+                // Distinct data phase per channel.
+                let bits: BitStream = Prbs::with_seed(PrbsOrder::P7, 1 + i as u64)
+                    .take_bits(bits_per_channel);
+                // Skew modelled by shifting the jitter seed and start; the
+                // CDR is self-aligning so only the per-channel independence
+                // matters.
+                run_cdr(
+                    &bits,
+                    self.bit_rate,
+                    &ch.jitter,
+                    &config,
+                    seed ^ (0x9E37 + i as u64 * 0x100),
+                )
+            })
+            .collect();
+
+        MultiChannelResult {
+            pll: pll_result,
+            channels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcco_units::Ui;
+
+    #[test]
+    fn four_clean_channels_run_error_free() {
+        let rx = MultiChannelReceiver::paper(4);
+        let result = rx.run(1_000, 1);
+        assert_eq!(result.channels.len(), 4);
+        assert_eq!(result.total_errors(), 0, "{result}");
+        assert!(result.pll.lock_time.is_some());
+    }
+
+    #[test]
+    fn mismatch_within_spec_is_tolerated() {
+        let mut rx = MultiChannelReceiver::paper(4);
+        for (i, m) in [-0.004, -0.001, 0.002, 0.004].iter().enumerate() {
+            rx.channel_mut(i).mismatch = *m;
+        }
+        let result = rx.run(1_000, 2);
+        assert_eq!(result.total_errors(), 0, "{result}");
+    }
+
+    #[test]
+    fn per_channel_jitter_is_independent() {
+        let mut rx = MultiChannelReceiver::paper(2);
+        rx.channel_mut(1).jitter = JitterConfig {
+            rj_rms: Ui::new(0.02),
+            dj_pp: Ui::new(0.2),
+            ..JitterConfig::none()
+        };
+        let result = rx.run(1_000, 3);
+        assert_eq!(result.total_errors(), 0, "{result}");
+        // Jittered channel's eye must be narrower.
+        let mut channels = result.channels;
+        let open1 = channels[1].eye.opening();
+        let open0 = channels[0].eye.opening();
+        assert!(open0 > open1, "{open0} vs {open1}");
+    }
+
+    #[test]
+    fn gross_mismatch_breaks_only_that_channel() {
+        let mut rx = MultiChannelReceiver::paper(2);
+        rx.channel_mut(1).mismatch = 0.12;
+        let result = rx.run(1_500, 4);
+        assert_eq!(result.channels[0].errors, 0);
+        assert!(result.channels[1].errors > 0, "{}", result.channels[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channels_rejected() {
+        let _ = MultiChannelReceiver::paper(0);
+    }
+}

@@ -1,0 +1,295 @@
+//! Behavioral model of the shared charge-pump PLL (paper §2.2, Fig. 6).
+//!
+//! One PLL serves all channels: it multiplies a low-frequency crystal
+//! reference (`LFCK`) up to the line rate and — crucially for the GCCO
+//! architecture — hands each channel *a copy of its control current*, so
+//! every channel's matched CCO free-runs at (nearly) the data rate without
+//! a loop of its own.
+//!
+//! The model is a discrete-time type-II charge-pump PLL with a third-order
+//! loop filter (R–C₁ branch plus ripple capacitor C₂), a linearized PFD
+//! and the same current-controlled oscillator law the channels use. That
+//! is enough to answer the questions the system design asks of it: does it
+//! lock, how fast, what control current does it settle to, and how much
+//! ripple do the channels inherit.
+
+use crate::gcco::CcoParams;
+use gcco_units::{Current, Freq, Time};
+use std::fmt;
+
+/// Shared-PLL design parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PllConfig {
+    /// Crystal reference frequency (LFCK).
+    pub f_ref: Freq,
+    /// Feedback divider N (output = N·f_ref).
+    pub divider: u32,
+    /// Charge-pump current.
+    pub i_cp: Current,
+    /// Loop-filter resistor (Ω).
+    pub r: f64,
+    /// Loop-filter main capacitor (F).
+    pub c1: f64,
+    /// Ripple capacitor (F), typically C₁/10 or less.
+    pub c2: f64,
+    /// Transconductance of the V→I converter feeding the CCOs (A/V).
+    pub gm: f64,
+    /// The CCO law (shared with the channels).
+    pub cco: CcoParams,
+}
+
+impl PllConfig {
+    /// The paper's operating point: 156.25 MHz reference × 16 = 2.5 GHz,
+    /// with a loop bandwidth around 1 MHz.
+    pub fn paper() -> PllConfig {
+        PllConfig {
+            f_ref: Freq::from_mhz(156.25),
+            divider: 16,
+            i_cp: Current::from_microamps(50.0),
+            r: 30e3,
+            c1: 80e-12,
+            c2: 8e-12,
+            gm: 1e-3,
+            cco: CcoParams::paper(),
+        }
+    }
+
+    /// Target output frequency `N·f_ref`.
+    pub fn f_out(&self) -> Freq {
+        self.f_ref * self.divider as f64
+    }
+}
+
+impl Default for PllConfig {
+    fn default() -> PllConfig {
+        PllConfig::paper()
+    }
+}
+
+/// Result of a PLL lock simulation.
+#[derive(Clone, Debug)]
+pub struct PllLockResult {
+    /// Time at which the lock criterion was first continuously satisfied,
+    /// `None` if the loop never locked within the simulated span.
+    pub lock_time: Option<Time>,
+    /// Settled control current (mean over the last 10 % of the run).
+    pub control: Current,
+    /// Peak-to-peak control-current ripple over the last 10 % of the run.
+    pub ripple: Current,
+    /// Final output frequency.
+    pub f_final: Freq,
+    /// Control-current trajectory, decimated for plotting:
+    /// `(time, current)`.
+    pub trajectory: Vec<(Time, Current)>,
+}
+
+impl fmt::Display for PllLockResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.lock_time {
+            Some(t) => write!(
+                f,
+                "locked at {t} (I = {}, ripple {})",
+                self.control, self.ripple
+            ),
+            None => write!(f, "NOT locked (f = {})", self.f_final),
+        }
+    }
+}
+
+/// The shared PLL.
+///
+/// # Examples
+///
+/// ```
+/// use gcco_core::SharedPll;
+///
+/// let mut pll = SharedPll::paper();
+/// let result = pll.simulate_lock();
+/// let lock = result.lock_time.expect("paper PLL must lock");
+/// assert!(lock.secs() < 50e-6, "locks within 50 µs");
+/// ```
+#[derive(Clone, Debug)]
+pub struct SharedPll {
+    config: PllConfig,
+    // State.
+    phase_err: f64, // rad, ref minus divided VCO
+    v1: f64,        // C1 voltage
+    v2: f64,        // C2 (= control node) voltage
+    f_vco: f64,     // Hz
+    now: Time,
+}
+
+impl SharedPll {
+    /// Creates a PLL from a configuration, starting from a cold state
+    /// (filter discharged, VCO free-running).
+    pub fn new(config: PllConfig) -> SharedPll {
+        let f0 = config.cco.free_running.hz();
+        SharedPll {
+            config,
+            phase_err: 0.0,
+            v1: 0.0,
+            v2: 0.0,
+            f_vco: f0,
+            now: Time::ZERO,
+        }
+    }
+
+    /// The paper's PLL.
+    pub fn paper() -> SharedPll {
+        SharedPll::new(PllConfig::paper())
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PllConfig {
+        &self.config
+    }
+
+    /// The instantaneous control current handed to the channels.
+    pub fn control_current(&self) -> Current {
+        let i = self.config.cco.i_mid.amps() + self.config.gm * self.v2;
+        Current::from_amps(i.clamp(0.0, 10e-3))
+    }
+
+    /// Advances the loop by one time step `dt` (linearized PFD averaging).
+    pub fn step(&mut self, dt: Time) {
+        let cfg = &self.config;
+        let dt_s = dt.secs();
+        // Phase error accumulates from the frequency difference.
+        let f_div = self.f_vco / cfg.divider as f64;
+        self.phase_err += std::f64::consts::TAU * (cfg.f_ref.hz() - f_div) * dt_s;
+        // Tri-state PFD average current: i = I_cp·φ_err/2π, saturating at
+        // ±I_cp (the PFD's ±2π linear range).
+        let norm = (self.phase_err / (2.0 * std::f64::consts::PI)).clamp(-1.0, 1.0);
+        let i_cp = cfg.i_cp.amps() * norm;
+        // Third-order filter: i_cp drives the control node (C2) which
+        // leaks into the R–C1 branch.
+        let i_branch = (self.v2 - self.v1) / cfg.r;
+        self.v2 += (i_cp - i_branch) / cfg.c2 * dt_s;
+        self.v1 += i_branch / cfg.c1 * dt_s;
+        // CCO law.
+        self.f_vco = cfg.cco.frequency_at(self.control_current()).hz();
+        self.now += dt;
+    }
+
+    /// Runs the loop until lock (or for at most `max_time`), returning the
+    /// lock diagnostics. Lock = output frequency within 50 ppm of target
+    /// for 200 consecutive steps.
+    pub fn simulate_lock_for(&mut self, max_time: Time) -> PllLockResult {
+        let target = self.config.f_out().hz();
+        // Step at 1/20 of a reference period: fine enough for a
+        // ~1 MHz-bandwidth loop.
+        let dt = Time::from_secs(1.0 / (self.config.f_ref.hz() * 20.0));
+        let steps = (max_time / dt).ceil() as usize;
+        let mut lock_time = None;
+        let mut in_lock = 0usize;
+        let mut trajectory = Vec::new();
+        let mut tail: Vec<f64> = Vec::new();
+        let tail_start = steps * 9 / 10;
+        let decimate = (steps / 2000).max(1);
+
+        for i in 0..steps {
+            self.step(dt);
+            if i % decimate == 0 {
+                trajectory.push((self.now, self.control_current()));
+            }
+            if i >= tail_start {
+                tail.push(self.control_current().amps());
+            }
+            if (self.f_vco / target - 1.0).abs() < 50e-6 {
+                in_lock += 1;
+                if in_lock == 200 && lock_time.is_none() {
+                    lock_time = Some(self.now);
+                }
+            } else {
+                in_lock = 0;
+                lock_time = lock_time.filter(|_| in_lock > 0);
+            }
+        }
+        let mean = tail.iter().sum::<f64>() / tail.len().max(1) as f64;
+        let max = tail.iter().cloned().fold(f64::MIN, f64::max);
+        let min = tail.iter().cloned().fold(f64::MAX, f64::min);
+        PllLockResult {
+            lock_time,
+            control: Current::from_amps(mean.max(0.0)),
+            ripple: Current::from_amps((max - min).max(0.0)),
+            f_final: Freq::from_hz(self.f_vco),
+            trajectory,
+        }
+    }
+
+    /// Runs the loop for a default 200 µs horizon.
+    pub fn simulate_lock(&mut self) -> PllLockResult {
+        self.simulate_lock_for(Time::from_us(200.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_pll_locks_to_2p5ghz() {
+        let mut pll = SharedPll::paper();
+        let result = pll.simulate_lock();
+        assert!(result.lock_time.is_some(), "{result}");
+        assert!((result.f_final.ghz() - 2.5).abs() < 0.001, "{result}");
+    }
+
+    #[test]
+    fn settled_control_current_matches_cco_inverse() {
+        let mut pll = SharedPll::paper();
+        let result = pll.simulate_lock();
+        let expected = CcoParams::paper().control_for(Freq::from_ghz(2.5));
+        assert!(
+            (result.control.amps() - expected.amps()).abs() < 5e-6,
+            "{} vs {}",
+            result.control,
+            expected
+        );
+    }
+
+    #[test]
+    fn lock_from_detuned_free_running_frequency() {
+        let mut config = PllConfig::paper();
+        config.cco.free_running = Freq::from_ghz(2.3); // −8 % process skew
+        let mut pll = SharedPll::new(config);
+        let result = pll.simulate_lock();
+        assert!(result.lock_time.is_some(), "{result}");
+        assert!((result.f_final.ghz() - 2.5).abs() < 0.001);
+    }
+
+    #[test]
+    fn ripple_is_small_in_lock() {
+        let mut pll = SharedPll::paper();
+        let result = pll.simulate_lock();
+        // Control ripple inherited by all channels must stay far below the
+        // ±100 µA full range.
+        assert!(result.ripple.amps() < 2e-6, "ripple {}", result.ripple);
+    }
+
+    #[test]
+    fn trajectory_converges_monotonically_in_envelope() {
+        let mut pll = SharedPll::paper();
+        let result = pll.simulate_lock();
+        let target = result.control.amps();
+        let early_err = (result.trajectory[10].1.amps() - target).abs();
+        let late = result.trajectory.len() - 2;
+        let late_err = (result.trajectory[late].1.amps() - target).abs();
+        assert!(late_err < early_err.max(1e-9), "{early_err} → {late_err}");
+    }
+
+    #[test]
+    fn unlockable_when_target_out_of_range() {
+        let mut config = PllConfig::paper();
+        config.divider = 32; // 5 GHz — outside the CCO range for this gain.
+        config.cco.gain_hz_per_amp = 1e9; // too shallow to ever reach
+        let mut pll = SharedPll::new(config);
+        let result = pll.simulate_lock_for(Time::from_us(50.0));
+        assert!(result.lock_time.is_none(), "{result}");
+    }
+
+    #[test]
+    fn f_out_accessor() {
+        assert_eq!(PllConfig::paper().f_out(), Freq::from_ghz(2.5));
+    }
+}

@@ -1,0 +1,234 @@
+//! Serial-to-parallel converter (deserializer) and clock divider.
+//!
+//! The recovered clock in a multi-channel receiver (paper Fig. 4) only
+//! runs the first 1:N demux stage; the parallel words then cross into the
+//! system clock domain. These components model that digital back end at
+//! the same event-driven level as the CDR.
+
+use crate::kernel::{Component, Context, Sensitive, SignalId};
+use gcco_units::Time;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Shared log of deserialized words: `(time of last bit, word)` with the
+/// first-received bit in the MSB.
+#[derive(Clone, Debug, Default)]
+pub struct WordLog {
+    inner: Rc<RefCell<Vec<(Time, u32)>>>,
+}
+
+impl WordLog {
+    /// Creates an empty log.
+    pub fn new() -> WordLog {
+        WordLog::default()
+    }
+
+    /// Appends a word.
+    pub fn push(&self, t: Time, word: u32) {
+        self.inner.borrow_mut().push((t, word));
+    }
+
+    /// Snapshot of the words.
+    pub fn words(&self) -> Vec<(Time, u32)> {
+        self.inner.borrow().clone()
+    }
+
+    /// Number of words captured.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// `true` if nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+}
+
+/// A 1:N deserializer: shifts `data` in on each rising edge of `clock`,
+/// emits an N-bit word (first bit = MSB) into a [`WordLog`] every N edges,
+/// and toggles a divided-clock output once per word.
+///
+/// # Examples
+///
+/// ```
+/// use gcco_dsim::{Deserializer, PeriodicClock, Simulator, WordLog};
+/// use gcco_units::{Freq, Time};
+///
+/// let mut sim = Simulator::new(0);
+/// let clk = sim.add_signal("clk", false);
+/// let d = sim.add_signal("d", true);
+/// let div = sim.add_signal("div", false);
+/// let words = WordLog::new();
+/// sim.add_component(PeriodicClock::new("ck", clk, Freq::from_ghz(1.0)));
+/// sim.add_component(Deserializer::new("des", clk, d, div, 4, words.clone()));
+/// sim.run_until(Time::from_ns(9.0));
+/// // All-ones input: every word is 0b1111.
+/// assert_eq!(words.len(), 2);
+/// assert!(words.words().iter().all(|&(_, w)| w == 0b1111));
+/// ```
+pub struct Deserializer {
+    name: String,
+    clock: SignalId,
+    data: SignalId,
+    div_clock: SignalId,
+    width: u32,
+    log: WordLog,
+    shift: u32,
+    count: u32,
+    last_clock: bool,
+}
+
+impl Deserializer {
+    /// Creates a 1:`width` deserializer.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ width ≤ 32`.
+    pub fn new(
+        name: impl Into<String>,
+        clock: SignalId,
+        data: SignalId,
+        div_clock: SignalId,
+        width: u32,
+        log: WordLog,
+    ) -> Deserializer {
+        assert!((1..=32).contains(&width), "width {width} out of 1..=32");
+        Deserializer {
+            name: name.into(),
+            clock,
+            data,
+            div_clock,
+            width,
+            log,
+            shift: 0,
+            count: 0,
+            last_clock: false,
+        }
+    }
+}
+
+impl Sensitive for Deserializer {
+    fn sensitivity(&self) -> Vec<SignalId> {
+        vec![self.clock]
+    }
+}
+
+impl Component for Deserializer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn init(&mut self, ctx: &mut Context<'_>) {
+        self.last_clock = ctx.value(self.clock);
+    }
+
+    fn react(&mut self, ctx: &mut Context<'_>) {
+        let clock = ctx.value(self.clock);
+        let rising = clock && !self.last_clock;
+        self.last_clock = clock;
+        if !rising {
+            return;
+        }
+        self.shift = (self.shift << 1) | u32::from(ctx.value(self.data));
+        self.count += 1;
+        if self.count == self.width {
+            self.log.push(ctx.now(), self.shift & mask(self.width));
+            self.shift = 0;
+            self.count = 0;
+            ctx.schedule(self.div_clock, !ctx.value(self.div_clock), Time::FEMTOSECOND);
+        }
+    }
+}
+
+impl fmt::Debug for Deserializer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Deserializer")
+            .field("name", &self.name)
+            .field("width", &self.width)
+            .finish()
+    }
+}
+
+fn mask(width: u32) -> u32 {
+    if width == 32 {
+        u32::MAX
+    } else {
+        (1 << width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Simulator;
+    use crate::sources::PeriodicClock;
+    use gcco_units::Freq;
+
+    #[test]
+    fn deserializes_a_known_pattern() {
+        let mut sim = Simulator::new(0);
+        let clk = sim.add_signal("clk", false);
+        let d = sim.add_signal("d", true); // first bit = 1
+        let div = sim.add_signal("div", false);
+        let words = WordLog::new();
+        sim.add_component(PeriodicClock::new("ck", clk, Freq::from_ghz(1.0)));
+        sim.add_component(Deserializer::new("des", clk, d, div, 8, words.clone()));
+        // Pattern 0b10110010 repeated: drive transitions between rising
+        // edges (edges at 500, 1500, ... ps; data changes at 1000k ps).
+        let pattern = [true, false, true, true, false, false, true, false];
+        let mut changes = Vec::new();
+        let mut level = true;
+        for rep in 0..4 {
+            for (i, &bit) in pattern.iter().enumerate() {
+                let slot = rep * 8 + i;
+                if bit != level {
+                    changes.push((Time::from_ps(1000.0) * slot as i64 + Time::from_ps(1.0), bit));
+                    level = bit;
+                }
+            }
+        }
+        sim.drive(d, &changes);
+        sim.run_until(Time::from_ns(33.0));
+        let captured = words.words();
+        assert_eq!(captured.len(), 4);
+        for &(_, w) in &captured {
+            assert_eq!(w, 0b10110010, "{w:#010b}");
+        }
+    }
+
+    #[test]
+    fn divided_clock_toggles_once_per_word() {
+        let mut sim = Simulator::new(0);
+        let clk = sim.add_signal("clk", false);
+        let d = sim.add_signal("d", false);
+        let div = sim.add_signal("div", false);
+        let words = WordLog::new();
+        sim.add_component(PeriodicClock::new("ck", clk, Freq::from_ghz(2.5)));
+        sim.add_component(Deserializer::new("des", clk, d, div, 4, words.clone()));
+        sim.probe(div);
+        sim.run_until(Time::from_ns(8.0));
+        // 2.5 GHz → 20 edges in 8 ns → 5 words → 5 div-clock toggles.
+        assert_eq!(words.len(), 5);
+        assert_eq!(sim.trace(div).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn word_log_is_shared() {
+        let log = WordLog::new();
+        let clone = log.clone();
+        log.push(Time::from_ps(1.0), 42);
+        assert_eq!(clone.words(), vec![(Time::from_ps(1.0), 42)]);
+        assert!(!clone.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 1..=32")]
+    fn rejects_zero_width() {
+        let mut sim = Simulator::new(0);
+        let clk = sim.add_signal("clk", false);
+        let d = sim.add_signal("d", false);
+        let div = sim.add_signal("div", false);
+        let _ = Deserializer::new("des", clk, d, div, 0, WordLog::new());
+    }
+}

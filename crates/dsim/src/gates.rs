@@ -1,0 +1,481 @@
+//! CML gate library: combinational gates with per-input delays and
+//! Gaussian delay jitter.
+
+use crate::kernel::{Component, Context, Sensitive, SignalId};
+use gcco_units::Time;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Output-delay semantics of a [`LogicGate`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum DelayKind {
+    /// VHDL `transport`: every input change projects an output change;
+    /// glitches narrower than the delay propagate (the paper's Fig. 12
+    /// model uses this).
+    #[default]
+    Transport,
+    /// VHDL inertial (the language default): a new output value cancels
+    /// all pending ones, so pulses shorter than the gate delay are
+    /// swallowed — closer to what a bandwidth-limited CML cell does.
+    Inertial,
+}
+
+/// Combinational function of a [`LogicGate`].
+///
+/// The stacked differential structure of CML gates makes some two-input
+/// functions (AND/OR and their complements) naturally available as a single
+/// cell, and complements are free (swap the differential pair) — which is
+/// why the paper's improved topology costs no extra gates (§3.3b).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GateFunc {
+    /// Buffer (1 input).
+    Buf,
+    /// Inverter (1 input).
+    Inv,
+    /// 2-input AND.
+    And2,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 3-input AND (the GCCO gating stage `(fb ∧ trig) ∧ enable`).
+    And3,
+    /// 2:1 multiplexer: inputs `[sel, a, b]`, output `a` when `sel` is
+    /// low, `b` when high.
+    Mux2,
+}
+
+impl GateFunc {
+    /// Number of inputs the function consumes.
+    pub const fn arity(self) -> usize {
+        match self {
+            GateFunc::Buf | GateFunc::Inv => 1,
+            GateFunc::And2
+            | GateFunc::Nand2
+            | GateFunc::Or2
+            | GateFunc::Nor2
+            | GateFunc::Xor2
+            | GateFunc::Xnor2 => 2,
+            GateFunc::And3 | GateFunc::Mux2 => 3,
+        }
+    }
+
+    /// Evaluates the function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` does not match [`GateFunc::arity`].
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        assert_eq!(inputs.len(), self.arity(), "arity mismatch for {self:?}");
+        match self {
+            GateFunc::Buf => inputs[0],
+            GateFunc::Inv => !inputs[0],
+            GateFunc::And2 => inputs[0] && inputs[1],
+            GateFunc::Nand2 => !(inputs[0] && inputs[1]),
+            GateFunc::Or2 => inputs[0] || inputs[1],
+            GateFunc::Nor2 => !(inputs[0] || inputs[1]),
+            GateFunc::Xor2 => inputs[0] ^ inputs[1],
+            GateFunc::Xnor2 => !(inputs[0] ^ inputs[1]),
+            GateFunc::And3 => inputs[0] && inputs[1] && inputs[2],
+            GateFunc::Mux2 => {
+                if inputs[0] {
+                    inputs[2]
+                } else {
+                    inputs[1]
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for GateFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A combinational gate with transport output delay, optional per-input
+/// delay skew, and Gaussian delay jitter.
+///
+/// The per-input delays model the asymmetry the paper's §3.3a flags:
+/// *"current-mode logic cells used in this design exhibit different
+/// input-to-output delays for the different inputs, due to the stacked
+/// nature of the design."*
+///
+/// # Examples
+///
+/// ```
+/// use gcco_dsim::{GateFunc, LogicGate, Simulator};
+/// use gcco_units::Time;
+///
+/// let mut sim = Simulator::new(0);
+/// let a = sim.add_signal("a", false);
+/// let b = sim.add_signal("b", true);
+/// let y = sim.add_signal("y", false);
+/// sim.add_component(
+///     LogicGate::new("x", GateFunc::Xor2, vec![a, b], y, Time::from_ps(25.0)));
+/// sim.run_until(Time::from_ps(100.0));
+/// assert!(sim.value(y), "XOR(0,1) settles to 1 after init");
+/// ```
+pub struct LogicGate {
+    name: String,
+    func: GateFunc,
+    inputs: Vec<SignalId>,
+    output: SignalId,
+    /// Per-input propagation delay; `delays[i]` applies when input `i` is
+    /// (one of) the inputs that changed.
+    delays: Vec<Time>,
+    delay_kind: DelayKind,
+    jitter_sigma: f64,
+    rng: Option<SmallRng>,
+    last_inputs: Vec<bool>,
+}
+
+impl LogicGate {
+    /// Creates a gate with the same delay on every input and no jitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input count does not match the function arity or the
+    /// delay is not positive.
+    pub fn new(
+        name: impl Into<String>,
+        func: GateFunc,
+        inputs: Vec<SignalId>,
+        output: SignalId,
+        delay: Time,
+    ) -> LogicGate {
+        assert_eq!(inputs.len(), func.arity(), "input count mismatch");
+        assert!(delay > Time::ZERO, "gate delay must be positive");
+        let n = inputs.len();
+        LogicGate {
+            name: name.into(),
+            func,
+            inputs,
+            output,
+            delays: vec![delay; n],
+            delay_kind: DelayKind::Transport,
+            jitter_sigma: 0.0,
+            rng: None,
+            last_inputs: Vec::new(),
+        }
+    }
+
+    /// Switches the output to inertial (pulse-swallowing) delay semantics.
+    pub fn with_inertial_delay(mut self) -> LogicGate {
+        self.delay_kind = DelayKind::Inertial;
+        self
+    }
+
+    /// Overrides the per-input delays (models CML stacking skew).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count mismatches or any delay is non-positive.
+    pub fn with_input_delays(mut self, delays: Vec<Time>) -> LogicGate {
+        assert_eq!(delays.len(), self.inputs.len(), "delay count mismatch");
+        assert!(
+            delays.iter().all(|d| *d > Time::ZERO),
+            "delays must be positive"
+        );
+        self.delays = delays;
+        self
+    }
+
+    /// Enables Gaussian delay jitter with the given relative sigma
+    /// (`0.01` = 1 % of the nominal delay, the paper's VHDL
+    /// `cdr_gcco_jit_sigma` convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ sigma < 0.3`.
+    pub fn with_jitter(mut self, sigma: f64) -> LogicGate {
+        assert!(
+            (0.0..0.3).contains(&sigma),
+            "relative jitter sigma {sigma} out of [0, 0.3)"
+        );
+        self.jitter_sigma = sigma;
+        self
+    }
+
+    /// The gate's combinational function.
+    pub fn func(&self) -> GateFunc {
+        self.func
+    }
+
+    fn effective_delay(&mut self, nominal: Time) -> Time {
+        if self.jitter_sigma == 0.0 {
+            return nominal;
+        }
+        let rng = self
+            .rng
+            .as_mut()
+            .expect("rng seeded at init");
+        let g = gaussian(rng);
+        let scaled = nominal.secs() * (1.0 + self.jitter_sigma * g);
+        Time::from_secs(scaled.max(1e-15))
+    }
+}
+
+impl Sensitive for LogicGate {
+    fn sensitivity(&self) -> Vec<SignalId> {
+        self.inputs.clone()
+    }
+}
+
+impl Component for LogicGate {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn init(&mut self, ctx: &mut Context<'_>) {
+        // Seed the jitter RNG from the component's name so streams are
+        // stable across netlist edits elsewhere.
+        if self.jitter_sigma > 0.0 && self.rng.is_none() {
+            let salt = self
+                .name
+                .bytes()
+                .fold(0u64, |acc, b| acc.wrapping_mul(131).wrapping_add(b as u64));
+            self.rng = Some(SmallRng::seed_from_u64(ctx.derive_seed(salt)));
+        }
+        self.last_inputs = self.inputs.iter().map(|&s| ctx.value(s)).collect();
+        let value = self.func.eval(&self.last_inputs);
+        if value != ctx.value(self.output) {
+            let delay = self.delays[0];
+            let d = self.effective_delay(delay);
+            ctx.schedule(self.output, value, d);
+        }
+    }
+
+    fn react(&mut self, ctx: &mut Context<'_>) {
+        let now_inputs: Vec<bool> = self.inputs.iter().map(|&s| ctx.value(s)).collect();
+        // Delay taken from the first input that changed (the triggering
+        // input) — matches the per-input delay model of stacked CML.
+        let trigger = now_inputs
+            .iter()
+            .zip(&self.last_inputs)
+            .position(|(a, b)| a != b)
+            .unwrap_or(0);
+        self.last_inputs = now_inputs;
+        let value = self.func.eval(&self.last_inputs);
+        let d = self.effective_delay(self.delays[trigger]);
+        match self.delay_kind {
+            DelayKind::Transport => ctx.schedule(self.output, value, d),
+            DelayKind::Inertial => ctx.schedule_inertial(self.output, value, d),
+        }
+    }
+}
+
+impl fmt::Debug for LogicGate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LogicGate")
+            .field("name", &self.name)
+            .field("func", &self.func)
+            .field("jitter", &self.jitter_sigma)
+            .finish()
+    }
+}
+
+/// Standard normal deviate (polar Box–Muller).
+pub(crate) fn gaussian(rng: &mut SmallRng) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Simulator;
+
+    #[test]
+    fn truth_tables() {
+        let f = false;
+        let t = true;
+        assert!(GateFunc::And2.eval(&[t, t]) && !GateFunc::And2.eval(&[t, f]));
+        assert!(GateFunc::Nand2.eval(&[t, f]) && !GateFunc::Nand2.eval(&[t, t]));
+        assert!(GateFunc::Or2.eval(&[f, t]) && !GateFunc::Or2.eval(&[f, f]));
+        assert!(GateFunc::Nor2.eval(&[f, f]) && !GateFunc::Nor2.eval(&[t, f]));
+        assert!(GateFunc::Xor2.eval(&[t, f]) && !GateFunc::Xor2.eval(&[t, t]));
+        assert!(GateFunc::Xnor2.eval(&[t, t]) && !GateFunc::Xnor2.eval(&[t, f]));
+        assert!(GateFunc::And3.eval(&[t, t, t]) && !GateFunc::And3.eval(&[t, t, f]));
+        assert!(GateFunc::Mux2.eval(&[f, t, f]) && GateFunc::Mux2.eval(&[t, f, t]));
+        assert!(GateFunc::Buf.eval(&[t]) && !GateFunc::Inv.eval(&[t]));
+    }
+
+    #[test]
+    fn arity_reported() {
+        assert_eq!(GateFunc::Inv.arity(), 1);
+        assert_eq!(GateFunc::Xor2.arity(), 2);
+        assert_eq!(GateFunc::Mux2.arity(), 3);
+    }
+
+    #[test]
+    fn init_settles_outputs() {
+        // y starts wrong; init must schedule the correction.
+        let mut sim = Simulator::new(0);
+        let a = sim.add_signal("a", true);
+        let y = sim.add_signal("y", true); // should be !a = false
+        sim.add_component(LogicGate::new(
+            "inv",
+            GateFunc::Inv,
+            vec![a],
+            y,
+            Time::from_ps(10.0),
+        ));
+        sim.run_until(Time::from_ps(100.0));
+        assert!(!sim.value(y));
+    }
+
+    #[test]
+    fn per_input_delay_skew() {
+        let mut sim = Simulator::new(0);
+        let a = sim.add_signal("a", false);
+        let b = sim.add_signal("b", false);
+        let y = sim.add_signal("y", false);
+        sim.add_component(
+            LogicGate::new("or", GateFunc::Or2, vec![a, b], y, Time::from_ps(10.0))
+                .with_input_delays(vec![Time::from_ps(10.0), Time::from_ps(40.0)]),
+        );
+        sim.probe(y);
+        // Change b only: the slow input applies.
+        sim.set_after(b, true, Time::from_ps(100.0));
+        sim.run_until(Time::from_ps(500.0));
+        assert_eq!(
+            sim.trace(y).unwrap().changes(),
+            &[(Time::from_ps(140.0), true)]
+        );
+    }
+
+    #[test]
+    fn transport_propagates_glitches() {
+        // a and b swap with a 5 ps skew through an XOR with 20 ps delay.
+        // Transport delay (unlike inertial delay) faithfully reproduces the
+        // resulting 5 ps output glitch — the VHDL-fidelity property the
+        // paper's edge-detector analysis (Fig. 13) depends on.
+        let mut sim = Simulator::new(0);
+        let a = sim.add_signal("a", false);
+        let b = sim.add_signal("b", true);
+        let y = sim.add_signal("y", true);
+        sim.add_component(LogicGate::new(
+            "x",
+            GateFunc::Xor2,
+            vec![a, b],
+            y,
+            Time::from_ps(20.0),
+        ));
+        sim.probe(y);
+        sim.set_after(a, true, Time::from_ps(100.0));
+        sim.set_after(b, false, Time::from_ps(105.0));
+        sim.run_until(Time::from_ps(500.0));
+        assert_eq!(
+            sim.trace(y).unwrap().changes(),
+            &[
+                (Time::from_ps(120.0), false),
+                (Time::from_ps(125.0), true)
+            ]
+        );
+    }
+
+    #[test]
+    fn jitter_changes_edge_times_but_not_logic() {
+        let mut sim = Simulator::new(3);
+        let a = sim.add_signal("a", false);
+        let y = sim.add_signal("y", false);
+        sim.add_component(
+            LogicGate::new("buf", GateFunc::Buf, vec![a], y, Time::from_ps(50.0))
+                .with_jitter(0.05),
+        );
+        sim.probe(y);
+        for i in 1..200 {
+            sim.set_after(a, i % 2 == 1, Time::from_ps(500.0) * i);
+        }
+        sim.run_until(Time::from_us(1.0));
+        let trace = sim.trace(y).unwrap();
+        assert_eq!(trace.len(), 199, "every input change must propagate");
+        // Delays must vary around 50 ps.
+        let rising = trace.rising_edges();
+        let mut distinct = rising
+            .iter()
+            .map(|t| t.fs() % 500_000)
+            .collect::<Vec<_>>();
+        distinct.dedup();
+        assert!(distinct.len() > 50, "jitter must decorrelate edge times");
+    }
+
+    #[test]
+    fn inertial_gate_swallows_short_pulses() {
+        // A 10 ps input pulse through a 40 ps inertial buffer vanishes;
+        // through a transport buffer it survives.
+        for (inertial, expected_changes) in [(true, 0usize), (false, 2)] {
+            let mut sim = Simulator::new(0);
+            let a = sim.add_signal("a", false);
+            let y = sim.add_signal("y", false);
+            let gate = LogicGate::new("buf", GateFunc::Buf, vec![a], y, Time::from_ps(40.0));
+            let gate = if inertial { gate.with_inertial_delay() } else { gate };
+            sim.add_component(gate);
+            sim.probe(y);
+            sim.set_after(a, true, Time::from_ps(100.0));
+            sim.set_after(a, false, Time::from_ps(110.0));
+            sim.run_until(Time::from_ps(500.0));
+            assert_eq!(
+                sim.trace(y).unwrap().len(),
+                expected_changes,
+                "inertial = {inertial}"
+            );
+        }
+    }
+
+    #[test]
+    fn inertial_gate_passes_wide_pulses() {
+        let mut sim = Simulator::new(0);
+        let a = sim.add_signal("a", false);
+        let y = sim.add_signal("y", false);
+        sim.add_component(
+            LogicGate::new("buf", GateFunc::Buf, vec![a], y, Time::from_ps(40.0))
+                .with_inertial_delay(),
+        );
+        sim.probe(y);
+        sim.set_after(a, true, Time::from_ps(100.0));
+        sim.set_after(a, false, Time::from_ps(200.0));
+        sim.run_until(Time::from_ps(500.0));
+        assert_eq!(
+            sim.trace(y).unwrap().changes(),
+            &[
+                (Time::from_ps(140.0), true),
+                (Time::from_ps(240.0), false)
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "input count mismatch")]
+    fn wrong_arity_rejected() {
+        let mut sim = Simulator::new(0);
+        let a = sim.add_signal("a", false);
+        let y = sim.add_signal("y", false);
+        let _ = LogicGate::new("bad", GateFunc::And2, vec![a], y, Time::from_ps(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 0.3)")]
+    fn silly_jitter_rejected() {
+        let mut sim = Simulator::new(0);
+        let a = sim.add_signal("a", false);
+        let y = sim.add_signal("y", false);
+        let _ = LogicGate::new("g", GateFunc::Buf, vec![a], y, Time::from_ps(1.0))
+            .with_jitter(0.5);
+    }
+}

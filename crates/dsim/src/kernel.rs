@@ -1,0 +1,557 @@
+//! The discrete-event simulation kernel.
+//!
+//! A deliberately small event kernel with VHDL-`transport` delay semantics,
+//! which is exactly what the paper's behavioral model (Fig. 12) uses:
+//!
+//! * every signal carries a **projected waveform** — a set of pending
+//!   `(time, value)` transactions; scheduling a new transaction deletes all
+//!   previously projected transactions at the same or a later time (the
+//!   VHDL transport-delay rule);
+//! * components react to input signal changes and schedule output
+//!   transactions at strictly positive delays — this makes delta cycles
+//!   impossible by construction and keeps the kernel loop trivial;
+//! * all randomness (per-gate delay jitter) comes from per-component RNGs
+//!   seeded deterministically from the simulator seed, so a run is exactly
+//!   reproducible.
+
+use gcco_units::Time;
+use std::collections::btree_map::BTreeMap;
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+use std::fmt;
+
+/// Identifier of a signal within a [`Simulator`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SignalId(pub(crate) usize);
+
+/// Identifier of a component within a [`Simulator`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ComponentId(pub(crate) usize);
+
+/// A recorded waveform: the initial value plus every change.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Trace {
+    initial: bool,
+    changes: Vec<(Time, bool)>,
+}
+
+impl Trace {
+    /// The value before the first recorded change.
+    pub fn initial(&self) -> bool {
+        self.initial
+    }
+
+    /// The `(time, new_value)` change list, in time order.
+    pub fn changes(&self) -> &[(Time, bool)] {
+        &self.changes
+    }
+
+    /// The waveform value at time `t`.
+    pub fn value_at(&self, t: Time) -> bool {
+        match self.changes.partition_point(|&(ct, _)| ct <= t) {
+            0 => self.initial,
+            n => self.changes[n - 1].1,
+        }
+    }
+
+    /// Times of rising (`false→true`) transitions.
+    pub fn rising_edges(&self) -> Vec<Time> {
+        self.edges(true)
+    }
+
+    /// Times of falling (`true→false`) transitions.
+    pub fn falling_edges(&self) -> Vec<Time> {
+        self.edges(false)
+    }
+
+    fn edges(&self, rising: bool) -> Vec<Time> {
+        let mut prev = self.initial;
+        let mut out = Vec::new();
+        for &(t, v) in &self.changes {
+            if v != prev && v == rising {
+                out.push(t);
+            }
+            prev = v;
+        }
+        out
+    }
+
+    /// Number of recorded changes.
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// `true` if no changes were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+}
+
+struct SignalState {
+    name: String,
+    value: bool,
+    /// Projected waveform (transport-delay transactions).
+    pending: BTreeMap<Time, bool>,
+    probed: bool,
+    trace: Trace,
+    /// Components sensitive to this signal.
+    fanout: Vec<ComponentId>,
+}
+
+/// The context handed to a reacting [`Component`]: reads signal values and
+/// schedules output transactions.
+pub struct Context<'a> {
+    now: Time,
+    seed: u64,
+    signals: &'a mut [SignalState],
+    queue: &'a mut BinaryHeap<Reverse<(Time, u64, usize)>>,
+    seq: &'a mut u64,
+}
+
+impl Context<'_> {
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// A deterministic RNG seed derived from the simulator's master seed
+    /// and the caller-supplied salt (typically a hash of the component
+    /// name).
+    pub fn derive_seed(&self, salt: u64) -> u64 {
+        derive_seed(self.seed, salt)
+    }
+
+    /// Current value of a signal.
+    pub fn value(&self, sig: SignalId) -> bool {
+        self.signals[sig.0].value
+    }
+
+    /// Schedules `sig := value` after `delay`, with transport semantics
+    /// (any previously projected transaction at or after the new time is
+    /// removed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is not strictly positive — zero-delay feedback is
+    /// the one thing this kernel forbids.
+    pub fn schedule(&mut self, sig: SignalId, value: bool, delay: Time) {
+        assert!(
+            delay > Time::ZERO,
+            "zero or negative delay on signal '{}'",
+            self.signals[sig.0].name
+        );
+        let at = self.now + delay;
+        let state = &mut self.signals[sig.0];
+        state.pending.split_off(&at);
+        state.pending.insert(at, value);
+        *self.seq += 1;
+        self.queue.push(Reverse((at, *self.seq, sig.0)));
+    }
+
+    /// Schedules `sig := value` after `delay` with **inertial** semantics
+    /// (the VHDL default for signal assignments): every previously
+    /// projected transaction on the signal is removed, so pulses shorter
+    /// than the gate delay are swallowed instead of propagated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is not strictly positive.
+    pub fn schedule_inertial(&mut self, sig: SignalId, value: bool, delay: Time) {
+        assert!(
+            delay > Time::ZERO,
+            "zero or negative delay on signal '{}'",
+            self.signals[sig.0].name
+        );
+        let at = self.now + delay;
+        let state = &mut self.signals[sig.0];
+        state.pending.clear();
+        state.pending.insert(at, value);
+        *self.seq += 1;
+        self.queue.push(Reverse((at, *self.seq, sig.0)));
+    }
+}
+
+/// A reactive simulation component (gate, sampler, stimulus player…).
+///
+/// `react` is invoked at every time step where at least one signal in the
+/// component's sensitivity list changed value.
+pub trait Component {
+    /// Diagnostic name.
+    fn name(&self) -> &str;
+    /// Reacts to input changes: read inputs and schedule outputs via `ctx`.
+    fn react(&mut self, ctx: &mut Context<'_>);
+    /// Called once before time starts, to establish initial outputs.
+    fn init(&mut self, _ctx: &mut Context<'_>) {}
+}
+
+/// The event-driven simulator.
+///
+/// # Examples
+///
+/// A one-gate netlist (an inverter driven by a manually scheduled pulse):
+///
+/// ```
+/// use gcco_dsim::{GateFunc, LogicGate, Simulator};
+/// use gcco_units::Time;
+///
+/// let mut sim = Simulator::new(1);
+/// let a = sim.add_signal("a", false);
+/// let y = sim.add_signal("y", false);
+/// sim.add_component(LogicGate::new("inv", GateFunc::Inv, vec![a], y,
+///                                  Time::from_ps(10.0)));
+/// sim.probe(y);
+/// sim.set_after(a, true, Time::from_ps(100.0));
+/// sim.run_until(Time::from_ps(500.0));
+/// let trace = sim.trace(y).unwrap();
+/// assert_eq!(trace.changes(), &[(Time::from_ps(10.0), true),
+///                               (Time::from_ps(110.0), false)]);
+/// ```
+pub struct Simulator {
+    now: Time,
+    seq: u64,
+    seed: u64,
+    queue: BinaryHeap<Reverse<(Time, u64, usize)>>,
+    signals: Vec<SignalState>,
+    components: Vec<Box<dyn Component>>,
+    initialized: bool,
+    events_processed: u64,
+}
+
+impl Simulator {
+    /// Creates an empty simulator. `seed` fixes all per-component RNG
+    /// streams.
+    pub fn new(seed: u64) -> Simulator {
+        Simulator {
+            now: Time::ZERO,
+            seq: 0,
+            seed,
+            queue: BinaryHeap::new(),
+            signals: Vec::new(),
+            components: Vec::new(),
+            initialized: false,
+            events_processed: 0,
+        }
+    }
+
+    /// The master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// A per-component RNG seed derived from the master seed (SplitMix64
+    /// step so neighbouring components get uncorrelated streams).
+    pub fn derive_seed(&self, salt: u64) -> u64 {
+        derive_seed(self.seed, salt)
+    }
+
+    /// Declares a signal with an initial value, returning its id.
+    pub fn add_signal(&mut self, name: impl Into<String>, initial: bool) -> SignalId {
+        let id = SignalId(self.signals.len());
+        self.signals.push(SignalState {
+            name: name.into(),
+            value: initial,
+            pending: BTreeMap::new(),
+            probed: false,
+            trace: Trace {
+                initial,
+                changes: Vec::new(),
+            },
+            fanout: Vec::new(),
+        });
+        id
+    }
+
+    /// Adds a component, wiring its sensitivity list, and returns its id.
+    pub fn add_component<C: Component + Sensitive + 'static>(&mut self, component: C) -> ComponentId {
+        let id = ComponentId(self.components.len());
+        for sig in component.sensitivity() {
+            self.signals[sig.0].fanout.push(id);
+        }
+        self.components.push(Box::new(component));
+        id
+    }
+
+    /// Number of declared signals.
+    pub fn signal_count(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// The name a signal was declared with.
+    pub fn signal_name(&self, sig: SignalId) -> &str {
+        &self.signals[sig.0].name
+    }
+
+    /// Current value of a signal.
+    pub fn value(&self, sig: SignalId) -> bool {
+        self.signals[sig.0].value
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Total signal-update events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Starts recording a signal's waveform (see [`Simulator::trace`]).
+    pub fn probe(&mut self, sig: SignalId) {
+        let s = &mut self.signals[sig.0];
+        s.probed = true;
+        s.trace.initial = s.value;
+    }
+
+    /// The recorded waveform of a probed signal, or `None` if the signal
+    /// was never probed.
+    pub fn trace(&self, sig: SignalId) -> Option<&Trace> {
+        let s = &self.signals[sig.0];
+        s.probed.then_some(&s.trace)
+    }
+
+    /// Schedules an external assignment `sig := value` at `self.now + delay`
+    /// (transport semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is not strictly positive.
+    pub fn set_after(&mut self, sig: SignalId, value: bool, delay: Time) {
+        let mut ctx = Context {
+            now: self.now,
+            seed: self.seed,
+            signals: &mut self.signals,
+            queue: &mut self.queue,
+            seq: &mut self.seq,
+        };
+        ctx.schedule(sig, value, delay);
+    }
+
+    /// Runs until the event queue drains or `deadline` is reached
+    /// (whichever comes first); returns the number of events processed.
+    pub fn run_until(&mut self, deadline: Time) -> u64 {
+        if !self.initialized {
+            self.initialized = true;
+            for i in 0..self.components.len() {
+                let mut component = std::mem::replace(
+                    &mut self.components[i],
+                    Box::new(Nop),
+                );
+                let mut ctx = Context {
+                    now: self.now,
+                    seed: self.seed,
+                    signals: &mut self.signals,
+                    queue: &mut self.queue,
+                    seq: &mut self.seq,
+                };
+                component.init(&mut ctx);
+                self.components[i] = component;
+            }
+        }
+
+        let start_events = self.events_processed;
+        while let Some(&Reverse((t, _, _))) = self.queue.peek() {
+            if t > deadline {
+                break;
+            }
+            // Apply every transaction maturing at time t.
+            self.now = t;
+            let mut changed: Vec<usize> = Vec::new();
+            while let Some(&Reverse((tt, _, sig))) = self.queue.peek() {
+                if tt != t {
+                    break;
+                }
+                self.queue.pop();
+                let state = &mut self.signals[sig];
+                let Some(value) = state.pending.remove(&t) else {
+                    continue; // superseded transaction
+                };
+                self.events_processed += 1;
+                if value != state.value {
+                    state.value = value;
+                    if state.probed {
+                        state.trace.changes.push((t, value));
+                    }
+                    changed.push(sig);
+                }
+            }
+            // Wake components sensitive to the changed signals (each at
+            // most once per time step).
+            let mut woken: Vec<usize> = changed
+                .iter()
+                .flat_map(|&sig| self.signals[sig].fanout.iter().map(|c| c.0))
+                .collect();
+            woken.sort_unstable();
+            woken.dedup();
+            for comp in woken {
+                let mut component = std::mem::replace(&mut self.components[comp], Box::new(Nop));
+                let mut ctx = Context {
+                    now: self.now,
+                    seed: self.seed,
+                    signals: &mut self.signals,
+                    queue: &mut self.queue,
+                    seq: &mut self.seq,
+                };
+                component.react(&mut ctx);
+                self.components[comp] = component;
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        self.events_processed - start_events
+    }
+}
+
+impl fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("signals", &self.signals.len())
+            .field("components", &self.components.len())
+            .field("events", &self.events_processed)
+            .finish()
+    }
+}
+
+fn derive_seed(seed: u64, salt: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(salt.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Exposes a component's sensitivity list so [`Simulator::add_component`]
+/// can wire its wake-ups.
+pub trait Sensitive {
+    /// The signals whose changes wake this component.
+    fn sensitivity(&self) -> Vec<SignalId>;
+}
+
+/// Placeholder component used internally while a component is borrowed for
+/// reaction.
+struct Nop;
+
+impl Component for Nop {
+    fn name(&self) -> &str {
+        "nop"
+    }
+    fn react(&mut self, _ctx: &mut Context<'_>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates::{GateFunc, LogicGate};
+
+    #[test]
+    fn transport_supersedes_later_transactions() {
+        let mut sim = Simulator::new(0);
+        let s = sim.add_signal("s", false);
+        sim.probe(s);
+        sim.set_after(s, true, Time::from_ps(100.0));
+        // A later-scheduled transaction at an earlier time deletes the
+        // first one (VHDL transport rule).
+        sim.set_after(s, false, Time::from_ps(50.0));
+        sim.run_until(Time::from_ps(1000.0));
+        // Only the 50 ps transaction survives, and it is a no-op change.
+        assert!(sim.trace(s).unwrap().is_empty());
+        assert!(!sim.value(s));
+    }
+
+    #[test]
+    fn events_apply_in_time_order() {
+        let mut sim = Simulator::new(0);
+        let s = sim.add_signal("s", false);
+        sim.probe(s);
+        sim.set_after(s, true, Time::from_ps(10.0));
+        sim.run_until(Time::from_ps(10.0));
+        sim.set_after(s, false, Time::from_ps(10.0));
+        sim.run_until(Time::from_ps(1000.0));
+        let trace = sim.trace(s).unwrap();
+        assert_eq!(
+            trace.changes(),
+            &[
+                (Time::from_ps(10.0), true),
+                (Time::from_ps(20.0), false)
+            ]
+        );
+        assert_eq!(trace.rising_edges(), vec![Time::from_ps(10.0)]);
+        assert_eq!(trace.falling_edges(), vec![Time::from_ps(20.0)]);
+    }
+
+    #[test]
+    fn trace_value_lookup() {
+        let trace = Trace {
+            initial: true,
+            changes: vec![
+                (Time::from_ps(10.0), false),
+                (Time::from_ps(30.0), true),
+            ],
+        };
+        assert!(trace.value_at(Time::from_ps(5.0)));
+        assert!(!trace.value_at(Time::from_ps(10.0)) || !trace.value_at(Time::from_ps(10.0)));
+        assert!(!trace.value_at(Time::from_ps(29.0)));
+        assert!(trace.value_at(Time::from_ps(30.0)));
+        assert_eq!(trace.len(), 2);
+    }
+
+    #[test]
+    fn deadline_stops_the_run() {
+        let mut sim = Simulator::new(0);
+        let a = sim.add_signal("a", false);
+        let y = sim.add_signal("y", true);
+        sim.add_component(LogicGate::new(
+            "inv",
+            GateFunc::Inv,
+            vec![a],
+            y,
+            Time::from_ps(10.0),
+        ));
+        sim.probe(y);
+        sim.set_after(a, true, Time::from_ps(100.0));
+        sim.run_until(Time::from_ps(50.0));
+        assert_eq!(sim.now(), Time::from_ps(50.0));
+        assert!(sim.value(y), "inverter has not reacted yet");
+        sim.run_until(Time::from_ps(200.0));
+        assert!(!sim.value(y));
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let run = |seed: u64| {
+            let mut sim = Simulator::new(seed);
+            let a = sim.add_signal("a", false);
+            let y = sim.add_signal("y", false);
+            sim.add_component(
+                LogicGate::new("buf", GateFunc::Buf, vec![a], y, Time::from_ps(37.0))
+                    .with_jitter(0.05),
+            );
+            sim.probe(y);
+            for i in 1..100 {
+                sim.set_after(a, i % 2 == 1, Time::from_ps(100.0) * i);
+            }
+            sim.run_until(Time::from_us(1.0));
+            sim.trace(y).unwrap().clone()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds must jitter differently");
+    }
+
+    #[test]
+    fn derive_seed_spreads() {
+        let sim = Simulator::new(1);
+        let a = sim.derive_seed(0);
+        let b = sim.derive_seed(1);
+        assert_ne!(a, b);
+        assert_ne!(a & 0xFFFF_FFFF, b & 0xFFFF_FFFF);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero or negative delay")]
+    fn zero_delay_is_rejected() {
+        let mut sim = Simulator::new(0);
+        let s = sim.add_signal("s", false);
+        sim.set_after(s, true, Time::ZERO);
+    }
+}

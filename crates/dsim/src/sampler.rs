@@ -1,0 +1,231 @@
+//! Edge-triggered sampler (decision flip-flop) with a shared sample log.
+
+use crate::kernel::{Component, Context, Sensitive, SignalId};
+use gcco_units::Time;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// A shared, cheaply clonable log of `(sample time, sampled value)` pairs
+/// recorded by a [`Sampler`].
+///
+/// Clones share the same underlying storage, so keep one clone outside the
+/// simulator to read the samples after the run.
+#[derive(Clone, Debug, Default)]
+pub struct SampleLog {
+    inner: Rc<RefCell<Vec<(Time, bool)>>>,
+}
+
+impl SampleLog {
+    /// Creates an empty log.
+    pub fn new() -> SampleLog {
+        SampleLog::default()
+    }
+
+    /// Appends a sample.
+    pub fn push(&self, t: Time, v: bool) {
+        self.inner.borrow_mut().push((t, v));
+    }
+
+    /// Snapshot of the recorded samples.
+    pub fn samples(&self) -> Vec<(Time, bool)> {
+        self.inner.borrow().clone()
+    }
+
+    /// The sampled bits only.
+    pub fn bits(&self) -> Vec<bool> {
+        self.inner.borrow().iter().map(|&(_, v)| v).collect()
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+}
+
+/// A rising-edge-triggered D flip-flop: samples `data` on every rising
+/// edge of `clock`, drives `q` after a clock-to-q delay, and optionally
+/// records each sample in a [`SampleLog`].
+///
+/// This is the decision circuit of the CDR: its sample stream *is* the
+/// recovered data.
+///
+/// # Examples
+///
+/// ```
+/// use gcco_dsim::{PeriodicClock, SampleLog, Sampler, Simulator};
+/// use gcco_units::{Freq, Time};
+///
+/// let mut sim = Simulator::new(0);
+/// let clk = sim.add_signal("clk", false);
+/// let d = sim.add_signal("d", true);
+/// let q = sim.add_signal("q", false);
+/// let log = SampleLog::new();
+/// sim.add_component(PeriodicClock::new("ck", clk, Freq::from_ghz(1.0)));
+/// sim.add_component(
+///     Sampler::new("ff", clk, d, q, Time::from_ps(20.0)).with_log(log.clone()));
+/// sim.run_until(Time::from_ns(5.0));
+/// assert_eq!(log.len(), 5);
+/// assert!(log.bits().iter().all(|&b| b));
+/// ```
+pub struct Sampler {
+    name: String,
+    clock: SignalId,
+    data: SignalId,
+    q: SignalId,
+    clk_to_q: Time,
+    log: Option<SampleLog>,
+    last_clock: bool,
+}
+
+impl Sampler {
+    /// Creates a sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clk_to_q` is not positive.
+    pub fn new(
+        name: impl Into<String>,
+        clock: SignalId,
+        data: SignalId,
+        q: SignalId,
+        clk_to_q: Time,
+    ) -> Sampler {
+        assert!(clk_to_q > Time::ZERO, "clock-to-q must be positive");
+        Sampler {
+            name: name.into(),
+            clock,
+            data,
+            q,
+            clk_to_q,
+            log: None,
+            last_clock: false,
+        }
+    }
+
+    /// Attaches a sample log (keep a clone to read it after the run).
+    pub fn with_log(mut self, log: SampleLog) -> Sampler {
+        self.log = Some(log);
+        self
+    }
+}
+
+impl Sensitive for Sampler {
+    fn sensitivity(&self) -> Vec<SignalId> {
+        vec![self.clock]
+    }
+}
+
+impl Component for Sampler {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn init(&mut self, ctx: &mut Context<'_>) {
+        self.last_clock = ctx.value(self.clock);
+    }
+
+    fn react(&mut self, ctx: &mut Context<'_>) {
+        let clock = ctx.value(self.clock);
+        let rising = clock && !self.last_clock;
+        self.last_clock = clock;
+        if !rising {
+            return;
+        }
+        let sample = ctx.value(self.data);
+        if let Some(log) = &self.log {
+            log.push(ctx.now(), sample);
+        }
+        if sample != ctx.value(self.q) {
+            ctx.schedule(self.q, sample, self.clk_to_q);
+        }
+    }
+}
+
+impl fmt::Debug for Sampler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sampler").field("name", &self.name).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Simulator;
+    use crate::sources::PeriodicClock;
+    use gcco_units::Freq;
+
+    #[test]
+    fn samples_on_rising_edges_only() {
+        let mut sim = Simulator::new(0);
+        let clk = sim.add_signal("clk", false);
+        let d = sim.add_signal("d", false);
+        let q = sim.add_signal("q", false);
+        let log = SampleLog::new();
+        sim.add_component(PeriodicClock::new("ck", clk, Freq::from_ghz(1.0)));
+        sim.add_component(
+            Sampler::new("ff", clk, d, q, Time::from_ps(20.0)).with_log(log.clone()),
+        );
+        // Data toggles mid-cycle; samples follow the value at clock edges.
+        sim.drive(
+            d,
+            &[
+                (Time::from_ps(700.0), true),   // before edge @1500
+                (Time::from_ps(1700.0), false), // before edge @2500
+            ],
+        );
+        sim.run_until(Time::from_ns(3.0));
+        // Rising edges at 500, 1500, 2500 ps.
+        let samples = log.samples();
+        assert_eq!(samples.len(), 3);
+        assert_eq!(
+            samples,
+            vec![
+                (Time::from_ps(500.0), false),
+                (Time::from_ps(1500.0), true),
+                (Time::from_ps(2500.0), false),
+            ]
+        );
+    }
+
+    #[test]
+    fn q_follows_with_clk_to_q_delay() {
+        let mut sim = Simulator::new(0);
+        let clk = sim.add_signal("clk", false);
+        let d = sim.add_signal("d", true);
+        let q = sim.add_signal("q", false);
+        sim.add_component(PeriodicClock::new("ck", clk, Freq::from_ghz(1.0)));
+        sim.add_component(Sampler::new("ff", clk, d, q, Time::from_ps(35.0)));
+        sim.probe(q);
+        sim.run_until(Time::from_ns(2.0));
+        assert_eq!(
+            sim.trace(q).unwrap().changes(),
+            &[(Time::from_ps(535.0), true)]
+        );
+    }
+
+    #[test]
+    fn log_is_shared_between_clones() {
+        let log = SampleLog::new();
+        let clone = log.clone();
+        log.push(Time::from_ps(1.0), true);
+        assert_eq!(clone.len(), 1);
+        assert!(!clone.is_empty());
+        assert_eq!(clone.bits(), vec![true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock-to-q must be positive")]
+    fn rejects_zero_clk_to_q() {
+        let mut sim = Simulator::new(0);
+        let clk = sim.add_signal("clk", false);
+        let d = sim.add_signal("d", false);
+        let q = sim.add_signal("q", false);
+        let _ = Sampler::new("ff", clk, d, q, Time::ZERO);
+    }
+}

@@ -1,0 +1,223 @@
+//! Stimulus sources: waveform players and free-running clocks.
+
+use crate::gates::gaussian;
+use crate::kernel::{Component, Context, Sensitive, SignalId, Simulator};
+use gcco_units::{Freq, Time};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+impl Simulator {
+    /// Drives a signal with a pre-computed waveform: a list of
+    /// `(absolute time, value)` changes.
+    ///
+    /// This is how synthesized jittered data streams (e.g.
+    /// `gcco_signal::EdgeStream`) enter the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the change times are not strictly increasing or not in the
+    /// future.
+    pub fn drive(&mut self, sig: SignalId, changes: &[(Time, bool)]) {
+        let mut prev = self.now();
+        for &(t, v) in changes {
+            assert!(t > prev, "drive times must be strictly increasing");
+            prev = t;
+            let delay = t - self.now();
+            self.set_after(sig, v, delay);
+        }
+    }
+}
+
+/// A free-running clock source with optional cycle-to-cycle Gaussian period
+/// jitter.
+///
+/// # Examples
+///
+/// ```
+/// use gcco_dsim::{PeriodicClock, Simulator};
+/// use gcco_units::{Freq, Time};
+///
+/// let mut sim = Simulator::new(0);
+/// let clk = sim.add_signal("clk", false);
+/// sim.add_component(PeriodicClock::new("ck", clk, Freq::from_ghz(1.0)));
+/// sim.probe(clk);
+/// sim.run_until(Time::from_ns(10.0));
+/// assert_eq!(sim.trace(clk).unwrap().rising_edges().len(), 10);
+/// ```
+pub struct PeriodicClock {
+    name: String,
+    output: SignalId,
+    half_period: Time,
+    start_delay: Time,
+    jitter_sigma: f64,
+    rng: Option<SmallRng>,
+    started: bool,
+}
+
+impl PeriodicClock {
+    /// Creates a 50 %-duty clock at `freq`, starting with a rising edge
+    /// half a period after t = 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq` is zero.
+    pub fn new(name: impl Into<String>, output: SignalId, freq: Freq) -> PeriodicClock {
+        let half_period = freq.period() / 2;
+        assert!(half_period > Time::ZERO, "frequency too high for the fs grid");
+        PeriodicClock {
+            name: name.into(),
+            output,
+            half_period,
+            start_delay: half_period,
+            jitter_sigma: 0.0,
+            rng: None,
+            started: false,
+        }
+    }
+
+    /// Delays the first edge by `delay` instead of half a period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is not positive.
+    pub fn with_start_delay(mut self, delay: Time) -> PeriodicClock {
+        assert!(delay > Time::ZERO, "start delay must be positive");
+        self.start_delay = delay;
+        self
+    }
+
+    /// Enables Gaussian cycle jitter with relative sigma (fraction of the
+    /// half period).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ sigma < 0.3`.
+    pub fn with_jitter(mut self, sigma: f64) -> PeriodicClock {
+        assert!((0.0..0.3).contains(&sigma), "sigma {sigma} out of range");
+        self.jitter_sigma = sigma;
+        self
+    }
+
+    fn next_delay(&mut self) -> Time {
+        if self.jitter_sigma == 0.0 {
+            return self.half_period;
+        }
+        let rng = self.rng.as_mut().expect("seeded at init");
+        let g = gaussian(rng);
+        Time::from_secs((self.half_period.secs() * (1.0 + self.jitter_sigma * g)).max(1e-15))
+    }
+}
+
+impl Sensitive for PeriodicClock {
+    fn sensitivity(&self) -> Vec<SignalId> {
+        vec![self.output]
+    }
+}
+
+impl Component for PeriodicClock {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn init(&mut self, ctx: &mut Context<'_>) {
+        if self.jitter_sigma > 0.0 && self.rng.is_none() {
+            let salt = self
+                .name
+                .bytes()
+                .fold(0u64, |acc, b| acc.wrapping_mul(131).wrapping_add(b as u64));
+            self.rng = Some(SmallRng::seed_from_u64(ctx.derive_seed(salt)));
+        }
+        self.started = true;
+        let first = !ctx.value(self.output);
+        let delay = self.start_delay;
+        ctx.schedule(self.output, first, delay);
+    }
+
+    fn react(&mut self, ctx: &mut Context<'_>) {
+        let next = !ctx.value(self.output);
+        let delay = self.next_delay();
+        ctx.schedule(self.output, next, delay);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_period_is_exact_without_jitter() {
+        let mut sim = Simulator::new(0);
+        let clk = sim.add_signal("clk", false);
+        sim.add_component(PeriodicClock::new("ck", clk, Freq::from_ghz(2.5)));
+        sim.probe(clk);
+        sim.run_until(Time::from_ns(40.0));
+        let rising = sim.trace(clk).unwrap().rising_edges();
+        assert_eq!(rising.len(), 100);
+        for w in rising.windows(2) {
+            assert_eq!(w[1] - w[0], Time::from_ps(400.0));
+        }
+    }
+
+    #[test]
+    fn start_delay_moves_first_edge() {
+        let mut sim = Simulator::new(0);
+        let clk = sim.add_signal("clk", false);
+        sim.add_component(
+            PeriodicClock::new("ck", clk, Freq::from_ghz(1.0))
+                .with_start_delay(Time::from_ps(123.0)),
+        );
+        sim.probe(clk);
+        sim.run_until(Time::from_ns(5.0));
+        assert_eq!(
+            sim.trace(clk).unwrap().rising_edges()[0],
+            Time::from_ps(123.0)
+        );
+    }
+
+    #[test]
+    fn jittered_clock_keeps_mean_period() {
+        let mut sim = Simulator::new(11);
+        let clk = sim.add_signal("clk", false);
+        sim.add_component(
+            PeriodicClock::new("ck", clk, Freq::from_ghz(1.0)).with_jitter(0.02),
+        );
+        sim.probe(clk);
+        sim.run_until(Time::from_us(1.0));
+        let rising = sim.trace(clk).unwrap().rising_edges();
+        assert!(rising.len() > 900);
+        let total = *rising.last().unwrap() - rising[0];
+        let mean_period = total.secs() / (rising.len() - 1) as f64;
+        assert!((mean_period / 1e-9 - 1.0).abs() < 0.01, "{mean_period}");
+        // Periods must actually vary.
+        let p0 = rising[1] - rising[0];
+        assert!(rising.windows(2).any(|w| (w[1] - w[0]) != p0));
+    }
+
+    #[test]
+    fn drive_plays_waveforms() {
+        let mut sim = Simulator::new(0);
+        let d = sim.add_signal("d", false);
+        sim.probe(d);
+        sim.drive(
+            d,
+            &[
+                (Time::from_ps(100.0), true),
+                (Time::from_ps(300.0), false),
+                (Time::from_ps(350.0), true),
+            ],
+        );
+        sim.run_until(Time::from_ns(1.0));
+        assert_eq!(sim.trace(d).unwrap().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn drive_rejects_unsorted() {
+        let mut sim = Simulator::new(0);
+        let d = sim.add_signal("d", false);
+        sim.drive(
+            d,
+            &[(Time::from_ps(200.0), true), (Time::from_ps(100.0), false)],
+        );
+    }
+}

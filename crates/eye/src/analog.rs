@@ -1,0 +1,265 @@
+//! Two-dimensional analog eye diagrams (voltage × phase histograms).
+//!
+//! Used for the transistor-level-style eye of the paper's Fig. 18, where
+//! the waveform carries real rise/fall shapes rather than ideal steps.
+
+use gcco_units::{Time, Ui};
+use std::fmt;
+
+/// A 2-D analog eye: a histogram over (phase within the folded window,
+/// normalized voltage).
+///
+/// # Examples
+///
+/// ```
+/// use gcco_eye::AnalogEye;
+/// use gcco_units::Time;
+///
+/// let mut eye = AnalogEye::new(Time::from_ps(400.0), 64, 32, (-0.5, 0.5));
+/// eye.add_sample(Time::from_ps(100.0), 0.4);
+/// eye.add_sample(Time::from_ps(500.0), -0.4); // folds onto phase 0.25
+/// assert_eq!(eye.total_samples(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AnalogEye {
+    period: Time,
+    bins_x: usize,
+    bins_y: usize,
+    v_range: (f64, f64),
+    counts: Vec<u64>,
+    total: u64,
+    t_offset: Time,
+}
+
+impl AnalogEye {
+    /// Creates an eye folding on `period`, with the given phase/voltage
+    /// bin counts and the voltage range mapped onto the y axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is not positive, bins are < 8/8, or the range
+    /// is empty.
+    pub fn new(period: Time, bins_x: usize, bins_y: usize, v_range: (f64, f64)) -> AnalogEye {
+        assert!(period > Time::ZERO, "non-positive fold period");
+        assert!(bins_x >= 8 && bins_y >= 8, "need ≥ 8 bins per axis");
+        assert!(v_range.1 > v_range.0, "empty voltage range");
+        AnalogEye {
+            period,
+            bins_x,
+            bins_y,
+            v_range,
+            counts: vec![0; bins_x * bins_y],
+            total: 0,
+            t_offset: Time::ZERO,
+        }
+    }
+
+    /// Shifts the fold phase so that `offset` maps to phase 0.
+    pub fn with_time_offset(mut self, offset: Time) -> AnalogEye {
+        self.t_offset = offset;
+        self
+    }
+
+    /// Adds one waveform sample. Samples outside the voltage range are
+    /// clamped into the edge bins.
+    pub fn add_sample(&mut self, t: Time, v: f64) {
+        let rel = ((t - self.t_offset) % self.period + self.period) % self.period;
+        let x = ((rel / self.period) * self.bins_x as f64) as usize % self.bins_x;
+        let span = self.v_range.1 - self.v_range.0;
+        let yf = ((v - self.v_range.0) / span * self.bins_y as f64).clamp(0.0, self.bins_y as f64 - 1.0);
+        let y = yf as usize;
+        self.counts[y * self.bins_x + x] += 1;
+        self.total += 1;
+    }
+
+    /// Adds a uniformly sampled waveform starting at `t0` with sample
+    /// spacing `dt`.
+    pub fn add_waveform(&mut self, t0: Time, dt: Time, samples: &[f64]) {
+        for (i, &v) in samples.iter().enumerate() {
+            self.add_sample(t0 + dt * i as i64, v);
+        }
+    }
+
+    /// Total samples accumulated.
+    pub fn total_samples(&self) -> u64 {
+        self.total
+    }
+
+    /// Count in bin `(x, y)`.
+    pub fn count(&self, x: usize, y: usize) -> u64 {
+        self.counts[y * self.bins_x + x]
+    }
+
+    /// Horizontal eye opening at the vertical mid-line: the widest
+    /// contiguous phase interval (in UI of the fold period) where the
+    /// middle voltage band is unoccupied.
+    pub fn horizontal_opening(&self) -> Ui {
+        // Middle band: the central quarter of the voltage axis.
+        let y_lo = self.bins_y * 3 / 8;
+        let y_hi = self.bins_y * 5 / 8;
+        let occupied: Vec<bool> = (0..self.bins_x)
+            .map(|x| (y_lo..y_hi).any(|y| self.count(x, y) > 0))
+            .collect();
+        let mut best = 0usize;
+        let mut run = 0usize;
+        for &occ in occupied.iter().chain(occupied.iter()) {
+            if !occ {
+                run += 1;
+                best = best.max(run.min(self.bins_x));
+            } else {
+                run = 0;
+            }
+        }
+        Ui::new(best as f64 / self.bins_x as f64)
+    }
+
+    /// Vertical eye opening at the horizontal mid-line (phase 0.5): the
+    /// widest unoccupied voltage gap, as a fraction of the voltage range.
+    pub fn vertical_opening(&self) -> f64 {
+        let x = self.bins_x / 2;
+        let occupied: Vec<bool> = (0..self.bins_y).map(|y| self.count(x, y) > 0).collect();
+        let mut best = 0usize;
+        let mut run = 0usize;
+        for &occ in &occupied {
+            if !occ {
+                run += 1;
+                best = best.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        best as f64 / self.bins_y as f64
+    }
+
+    /// ASCII density plot (rows = voltage top-down, columns = phase).
+    pub fn render_ascii(&self) -> String {
+        const SHADES: &[u8] = b" .:*#@";
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for y in (0..self.bins_y).rev() {
+            for x in 0..self.bins_x {
+                let c = self.count(x, y);
+                let shade = if c == 0 {
+                    0
+                } else {
+                    1 + ((c as f64 / max as f64).powf(0.4) * (SHADES.len() - 2) as f64) as usize
+                };
+                out.push(SHADES[shade.min(SHADES.len() - 1)] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Exports `phase_ui,v_norm,count` CSV rows for occupied bins.
+    pub fn to_csv(&self) -> String {
+        let mut csv = String::from("phase_ui,v,count\n");
+        let span = self.v_range.1 - self.v_range.0;
+        for y in 0..self.bins_y {
+            for x in 0..self.bins_x {
+                let c = self.count(x, y);
+                if c > 0 {
+                    let phase = (x as f64 + 0.5) / self.bins_x as f64;
+                    let v = self.v_range.0 + (y as f64 + 0.5) / self.bins_y as f64 * span;
+                    csv.push_str(&format!("{phase:.5},{v:.5},{c}\n"));
+                }
+            }
+        }
+        csv
+    }
+}
+
+impl fmt::Display for AnalogEye {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "AnalogEye({}×{} bins, {} samples, H {:.3} UI / V {:.2})",
+            self.bins_x,
+            self.bins_y,
+            self.total,
+            self.horizontal_opening().value(),
+            self.vertical_opening()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn period() -> Time {
+        Time::from_ps(400.0)
+    }
+
+    #[test]
+    fn folding_and_counting() {
+        let mut eye = AnalogEye::new(period(), 64, 32, (-1.0, 1.0));
+        eye.add_sample(Time::from_ps(100.0), 0.5);
+        eye.add_sample(Time::from_ps(500.0), 0.5); // same phase, next UI
+        let x = 64 / 4; // phase 0.25
+        let y = (0.75 * 32.0) as usize; // v=0.5 in [-1,1] → 3/4 up
+        assert_eq!(eye.count(x, y), 2);
+    }
+
+    #[test]
+    fn clean_square_wave_has_open_eye() {
+        let mut eye = AnalogEye::new(period(), 64, 32, (-1.2, 1.2));
+        // Alternating ±1 levels with fast edges at phase 0.
+        for ui in 0..200 {
+            let level = if ui % 2 == 0 { 1.0 } else { -1.0 };
+            for s in 2..38 {
+                let t = Time::from_ps(400.0) * ui + Time::from_ps(10.0) * s;
+                eye.add_sample(t, level);
+            }
+        }
+        assert!(eye.horizontal_opening().value() > 0.5, "{eye}");
+        assert!(eye.vertical_opening() > 0.5, "{eye}");
+    }
+
+    #[test]
+    fn noise_closes_the_eye() {
+        let mut eye = AnalogEye::new(period(), 32, 16, (-1.0, 1.0));
+        // Scribble across the whole plane.
+        for i in 0..4000 {
+            let t = Time::from_ps(7.0) * i;
+            let v = ((i * 2654435761u64 as i64) % 2000) as f64 / 1000.0 - 1.0;
+            eye.add_sample(t, v);
+        }
+        assert!(eye.vertical_opening() < 0.2, "{eye}");
+    }
+
+    #[test]
+    fn waveform_helper_counts_all() {
+        let mut eye = AnalogEye::new(period(), 16, 8, (0.0, 1.0));
+        eye.add_waveform(Time::ZERO, Time::from_ps(10.0), &[0.1, 0.5, 0.9, 1.5, -0.5]);
+        assert_eq!(eye.total_samples(), 5, "out-of-range samples clamp, not drop");
+    }
+
+    #[test]
+    fn offset_shifts_phase() {
+        let mut a = AnalogEye::new(period(), 64, 8, (0.0, 1.0));
+        let mut b = AnalogEye::new(period(), 64, 8, (0.0, 1.0)).with_time_offset(Time::from_ps(100.0));
+        a.add_sample(Time::from_ps(100.0), 0.5);
+        b.add_sample(Time::from_ps(100.0), 0.5);
+        let ya = 4usize;
+        assert_eq!(a.count(16, ya), 1);
+        assert_eq!(b.count(0, ya), 1);
+    }
+
+    #[test]
+    fn ascii_and_csv() {
+        let mut eye = AnalogEye::new(period(), 16, 8, (0.0, 1.0));
+        eye.add_sample(Time::from_ps(200.0), 0.9);
+        let art = eye.render_ascii();
+        assert_eq!(art.lines().count(), 8);
+        assert!(art.contains('@') || art.contains('.'));
+        let csv = eye.to_csv();
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty voltage range")]
+    fn bad_range() {
+        let _ = AnalogEye::new(period(), 16, 8, (1.0, -1.0));
+    }
+}

@@ -1,0 +1,446 @@
+//! Edge-aligned digital eye diagrams.
+//!
+//! The paper's VHDL "eye generator block" (§3.3b) does *not* fold the data
+//! waveform on a fixed time grid — it aligns every sweep on **the rising
+//! edge of the recovered sampling clock**, which is what makes the
+//! gated-oscillator eye asymmetry visible: the resynchronized left data
+//! edge forms a narrow distribution while the right edge smears with
+//! accumulated jitter and frequency error (Fig. 14). This module implements
+//! that exact alignment.
+
+use gcco_units::{Time, Ui};
+use std::fmt;
+
+/// An edge-aligned digital eye: histograms of data-transition phases
+/// relative to the recovered-clock rising edges.
+///
+/// Phases are expressed in UI with the clock edge at 0.5 UI (mid-eye, the
+/// nominal sampling point), so the eye window spans `[0, 1)` with the bit
+/// boundaries nominally at 0 and 1.
+///
+/// # Examples
+///
+/// ```
+/// use gcco_eye::DigitalEye;
+/// use gcco_units::{Freq, Time};
+///
+/// let mut eye = DigitalEye::new(Freq::from_gbps(2.5), 128);
+/// // A transition 180 ps before a clock edge at 1 ns:
+/// eye.add_clock_edge(Time::from_ns(1.0));
+/// eye.add_data_transition(Time::from_ps(820.0));
+/// let h = eye.histogram();
+/// assert_eq!(h.iter().sum::<u64>(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DigitalEye {
+    period: Time,
+    bins: usize,
+    histogram: Vec<u64>,
+    clock_edges: Vec<Time>,
+    transitions: Vec<Time>,
+    folded: bool,
+}
+
+impl DigitalEye {
+    /// Creates an eye for the given bit rate with `bins` phase bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins < 8`.
+    pub fn new(bit_rate: gcco_units::Freq, bins: usize) -> DigitalEye {
+        assert!(bins >= 8, "need at least 8 phase bins");
+        DigitalEye {
+            period: bit_rate.period(),
+            bins,
+            histogram: vec![0; bins],
+            clock_edges: Vec::new(),
+            transitions: Vec::new(),
+            folded: false,
+        }
+    }
+
+    /// Registers a recovered-clock rising edge (an alignment reference).
+    pub fn add_clock_edge(&mut self, t: Time) {
+        self.folded = false;
+        self.clock_edges.push(t);
+    }
+
+    /// Registers a data transition time.
+    pub fn add_data_transition(&mut self, t: Time) {
+        self.folded = false;
+        self.transitions.push(t);
+    }
+
+    /// Bulk registration convenience.
+    pub fn extend(&mut self, clock_edges: &[Time], transitions: &[Time]) {
+        self.folded = false;
+        self.clock_edges.extend_from_slice(clock_edges);
+        self.transitions.extend_from_slice(transitions);
+    }
+
+    /// Number of phase bins.
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Phase (UI, clock edge at 0.5) of the centre of bin `i`.
+    pub fn phase_of_bin(&self, i: usize) -> Ui {
+        Ui::new((i as f64 + 0.5) / self.bins as f64)
+    }
+
+    fn fold(&mut self) {
+        if self.folded {
+            return;
+        }
+        self.histogram = vec![0; self.bins];
+        self.clock_edges.sort_unstable();
+        // Each transition is referenced to the nearest clock edge: phase =
+        // (t - t_clk)/T + 0.5, wrapped into [0, 1).
+        for &t in &self.transitions {
+            let Some(t_clk) = nearest(&self.clock_edges, t) else {
+                continue;
+            };
+            let rel = (t - t_clk) / self.period + 0.5;
+            let wrapped = rel.rem_euclid(1.0);
+            let bin = ((wrapped * self.bins as f64) as usize).min(self.bins - 1);
+            self.histogram[bin] += 1;
+        }
+        self.folded = true;
+    }
+
+    /// The transition-phase histogram (lazily folded).
+    pub fn histogram(&mut self) -> &[u64] {
+        self.fold();
+        &self.histogram
+    }
+
+    /// Total transitions folded into the histogram.
+    pub fn total_transitions(&mut self) -> u64 {
+        self.histogram().iter().sum()
+    }
+
+    /// Horizontal eye opening: the widest run of empty phase bins around
+    /// the sampling point (0.5 UI), in UI. Returns zero when transitions
+    /// land in every bin.
+    pub fn opening(&mut self) -> Ui {
+        self.fold();
+        let bins = self.bins;
+        // Find the longest circular run of zero bins.
+        let doubled: Vec<u64> = self
+            .histogram
+            .iter()
+            .chain(self.histogram.iter())
+            .copied()
+            .collect();
+        let mut best = 0usize;
+        let mut run = 0usize;
+        for &count in &doubled {
+            if count == 0 {
+                run += 1;
+                best = best.max(run.min(bins));
+            } else {
+                run = 0;
+            }
+        }
+        Ui::new(best as f64 / bins as f64)
+    }
+
+    /// RMS spread (in UI) of the transition cluster nearest to the given
+    /// phase, using a ±0.25 UI window. `None` if no transitions fall in the
+    /// window.
+    ///
+    /// The paper's asymmetry check: `edge_spread(0.0)` (resynchronized left
+    /// edge) is much tighter than `edge_spread(1.0)` would be if the right
+    /// boundary were separate — with wrap-around folding both boundaries
+    /// map near 0/1, so compare spreads of the distribution below vs above
+    /// the sampling point instead via [`DigitalEye::edge_asymmetry`].
+    pub fn edge_spread(&mut self, phase: f64) -> Option<Ui> {
+        self.fold();
+        let mut weights = 0u64;
+        let mut mean = 0.0;
+        let mut m2 = 0.0;
+        for i in 0..self.bins {
+            let p = (i as f64 + 0.5) / self.bins as f64;
+            let mut d = p - phase;
+            if d > 0.5 {
+                d -= 1.0;
+            }
+            if d < -0.5 {
+                d += 1.0;
+            }
+            if d.abs() > 0.25 {
+                continue;
+            }
+            let w = self.histogram[i];
+            if w == 0 {
+                continue;
+            }
+            weights += w;
+            let delta = d - mean;
+            mean += delta * w as f64 / weights as f64;
+            m2 += w as f64 * delta * (d - mean);
+        }
+        if weights == 0 {
+            None
+        } else {
+            Some(Ui::new((m2 / weights as f64).max(0.0).sqrt()))
+        }
+    }
+
+    /// Timing margins from the sampling instant (phase 0.5) to the nearest
+    /// occupied phase bin on each side: `(left, right)` in UI.
+    ///
+    /// This is the quantitative form of the paper's Fig. 14/16 comparison:
+    /// a slow oscillator erodes the *right* margin (the accumulated
+    /// closing-edge cluster creeps toward the sampling instant), and the
+    /// improved −T/8 tap rebalances the two. Returns `(0.5, 0.5)` for an
+    /// empty histogram.
+    pub fn margins(&mut self) -> (Ui, Ui) {
+        self.fold();
+        let bins = self.bins;
+        let half = bins / 2;
+        let mut left = half;
+        for step in 1..=half {
+            if self.histogram[half - step] > 0 {
+                left = step - 1;
+                break;
+            }
+        }
+        let mut right = half;
+        for step in 1..=half {
+            if self.histogram[(half + step) % bins] > 0 {
+                right = step - 1;
+                break;
+            }
+        }
+        (
+            Ui::new(left as f64 / bins as f64),
+            Ui::new(right as f64 / bins as f64),
+        )
+    }
+
+    /// Ratio of transition mass in the half-UI *left* of the sampling
+    /// point (phases 0.25–0.5) to the mass *right* of it (0.5–0.75).
+    ///
+    /// For a gated-oscillator eye the left side — the retimed edge — is
+    /// nearly empty while frequency offset pushes the accumulated right
+    /// edge inward, so values ≪ 1 reproduce the Fig. 14 asymmetry.
+    pub fn edge_asymmetry(&mut self) -> f64 {
+        self.fold();
+        let quarter = self.bins / 4;
+        let half = self.bins / 2;
+        let left: u64 = self.histogram[quarter..half].iter().sum();
+        let right: u64 = self.histogram[half..half + quarter].iter().sum();
+        (left as f64 + 1.0) / (right as f64 + 1.0)
+    }
+
+    /// Renders the transition histogram as an ASCII strip chart: one
+    /// column per bin group, `height` rows, `#` for density.
+    pub fn render_ascii(&mut self, width: usize, height: usize) -> String {
+        self.fold();
+        let width = width.clamp(16, self.bins);
+        let height = height.clamp(4, 64);
+        // Downsample bins into columns.
+        let mut cols = vec![0u64; width];
+        for (i, &c) in self.histogram.iter().enumerate() {
+            cols[i * width / self.bins] += c;
+        }
+        let max = cols.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for row in (0..height).rev() {
+            let threshold = (row as f64 + 0.5) / height as f64;
+            for &c in &cols {
+                let density = (c as f64 / max as f64).powf(0.5);
+                out.push(if density >= threshold { '#' } else { ' ' });
+            }
+            out.push('\n');
+        }
+        // Axis: mark the sampling instant at 0.5 UI.
+        let mut axis = vec![b'-'; width];
+        axis[width / 2] = b'^';
+        out.push_str(std::str::from_utf8(&axis).unwrap());
+        out.push_str("\n0.0 UI        sample        1.0 UI\n");
+        out
+    }
+
+    /// Exports the histogram as `phase_ui,count` CSV rows.
+    pub fn to_csv(&mut self) -> String {
+        self.fold();
+        let mut csv = String::from("phase_ui,transitions\n");
+        for i in 0..self.bins {
+            csv.push_str(&format!(
+                "{:.6},{}\n",
+                self.phase_of_bin(i).value(),
+                self.histogram[i]
+            ));
+        }
+        csv
+    }
+}
+
+impl fmt::Display for DigitalEye {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DigitalEye({} bins, {} clock edges, {} transitions)",
+            self.bins,
+            self.clock_edges.len(),
+            self.transitions.len()
+        )
+    }
+}
+
+/// Binary-search the nearest reference edge.
+fn nearest(sorted: &[Time], t: Time) -> Option<Time> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let idx = sorted.partition_point(|&e| e <= t);
+    let after = sorted.get(idx);
+    let before = idx.checked_sub(1).map(|i| sorted[i]);
+    match (before, after) {
+        (Some(b), Some(&a)) => Some(if t - b <= a - t { b } else { a }),
+        (Some(b), None) => Some(b),
+        (None, Some(&a)) => Some(a),
+        (None, None) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcco_units::Freq;
+
+    fn rate() -> Freq {
+        Freq::from_gbps(2.5)
+    }
+
+    #[test]
+    fn transitions_fold_to_expected_phase() {
+        let mut eye = DigitalEye::new(rate(), 100);
+        eye.add_clock_edge(Time::from_ns(10.0));
+        // Transition exactly at the clock edge → phase 0.5.
+        eye.add_data_transition(Time::from_ns(10.0));
+        // Transition half a UI earlier → phase 0.0.
+        eye.add_data_transition(Time::from_ps(9800.0));
+        let h = eye.histogram().to_vec();
+        assert_eq!(h[50], 1, "{h:?}");
+        assert_eq!(h[0], 1);
+    }
+
+    #[test]
+    fn opening_full_when_edges_at_boundary() {
+        let mut eye = DigitalEye::new(rate(), 64);
+        for k in 0..100 {
+            let t_clk = Time::from_ps(400.0) * k + Time::from_ps(200.0);
+            eye.add_clock_edge(t_clk);
+            eye.add_data_transition(Time::from_ps(400.0) * k); // boundary
+        }
+        let opening = eye.opening();
+        assert!(opening.value() > 0.9, "{opening}");
+    }
+
+    #[test]
+    fn opening_zero_when_uniformly_jittered() {
+        let mut eye = DigitalEye::new(rate(), 32);
+        eye.add_clock_edge(Time::from_ns(100.0));
+        // Pepper transitions across all phases.
+        for i in 0..640 {
+            eye.add_data_transition(Time::from_ns(100.0) + Time::from_ps(i as f64 * 12.5));
+        }
+        assert_eq!(eye.opening(), Ui::ZERO);
+    }
+
+    #[test]
+    fn edge_spread_measures_cluster_width() {
+        let mut eye = DigitalEye::new(rate(), 400);
+        eye.add_clock_edge(Time::from_ns(50.0));
+        // Tight cluster at the bit boundary (phase 0).
+        for i in -2i64..=2 {
+            eye.add_data_transition(Time::from_ns(50.0) - Time::from_ps(200.0) + Time::from_ps(i as f64 * 2.0));
+        }
+        let tight = eye.edge_spread(0.0).unwrap();
+        assert!(tight.value() < 0.02, "{tight}");
+        // Wide cluster.
+        let mut wide_eye = DigitalEye::new(rate(), 400);
+        wide_eye.add_clock_edge(Time::from_ns(50.0));
+        for i in -2i64..=2 {
+            wide_eye.add_data_transition(
+                Time::from_ns(50.0) - Time::from_ps(200.0) + Time::from_ps(i as f64 * 30.0),
+            );
+        }
+        let wide = wide_eye.edge_spread(0.0).unwrap();
+        assert!(wide > tight);
+        assert!(wide_eye.edge_spread(0.5).is_none(), "no cluster mid-eye");
+    }
+
+    #[test]
+    fn margins_measure_both_sides() {
+        let mut eye = DigitalEye::new(rate(), 100);
+        eye.add_clock_edge(Time::from_ns(10.0));
+        // Transition 80 ps after the sample point (phase 0.7) and one at
+        // the bit boundary (phase 0.0/1.0).
+        eye.add_data_transition(Time::from_ns(10.0) + Time::from_ps(80.0));
+        eye.add_data_transition(Time::from_ns(10.0) - Time::from_ps(200.0));
+        let (left, right) = eye.margins();
+        assert!((right.value() - 0.19).abs() < 0.02, "right {right}");
+        assert!((left.value() - 0.49).abs() < 0.02, "left {left}");
+    }
+
+    #[test]
+    fn margins_of_empty_eye_are_half() {
+        let mut eye = DigitalEye::new(rate(), 64);
+        let (left, right) = eye.margins();
+        assert_eq!(left, Ui::HALF);
+        assert_eq!(right, Ui::HALF);
+    }
+
+    #[test]
+    fn asymmetry_detects_right_edge_erosion() {
+        let mut eye = DigitalEye::new(rate(), 64);
+        eye.add_clock_edge(Time::from_ns(10.0));
+        // Transitions just right of the sampling instant (accumulated
+        // drift pushing the closing edge inward).
+        for i in 0..50 {
+            eye.add_data_transition(
+                Time::from_ns(10.0) + Time::from_ps(30.0 + (i % 5) as f64 * 10.0),
+            );
+        }
+        assert!(eye.edge_asymmetry() < 0.1);
+    }
+
+    #[test]
+    fn ascii_render_contains_marker() {
+        let mut eye = DigitalEye::new(rate(), 64);
+        eye.add_clock_edge(Time::from_ns(1.0));
+        eye.add_data_transition(Time::from_ps(800.0));
+        let art = eye.render_ascii(64, 8);
+        assert!(art.contains('^'));
+        assert!(art.contains('#'));
+        assert!(art.lines().count() >= 9);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let mut eye = DigitalEye::new(rate(), 16);
+        eye.add_clock_edge(Time::from_ns(1.0));
+        eye.add_data_transition(Time::from_ns(1.0));
+        let csv = eye.to_csv();
+        assert_eq!(csv.lines().count(), 17);
+        assert!(csv.starts_with("phase_ui,transitions"));
+        assert!(csv.contains(",1"));
+    }
+
+    #[test]
+    fn transitions_without_clock_edges_are_ignored() {
+        let mut eye = DigitalEye::new(rate(), 16);
+        eye.add_data_transition(Time::from_ns(1.0));
+        assert_eq!(eye.total_transitions(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8")]
+    fn too_few_bins() {
+        let _ = DigitalEye::new(rate(), 4);
+    }
+}

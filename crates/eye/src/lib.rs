@@ -1,0 +1,23 @@
+//! Eye-diagram accumulation, metrics and rendering.
+//!
+//! Two flavours, matching the two kinds of eye the DATE'05 GCCO paper
+//! shows:
+//!
+//! * [`DigitalEye`] — the paper's VHDL "eye generator block" (§3.3b):
+//!   data-transition histograms aligned on **recovered-clock rising
+//!   edges** rather than a fixed time grid, which is what exposes the
+//!   gated-oscillator left/right edge asymmetry of Figs. 14/16;
+//! * [`AnalogEye`] — a 2-D voltage × phase histogram for continuous
+//!   waveforms, the Fig. 18 transistor-level-style eye.
+//!
+//! Both render to ASCII for terminal inspection and export CSV for real
+//! plotting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analog;
+mod digital;
+
+pub use analog::AnalogEye;
+pub use digital::DigitalEye;

@@ -1,0 +1,243 @@
+//! Electrical model of a current-mode-logic (CML) delay cell.
+
+use gcco_units::{Capacitance, Current, Freq, Power, Resistance, Temperature, Time, Voltage};
+use std::fmt;
+
+/// A fully differential CML delay cell / gate: a differential pair with
+/// tail current `I_SS`, resistive loads `R_L` and load capacitance `C_L`.
+///
+/// This is the unit the paper's GCCO is built from — "all delay cells in
+/// the delay line and the ring oscillator are built with identical
+/// current-mode logic two-input gates" (§2.2). The cell's electrical
+/// parameters feed both the phase-noise model (Fig. 11) and the power
+/// budget (the 5 mW/Gbit/s claim).
+///
+/// # Examples
+///
+/// ```
+/// use gcco_noise::CmlCell;
+/// use gcco_units::{Current, Time, Voltage};
+///
+/// // Size a cell for a 2.5 GHz four-stage ring: t_d = T/8 = 50 ps.
+/// let cell = CmlCell::sized_for_delay(
+///     Current::from_microamps(200.0),
+///     Voltage::from_volts(0.4),
+///     Time::from_ps(50.0),
+/// );
+/// assert!((cell.delay().ps() - 50.0).abs() < 1.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CmlCell {
+    /// Tail bias current.
+    pub iss: Current,
+    /// Load resistance.
+    pub rl: Resistance,
+    /// Total load capacitance at each output node.
+    pub cl: Capacitance,
+    /// Supply voltage (for power accounting).
+    pub vdd: Voltage,
+    /// Excess-noise factor γ of the active devices (≈ 2/3 long-channel,
+    /// 1–2 short-channel).
+    pub gamma: f64,
+    /// Operating temperature.
+    pub temp: Temperature,
+}
+
+impl CmlCell {
+    /// Default supply for the paper's 0.18 µm process.
+    pub const DEFAULT_VDD: f64 = 1.8;
+
+    /// Creates a cell from its primitive element values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element value is non-positive or `gamma` is not in
+    /// `(0, 10)`.
+    pub fn new(iss: Current, rl: Resistance, cl: Capacitance) -> CmlCell {
+        assert!(iss.amps() > 0.0, "non-positive tail current");
+        assert!(rl.ohms() > 0.0, "non-positive load resistance");
+        assert!(cl.farads() > 0.0, "non-positive load capacitance");
+        CmlCell {
+            iss,
+            rl,
+            cl,
+            vdd: Voltage::from_volts(CmlCell::DEFAULT_VDD),
+            gamma: 1.5,
+            temp: Temperature::ROOM,
+        }
+    }
+
+    /// Sizes a cell for a given delay at a given swing: the load resistor
+    /// is set by `R_L = ΔV / I_SS` and the capacitance back-solved from the
+    /// RC delay.
+    pub fn sized_for_delay(iss: Current, swing: Voltage, delay: Time) -> CmlCell {
+        assert!(swing.volts() > 0.0, "non-positive swing");
+        let rl = Resistance::from_ohms(swing.volts() / iss.amps());
+        let cl = Capacitance::from_farads(delay.secs() / (rl.ohms() * std::f64::consts::LN_2));
+        CmlCell::new(iss, rl, cl)
+    }
+
+    /// Returns a copy with a different excess-noise factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < gamma < 10`.
+    pub fn with_gamma(mut self, gamma: f64) -> CmlCell {
+        assert!(gamma > 0.0 && gamma < 10.0, "implausible gamma {gamma}");
+        self.gamma = gamma;
+        self
+    }
+
+    /// Returns a copy with a different supply voltage.
+    pub fn with_vdd(mut self, vdd: Voltage) -> CmlCell {
+        assert!(vdd.volts() > 0.0, "non-positive supply");
+        self.vdd = vdd;
+        self
+    }
+
+    /// Returns a copy at a different temperature.
+    pub fn with_temp(mut self, temp: Temperature) -> CmlCell {
+        self.temp = temp;
+        self
+    }
+
+    /// Differential output swing `ΔV = I_SS · R_L`.
+    pub fn swing(&self) -> Voltage {
+        self.iss * self.rl
+    }
+
+    /// Propagation delay: the RC settling time to the differential
+    /// switching threshold, `t_d = ln 2 · R_L · C_L`.
+    pub fn delay(&self) -> Time {
+        Time::from_secs(std::f64::consts::LN_2 * self.rl.ohms() * self.cl.farads())
+    }
+
+    /// Output time constant `τ = R_L · C_L`.
+    pub fn tau(&self) -> Time {
+        Time::from_secs(self.rl.ohms() * self.cl.farads())
+    }
+
+    /// Static power drawn from the supply, `P = I_SS · V_DD` (CML draws
+    /// constant current — the key to its low switching noise).
+    pub fn power(&self) -> Power {
+        self.iss * self.vdd
+    }
+
+    /// Rise time (10–90 %) of the RC output, `2.2·τ`.
+    pub fn rise_time(&self) -> Time {
+        Time::from_secs(2.2 * self.rl.ohms() * self.cl.farads())
+    }
+
+    /// The η factor of Hajimiri's model: the ratio between cell delay and
+    /// rise time (paper: "η indicates the relationship between rise-time
+    /// and cell delay").
+    pub fn eta(&self) -> f64 {
+        self.delay() / self.rise_time()
+    }
+
+    /// Oscillation frequency of a ring of `n_stages` such cells
+    /// (`f = 1 / (2·N·t_d)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_stages` is zero.
+    pub fn ring_frequency(&self, n_stages: u32) -> Freq {
+        assert!(n_stages > 0, "ring needs at least one stage");
+        Freq::from_hz(1.0 / (2.0 * n_stages as f64 * self.delay().secs()))
+    }
+}
+
+impl fmt::Display for CmlCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CML(I_SS {}, R_L {}, C_L {}, ΔV {}, t_d {})",
+            self.iss,
+            self.rl,
+            self.cl,
+            self.swing(),
+            self.delay()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell() -> CmlCell {
+        CmlCell::sized_for_delay(
+            Current::from_microamps(200.0),
+            Voltage::from_volts(0.4),
+            Time::from_ps(50.0),
+        )
+    }
+
+    #[test]
+    fn sizing_round_trips() {
+        let c = cell();
+        assert!((c.delay().ps() - 50.0).abs() < 0.5);
+        assert!((c.swing().volts() - 0.4).abs() < 1e-12);
+        assert!((c.rl.ohms() - 2000.0).abs() < 1e-9);
+        // C = t_d/(R ln2) = 50 ps / (2 kΩ · 0.693) ≈ 36 fF.
+        assert!((c.cl.farads() - 36e-15).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ring_frequency_matches_paper_rate() {
+        // Four-stage ring at 2.5 GHz needs t_d = 50 ps.
+        let f = cell().ring_frequency(4);
+        assert!((f.ghz() - 2.5).abs() < 0.05, "{f}");
+    }
+
+    #[test]
+    fn power_is_iv() {
+        let p = cell().power();
+        assert!((p.milliwatts() - 0.36).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eta_is_delay_over_rise_time() {
+        let c = cell();
+        // ln2·τ / 2.2·τ ≈ 0.315, independent of sizing.
+        assert!((c.eta() - std::f64::consts::LN_2 / 2.2).abs() < 1e-4);
+    }
+
+    #[test]
+    fn tau_and_rise_time() {
+        let c = cell();
+        assert!((c.rise_time() / c.tau() - 2.2).abs() < 1e-4);
+    }
+
+    #[test]
+    fn builders() {
+        let c = cell()
+            .with_gamma(0.667)
+            .with_vdd(Voltage::from_volts(1.2))
+            .with_temp(Temperature::from_celsius(85.0));
+        assert_eq!(c.gamma, 0.667);
+        assert!((c.power().milliwatts() - 0.24).abs() < 1e-9);
+        assert!((c.temp.kelvin() - 358.15).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive tail current")]
+    fn rejects_zero_current() {
+        let _ = CmlCell::new(
+            Current::from_amps(0.0),
+            Resistance::from_ohms(1e3),
+            Capacitance::from_farads(1e-15),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "implausible gamma")]
+    fn rejects_bad_gamma() {
+        let _ = cell().with_gamma(0.0);
+    }
+
+    #[test]
+    fn display() {
+        assert!(cell().to_string().starts_with("CML(I_SS 200µA"));
+    }
+}

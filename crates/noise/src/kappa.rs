@@ -1,0 +1,273 @@
+//! Ring-oscillator timing-jitter figure of merit κ and phase noise.
+//!
+//! White (thermal) noise makes an autonomous oscillator's timing error grow
+//! as a random walk: the RMS jitter accumulated over a delay `Δt` is
+//!
+//! ```text
+//! σ(Δt) = κ · √Δt
+//! ```
+//!
+//! with `κ` in `√s` — McNeill's figure of merit. The paper's §3.2 uses two
+//! estimates of κ for a CML ring oscillator to trade phase noise against
+//! power (Fig. 11):
+//!
+//! * **Hajimiri** (eq. 1): `κ² = 8kT/(3η·I_SS) · (γ/ΔV + 1/(R_L·I_SS))`,
+//!   derived from the impulse-sensitivity-function analysis of
+//!   differential ring oscillators;
+//! * a **McNeill-style variant**: `κ² = ζ·4kT/(I_SS·ΔV)` — the first-order
+//!   noise-per-delay-cell estimate with an empirical excess factor `ζ`
+//!   (default `2(1+γ)/3`).
+//!
+//! Both scale as `κ ∝ 1/√I_SS` at fixed swing, which is the Fig. 11
+//! trade-off: halving the jitter power-spectral density costs twice the
+//! current.
+
+use crate::cml::CmlCell;
+use gcco_units::{Freq, Time, BOLTZMANN};
+use std::fmt;
+
+/// Phase-noise model used to estimate κ.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PhaseNoiseModel {
+    /// Hajimiri's ISF-based expression (the paper's eq. 1). `eta` is the
+    /// delay-to-rise-time ratio; pass [`CmlCell::eta`] or the classic 0.75.
+    Hajimiri {
+        /// Rise-time/delay proportionality factor η.
+        eta: f64,
+    },
+    /// First-order McNeill-style estimate with excess factor ζ.
+    McNeillVariant {
+        /// Empirical excess factor ζ (≈ `2(1+γ)/3`).
+        zeta: f64,
+    },
+}
+
+impl PhaseNoiseModel {
+    /// Hajimiri model with the cell's own η.
+    pub fn hajimiri_for(cell: &CmlCell) -> PhaseNoiseModel {
+        PhaseNoiseModel::Hajimiri { eta: cell.eta() }
+    }
+
+    /// McNeill variant with ζ derived from the cell's γ.
+    pub fn mcneill_for(cell: &CmlCell) -> PhaseNoiseModel {
+        PhaseNoiseModel::McNeillVariant {
+            zeta: 2.0 * (1.0 + cell.gamma) / 3.0,
+        }
+    }
+
+    /// The jitter figure of merit κ (in `√s`) for a ring built from `cell`.
+    pub fn kappa(&self, cell: &CmlCell) -> Kappa {
+        let kt = BOLTZMANN * cell.temp.kelvin();
+        let iss = cell.iss.amps();
+        let dv = cell.swing().volts();
+        let k2 = match *self {
+            PhaseNoiseModel::Hajimiri { eta } => {
+                assert!(eta > 0.0 && eta <= 1.0, "eta out of (0,1]: {eta}");
+                8.0 * kt / (3.0 * eta * iss) * (cell.gamma / dv + 1.0 / (cell.rl.ohms() * iss))
+            }
+            PhaseNoiseModel::McNeillVariant { zeta } => {
+                assert!(zeta > 0.0, "non-positive zeta {zeta}");
+                zeta * 4.0 * kt / (iss * dv)
+            }
+        };
+        Kappa::from_sqrt_secs(k2.sqrt())
+    }
+}
+
+impl fmt::Display for PhaseNoiseModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhaseNoiseModel::Hajimiri { eta } => write!(f, "Hajimiri(η={eta:.3})"),
+            PhaseNoiseModel::McNeillVariant { zeta } => write!(f, "McNeill(ζ={zeta:.3})"),
+        }
+    }
+}
+
+/// McNeill's jitter figure of merit: `σ(Δt) = κ·√Δt`.
+///
+/// # Examples
+///
+/// ```
+/// use gcco_noise::Kappa;
+/// use gcco_units::{Freq, Time};
+///
+/// let kappa = Kappa::from_sqrt_secs(2e-8);
+/// // Jitter accumulated over 5 bits at 2.5 Gbit/s:
+/// let sigma = kappa.sigma_after(Time::from_ps(5.0 * 400.0));
+/// assert!((sigma.ps() - 2e-8 * (2e-9f64).sqrt() * 1e12).abs() < 1e-3);
+/// let ui = kappa.sigma_ui_after_bits(5, Freq::from_gbps(2.5));
+/// assert!(ui > 0.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
+pub struct Kappa(f64);
+
+impl Kappa {
+    /// Creates a κ from its value in `√s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is negative or not finite.
+    pub fn from_sqrt_secs(value: f64) -> Kappa {
+        assert!(value.is_finite() && value >= 0.0, "invalid kappa {value}");
+        Kappa(value)
+    }
+
+    /// The raw value in `√s`.
+    pub fn sqrt_secs(self) -> f64 {
+        self.0
+    }
+
+    /// RMS jitter accumulated over `dt`.
+    pub fn sigma_after(self, dt: Time) -> Time {
+        Time::from_secs(self.0 * dt.secs().max(0.0).sqrt())
+    }
+
+    /// RMS jitter accumulated over `n` bit periods, in UI.
+    pub fn sigma_ui_after_bits(self, n: u32, bit_rate: Freq) -> f64 {
+        let t = bit_rate.period().secs() * n as f64;
+        self.0 * t.sqrt() * bit_rate.hz()
+    }
+
+    /// The κ needed to keep the accumulated jitter at `sigma_ui` UI RMS
+    /// after `n` bit periods — the paper's sizing constraint
+    /// (0.01 UIrms at CID = 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `sigma_ui` is not positive.
+    pub fn required_for(sigma_ui: f64, n: u32, bit_rate: Freq) -> Kappa {
+        assert!(n > 0, "need at least one bit period");
+        assert!(sigma_ui > 0.0, "non-positive jitter target");
+        let t = bit_rate.period().secs() * n as f64;
+        Kappa::from_sqrt_secs(sigma_ui / (t.sqrt() * bit_rate.hz()))
+    }
+
+    /// Single-sideband phase noise `L(Δf)` in dBc/Hz at offset `df` from a
+    /// carrier `f0`, for the white-noise random-walk phase model:
+    /// `L(Δf) = κ²·f0² / Δf²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `df` is zero.
+    pub fn phase_noise_dbc(self, f0: Freq, df: Freq) -> f64 {
+        assert!(df.hz() > 0.0, "zero offset frequency");
+        let l = self.0 * self.0 * f0.hz() * f0.hz() / (df.hz() * df.hz());
+        10.0 * l.log10()
+    }
+
+    /// Inverse of [`Kappa::phase_noise_dbc`]: the κ implied by a measured
+    /// phase noise `l_dbc` at offset `df` from carrier `f0`.
+    pub fn from_phase_noise(l_dbc: f64, f0: Freq, df: Freq) -> Kappa {
+        let l = 10f64.powf(l_dbc / 10.0);
+        Kappa::from_sqrt_secs((l * df.hz() * df.hz() / (f0.hz() * f0.hz())).sqrt())
+    }
+}
+
+impl fmt::Display for Kappa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "κ={:.3e}√s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcco_units::{Current, Time, Voltage};
+
+    fn cell() -> CmlCell {
+        CmlCell::sized_for_delay(
+            Current::from_microamps(200.0),
+            Voltage::from_volts(0.4),
+            Time::from_ps(50.0),
+        )
+    }
+
+    #[test]
+    fn hajimiri_magnitude_is_plausible() {
+        // Ring-oscillator κ values sit in the 1e-9…1e-7 √s range.
+        let kappa = PhaseNoiseModel::hajimiri_for(&cell()).kappa(&cell());
+        assert!(
+            kappa.sqrt_secs() > 1e-9 && kappa.sqrt_secs() < 1e-7,
+            "{kappa}"
+        );
+    }
+
+    #[test]
+    fn models_agree_within_small_factor() {
+        // Fig. 11 shows Hajimiri and the McNeill variant as nearby curves.
+        let c = cell();
+        let h = PhaseNoiseModel::hajimiri_for(&c).kappa(&c).sqrt_secs();
+        let m = PhaseNoiseModel::mcneill_for(&c).kappa(&c).sqrt_secs();
+        let ratio = h / m;
+        assert!(ratio > 0.3 && ratio < 3.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn kappa_scales_inverse_sqrt_current_at_fixed_swing() {
+        let swing = Voltage::from_volts(0.4);
+        let c1 = CmlCell::sized_for_delay(Current::from_microamps(100.0), swing, Time::from_ps(50.0));
+        let c4 = CmlCell::sized_for_delay(Current::from_microamps(400.0), swing, Time::from_ps(50.0));
+        for model in [
+            PhaseNoiseModel::Hajimiri { eta: 0.75 },
+            PhaseNoiseModel::McNeillVariant { zeta: 1.0 },
+        ] {
+            let ratio = model.kappa(&c1).sqrt_secs() / model.kappa(&c4).sqrt_secs();
+            assert!((ratio - 2.0).abs() < 1e-9, "{model}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn sigma_accumulates_as_sqrt_time() {
+        let kappa = Kappa::from_sqrt_secs(1e-8);
+        let s1 = kappa.sigma_after(Time::from_ns(1.0));
+        let s4 = kappa.sigma_after(Time::from_ns(4.0));
+        assert!((s4 / s1 - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn required_kappa_round_trips() {
+        let rate = Freq::from_gbps(2.5);
+        let kappa = Kappa::required_for(0.01, 5, rate);
+        let sigma = kappa.sigma_ui_after_bits(5, rate);
+        assert!((sigma - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_bias_meets_the_jitter_budget() {
+        // The sized 200 µA cell must beat the 0.01 UIrms @ CID 5 target —
+        // this is the headline of §3.2.
+        let c = cell();
+        let kappa = PhaseNoiseModel::hajimiri_for(&c).kappa(&c);
+        let rate = Freq::from_gbps(2.5);
+        let sigma = kappa.sigma_ui_after_bits(5, rate);
+        assert!(sigma < 0.01, "σ = {sigma} UIrms");
+    }
+
+    #[test]
+    fn phase_noise_round_trip_and_slope() {
+        let kappa = Kappa::from_sqrt_secs(2e-8);
+        let f0 = Freq::from_ghz(2.5);
+        let l1m = kappa.phase_noise_dbc(f0, Freq::from_mhz(1.0));
+        let l10m = kappa.phase_noise_dbc(f0, Freq::from_mhz(10.0));
+        // -20 dB/decade.
+        assert!((l1m - l10m - 20.0).abs() < 1e-9);
+        let back = Kappa::from_phase_noise(l1m, f0, Freq::from_mhz(1.0));
+        assert!((back.sqrt_secs() / 2e-8 - 1.0).abs() < 1e-12);
+        // Sanity: ring oscillators at GHz show ~-90…-110 dBc/Hz @ 1 MHz.
+        assert!(l1m < -80.0 && l1m > -130.0, "L(1MHz) = {l1m}");
+    }
+
+    #[test]
+    fn display() {
+        assert!(Kappa::from_sqrt_secs(1.5e-8).to_string().contains("1.500e-8"));
+        assert!(PhaseNoiseModel::Hajimiri { eta: 0.75 }
+            .to_string()
+            .contains("Hajimiri"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid kappa")]
+    fn rejects_negative() {
+        let _ = Kappa::from_sqrt_secs(-1.0);
+    }
+}

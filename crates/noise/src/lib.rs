@@ -1,0 +1,43 @@
+//! Ring-oscillator phase-noise and power models for CML delay-cell sizing.
+//!
+//! Implements §3.2 of the DATE'05 GCCO paper: thermal-noise-driven timing
+//! jitter of current-mode-logic ring oscillators, expressed through
+//! McNeill's figure of merit `κ` (`σ(Δt) = κ·√Δt`), estimated with
+//! Hajimiri's expression (the paper's eq. 1) and a McNeill-style variant,
+//! and traded off against power to size the oscillator bias (Fig. 11).
+//!
+//! # Examples
+//!
+//! Size the ring for the paper's jitter budget and check the power
+//! headline:
+//!
+//! ```
+//! use gcco_noise::{size_for_jitter, ChannelPowerBudget, PhaseNoiseModel};
+//! use gcco_units::{Current, Freq, Voltage};
+//!
+//! let cell = size_for_jitter(
+//!     PhaseNoiseModel::Hajimiri { eta: 0.75 },
+//!     Voltage::from_volts(0.4),
+//!     Freq::from_ghz(2.5),
+//!     4,      // ring stages
+//!     5,      // CID
+//!     0.01,   // UI RMS target
+//!     Current::from_amps(0.01),
+//! ).expect("reachable");
+//! let budget = ChannelPowerBudget::paper_channel(cell);
+//! assert!(budget.mw_per_gbps(gcco_units::Freq::from_gbps(2.5)) < 5.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cml;
+mod kappa;
+mod power;
+
+pub use cml::CmlCell;
+pub use kappa::{Kappa, PhaseNoiseModel};
+pub use power::{
+    parasitic_cl_floor, power_noise_tradeoff, size_for_jitter, ChannelPowerBudget,
+    TradeoffPoint, PARASITIC_CL_FLOOR_FARADS,
+};

@@ -1,0 +1,353 @@
+//! Power budgeting and phase-noise-driven bias sizing (the paper's Fig. 11
+//! and its 5 mW/Gbit/s headline).
+
+use crate::cml::CmlCell;
+use crate::kappa::{Kappa, PhaseNoiseModel};
+use gcco_units::{Capacitance, Current, Freq, Power, Time, Voltage};
+use std::fmt;
+
+/// One point of the phase-noise–power trade-off curve (Fig. 11).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TradeoffPoint {
+    /// Per-cell tail current at this point.
+    pub iss: Current,
+    /// Power of the whole ring (all stages).
+    pub ring_power: Power,
+    /// Jitter figure of merit.
+    pub kappa: Kappa,
+    /// Accumulated sampling-clock jitter at the design CID, in UI RMS.
+    pub sigma_ui: f64,
+}
+
+/// Sweeps the tail current of a fixed-swing, fixed-frequency CML ring and
+/// reports the κ/power trade-off — the data behind Fig. 11.
+///
+/// The swing is held constant (so `R_L` scales as `ΔV/I_SS`) and the cell
+/// delay is held at `1/(2·n_stages·f_ring)` (so `C_L` absorbs the `R_L`
+/// change): exactly the degrees of freedom a designer sweeps when biasing
+/// for phase noise.
+///
+/// # Panics
+///
+/// Panics if the current range is empty/invalid or `steps < 2`.
+pub fn power_noise_tradeoff(
+    model: PhaseNoiseModel,
+    swing: Voltage,
+    f_ring: Freq,
+    n_stages: u32,
+    cid: u32,
+    iss_range: (Current, Current),
+    steps: usize,
+) -> Vec<TradeoffPoint> {
+    let (lo, hi) = (iss_range.0.amps(), iss_range.1.amps());
+    assert!(lo > 0.0 && hi > lo, "invalid current range [{lo}, {hi}] A");
+    assert!(steps >= 2, "need at least 2 sweep steps");
+    let delay = Time::from_secs(1.0 / (2.0 * n_stages as f64 * f_ring.hz()));
+    let bit_rate = f_ring; // CCO clock = bit rate in the GCCO architecture.
+    (0..steps)
+        .map(|i| {
+            // Logarithmic sweep, as Fig. 11 is log-log.
+            let iss = Current::from_amps(lo * (hi / lo).powf(i as f64 / (steps - 1) as f64));
+            let cell = CmlCell::sized_for_delay(iss, swing, delay);
+            let kappa = model.kappa(&cell);
+            TradeoffPoint {
+                iss,
+                ring_power: cell.power() * n_stages as f64,
+                kappa,
+                sigma_ui: kappa.sigma_ui_after_bits(cid, bit_rate),
+            }
+        })
+        .collect()
+}
+
+/// Minimum realistic CML node capacitance in farads (25 fF): device gate +
+/// junction + wiring parasitics in a 0.18 µm process. The noise sizing
+/// cannot shrink the cell below the current needed to drive this load at
+/// the required stage delay.
+pub const PARASITIC_CL_FLOOR_FARADS: f64 = 25e-15;
+
+/// [`PARASITIC_CL_FLOOR_FARADS`] as a typed quantity.
+pub fn parasitic_cl_floor() -> Capacitance {
+    Capacitance::from_farads(PARASITIC_CL_FLOOR_FARADS)
+}
+
+/// Finds the minimum tail current whose κ meets a sampling-jitter target
+/// (`sigma_ui` UI RMS at `cid` bits) — the paper's §3.2 sizing step
+/// ("the oscillator bias currents and derived device dimensions are chosen
+/// based on this graph").
+///
+/// Two constraints bind:
+///
+/// * **noise**: `κ(I_SS) ≤ κ_target`, monotone in `I_SS` at fixed swing;
+/// * **speed**: the cell must realize `t_d = 1/(2·N·f)` while driving at
+///   least [`PARASITIC_CL_FLOOR_FARADS`] of parasitic load, which puts a
+///   floor `I_SS ≥ ΔV·ln2·C_min/t_d` on the current.
+///
+/// Returns the sized cell at the larger of the two minima, or `None` if
+/// even `iss_max` cannot meet the noise target.
+///
+/// # Panics
+///
+/// Panics if the jitter target is non-positive.
+pub fn size_for_jitter(
+    model: PhaseNoiseModel,
+    swing: Voltage,
+    f_ring: Freq,
+    n_stages: u32,
+    cid: u32,
+    sigma_ui: f64,
+    iss_max: Current,
+) -> Option<CmlCell> {
+    assert!(sigma_ui > 0.0, "non-positive jitter target");
+    let target = Kappa::required_for(sigma_ui, cid, f_ring);
+    let delay = Time::from_secs(1.0 / (2.0 * n_stages as f64 * f_ring.hz()));
+    // Speed floor: R_L ≤ t_d/(ln2·C_min) ⇒ I_SS ≥ ΔV·ln2·C_min/t_d.
+    let iss_floor =
+        swing.volts() * std::f64::consts::LN_2 * PARASITIC_CL_FLOOR_FARADS / delay.secs();
+    let meets = |iss_amps: f64| {
+        let cell = CmlCell::sized_for_delay(Current::from_amps(iss_amps), swing, delay);
+        model.kappa(&cell) <= target
+    };
+    let hi = iss_max.amps();
+    if !meets(hi) {
+        return None;
+    }
+    let mut lo = hi * 1e-6;
+    let mut hi = hi;
+    if meets(lo) {
+        hi = lo;
+    }
+    for _ in 0..60 {
+        let mid = (lo * hi).sqrt();
+        if meets(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(CmlCell::sized_for_delay(
+        Current::from_amps(hi.max(iss_floor)),
+        swing,
+        delay,
+    ))
+}
+
+/// Power budget of one GCCO CDR channel, counted in identical CML cells as
+/// the paper's topology uses them (§2.2, Fig. 7).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChannelPowerBudget {
+    /// The common CML cell the channel is built from.
+    pub cell: CmlCell,
+    /// Ring-oscillator stages (4 in the paper).
+    pub osc_stages: u32,
+    /// Edge-detector delay-line cells (sized for T/2 < τ < T).
+    pub delay_line_cells: u32,
+    /// Other gates: XOR, dummy compensation, sampler, output buffers.
+    pub misc_cells: u32,
+}
+
+impl ChannelPowerBudget {
+    /// The paper's channel composition: a 4-stage ring, a 6-cell delay line
+    /// (τ = 6·T/8 = 0.75·T, inside the safe (T/2, T) window), and 6
+    /// miscellaneous gates.
+    pub fn paper_channel(cell: CmlCell) -> ChannelPowerBudget {
+        ChannelPowerBudget {
+            cell,
+            osc_stages: 4,
+            delay_line_cells: 6,
+            misc_cells: 6,
+        }
+    }
+
+    /// Total cell count.
+    pub fn total_cells(&self) -> u32 {
+        self.osc_stages + self.delay_line_cells + self.misc_cells
+    }
+
+    /// Total channel power.
+    pub fn power(&self) -> Power {
+        self.cell.power() * self.total_cells() as f64
+    }
+
+    /// Power efficiency in mW per Gbit/s at the given data rate — the
+    /// paper's headline metric (target < 5 mW/Gbit/s).
+    pub fn mw_per_gbps(&self, bit_rate: Freq) -> f64 {
+        self.power().milliwatts() / (bit_rate.hz() / 1e9)
+    }
+}
+
+impl fmt::Display for ChannelPowerBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "channel({} cells, {})",
+            self.total_cells(),
+            self.power()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SWING: f64 = 0.4;
+
+    fn swing() -> Voltage {
+        Voltage::from_volts(SWING)
+    }
+
+    fn f_ring() -> Freq {
+        Freq::from_ghz(2.5)
+    }
+
+    #[test]
+    fn tradeoff_curve_is_monotone() {
+        let pts = power_noise_tradeoff(
+            PhaseNoiseModel::Hajimiri { eta: 0.75 },
+            swing(),
+            f_ring(),
+            4,
+            5,
+            (Current::from_microamps(10.0), Current::from_microamps(1000.0)),
+            13,
+        );
+        assert_eq!(pts.len(), 13);
+        for w in pts.windows(2) {
+            assert!(w[1].ring_power > w[0].ring_power, "power grows with I_SS");
+            assert!(
+                w[1].kappa < w[0].kappa,
+                "jitter falls with I_SS: {} then {}",
+                w[0].kappa,
+                w[1].kappa
+            );
+            assert!(w[1].sigma_ui < w[0].sigma_ui);
+        }
+    }
+
+    #[test]
+    fn tradeoff_slope_is_half_decade_per_decade() {
+        // κ ∝ P^(-1/2) at fixed swing (log-log slope −0.5).
+        let pts = power_noise_tradeoff(
+            PhaseNoiseModel::McNeillVariant { zeta: 1.0 },
+            swing(),
+            f_ring(),
+            4,
+            5,
+            (Current::from_microamps(10.0), Current::from_microamps(1000.0)),
+            3,
+        );
+        let slope = (pts[2].kappa.sqrt_secs() / pts[0].kappa.sqrt_secs()).log10()
+            / (pts[2].ring_power / pts[0].ring_power).log10();
+        assert!((slope + 0.5).abs() < 0.01, "slope {slope}");
+    }
+
+    #[test]
+    fn sizing_meets_the_paper_target() {
+        let cell = size_for_jitter(
+            PhaseNoiseModel::Hajimiri { eta: 0.75 },
+            swing(),
+            f_ring(),
+            4,
+            5,
+            0.01,
+            Current::from_amps(0.01),
+        )
+        .expect("target must be reachable");
+        let kappa = PhaseNoiseModel::Hajimiri { eta: 0.75 }.kappa(&cell);
+        let sigma = kappa.sigma_ui_after_bits(5, f_ring());
+        assert!(sigma <= 0.0101, "σ = {sigma}");
+        // The binding constraint here is the parasitic speed floor.
+        let iss_floor = 0.4 * std::f64::consts::LN_2 * PARASITIC_CL_FLOOR_FARADS / 50e-12;
+        assert!(
+            (cell.iss.amps() - iss_floor).abs() / iss_floor < 1e-6,
+            "floor-bound: {} vs {iss_floor}",
+            cell.iss
+        );
+        // And the cell must still hit the ring delay.
+        assert!((cell.delay().ps() - 50.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn tighter_jitter_target_eventually_beats_the_floor() {
+        // A 10x tighter jitter target needs 100x the noise-limited
+        // current, which exceeds the parasitic floor.
+        let cell = size_for_jitter(
+            PhaseNoiseModel::Hajimiri { eta: 0.75 },
+            swing(),
+            f_ring(),
+            4,
+            5,
+            0.001,
+            Current::from_amps(0.05),
+        )
+        .expect("reachable");
+        let iss_floor = 0.4 * std::f64::consts::LN_2 * PARASITIC_CL_FLOOR_FARADS / 50e-12;
+        assert!(cell.iss.amps() > 2.0 * iss_floor, "{}", cell.iss);
+        let sigma = PhaseNoiseModel::Hajimiri { eta: 0.75 }
+            .kappa(&cell)
+            .sigma_ui_after_bits(5, f_ring());
+        assert!(sigma <= 0.00101, "σ = {sigma}");
+    }
+
+    #[test]
+    fn sizing_returns_none_when_unreachable() {
+        let result = size_for_jitter(
+            PhaseNoiseModel::Hajimiri { eta: 0.75 },
+            swing(),
+            f_ring(),
+            4,
+            5,
+            1e-6, // absurd target
+            Current::from_microamps(100.0),
+        );
+        assert!(result.is_none());
+    }
+
+    #[test]
+    fn paper_channel_meets_5mw_per_gbps() {
+        // Size for the paper's jitter budget, then check the headline
+        // power-efficiency claim.
+        let cell = size_for_jitter(
+            PhaseNoiseModel::Hajimiri { eta: 0.75 },
+            swing(),
+            f_ring(),
+            4,
+            5,
+            0.01,
+            Current::from_amps(0.01),
+        )
+        .unwrap();
+        let budget = ChannelPowerBudget::paper_channel(cell);
+        let eff = budget.mw_per_gbps(Freq::from_gbps(2.5));
+        assert!(eff < 5.0, "{eff} mW/Gbit/s");
+        assert!(eff > 0.01, "implausibly low: {eff} mW/Gbit/s");
+    }
+
+    #[test]
+    fn budget_counts_cells() {
+        let cell = CmlCell::sized_for_delay(
+            Current::from_microamps(100.0),
+            swing(),
+            Time::from_ps(50.0),
+        );
+        let b = ChannelPowerBudget::paper_channel(cell);
+        assert_eq!(b.total_cells(), 16);
+        assert!((b.power().milliwatts() - 16.0 * 0.18).abs() < 1e-9);
+        assert!(b.to_string().contains("16 cells"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid current range")]
+    fn tradeoff_rejects_empty_range() {
+        let _ = power_noise_tradeoff(
+            PhaseNoiseModel::Hajimiri { eta: 0.75 },
+            swing(),
+            f_ring(),
+            4,
+            5,
+            (Current::from_microamps(100.0), Current::from_microamps(10.0)),
+            5,
+        );
+    }
+}

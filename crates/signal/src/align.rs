@@ -1,0 +1,184 @@
+//! Comma detection and symbol alignment for 8b10b streams.
+//!
+//! A receiver's sampler produces a bare bit stream with unknown symbol
+//! phase; the K28.5 *comma* (its `0011111`/`1100000` singular sequence
+//! can appear at no other alignment in a valid stream) pins the 10-bit
+//! symbol boundaries. This is the block between the paper's CDR and the
+//! 8b10b decoder in the Fig. 4 receive path.
+
+use crate::bits::BitStream;
+use std::fmt;
+
+/// The seven-bit singular comma sequence of K28.5/K28.1/K28.7 (RD−
+/// polarity): `0011111`. In a valid 8b10b stream it can only occur
+/// starting at a symbol boundary.
+const COMMA_MINUS: [bool; 7] = [false, false, true, true, true, true, true];
+
+/// Result of a successful comma alignment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Alignment {
+    /// Offset (bits) into the stream where the first full symbol starts.
+    pub offset: usize,
+    /// Number of comma sequences found supporting this offset.
+    pub commas: usize,
+}
+
+impl fmt::Display for Alignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "aligned at +{} ({} commas)", self.offset, self.commas)
+    }
+}
+
+/// Finds the 10-bit symbol alignment of an 8b10b bit stream by comma
+/// detection.
+///
+/// Scans for the singular comma sequence in both polarities and returns
+/// the modulo-10 offset with the most supporting commas. Returns `None`
+/// when no comma is present (e.g. a payload-only capture).
+///
+/// # Examples
+///
+/// ```
+/// use gcco_signal::{align_to_commas, Encoder8b10b, Symbol};
+///
+/// let mut enc = Encoder8b10b::new();
+/// let stream = enc.encode_stream(&[
+///     Symbol::data(0x55), Symbol::K28_5, Symbol::data(0x0F),
+/// ]);
+/// // Drop three leading bits to misalign, as a real capture would.
+/// let bits: gcco_signal::BitStream = stream.bits()[3..].iter().copied().collect();
+/// let alignment = align_to_commas(&bits).expect("comma present");
+/// assert_eq!(alignment.offset, 7, "10 - 3 dropped bits");
+/// ```
+pub fn align_to_commas(bits: &BitStream) -> Option<Alignment> {
+    let slice = bits.bits();
+    if slice.len() < COMMA_MINUS.len() {
+        return None;
+    }
+    let mut votes = [0usize; 10];
+    for start in 0..=slice.len() - COMMA_MINUS.len() {
+        let window = &slice[start..start + COMMA_MINUS.len()];
+        let matches_minus = window.iter().zip(&COMMA_MINUS).all(|(a, b)| a == b);
+        let matches_plus = window.iter().zip(&COMMA_MINUS).all(|(a, b)| *a != *b);
+        if matches_minus || matches_plus {
+            votes[start % 10] += 1;
+        }
+    }
+    let (offset, &commas) = votes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, v)| *v)
+        .expect("ten buckets");
+    if commas == 0 {
+        return None;
+    }
+    Some(Alignment { offset, commas })
+}
+
+/// Splits an aligned stream into 10-bit code words (MSB = first bit on
+/// the wire), discarding the trailing partial symbol.
+///
+/// # Examples
+///
+/// ```
+/// use gcco_signal::{codes_from, BitStream};
+/// let bits: BitStream = "0011111010_1100000101".parse()?;
+/// let codes = codes_from(&bits, 0);
+/// assert_eq!(codes, vec![0b0011111010, 0b1100000101]);
+/// # Ok::<(), gcco_signal::ParseBitStreamError>(())
+/// ```
+pub fn codes_from(bits: &BitStream, offset: usize) -> Vec<u16> {
+    bits.bits()[offset.min(bits.len())..]
+        .chunks_exact(10)
+        .map(|chunk| chunk.iter().fold(0u16, |acc, &b| (acc << 1) | u16::from(b)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Decoder8b10b, Encoder8b10b, Symbol};
+
+    fn coded(symbols: &[Symbol]) -> BitStream {
+        Encoder8b10b::new().encode_stream(symbols)
+    }
+
+    #[test]
+    fn finds_comma_at_every_misalignment() {
+        let mut symbols = vec![Symbol::data(0x3A), Symbol::K28_5];
+        symbols.extend((0..30).map(|i| Symbol::data(i * 5)));
+        let stream = coded(&symbols);
+        for drop in 0..10 {
+            let bits: BitStream = stream.bits()[drop..].iter().copied().collect();
+            let alignment = align_to_commas(&bits).expect("comma present");
+            assert_eq!(alignment.offset, (10 - drop) % 10, "drop {drop}");
+        }
+    }
+
+    #[test]
+    fn aligned_codes_decode_cleanly() {
+        let mut symbols = vec![Symbol::K28_5, Symbol::K28_5];
+        symbols.extend((0..=255u8).map(Symbol::data));
+        let stream = coded(&symbols);
+        let bits: BitStream = stream.bits()[4..].iter().copied().collect();
+        let alignment = align_to_commas(&bits).unwrap();
+        let codes = codes_from(&bits, alignment.offset);
+        // Skip to the first comma code, seed the decoder's running
+        // disparity from the comma polarity, and decode what follows.
+        let first_comma = codes
+            .iter()
+            .position(|&c| c == 0b0011111010 || c == 0b1100000101)
+            .unwrap();
+        let mut dec = Decoder8b10b::new();
+        dec.set_disparity(if codes[first_comma] == 0b0011111010 {
+            crate::Disparity::Minus
+        } else {
+            crate::Disparity::Plus
+        });
+        let mut decoded = Vec::new();
+        for &code in &codes[first_comma..] {
+            decoded.push(dec.decode(code).expect("valid code"));
+        }
+        assert_eq!(decoded[0], Symbol::K28_5);
+        let payload_start = decoded.iter().position(|s| *s == Symbol::data(0)).unwrap();
+        assert!(decoded.len() - payload_start >= 256);
+        for (i, s) in decoded[payload_start..payload_start + 256].iter().enumerate() {
+            assert_eq!(*s, Symbol::data(i as u8));
+        }
+    }
+
+    #[test]
+    fn multiple_commas_vote() {
+        let mut symbols = Vec::new();
+        for chunk in 0..8 {
+            symbols.push(Symbol::K28_5);
+            symbols.extend((0..10).map(|i| Symbol::data(chunk * 10 + i)));
+        }
+        let stream = coded(&symbols);
+        let alignment = align_to_commas(&stream).unwrap();
+        assert_eq!(alignment.offset, 0);
+        assert!(alignment.commas >= 8, "{alignment}");
+    }
+
+    #[test]
+    fn no_comma_in_plain_payload() {
+        // D-codes whose boundaries never produce the singular sequence.
+        let symbols: Vec<Symbol> = std::iter::repeat_n(Symbol::data(0x55), 50).collect();
+        let stream = coded(&symbols);
+        assert!(align_to_commas(&stream).is_none());
+    }
+
+    #[test]
+    fn short_stream_is_none() {
+        let bits: BitStream = "00111".parse().unwrap();
+        assert!(align_to_commas(&bits).is_none());
+    }
+
+    #[test]
+    fn codes_from_discards_partial_tail() {
+        let bits: BitStream = "00111110101100000".parse().unwrap();
+        assert_eq!(codes_from(&bits, 0).len(), 1);
+        assert_eq!(codes_from(&bits, 3).len(), 1);
+        assert_eq!(codes_from(&bits, 100), Vec::<u16>::new());
+    }
+}

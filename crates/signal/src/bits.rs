@@ -1,0 +1,239 @@
+//! Bit-stream container and basic statistics.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An owned sequence of NRZ bits.
+///
+/// # Examples
+///
+/// ```
+/// use gcco_signal::BitStream;
+/// let bits: BitStream = "1100101".parse()?;
+/// assert_eq!(bits.len(), 7);
+/// assert_eq!(bits.transition_count(), 4);
+/// # Ok::<(), gcco_signal::ParseBitStreamError>(())
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct BitStream(Vec<bool>);
+
+impl BitStream {
+    /// Creates an empty stream.
+    pub fn new() -> BitStream {
+        BitStream(Vec::new())
+    }
+
+    /// Creates a stream from raw bits.
+    pub fn from_bits(bits: Vec<bool>) -> BitStream {
+        BitStream(bits)
+    }
+
+    /// Creates an alternating `1010…` clock-like pattern of `len` bits.
+    pub fn alternating(len: usize) -> BitStream {
+        BitStream((0..len).map(|i| i % 2 == 0).collect())
+    }
+
+    /// Unpacks bytes LSB-first into a bit stream.
+    pub fn from_bytes_lsb_first(bytes: &[u8]) -> BitStream {
+        BitStream(
+            bytes
+                .iter()
+                .flat_map(|b| (0..8).map(move |i| (b >> i) & 1 == 1))
+                .collect(),
+        )
+    }
+
+    /// The bits as a slice.
+    pub fn bits(&self) -> &[bool] {
+        &self.0
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` if the stream holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, bit: bool) {
+        self.0.push(bit);
+    }
+
+    /// Fraction of ones (mark density), `NaN` for an empty stream.
+    pub fn ones_density(&self) -> f64 {
+        self.0.iter().filter(|&&b| b).count() as f64 / self.0.len() as f64
+    }
+
+    /// Number of bit-to-bit transitions.
+    pub fn transition_count(&self) -> usize {
+        self.0.windows(2).filter(|w| w[0] != w[1]).count()
+    }
+
+    /// Transition density: transitions per bit slot (0..=1).
+    pub fn transition_density(&self) -> f64 {
+        if self.0.len() < 2 {
+            return 0.0;
+        }
+        self.transition_count() as f64 / (self.0.len() - 1) as f64
+    }
+
+    /// Iterates over the bits.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Consumes the stream, returning the raw bits.
+    pub fn into_inner(self) -> Vec<bool> {
+        self.0
+    }
+
+    /// Compares against another stream, returning the number of differing
+    /// bits over the common prefix plus the length mismatch.
+    pub fn hamming_distance(&self, other: &BitStream) -> usize {
+        let common = self
+            .0
+            .iter()
+            .zip(&other.0)
+            .filter(|(a, b)| a != b)
+            .count();
+        common + self.0.len().abs_diff(other.0.len())
+    }
+}
+
+impl Extend<bool> for BitStream {
+    fn extend<T: IntoIterator<Item = bool>>(&mut self, iter: T) {
+        self.0.extend(iter);
+    }
+}
+
+impl FromIterator<bool> for BitStream {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> BitStream {
+        BitStream(iter.into_iter().collect())
+    }
+}
+
+impl IntoIterator for BitStream {
+    type Item = bool;
+    type IntoIter = std::vec::IntoIter<bool>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a BitStream {
+    type Item = &'a bool;
+    type IntoIter = std::slice::Iter<'a, bool>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl fmt::Display for BitStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.0 {
+            f.write_str(if b { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when parsing a [`BitStream`] from text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseBitStreamError {
+    offending: char,
+}
+
+impl fmt::Display for ParseBitStreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid bit character {:?}", self.offending)
+    }
+}
+
+impl std::error::Error for ParseBitStreamError {}
+
+impl FromStr for BitStream {
+    type Err = ParseBitStreamError;
+
+    /// Parses `'0'`/`'1'` characters; `'_'` and whitespace are ignored.
+    fn from_str(s: &str) -> Result<BitStream, ParseBitStreamError> {
+        let mut bits = Vec::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '0' => bits.push(false),
+                '1' => bits.push(true),
+                '_' | ' ' | '\t' | '\n' => {}
+                offending => return Err(ParseBitStreamError { offending }),
+            }
+        }
+        Ok(BitStream(bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let s: BitStream = "1010_0110".parse().unwrap();
+        assert_eq!(s.to_string(), "10100110");
+        assert_eq!(s.len(), 8);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        let err = "10x1".parse::<BitStream>().unwrap_err();
+        assert_eq!(err.to_string(), "invalid bit character 'x'");
+    }
+
+    #[test]
+    fn densities() {
+        let s: BitStream = "110010".parse().unwrap();
+        assert!((s.ones_density() - 0.5).abs() < 1e-12);
+        assert_eq!(s.transition_count(), 3);
+        assert!((s.transition_density() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alternating_has_max_transition_density() {
+        let s = BitStream::alternating(100);
+        assert!((s.transition_density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bytes_lsb_first() {
+        let s = BitStream::from_bytes_lsb_first(&[0b0000_0001, 0b1000_0000]);
+        assert_eq!(s.to_string(), "1000000000000001");
+    }
+
+    #[test]
+    fn hamming_distance_counts_length_mismatch() {
+        let a: BitStream = "1111".parse().unwrap();
+        let b: BitStream = "1010".parse().unwrap();
+        assert_eq!(a.hamming_distance(&b), 2);
+        let c: BitStream = "10".parse().unwrap();
+        assert_eq!(b.hamming_distance(&c), 2);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut s: BitStream = [true, false].into_iter().collect();
+        s.extend([true]);
+        s.push(false);
+        assert_eq!(s.to_string(), "1010");
+        let v: Vec<bool> = s.clone().into_iter().collect();
+        assert_eq!(v, s.into_inner());
+    }
+
+    #[test]
+    fn empty_stream_edge_cases() {
+        let s = BitStream::new();
+        assert!(s.is_empty());
+        assert_eq!(s.transition_density(), 0.0);
+        assert!(s.ones_density().is_nan());
+    }
+}

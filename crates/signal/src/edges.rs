@@ -1,0 +1,329 @@
+//! NRZ edge-stream synthesis with jitter injection.
+
+use crate::bits::BitStream;
+use crate::jitter::{DjCorrelation, JitterConfig};
+use gcco_units::{Freq, Time, Ui};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One NRZ transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Edge {
+    /// Absolute transition time.
+    pub time: Time,
+    /// `true` for a 0→1 transition.
+    pub rising: bool,
+}
+
+/// A jittered NRZ waveform, represented as its transition times plus the
+/// underlying bit values.
+///
+/// The ideal transition between bit `k−1` and bit `k` sits at `k·T`; the
+/// synthesized edge is displaced by the sum of the enabled jitter components
+/// (uniform DJ, Gaussian RJ, sinusoidal SJ evaluated at the ideal edge time,
+/// and alternating-sign DCD). Edge order is preserved: displacement is
+/// clamped so two consecutive edges can never swap, which keeps downstream
+/// event-driven simulation causal even for absurd jitter settings.
+///
+/// # Examples
+///
+/// ```
+/// use gcco_signal::{BitStream, EdgeStream, JitterConfig};
+/// use gcco_units::Freq;
+///
+/// let bits: BitStream = "1010".parse()?;
+/// let es = EdgeStream::synthesize(&bits, Freq::from_gbps(2.5),
+///                                 &JitterConfig::none(), 42);
+/// assert_eq!(es.edges().len(), 3, "three transitions in 1010");
+/// # Ok::<(), gcco_signal::ParseBitStreamError>(())
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EdgeStream {
+    bits: BitStream,
+    bit_rate_hz: f64,
+    edges: Vec<Edge>,
+    initial_level: bool,
+}
+
+impl EdgeStream {
+    /// Synthesizes the edge stream for `bits` at `bit_rate` with the given
+    /// jitter, using a deterministic RNG seeded by `seed`.
+    ///
+    /// The line is assumed to idle at the value of the first bit before
+    /// `t = 0` (so no edge is generated for bit 0).
+    pub fn synthesize(
+        bits: &BitStream,
+        bit_rate: Freq,
+        jitter: &JitterConfig,
+        seed: u64,
+    ) -> EdgeStream {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ui = bit_rate.period();
+        let mut edges = Vec::with_capacity(bits.len() / 2);
+        let slice = bits.bits();
+        let initial_level = slice.first().copied().unwrap_or(false);
+
+        // For correlated DJ, pre-draw one uniform value per block of bit
+        // slots from an independent RNG stream (so block values do not
+        // depend on the transition pattern) and interpolate linearly
+        // between them: deterministic wander is continuous, never a jump.
+        let dj_half = jitter.dj_pp.value() / 2.0;
+        let block_values: Vec<f64> = match jitter.dj_correlation {
+            DjCorrelation::Correlated { bits } if jitter.dj_pp != Ui::ZERO => {
+                let mut block_rng = SmallRng::seed_from_u64(seed ^ 0xD1CE_B10C);
+                let blocks = slice.len() as u32 / bits.max(1) + 3;
+                (0..blocks)
+                    .map(|_| block_rng.gen_range(-dj_half..=dj_half))
+                    .collect()
+            }
+            _ => Vec::new(),
+        };
+
+        let mut previous_time = Time::from_fs(i64::MIN / 2);
+        for k in 1..slice.len() {
+            if slice[k] == slice[k - 1] {
+                continue;
+            }
+            let rising = slice[k];
+            let ideal = ui * k as i64;
+            let mut displacement = Ui::ZERO;
+            if jitter.dj_pp != Ui::ZERO {
+                match jitter.dj_correlation {
+                    DjCorrelation::Independent => {
+                        displacement += Ui::new(rng.gen_range(-dj_half..=dj_half));
+                    }
+                    DjCorrelation::Correlated { bits } => {
+                        let width = bits.max(1) as usize;
+                        let block = k / width;
+                        let frac = (k % width) as f64 / width as f64;
+                        let value = block_values[block] * (1.0 - frac)
+                            + block_values[block + 1] * frac;
+                        displacement += Ui::new(value);
+                    }
+                }
+            }
+            if jitter.rj_rms != Ui::ZERO {
+                displacement += Ui::new(gaussian(&mut rng) * jitter.rj_rms.value());
+            }
+            if let Some(sj) = jitter.sj {
+                displacement += sj.displacement_at(ideal);
+            }
+            if jitter.dcd_pp != Ui::ZERO {
+                let sign = if rising { 0.5 } else { -0.5 };
+                displacement += Ui::new(jitter.dcd_pp.value() * sign);
+            }
+            let mut time = ideal + displacement.to_time(bit_rate);
+            // Preserve edge ordering (1 fs guard band).
+            if time <= previous_time {
+                time = previous_time + Time::FEMTOSECOND;
+            }
+            previous_time = time;
+            edges.push(Edge { time, rising });
+        }
+
+        EdgeStream {
+            bits: bits.clone(),
+            bit_rate_hz: bit_rate.hz(),
+            edges,
+            initial_level,
+        }
+    }
+
+    /// The transition list, sorted by time.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The underlying (jitter-free) bit stream.
+    pub fn bits(&self) -> &BitStream {
+        &self.bits
+    }
+
+    /// The bit rate the stream was synthesized at.
+    pub fn bit_rate(&self) -> Freq {
+        Freq::from_hz(self.bit_rate_hz)
+    }
+
+    /// The line level before the first edge.
+    pub fn initial_level(&self) -> bool {
+        self.initial_level
+    }
+
+    /// The waveform value at time `t` (binary NRZ; edges are instantaneous).
+    pub fn level_at(&self, t: Time) -> bool {
+        match self.edges.partition_point(|e| e.time <= t) {
+            0 => self.initial_level,
+            n => self.edges[n - 1].rising,
+        }
+    }
+
+    /// The ideal (jitter-free) value of bit `k`.
+    pub fn ideal_bit(&self, k: usize) -> Option<bool> {
+        self.bits.bits().get(k).copied()
+    }
+
+    /// Total duration: one bit period per bit.
+    pub fn duration(&self) -> Time {
+        self.bit_rate().period() * self.bits.len() as i64
+    }
+
+    /// Time displacement of each edge from its ideal grid position, in UI —
+    /// the measured "input jitter" of the synthesized stream.
+    pub fn edge_displacements_ui(&self) -> Vec<f64> {
+        let ui = self.bit_rate().period();
+        self.edges
+            .iter()
+            .map(|e| {
+                let k = ((e.time / ui) + 0.5).floor();
+                (e.time / ui) - k
+            })
+            .collect()
+    }
+}
+
+/// Standard normal deviate via Box–Muller (polar rejection form).
+fn gaussian(rng: &mut SmallRng) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Prbs, PrbsOrder, SinusoidalJitter};
+
+    fn rate() -> Freq {
+        Freq::from_gbps(2.5)
+    }
+
+    #[test]
+    fn clean_edges_sit_on_the_grid() {
+        let bits: BitStream = "10110".parse().unwrap();
+        let es = EdgeStream::synthesize(&bits, rate(), &JitterConfig::none(), 0);
+        let t: Vec<f64> = es.edges().iter().map(|e| e.time.ps()).collect();
+        assert_eq!(t, vec![400.0, 800.0, 1600.0]);
+        assert_eq!(
+            es.edges().iter().map(|e| e.rising).collect::<Vec<_>>(),
+            vec![false, true, false]
+        );
+    }
+
+    #[test]
+    fn level_reconstruction_matches_bits() {
+        let bits = Prbs::new(PrbsOrder::P7).take_bits(200);
+        let es = EdgeStream::synthesize(&bits, rate(), &JitterConfig::none(), 0);
+        let ui = rate().period();
+        for (k, b) in bits.iter().enumerate() {
+            let mid = ui * k as i64 + ui / 2;
+            assert_eq!(es.level_at(mid), b, "bit {k}");
+        }
+    }
+
+    #[test]
+    fn initial_level_before_first_edge() {
+        let bits: BitStream = "0001".parse().unwrap();
+        let es = EdgeStream::synthesize(&bits, rate(), &JitterConfig::none(), 0);
+        assert!(!es.initial_level());
+        assert!(!es.level_at(Time::ZERO));
+        assert!(es.level_at(Time::from_ps(1300.0)));
+    }
+
+    #[test]
+    fn rj_statistics_match_request() {
+        let bits = BitStream::alternating(20_000);
+        let cfg = JitterConfig {
+            rj_rms: Ui::new(0.02),
+            ..JitterConfig::none()
+        };
+        let es = EdgeStream::synthesize(&bits, rate(), &cfg, 7);
+        let d = es.edge_displacements_ui();
+        let mean = d.iter().sum::<f64>() / d.len() as f64;
+        let rms = (d.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / d.len() as f64).sqrt();
+        assert!(mean.abs() < 1e-3, "mean {mean}");
+        assert!((rms - 0.02).abs() < 2e-3, "rms {rms}");
+    }
+
+    #[test]
+    fn dj_is_bounded() {
+        let bits = BitStream::alternating(10_000);
+        let cfg = JitterConfig {
+            dj_pp: Ui::new(0.4),
+            ..JitterConfig::none()
+        };
+        let es = EdgeStream::synthesize(&bits, rate(), &cfg, 3);
+        for d in es.edge_displacements_ui() {
+            assert!(d.abs() <= 0.2 + 1e-9, "DJ displacement {d} exceeds pp/2");
+        }
+    }
+
+    #[test]
+    fn sj_modulates_slowly() {
+        let bits = BitStream::alternating(1000);
+        let cfg = JitterConfig::none().with_sj(SinusoidalJitter::new(
+            Ui::new(0.2),
+            Freq::from_mhz(25.0), // 100 UI period
+        ));
+        let es = EdgeStream::synthesize(&bits, rate(), &cfg, 0);
+        let d = es.edge_displacements_ui();
+        let max = d.iter().cloned().fold(f64::MIN, f64::max);
+        let min = d.iter().cloned().fold(f64::MAX, f64::min);
+        assert!((max - 0.1).abs() < 1e-3, "max {max}");
+        assert!((min + 0.1).abs() < 1e-3, "min {min}");
+    }
+
+    #[test]
+    fn dcd_splits_rising_and_falling() {
+        let bits = BitStream::alternating(1000);
+        let cfg = JitterConfig {
+            dcd_pp: Ui::new(0.1),
+            ..JitterConfig::none()
+        };
+        let es = EdgeStream::synthesize(&bits, rate(), &cfg, 0);
+        for (e, d) in es.edges().iter().zip(es.edge_displacements_ui()) {
+            let expected = if e.rising { 0.05 } else { -0.05 };
+            assert!((d - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn edges_never_reorder_under_extreme_jitter() {
+        let bits = Prbs::new(PrbsOrder::P7).take_bits(5_000);
+        let cfg = JitterConfig {
+            dj_pp: Ui::new(1.5),
+            rj_rms: Ui::new(0.5),
+            ..JitterConfig::none()
+        };
+        let es = EdgeStream::synthesize(&bits, rate(), &cfg, 11);
+        for w in es.edges().windows(2) {
+            assert!(w[0].time < w[1].time);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let bits = Prbs::new(PrbsOrder::P7).take_bits(1000);
+        let cfg = JitterConfig::table1();
+        let a = EdgeStream::synthesize(&bits, rate(), &cfg, 99);
+        let b = EdgeStream::synthesize(&bits, rate(), &cfg, 99);
+        assert_eq!(a, b);
+        let c = EdgeStream::synthesize(&bits, rate(), &cfg, 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn duration_and_accessors() {
+        let bits: BitStream = "1100".parse().unwrap();
+        let es = EdgeStream::synthesize(&bits, rate(), &JitterConfig::none(), 0);
+        assert_eq!(es.duration(), Time::from_ps(1600.0));
+        assert_eq!(es.bit_rate(), rate());
+        assert_eq!(es.ideal_bit(1), Some(true));
+        assert_eq!(es.ideal_bit(9), None);
+        assert_eq!(es.bits().len(), 4);
+    }
+}

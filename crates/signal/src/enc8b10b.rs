@@ -1,0 +1,592 @@
+//! Complete 8b10b line codec (Widmer–Franaszek) with running disparity.
+//!
+//! 8b10b coding is what gives short-distance serial links the transition
+//! density the gated-oscillator CDR relies on: every 10-bit symbol is DC
+//! balanced to within ±1 and the longest possible run of identical bits is
+//! **five** — the paper's §2.3 worst case for jitter/frequency-error
+//! accumulation (CID ≤ 5).
+//!
+//! Conventions: the 8-bit input is `HGF EDCBA` (x = EDCBA = low 5 bits,
+//! y = HGF = top 3 bits, "D.x.y"). The 10-bit output is transmitted in the
+//! order `a b c d e i f g h j`; we store it in a `u16` with bit 9 = `a`
+//! (first on the wire) down to bit 0 = `j`.
+
+use std::fmt;
+
+/// Running disparity of an 8b10b stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Disparity {
+    /// RD = −1 (the mandatory initial state).
+    #[default]
+    Minus,
+    /// RD = +1.
+    Plus,
+}
+
+impl Disparity {
+    fn flipped(self) -> Disparity {
+        match self {
+            Disparity::Minus => Disparity::Plus,
+            Disparity::Plus => Disparity::Minus,
+        }
+    }
+}
+
+impl fmt::Display for Disparity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Disparity::Minus => "RD-",
+            Disparity::Plus => "RD+",
+        })
+    }
+}
+
+/// An input symbol: a data octet or a control (K) code.
+///
+/// # Examples
+///
+/// ```
+/// use gcco_signal::Symbol;
+/// let comma = Symbol::K28_5;
+/// assert!(comma.is_control());
+/// assert_eq!(comma.to_string(), "K.28.5");
+/// assert_eq!(Symbol::data(0xBC).to_string(), "D.28.5");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Symbol {
+    /// A data octet, D.x.y.
+    Data(u8),
+    /// A control code, K.x.y. Only the twelve standard K codes are valid.
+    Control(u8),
+}
+
+impl Symbol {
+    /// K.28.5, the comma symbol used for alignment.
+    pub const K28_5: Symbol = Symbol::Control(0xBC);
+
+    /// Convenience constructor for a data symbol.
+    pub const fn data(byte: u8) -> Symbol {
+        Symbol::Data(byte)
+    }
+
+    /// The raw octet value.
+    pub const fn octet(self) -> u8 {
+        match self {
+            Symbol::Data(b) | Symbol::Control(b) => b,
+        }
+    }
+
+    /// `true` for control (K) symbols.
+    pub const fn is_control(self) -> bool {
+        matches!(self, Symbol::Control(_))
+    }
+
+    /// `true` if this is one of the twelve valid K codes.
+    pub fn is_valid(self) -> bool {
+        match self {
+            Symbol::Data(_) => true,
+            Symbol::Control(b) => VALID_K.contains(&b),
+        }
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (k, b) = match self {
+            Symbol::Data(b) => ("D", b),
+            Symbol::Control(b) => ("K", b),
+        };
+        write!(f, "{}.{}.{}", k, b & 0x1F, b >> 5)
+    }
+}
+
+/// The twelve valid control octets: K.28.0–K.28.7, K.23.7, K.27.7, K.29.7,
+/// K.30.7.
+const VALID_K: [u8; 12] = [
+    0x1C, 0x3C, 0x5C, 0x7C, 0x9C, 0xBC, 0xDC, 0xFC, 0xF7, 0xFB, 0xFD, 0xFE,
+];
+
+/// 5b/6b table: `[x] = (RD− code, RD+ code)`, bits `abcdei` with `a` as the
+/// MSB (bit 5).
+const TBL_5B6B: [(u8, u8); 32] = [
+    (0b100111, 0b011000), // D.00
+    (0b011101, 0b100010), // D.01
+    (0b101101, 0b010010), // D.02
+    (0b110001, 0b110001), // D.03
+    (0b110101, 0b001010), // D.04
+    (0b101001, 0b101001), // D.05
+    (0b011001, 0b011001), // D.06
+    (0b111000, 0b000111), // D.07
+    (0b111001, 0b000110), // D.08
+    (0b100101, 0b100101), // D.09
+    (0b010101, 0b010101), // D.10
+    (0b110100, 0b110100), // D.11
+    (0b001101, 0b001101), // D.12
+    (0b101100, 0b101100), // D.13
+    (0b011100, 0b011100), // D.14
+    (0b010111, 0b101000), // D.15
+    (0b011011, 0b100100), // D.16
+    (0b100011, 0b100011), // D.17
+    (0b010011, 0b010011), // D.18
+    (0b110010, 0b110010), // D.19
+    (0b001011, 0b001011), // D.20
+    (0b101010, 0b101010), // D.21
+    (0b011010, 0b011010), // D.22
+    (0b111010, 0b000101), // D.23
+    (0b110011, 0b001100), // D.24
+    (0b100110, 0b100110), // D.25
+    (0b010110, 0b010110), // D.26
+    (0b110110, 0b001001), // D.27
+    (0b001110, 0b001110), // D.28
+    (0b101110, 0b010001), // D.29
+    (0b011110, 0b100001), // D.30
+    (0b101011, 0b010100), // D.31
+];
+
+/// K.28 5b/6b code (the only 5b block that differs from the data table).
+const K28_6B: (u8, u8) = (0b001111, 0b110000);
+
+/// 3b/4b data table: `[y] = (RD− code, RD+ code)`, bits `fghj` with `f` as
+/// the MSB (bit 3). Index 7 holds the *primary* D.x.P7 encoding; the
+/// alternate A7 is handled separately.
+const TBL_3B4B: [(u8, u8); 8] = [
+    (0b1011, 0b0100), // D.x.0
+    (0b1001, 0b1001), // D.x.1
+    (0b0101, 0b0101), // D.x.2
+    (0b1100, 0b0011), // D.x.3
+    (0b1101, 0b0010), // D.x.4
+    (0b1010, 0b1010), // D.x.5
+    (0b0110, 0b0110), // D.x.6
+    (0b1110, 0b0001), // D.x.P7
+];
+
+/// 3b/4b alternate A7 encoding (also used by all K.x.7 codes).
+const A7_4B: (u8, u8) = (0b0111, 0b1000);
+
+/// 3b/4b control table for K codes.
+const TBL_3B4B_K: [(u8, u8); 8] = [
+    (0b1011, 0b0100), // K.x.0
+    (0b0110, 0b1001), // K.x.1
+    (0b1010, 0b0101), // K.x.2
+    (0b1100, 0b0011), // K.x.3
+    (0b1101, 0b0010), // K.x.4
+    (0b0101, 0b1010), // K.x.5
+    (0b1001, 0b0110), // K.x.6
+    (0b0111, 0b1000), // K.x.7 = A7
+];
+
+fn ones6(code: u8) -> u32 {
+    (code & 0x3F).count_ones()
+}
+
+fn ones4(code: u8) -> u32 {
+    (code & 0x0F).count_ones()
+}
+
+/// A streaming 8b10b encoder with running-disparity state.
+///
+/// # Examples
+///
+/// ```
+/// use gcco_signal::{Encoder8b10b, Symbol};
+///
+/// let mut enc = Encoder8b10b::new();
+/// let code = enc.encode(Symbol::K28_5);
+/// // K.28.5 with initial RD- encodes to 001111 1010.
+/// assert_eq!(code, 0b0011111010);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Encoder8b10b {
+    rd: Disparity,
+}
+
+impl Encoder8b10b {
+    /// Creates an encoder in the mandatory initial RD− state.
+    pub fn new() -> Encoder8b10b {
+        Encoder8b10b::default()
+    }
+
+    /// The current running disparity.
+    pub fn disparity(&self) -> Disparity {
+        self.rd
+    }
+
+    /// Encodes one symbol, returning the 10-bit code (bit 9 = `a`, first on
+    /// the wire) and updating the running disparity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol` is an invalid control code
+    /// (see [`Symbol::is_valid`]).
+    pub fn encode(&mut self, symbol: Symbol) -> u16 {
+        assert!(symbol.is_valid(), "invalid control symbol {symbol}");
+        let octet = symbol.octet();
+        let x = (octet & 0x1F) as usize;
+        let y = (octet >> 5) as usize;
+
+        // 5b/6b block. K.28 has its own 6b code; the other K codes
+        // (K.23/27/29/30.7) reuse the data 5b/6b encoding.
+        let (m6, p6) = match (symbol.is_control(), x) {
+            (true, 28) => K28_6B,
+            _ => TBL_5B6B[x],
+        };
+        let code6 = match self.rd {
+            Disparity::Minus => m6,
+            Disparity::Plus => p6,
+        };
+        let rd_after6 = if ones6(code6) == 3 {
+            self.rd
+        } else {
+            self.rd.flipped()
+        };
+
+        // 3b/4b block.
+        let code4 = if symbol.is_control() {
+            let (m4, p4) = TBL_3B4B_K[y];
+            match rd_after6 {
+                Disparity::Minus => m4,
+                Disparity::Plus => p4,
+            }
+        } else if y == 7 {
+            // Primary/alternate selection avoids runs of five across the
+            // sub-block boundary.
+            let use_a7 = match rd_after6 {
+                Disparity::Minus => matches!(x, 17 | 18 | 20),
+                Disparity::Plus => matches!(x, 11 | 13 | 14),
+            };
+            let (m4, p4) = if use_a7 { A7_4B } else { TBL_3B4B[7] };
+            match rd_after6 {
+                Disparity::Minus => m4,
+                Disparity::Plus => p4,
+            }
+        } else {
+            let (m4, p4) = TBL_3B4B[y];
+            match rd_after6 {
+                Disparity::Minus => m4,
+                Disparity::Plus => p4,
+            }
+        };
+        self.rd = if ones4(code4) == 2 {
+            rd_after6
+        } else {
+            rd_after6.flipped()
+        };
+
+        ((code6 as u16) << 4) | code4 as u16
+    }
+
+    /// Encodes a slice of symbols into a flat bit vector in wire order
+    /// (`a` first).
+    pub fn encode_stream(&mut self, symbols: &[Symbol]) -> crate::BitStream {
+        let mut bits = crate::BitStream::new();
+        for &s in symbols {
+            let code = self.encode(s);
+            bits.extend((0..10).rev().map(|i| (code >> i) & 1 == 1));
+        }
+        bits
+    }
+}
+
+/// Errors reported by [`Decoder8b10b`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decode8b10bError {
+    /// The 10-bit pattern is not a valid 8b10b code point.
+    InvalidCode(u16),
+    /// The code point exists but is illegal for the current running
+    /// disparity.
+    DisparityError(u16),
+}
+
+impl fmt::Display for Decode8b10bError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Decode8b10bError::InvalidCode(c) => {
+                write!(f, "invalid 8b10b code point {c:#012b}")
+            }
+            Decode8b10bError::DisparityError(c) => {
+                write!(f, "running-disparity violation at code {c:#012b}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Decode8b10bError {}
+
+/// A streaming 8b10b decoder with running-disparity checking.
+///
+/// # Examples
+///
+/// ```
+/// use gcco_signal::{Decoder8b10b, Encoder8b10b, Symbol};
+///
+/// let mut enc = Encoder8b10b::new();
+/// let mut dec = Decoder8b10b::new();
+/// let code = enc.encode(Symbol::data(0xA5));
+/// assert_eq!(dec.decode(code)?, Symbol::data(0xA5));
+/// # Ok::<(), gcco_signal::Decode8b10bError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Decoder8b10b {
+    rd: Disparity,
+    /// `table[code] = (symbol, legal at RD−, legal at RD+)`.
+    table: Vec<Option<(Symbol, bool, bool)>>,
+}
+
+impl Default for Decoder8b10b {
+    fn default() -> Decoder8b10b {
+        Decoder8b10b::new()
+    }
+}
+
+impl Decoder8b10b {
+    /// Creates a decoder in the initial RD− state.
+    ///
+    /// Builds the 1024-entry reverse table by running the encoder over every
+    /// symbol in both disparity states, so encoder and decoder can never
+    /// disagree.
+    pub fn new() -> Decoder8b10b {
+        let mut table: Vec<Option<(Symbol, bool, bool)>> = vec![None; 1024];
+        let all_symbols = (0..=255u8)
+            .map(Symbol::Data)
+            .chain(VALID_K.iter().map(|&k| Symbol::Control(k)));
+        for sym in all_symbols {
+            for rd in [Disparity::Minus, Disparity::Plus] {
+                let mut enc = Encoder8b10b { rd };
+                let code = enc.encode(sym) as usize;
+                let entry = table[code].get_or_insert((sym, false, false));
+                assert!(
+                    entry.0 == sym,
+                    "8b10b table collision: {} vs {} at {code:#012b}",
+                    entry.0,
+                    sym
+                );
+                match rd {
+                    Disparity::Minus => entry.1 = true,
+                    Disparity::Plus => entry.2 = true,
+                }
+            }
+        }
+        Decoder8b10b {
+            rd: Disparity::Minus,
+            table,
+        }
+    }
+
+    /// The current running disparity.
+    pub fn disparity(&self) -> Disparity {
+        self.rd
+    }
+
+    /// Seeds the running disparity, e.g. from a detected comma's polarity
+    /// when decoding starts mid-stream (the RD− comma `0011111010` implies
+    /// the encoder entered it at RD−; the RD+ form `1100000101` at RD+).
+    pub fn set_disparity(&mut self, rd: Disparity) {
+        self.rd = rd;
+    }
+
+    /// Decodes one 10-bit code (bit 9 = `a`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Decode8b10bError::InvalidCode`] for patterns outside the
+    /// code space and [`Decode8b10bError::DisparityError`] when the pattern
+    /// is only legal at the opposite running disparity. In both cases the
+    /// internal disparity is resynchronized from the received bits so a
+    /// single corrupted symbol does not poison the rest of the stream.
+    pub fn decode(&mut self, code: u16) -> Result<Symbol, Decode8b10bError> {
+        let code = code & 0x3FF;
+        let entry = self.table[code as usize];
+        let ones = code.count_ones();
+        // Track disparity from the wire: a balanced symbol keeps RD, an
+        // unbalanced one flips it.
+        let rd_next = if ones == 5 { self.rd } else { self.rd.flipped() };
+        match entry {
+            None => {
+                self.rd = rd_next;
+                Err(Decode8b10bError::InvalidCode(code))
+            }
+            Some((sym, legal_minus, legal_plus)) => {
+                let legal = match self.rd {
+                    Disparity::Minus => legal_minus,
+                    Disparity::Plus => legal_plus,
+                };
+                self.rd = rd_next;
+                if legal {
+                    Ok(sym)
+                } else {
+                    Err(Decode8b10bError::DisparityError(code))
+                }
+            }
+        }
+    }
+
+    /// Decodes a wire-order bit slice (length must be a multiple of 10).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first decode error encountered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` is not a multiple of 10.
+    pub fn decode_stream(&mut self, bits: &[bool]) -> Result<Vec<Symbol>, Decode8b10bError> {
+        assert!(
+            bits.len().is_multiple_of(10),
+            "8b10b stream length {} is not a multiple of 10",
+            bits.len()
+        );
+        bits.chunks(10)
+            .map(|chunk| {
+                let code = chunk
+                    .iter()
+                    .fold(0u16, |acc, &b| (acc << 1) | u16::from(b));
+                self.decode(code)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RunLengths;
+
+    #[test]
+    fn k28_5_is_the_comma() {
+        let mut enc = Encoder8b10b::new();
+        assert_eq!(enc.encode(Symbol::K28_5), 0b0011111010);
+        assert_eq!(enc.disparity(), Disparity::Plus);
+        assert_eq!(enc.encode(Symbol::K28_5), 0b1100000101);
+        assert_eq!(enc.disparity(), Disparity::Minus);
+    }
+
+    #[test]
+    fn known_data_vectors() {
+        // D.0.0 at RD-: 100111 0100 (6b flips RD, so 3b4b uses RD+ column).
+        let mut enc = Encoder8b10b::new();
+        assert_eq!(enc.encode(Symbol::data(0x00)), 0b1001110100);
+        // D.3.3 (balanced both blocks, RD stays -): 110001 1100.
+        let mut enc = Encoder8b10b::new();
+        assert_eq!(enc.encode(Symbol::data(0x63)), 0b1100011100);
+        assert_eq!(enc.disparity(), Disparity::Minus);
+    }
+
+    #[test]
+    fn every_symbol_round_trips_at_both_disparities() {
+        let mut dec = Decoder8b10b::new();
+        for rd in [Disparity::Minus, Disparity::Plus] {
+            for b in 0..=255u8 {
+                let mut enc = Encoder8b10b { rd };
+                let code = enc.encode(Symbol::data(b));
+                dec.rd = rd;
+                assert_eq!(dec.decode(code), Ok(Symbol::data(b)), "D {b:#04x} {rd}");
+            }
+            for &k in &VALID_K {
+                let mut enc = Encoder8b10b { rd };
+                let code = enc.encode(Symbol::Control(k));
+                dec.rd = rd;
+                assert_eq!(dec.decode(code), Ok(Symbol::Control(k)), "K {k:#04x} {rd}");
+            }
+        }
+    }
+
+    #[test]
+    fn symbol_disparity_is_bounded() {
+        // Every code has 4, 5 or 6 ones (disparity -2, 0, +2).
+        for rd in [Disparity::Minus, Disparity::Plus] {
+            for b in 0..=255u8 {
+                let mut enc = Encoder8b10b { rd };
+                let ones = enc.encode(Symbol::data(b)).count_ones();
+                assert!((4..=6).contains(&ones), "D{b} has {ones} ones");
+            }
+        }
+    }
+
+    #[test]
+    fn running_disparity_never_exceeds_one() {
+        // With RD₀ = −1, the cumulative ones-minus-zeros after each symbol
+        // equals RD_n − RD₀ ∈ {0, +2}: the stream is DC balanced to ±1 bit.
+        let mut enc = Encoder8b10b::new();
+        let symbols: Vec<Symbol> = (0..=255u8).map(Symbol::data).collect();
+        let bits = enc.encode_stream(&symbols);
+        let mut rd = 0i32;
+        for (i, b) in bits.iter().enumerate() {
+            rd += if b { 1 } else { -1 };
+            if (i + 1) % 10 == 0 {
+                assert!(
+                    rd == 0 || rd == 2,
+                    "symbol-boundary disparity {rd} at bit {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cid_is_at_most_five() {
+        // The paper's §2.3 worst case: encoded streams never exceed 5 CID.
+        let mut enc = Encoder8b10b::new();
+        let symbols: Vec<Symbol> = (0..=255u8)
+            .cycle()
+            .take(4096)
+            .map(Symbol::data)
+            .collect();
+        let bits = enc.encode_stream(&symbols);
+        let runs = RunLengths::of(bits.bits());
+        assert!(runs.max() <= 5, "max run {}", runs.max());
+    }
+
+    #[test]
+    fn invalid_code_is_rejected() {
+        let mut dec = Decoder8b10b::new();
+        // All-ones is never a valid code point.
+        assert_eq!(
+            dec.decode(0b1111111111),
+            Err(Decode8b10bError::InvalidCode(0b1111111111))
+        );
+    }
+
+    #[test]
+    fn disparity_violation_is_detected() {
+        let mut enc = Encoder8b10b {
+            rd: Disparity::Minus,
+        };
+        let code_minus = enc.encode(Symbol::data(0x00)); // unbalanced 6b
+        let mut dec = Decoder8b10b::new();
+        dec.rd = Disparity::Plus; // wrong state for this variant
+        assert_eq!(
+            dec.decode(code_minus),
+            Err(Decode8b10bError::DisparityError(code_minus))
+        );
+    }
+
+    #[test]
+    fn decode_stream_round_trip() {
+        let mut enc = Encoder8b10b::new();
+        let symbols: Vec<Symbol> = vec![
+            Symbol::K28_5,
+            Symbol::data(0x4A),
+            Symbol::data(0xFF),
+            Symbol::Control(0xF7),
+        ];
+        let bits = enc.encode_stream(&symbols);
+        let mut dec = Decoder8b10b::new();
+        assert_eq!(dec.decode_stream(bits.bits()).unwrap(), symbols);
+    }
+
+    #[test]
+    fn invalid_control_symbol_panics() {
+        let result = std::panic::catch_unwind(|| {
+            Encoder8b10b::new().encode(Symbol::Control(0x00))
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn symbol_display_and_validity() {
+        assert_eq!(Symbol::data(0xBC).to_string(), "D.28.5");
+        assert_eq!(Symbol::K28_5.to_string(), "K.28.5");
+        assert!(Symbol::K28_5.is_valid());
+        assert!(!Symbol::Control(0x42).is_valid());
+        assert_eq!(Symbol::K28_5.octet(), 0xBC);
+    }
+}

@@ -1,0 +1,44 @@
+//! Serial-link stimulus: PRBS patterns, 8b10b line coding, run-length
+//! statistics and jittered NRZ edge streams.
+//!
+//! Clock-recovery circuits are specified against standardized stimulus —
+//! the DATE'05 GCCO paper uses PRBS7 for behavioral eyes (Figs. 14/16) and
+//! 8b10b framing for its CID ≤ 5 worst case (§2.3). This crate provides:
+//!
+//! * [`Prbs`] — pseudo-random binary sequences (PRBS7/9/15/23/31) with the
+//!   standard fibonacci LFSR polynomials;
+//! * [`Encoder8b10b`]/[`Decoder8b10b`] — a complete 8b10b codec with running
+//!   disparity, data and control (K) code points;
+//! * [`RunLengths`] — consecutive-identical-digit statistics, the key input
+//!   to the statistical BER model;
+//! * [`EdgeStream`] — NRZ transition times with deterministic, random,
+//!   sinusoidal and duty-cycle jitter injected per the paper's Table 1.
+//!
+//! # Examples
+//!
+//! ```
+//! use gcco_signal::{Prbs, PrbsOrder, RunLengths};
+//!
+//! let bits = Prbs::new(PrbsOrder::P7).take_bits(127);
+//! let runs = RunLengths::of(bits.bits());
+//! assert!(runs.max() <= 7, "PRBS7 runs are bounded by the LFSR order");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod align;
+mod bits;
+mod edges;
+mod enc8b10b;
+mod jitter;
+mod prbs;
+mod runlen;
+
+pub use align::{align_to_commas, codes_from, Alignment};
+pub use bits::{BitStream, ParseBitStreamError};
+pub use edges::{Edge, EdgeStream};
+pub use enc8b10b::{Decode8b10bError, Decoder8b10b, Disparity, Encoder8b10b, Symbol};
+pub use jitter::{DjCorrelation, JitterConfig, SinusoidalJitter};
+pub use prbs::{Prbs, PrbsOrder};
+pub use runlen::RunLengths;

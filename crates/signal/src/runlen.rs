@@ -1,0 +1,180 @@
+//! Run-length (consecutive-identical-digit) statistics.
+
+use std::fmt;
+
+/// Histogram of run lengths in a bit stream.
+///
+/// A *run* is a maximal block of consecutive identical bits. The paper's
+/// §2.3 leans on the 8b10b guarantee that runs never exceed 5 bits (CID ≤ 5)
+/// — the worst case for gated-oscillator jitter/frequency-error
+/// accumulation. The statistical BER model consumes the *distance-to-last-
+/// transition* distribution derived from this histogram.
+///
+/// # Examples
+///
+/// ```
+/// use gcco_signal::RunLengths;
+/// let runs = RunLengths::of(&[true, true, false, true, true, true]);
+/// assert_eq!(runs.max(), 3);
+/// assert_eq!(runs.count(2), 1);
+/// assert_eq!(runs.total_runs(), 3);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunLengths {
+    /// `counts[l]` = number of runs of length `l` (index 0 unused).
+    counts: Vec<u64>,
+    total_bits: u64,
+}
+
+impl RunLengths {
+    /// Computes the run-length histogram of `bits`.
+    pub fn of(bits: &[bool]) -> RunLengths {
+        let mut rl = RunLengths {
+            total_bits: bits.len() as u64,
+            ..RunLengths::default()
+        };
+        if bits.is_empty() {
+            return rl;
+        }
+        let mut run = 1usize;
+        for w in bits.windows(2) {
+            if w[0] == w[1] {
+                run += 1;
+            } else {
+                rl.bump(run);
+                run = 1;
+            }
+        }
+        rl.bump(run);
+        rl
+    }
+
+    fn bump(&mut self, len: usize) {
+        if self.counts.len() <= len {
+            self.counts.resize(len + 1, 0);
+        }
+        self.counts[len] += 1;
+    }
+
+    /// The longest run observed (0 for an empty stream).
+    pub fn max(&self) -> usize {
+        self.counts.len().saturating_sub(1)
+    }
+
+    /// Number of runs of exactly `len` bits.
+    pub fn count(&self, len: usize) -> u64 {
+        self.counts.get(len).copied().unwrap_or(0)
+    }
+
+    /// Total number of runs.
+    pub fn total_runs(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total number of bits analyzed.
+    pub fn total_bits(&self) -> u64 {
+        self.total_bits
+    }
+
+    /// Mean run length.
+    pub fn mean(&self) -> f64 {
+        let runs = self.total_runs();
+        if runs == 0 {
+            return 0.0;
+        }
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(l, &c)| l as f64 * c as f64)
+            .sum::<f64>()
+            / runs as f64
+    }
+
+    /// Probability that a *randomly chosen bit* sits exactly `n` slots after
+    /// the most recent transition (`n = 1` means the bit immediately after
+    /// the transition).
+    ///
+    /// This is the weighting the statistical BER model applies to the
+    /// per-distance error probabilities: a run of length `L` contributes one
+    /// bit at every distance `1..=L`.
+    ///
+    /// For ideal random data this converges to `2^-n`; for 8b10b-coded data
+    /// it is zero beyond `n = 5`.
+    pub fn distance_distribution(&self) -> Vec<f64> {
+        let total = self.total_bits as f64;
+        if total == 0.0 {
+            return Vec::new();
+        }
+        let max = self.max();
+        let mut dist = vec![0.0; max + 1];
+        for (len, &count) in self.counts.iter().enumerate() {
+            // A run of `len` bits contributes `count` bits at each distance
+            // 1..=len.
+            for slot in dist.iter_mut().take(len + 1).skip(1) {
+                *slot += count as f64;
+            }
+        }
+        for p in &mut dist {
+            *p /= total;
+        }
+        dist
+    }
+}
+
+impl fmt::Display for RunLengths {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "runs(max={}, mean={:.2})", self.max(), self.mean())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_histogram() {
+        let runs = RunLengths::of(&[true, true, true, false, false, true]);
+        assert_eq!(runs.count(3), 1);
+        assert_eq!(runs.count(2), 1);
+        assert_eq!(runs.count(1), 1);
+        assert_eq!(runs.total_runs(), 3);
+        assert_eq!(runs.total_bits(), 6);
+        assert!((runs.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(RunLengths::of(&[]).max(), 0);
+        assert_eq!(RunLengths::of(&[]).mean(), 0.0);
+        let one = RunLengths::of(&[true]);
+        assert_eq!(one.max(), 1);
+        assert_eq!(one.count(1), 1);
+    }
+
+    #[test]
+    fn distance_distribution_sums_to_one() {
+        let bits: Vec<bool> = crate::Prbs::new(crate::PrbsOrder::P7)
+            .take(10_000)
+            .collect();
+        let dist = RunLengths::of(&bits).distance_distribution();
+        let sum: f64 = dist.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12, "sum = {sum}");
+        // Random-ish data: P(n) ≈ 2^-n for small n.
+        assert!((dist[1] - 0.5).abs() < 0.03, "P(1) = {}", dist[1]);
+        assert!((dist[2] - 0.25).abs() < 0.03, "P(2) = {}", dist[2]);
+    }
+
+    #[test]
+    fn distance_distribution_for_alternating() {
+        let bits = crate::BitStream::alternating(100);
+        let dist = RunLengths::of(bits.bits()).distance_distribution();
+        assert_eq!(dist.len(), 2);
+        assert!((dist[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display() {
+        let runs = RunLengths::of(&[true, false, false]);
+        assert_eq!(runs.to_string(), "runs(max=2, mean=1.50)");
+    }
+}

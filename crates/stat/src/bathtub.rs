@@ -1,0 +1,235 @@
+//! Bathtub curves, dual-Dirac total jitter and eye-opening estimates.
+
+use crate::erf::q_inverse;
+use crate::model::GccoStatModel;
+use gcco_units::Ui;
+use std::fmt;
+
+/// One sample of a bathtub curve: BER versus sampling phase.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BathtubPoint {
+    /// Sampling-phase offset from the nominal point, in UI.
+    pub phase_ui: f64,
+    /// Bit error ratio at this phase.
+    pub ber: f64,
+}
+
+/// A bathtub curve: the BER of the CDR as its sampling instant is swept
+/// across the eye.
+///
+/// # Examples
+///
+/// ```
+/// use gcco_stat::{Bathtub, GccoStatModel, JitterSpec};
+/// use gcco_units::Ui;
+///
+/// let model = GccoStatModel::new(
+///     JitterSpec::paper_table1().with_sj(Ui::new(0.1), 0.3));
+/// let tub = Bathtub::scan(&model, -0.4, 0.4, 81);
+/// let opening = tub.opening_at(1e-12).expect("eye open at 0.1 UIpp SJ");
+/// assert!(opening.value() > 0.0 && opening.value() < 0.9);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Bathtub {
+    points: Vec<BathtubPoint>,
+}
+
+impl Bathtub {
+    /// Scans the model's BER over `n` equally spaced phases in
+    /// `[from_ui, to_ui]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `from_ui < to_ui` and `n ≥ 3`.
+    pub fn scan(model: &GccoStatModel, from_ui: f64, to_ui: f64, n: usize) -> Bathtub {
+        assert!(from_ui < to_ui, "empty scan range");
+        assert!(n >= 3, "need at least 3 scan points");
+        let points = (0..n)
+            .map(|i| {
+                let phase_ui = from_ui + (to_ui - from_ui) * i as f64 / (n - 1) as f64;
+                BathtubPoint {
+                    phase_ui,
+                    ber: model.ber_at_phase(phase_ui),
+                }
+            })
+            .collect();
+        Bathtub { points }
+    }
+
+    /// The scanned points in phase order.
+    pub fn points(&self) -> &[BathtubPoint] {
+        &self.points
+    }
+
+    /// The phase with the lowest BER (ties broken toward the scan centre).
+    pub fn optimum_phase(&self) -> BathtubPoint {
+        let centre = 0.5 * (self.points[0].phase_ui + self.points.last().unwrap().phase_ui);
+        *self
+            .points
+            .iter()
+            .min_by(|a, b| {
+                (a.ber, (a.phase_ui - centre).abs())
+                    .partial_cmp(&(b.ber, (b.phase_ui - centre).abs()))
+                    .unwrap()
+            })
+            .unwrap()
+    }
+
+    /// Width of the phase interval where BER ≤ `target` — the horizontal
+    /// eye opening at that BER. Returns `None` when no scanned phase meets
+    /// the target.
+    ///
+    /// Interpolates linearly in `log10(BER)` at the two crossings.
+    pub fn opening_at(&self, target: f64) -> Option<Ui> {
+        let ok: Vec<usize> = self
+            .points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.ber <= target)
+            .map(|(i, _)| i)
+            .collect();
+        let (&first, &last) = (ok.first()?, ok.last()?);
+        let left = self.cross(first.checked_sub(1), first, target);
+        let right = self.cross(last.checked_add(1).filter(|&i| i < self.points.len()), last, target);
+        Some(Ui::new(right - left))
+    }
+
+    /// Interpolated phase where the curve crosses `target` between a
+    /// failing neighbour `out` (if any) and a passing index `inside`.
+    fn cross(&self, out: Option<usize>, inside: usize, target: f64) -> f64 {
+        let p_in = self.points[inside];
+        let Some(out) = out else {
+            return p_in.phase_ui;
+        };
+        let p_out = self.points[out];
+        if p_out.ber <= target {
+            return p_out.phase_ui;
+        }
+        // log-linear interpolation; guard zero BER inside the eye.
+        let lt = target.log10();
+        let li = p_in.ber.max(1e-300).log10();
+        let lo = p_out.ber.log10();
+        let frac = if (lo - li).abs() < 1e-12 {
+            0.5
+        } else {
+            (lo - lt) / (lo - li)
+        };
+        p_out.phase_ui + frac * (p_in.phase_ui - p_out.phase_ui)
+    }
+}
+
+impl fmt::Display for Bathtub {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let best = self.optimum_phase();
+        write!(
+            f,
+            "bathtub({} pts, best {:.3} UI @ BER {:.2e})",
+            self.points.len(),
+            best.phase_ui,
+            best.ber
+        )
+    }
+}
+
+/// Dual-Dirac total jitter at a BER: `TJ = DJδδ + 2·Q⁻¹(ber)·RJrms`
+/// (all in UI).
+///
+/// # Examples
+///
+/// ```
+/// use gcco_stat::total_jitter_pp;
+/// use gcco_units::Ui;
+/// let tj = total_jitter_pp(Ui::new(0.3), Ui::new(0.021), 1e-12);
+/// assert!((tj.value() - (0.3 + 14.069 * 0.021)).abs() < 1e-3);
+/// ```
+pub fn total_jitter_pp(dj_dd: Ui, rj_rms: Ui, ber: f64) -> Ui {
+    Ui::new(dj_dd.value() + 2.0 * q_inverse(ber) * rj_rms.value())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::JitterSpec;
+
+    fn model() -> GccoStatModel {
+        GccoStatModel::new(JitterSpec::paper_table1().with_sj(Ui::new(0.2), 0.3))
+    }
+
+    #[test]
+    fn bathtub_is_u_shaped() {
+        let tub = Bathtub::scan(&model(), -0.4, 0.4, 41);
+        let best = tub.optimum_phase();
+        let first = tub.points().first().unwrap();
+        let last = tub.points().last().unwrap();
+        assert!(best.ber < first.ber, "left wall higher than optimum");
+        assert!(best.ber < last.ber, "right wall higher than optimum");
+    }
+
+    #[test]
+    fn optimum_is_left_of_centre_under_negative_drift() {
+        // With the oscillator slow (sampling drifts late), the best phase
+        // shifts early — the physics behind the improved (−T/8) tap.
+        let m = model().with_freq_offset(-0.04);
+        let tub = Bathtub::scan(&m, -0.4, 0.4, 81);
+        assert!(
+            tub.optimum_phase().phase_ui < 0.0,
+            "optimum {:?}",
+            tub.optimum_phase()
+        );
+    }
+
+    #[test]
+    fn opening_shrinks_with_jitter() {
+        let small = Bathtub::scan(
+            &GccoStatModel::new(JitterSpec::paper_table1().with_sj(Ui::new(0.1), 0.3)),
+            -0.5,
+            0.5,
+            101,
+        );
+        let large = Bathtub::scan(
+            &GccoStatModel::new(JitterSpec::paper_table1().with_sj(Ui::new(0.4), 0.3)),
+            -0.5,
+            0.5,
+            101,
+        );
+        let o_small = small.opening_at(1e-12).expect("small-jitter eye must be open");
+        match large.opening_at(1e-12) {
+            // An eye slammed completely shut by the larger jitter is the
+            // strongest form of shrinkage.
+            None => {}
+            Some(o_large) => assert!(
+                o_small.value() > o_large.value(),
+                "{o_small} vs {o_large}"
+            ),
+        }
+    }
+
+    #[test]
+    fn opening_none_when_eye_closed() {
+        let closed = GccoStatModel::new(
+            JitterSpec::paper_table1().with_sj(Ui::new(3.0), 0.45),
+        );
+        let tub = Bathtub::scan(&closed, -0.4, 0.4, 41);
+        assert!(tub.opening_at(1e-12).is_none());
+    }
+
+    #[test]
+    fn total_jitter_matches_dual_dirac() {
+        let tj9 = total_jitter_pp(Ui::new(0.3), Ui::new(0.02), 1e-9);
+        let tj12 = total_jitter_pp(Ui::new(0.3), Ui::new(0.02), 1e-12);
+        assert!(tj12 > tj9, "deeper BER needs more TJ allowance");
+        assert!((tj9.value() - (0.3 + 11.996 * 0.02)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn display() {
+        let tub = Bathtub::scan(&model(), -0.2, 0.2, 5);
+        assert!(tub.to_string().starts_with("bathtub(5 pts"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty scan range")]
+    fn scan_rejects_inverted_range() {
+        let _ = Bathtub::scan(&model(), 0.2, -0.2, 5);
+    }
+}

@@ -1,0 +1,283 @@
+//! Jitter-tolerance (JTOL) and frequency-tolerance (FTOL) search.
+
+use crate::model::GccoStatModel;
+use gcco_units::Ui;
+use std::fmt;
+
+/// One point of a jitter-tolerance curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JtolPoint {
+    /// Sinusoidal-jitter frequency normalized to the data rate.
+    pub freq_norm: f64,
+    /// Maximum tolerable SJ amplitude (peak-to-peak UI) at the target BER;
+    /// censored at [`JTOL_AMPLITUDE_CAP`] when even that passes.
+    pub amplitude_pp: Ui,
+    /// `true` if the search hit the amplitude cap (tolerance effectively
+    /// unbounded at this frequency).
+    pub censored: bool,
+}
+
+impl fmt::Display for JtolPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "f/fb = {:.5}: {:.4} UIpp{}",
+            self.freq_norm,
+            self.amplitude_pp.value(),
+            if self.censored { " (censored)" } else { "" }
+        )
+    }
+}
+
+/// Upper amplitude bound for the JTOL bisection, in UIpp.
+pub const JTOL_AMPLITUDE_CAP: f64 = 20.0;
+
+/// Maximum tolerable sinusoidal-jitter amplitude (peak-to-peak UI) at
+/// `freq_norm` for which the model's BER stays at or below `target_ber`.
+///
+/// Monotonicity of BER in the SJ amplitude makes this a clean bisection.
+///
+/// # Panics
+///
+/// Panics unless `0 < target_ber < 1` and `freq_norm > 0`.
+///
+/// # Examples
+///
+/// ```
+/// use gcco_stat::{jtol_at, GccoStatModel, JitterSpec};
+///
+/// let model = GccoStatModel::new(JitterSpec::paper_table1());
+/// let lo = jtol_at(&model, 1e-3, 1e-12);
+/// let hi = jtol_at(&model, 0.45, 1e-12);
+/// assert!(lo.amplitude_pp > hi.amplitude_pp,
+///         "low-frequency jitter is tracked, near-Nyquist jitter is not");
+/// ```
+pub fn jtol_at(model: &GccoStatModel, freq_norm: f64, target_ber: f64) -> JtolPoint {
+    assert!(
+        target_ber > 0.0 && target_ber < 1.0,
+        "invalid target BER {target_ber}"
+    );
+    assert!(freq_norm > 0.0, "invalid SJ frequency {freq_norm}");
+
+    let ber_at = |amp_pp: f64| {
+        let spec = model
+            .spec()
+            .clone()
+            .with_sj(Ui::new(amp_pp), freq_norm);
+        model.clone().with_spec(spec).ber()
+    };
+
+    if ber_at(JTOL_AMPLITUDE_CAP) <= target_ber {
+        return JtolPoint {
+            freq_norm,
+            amplitude_pp: Ui::new(JTOL_AMPLITUDE_CAP),
+            censored: true,
+        };
+    }
+    if ber_at(0.0) > target_ber {
+        // Channel jitter alone already fails: zero tolerance.
+        return JtolPoint {
+            freq_norm,
+            amplitude_pp: Ui::ZERO,
+            censored: false,
+        };
+    }
+    let (mut lo, mut hi) = (0.0f64, JTOL_AMPLITUDE_CAP);
+    for _ in 0..48 {
+        let mid = 0.5 * (lo + hi);
+        if ber_at(mid) <= target_ber {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    JtolPoint {
+        freq_norm,
+        amplitude_pp: Ui::new(lo),
+        censored: false,
+    }
+}
+
+/// Computes a full jitter-tolerance curve over the given normalized
+/// frequencies.
+pub fn jtol_curve(
+    model: &GccoStatModel,
+    freqs_norm: &[f64],
+    target_ber: f64,
+) -> Vec<JtolPoint> {
+    freqs_norm
+        .iter()
+        .map(|&f| jtol_at(model, f, target_ber))
+        .collect()
+}
+
+/// Logarithmically spaced frequency grid from `lo` to `hi` (inclusive),
+/// with `n ≥ 2` points — the usual x-axis of a JTOL plot.
+///
+/// # Panics
+///
+/// Panics unless `0 < lo < hi` and `n ≥ 2`.
+pub fn log_freq_grid(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > lo, "invalid grid bounds [{lo}, {hi}]");
+    assert!(n >= 2, "need at least 2 grid points");
+    let ratio = (hi / lo).ln();
+    (0..n)
+        .map(|i| lo * (ratio * i as f64 / (n - 1) as f64).exp())
+        .collect()
+}
+
+/// Maximum tolerable |frequency offset| (as a fraction, e.g. `0.012` for
+/// 1.2 %) at which the BER stays at or below `target_ber` — the paper's
+/// §2.3 FTOL. Searches the worse of the two offset signs.
+///
+/// Returns 0 when the model already fails at zero offset.
+///
+/// # Panics
+///
+/// Panics unless `0 < target_ber < 1`.
+pub fn ftol(model: &GccoStatModel, target_ber: f64) -> f64 {
+    assert!(
+        target_ber > 0.0 && target_ber < 1.0,
+        "invalid target BER {target_ber}"
+    );
+    let worst_ber = |eps: f64| {
+        let plus = model.clone().with_freq_offset(eps).ber();
+        let minus = model.clone().with_freq_offset(-eps).ber();
+        plus.max(minus)
+    };
+    const CAP: f64 = 0.2;
+    if worst_ber(0.0) > target_ber {
+        return 0.0;
+    }
+    if worst_ber(CAP) <= target_ber {
+        return CAP;
+    }
+    let (mut lo, mut hi) = (0.0f64, CAP);
+    for _ in 0..48 {
+        let mid = 0.5 * (lo + hi);
+        if worst_ber(mid) <= target_ber {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{JitterSpec, SamplingTap};
+
+    fn model() -> GccoStatModel {
+        GccoStatModel::new(JitterSpec::paper_table1())
+    }
+
+    #[test]
+    fn jtol_falls_from_tracked_lows_to_nyquist() {
+        // The headline JTOL shape (Fig. 9): enormous tolerance at low SJ
+        // frequency, around a UI near the data rate. (The curve is not
+        // strictly monotonic in between — the drift factor
+        // |sin(π·f·L)| aliases across run lengths — so we assert the
+        // decades, not every step.)
+        let curve = jtol_curve(&model(), &[1e-4, 1e-2, 0.1, 0.45], 1e-12);
+        assert!(curve[0].censored, "1e-4·fb SJ must be tracked out");
+        assert!(
+            curve[1].amplitude_pp.value() > curve[3].amplitude_pp.value(),
+            "{} then {}",
+            curve[1],
+            curve[3]
+        );
+        let last = curve.last().unwrap();
+        assert!(!last.censored && last.amplitude_pp.value() < 1.5);
+        assert!(last.amplitude_pp.value() > 0.0);
+    }
+
+    #[test]
+    fn jtol_bisection_is_tight() {
+        let p = jtol_at(&model(), 0.4, 1e-12);
+        let spec = JitterSpec::paper_table1().with_sj(p.amplitude_pp, 0.4);
+        let at = GccoStatModel::new(spec.clone()).ber();
+        let above = GccoStatModel::new(
+            spec.with_sj(p.amplitude_pp + gcco_units::Ui::new(0.02), 0.4),
+        )
+        .ber();
+        assert!(at <= 1e-12, "at tolerance: {at}");
+        assert!(above > 1e-12, "just above tolerance: {above}");
+    }
+
+    #[test]
+    fn offset_shrinks_jtol() {
+        let clean = jtol_at(&model(), 0.3, 1e-12);
+        let offset = jtol_at(&model().with_freq_offset(-0.01), 0.3, 1e-12);
+        assert!(
+            offset.amplitude_pp.value() < clean.amplitude_pp.value(),
+            "offset {} vs clean {}",
+            offset,
+            clean
+        );
+    }
+
+    #[test]
+    fn improved_tap_widens_jtol_under_offset() {
+        // A slow oscillator (negative offset, as in Fig. 14's 2.375 GHz
+        // CCO against 2.5 Gbit/s data) erodes the accumulated right eye
+        // edge; the earlier (−T/8) tap buys that margin back.
+        // Slip excluded, exactly as the paper's Fig. 17 states ("erroneous
+        // sampling of the next bit … not considered").
+        let base = model().with_freq_offset(-0.015).with_slip_term(false);
+        let std = jtol_at(&base, 0.3, 1e-12);
+        let imp = jtol_at(&base.clone().with_tap(SamplingTap::Improved), 0.3, 1e-12);
+        assert!(
+            imp.amplitude_pp.value() > std.amplitude_pp.value(),
+            "improved {imp} vs standard {std}"
+        );
+    }
+
+    #[test]
+    fn ftol_is_positive_and_bounded() {
+        let f = ftol(&model(), 1e-12);
+        assert!(f > 0.001, "FTOL {f} suspiciously small");
+        assert!(f < 0.2, "FTOL {f} suspiciously large");
+        // At the returned offset the BER must pass; just beyond it must not.
+        let pass = model().with_freq_offset(f).ber();
+        assert!(pass <= 1e-12, "{pass}");
+        let fail = model().with_freq_offset(f + 0.002).ber();
+        assert!(fail > 1e-12, "{fail}");
+    }
+
+    #[test]
+    fn ftol_vastly_exceeds_the_100ppm_spec() {
+        // §2.3: data rate specified to ±100 ppm; the design must tolerate
+        // far more.
+        let f = ftol(&model(), 1e-12);
+        assert!(f > 100e-6 * 10.0, "FTOL {f}");
+    }
+
+    #[test]
+    fn zero_tolerance_when_channel_jitter_already_fails() {
+        let hopeless = GccoStatModel::new(
+            JitterSpec::paper_table1().with_sj(gcco_units::Ui::ZERO, 0.1),
+        )
+        .with_freq_offset(0.12);
+        let p = jtol_at(&hopeless, 0.3, 1e-12);
+        assert_eq!(p.amplitude_pp, gcco_units::Ui::ZERO);
+    }
+
+    #[test]
+    fn log_grid_properties() {
+        let g = log_freq_grid(1e-4, 0.5, 9);
+        assert_eq!(g.len(), 9);
+        assert!((g[0] - 1e-4).abs() < 1e-12);
+        assert!((g[8] - 0.5).abs() < 1e-12);
+        let r1 = g[1] / g[0];
+        let r2 = g[5] / g[4];
+        assert!((r1 / r2 - 1.0).abs() < 1e-9, "log spacing must be uniform");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid target BER")]
+    fn rejects_bad_target() {
+        let _ = jtol_at(&model(), 0.1, 0.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Statistical jitter/BER engine for gated-oscillator clock recovery.
+//!
+//! This crate is the Rust equivalent of the Matlab statistical model in
+//! §3.1 of the DATE'05 GCCO paper: it predicts the bit error ratio of a
+//! gated current-controlled oscillator CDR as a function of deterministic,
+//! random and sinusoidal input jitter, oscillator jitter, run-length (CID)
+//! statistics and frequency offset — analytically, down to the 10⁻¹² tails
+//! no time-domain simulation can reach.
+//!
+//! The pieces:
+//!
+//! * [`erfc`]/[`q_function`]/[`q_inverse`] — double-precision Gaussian tail
+//!   machinery;
+//! * [`Pdf`] — gridded jitter PDFs (uniform DJ, Gaussian RJ, arcsine SJ)
+//!   with convolution and analytic-Gaussian tail folding;
+//! * [`JitterSpec`] — the paper's Table 1;
+//! * [`GccoStatModel`] — the per-run missing-pulse / bit-slip BER model
+//!   (reproduces Figs. 9, 10, 17);
+//! * [`jtol_at`]/[`jtol_curve`]/[`ftol`] — tolerance searches;
+//! * [`TolMask`] — the InfiniBand™ jitter-tolerance mask (Fig. 5);
+//! * [`Bathtub`] — BER-vs-phase scans and eye openings;
+//! * [`monte_carlo_ber`] — brute-force cross-validation of the analytic
+//!   engine in the high-BER regime.
+//!
+//! # Examples
+//!
+//! Reproduce the core of the paper's Fig. 9 analysis — jitter tolerance at
+//! BER 10⁻¹² versus SJ frequency:
+//!
+//! ```
+//! use gcco_stat::{jtol_curve, GccoStatModel, JitterSpec, log_freq_grid};
+//!
+//! let model = GccoStatModel::new(JitterSpec::paper_table1());
+//! let freqs = log_freq_grid(1e-4, 0.5, 7);
+//! let curve = jtol_curve(&model, &freqs, 1e-12);
+//! assert!(curve.first().unwrap().amplitude_pp > curve.last().unwrap().amplitude_pp);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bathtub;
+mod decompose;
+mod erf;
+mod jtol;
+mod mask;
+mod mc;
+mod model;
+mod pdf;
+mod spec;
+mod spectrum;
+
+pub use bathtub::{total_jitter_pp, Bathtub, BathtubPoint};
+pub use decompose::{decompose_tie, JitterDecomposition};
+pub use erf::{erf, erfc, norm_pdf, q_function, q_inverse, rj_crest_factor};
+pub use jtol::{ftol, jtol_at, jtol_curve, log_freq_grid, JtolPoint, JTOL_AMPLITUDE_CAP};
+pub use mask::TolMask;
+pub use mc::{monte_carlo_ber, McResult};
+pub use model::{EdgeModel, GccoStatModel, RunDist, RunErrorProb};
+pub use pdf::Pdf;
+pub use spec::{JitterSpec, SamplingTap};
+pub use spectrum::{amplitude_spectrum, dominant_tone, fft_in_place, tone_amplitude};

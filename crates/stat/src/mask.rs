@@ -1,0 +1,199 @@
+//! Jitter-tolerance masks (the paper's Fig. 5).
+
+use gcco_units::{Freq, Ui};
+use std::fmt;
+
+/// A piecewise jitter-tolerance mask: the *minimum* sinusoidal-jitter
+/// amplitude a compliant receiver must tolerate at each jitter frequency.
+///
+/// The mask has the classic three-segment shape used by InfiniBand™, Fibre
+/// Channel and XAUI: a low-frequency peak-to-peak cap (`lf_cap`), a
+/// −20 dB/decade slope, and a high-frequency floor (`hf_floor`) above the
+/// corner frequency `f_corner`.
+///
+/// # Examples
+///
+/// ```
+/// use gcco_stat::TolMask;
+/// use gcco_units::Freq;
+///
+/// let mask = TolMask::infiniband(Freq::from_gbps(2.5));
+/// // Well above the corner: the floor applies.
+/// assert_eq!(mask.required_pp(Freq::from_mhz(100.0)).value(), 0.1);
+/// // One decade below the corner: 10x the floor.
+/// let one_decade_down = mask.required_pp(mask.f_corner() * 0.1);
+/// assert!((one_decade_down.value() - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct TolMask {
+    bit_rate: Freq,
+    f_corner: Freq,
+    hf_floor: Ui,
+    lf_cap: Ui,
+}
+
+impl TolMask {
+    /// The InfiniBand™-style receiver jitter-tolerance mask at the given
+    /// bit rate: corner at `bit_rate / 1667` (1.5 MHz at 2.5 Gbit/s),
+    /// high-frequency floor 0.1 UIpp, low-frequency cap 8.5 UIpp.
+    ///
+    /// These constants approximate the Fig. 5 mask of the InfiniBand
+    /// Architecture Specification rev 1.0.a cited by the paper.
+    pub fn infiniband(bit_rate: Freq) -> TolMask {
+        TolMask {
+            bit_rate,
+            f_corner: bit_rate / 1667.0,
+            hf_floor: Ui::new(0.1),
+            lf_cap: Ui::new(8.5),
+        }
+    }
+
+    /// A custom three-segment mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hf_floor` exceeds `lf_cap` or either is non-positive.
+    pub fn custom(bit_rate: Freq, f_corner: Freq, hf_floor: Ui, lf_cap: Ui) -> TolMask {
+        assert!(
+            hf_floor.value() > 0.0 && lf_cap.value() >= hf_floor.value(),
+            "mask requires 0 < hf_floor ({hf_floor}) <= lf_cap ({lf_cap})"
+        );
+        TolMask {
+            bit_rate,
+            f_corner,
+            hf_floor,
+            lf_cap,
+        }
+    }
+
+    /// The bit rate the mask is referenced to.
+    pub fn bit_rate(&self) -> Freq {
+        self.bit_rate
+    }
+
+    /// The corner frequency where the slope meets the floor.
+    pub fn f_corner(&self) -> Freq {
+        self.f_corner
+    }
+
+    /// Required tolerance (peak-to-peak UI) at the given jitter frequency.
+    pub fn required_pp(&self, f: Freq) -> Ui {
+        if f.hz() >= self.f_corner.hz() {
+            return self.hf_floor;
+        }
+        let slope = self.hf_floor.value() * (self.f_corner / f);
+        Ui::new(slope.min(self.lf_cap.value()))
+    }
+
+    /// Required tolerance at a frequency given as a fraction of the bit
+    /// rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `freq_norm > 0`.
+    pub fn required_pp_norm(&self, freq_norm: f64) -> Ui {
+        assert!(freq_norm > 0.0, "invalid normalized frequency {freq_norm}");
+        self.required_pp(self.bit_rate * freq_norm)
+    }
+
+    /// Margin of a measured tolerance against the mask, as a ratio:
+    /// `measured / required`. Values ≥ 1 are compliant.
+    pub fn margin(&self, freq_norm: f64, measured_pp: Ui) -> f64 {
+        measured_pp.value() / self.required_pp_norm(freq_norm).value()
+    }
+
+    /// The mask's characteristic corner points `(freq, UIpp)` for plotting:
+    /// cap start, cap end, corner, and one decade above the corner.
+    pub fn corner_points(&self) -> Vec<(Freq, Ui)> {
+        let f_cap = self.f_corner * (self.hf_floor.value() / self.lf_cap.value());
+        vec![
+            (f_cap * 0.1, self.lf_cap),
+            (f_cap, self.lf_cap),
+            (self.f_corner, self.hf_floor),
+            (self.f_corner * 10.0, self.hf_floor),
+        ]
+    }
+}
+
+impl fmt::Display for TolMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mask(corner {}, floor {:.2}UIpp, cap {:.2}UIpp)",
+            self.f_corner,
+            self.hf_floor.value(),
+            self.lf_cap.value()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask() -> TolMask {
+        TolMask::infiniband(Freq::from_gbps(2.5))
+    }
+
+    #[test]
+    fn corner_is_1p5_mhz_at_2p5g() {
+        assert!((mask().f_corner().hz() - 1.5e6).abs() < 1e3);
+    }
+
+    #[test]
+    fn floor_above_corner() {
+        for f in [2e6, 1e7, 1e9] {
+            assert_eq!(mask().required_pp(Freq::from_hz(f)).value(), 0.1);
+        }
+    }
+
+    #[test]
+    fn slope_is_minus_20db_per_decade() {
+        let m = mask();
+        let at_corner_tenth = m.required_pp(m.f_corner() * 0.1);
+        assert!((at_corner_tenth.value() - 1.0).abs() < 1e-9);
+        let at_corner_hundredth = m.required_pp(m.f_corner() * 0.01);
+        assert!((at_corner_hundredth.value() - 8.5).abs() < 1e-9, "capped");
+    }
+
+    #[test]
+    fn cap_at_low_frequency() {
+        assert_eq!(mask().required_pp(Freq::from_hz(10.0)).value(), 8.5);
+    }
+
+    #[test]
+    fn normalized_lookup_matches_absolute() {
+        let m = mask();
+        let norm = m.required_pp_norm(1e-3);
+        let abs = m.required_pp(Freq::from_mhz(2.5));
+        assert_eq!(norm, abs);
+    }
+
+    #[test]
+    fn margin_ratio() {
+        let m = mask();
+        assert!((m.margin(0.1, Ui::new(0.2)) - 2.0).abs() < 1e-12);
+        assert!(m.margin(0.1, Ui::new(0.05)) < 1.0);
+    }
+
+    #[test]
+    fn corner_points_are_monotone_in_frequency() {
+        let pts = mask().corner_points();
+        assert_eq!(pts.len(), 4);
+        for w in pts.windows(2) {
+            assert!(w[0].0.hz() < w[1].0.hz());
+            assert!(w[0].1.value() >= w[1].1.value());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mask requires")]
+    fn custom_rejects_inverted_levels() {
+        let _ = TolMask::custom(
+            Freq::from_gbps(2.5),
+            Freq::from_mhz(1.5),
+            Ui::new(1.0),
+            Ui::new(0.1),
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! Monte-Carlo cross-validation of the analytic BER engine.
+//!
+//! The analytic model in [`crate::GccoStatModel`] reaches 10⁻¹² tails that
+//! no simulation can sample, but in the 10⁻¹…10⁻⁴ regime a direct
+//! Monte-Carlo experiment *can* — and any disagreement there would indicate
+//! a modelling bug. This module draws runs, jitters their closing
+//! transitions and oscillator edges per the same stochastic model, and
+//! counts missing-pulse / bit-slip events.
+
+use crate::model::{EdgeModel, GccoStatModel};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a Monte-Carlo BER experiment.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct McResult {
+    /// Bits simulated.
+    pub bits: u64,
+    /// Missing-pulse errors observed.
+    pub missing: u64,
+    /// Bit-slip errors observed.
+    pub slips: u64,
+}
+
+impl McResult {
+    /// The observed bit error ratio.
+    pub fn ber(&self) -> f64 {
+        (self.missing + self.slips) as f64 / self.bits as f64
+    }
+
+    /// 99 % two-sided confidence half-width of the BER estimate (normal
+    /// approximation).
+    pub fn ci99(&self) -> f64 {
+        let p = self.ber();
+        2.576 * (p * (1.0 - p) / self.bits as f64).sqrt()
+    }
+}
+
+/// Runs a Monte-Carlo experiment with `n_runs` independent runs, using the
+/// same jitter statistics, tap, frequency offset and run-length
+/// distribution as the analytic `model`.
+///
+/// # Panics
+///
+/// Panics if `n_runs` is zero.
+pub fn monte_carlo_ber(model: &GccoStatModel, n_runs: u64, seed: u64) -> McResult {
+    assert!(n_runs > 0, "need at least one run");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let spec = model.spec();
+    let dist = model.run_dist();
+    let eps = model.freq_offset();
+    let tap = model.tap().phase_offset_ui();
+    let max_len = dist.max_len();
+
+    // Cumulative run-length distribution for inverse-transform sampling.
+    let mut cdf = Vec::with_capacity(max_len as usize);
+    let mut acc = 0.0;
+    for l in 1..=max_len {
+        acc += dist.prob(l);
+        cdf.push(acc);
+    }
+
+    let mut result = McResult::default();
+    for _ in 0..n_runs {
+        let u: f64 = rng.gen_range(0.0..acc);
+        let l = cdf.partition_point(|&c| c < u) as u32 + 1;
+        result.bits += l as u64;
+
+        // Closing-transition displacement.
+        let mut delta_j = 0.0;
+        match model.edge_model() {
+            EdgeModel::ResyncReferenced => {
+                delta_j += uniform_pp(&mut rng, spec.dj_pp.value());
+                delta_j += gaussian(&mut rng) * spec.rj_rms.value();
+            }
+            EdgeModel::IndependentEdges => {
+                delta_j += uniform_pp(&mut rng, spec.dj_pp.value())
+                    - uniform_pp(&mut rng, spec.dj_pp.value());
+                delta_j += gaussian(&mut rng) * spec.rj_rms.value() * 2f64.sqrt();
+            }
+        }
+        // SJ drift with random phase.
+        let amp = spec.sj_drift_amplitude(l);
+        if amp > 0.0 {
+            let theta: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            delta_j += amp * theta.cos();
+        }
+        let boundary = l as f64 + delta_j;
+
+        let x_l = (l as f64 - 0.5 + tap) / (1.0 + eps)
+            + gaussian(&mut rng) * spec.osc_sigma_ui(l);
+        let x_next = (l as f64 + 0.5 + tap) / (1.0 + eps)
+            + gaussian(&mut rng) * spec.osc_sigma_ui(l + 1);
+
+        if x_l >= boundary {
+            result.missing += 1;
+        }
+        if x_next <= boundary {
+            result.slips += 1;
+        }
+    }
+    result
+}
+
+fn uniform_pp(rng: &mut SmallRng, pp: f64) -> f64 {
+    if pp == 0.0 {
+        0.0
+    } else {
+        rng.gen_range(-0.5 * pp..=0.5 * pp)
+    }
+}
+
+fn gaussian(rng: &mut SmallRng) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::JitterSpec;
+    use gcco_units::Ui;
+
+    /// The analytic engine and the Monte-Carlo experiment must agree in the
+    /// regime where MC has statistics.
+    #[test]
+    fn analytic_matches_monte_carlo_high_ber() {
+        for (amp, freq, eps) in [(0.8, 0.45, 0.0), (0.6, 0.35, 0.02), (1.0, 0.25, -0.01)] {
+            let model = GccoStatModel::new(
+                JitterSpec::paper_table1().with_sj(Ui::new(amp), freq),
+            )
+            .with_freq_offset(eps);
+            let analytic = model.ber();
+            assert!(analytic > 1e-4, "pick harsher settings ({analytic})");
+            let mc = monte_carlo_ber(&model, 400_000, 42);
+            let rel = (mc.ber() - analytic).abs() / analytic;
+            assert!(
+                rel < 0.12 || (mc.ber() - analytic).abs() < 3.0 * mc.ci99(),
+                "amp={amp} f={freq} eps={eps}: analytic {analytic:.4e} vs MC {:.4e} ± {:.1e}",
+                mc.ber(),
+                mc.ci99()
+            );
+        }
+    }
+
+    #[test]
+    fn monte_carlo_is_deterministic_per_seed() {
+        let model = GccoStatModel::new(
+            JitterSpec::paper_table1().with_sj(Ui::new(0.8), 0.4),
+        );
+        let a = monte_carlo_ber(&model, 50_000, 7);
+        let b = monte_carlo_ber(&model, 50_000, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clean_monte_carlo_sees_no_errors() {
+        let model = GccoStatModel::new(JitterSpec::clean());
+        let r = monte_carlo_ber(&model, 100_000, 1);
+        assert_eq!(r.missing + r.slips, 0);
+        assert!(r.bits > 100_000, "runs have at least one bit each");
+    }
+
+    #[test]
+    fn ci_shrinks_with_sample_count() {
+        let model = GccoStatModel::new(
+            JitterSpec::paper_table1().with_sj(Ui::new(0.8), 0.4),
+        );
+        let small = monte_carlo_ber(&model, 20_000, 3);
+        let large = monte_carlo_ber(&model, 200_000, 3);
+        assert!(large.ci99() < small.ci99());
+    }
+}

@@ -1,0 +1,443 @@
+//! Gridded probability density functions and convolution.
+//!
+//! The paper's §3.1: *"In statistical models, the exact contributions of
+//! different types of timing jitter can be accurately combined. Deterministic
+//! jitter is modeled with a uniform probability density function, random
+//! jitter with a normal PDF and sinusoidal jitter leads to a sine wave
+//! histogram distribution."* This module is that machinery: each jitter
+//! component becomes a [`Pdf`] on a uniform grid and components are combined
+//! by [`Pdf::convolve`].
+
+use crate::erf::q_function;
+use std::fmt;
+
+/// A probability density sampled on a uniform grid.
+///
+/// The grid is defined by `origin` (the coordinate of sample 0) and `step`.
+/// Densities are stored per-unit (not per-bin); `integral()` of a freshly
+/// constructed PDF is 1 up to discretization error.
+///
+/// # Examples
+///
+/// ```
+/// use gcco_stat::Pdf;
+/// let dj = Pdf::uniform(0.4, 1e-3);   // DJ: 0.4 pp
+/// let rj = Pdf::gaussian(0.021, 1e-3, 8.0);
+/// let total = dj.convolve(&rj);
+/// assert!((total.integral() - 1.0).abs() < 1e-6);
+/// assert!(total.std_dev() > 0.021);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Pdf {
+    origin: f64,
+    step: f64,
+    density: Vec<f64>,
+}
+
+impl Pdf {
+    /// Creates a PDF from raw samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not positive/finite or `density` is empty or
+    /// contains negative/non-finite values.
+    pub fn from_samples(origin: f64, step: f64, density: Vec<f64>) -> Pdf {
+        assert!(step > 0.0 && step.is_finite(), "invalid step {step}");
+        assert!(!density.is_empty(), "empty density");
+        assert!(
+            density.iter().all(|d| d.is_finite() && *d >= 0.0),
+            "density must be finite and non-negative"
+        );
+        Pdf {
+            origin,
+            step,
+            density,
+        }
+    }
+
+    /// A Dirac impulse at `at`, represented as a single full bin.
+    pub fn dirac(at: f64, step: f64) -> Pdf {
+        Pdf::from_samples(at, step, vec![1.0 / step])
+    }
+
+    /// Uniform density of total width `pp` centred on zero (the
+    /// deterministic-jitter model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pp` is negative.
+    pub fn uniform(pp: f64, step: f64) -> Pdf {
+        assert!(pp >= 0.0, "negative width {pp}");
+        if pp < step {
+            return Pdf::dirac(0.0, step);
+        }
+        let n = (pp / step).round() as usize + 1;
+        let d = 1.0 / (n as f64 * step);
+        Pdf::from_samples(-0.5 * (n - 1) as f64 * step, step, vec![d; n])
+    }
+
+    /// Zero-mean Gaussian of standard deviation `sigma`, truncated at
+    /// `±n_sigma·σ` (the random-jitter model).
+    pub fn gaussian(sigma: f64, step: f64, n_sigma: f64) -> Pdf {
+        assert!(sigma >= 0.0, "negative sigma {sigma}");
+        if sigma == 0.0 {
+            return Pdf::dirac(0.0, step);
+        }
+        let half = (n_sigma * sigma / step).ceil() as i64;
+        let norm = 1.0 / (sigma * (2.0 * std::f64::consts::PI).sqrt());
+        let density: Vec<f64> = (-half..=half)
+            .map(|i| {
+                let x = i as f64 * step / sigma;
+                norm * (-0.5 * x * x).exp()
+            })
+            .collect();
+        let mut pdf = Pdf::from_samples(-(half as f64) * step, step, density);
+        pdf.renormalize();
+        pdf
+    }
+
+    /// Arcsine ("sine-wave histogram") density of peak-to-peak width `pp`,
+    /// centred on zero — the distribution of a sampled sinusoid (the
+    /// sinusoidal-jitter model).
+    pub fn sinusoidal(pp: f64, step: f64) -> Pdf {
+        assert!(pp >= 0.0, "negative width {pp}");
+        if pp < 2.0 * step {
+            return Pdf::dirac(0.0, step);
+        }
+        let a = pp / 2.0;
+        let half = (a / step).ceil() as i64;
+        let density: Vec<f64> = (-half..=half)
+            .map(|i| {
+                let x = i as f64 * step;
+                // Integrate the arcsine density over the bin to tame the
+                // endpoint singularities: P(bin) = (asin(hi/a)-asin(lo/a))/π.
+                let lo = ((x - 0.5 * step) / a).clamp(-1.0, 1.0);
+                let hi = ((x + 0.5 * step) / a).clamp(-1.0, 1.0);
+                (hi.asin() - lo.asin()) / std::f64::consts::PI / step
+            })
+            .collect();
+        let mut pdf = Pdf::from_samples(-(half as f64) * step, step, density);
+        pdf.renormalize();
+        pdf
+    }
+
+    /// Dual-Dirac density: two impulses at `±pp/2` (the asymptotic DJ model
+    /// used in jitter decomposition).
+    pub fn dual_dirac(pp: f64, step: f64) -> Pdf {
+        if pp < step {
+            return Pdf::dirac(0.0, step);
+        }
+        let half = (0.5 * pp / step).round() as usize;
+        let mut density = vec![0.0; 2 * half + 1];
+        density[0] = 0.5 / step;
+        density[2 * half] = 0.5 / step;
+        Pdf::from_samples(-(half as f64) * step, step, density)
+    }
+
+    /// The grid step.
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// The coordinate of the first grid sample.
+    pub fn origin(&self) -> f64 {
+        self.origin
+    }
+
+    /// The density samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.density
+    }
+
+    /// The coordinate of sample `i`.
+    pub fn x(&self, i: usize) -> f64 {
+        self.origin + i as f64 * self.step
+    }
+
+    /// Total integral (≈ 1 for a normalized PDF).
+    pub fn integral(&self) -> f64 {
+        self.density.iter().sum::<f64>() * self.step
+    }
+
+    /// Rescales so the integral is exactly 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the density is identically zero.
+    pub fn renormalize(&mut self) {
+        let total = self.integral();
+        assert!(total > 0.0, "cannot normalize a zero density");
+        for d in &mut self.density {
+            *d /= total;
+        }
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        let mut m = 0.0;
+        for (i, d) in self.density.iter().enumerate() {
+            m += self.x(i) * d;
+        }
+        m * self.step
+    }
+
+    /// Standard deviation of the distribution.
+    pub fn std_dev(&self) -> f64 {
+        let mean = self.mean();
+        let mut v = 0.0;
+        for (i, d) in self.density.iter().enumerate() {
+            let dx = self.x(i) - mean;
+            v += dx * dx * d;
+        }
+        (v * self.step).max(0.0).sqrt()
+    }
+
+    /// Convolution of two densities (the distribution of the *sum* of the
+    /// two independent random variables).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid steps differ by more than 1 ppm.
+    pub fn convolve(&self, other: &Pdf) -> Pdf {
+        assert!(
+            (self.step / other.step - 1.0).abs() < 1e-6,
+            "grid mismatch: {} vs {}",
+            self.step,
+            other.step
+        );
+        let n = self.density.len() + other.density.len() - 1;
+        let mut out = vec![0.0; n];
+        for (i, &a) in self.density.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            for (j, &b) in other.density.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+        for d in &mut out {
+            *d *= self.step;
+        }
+        Pdf::from_samples(self.origin + other.origin, self.step, out)
+    }
+
+    /// Probability mass at or beyond `threshold`: `P(X ≥ threshold)`.
+    ///
+    /// Linear interpolation inside the crossing bin keeps the result smooth
+    /// for optimizers that bisect on it.
+    pub fn tail_above(&self, threshold: f64) -> f64 {
+        let mut p = 0.0;
+        for (i, &d) in self.density.iter().enumerate() {
+            let lo = self.x(i) - 0.5 * self.step;
+            let hi = self.x(i) + 0.5 * self.step;
+            if lo >= threshold {
+                p += d * self.step;
+            } else if hi > threshold {
+                p += d * (hi - threshold);
+            }
+        }
+        p.min(1.0)
+    }
+
+    /// Probability mass at or below `threshold`: `P(X ≤ threshold)`.
+    pub fn tail_below(&self, threshold: f64) -> f64 {
+        let mut p = 0.0;
+        for (i, &d) in self.density.iter().enumerate() {
+            let lo = self.x(i) - 0.5 * self.step;
+            let hi = self.x(i) + 0.5 * self.step;
+            if hi <= threshold {
+                p += d * self.step;
+            } else if lo < threshold {
+                p += d * (threshold - lo);
+            }
+        }
+        p.min(1.0)
+    }
+
+    /// Expected Gaussian exceedance: `E[Q((threshold − X)/σ)]`.
+    ///
+    /// This is the precise way to add an *analytic* Gaussian component to a
+    /// gridded bounded one — the deep tail comes from `Q` rather than from a
+    /// truncated grid, so probabilities below the grid resolution (1e-12 and
+    /// beyond) remain exact.
+    pub fn gaussian_exceed_above(&self, threshold: f64, sigma: f64) -> f64 {
+        if sigma <= 0.0 {
+            return self.tail_above(threshold);
+        }
+        let mut p = 0.0;
+        for (i, &d) in self.density.iter().enumerate() {
+            if d == 0.0 {
+                continue;
+            }
+            p += d * self.step * q_function((threshold - self.x(i)) / sigma);
+        }
+        p.min(1.0)
+    }
+
+    /// Expected Gaussian shortfall: `E[Q((X − threshold)/σ)]`
+    /// (probability that `X + N(0,σ²) ≤ threshold`).
+    pub fn gaussian_exceed_below(&self, threshold: f64, sigma: f64) -> f64 {
+        if sigma <= 0.0 {
+            return self.tail_below(threshold);
+        }
+        let mut p = 0.0;
+        for (i, &d) in self.density.iter().enumerate() {
+            if d == 0.0 {
+                continue;
+            }
+            p += d * self.step * q_function((self.x(i) - threshold) / sigma);
+        }
+        p.min(1.0)
+    }
+}
+
+impl fmt::Display for Pdf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Pdf({} bins, [{:.4}, {:.4}], σ={:.4})",
+            self.density.len(),
+            self.origin,
+            self.x(self.density.len() - 1),
+            self.std_dev()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STEP: f64 = 1e-3;
+
+    #[test]
+    fn uniform_moments() {
+        let pdf = Pdf::uniform(0.4, STEP);
+        assert!((pdf.integral() - 1.0).abs() < 1e-9);
+        assert!(pdf.mean().abs() < 1e-12);
+        // Uniform σ = pp/√12.
+        assert!((pdf.std_dev() - 0.4 / 12f64.sqrt()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let pdf = Pdf::gaussian(0.021, STEP / 10.0, 8.0);
+        assert!((pdf.integral() - 1.0).abs() < 1e-9);
+        assert!((pdf.std_dev() - 0.021).abs() < 1e-4);
+    }
+
+    #[test]
+    fn sinusoidal_moments() {
+        let pdf = Pdf::sinusoidal(0.2, STEP);
+        assert!((pdf.integral() - 1.0).abs() < 1e-9);
+        // Sine σ = A/√2 = pp/(2√2).
+        assert!((pdf.std_dev() - 0.2 / (2.0 * 2f64.sqrt())).abs() < 1e-3);
+    }
+
+    #[test]
+    fn dual_dirac_moments() {
+        let pdf = Pdf::dual_dirac(0.4, STEP);
+        assert!((pdf.integral() - 1.0).abs() < 1e-9);
+        assert!((pdf.std_dev() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dirac_collapse_for_tiny_widths() {
+        assert_eq!(Pdf::uniform(0.0, STEP).samples().len(), 1);
+        assert_eq!(Pdf::gaussian(0.0, STEP, 8.0).samples().len(), 1);
+        assert_eq!(Pdf::sinusoidal(0.0, STEP).samples().len(), 1);
+    }
+
+    #[test]
+    fn convolution_adds_variances() {
+        let a = Pdf::uniform(0.4, STEP);
+        let b = Pdf::gaussian(0.021, STEP, 8.0);
+        let c = a.convolve(&b);
+        assert!((c.integral() - 1.0).abs() < 1e-6);
+        let expected = (a.std_dev().powi(2) + b.std_dev().powi(2)).sqrt();
+        assert!((c.std_dev() - expected).abs() < 1e-4);
+        // Convolution is commutative.
+        let c2 = b.convolve(&a);
+        assert!((c2.std_dev() - c.std_dev()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn convolution_of_uniforms_is_triangular() {
+        let u = Pdf::uniform(0.2, STEP);
+        let tri = u.convolve(&u);
+        // Peak at the centre with density 1/pp = 5.
+        let mid = tri.samples().len() / 2;
+        assert!((tri.samples()[mid] - 5.0).abs() < 0.1);
+        assert!((tri.tail_above(0.0) - 0.5).abs() < 1e-2);
+    }
+
+    #[test]
+    fn tails_are_complementary() {
+        let pdf = Pdf::uniform(0.4, STEP).convolve(&Pdf::sinusoidal(0.1, STEP));
+        for t in [-0.3, -0.1, 0.0, 0.05, 0.27] {
+            let sum = pdf.tail_above(t) + pdf.tail_below(t);
+            assert!((sum - 1.0).abs() < 1e-6, "t = {t}: {sum}");
+        }
+    }
+
+    #[test]
+    fn uniform_tail_is_linear() {
+        let pdf = Pdf::uniform(0.4, STEP);
+        assert!((pdf.tail_above(0.0) - 0.5).abs() < 5e-3);
+        assert!((pdf.tail_above(0.1) - 0.25).abs() < 5e-3);
+        assert!(pdf.tail_above(0.25) < 1e-12);
+        assert!((pdf.tail_above(-0.25) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_exceed_matches_q_for_dirac() {
+        let dirac = Pdf::dirac(0.0, STEP);
+        let sigma = 0.021;
+        for t in [0.0, 0.05, 0.1, 0.147] {
+            let direct = crate::q_function(t / sigma);
+            let via_pdf = dirac.gaussian_exceed_above(t, sigma);
+            assert!(
+                (via_pdf / direct - 1.0).abs() < 1e-12,
+                "t = {t}: {via_pdf} vs {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn gaussian_exceed_reaches_deep_tails() {
+        // Uniform DJ 0.4pp + RJ σ=0.021: P(cross 0.5-UI boundary) should be
+        // tiny but non-zero — the 1e-12 regime the paper works in.
+        let dj = Pdf::uniform(0.4, 1e-4);
+        let p = dj.gaussian_exceed_above(0.5, 0.021);
+        assert!(p > 1e-50 && p < 1e-10, "p = {p}");
+    }
+
+    #[test]
+    fn exceed_below_mirrors_above() {
+        let pdf = Pdf::uniform(0.3, STEP);
+        let a = pdf.gaussian_exceed_above(0.2, 0.01);
+        let b = pdf.gaussian_exceed_below(-0.2, 0.01);
+        assert!((a / b - 1.0).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn display_formatting() {
+        let pdf = Pdf::uniform(0.4, STEP);
+        let s = pdf.to_string();
+        assert!(s.starts_with("Pdf(") && s.contains("σ="), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "grid mismatch")]
+    fn convolve_rejects_mismatched_grids() {
+        let a = Pdf::uniform(0.1, 1e-3);
+        let b = Pdf::uniform(0.1, 2e-3);
+        let _ = a.convolve(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid step")]
+    fn rejects_bad_step() {
+        let _ = Pdf::from_samples(0.0, 0.0, vec![1.0]);
+    }
+}

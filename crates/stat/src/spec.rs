@@ -1,0 +1,210 @@
+//! System-level jitter specifications (the paper's Table 1).
+
+use gcco_units::Ui;
+use std::fmt;
+
+/// Recovered-clock tap of the gated oscillator (paper §3.3b, Figs. 7/15).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SamplingTap {
+    /// Standard topology (Fig. 7): the inverted fourth-stage output; the
+    /// sampling clock rises T/2 after each data edge.
+    #[default]
+    Standard,
+    /// Improved topology (Fig. 15): the inverted third-stage output, moving
+    /// the sampling instant one eighth of a clock period *earlier* — away
+    /// from the jitter-accumulating right eye edge.
+    Improved,
+}
+
+impl SamplingTap {
+    /// The sampling-phase offset relative to the standard T/2 point, in UI.
+    pub fn phase_offset_ui(self) -> f64 {
+        match self {
+            SamplingTap::Standard => 0.0,
+            SamplingTap::Improved => -0.125,
+        }
+    }
+}
+
+impl fmt::Display for SamplingTap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SamplingTap::Standard => "standard (T/2)",
+            SamplingTap::Improved => "improved (T/2 - T/8)",
+        })
+    }
+}
+
+/// Jitter specification for statistical BER analysis — the paper's Table 1.
+///
+/// | Jitter type        | Units  | Paper value      |
+/// |--------------------|--------|------------------|
+/// | Deterministic (DJ) | UIpp   | 0.4              |
+/// | Random (RJ)        | UIrms  | 0.021 (0.3 UIpp) |
+/// | Sinusoidal (SJ)    | UIpp   | swept            |
+/// | Oscillator (CKJ)   | UIrms  | 0.01             |
+///
+/// The oscillator jitter `ckj_rms` is referenced to the **maximum CID**
+/// (five for 8b10b, §3.2: "the respective standard deviation for the
+/// sampling clock is 0.01 UIrms for CID = 5") and accumulates as a random
+/// walk: `σ(n) = ckj_rms · √(n / cid_max)`.
+///
+/// # Examples
+///
+/// ```
+/// use gcco_stat::JitterSpec;
+/// let spec = JitterSpec::paper_table1();
+/// assert_eq!(spec.dj_pp.value(), 0.4);
+/// assert_eq!(spec.cid_max, 5);
+/// assert!((spec.osc_sigma_ui(5) - 0.01).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct JitterSpec {
+    /// Deterministic input jitter, peak-to-peak UI.
+    pub dj_pp: Ui,
+    /// Random input jitter, RMS UI.
+    pub rj_rms: Ui,
+    /// Sinusoidal input jitter: peak-to-peak amplitude.
+    pub sj_pp: Ui,
+    /// Sinusoidal jitter frequency, normalized to the data rate
+    /// (`0.1` means `f_sj = data_rate / 10`).
+    pub sj_freq_norm: f64,
+    /// Oscillator (sampling clock) jitter at `cid_max`, RMS UI.
+    pub ckj_rms: Ui,
+    /// Maximum consecutive identical digits the line code guarantees
+    /// (5 for 8b10b).
+    pub cid_max: u32,
+}
+
+impl JitterSpec {
+    /// The paper's Table 1 specification with SJ initially zero (to be swept).
+    pub fn paper_table1() -> JitterSpec {
+        JitterSpec {
+            dj_pp: Ui::new(0.4),
+            rj_rms: Ui::new(0.021),
+            sj_pp: Ui::ZERO,
+            sj_freq_norm: 0.1,
+            ckj_rms: Ui::new(0.01),
+            cid_max: 5,
+        }
+    }
+
+    /// A jitter-free specification (useful for calibration tests).
+    pub fn clean() -> JitterSpec {
+        JitterSpec {
+            dj_pp: Ui::ZERO,
+            rj_rms: Ui::ZERO,
+            sj_pp: Ui::ZERO,
+            sj_freq_norm: 0.1,
+            ckj_rms: Ui::ZERO,
+            cid_max: 5,
+        }
+    }
+
+    /// Returns a copy with the given sinusoidal jitter.
+    pub fn with_sj(mut self, amplitude_pp: Ui, freq_norm: f64) -> JitterSpec {
+        assert!(
+            freq_norm > 0.0 && freq_norm.is_finite(),
+            "invalid normalized SJ frequency {freq_norm}"
+        );
+        self.sj_pp = amplitude_pp;
+        self.sj_freq_norm = freq_norm;
+        self
+    }
+
+    /// Accumulated oscillator jitter (RMS UI) `n` bit slots after a
+    /// resynchronization: `ckj_rms · √(n / cid_max)`.
+    pub fn osc_sigma_ui(&self, n: u32) -> f64 {
+        self.ckj_rms.value() * (n as f64 / self.cid_max as f64).sqrt()
+    }
+
+    /// Amplitude (half peak-to-peak) of the SJ *drift* accumulated over `n`
+    /// bit slots: `sj_pp · |sin(π · f_norm · n)|`.
+    ///
+    /// The gated oscillator retimes on every transition, so only the change
+    /// of the sinusoidal displacement between two transitions `n` UI apart
+    /// matters: `(A_pp/2)·[sin(θ + 2πf·nT) − sin(θ)]`, a sinusoid in `θ`
+    /// with amplitude `A_pp·|sin(π·f_norm·n)|`. Low-frequency jitter
+    /// (`f_norm·n ≪ 1`) is tracked almost perfectly; jitter near half the
+    /// data rate is fully felt — this single factor produces the
+    /// characteristic JTOL shape of Figs. 9/10.
+    pub fn sj_drift_amplitude(&self, n: u32) -> f64 {
+        self.sj_pp.value() * (std::f64::consts::PI * self.sj_freq_norm * n as f64).sin().abs()
+    }
+}
+
+impl Default for JitterSpec {
+    fn default() -> JitterSpec {
+        JitterSpec::paper_table1()
+    }
+}
+
+impl fmt::Display for JitterSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DJ {:.3}UIpp, RJ {:.4}UIrms, SJ {:.3}UIpp@{:.4}fb, CKJ {:.4}UIrms, CID≤{}",
+            self.dj_pp.value(),
+            self.rj_rms.value(),
+            self.sj_pp.value(),
+            self.sj_freq_norm,
+            self.ckj_rms.value(),
+            self.cid_max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        let s = JitterSpec::paper_table1();
+        assert_eq!(s.dj_pp, Ui::new(0.4));
+        assert_eq!(s.rj_rms, Ui::new(0.021));
+        assert_eq!(s.ckj_rms, Ui::new(0.01));
+        assert_eq!(s.sj_pp, Ui::ZERO);
+        assert_eq!(s.cid_max, 5);
+    }
+
+    #[test]
+    fn osc_sigma_random_walk() {
+        let s = JitterSpec::paper_table1();
+        assert!((s.osc_sigma_ui(5) - 0.01).abs() < 1e-15);
+        assert!((s.osc_sigma_ui(1) - 0.01 / 5f64.sqrt()).abs() < 1e-15);
+        assert!((s.osc_sigma_ui(20) - 0.02).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sj_drift_amplitude_shape() {
+        let s = JitterSpec::paper_table1().with_sj(Ui::new(0.2), 0.5);
+        // f_norm = 0.5, n = 1: |sin(π/2)| = 1 — full amplitude felt.
+        assert!((s.sj_drift_amplitude(1) - 0.2).abs() < 1e-12);
+        // n = 2: |sin(π)| = 0 — drift cancels over two periods.
+        assert!(s.sj_drift_amplitude(2) < 1e-12);
+        // Low frequency: nearly tracked out.
+        let slow = JitterSpec::paper_table1().with_sj(Ui::new(1.0), 1e-4);
+        assert!(slow.sj_drift_amplitude(1) < 1e-3);
+    }
+
+    #[test]
+    fn tap_offsets() {
+        assert_eq!(SamplingTap::Standard.phase_offset_ui(), 0.0);
+        assert_eq!(SamplingTap::Improved.phase_offset_ui(), -0.125);
+        assert_eq!(SamplingTap::default(), SamplingTap::Standard);
+    }
+
+    #[test]
+    fn display() {
+        let s = JitterSpec::paper_table1();
+        assert!(s.to_string().contains("DJ 0.400UIpp"));
+        assert!(SamplingTap::Improved.to_string().contains("T/8"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid normalized SJ frequency")]
+    fn with_sj_rejects_zero_freq() {
+        let _ = JitterSpec::paper_table1().with_sj(Ui::new(0.1), 0.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Spectral analysis of jitter: FFT, TIE periodogram, and tone
+//! extraction.
+//!
+//! The frequency-domain view of a TIE record separates the jitter species
+//! the way Table 1 does: sinusoidal jitter is a line, random jitter a
+//! floor, and the gated oscillator's random-walk accumulation a `1/f²`
+//! slope. The same machinery measures jitter *transfer* (output tone over
+//! input tone) for the CDR-comparison experiments.
+
+use std::f64::consts::PI;
+
+/// In-place radix-2 decimation-in-time FFT on interleaved complex data.
+///
+/// `data` holds `[re0, im0, re1, im1, …]`; its length must be twice a
+/// power of two.
+///
+/// # Panics
+///
+/// Panics if the length is not twice a power of two.
+///
+/// # Examples
+///
+/// ```
+/// use gcco_stat::fft_in_place;
+/// // A pure DC signal: all energy lands in bin 0.
+/// let mut data = vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0];
+/// fft_in_place(&mut data);
+/// assert!((data[0] - 4.0).abs() < 1e-12);
+/// assert!(data[2].abs() < 1e-12);
+/// ```
+pub fn fft_in_place(data: &mut [f64]) {
+    let n = data.len() / 2;
+    assert!(
+        n.is_power_of_two() && data.len() == 2 * n,
+        "FFT length {} is not twice a power of two",
+        data.len()
+    );
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 0..n {
+        if i < j {
+            data.swap(2 * i, 2 * j);
+            data.swap(2 * i + 1, 2 * j + 1);
+        }
+        let mut m = n >> 1;
+        while m >= 1 && j & m != 0 {
+            j ^= m;
+            m >>= 1;
+        }
+        j |= m;
+    }
+    // Danielson–Lanczos butterflies.
+    let mut len = 2;
+    while len <= n {
+        let theta = -2.0 * PI / len as f64;
+        let (w_re, w_im) = (theta.cos(), theta.sin());
+        let mut start = 0;
+        while start < n {
+            let (mut cur_re, mut cur_im) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let a = start + k;
+                let b = a + len / 2;
+                let (ar, ai) = (data[2 * a], data[2 * a + 1]);
+                let (br, bi) = (data[2 * b], data[2 * b + 1]);
+                let tr = br * cur_re - bi * cur_im;
+                let ti = br * cur_im + bi * cur_re;
+                data[2 * a] = ar + tr;
+                data[2 * a + 1] = ai + ti;
+                data[2 * b] = ar - tr;
+                data[2 * b + 1] = ai - ti;
+                let next_re = cur_re * w_re - cur_im * w_im;
+                cur_im = cur_re * w_im + cur_im * w_re;
+                cur_re = next_re;
+            }
+            start += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// One-sided amplitude spectrum of a real, uniformly sampled record.
+///
+/// Returns `(normalized frequency, amplitude)` pairs for bins `1..n/2`,
+/// where frequency is in cycles per sample and the amplitude is that of
+/// the corresponding real sinusoid (Hann-windowed, coherent-gain
+/// corrected). The record is truncated to the largest power of two.
+///
+/// # Panics
+///
+/// Panics if fewer than 8 samples are supplied.
+pub fn amplitude_spectrum(samples: &[f64]) -> Vec<(f64, f64)> {
+    assert!(samples.len() >= 8, "need at least 8 samples");
+    let n = 1usize << (usize::BITS - 1 - samples.len().leading_zeros());
+    let mut data = Vec::with_capacity(2 * n);
+    // Hann window; coherent gain 0.5.
+    for (i, &s) in samples.iter().take(n).enumerate() {
+        let w = 0.5 * (1.0 - (2.0 * PI * i as f64 / n as f64).cos());
+        data.push(s * w);
+        data.push(0.0);
+    }
+    fft_in_place(&mut data);
+    (1..n / 2)
+        .map(|k| {
+            let re = data[2 * k];
+            let im = data[2 * k + 1];
+            let mag = (re * re + im * im).sqrt();
+            // ×2 one-sided, ÷n FFT scale, ÷0.5 window coherent gain.
+            (k as f64 / n as f64, 2.0 * mag / (n as f64 * 0.5))
+        })
+        .collect()
+}
+
+/// Amplitude of the spectral tone nearest `freq_norm` (cycles per sample),
+/// searching ±2 bins for leakage.
+pub fn tone_amplitude(samples: &[f64], freq_norm: f64) -> f64 {
+    let spectrum = amplitude_spectrum(samples);
+    let df = spectrum[0].0;
+    spectrum
+        .iter()
+        .filter(|(f, _)| (f - freq_norm).abs() <= 2.5 * df)
+        .map(|&(_, a)| a)
+        .fold(0.0, f64::max)
+}
+
+/// The dominant spectral line: `(normalized frequency, amplitude)`.
+pub fn dominant_tone(samples: &[f64]) -> (f64, f64) {
+    amplitude_spectrum(samples)
+        .into_iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .expect("spectrum is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_matches_analytic_single_tone() {
+        let n = 256;
+        let k = 16;
+        let mut data = Vec::with_capacity(2 * n);
+        for i in 0..n {
+            data.push((2.0 * PI * k as f64 * i as f64 / n as f64).cos());
+            data.push(0.0);
+        }
+        fft_in_place(&mut data);
+        // A cosine at bin k: magnitude n/2 at bins ±k.
+        let mag_k = (data[2 * k].powi(2) + data[2 * k + 1].powi(2)).sqrt();
+        assert!((mag_k - n as f64 / 2.0).abs() < 1e-9, "{mag_k}");
+        let mag_other = (data[2 * (k + 3)].powi(2) + data[2 * (k + 3) + 1].powi(2)).sqrt();
+        assert!(mag_other < 1e-9, "{mag_other}");
+    }
+
+    #[test]
+    fn fft_parseval() {
+        let n = 128;
+        let mut data: Vec<f64> = (0..2 * n)
+            .map(|i| if i % 2 == 0 { ((i / 2) as f64 * 0.37).sin() } else { 0.0 })
+            .collect();
+        let time_energy: f64 = data.chunks(2).map(|c| c[0] * c[0] + c[1] * c[1]).sum();
+        fft_in_place(&mut data);
+        let freq_energy: f64 =
+            data.chunks(2).map(|c| c[0] * c[0] + c[1] * c[1]).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy);
+    }
+
+    #[test]
+    fn amplitude_spectrum_recovers_tone_amplitude() {
+        let n = 2048;
+        let f = 100.5 / n as f64; // deliberately off-bin
+        let amp = 0.05;
+        let samples: Vec<f64> = (0..n)
+            .map(|i| amp * (2.0 * PI * f * i as f64).sin())
+            .collect();
+        let measured = tone_amplitude(&samples, f);
+        assert!((measured / amp - 1.0).abs() < 0.2, "{measured}");
+    }
+
+    #[test]
+    fn dominant_tone_finds_sj() {
+        // SJ line over an RJ floor.
+        let n = 4096;
+        let f_sj = 64.0 / n as f64;
+        let mut seed = 1u64;
+        let mut noise = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) as f64 / 2f64.powi(31) - 1.0) * 0.01
+        };
+        let samples: Vec<f64> = (0..n)
+            .map(|i| 0.1 * (2.0 * PI * f_sj * i as f64).sin() + noise())
+            .collect();
+        let (f, a) = dominant_tone(&samples);
+        assert!((f - f_sj).abs() < 2.0 / n as f64, "f = {f}");
+        assert!((a - 0.1).abs() < 0.02, "a = {a}");
+    }
+
+    #[test]
+    #[should_panic(expected = "twice a power of two")]
+    fn fft_rejects_odd_length() {
+        let mut data = vec![0.0; 6];
+        fft_in_place(&mut data);
+    }
+}

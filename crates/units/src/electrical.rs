@@ -1,0 +1,296 @@
+//! Electrical quantities used by the phase-noise and analog models.
+
+use crate::fmt::eng;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Sub};
+
+macro_rules! quantity {
+    ($(#[$doc:meta])* $name:ident, $unit:literal, $ctor:ident, $getter:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Debug, Default, PartialEq, PartialOrd)]
+        pub struct $name(f64);
+
+        impl $name {
+            #[doc = concat!("Creates a value in ", $unit, ".")]
+            ///
+            /// # Panics
+            ///
+            /// Panics if the value is not finite.
+            pub fn $ctor(v: f64) -> $name {
+                assert!(v.is_finite(), concat!("invalid ", stringify!($name), ": {}"), v);
+                $name(v)
+            }
+
+            #[doc = concat!("The value in ", $unit, ".")]
+            pub const fn $getter(self) -> f64 {
+                self.0
+            }
+
+            /// Absolute value.
+            pub fn abs(self) -> $name {
+                $name(self.0.abs())
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name::$ctor(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name::$ctor(self.0 - rhs.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name::$ctor(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name::$ctor(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            /// Ratio of two quantities (dimensionless).
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", eng(self.0), $unit)
+            }
+        }
+    };
+}
+
+quantity!(
+    /// An electrical potential difference.
+    ///
+    /// ```
+    /// use gcco_units::Voltage;
+    /// let swing = Voltage::from_volts(0.4);
+    /// assert_eq!(swing.volts(), 0.4);
+    /// ```
+    Voltage, "V", from_volts, volts
+);
+quantity!(
+    /// An electrical current (e.g. a CML tail current `I_SS`).
+    ///
+    /// ```
+    /// use gcco_units::Current;
+    /// let iss = Current::from_amps(200e-6);
+    /// assert_eq!(iss.milliamps(), 0.2);
+    /// ```
+    Current, "A", from_amps, amps
+);
+quantity!(
+    /// A resistance (e.g. a CML load `R_L`).
+    ///
+    /// ```
+    /// use gcco_units::Resistance;
+    /// assert_eq!(Resistance::from_ohms(2e3).ohms(), 2000.0);
+    /// ```
+    Resistance, "Ω", from_ohms, ohms
+);
+quantity!(
+    /// A capacitance (e.g. a CML node load `C_L`).
+    ///
+    /// ```
+    /// use gcco_units::Capacitance;
+    /// assert_eq!(Capacitance::from_farads(50e-15).farads(), 50e-15);
+    /// ```
+    Capacitance, "F", from_farads, farads
+);
+quantity!(
+    /// A power dissipation.
+    ///
+    /// ```
+    /// use gcco_units::Power;
+    /// assert_eq!(Power::from_watts(12.5e-3).milliwatts(), 12.5);
+    /// ```
+    Power, "W", from_watts, watts
+);
+
+impl Current {
+    /// Creates a current from microamps.
+    pub fn from_microamps(ua: f64) -> Current {
+        Current::from_amps(ua * 1e-6)
+    }
+
+    /// The current in milliamps.
+    pub fn milliamps(self) -> f64 {
+        self.amps() * 1e3
+    }
+}
+
+impl Power {
+    /// Creates a power from milliwatts.
+    pub fn from_milliwatts(mw: f64) -> Power {
+        Power::from_watts(mw * 1e-3)
+    }
+
+    /// The power in milliwatts.
+    pub fn milliwatts(self) -> f64 {
+        self.watts() * 1e3
+    }
+}
+
+impl Voltage {
+    /// Creates a voltage from millivolts.
+    pub fn from_millivolts(mv: f64) -> Voltage {
+        Voltage::from_volts(mv * 1e-3)
+    }
+
+    /// The voltage in millivolts.
+    pub fn millivolts(self) -> f64 {
+        self.volts() * 1e3
+    }
+}
+
+impl Mul<Current> for Voltage {
+    /// `P = V·I`.
+    type Output = Power;
+    fn mul(self, rhs: Current) -> Power {
+        Power::from_watts(self.volts() * rhs.amps())
+    }
+}
+
+impl Mul<Voltage> for Current {
+    /// `P = I·V`.
+    type Output = Power;
+    fn mul(self, rhs: Voltage) -> Power {
+        rhs * self
+    }
+}
+
+impl Mul<Resistance> for Current {
+    /// Ohm's law `V = I·R`.
+    type Output = Voltage;
+    fn mul(self, rhs: Resistance) -> Voltage {
+        Voltage::from_volts(self.amps() * rhs.ohms())
+    }
+}
+
+impl Div<Resistance> for Voltage {
+    /// Ohm's law `I = V/R`.
+    type Output = Current;
+    fn div(self, rhs: Resistance) -> Current {
+        Current::from_amps(self.volts() / rhs.ohms())
+    }
+}
+
+/// An absolute temperature.
+///
+/// ```
+/// use gcco_units::Temperature;
+/// let t = Temperature::from_celsius(27.0);
+/// assert!((t.kelvin() - 300.15).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
+pub struct Temperature(f64);
+
+impl Temperature {
+    /// Standard "room temperature" for noise analysis, 300 K.
+    pub const ROOM: Temperature = Temperature(300.0);
+
+    /// Creates a temperature from kelvin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is negative or not finite.
+    pub fn from_kelvin(k: f64) -> Temperature {
+        assert!(k.is_finite() && k >= 0.0, "invalid temperature: {k} K");
+        Temperature(k)
+    }
+
+    /// Creates a temperature from degrees Celsius.
+    pub fn from_celsius(c: f64) -> Temperature {
+        Temperature::from_kelvin(c + 273.15)
+    }
+
+    /// The temperature in kelvin.
+    pub const fn kelvin(self) -> f64 {
+        self.0
+    }
+}
+
+impl Default for Temperature {
+    fn default() -> Temperature {
+        Temperature::ROOM
+    }
+}
+
+impl fmt::Display for Temperature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}K", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ohms_law_and_power() {
+        let i = Current::from_amps(1e-3);
+        let r = Resistance::from_ohms(400.0);
+        let v = i * r;
+        assert_eq!(v, Voltage::from_volts(0.4));
+        assert_eq!(v / r, i);
+        let p = v * i;
+        assert!((p.watts() - 0.4e-3).abs() < 1e-15);
+        assert_eq!(i * v, p);
+    }
+
+    #[test]
+    fn unit_helpers() {
+        assert_eq!(Current::from_microamps(250.0), Current::from_amps(250e-6));
+        assert_eq!(Power::from_milliwatts(5.0), Power::from_watts(5e-3));
+        assert_eq!(Voltage::from_millivolts(400.0), Voltage::from_volts(0.4));
+        assert!((Voltage::from_volts(0.4).millivolts() - 400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantity_arithmetic() {
+        let a = Voltage::from_volts(1.0);
+        let b = Voltage::from_volts(0.25);
+        assert_eq!(a + b, Voltage::from_volts(1.25));
+        assert_eq!(a - b, Voltage::from_volts(0.75));
+        assert_eq!(a * 2.0, Voltage::from_volts(2.0));
+        assert_eq!(a / 4.0, b);
+        assert_eq!(a / b, 4.0);
+        assert_eq!((b - a).abs(), Voltage::from_volts(0.75));
+    }
+
+    #[test]
+    fn temperature() {
+        assert_eq!(Temperature::default(), Temperature::ROOM);
+        assert!((Temperature::from_celsius(0.0).kelvin() - 273.15).abs() < 1e-12);
+        assert_eq!(Temperature::ROOM.to_string(), "300.00K");
+    }
+
+    #[test]
+    fn display_engineering() {
+        assert_eq!(Current::from_amps(200e-6).to_string(), "200µA");
+        assert_eq!(Power::from_watts(12.5e-3).to_string(), "12.5mW");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid temperature")]
+    fn temperature_rejects_negative() {
+        let _ = Temperature::from_kelvin(-1.0);
+    }
+}

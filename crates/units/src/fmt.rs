@@ -1,0 +1,100 @@
+//! Engineering-notation formatting shared by the quantity types.
+
+/// Formats a value with an SI prefix (engineering notation).
+///
+/// Chooses the prefix so that the mantissa lies in `[1, 1000)` and prints up
+/// to four significant digits with trailing zeros trimmed.
+///
+/// ```
+/// use gcco_units::eng;
+/// assert_eq!(eng(2.5e9), "2.5G");
+/// assert_eq!(eng(400e-12), "400p");
+/// assert_eq!(eng(0.0), "0");
+/// assert_eq!(eng(-3.3e-3), "-3.3m");
+/// ```
+pub fn eng(value: f64) -> String {
+    if value == 0.0 {
+        return "0".to_string();
+    }
+    if !value.is_finite() {
+        return format!("{value}");
+    }
+    const PREFIXES: [(f64, &str); 17] = [
+        (1e24, "Y"),
+        (1e21, "Z"),
+        (1e18, "E"),
+        (1e15, "P"),
+        (1e12, "T"),
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "µ"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+        (1e-15, "f"),
+        (1e-18, "a"),
+        (1e-21, "z"),
+        (1e-24, "y"),
+    ];
+    let magnitude = value.abs();
+    let (scale, prefix) = PREFIXES
+        .iter()
+        .find(|(s, _)| magnitude >= *s * 0.99995)
+        .copied()
+        .unwrap_or((1e-24, "y"));
+    let mantissa = value / scale;
+    // Up to 4 significant digits, trimmed.
+    let digits = 4usize.saturating_sub(
+        (mantissa.abs().log10().floor() as i32 + 1).clamp(1, 4) as usize,
+    );
+    let mut s = format!("{mantissa:.digits$}");
+    if s.contains('.') {
+        while s.ends_with('0') {
+            s.pop();
+        }
+        if s.ends_with('.') {
+            s.pop();
+        }
+    }
+    format!("{s}{prefix}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::eng;
+
+    #[test]
+    fn picks_prefixes() {
+        assert_eq!(eng(1.0), "1");
+        assert_eq!(eng(999.0), "999");
+        assert_eq!(eng(1000.0), "1k");
+        assert_eq!(eng(2.5e9), "2.5G");
+        assert_eq!(eng(1e-15), "1f");
+        assert_eq!(eng(123.45e-6), "123.5µ");
+    }
+
+    #[test]
+    fn handles_signs_and_zero() {
+        assert_eq!(eng(0.0), "0");
+        assert_eq!(eng(-400e-12), "-400p");
+    }
+
+    #[test]
+    fn rounding_boundary() {
+        // 0.9999999 of a prefix boundary should still use the upper prefix.
+        assert_eq!(eng(1e6), "1M");
+        assert_eq!(eng(999.999e3), "1M");
+    }
+
+    #[test]
+    fn non_finite() {
+        assert_eq!(eng(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn extreme_small_clamps_to_yocto() {
+        assert!(eng(1e-27).ends_with('y'));
+    }
+}

@@ -1,0 +1,199 @@
+//! Frequency and data-rate quantities.
+
+use crate::fmt::eng;
+use crate::time::Time;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Sub};
+
+/// A frequency (or NRZ data rate — for NRZ signalling 1 bit/s ≙ 1 Hz of
+/// bit-slot rate) in hertz.
+///
+/// # Examples
+///
+/// ```
+/// use gcco_units::{Freq, Time};
+/// let f = Freq::from_ghz(2.5);
+/// assert_eq!(f.period(), Time::from_ps(400.0));
+/// assert_eq!(f.with_offset_ppm(-100.0).hz(), 2.5e9 * (1.0 - 100e-6));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, PartialOrd)]
+pub struct Freq(f64);
+
+impl Freq {
+    /// Creates a frequency from hertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is negative or not finite.
+    pub fn from_hz(hz: f64) -> Freq {
+        assert!(hz.is_finite() && hz >= 0.0, "invalid frequency: {hz} Hz");
+        Freq(hz)
+    }
+
+    /// Creates a frequency from kilohertz.
+    pub fn from_khz(khz: f64) -> Freq {
+        Freq::from_hz(khz * 1e3)
+    }
+
+    /// Creates a frequency from megahertz.
+    pub fn from_mhz(mhz: f64) -> Freq {
+        Freq::from_hz(mhz * 1e6)
+    }
+
+    /// Creates a frequency from gigahertz.
+    pub fn from_ghz(ghz: f64) -> Freq {
+        Freq::from_hz(ghz * 1e9)
+    }
+
+    /// Creates an NRZ data rate from gigabits per second.
+    pub fn from_gbps(gbps: f64) -> Freq {
+        Freq::from_hz(gbps * 1e9)
+    }
+
+    /// The frequency in hertz.
+    pub const fn hz(self) -> f64 {
+        self.0
+    }
+
+    /// The frequency in gigahertz.
+    pub fn ghz(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// The period `1/f` on the femtosecond grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    pub fn period(self) -> Time {
+        assert!(self.0 > 0.0, "period of zero frequency");
+        Time::from_secs(1.0 / self.0)
+    }
+
+    /// The frequency shifted by a relative offset in parts-per-million.
+    pub fn with_offset_ppm(self, ppm: f64) -> Freq {
+        Freq::from_hz(self.0 * (1.0 + ppm * 1e-6))
+    }
+
+    /// The frequency scaled by `1 + frac` (e.g. `frac = 0.01` for +1 %).
+    pub fn with_offset_frac(self, frac: f64) -> Freq {
+        Freq::from_hz(self.0 * (1.0 + frac))
+    }
+
+    /// Relative offset of `self` from `reference`, as a fraction.
+    pub fn offset_from(self, reference: Freq) -> f64 {
+        (self.0 - reference.0) / reference.0
+    }
+
+    /// Constructs the frequency whose period is `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is zero or negative.
+    pub fn from_period(t: Time) -> Freq {
+        assert!(t > Time::ZERO, "frequency of non-positive period {t:?}");
+        Freq::from_hz(1.0 / t.secs())
+    }
+}
+
+impl Add for Freq {
+    type Output = Freq;
+    fn add(self, rhs: Freq) -> Freq {
+        Freq::from_hz(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Freq {
+    /// Difference of two frequencies in hertz (may be negative).
+    type Output = f64;
+    fn sub(self, rhs: Freq) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl Mul<f64> for Freq {
+    type Output = Freq;
+    fn mul(self, rhs: f64) -> Freq {
+        Freq::from_hz(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Freq {
+    type Output = Freq;
+    fn div(self, rhs: f64) -> Freq {
+        Freq::from_hz(self.0 / rhs)
+    }
+}
+
+impl Div for Freq {
+    /// Ratio of two frequencies (dimensionless).
+    type Output = f64;
+    fn div(self, rhs: Freq) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl fmt::Display for Freq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}Hz", eng(self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Freq::from_ghz(2.5), Freq::from_hz(2.5e9));
+        assert_eq!(Freq::from_mhz(250.0), Freq::from_hz(2.5e8));
+        assert_eq!(Freq::from_khz(1.0), Freq::from_hz(1e3));
+        assert_eq!(Freq::from_gbps(2.5), Freq::from_ghz(2.5));
+    }
+
+    #[test]
+    fn period_round_trip() {
+        let f = Freq::from_ghz(2.5);
+        assert_eq!(f.period(), Time::from_ps(400.0));
+        let back = Freq::from_period(f.period());
+        assert!((back / f - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ppm_offsets() {
+        let f = Freq::from_ghz(1.0);
+        assert!((f.with_offset_ppm(100.0).hz() - 1.0001e9).abs() < 1.0);
+        assert!((f.with_offset_frac(0.01).hz() - 1.01e9).abs() < 1.0);
+        let shifted = f.with_offset_ppm(-50.0);
+        assert!((shifted.offset_from(f) + 50e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Freq::from_mhz(100.0);
+        let b = Freq::from_mhz(50.0);
+        assert_eq!(a + b, Freq::from_mhz(150.0));
+        assert_eq!(a - b, 50e6);
+        assert_eq!(a * 2.0, Freq::from_mhz(200.0));
+        assert_eq!(a / 2.0, b);
+        assert_eq!(a / b, 2.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Freq::from_ghz(2.5).to_string(), "2.5GHz");
+        assert_eq!(Freq::from_mhz(250.0).to_string(), "250MHz");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid frequency")]
+    fn rejects_negative() {
+        let _ = Freq::from_hz(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "period of zero")]
+    fn zero_period_panics() {
+        let _ = Freq::from_hz(0.0).period();
+    }
+}

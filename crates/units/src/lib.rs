@@ -1,0 +1,59 @@
+//! Physical quantities for serial-link and clock-recovery simulation.
+//!
+//! The crate provides zero-cost newtypes for the handful of physical
+//! dimensions the GCCO workspace manipulates constantly:
+//!
+//! * [`Time`] — simulation time with **femtosecond** integer resolution, so
+//!   event-driven simulation is exactly reproducible (no floating-point
+//!   accumulation drift across billions of events);
+//! * [`Freq`] — frequency in hertz;
+//! * [`Ui`] — dimensionless *unit intervals*, the natural jitter unit
+//!   (1 UI = one bit period);
+//! * electrical quantities ([`Voltage`], [`Current`], [`Resistance`],
+//!   [`Capacitance`], [`Power`], [`Temperature`]) used by the phase-noise
+//!   and analog models.
+//!
+//! # Examples
+//!
+//! ```
+//! use gcco_units::{Freq, Time, Ui};
+//!
+//! let bit_rate = Freq::from_gbps(2.5);
+//! let ui = bit_rate.period();
+//! assert_eq!(ui, Time::from_ps(400.0));
+//! assert_eq!(Ui::new(0.5).to_time(bit_rate), Time::from_ps(200.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod electrical;
+mod fmt;
+mod freq;
+mod parse;
+mod time;
+mod ui;
+
+pub use electrical::{Capacitance, Current, Power, Resistance, Temperature, Voltage};
+pub use fmt::eng;
+pub use freq::Freq;
+pub use parse::ParseQuantityError;
+pub use time::Time;
+pub use ui::Ui;
+
+/// Boltzmann constant in joules per kelvin.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Elementary charge in coulombs.
+pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+
+/// Thermal voltage `kT/q` at the given temperature.
+///
+/// ```
+/// use gcco_units::{thermal_voltage, Temperature};
+/// let vt = thermal_voltage(Temperature::from_celsius(27.0));
+/// assert!((vt.volts() - 0.02585).abs() < 1e-4);
+/// ```
+pub fn thermal_voltage(temp: Temperature) -> Voltage {
+    Voltage::from_volts(BOLTZMANN * temp.kelvin() / ELEMENTARY_CHARGE)
+}

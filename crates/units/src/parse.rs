@@ -1,0 +1,156 @@
+//! Parsing quantities from engineering-notation strings.
+
+use crate::{Freq, Time};
+use std::fmt;
+use std::str::FromStr;
+
+/// Error returned when parsing a quantity from text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseQuantityError {
+    input: String,
+    expected: &'static str,
+}
+
+impl fmt::Display for ParseQuantityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot parse {:?} as {}", self.input, self.expected)
+    }
+}
+
+impl std::error::Error for ParseQuantityError {}
+
+/// Splits `"2.5GHz"`-style input into mantissa and unit suffix.
+fn split_number(s: &str) -> Option<(f64, &str)> {
+    let s = s.trim();
+    let end = s
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E'))
+        .unwrap_or(s.len());
+    // Careful with exponents like "2e9Hz": find may cut at the right spot
+    // already since 'e' is allowed above; but "2e-9s" keeps the sign too.
+    let (num, suffix) = s.split_at(end);
+    let value: f64 = num.parse().ok()?;
+    Some((value, suffix.trim()))
+}
+
+/// SI prefix multiplier for a unit suffix like `"GHz"` against a base unit
+/// like `"Hz"`.
+fn prefix_scale(suffix: &str, base: &str) -> Option<f64> {
+    let stripped = suffix.strip_suffix(base)?;
+    Some(match stripped {
+        "" => 1.0,
+        "k" | "K" => 1e3,
+        "M" => 1e6,
+        "G" => 1e9,
+        "T" => 1e12,
+        "m" => 1e-3,
+        "u" | "µ" => 1e-6,
+        "n" => 1e-9,
+        "p" => 1e-12,
+        "f" => 1e-15,
+        _ => return None,
+    })
+}
+
+impl FromStr for Freq {
+    type Err = ParseQuantityError;
+
+    /// Parses `"2.5GHz"`, `"156.25 MHz"`, `"250kHz"`, `"1e9Hz"`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gcco_units::Freq;
+    /// let f: Freq = "2.5GHz".parse()?;
+    /// assert_eq!(f, Freq::from_ghz(2.5));
+    /// # Ok::<(), gcco_units::ParseQuantityError>(())
+    /// ```
+    fn from_str(s: &str) -> Result<Freq, ParseQuantityError> {
+        let err = || ParseQuantityError {
+            input: s.to_string(),
+            expected: "a frequency like \"2.5GHz\"",
+        };
+        let (value, suffix) = split_number(s).ok_or_else(err)?;
+        let scale = prefix_scale(suffix, "Hz").ok_or_else(err)?;
+        let hz = value * scale;
+        if !(hz.is_finite() && hz >= 0.0) {
+            return Err(err());
+        }
+        Ok(Freq::from_hz(hz))
+    }
+}
+
+impl FromStr for Time {
+    type Err = ParseQuantityError;
+
+    /// Parses `"400ps"`, `"50 ps"`, `"1.5ns"`, `"10us"`, `"2e-9s"`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gcco_units::Time;
+    /// let t: Time = "400ps".parse()?;
+    /// assert_eq!(t, Time::from_ps(400.0));
+    /// # Ok::<(), gcco_units::ParseQuantityError>(())
+    /// ```
+    fn from_str(s: &str) -> Result<Time, ParseQuantityError> {
+        let err = || ParseQuantityError {
+            input: s.to_string(),
+            expected: "a time like \"400ps\"",
+        };
+        let (value, suffix) = split_number(s).ok_or_else(err)?;
+        let scale = prefix_scale(suffix, "s").ok_or_else(err)?;
+        let secs = value * scale;
+        if !secs.is_finite() || secs.abs() >= 9e3 {
+            return Err(err());
+        }
+        Ok(Time::from_secs(secs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_frequencies() {
+        assert_eq!("2.5GHz".parse::<Freq>().unwrap(), Freq::from_ghz(2.5));
+        assert_eq!("156.25 MHz".parse::<Freq>().unwrap(), Freq::from_mhz(156.25));
+        assert_eq!("250kHz".parse::<Freq>().unwrap(), Freq::from_khz(250.0));
+        assert_eq!("1e9Hz".parse::<Freq>().unwrap(), Freq::from_ghz(1.0));
+        assert_eq!("42Hz".parse::<Freq>().unwrap(), Freq::from_hz(42.0));
+    }
+
+    #[test]
+    fn parses_times() {
+        assert_eq!("400ps".parse::<Time>().unwrap(), Time::from_ps(400.0));
+        assert_eq!("1.5ns".parse::<Time>().unwrap(), Time::from_ns(1.5));
+        assert_eq!("10 us".parse::<Time>().unwrap(), Time::from_us(10.0));
+        assert_eq!("10 µs".parse::<Time>().unwrap(), Time::from_us(10.0));
+        assert_eq!("-50ps".parse::<Time>().unwrap(), Time::from_ps(-50.0));
+        assert_eq!("3fs".parse::<Time>().unwrap(), Time::from_fs(3));
+        assert_eq!("1s".parse::<Time>().unwrap(), Time::SECOND);
+    }
+
+    #[test]
+    fn round_trips_through_display() {
+        for text in ["2.5GHz", "250MHz", "1.5kHz"] {
+            let f: Freq = text.parse().unwrap();
+            assert_eq!(f.to_string(), text);
+        }
+        for text in ["400ps", "1.5ns", "50ps"] {
+            let t: Time = text.parse().unwrap();
+            assert_eq!(t.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!("fast".parse::<Freq>().is_err());
+        assert!("2.5Gs".parse::<Freq>().is_err());
+        assert!("-1GHz".parse::<Freq>().is_err());
+        assert!("".parse::<Time>().is_err());
+        assert!("4xs".parse::<Time>().is_err());
+        let err = "oops".parse::<Freq>().unwrap_err();
+        assert!(err.to_string().contains("oops"));
+    }
+}

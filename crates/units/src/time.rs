@@ -1,0 +1,301 @@
+//! Femtosecond-resolution simulation time.
+
+use crate::fmt::eng;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Rem, Sub, SubAssign};
+
+/// A span of simulation time, stored as an integer number of femtoseconds.
+///
+/// `Time` is signed so that it can also represent timing *errors* (a sample
+/// landing before a bit boundary is a negative offset). The femtosecond grid
+/// gives 2.5 Gbit/s simulations a resolution of 1/400 000 UI while still
+/// covering ±106 days in an `i64` — far beyond any behavioral run.
+///
+/// Arithmetic uses plain (checked-in-debug) integer ops; overflowing a
+/// femtosecond `i64` in practice means a modelling bug, so we let debug
+/// builds panic rather than silently saturate.
+///
+/// # Examples
+///
+/// ```
+/// use gcco_units::Time;
+/// let t = Time::from_ps(400.0);
+/// assert_eq!(t * 2, Time::from_ns(0.8));
+/// assert_eq!(t.fs(), 400_000);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Time(i64);
+
+impl Time {
+    /// Zero time.
+    pub const ZERO: Time = Time(0);
+    /// Largest representable time (used as an "infinite" horizon).
+    pub const MAX: Time = Time(i64::MAX);
+    /// One femtosecond.
+    pub const FEMTOSECOND: Time = Time(1);
+    /// One picosecond.
+    pub const PICOSECOND: Time = Time(1_000);
+    /// One nanosecond.
+    pub const NANOSECOND: Time = Time(1_000_000);
+    /// One microsecond.
+    pub const MICROSECOND: Time = Time(1_000_000_000);
+    /// One second.
+    pub const SECOND: Time = Time(1_000_000_000_000_000);
+
+    /// Creates a time from an integer number of femtoseconds.
+    pub const fn from_fs(fs: i64) -> Time {
+        Time(fs)
+    }
+
+    /// Creates a time from picoseconds, rounding to the femtosecond grid.
+    pub fn from_ps(ps: f64) -> Time {
+        Time::from_secs(ps * 1e-12)
+    }
+
+    /// Creates a time from nanoseconds, rounding to the femtosecond grid.
+    pub fn from_ns(ns: f64) -> Time {
+        Time::from_secs(ns * 1e-9)
+    }
+
+    /// Creates a time from microseconds, rounding to the femtosecond grid.
+    pub fn from_us(us: f64) -> Time {
+        Time::from_secs(us * 1e-6)
+    }
+
+    /// Creates a time from seconds, rounding to the femtosecond grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not finite or overflows the `i64` femtosecond
+    /// range (|t| > ~106 days).
+    pub fn from_secs(secs: f64) -> Time {
+        let fs = secs * 1e15;
+        assert!(
+            fs.is_finite() && fs.abs() < i64::MAX as f64,
+            "time out of femtosecond i64 range: {secs} s"
+        );
+        Time(fs.round() as i64)
+    }
+
+    /// The raw femtosecond count.
+    pub const fn fs(self) -> i64 {
+        self.0
+    }
+
+    /// This time in picoseconds.
+    pub fn ps(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// This time in nanoseconds.
+    pub fn ns(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// This time in seconds.
+    pub fn secs(self) -> f64 {
+        self.0 as f64 / 1e15
+    }
+
+    /// Absolute value.
+    pub const fn abs(self) -> Time {
+        Time(self.0.abs())
+    }
+
+    /// `true` if this is a negative span.
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// Saturating addition (no overflow panic even in debug builds).
+    pub const fn saturating_add(self, rhs: Time) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+
+    /// Checked subtraction.
+    pub const fn checked_sub(self, rhs: Time) -> Option<Time> {
+        match self.0.checked_sub(rhs.0) {
+            Some(v) => Some(Time(v)),
+            None => None,
+        }
+    }
+
+    /// Multiplies by a float scale factor, rounding to the femtosecond grid.
+    pub fn scale(self, factor: f64) -> Time {
+        Time::from_secs(self.secs() * factor)
+    }
+
+    /// The larger of two times.
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two times.
+    pub fn min(self, other: Time) -> Time {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Time {
+    type Output = Time;
+    fn neg(self) -> Time {
+        Time(-self.0)
+    }
+}
+
+impl Mul<i64> for Time {
+    type Output = Time;
+    fn mul(self, rhs: i64) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl Mul<Time> for i64 {
+    type Output = Time;
+    fn mul(self, rhs: Time) -> Time {
+        Time(self * rhs.0)
+    }
+}
+
+impl Div<i64> for Time {
+    type Output = Time;
+    fn div(self, rhs: i64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+
+impl Div for Time {
+    /// Ratio of two times (dimensionless).
+    type Output = f64;
+    fn div(self, rhs: Time) -> f64 {
+        self.0 as f64 / rhs.0 as f64
+    }
+}
+
+impl Rem for Time {
+    type Output = Time;
+    fn rem(self, rhs: Time) -> Time {
+        Time(self.0 % rhs.0)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", eng(self.secs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(Time::from_ps(1.0), Time::from_fs(1_000));
+        assert_eq!(Time::from_ns(1.0), Time::from_fs(1_000_000));
+        assert_eq!(Time::from_us(1.0), Time::from_fs(1_000_000_000));
+        assert_eq!(Time::from_secs(1.0), Time::SECOND);
+        assert_eq!(Time::from_ps(400.0).ps(), 400.0);
+    }
+
+    #[test]
+    fn rounds_to_grid() {
+        assert_eq!(Time::from_secs(1.4e-15), Time::from_fs(1));
+        assert_eq!(Time::from_secs(1.6e-15), Time::from_fs(2));
+        assert_eq!(Time::from_secs(-1.6e-15), Time::from_fs(-2));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Time::from_ps(100.0);
+        let b = Time::from_ps(40.0);
+        assert_eq!(a + b, Time::from_ps(140.0));
+        assert_eq!(a - b, Time::from_ps(60.0));
+        assert_eq!(a * 3, Time::from_ps(300.0));
+        assert_eq!(a / 4, Time::from_ps(25.0));
+        assert_eq!(a / b, 2.5);
+        assert_eq!(a % b, Time::from_ps(20.0));
+        assert_eq!(-a, Time::from_ps(-100.0));
+        assert_eq!((-a).abs(), a);
+        assert!((-a).is_negative());
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        let a = Time::from_ps(1.0);
+        let b = Time::from_ps(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn sum_and_scale() {
+        let total: Time = (1..=4).map(|i| Time::from_ps(i as f64)).sum();
+        assert_eq!(total, Time::from_ps(10.0));
+        assert_eq!(Time::from_ps(100.0).scale(0.25), Time::from_ps(25.0));
+    }
+
+    #[test]
+    fn saturating_and_checked() {
+        assert_eq!(Time::MAX.saturating_add(Time::SECOND), Time::MAX);
+        assert_eq!(
+            Time::from_fs(5).checked_sub(Time::from_fs(3)),
+            Some(Time::from_fs(2))
+        );
+        assert_eq!(Time(i64::MIN).checked_sub(Time::from_fs(1)), None);
+    }
+
+    #[test]
+    fn display_uses_engineering_notation() {
+        assert_eq!(Time::from_ps(400.0).to_string(), "400ps");
+        assert_eq!(Time::from_ns(1.5).to_string(), "1.5ns");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of femtosecond")]
+    fn from_secs_rejects_nan() {
+        let _ = Time::from_secs(f64::NAN);
+    }
+}

@@ -1,0 +1,210 @@
+//! Unit-interval (UI) quantities.
+
+use crate::freq::Freq;
+use crate::time::Time;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A dimensionless quantity measured in *unit intervals*: fractions of one
+/// bit period.
+///
+/// Jitter amplitudes in the paper (Table 1) are specified in UI — e.g.
+/// DJ = 0.4 UIpp, RJ = 0.021 UIrms — so UI is the lingua franca between the
+/// statistical model, the behavioral simulator and the eye analyzer. At
+/// 2.5 Gbit/s, 1 UI = 400 ps.
+///
+/// # Examples
+///
+/// ```
+/// use gcco_units::{Freq, Time, Ui};
+/// let rate = Freq::from_gbps(2.5);
+/// assert_eq!(Ui::new(0.25).to_time(rate), Time::from_ps(100.0));
+/// assert_eq!(Ui::from_time(Time::from_ps(200.0), rate), Ui::new(0.5));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, PartialOrd)]
+pub struct Ui(f64);
+
+impl Ui {
+    /// Zero UI.
+    pub const ZERO: Ui = Ui(0.0);
+    /// One full unit interval.
+    pub const ONE: Ui = Ui(1.0);
+    /// Half a unit interval (the nominal optimum sampling offset).
+    pub const HALF: Ui = Ui(0.5);
+
+    /// Creates a UI quantity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite.
+    pub fn new(value: f64) -> Ui {
+        assert!(value.is_finite(), "invalid UI value: {value}");
+        Ui(value)
+    }
+
+    /// The raw UI value.
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to absolute time at the given bit rate.
+    pub fn to_time(self, bit_rate: Freq) -> Time {
+        bit_rate.period().scale(self.0)
+    }
+
+    /// Converts an absolute time to UI at the given bit rate.
+    pub fn from_time(t: Time, bit_rate: Freq) -> Ui {
+        Ui::new(t / bit_rate.period())
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Ui {
+        Ui(self.0.abs())
+    }
+
+    /// Peak-to-peak value of a sinusoid whose RMS is `self`
+    /// (×2√2, valid for sinusoidal distributions).
+    pub fn sine_rms_to_pp(self) -> Ui {
+        Ui(self.0 * 2.0 * std::f64::consts::SQRT_2)
+    }
+
+    /// The larger of two UI values.
+    pub fn max(self, other: Ui) -> Ui {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two UI values.
+    pub fn min(self, other: Ui) -> Ui {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Ui {
+    type Output = Ui;
+    fn add(self, rhs: Ui) -> Ui {
+        Ui::new(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Ui {
+    fn add_assign(&mut self, rhs: Ui) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Ui {
+    type Output = Ui;
+    fn sub(self, rhs: Ui) -> Ui {
+        Ui::new(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Ui {
+    fn sub_assign(&mut self, rhs: Ui) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Ui {
+    type Output = Ui;
+    fn neg(self) -> Ui {
+        Ui(-self.0)
+    }
+}
+
+impl Mul<f64> for Ui {
+    type Output = Ui;
+    fn mul(self, rhs: f64) -> Ui {
+        Ui::new(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Ui {
+    type Output = Ui;
+    fn div(self, rhs: f64) -> Ui {
+        Ui::new(self.0 / rhs)
+    }
+}
+
+impl Div for Ui {
+    /// Ratio of two UI quantities.
+    type Output = f64;
+    fn div(self, rhs: Ui) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Ui {
+    fn sum<I: Iterator<Item = Ui>>(iter: I) -> Ui {
+        iter.fold(Ui::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Ui {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}UI", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_round_trip() {
+        let rate = Freq::from_gbps(2.5);
+        let ui = Ui::new(0.3);
+        let t = ui.to_time(rate);
+        assert_eq!(t, Time::from_ps(120.0));
+        assert!((Ui::from_time(t, rate) / ui - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Ui::new(0.4);
+        let b = Ui::new(0.1);
+        assert_eq!(a + b, Ui::new(0.5));
+        assert!((a - b).value() - 0.3 < 1e-12);
+        assert_eq!(a * 2.0, Ui::new(0.8));
+        assert_eq!(a / 2.0, Ui::new(0.2));
+        assert!((a / b - 4.0).abs() < 1e-12);
+        assert_eq!((-a).abs(), a);
+    }
+
+    #[test]
+    fn rms_to_pp_for_sine() {
+        // A sinusoid of amplitude A has RMS A/sqrt(2) and pp 2A.
+        let rms = Ui::new(1.0 / std::f64::consts::SQRT_2);
+        assert!((rms.sine_rms_to_pp().value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minmax_and_sum() {
+        let a = Ui::new(0.2);
+        let b = Ui::new(0.7);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        let s: Ui = [a, b].into_iter().sum();
+        assert!((s.value() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Ui::new(0.5).to_string(), "0.5000UI");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid UI")]
+    fn rejects_nan() {
+        let _ = Ui::new(f64::NAN);
+    }
+}

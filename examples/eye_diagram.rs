@@ -1,0 +1,59 @@
+//! Eye diagrams three ways, reproducing the paper's Figs. 14, 16 and 18:
+//! the behavioral eye with the standard tap, the same conditions with the
+//! improved (−T/8) tap, and the analog ("transistor-level") eye.
+//!
+//! Run with: `cargo run --release --example eye_diagram`
+
+use gcco::analog::{AnalogCdr, StageParams};
+use gcco::cdr::{run_cdr, CdrConfig};
+use gcco::signal::{JitterConfig, Prbs, PrbsOrder, SinusoidalJitter};
+use gcco::stat::SamplingTap;
+use gcco::units::{Freq, Ui};
+
+fn main() {
+    let bit_rate = Freq::from_gbps(2.5);
+    // Fig. 14 conditions: PRBS7, CCO at 2.375 GHz (5 % slow), sinusoidal
+    // jitter 0.10 UIpp at 250 MHz, per-cell oscillator jitter.
+    let bits = Prbs::new(PrbsOrder::P7).take_bits(25_000 / 4);
+    let jitter = JitterConfig::none().with_sj(SinusoidalJitter::new(
+        Ui::new(0.10),
+        Freq::from_mhz(250.0),
+    ));
+    let base = CdrConfig::paper()
+        .with_freq_offset(2.375 / 2.5 - 1.0)
+        .with_cell_jitter(0.0126);
+
+    println!("== Fig. 14: standard tap, CCO 2.375 GHz, SJ 0.10 UIpp @ 250 MHz ==\n");
+    let mut standard = run_cdr(&bits, bit_rate, &jitter, &base, 14);
+    println!("{}", standard.eye.render_ascii(64, 10));
+    let (s_left, s_right) = standard.eye.margins();
+    println!(
+        "margins around the sampling instant: left {:.3} UI, right {:.3} UI\n\
+         (the narrow retimed left edge vs the collapsed accumulated right edge)\n",
+        s_left.value(),
+        s_right.value(),
+    );
+
+    println!("== Fig. 16: improved (-T/8) tap, same conditions ==\n");
+    let improved_cfg = base.clone().with_tap(SamplingTap::Improved);
+    let mut improved = run_cdr(&bits, bit_rate, &jitter, &improved_cfg, 14);
+    println!("{}", improved.eye.render_ascii(64, 10));
+    let (i_left, i_right) = improved.eye.margins();
+    println!(
+        "margins: left {:.3} UI, right {:.3} UI — almost symmetrical around the\n\
+         sampling instant, exactly the Fig. 16 improvement\n",
+        i_left.value(),
+        i_right.value(),
+    );
+
+    println!("== Fig. 18: analog eye, typical case, no jitter ==\n");
+    let analog = AnalogCdr::new(StageParams::paper(), bit_rate);
+    let result = analog.run(&Prbs::new(PrbsOrder::P7).take_bits(400), 18);
+    println!("{}", result.eye.render_ascii());
+    println!(
+        "horizontal opening {:.3} UI, vertical opening {:.2} of swing, {} errors",
+        result.eye.horizontal_opening().value(),
+        result.eye.vertical_opening(),
+        result.errors,
+    );
+}

@@ -1,0 +1,58 @@
+//! Multi-channel receiver array (the paper's Figs. 2/6): a shared PLL
+//! locks to the crystal reference and hands its control current to four
+//! matched gated oscillators, each recovering an independent, skewed,
+//! jittered data stream.
+//!
+//! Run with: `cargo run --example multichannel`
+
+use gcco::cdr::{ChannelConfig, MultiChannelReceiver};
+use gcco::signal::JitterConfig;
+use gcco::units::{Time, Ui};
+
+fn main() {
+    let mut rx = MultiChannelReceiver::paper(4);
+
+    // Realistic per-channel conditions: CCO mismatch from process
+    // variation, skew from unequal trace lengths, independent jitter.
+    let conditions = [
+        (0.0000, 0.0, 0.010),
+        (0.0015, 120.0, 0.015),
+        (-0.0020, 250.0, 0.012),
+        (0.0030, 405.0, 0.018),
+    ];
+    for (i, (mismatch, skew_ps, rj)) in conditions.iter().enumerate() {
+        *rx.channel_mut(i) = ChannelConfig {
+            mismatch: *mismatch,
+            skew: Time::from_ps(*skew_ps),
+            jitter: JitterConfig {
+                rj_rms: Ui::new(*rj),
+                dj_pp: Ui::new(0.15),
+                ..JitterConfig::table1()
+            },
+        };
+    }
+
+    println!("running 4 x 2.5 Gbit/s with shared-PLL control current...\n");
+    let result = rx.run(4_000, 7);
+
+    println!("shared PLL: {}", result.pll);
+    println!();
+    println!("channel | mismatch | skew    | errors | BER      | eye opening");
+    println!("--------+----------+---------+--------+----------+------------");
+    for (i, ch) in result.channels.iter().enumerate() {
+        let mut eye = ch.eye.clone();
+        println!(
+            "   {}    | {:+.2} %  | {:>4.0} ps | {:>5}  | {:.1e}  | {:.3} UI",
+            i,
+            conditions[i].0 * 100.0,
+            conditions[i].1,
+            ch.errors,
+            ch.ber(),
+            eye.opening().value(),
+        );
+    }
+    println!();
+    println!("array: {result}");
+    assert_eq!(result.total_errors(), 0);
+    println!("all channels error-free — mismatch within the FTOL budget.");
+}

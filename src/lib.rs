@@ -1,0 +1,32 @@
+//! Facade crate for the GCCO workspace: one `use gcco::…` away from every
+//! subsystem of the gated-oscillator clock-recovery reproduction.
+//!
+//! The workspace reproduces *"Top-Down Design of a Low-Power Multi-Channel
+//! 2.5-Gbit/s/Channel Gated Oscillator Clock-Recovery Circuit"* (Muller,
+//! Tajalli, Atarodi, Leblebici — DATE 2005). See the repository `README.md`
+//! and `DESIGN.md` for the architecture and `EXPERIMENTS.md` for the
+//! paper-versus-measured record.
+//!
+//! # Examples
+//!
+//! ```
+//! use gcco::units::{Freq, Ui};
+//! use gcco::stat::{GccoStatModel, JitterSpec};
+//!
+//! // BER of the gated-oscillator CDR under the paper's Table 1 jitter.
+//! let model = GccoStatModel::new(JitterSpec::paper_table1());
+//! let ber = model.ber();
+//! assert!(ber < 1e-12, "nominal operating point must meet the BER target");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use gcco_analog as analog;
+pub use gcco_core as cdr;
+pub use gcco_dsim as dsim;
+pub use gcco_eye as eye;
+pub use gcco_noise as noise;
+pub use gcco_signal as signal;
+pub use gcco_stat as stat;
+pub use gcco_units as units;

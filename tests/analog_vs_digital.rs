@@ -1,0 +1,119 @@
+//! Agreement between the event-driven (gate-level) and continuous-time
+//! (analog ODE) models of the same GCCO topology — the workspace's version
+//! of the paper's VHDL-vs-SPICE cross-check (§3.3 vs §4).
+
+use gcco::analog::{AnalogCdr, AnalogRing, StageParams};
+use gcco::cdr::{run_cdr, CdrConfig};
+use gcco::signal::{BitStream, JitterConfig, Prbs, PrbsOrder};
+use gcco::units::{Freq, Time};
+
+fn rate() -> Freq {
+    Freq::from_gbps(2.5)
+}
+
+#[test]
+fn both_models_oscillate_at_the_calibrated_frequency() {
+    // Digital ring: exact by construction.
+    let config = CdrConfig::paper();
+    assert_eq!(config.osc_frequency(), Freq::from_ghz(2.5));
+    // Analog ring: calibrated to better than 1 %.
+    let ring = AnalogRing::calibrated(StageParams::paper(), Freq::from_ghz(2.5));
+    let f = ring.measure_frequency();
+    assert!((f / Freq::from_ghz(2.5) - 1.0).abs() < 0.01, "{f}");
+}
+
+#[test]
+fn both_models_recover_the_same_clean_stream() {
+    let bits = Prbs::new(PrbsOrder::P7).take_bits(254);
+    let digital = run_cdr(&bits, rate(), &JitterConfig::none(), &CdrConfig::paper(), 1);
+    let analog = AnalogCdr::new(StageParams::paper(), rate()).run(&bits, 1);
+    assert_eq!(digital.errors, 0, "{digital}");
+    assert_eq!(analog.errors, 0, "{analog}");
+    assert!(analog.compared > 230);
+}
+
+#[test]
+fn both_models_restart_the_clock_half_a_period_after_release() {
+    // Digital: exact T/2 (tested in gcco-core); analog: within a fraction
+    // of a stage delay. Here we compare the two directly.
+    let mut ring = AnalogRing::calibrated(StageParams::paper(), Freq::from_ghz(2.5));
+    let dt = Time::from_secs(ring.params().tau().secs() / 40.0);
+    let swing = ring.params().swing().volts();
+    while ring.now() < Time::from_ns(1.0) {
+        ring.step(dt, -swing);
+    }
+    let release = ring.now();
+    let mut prev = ring.ck_standard();
+    let mut rise = None;
+    while ring.now() < release + Time::from_ns(1.0) {
+        ring.step(dt, swing);
+        let v = ring.ck_standard();
+        if prev <= 0.0 && v > 0.0 {
+            rise = Some(ring.now());
+            break;
+        }
+        prev = v;
+    }
+    let analog_latency = (rise.expect("restarts") - release).ps();
+    let digital_latency = 200.0; // T/2, exact in the event model
+    assert!(
+        (analog_latency - digital_latency).abs() < 30.0,
+        "analog {analog_latency} ps vs digital {digital_latency} ps"
+    );
+}
+
+#[test]
+fn analog_transitions_are_finite_digital_are_instant() {
+    // The distinguishing feature of the Fig. 18 eye vs the Fig. 14 eye.
+    let bits: BitStream = "1010110010".repeat(20).parse().unwrap();
+    let analog = AnalogCdr::new(StageParams::paper(), rate()).run(&bits, 3);
+    // Mid-band occupancy exists in the analog eye…
+    let mid: u64 = (28..36)
+        .map(|y| (0..128).map(|x| analog.eye.count(x, y)).sum::<u64>())
+        .sum();
+    assert!(mid > 0, "analog transitions cross mid-swing");
+    // …and the analog waveform spends a measurable fraction of each bit
+    // between the levels.
+    let swing = 0.4;
+    let mid_fraction = analog
+        .waveform
+        .iter()
+        .filter(|&&(_, d, _)| d.abs() < 0.5 * swing)
+        .count() as f64
+        / analog.waveform.len() as f64;
+    assert!(
+        (0.02..0.6).contains(&mid_fraction),
+        "mid-swing fraction {mid_fraction}"
+    );
+}
+
+#[test]
+fn analog_model_confirms_the_tau_window_lower_bound() {
+    // τ far below T/2 must degrade the analog CDR exactly as it does the
+    // digital one (Fig. 13) — the oscillator is detuned so that a missed
+    // resynchronization actually matters.
+    let bits = Prbs::new(PrbsOrder::P7).take_bits(200);
+    let good = AnalogCdr::new(StageParams::paper(), rate())
+        .with_freq_offset(-0.02)
+        .run(&bits, 5);
+    let bad = AnalogCdr::new(StageParams::paper(), rate())
+        .with_freq_offset(-0.02)
+        .with_delay_cells(1)
+        .run(&bits, 5);
+    assert_eq!(good.errors, 0, "{good}");
+    assert!(
+        bad.errors > good.errors || bad.compared < good.compared * 9 / 10,
+        "1-cell delay line must misbehave: {bad}"
+    );
+}
+
+#[test]
+fn analog_model_tolerates_small_offsets_like_the_digital_one() {
+    let bits = Prbs::new(PrbsOrder::P7).take_bits(200);
+    for offset in [-0.01, 0.01] {
+        let result = AnalogCdr::new(StageParams::paper(), rate())
+            .with_freq_offset(offset)
+            .run(&bits, 6);
+        assert_eq!(result.errors, 0, "offset {offset}: {result}");
+    }
+}

@@ -1,0 +1,148 @@
+//! Failure injection across the receive path: corrupted line bits, bit
+//! slips, dead lines and mistuned oscillators must be *detected* — by
+//! 8b10b code/disparity violations, LOS monitors or elastic-buffer flags —
+//! rather than silently corrupting the payload.
+
+use gcco::cdr::{add_los_monitor, CdrConfig, ElasticBuffer, SerialReceiver};
+use gcco::dsim::Simulator;
+use gcco::signal::{
+    BitStream, Decode8b10bError, Decoder8b10b, Encoder8b10b, JitterConfig, Symbol,
+};
+use gcco::units::{Freq, Time};
+
+fn rate() -> Freq {
+    Freq::from_gbps(2.5)
+}
+
+fn encode(symbols: &[Symbol]) -> BitStream {
+    Encoder8b10b::new().encode_stream(symbols)
+}
+
+#[test]
+fn single_bit_flip_is_caught_by_the_decoder() {
+    let symbols: Vec<Symbol> = (0..100).map(|i| Symbol::data(i as u8)).collect();
+    let clean = encode(&symbols);
+    let mut caught = 0usize;
+    let mut silent_corruptions = 0usize;
+    // Flip every 37th bit position in turn and decode.
+    for flip in (0..clean.len()).step_by(37) {
+        let mut bits: Vec<bool> = clean.bits().to_vec();
+        bits[flip] = !bits[flip];
+        let mut dec = Decoder8b10b::new();
+        let mut decoded = Vec::new();
+        let mut violation = false;
+        for chunk in bits.chunks_exact(10) {
+            let code = chunk.iter().fold(0u16, |acc, &b| (acc << 1) | u16::from(b));
+            match dec.decode(code) {
+                Ok(sym) => decoded.push(sym),
+                Err(_) => violation = true,
+            }
+        }
+        if violation {
+            caught += 1;
+        } else {
+            // An undetected flip must still corrupt at least one symbol
+            // (8b10b is not error-correcting) — count silent corruption.
+            let ok = decoded.len() == symbols.len()
+                && decoded.iter().zip(&symbols).all(|(a, b)| a == b);
+            if ok {
+                panic!("flip at bit {flip} vanished entirely");
+            }
+            silent_corruptions += 1;
+        }
+    }
+    // 8b10b catches most single-bit errors via code/disparity violations;
+    // a minority alias to valid codes (inherent to the code).
+    assert!(
+        caught * 3 >= (caught + silent_corruptions) * 2,
+        "caught {caught}, silent {silent_corruptions}"
+    );
+}
+
+#[test]
+fn disparity_error_detection_is_sticky_across_symbols() {
+    // A flip that turns a balanced code into a legal-looking unbalanced
+    // one shows up at the *next* disparity check — test the machinery by
+    // feeding a legal RD− symbol twice without the stream being legal.
+    let mut dec = Decoder8b10b::new();
+    // K28.5 at RD−: 0011111010 has six ones (disparity +2), flipping RD.
+    let code_minus = Encoder8b10b::new().encode(Symbol::K28_5);
+    assert!(dec.decode(code_minus).is_ok());
+    // The same RD− variant again: now illegal (running disparity is +).
+    let second = dec.decode(code_minus);
+    assert!(matches!(second, Err(Decode8b10bError::DisparityError(_))));
+}
+
+#[test]
+fn dead_line_asserts_los_not_garbage() {
+    let mut sim = Simulator::new(1);
+    let din = sim.add_signal("din", false);
+    let los = add_los_monitor(&mut sim, "los", din, rate(), 32);
+    sim.probe(los);
+    sim.run_until(Time::from_us(1.0));
+    assert!(sim.value(los), "a line with no transitions must flag LOS");
+}
+
+#[test]
+fn receiver_reports_code_errors_for_mistuned_oscillator() {
+    // Gross mistuning produces bit slips; the 8b10b layer must convert
+    // them into visible code errors, never a clean-looking wrong payload.
+    let payload: Vec<Symbol> = (0..300).map(|i| Symbol::data((i % 251) as u8)).collect();
+    let rx = SerialReceiver::new(
+        rate(),
+        CdrConfig::paper().with_freq_offset(-0.07),
+    );
+    let result = rx.transmit_and_receive(&payload, &JitterConfig::none(), 3);
+    let expected: Vec<u8> = payload.iter().map(|s| s.octet()).collect();
+    let got = result.payload();
+    let silently_clean = result.code_errors == 0
+        && got.len() >= expected.len()
+        && got[..expected.len()] == expected[..];
+    assert!(!silently_clean, "{result}");
+    assert!(result.code_errors > 0, "{result}");
+}
+
+#[test]
+fn elastic_overflow_is_flagged_with_time() {
+    let result = ElasticBuffer::new(4).run_with_offset(rate(), 0.02, 50_000);
+    let overflow = result.overflow_at.expect("must overflow");
+    // 2 % fast writer on a depth-4 buffer: overflow within ~200 writes.
+    assert!(overflow < Time::from_ps(400.0) * 400, "{overflow}");
+    assert!(!result.ok());
+}
+
+#[test]
+fn duplicate_and_dropped_edges_do_not_wedge_the_cdr() {
+    // Hand-build a pathological drive: a runt pulse (two edges 20 ps
+    // apart) and a long silence in the middle of traffic. The CDR must
+    // keep producing clock edges and samples afterwards.
+    let mut sim = Simulator::new(5);
+    let handles = gcco::cdr::build_cdr(&mut sim, "cdr", &CdrConfig::paper());
+    sim.probe(handles.clock);
+    let mut changes = Vec::new();
+    let mut t = Time::from_ps(400.0);
+    let mut level = true;
+    // Normal traffic.
+    for _ in 0..50 {
+        changes.push((t, level));
+        level = !level;
+        t += Time::from_ps(400.0);
+    }
+    // Runt pulse.
+    changes.push((t, level));
+    changes.push((t + Time::from_ps(20.0), !level));
+    t += Time::from_ps(400.0);
+    // Silence (25 UI), then more traffic.
+    t += Time::from_ps(400.0) * 25;
+    for _ in 0..50 {
+        changes.push((t, level));
+        level = !level;
+        t += Time::from_ps(400.0);
+    }
+    sim.drive(handles.ed.din, &changes);
+    sim.run_until(t + Time::from_ns(4.0));
+    let clock_edges = sim.trace(handles.clock).unwrap().rising_edges();
+    let after_silence = clock_edges.iter().filter(|&&e| e > t - Time::from_ns(10.0)).count();
+    assert!(after_silence > 10, "CDR must recover after the glitches");
+    assert!(!handles.samples.is_empty());
+}

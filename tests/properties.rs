@@ -1,0 +1,194 @@
+//! Property-based tests over the workspace invariants (proptest).
+
+use gcco::signal::{
+    BitStream, Decoder8b10b, DjCorrelation, EdgeStream, Encoder8b10b, JitterConfig, Prbs,
+    PrbsOrder, RunLengths, Symbol,
+};
+use gcco::stat::{GccoStatModel, JitterSpec, Pdf, RunDist};
+use gcco::units::{Freq, Time, Ui};
+use proptest::prelude::*;
+
+fn rate() -> Freq {
+    Freq::from_gbps(2.5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// 8b10b: any byte sequence round-trips through encode/decode, and the
+    /// encoded stream never exceeds 5 consecutive identical digits.
+    #[test]
+    fn prop_8b10b_round_trip_and_cid(bytes in prop::collection::vec(any::<u8>(), 1..200)) {
+        let symbols: Vec<Symbol> = bytes.iter().map(|&b| Symbol::data(b)).collect();
+        let mut enc = Encoder8b10b::new();
+        let line = enc.encode_stream(&symbols);
+        prop_assert_eq!(line.len(), symbols.len() * 10);
+        let runs = RunLengths::of(line.bits());
+        prop_assert!(runs.max() <= 5, "CID {}", runs.max());
+        let mut dec = Decoder8b10b::new();
+        let decoded = dec.decode_stream(line.bits()).unwrap();
+        prop_assert_eq!(decoded, symbols);
+    }
+
+    /// Edge synthesis: edges are strictly ordered, one per bit transition,
+    /// and each measured displacement is bounded by the jitter budget.
+    #[test]
+    fn prop_edge_stream_is_causal_and_bounded(
+        seed in any::<u64>(),
+        dj in 0.0f64..0.45,
+        rj in 0.0f64..0.03,
+        n in 64usize..512,
+    ) {
+        let bits = Prbs::with_seed(PrbsOrder::P9, seed | 1).take_bits(n);
+        let config = JitterConfig {
+            dj_pp: Ui::new(dj),
+            rj_rms: Ui::new(rj),
+            ..JitterConfig::none()
+        };
+        let stream = EdgeStream::synthesize(&bits, rate(), &config, seed);
+        prop_assert_eq!(stream.edges().len(), bits.transition_count());
+        for w in stream.edges().windows(2) {
+            prop_assert!(w[0].time < w[1].time);
+        }
+        // Displacements bounded by DJ/2 + 6 sigma of RJ (up to ordering
+        // clamps, which only pull edges inward).
+        let bound = dj / 2.0 + 6.5 * rj + 1e-6;
+        for d in stream.edge_displacements_ui() {
+            prop_assert!(d.abs() <= bound, "{d} vs {bound}");
+        }
+    }
+
+    /// Correlated DJ never jumps between adjacent edges faster than the
+    /// block slope allows.
+    #[test]
+    fn prop_correlated_dj_is_smooth(seed in any::<u64>(), dj in 0.05f64..0.45) {
+        let bits = BitStream::alternating(600);
+        let config = JitterConfig {
+            dj_pp: Ui::new(dj),
+            dj_correlation: DjCorrelation::Correlated { bits: 16 },
+            ..JitterConfig::none()
+        };
+        let stream = EdgeStream::synthesize(&bits, rate(), &config, seed);
+        let d = stream.edge_displacements_ui();
+        for w in d.windows(2) {
+            // Max slope: pp over one 16-bit block, per bit slot.
+            prop_assert!((w[1] - w[0]).abs() <= dj / 16.0 + 1e-9);
+        }
+    }
+
+    /// PRBS determinism and period for arbitrary seeds.
+    #[test]
+    fn prop_prbs_deterministic_and_periodic(seed in 1u64..128) {
+        let a: Vec<bool> = Prbs::with_seed(PrbsOrder::P7, seed).take(300).collect();
+        let b: Vec<bool> = Prbs::with_seed(PrbsOrder::P7, seed).take(300).collect();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a[..127], &a[127..254], "period 127");
+    }
+
+    /// PDF machinery: convolution preserves normalization and adds
+    /// variance, for arbitrary component widths.
+    #[test]
+    fn prop_pdf_convolution_moments(
+        dj in 0.01f64..0.6,
+        sj in 0.01f64..0.6,
+    ) {
+        let step = 1e-3;
+        let a = Pdf::uniform(dj, step);
+        let b = Pdf::sinusoidal(sj, step);
+        let c = a.convolve(&b);
+        prop_assert!((c.integral() - 1.0).abs() < 1e-6);
+        let expected = (a.std_dev().powi(2) + b.std_dev().powi(2)).sqrt();
+        prop_assert!((c.std_dev() - expected).abs() < 2e-3);
+        // Complementary tails.
+        let t = dj / 4.0;
+        prop_assert!((c.tail_above(t) + c.tail_below(t) - 1.0).abs() < 1e-6);
+    }
+
+    /// Statistical model: BER is monotone non-decreasing in SJ amplitude
+    /// for arbitrary frequency/offset settings.
+    #[test]
+    fn prop_ber_monotone_in_sj(
+        freq_norm in 0.01f64..0.5,
+        offset in -0.02f64..0.02,
+    ) {
+        let mut prev = -1.0;
+        for amp in [0.0, 0.3, 0.6, 0.9] {
+            let ber = GccoStatModel::new(
+                JitterSpec::paper_table1().with_sj(Ui::new(amp), freq_norm),
+            )
+            .with_freq_offset(offset)
+            .ber();
+            prop_assert!(ber + 1e-18 >= prev, "amp {amp}: {ber} < {prev}");
+            prev = ber;
+        }
+    }
+
+    /// Run-length machinery: distance distribution always sums to 1 and
+    /// the empirical RunDist matches the histogram's mean.
+    #[test]
+    fn prop_run_length_consistency(seed in any::<u64>(), n in 100usize..2000) {
+        let bits = Prbs::with_seed(PrbsOrder::P15, seed | 1).take_bits(n);
+        let runs = RunLengths::of(bits.bits());
+        let dist: f64 = runs.distance_distribution().iter().sum();
+        prop_assert!((dist - 1.0).abs() < 1e-9);
+        let rd = RunDist::from_run_lengths(&runs);
+        prop_assert!((rd.mean() - runs.mean()).abs() < 1e-9);
+    }
+
+    /// The event kernel never reorders: any drive pattern produces a
+    /// monotonically timed trace.
+    #[test]
+    fn prop_kernel_trace_is_monotone(
+        seed in any::<u64>(),
+        delays in prop::collection::vec(1u32..2000, 2..40),
+    ) {
+        use gcco::dsim::{GateFunc, LogicGate, Simulator};
+        let mut sim = Simulator::new(seed);
+        let a = sim.add_signal("a", false);
+        let y = sim.add_signal("y", false);
+        sim.add_component(
+            LogicGate::new("buf", GateFunc::Buf, vec![a], y, Time::from_ps(40.0))
+                .with_jitter(0.05),
+        );
+        sim.probe(y);
+        let mut t = Time::ZERO;
+        let mut level = false;
+        let mut changes = Vec::new();
+        for d in delays {
+            t += Time::from_ps(d as f64);
+            level = !level;
+            changes.push((t, level));
+        }
+        sim.drive(a, &changes);
+        sim.run_until(t + Time::from_ns(10.0));
+        let trace = sim.trace(y).unwrap();
+        for w in trace.changes().windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+        }
+    }
+}
+
+/// The statistical model's FTOL bound is consistent with behavioral runs
+/// at a few random offsets inside the bound (non-proptest: expensive).
+#[test]
+fn ftol_bound_holds_behaviorally() {
+    let model = GccoStatModel::new(JitterSpec::clean())
+        .with_run_dist(RunDist::geometric(7))
+        .with_gating_margin(0.75);
+    let f = gcco::stat::ftol(&model, 1e-12);
+    assert!(f > 0.005, "FTOL {f}");
+    // Run the behavioral model at 60 % of the bound on both sides.
+    for sign in [-1.0, 1.0] {
+        let config =
+            gcco::cdr::CdrConfig::paper().with_freq_offset(sign * f * 0.6);
+        let bits = Prbs::new(PrbsOrder::P7).take_bits(6_000);
+        let result = gcco::cdr::run_cdr(
+            &bits,
+            rate(),
+            &JitterConfig::none(),
+            &config,
+            123,
+        );
+        assert_eq!(result.errors, 0, "offset {} inside FTOL: {result}", sign * f * 0.6);
+    }
+}

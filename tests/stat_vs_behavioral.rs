@@ -1,0 +1,175 @@
+//! Cross-validation between the statistical BER engine (the "Matlab"
+//! layer) and the event-driven gate-level simulator (the "VHDL" layer):
+//! the two models were built independently from the paper and must agree
+//! on every trend they both can see.
+
+use gcco::cdr::{run_cdr, CdrConfig};
+use gcco::signal::{DjCorrelation, JitterConfig, Prbs, PrbsOrder, SinusoidalJitter};
+use gcco::stat::{GccoStatModel, JitterSpec, RunDist, SamplingTap};
+use gcco::units::{Freq, Ui};
+
+fn rate() -> Freq {
+    Freq::from_gbps(2.5)
+}
+
+fn bits(n: usize) -> gcco::signal::BitStream {
+    Prbs::new(PrbsOrder::P7).take_bits(n)
+}
+
+/// Where the statistical model says BER ≪ 1/N, the behavioral run of N
+/// bits must be error-free.
+#[test]
+fn deep_margin_points_run_clean_in_the_simulator() {
+    let cases = [
+        (0.0, 0.05, 0.02),   // nominal, slow SJ
+        (-0.01, 0.05, 0.02), // 1 % slow
+        (0.01, 0.10, 0.005), // 1 % fast, very slow SJ
+    ];
+    for (offset, sj_amp, sj_freq) in cases {
+        // Stat-side spec matching the behavioral stimulus: DJ is block-
+        // correlated over 64 bits in the simulator, so the closing-edge DJ
+        // relative to the resync edge is the residual drift
+        // (≤ 0.4·7/64 ≈ 0.044 UI over the longest PRBS7 run; 0.09 UIpp
+        // uniform is a conservative envelope).
+        let mut spec = JitterSpec::paper_table1().with_sj(Ui::new(sj_amp), sj_freq);
+        spec.dj_pp = Ui::new(0.09);
+        let stat_ber = GccoStatModel::new(spec)
+            .with_run_dist(RunDist::geometric(7))
+            .with_freq_offset(offset)
+            .with_gating_margin(0.75)
+            .ber();
+        // Deep margin: expected errors over the 8k-bit behavioral run
+        // stay far below one.
+        assert!(
+            stat_ber < 1e-7,
+            "pick deep-margin cases (ε={offset}: {stat_ber})"
+        );
+        let jitter = JitterConfig {
+            dj_pp: Ui::new(0.4),
+            dj_correlation: DjCorrelation::Correlated { bits: 64 },
+            rj_rms: Ui::new(0.021),
+            sj: Some(SinusoidalJitter::new(
+                Ui::new(sj_amp),
+                rate() * sj_freq,
+            )),
+            dcd_pp: Ui::ZERO,
+        };
+        let config = CdrConfig::paper()
+            .with_freq_offset(offset)
+            .with_cell_jitter(0.0126);
+        let result = run_cdr(&bits(8_000), rate(), &jitter, &config, 99);
+        assert_eq!(result.errors, 0, "ε={offset}, SJ {sj_amp}@{sj_freq}: {result}");
+    }
+}
+
+/// Where the gating-margin statistical model predicts heavy errors, the
+/// simulator must agree within a factor of a few.
+#[test]
+fn broken_points_break_in_both_models() {
+    // −5 % offset with PRBS7 (CID 7): the stat model predicts the 7-runs
+    // (and most 6-runs) lose their last bit.
+    let stat = GccoStatModel::new(JitterSpec::clean())
+        .with_run_dist(RunDist::geometric(7))
+        .with_freq_offset(-0.05)
+        .with_gating_margin(0.75);
+    let predicted = stat.ber();
+    assert!(predicted > 1e-3, "stat {predicted}");
+
+    let config = CdrConfig::paper().with_freq_offset(-0.05);
+    let result = run_cdr(&bits(8_000), rate(), &JitterConfig::none(), &config, 7);
+    let measured = result.ber();
+    assert!(measured > 1e-3, "behavioral {measured}");
+    // Order-of-magnitude agreement is all the BERT-style burst counting
+    // allows — a swallowed bit costs a realignment burst.
+    assert!(
+        measured / predicted < 40.0 && predicted / measured < 40.0,
+        "stat {predicted} vs behavioral {measured}"
+    );
+}
+
+/// The improved tap's jitter-margin gain must appear in both layers.
+#[test]
+fn improved_tap_margins_agree_across_layers() {
+    // Statistical: bathtub optimum shifts early under a slow oscillator.
+    let model = GccoStatModel::new(
+        JitterSpec::paper_table1().with_sj(Ui::new(0.2), 0.3),
+    )
+    .with_freq_offset(-0.03);
+    let tub = gcco::stat::Bathtub::scan(&model, -0.3, 0.3, 61);
+    assert!(tub.optimum_phase().phase_ui < 0.0, "{}", tub);
+
+    // Behavioral: the improved tap re-balances the measured eye margins.
+    let jitter = JitterConfig {
+        rj_rms: Ui::new(0.01),
+        ..JitterConfig::none()
+    };
+    let base = CdrConfig::paper().with_freq_offset(-0.03);
+    let mut std_eye = run_cdr(&bits(6_000), rate(), &jitter, &base, 3).eye;
+    let mut imp_eye = run_cdr(
+        &bits(6_000),
+        rate(),
+        &jitter,
+        &base.with_tap(SamplingTap::Improved),
+        3,
+    )
+    .eye;
+    let (sl, sr) = std_eye.margins();
+    let (il, ir) = imp_eye.margins();
+    assert!(
+        (il.value() - ir.value()).abs() < (sl.value() - sr.value()).abs(),
+        "standard {sl}/{sr} vs improved {il}/{ir}"
+    );
+}
+
+/// The eye opening measured by the simulator must shrink when the
+/// statistical model says margins shrink (frequency-offset sweep).
+#[test]
+fn offset_erodes_the_measured_right_margin_monotonically() {
+    let jitter = JitterConfig {
+        rj_rms: Ui::new(0.01),
+        ..JitterConfig::none()
+    };
+    let rights: Vec<f64> = [0.0, -0.01, -0.02, -0.03]
+        .iter()
+        .map(|&offset| {
+            let config = CdrConfig::paper().with_freq_offset(offset);
+            let mut eye = run_cdr(&bits(6_000), rate(), &jitter, &config, 11).eye;
+            eye.margins().1.value()
+        })
+        .collect();
+    // Broad trend (folding granularity makes single steps noisy): each
+    // point within folding noise of the trend, and the end point clearly
+    // eroded versus nominal.
+    for w in rights.windows(2) {
+        assert!(w[1] <= w[0] + 0.05, "right margins {rights:?}");
+    }
+    assert!(
+        rights[3] < rights[0] - 0.1,
+        "−3 % must visibly erode the right margin: {rights:?}"
+    );
+}
+
+/// Monte-Carlo, analytic and event-driven layers agree at a high-BER
+/// operating point.
+#[test]
+fn three_way_agreement_at_high_ber() {
+    let spec = JitterSpec::clean().with_sj(Ui::new(1.2), 0.45);
+    let model = GccoStatModel::new(spec);
+    let analytic = model.ber();
+    let mc = gcco::stat::monte_carlo_ber(&model, 300_000, 5);
+    assert!(analytic > 1e-3);
+    let rel = (mc.ber() - analytic).abs() / analytic;
+    assert!(rel < 0.15, "analytic {analytic} vs MC {}", mc.ber());
+
+    // Behavioral with the same SJ (no DJ/RJ/CKJ).
+    let jitter = JitterConfig::none().with_sj(SinusoidalJitter::new(
+        Ui::new(1.2),
+        rate() * 0.45,
+    ));
+    let result = run_cdr(&bits(10_000), rate(), &jitter, &CdrConfig::paper(), 17);
+    assert!(
+        result.ber() > analytic / 30.0,
+        "behavioral {} vs analytic {analytic}",
+        result.ber()
+    );
+}
