@@ -155,8 +155,8 @@ impl AnalogCdr {
         // line plus the dummy gate, each ≈ ln2·τ.
         let pipeline =
             Time::from_secs((self.delay_cells as f64 + 1.0) * std::f64::consts::LN_2 * tau.secs());
-        let mut eye = AnalogEye::new(period, 128, 64, (-1.1 * swing, 1.1 * swing))
-            .with_time_offset(pipeline);
+        let mut eye =
+            AnalogEye::new(period, 128, 64, (-1.1 * swing, 1.1 * swing)).with_time_offset(pipeline);
         let mut waveform = Vec::new();
         let mut samples: Vec<bool> = Vec::new();
 
@@ -238,9 +238,7 @@ fn compare(sent: &[bool], recovered: &[bool]) -> (usize, usize) {
         if n == 0 {
             continue;
         }
-        let errors = (0..n)
-            .filter(|&i| recovered[offset + i] != sent[i])
-            .count();
+        let errors = (0..n).filter(|&i| recovered[offset + i] != sent[i]).count();
         if errors < best.0 {
             best = (errors, n);
         }

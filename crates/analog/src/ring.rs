@@ -211,7 +211,11 @@ mod tests {
         let err = (rise - release - half_period).ps().abs();
         // Analog settling adds a fraction of a stage delay on top of the
         // ideal T/2.
-        assert!(err < 30.0, "rise {} ps after release", (rise - release).ps());
+        assert!(
+            err < 30.0,
+            "rise {} ps after release",
+            (rise - release).ps()
+        );
     }
 
     #[test]

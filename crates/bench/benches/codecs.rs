@@ -2,9 +2,7 @@
 //! encode/decode and jittered edge-stream synthesis.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use gcco_signal::{
-    Decoder8b10b, EdgeStream, Encoder8b10b, JitterConfig, Prbs, PrbsOrder, Symbol,
-};
+use gcco_signal::{Decoder8b10b, EdgeStream, Encoder8b10b, JitterConfig, Prbs, PrbsOrder, Symbol};
 use gcco_units::Freq;
 
 fn bench_prbs(c: &mut Criterion) {

@@ -1,0 +1,76 @@
+//! Performance of the sweep engine: cached-vs-uncached single BER
+//! evaluations, and serial-vs-parallel grid execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcco_stat::{GccoStatModel, JitterSpec, QTable, SweepContext};
+use gcco_units::Ui;
+
+fn bench_cached_vs_uncached_ber(c: &mut Criterion) {
+    let model = GccoStatModel::new(JitterSpec::paper_table1());
+    let tab = QTable::new();
+    let mut group = c.benchmark_group("sweep/ber_point");
+    group.bench_function("uncached_clone_per_eval", |b| {
+        b.iter(|| {
+            let spec = model.spec().clone().with_sj(Ui::new(0.3), 0.25);
+            model.clone().with_spec(spec).ber()
+        });
+    });
+    group.bench_function("borrowed_exact_q", |b| {
+        b.iter(|| model.ber_with_sj(Ui::new(0.3), 0.25));
+    });
+    group.bench_function("borrowed_table_q", |b| {
+        b.iter(|| model.ber_with_sj_cached(Ui::new(0.3), 0.25, &tab));
+    });
+    group.finish();
+}
+
+fn bench_serial_vs_parallel_grid(c: &mut Criterion) {
+    let amps = [0.1, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2];
+    let freqs = [1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5];
+    let ctx = SweepContext::new(GccoStatModel::new(JitterSpec::paper_table1()));
+    let serial = ctx.clone().with_workers(1);
+    let mut group = c.benchmark_group("sweep/fig09_grid");
+    group.bench_function("naive_fresh_model_serial", |b| {
+        b.iter(|| {
+            amps.iter()
+                .map(|&a| {
+                    freqs
+                        .iter()
+                        .map(|&f| {
+                            GccoStatModel::new(JitterSpec::paper_table1().with_sj(Ui::new(a), f))
+                                .ber()
+                        })
+                        .sum::<f64>()
+                })
+                .sum::<f64>()
+        });
+    });
+    group.bench_function("context_serial", |b| {
+        b.iter(|| serial.ber_grid(&amps, &freqs));
+    });
+    group.bench_function("context_parallel", |b| {
+        b.iter(|| ctx.ber_grid(&amps, &freqs));
+    });
+    group.finish();
+}
+
+fn bench_jtol_curve(c: &mut Criterion) {
+    let freqs = [1e-3, 1e-2, 0.1, 0.3, 0.45];
+    let ctx = SweepContext::new(GccoStatModel::new(JitterSpec::paper_table1()));
+    let mut group = c.benchmark_group("sweep/jtol_curve_5pt");
+    group.bench_function("warm_serial_public", |b| {
+        b.iter(|| gcco_stat::jtol_curve(ctx.model(), &freqs, 1e-12));
+    });
+    group.bench_function("context_parallel_cold", |b| {
+        b.iter(|| ctx.jtol_curve(&freqs, 1e-12));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cached_vs_uncached_ber,
+    bench_serial_vs_parallel_grid,
+    bench_jtol_curve
+);
+criterion_main!(benches);

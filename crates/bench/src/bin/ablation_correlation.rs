@@ -28,11 +28,12 @@ fn main() {
         "independent per edge".to_string(),
         DjCorrelation::Independent,
     ))
-    .chain(
-        [4u32, 16, 64, 256]
-            .iter()
-            .map(|&b| (format!("correlated /{b} bits"), DjCorrelation::Correlated { bits: b })),
-    )
+    .chain([4u32, 16, 64, 256].iter().map(|&b| {
+        (
+            format!("correlated /{b} bits"),
+            DjCorrelation::Correlated { bits: b },
+        )
+    }))
     .collect();
     for (name, correlation) in variants {
         let jitter = JitterConfig {

@@ -1,9 +1,16 @@
-//! Runs every experiment binary in sequence and prints a pass/fail
-//! scoreboard — the one-command regeneration of `EXPERIMENTS.md`.
+//! Runs every experiment binary and prints a pass/fail scoreboard — the
+//! one-command regeneration of `EXPERIMENTS.md`.
+//!
+//! The children run **concurrently** (up to [`gcco_stat::available_workers`]
+//! at a time, each pinned to one sweep worker to avoid oversubscription) but
+//! the scoreboard and the machine-readable record are printed in the fixed
+//! experiment order, so the output is deterministic regardless of how the
+//! processes interleave.
 //!
 //! `cargo run --release -p gcco-bench --bin all_experiments`
 
-use std::process::Command;
+use gcco_bench::runner::{run_experiment_bins, BinOutcome};
+use gcco_stat::available_workers;
 
 const EXPERIMENTS: &[&str] = &[
     "table1",
@@ -38,35 +45,35 @@ fn main() {
         .expect("bin dir")
         .to_path_buf();
 
+    let workers = available_workers();
+    println!(
+        "running {} experiments, {workers} at a time",
+        EXPERIMENTS.len()
+    );
+    let runs = run_experiment_bins(&exe_dir, EXPERIMENTS, workers);
+
     let mut failures = Vec::new();
     let mut results = Vec::new();
-    for &name in EXPERIMENTS {
-        let path = exe_dir.join(name);
-        let started = std::time::Instant::now();
-        let output = Command::new(&path).output();
-        match output {
-            Ok(out) if out.status.success() => {
-                let stdout = String::from_utf8_lossy(&out.stdout);
-                let result_lines: Vec<&str> = stdout
-                    .lines()
-                    .filter(|l| l.starts_with("RESULT"))
-                    .collect();
+    for run in &runs {
+        match &run.outcome {
+            BinOutcome::Pass => {
                 println!(
-                    "PASS {name:<22} ({:>6.1}s, {} results)",
-                    started.elapsed().as_secs_f64(),
-                    result_lines.len()
+                    "PASS {:<22} ({:>6.1}s, {} results)",
+                    run.name,
+                    run.secs,
+                    run.result_lines.len()
                 );
-                for line in result_lines {
-                    results.push(format!("{name}: {line}"));
+                for line in &run.result_lines {
+                    results.push(format!("{}: {line}", run.name));
                 }
             }
-            Ok(out) => {
-                println!("FAIL {name:<22} (exit {:?})", out.status.code());
-                failures.push(name);
+            BinOutcome::Fail(code) => {
+                println!("FAIL {:<22} (exit {code:?})", run.name);
+                failures.push(run.name.as_str());
             }
-            Err(e) => {
-                println!("SKIP {name:<22} ({e}) — build all bins first");
-                failures.push(name);
+            BinOutcome::Spawn(e) => {
+                println!("SKIP {:<22} ({e}) — build all bins first", run.name);
+                failures.push(run.name.as_str());
             }
         }
     }

@@ -6,7 +6,7 @@
 use gcco_bench::{header, result_line};
 use gcco_core::{BangBangCdr, BangBangConfig, PhaseInterpCdr, PiConfig};
 use gcco_noise::{size_for_jitter, ChannelPowerBudget, PhaseNoiseModel};
-use gcco_stat::{ftol, jtol_at, GccoStatModel, JitterSpec};
+use gcco_stat::{ftol, GccoStatModel, JitterSpec, SweepContext};
 use gcco_units::{Current, Freq, Voltage};
 
 fn main() {
@@ -17,16 +17,18 @@ fn main() {
          on power; the GCCO also wins acquisition and high-frequency tracking",
     );
 
-    let gcco = GccoStatModel::new(JitterSpec::paper_table1());
+    let ctx = SweepContext::new(GccoStatModel::new(JitterSpec::paper_table1()));
+    let gcco = ctx.model().clone();
     let bb = BangBangCdr::new(BangBangConfig::typical());
     let pi = PhaseInterpCdr::new(PiConfig::typical());
 
     println!("\njitter tolerance at BER 1e-12 (UIpp), transition density 0.5:");
     println!("  f_j/f_b  | GCCO      | bang-bang | phase interp");
-    for f in [1e-4, 1e-3, 1e-2, 0.1, 0.3] {
-        let g = jtol_at(&gcco, f, 1e-12);
-        let b = bb.jtol_slew_limit(f, 0.5);
-        let p = pi.jtol_slew_limit(f, 0.5);
+    let jfreqs = [1e-4, 1e-3, 1e-2, 0.1, 0.3];
+    let gcco_tol = ctx.jtol_curve(&jfreqs, 1e-12);
+    for (f, g) in jfreqs.iter().zip(&gcco_tol) {
+        let b = bb.jtol_slew_limit(*f, 0.5);
+        let p = pi.jtol_slew_limit(*f, 0.5);
         println!(
             "  {f:>7} | {:>6.2} UI{} | {:>6.2} UI  | {:>6.2} UI",
             g.amplitude_pp.value(),
@@ -37,7 +39,7 @@ fn main() {
     }
     // Crossover: the loops track only below their slew corner; the GCCO
     // tracks everything slower than ~the CID-aliasing region.
-    let g_01 = jtol_at(&gcco, 0.01, 1e-12).amplitude_pp.value();
+    let g_01 = gcco_tol[2].amplitude_pp.value();
     let b_01 = bb.jtol_slew_limit(0.01, 0.5).value();
     let p_01 = pi.jtol_slew_limit(0.01, 0.5).value();
     result_line("jtol_0p01fb_gcco", format!("{g_01:.2}"));
@@ -52,7 +54,10 @@ fn main() {
     let pi_cap = 0.5 * 1.0 / (8.0 * 64.0); // density·steps/(decimation·steps_per_ui)
     println!("  GCCO (open loop!)     : ±{:.2} %", g_ftol * 100.0);
     println!("  bang-bang (integrator): limited by freq-word clamp (±5 %)");
-    println!("  phase interp          : ±{:.2} % (rotation-rate cap)", pi_cap * 100.0);
+    println!(
+        "  phase interp          : ±{:.2} % (rotation-rate cap)",
+        pi_cap * 100.0
+    );
     result_line("ftol_gcco_pct", format!("{:.2}", g_ftol * 100.0));
 
     println!("\nacquisition from worst-case phase:");
@@ -109,11 +114,17 @@ fn main() {
     }
     result_line(
         "power_ratio_bb_over_gcco",
-        format!("{:.2}", bb_budget.mw_per_gbps(rate) / gcco_budget.mw_per_gbps(rate)),
+        format!(
+            "{:.2}",
+            bb_budget.mw_per_gbps(rate) / gcco_budget.mw_per_gbps(rate)
+        ),
     );
     result_line(
         "power_ratio_pi_over_gcco",
-        format!("{:.2}", pi_budget.mw_per_gbps(rate) / gcco_budget.mw_per_gbps(rate)),
+        format!(
+            "{:.2}",
+            pi_budget.mw_per_gbps(rate) / gcco_budget.mw_per_gbps(rate)
+        ),
     );
     assert!(bb_budget.mw_per_gbps(rate) > 2.0 * gcco_budget.mw_per_gbps(rate));
     assert!(pi_budget.mw_per_gbps(rate) > 2.0 * gcco_budget.mw_per_gbps(rate));

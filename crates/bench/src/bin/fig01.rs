@@ -20,16 +20,25 @@ fn main() {
     println!("  crosstalk jitter  : {}", bus.crosstalk_jitter_pp);
     println!("  setup + hold      : {}", bus.setup_hold);
     println!("  max lane rate     : {}", bus.max_lane_rate());
-    println!("  aggregate         : {:.2} Gbit/s", bus.max_throughput() / 1e9);
+    println!(
+        "  aggregate         : {:.2} Gbit/s",
+        bus.max_throughput() / 1e9
+    );
     println!("  I/O power         : {}", bus.io_power());
 
     println!("\nserial 2.5 Gbit/s LVDS + 8b10b + GCCO CDR:");
-    println!("  payload           : {:.2} Gbit/s", link.payload_throughput() / 1e9);
+    println!(
+        "  payload           : {:.2} Gbit/s",
+        link.payload_throughput() / 1e9
+    );
     println!("  link power        : {}", link.power);
 
     let cmp = LinkComparison::compare(&bus, &link);
     println!("\n{cmp}");
-    result_line("parallel_gbps", format!("{:.3}", cmp.parallel_throughput / 1e9));
+    result_line(
+        "parallel_gbps",
+        format!("{:.3}", cmp.parallel_throughput / 1e9),
+    );
     result_line("serial_gbps", format!("{:.3}", cmp.serial_throughput / 1e9));
     result_line("efficiency_gain", format!("{:.1}", cmp.efficiency_gain));
 

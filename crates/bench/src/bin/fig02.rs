@@ -42,7 +42,11 @@ fn main() {
         "pll_lock_us",
         format!(
             "{:.2}",
-            result.pll.lock_time.map(|t| t.secs() * 1e6).unwrap_or(f64::NAN)
+            result
+                .pll
+                .lock_time
+                .map(|t| t.secs() * 1e6)
+                .unwrap_or(f64::NAN)
         ),
     );
     assert_eq!(result.total_errors(), 0);

@@ -47,6 +47,9 @@ fn main() {
     let mut run = run_cdr(&bits, Freq::from_gbps(2.5), &jitter, &CdrConfig::paper(), 3);
     println!("\nbehavioral eye ('^' marks the sampling instant):\n");
     println!("{}", run.eye.render_ascii(64, 9));
-    result_line("behavioral_opening_ui", format!("{:.3}", run.eye.opening().value()));
+    result_line(
+        "behavioral_opening_ui",
+        format!("{:.3}", run.eye.opening().value()),
+    );
     assert_eq!(run.errors, 0);
 }

@@ -3,7 +3,7 @@
 //! offset.
 
 use gcco_bench::{fmt_ber, header, result_line};
-use gcco_stat::{jtol_at, GccoStatModel, JitterSpec};
+use gcco_stat::{GccoStatModel, JitterSpec, SweepContext};
 use gcco_units::Ui;
 
 fn main() {
@@ -17,42 +17,51 @@ fn main() {
     let freqs = [1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5];
     let amps = [0.1, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2];
 
+    // One sweep context serves the whole figure: the DJ core and Q-table
+    // are built once and every grid/contour point fans out over workers.
+    let ctx = SweepContext::new(GccoStatModel::new(JitterSpec::paper_table1()));
+    let grid = ctx.ber_grid(&amps, &freqs);
+
     println!("\nBER map (rows: SJ amplitude UIpp; cols: f_sj/f_bit):");
     print!("  amp\\f ");
     for f in freqs {
         print!("| {f:^8}");
     }
     println!();
-    for amp in amps {
+    for (amp, row) in amps.iter().zip(&grid) {
         print!("  {amp:>4} ");
-        for f in freqs {
-            let model =
-                GccoStatModel::new(JitterSpec::paper_table1().with_sj(Ui::new(amp), f));
-            print!("| {:>8}", fmt_ber(model.ber()));
+        for ber in row {
+            print!("| {:>8}", fmt_ber(*ber));
         }
         println!();
     }
 
     println!("\nJTOL contour at BER 1e-12 (the boundary the map implies):");
-    let base = GccoStatModel::new(JitterSpec::paper_table1());
-    for f in freqs {
-        let tol = jtol_at(&base, f, 1e-12);
+    let contour = ctx.jtol_curve(&freqs, 1e-12);
+    for (f, tol) in freqs.iter().zip(&contour) {
         println!(
             "  f/fb {f:>7}: {:>7.3} UIpp{}",
             tol.amplitude_pp.value(),
-            if tol.censored { " (censored — fully tracked)" } else { "" }
+            if tol.censored {
+                " (censored — fully tracked)"
+            } else {
+                ""
+            }
         );
         if (f - 0.4).abs() < 1e-9 {
-            result_line("jtol_at_0p4fb_uipp", format!("{:.3}", tol.amplitude_pp.value()));
+            result_line(
+                "jtol_at_0p4fb_uipp",
+                format!("{:.3}", tol.amplitude_pp.value()),
+            );
         }
     }
 
     // The paper's two headline observations for this figure.
-    let low = GccoStatModel::new(JitterSpec::paper_table1().with_sj(Ui::new(1.0), 1e-4));
-    assert!(low.ber() < 1e-12, "low-frequency SJ must be tracked");
-    let high = GccoStatModel::new(JitterSpec::paper_table1().with_sj(Ui::new(1.0), 0.4));
-    assert!(high.ber() > 1e-6, "near-rate SJ must break the target");
-    result_line("ber_1uipp_at_1e-4fb", fmt_ber(low.ber()).trim().to_string());
-    result_line("ber_1uipp_at_0.4fb", fmt_ber(high.ber()).trim().to_string());
+    let low = ctx.ber_with_sj(Ui::new(1.0), 1e-4);
+    assert!(low < 1e-12, "low-frequency SJ must be tracked");
+    let high = ctx.ber_with_sj(Ui::new(1.0), 0.4);
+    assert!(high > 1e-6, "near-rate SJ must break the target");
+    result_line("ber_1uipp_at_1e-4fb", fmt_ber(low).trim().to_string());
+    result_line("ber_1uipp_at_0.4fb", fmt_ber(high).trim().to_string());
     println!("\nOK: shape matches Fig. 9 — huge low-frequency tolerance, collapse near f_bit.");
 }

@@ -2,8 +2,8 @@
 //! error over several CID erodes the tolerance (paper §3.1).
 
 use gcco_bench::{fmt_ber, header, result_line};
-use gcco_stat::{jtol_at, GccoStatModel, JitterSpec, TolMask};
-use gcco_units::{Freq, Ui};
+use gcco_stat::{GccoStatModel, JitterSpec, SweepContext, TolMask};
+use gcco_units::Freq;
 
 fn main() {
     header(
@@ -19,36 +19,37 @@ fn main() {
     let freqs = [1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5];
     let amps = [0.1, 0.2, 0.4, 0.6, 0.8, 1.0];
 
+    // Two sweep contexts — clean and offset — share the per-model cached
+    // state; every map cell and tolerance point fans out over workers.
+    let clean = SweepContext::new(GccoStatModel::new(JitterSpec::paper_table1()));
+    let offs = SweepContext::new(clean.model().clone().with_freq_offset(offset));
+
     println!("\nBER map with ε = {offset:+.2} (rows: SJ UIpp; cols: f_sj/f_bit):");
     print!("  amp\\f ");
     for f in freqs {
         print!("| {f:^8}");
     }
     println!();
-    for amp in amps {
+    let grid = offs.ber_grid(&amps, &freqs);
+    for (amp, row) in amps.iter().zip(&grid) {
         print!("  {amp:>4} ");
-        for f in freqs {
-            let model = GccoStatModel::new(
-                JitterSpec::paper_table1().with_sj(Ui::new(amp), f),
-            )
-            .with_freq_offset(offset);
-            print!("| {:>8}", fmt_ber(model.ber()));
+        for ber in row {
+            print!("| {:>8}", fmt_ber(*ber));
         }
         println!();
     }
 
     // JTOL with and without offset, against the mask.
     let mask = TolMask::infiniband(Freq::from_gbps(2.5));
-    let clean = GccoStatModel::new(JitterSpec::paper_table1());
-    let offs = clean.clone().with_freq_offset(offset);
+    let jfreqs = [1e-3, 1e-2, 0.1, 0.3, 0.45];
+    let clean_tol = clean.jtol_curve(&jfreqs, 1e-12);
+    let offs_tol = offs.jtol_curve(&jfreqs, 1e-12);
     println!("\nJTOL at 1e-12: clean vs 1 % offset vs mask:");
     println!("  f/fb    | clean     | 1% offset | mask req | offset margin");
     let mut worst_margin: f64 = f64::INFINITY;
-    for f in [1e-3, 1e-2, 0.1, 0.3, 0.45] {
-        let c = jtol_at(&clean, f, 1e-12);
-        let o = jtol_at(&offs, f, 1e-12);
-        let req = mask.required_pp_norm(f);
-        let margin = mask.margin(f, o.amplitude_pp);
+    for ((f, c), o) in jfreqs.iter().zip(&clean_tol).zip(&offs_tol) {
+        let req = mask.required_pp_norm(*f);
+        let margin = mask.margin(*f, o.amplitude_pp);
         worst_margin = worst_margin.min(margin);
         println!(
             "  {f:>6} | {:>6.3} UI{} | {:>6.3} UI{} | {:>5.2} UI | {margin:>5.2}x",

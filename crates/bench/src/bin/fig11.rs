@@ -2,7 +2,8 @@
 //! oscillator (Hajimiri eq. 1 vs the McNeill variant), and the κ_max line.
 
 use gcco_bench::{header, result_line};
-use gcco_noise::{power_noise_tradeoff, size_for_jitter, Kappa, PhaseNoiseModel};
+use gcco_noise::{iss_log_grid, size_for_jitter, tradeoff_point, Kappa, PhaseNoiseModel};
+use gcco_stat::{available_workers, par_map_grid};
 use gcco_units::{Current, Freq, Voltage};
 
 fn main() {
@@ -18,25 +19,35 @@ fn main() {
     println!("\nkappa_max for 0.01 UIrms @ CID 5: {kappa_max}");
     result_line("kappa_max_sqrt_s", format!("{:.3e}", kappa_max.sqrt_secs()));
 
-    let range = (Current::from_microamps(2.0), Current::from_microamps(2000.0));
-    let hajimiri = power_noise_tradeoff(
-        PhaseNoiseModel::Hajimiri { eta: 0.75 },
-        swing,
-        f_ring,
-        4,
-        5,
-        range,
-        11,
+    // Both model variants at every bias point, fanned out over the sweep
+    // workers (each point is an independent cell sizing + κ evaluation).
+    let range = (
+        Current::from_microamps(2.0),
+        Current::from_microamps(2000.0),
     );
-    let mcneill = power_noise_tradeoff(
-        PhaseNoiseModel::McNeillVariant { zeta: 5.0 / 3.0 },
-        swing,
-        f_ring,
-        4,
-        5,
-        range,
-        11,
-    );
+    let grid = iss_log_grid(range, 11);
+    let both: Vec<_> = par_map_grid(&grid, available_workers(), |_, &iss| {
+        (
+            tradeoff_point(
+                PhaseNoiseModel::Hajimiri { eta: 0.75 },
+                swing,
+                f_ring,
+                4,
+                5,
+                iss,
+            ),
+            tradeoff_point(
+                PhaseNoiseModel::McNeillVariant { zeta: 5.0 / 3.0 },
+                swing,
+                f_ring,
+                4,
+                5,
+                iss,
+            ),
+        )
+    });
+    let hajimiri: Vec<_> = both.iter().map(|(h, _)| *h).collect();
+    let mcneill: Vec<_> = both.iter().map(|(_, m)| *m).collect();
 
     println!("\n  I_SS      | ring power | kappa (Hajimiri) | kappa (McNeill) | sigma_H @ CID5");
     for (h, m) in hajimiri.iter().zip(&mcneill) {
@@ -47,14 +58,17 @@ fn main() {
             h.kappa.sqrt_secs(),
             m.kappa.sqrt_secs(),
             h.sigma_ui,
-            if h.sigma_ui <= 0.01 { "  <= target" } else { "" }
+            if h.sigma_ui <= 0.01 {
+                "  <= target"
+            } else {
+                ""
+            }
         );
     }
 
     // Log-log slope check: κ ∝ P^-1/2.
-    let slope = (hajimiri.last().unwrap().kappa.sqrt_secs()
-        / hajimiri[0].kappa.sqrt_secs())
-    .log10()
+    let slope = (hajimiri.last().unwrap().kappa.sqrt_secs() / hajimiri[0].kappa.sqrt_secs())
+        .log10()
         / (hajimiri.last().unwrap().ring_power / hajimiri[0].ring_power).log10();
     result_line("loglog_slope", format!("{slope:.3}"));
     assert!((slope + 0.5).abs() < 0.02, "kappa ~ P^-1/2");

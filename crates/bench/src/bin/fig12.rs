@@ -16,10 +16,16 @@ fn main() {
 
     let cco = CcoParams::paper();
     println!("\nVHDL generics equivalent:");
-    println!("  cdr_gcco_k  (gain)        : {:.3e} Hz/A", cco.gain_hz_per_amp);
+    println!(
+        "  cdr_gcco_k  (gain)        : {:.3e} Hz/A",
+        cco.gain_hz_per_amp
+    );
     println!("  cdr_gcco_fc (free-running): {}", cco.free_running);
     println!("  cdr_gcco_cc0 (mid-point)  : {}", cco.i_mid);
-    println!("  delay0 at mid-point       : {}", cco.stage_delay_at(cco.i_mid));
+    println!(
+        "  delay0 at mid-point       : {}",
+        cco.stage_delay_at(cco.i_mid)
+    );
 
     // Control-current law of the VHDL process.
     println!("\ncontrol-current law f = fc + K(I − I0):");
@@ -58,7 +64,11 @@ fn main() {
         } else {
             "released"
         };
-        println!("  {:>8.1} ps -> {}   ({tag})", t.ps(), if v { 1 } else { 0 });
+        println!(
+            "  {:>8.1} ps -> {}   ({tag})",
+            t.ps(),
+            if v { 1 } else { 0 }
+        );
     }
     let first_rise_after = trace
         .rising_edges()

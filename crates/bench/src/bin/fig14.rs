@@ -26,10 +26,8 @@ fn main() {
 
     let offset = 2.375 / 2.5 - 1.0; // −5 %, the paper's condition
     let bits = Prbs::new(PrbsOrder::P7).take_bits(25_000);
-    let jitter = JitterConfig::none().with_sj(SinusoidalJitter::new(
-        Ui::new(0.10),
-        Freq::from_mhz(250.0),
-    ));
+    let jitter =
+        JitterConfig::none().with_sj(SinusoidalJitter::new(Ui::new(0.10), Freq::from_mhz(250.0)));
     let config = CdrConfig::paper()
         .with_freq_offset(offset)
         .with_cell_jitter(0.0126); // CKJ = 0.01 UIrms @ CID 5
@@ -41,7 +39,10 @@ fn main() {
     println!("timing margin left of sample  : {:.3} UI", left.value());
     println!("timing margin right of sample : {:.3} UI", right.value());
     if let Some(l) = left_spread {
-        println!("left-edge RMS spread          : {:.4} UI (retimed — narrow)", l.value());
+        println!(
+            "left-edge RMS spread          : {:.4} UI (retimed — narrow)",
+            l.value()
+        );
     }
     println!("{result}");
 
@@ -50,12 +51,10 @@ fn main() {
     result_line("measured_ber", fmt_ber(result.ber()).trim().to_string());
 
     // The statistical model with the gating margin predicts the damage.
-    let predicted = GccoStatModel::new(
-        JitterSpec::paper_table1().with_sj(Ui::new(0.10), 0.1),
-    )
-    .with_run_dist(RunDist::geometric(7))
-    .with_freq_offset(offset)
-    .with_gating_margin(0.75);
+    let predicted = GccoStatModel::new(JitterSpec::paper_table1().with_sj(Ui::new(0.10), 0.1))
+        .with_run_dist(RunDist::geometric(7))
+        .with_freq_offset(offset)
+        .with_gating_margin(0.75);
     let spec2 = {
         let mut s = predicted.spec().clone();
         s.dj_pp = Ui::ZERO; // Fig. 14 applies SJ only

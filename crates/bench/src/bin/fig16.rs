@@ -18,10 +18,8 @@ fn main() {
 
     let offset = 2.375 / 2.5 - 1.0;
     let bits = Prbs::new(PrbsOrder::P7).take_bits(25_000);
-    let jitter = JitterConfig::none().with_sj(SinusoidalJitter::new(
-        Ui::new(0.10),
-        Freq::from_mhz(250.0),
-    ));
+    let jitter =
+        JitterConfig::none().with_sj(SinusoidalJitter::new(Ui::new(0.10), Freq::from_mhz(250.0)));
     let base = CdrConfig::paper()
         .with_freq_offset(offset)
         .with_cell_jitter(0.0126);
@@ -56,8 +54,14 @@ fn main() {
         standard.errors, improved.errors
     );
 
-    result_line("standard_right_margin_ui", format!("{:.3}", s_right.value()));
-    result_line("improved_right_margin_ui", format!("{:.3}", i_right.value()));
+    result_line(
+        "standard_right_margin_ui",
+        format!("{:.3}", s_right.value()),
+    );
+    result_line(
+        "improved_right_margin_ui",
+        format!("{:.3}", i_right.value()),
+    );
     result_line("standard_errors", standard.errors);
     result_line("improved_errors", improved.errors);
 
@@ -67,8 +71,7 @@ fn main() {
         "right-edge margin must improve: {s_right} -> {i_right}"
     );
     assert!(
-        (i_left.value() - i_right.value()).abs()
-            < (s_left.value() - s_right.value()).abs(),
+        (i_left.value() - i_right.value()).abs() < (s_left.value() - s_right.value()).abs(),
         "the eye must become more symmetrical around the sampling instant"
     );
     // Refinement over the paper: the missing-pulse errors at this −5 %
@@ -77,8 +80,8 @@ fn main() {
     // gating freeze, an exact cancellation (gcco-stat's gating model
     // encodes it). The improvement is in the *jitter margins*, exactly
     // what the eye shows.
-    let rel = (improved.errors as f64 - standard.errors as f64).abs()
-        / standard.errors.max(1) as f64;
+    let rel =
+        (improved.errors as f64 - standard.errors as f64).abs() / standard.errors.max(1) as f64;
     assert!(rel < 0.05, "missing-pulse rate is tap-independent ({rel})");
     println!(
         "\nOK: the -T/8 tap recovers {:.3} UI of right-edge margin and re-centres\n\

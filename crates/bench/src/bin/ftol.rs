@@ -4,7 +4,9 @@
 
 use gcco_bench::{fmt_ber, header, result_line};
 use gcco_signal::{Encoder8b10b, Prbs, PrbsOrder, RunLengths, Symbol};
-use gcco_stat::{ftol, GccoStatModel, JitterSpec, RunDist, SamplingTap};
+use gcco_stat::{
+    available_workers, ftol, par_map_grid, GccoStatModel, JitterSpec, RunDist, SamplingTap,
+};
 
 fn main() {
     header(
@@ -22,33 +24,49 @@ fn main() {
     let prbs = Prbs::new(PrbsOrder::P7).take_bits(127 * 200);
     let prbs_runs = RunLengths::of(prbs.bits());
     println!("\nrun-length statistics:");
-    println!("  8b10b coded: max run {}, mean {:.2}", coded_runs.max(), coded_runs.mean());
-    println!("  PRBS7      : max run {}, mean {:.2}", prbs_runs.max(), prbs_runs.mean());
+    println!(
+        "  8b10b coded: max run {}, mean {:.2}",
+        coded_runs.max(),
+        coded_runs.mean()
+    );
+    println!(
+        "  PRBS7      : max run {}, mean {:.2}",
+        prbs_runs.max(),
+        prbs_runs.mean()
+    );
     result_line("cid_8b10b", coded_runs.max());
     result_line("cid_prbs7", prbs_runs.max());
     assert!(coded_runs.max() <= 5);
     assert_eq!(prbs_runs.max(), 7);
 
-    // FTOL of the statistical model for both stimuli and both taps.
+    // FTOL of the statistical model for both stimuli and both taps: four
+    // independent bisections, fanned out over the sweep workers.
     println!("\nfrequency tolerance at BER 1e-12 (Table 1 jitter, no SJ):");
     println!("  stimulus | tap      | FTOL");
-    for (name, dist) in [
+    let combos: Vec<(&str, RunDist, &str, SamplingTap)> = [
         ("8b10b", RunDist::from_run_lengths(&coded_runs)),
         ("PRBS7", RunDist::from_run_lengths(&prbs_runs)),
-    ] {
-        for (tname, tap) in [
+    ]
+    .into_iter()
+    .flat_map(|(name, dist)| {
+        [
             ("standard", SamplingTap::Standard),
             ("improved", SamplingTap::Improved),
-        ] {
-            let model = GccoStatModel::new(JitterSpec::paper_table1())
-                .with_run_dist(dist.clone())
-                .with_tap(tap);
-            let f = ftol(&model, 1e-12);
-            println!("  {name:>7}  | {tname:>8} | ±{:.3} %", f * 100.0);
-            if name == "8b10b" && tap == SamplingTap::Standard {
-                result_line("ftol_8b10b_standard_pct", format!("{:.3}", f * 100.0));
-                assert!(f > 100e-6 * 10.0, "FTOL must dwarf the ±100 ppm spec");
-            }
+        ]
+        .map(|(tname, tap)| (name, dist.clone(), tname, tap))
+    })
+    .collect();
+    let ftols = par_map_grid(&combos, available_workers(), |_, (_, dist, _, tap)| {
+        let model = GccoStatModel::new(JitterSpec::paper_table1())
+            .with_run_dist(dist.clone())
+            .with_tap(*tap);
+        ftol(&model, 1e-12)
+    });
+    for ((name, _, tname, tap), f) in combos.iter().zip(ftols) {
+        println!("  {name:>7}  | {tname:>8} | ±{:.3} %", f * 100.0);
+        if *name == "8b10b" && *tap == SamplingTap::Standard {
+            result_line("ftol_8b10b_standard_pct", format!("{:.3}", f * 100.0));
+            assert!(f > 100e-6 * 10.0, "FTOL must dwarf the ±100 ppm spec");
         }
     }
 

@@ -3,7 +3,9 @@
 //! implicit ("the oscillator is triggered by each incoming data edge").
 
 use gcco_bench::{header, result_line};
-use gcco_core::{bang_bang_jitter_transfer, gcco_jitter_transfer, BangBangCdr, BangBangConfig, CdrConfig};
+use gcco_core::{
+    bang_bang_jitter_transfer, gcco_jitter_transfer, BangBangCdr, BangBangConfig, CdrConfig,
+};
 use gcco_units::{Freq, Ui};
 
 fn main() {
@@ -39,7 +41,10 @@ fn main() {
     result_line("bb_gain_at_0p001", format!("{bb_low:.3}"));
     result_line("bb_gain_at_0p1", format!("{bb_high:.3}"));
 
-    assert!(gcco_min > 0.75, "GCCO must be all-pass (min gain {gcco_min})");
+    assert!(
+        gcco_min > 0.75,
+        "GCCO must be all-pass (min gain {gcco_min})"
+    );
     assert!(
         bb_low > 0.7 && bb_high < 0.4,
         "bang-bang must roll off: {bb_low} -> {bb_high}"

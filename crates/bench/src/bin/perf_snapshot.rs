@@ -1,0 +1,186 @@
+//! Performance snapshot of the sweep engine — times the representative
+//! sweeps behind the headline figures against their pre-engine (serial,
+//! uncached, clone-per-point) equivalents and writes the machine-readable
+//! record to `BENCH_sweep.json`.
+//!
+//! `cargo run --release -p gcco-bench --bin perf_snapshot`
+//!
+//! Three measurements:
+//!
+//! * the Fig. 9 BER grid (7 amplitudes × 9 frequencies), naive fresh-model
+//!   serial map vs [`SweepContext::ber_grid`];
+//! * a 25-point JTOL curve, seed-style fixed-iteration clone-per-eval
+//!   bisection vs [`SweepContext::jtol_curve`];
+//! * a 25 000-cycle free-running GCCO discrete-event simulation
+//!   (kernel-throughput record; no baseline pair).
+
+use gcco_bench::runner::{time_best_of, BenchReport};
+use gcco_bench::{header, result_line};
+use gcco_core::{CcoParams, GatedOscillator};
+use gcco_dsim::Simulator;
+use gcco_stat::{log_freq_grid, GccoStatModel, JitterSpec, SweepContext};
+use gcco_units::{Time, Ui};
+use std::path::Path;
+
+fn main() {
+    header(
+        "Perf snapshot",
+        "Sweep-engine timing vs the serial uncached paths",
+        "(engineering record, not a paper figure)",
+    );
+
+    let model = GccoStatModel::new(JitterSpec::paper_table1());
+    let ctx = SweepContext::new(model.clone());
+    let workers = ctx.workers();
+    let mut report = BenchReport {
+        workers,
+        entries: Vec::new(),
+    };
+    println!("\nworkers: {workers}\n");
+
+    // --- Fig. 9 BER grid -------------------------------------------------
+    let amps = [0.1, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2];
+    let freqs = [1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5];
+    let naive = time_best_of(2, || {
+        amps.iter()
+            .map(|&a| {
+                freqs
+                    .iter()
+                    .map(|&f| {
+                        GccoStatModel::new(JitterSpec::paper_table1().with_sj(Ui::new(a), f)).ber()
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>()
+    });
+    let fast = time_best_of(2, || ctx.ber_grid(&amps, &freqs));
+    // Worker-count invariance, checked on the real artifact: the parallel
+    // grid must be bit-identical to the single-worker grid.
+    let serial_grid = ctx.clone().with_workers(1).ber_grid(&amps, &freqs);
+    assert_eq!(
+        fast.value, serial_grid,
+        "parallel grid must be bit-identical to serial"
+    );
+    for (naive_row, fast_row) in naive.value.iter().zip(&fast.value) {
+        for (n, f) in naive_row.iter().zip(fast_row) {
+            assert!(
+                (n - f).abs() <= 1e-6 * n.abs() + 1e-30,
+                "cached grid diverged: {n} vs {f}"
+            );
+        }
+    }
+    let grid_speedup = naive.secs / fast.secs;
+    println!(
+        "fig09 BER grid ({}x{}): naive {:.1} ms | sweep {:.1} ms | {grid_speedup:.2}x",
+        amps.len(),
+        freqs.len(),
+        naive.secs * 1e3,
+        fast.secs * 1e3
+    );
+    result_line("grid_speedup", format!("{grid_speedup:.2}"));
+    report.push_comparison(
+        "fig09_ber_grid",
+        naive.secs * 1e3,
+        fast.secs * 1e3,
+        &[("shape", format!("{}x{}", amps.len(), freqs.len()))],
+    );
+
+    // --- 25-point JTOL curve ---------------------------------------------
+    let jfreqs = log_freq_grid(1e-4, 0.5, 25);
+    let jnaive = time_best_of(1, || {
+        jfreqs
+            .iter()
+            .map(|&f| jtol_seed_style(&model, f))
+            .collect::<Vec<_>>()
+    });
+    let jfast = time_best_of(2, || ctx.jtol_curve(&jfreqs, 1e-12));
+    let serial_curve = ctx.clone().with_workers(1).jtol_curve(&jfreqs, 1e-12);
+    assert_eq!(
+        jfast.value, serial_curve,
+        "parallel curve must be bit-identical to serial"
+    );
+    for (s, f) in jnaive.value.iter().zip(&jfast.value) {
+        assert!(
+            (s - f.amplitude_pp.value()).abs() < 2e-4 || *s >= 20.0,
+            "jtol diverged: {s} vs {f}"
+        );
+    }
+    let jtol_speedup = jnaive.secs / jfast.secs;
+    println!(
+        "JTOL curve (25 pts):    naive {:.1} ms | sweep {:.1} ms | {jtol_speedup:.2}x",
+        jnaive.secs * 1e3,
+        jfast.secs * 1e3
+    );
+    result_line("jtol_speedup", format!("{jtol_speedup:.2}"));
+    report.push_comparison(
+        "jtol_curve_25pt",
+        jnaive.secs * 1e3,
+        jfast.secs * 1e3,
+        &[("points", jfreqs.len().to_string())],
+    );
+
+    // --- 25k-cycle discrete-event run ------------------------------------
+    let dsim = time_best_of(2, || {
+        let cco = CcoParams::paper();
+        let mut sim = Simulator::new(25);
+        let osc = GatedOscillator::new("gcco", cco).build(&mut sim, cco.i_mid);
+        sim.probe(osc.ck_standard);
+        // Trigger stays high: 25 000 free-running cycles at 2.5 GHz.
+        sim.run_until(Time::from_ns(25_000.0 * 0.4));
+        sim.events_processed()
+    });
+    let events = dsim.value;
+    let meps = events as f64 / dsim.secs / 1e6;
+    println!(
+        "dsim 25k cycles:        {:.1} ms ({events} events, {meps:.1} Mevents/s)",
+        dsim.secs * 1e3
+    );
+    result_line("dsim_mevents_per_s", format!("{meps:.1}"));
+    report.push_measurement(
+        "dsim_25k_cycles",
+        dsim.secs * 1e3,
+        &[
+            ("events", events.to_string()),
+            ("mevents_per_s", format!("{meps:.1}")),
+        ],
+    );
+
+    let path = Path::new("BENCH_sweep.json");
+    report.write(path).expect("write BENCH_sweep.json");
+    println!("\nwrote {}", path.display());
+
+    assert!(
+        grid_speedup >= 3.0,
+        "sweep engine must keep the BER grid >= 3x over the naive path ({grid_speedup:.2}x)"
+    );
+    assert!(
+        jtol_speedup >= 3.0,
+        "sweep engine must keep the JTOL curve >= 3x over the naive path ({jtol_speedup:.2}x)"
+    );
+    println!("OK: grid {grid_speedup:.2}x, JTOL {jtol_speedup:.2}x, parallel output bit-identical to serial.");
+}
+
+/// Replica of the seed's `jtol_at`: fixed 48 iterations plus 2 probes,
+/// cloning the model on every evaluation — the pre-engine baseline.
+fn jtol_seed_style(model: &GccoStatModel, freq: f64) -> f64 {
+    let ber_at = |amp: f64| {
+        let spec = model.spec().clone().with_sj(Ui::new(amp), freq);
+        model.clone().with_spec(spec).ber()
+    };
+    if ber_at(20.0) <= 1e-12 {
+        return 20.0;
+    }
+    if ber_at(0.0) > 1e-12 {
+        return 0.0;
+    }
+    let (mut lo, mut hi) = (0.0f64, 20.0f64);
+    for _ in 0..48 {
+        let mid = 0.5 * (lo + hi);
+        if ber_at(mid) <= 1e-12 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}

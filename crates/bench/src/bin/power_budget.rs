@@ -2,7 +2,10 @@
 //! against the conventional per-channel PLL-based CDR the paper avoids.
 
 use gcco_bench::{header, result_line};
-use gcco_noise::{size_for_jitter, ChannelPowerBudget, PhaseNoiseModel};
+use gcco_noise::{
+    iss_log_grid, size_for_jitter, tradeoff_point, ChannelPowerBudget, PhaseNoiseModel,
+};
+use gcco_stat::{available_workers, par_map_grid};
 use gcco_units::{Current, Freq, Voltage};
 
 fn main() {
@@ -26,7 +29,10 @@ fn main() {
     println!("\nsized cell: {cell}");
 
     let budget = ChannelPowerBudget::paper_channel(cell);
-    println!("\nGCCO channel breakdown ({} identical CML cells):", budget.total_cells());
+    println!(
+        "\nGCCO channel breakdown ({} identical CML cells):",
+        budget.total_cells()
+    );
     println!("  ring oscillator  : {} cells", budget.osc_stages);
     println!("  delay line       : {} cells", budget.delay_line_cells);
     println!("  XOR/dummy/sampler: {} cells", budget.misc_cells);
@@ -37,6 +43,54 @@ fn main() {
     result_line("gcco_mw_per_gbps", format!("{eff:.3}"));
     assert!(eff < 5.0);
 
+    // Cross-check the sizing against a brute-force Fig. 11 I_SS scan,
+    // fanned out over the sweep workers: the cheapest bias on the grid
+    // that still meets 0.01 UIrms must cost no less than the sized point.
+    let grid = iss_log_grid(
+        (
+            Current::from_microamps(2.0),
+            Current::from_microamps(2000.0),
+        ),
+        25,
+    );
+    let scan = par_map_grid(&grid, available_workers(), |_, &iss| {
+        tradeoff_point(
+            PhaseNoiseModel::Hajimiri { eta: 0.75 },
+            Voltage::from_volts(0.4),
+            bit_rate,
+            4,
+            5,
+            iss,
+        )
+    });
+    // The speed floor binds as well: below it the cell cannot drive the
+    // parasitic load at the 50 ps stage delay (same constraint as the
+    // analytic sizing).
+    let iss_floor = Voltage::from_volts(0.4).volts()
+        * std::f64::consts::LN_2
+        * gcco_noise::PARASITIC_CL_FLOOR_FARADS
+        / cell.delay().secs();
+    let cheapest = scan
+        .iter()
+        .find(|p| p.sigma_ui <= 0.01 && p.iss.amps() >= iss_floor)
+        .expect("scan range must reach the jitter target");
+    let scan_eff = ChannelPowerBudget::paper_channel(gcco_noise::CmlCell::sized_for_delay(
+        cheapest.iss,
+        Voltage::from_volts(0.4),
+        cell.delay(),
+    ))
+    .mw_per_gbps(bit_rate);
+    println!(
+        "  I_SS scan check  : cheapest grid bias meeting 0.01 UIrms is {} -> {scan_eff:.2} mW/Gbit/s",
+        cheapest.iss
+    );
+    result_line("scan_mw_per_gbps", format!("{scan_eff:.3}"));
+    assert!(
+        scan_eff >= eff * 0.99,
+        "the analytic sizing must not be beaten by the grid scan"
+    );
+    assert!(scan_eff < 5.0, "the scanned bias also meets the headline");
+
     // The conventional alternative: a per-channel PLL-based CDR needs the
     // full loop per channel — phase detector bank, charge pump/DAC, loop
     // filter, its own full-rate VCO and dividers. Counted in the same CML
@@ -44,9 +98,9 @@ fn main() {
     // running regardless of data activity.
     let pll_cdr = ChannelPowerBudget {
         cell: budget.cell,
-        osc_stages: 4,        // its own VCO
-        delay_line_cells: 8,  // phase-detector sampling bank
-        misc_cells: 36,       // PD logic, CP/DAC, filter, dividers, retimers
+        osc_stages: 4,       // its own VCO
+        delay_line_cells: 8, // phase-detector sampling bank
+        misc_cells: 36,      // PD logic, CP/DAC, filter, dividers, retimers
     };
     let pll_eff = pll_cdr.mw_per_gbps(bit_rate);
     println!("\nper-channel PLL-based CDR (same cell currency):");
@@ -54,7 +108,10 @@ fn main() {
     println!("  efficiency       : {pll_eff:.2} mW/Gbit/s");
     result_line("pll_cdr_mw_per_gbps", format!("{pll_eff:.3}"));
     result_line("gcco_vs_pll_power_ratio", format!("{:.2}", pll_eff / eff));
-    assert!(pll_eff / eff > 2.0, "the paper's motivation: GCCO is the low-power option");
+    assert!(
+        pll_eff / eff > 2.0,
+        "the paper's motivation: GCCO is the low-power option"
+    );
 
     println!(
         "\nOK: GCCO {eff:.2} mW/Gbit/s — under the 5 mW/Gbit/s budget and {:.1}x\n\

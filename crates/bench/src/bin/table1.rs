@@ -12,10 +12,7 @@ fn main() {
     let spec = JitterSpec::paper_table1();
     println!("\nJitter type        | Units  | Value");
     println!("-------------------+--------+---------------------------");
-    println!(
-        "Deterministic (DJ) | UIpp   | {:.3}",
-        spec.dj_pp.value()
-    );
+    println!("Deterministic (DJ) | UIpp   | {:.3}", spec.dj_pp.value());
     println!(
         "Random (RJ)        | UIrms  | {:.3}  ({:.3} UIpp at BER 1e-12, crest {:.3})",
         spec.rj_rms.value(),
@@ -31,7 +28,10 @@ fn main() {
 
     result_line("dj_uipp", spec.dj_pp.value());
     result_line("rj_uirms", spec.rj_rms.value());
-    result_line("rj_uipp_at_1e-12", format!("{:.4}", spec.rj_rms.value() * rj_crest_factor(1e-12)));
+    result_line(
+        "rj_uipp_at_1e-12",
+        format!("{:.4}", spec.rj_rms.value() * rj_crest_factor(1e-12)),
+    );
     result_line("ckj_uirms", spec.ckj_rms.value());
     result_line("cid_max", spec.cid_max);
 

@@ -22,38 +22,27 @@ fn main() {
     let mut hot_eff = 0.0;
     for celsius in [-40.0, 0.0, 27.0, 85.0, 125.0] {
         let temp = Temperature::from_celsius(celsius);
-        let probe = CmlCell::sized_for_delay(
-            Current::from_microamps(200.0),
-            swing,
-            Time::from_ps(50.0),
-        )
-        .with_temp(temp);
+        let probe =
+            CmlCell::sized_for_delay(Current::from_microamps(200.0), swing, Time::from_ps(50.0))
+                .with_temp(temp);
         let model = PhaseNoiseModel::Hajimiri { eta: 0.75 };
         let kappa = model.kappa(&probe);
         let sigma = kappa.sigma_ui_after_bits(5, f_ring);
         // Re-size at this temperature (the parasitic floor usually binds,
         // but the noise constraint is what moves).
-        let cell = size_for_jitter(
-            model,
-            swing,
-            f_ring,
-            4,
-            5,
-            0.01,
-            Current::from_amps(0.01),
-        )
-        .map(|c| {
-            // size_for_jitter sizes at ROOM; re-evaluate at temp by scaling
-            // the noise constraint kT-linearly: I_noise ∝ T.
-            let scale = temp.kelvin() / 300.0;
-            CmlCell::sized_for_delay(
-                Current::from_amps((c.iss.amps() * scale).max(c.iss.amps() * 0.9)),
-                swing,
-                Time::from_ps(50.0),
-            )
-            .with_temp(temp)
-        })
-        .expect("reachable");
+        let cell = size_for_jitter(model, swing, f_ring, 4, 5, 0.01, Current::from_amps(0.01))
+            .map(|c| {
+                // size_for_jitter sizes at ROOM; re-evaluate at temp by scaling
+                // the noise constraint kT-linearly: I_noise ∝ T.
+                let scale = temp.kelvin() / 300.0;
+                CmlCell::sized_for_delay(
+                    Current::from_amps((c.iss.amps() * scale).max(c.iss.amps() * 0.9)),
+                    swing,
+                    Time::from_ps(50.0),
+                )
+                .with_temp(temp)
+            })
+            .expect("reachable");
         let eff = ChannelPowerBudget::paper_channel(cell).mw_per_gbps(f_ring);
         println!(
             "  {celsius:>5} C | {kappa}   | {sigma:.5} UI   | {:>8} | {eff:.2}",

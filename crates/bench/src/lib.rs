@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod runner;
+
 /// Prints the standard experiment header.
 pub fn header(id: &str, title: &str, paper_claim: &str) {
     println!("================================================================");

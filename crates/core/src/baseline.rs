@@ -236,10 +236,8 @@ mod tests {
     fn fast_jitter_defeats_the_loop() {
         // Same amplitude at 1/4 the bit rate: far beyond the slew limit.
         let cdr = BangBangCdr::new(BangBangConfig::typical());
-        let jitter = JitterConfig::none().with_sj(SinusoidalJitter::new(
-            Ui::new(1.4),
-            Freq::from_mhz(625.0),
-        ));
+        let jitter = JitterConfig::none()
+            .with_sj(SinusoidalJitter::new(Ui::new(1.4), Freq::from_mhz(625.0)));
         let result = cdr.run(&bits(50_000), rate(), &jitter, 3);
         assert!(result.errors > 0, "{result}");
     }

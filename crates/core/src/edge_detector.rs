@@ -126,8 +126,14 @@ impl EdgeDetector {
         for i in 0..self.n_cells {
             let out = sim.add_signal(format!("{n}.dl{i}"), false);
             sim.add_component(
-                LogicGate::new(format!("{n}.cell{i}"), GateFunc::Buf, vec![prev], out, self.cell_delay)
-                    .with_jitter(self.jitter_sigma),
+                LogicGate::new(
+                    format!("{n}.cell{i}"),
+                    GateFunc::Buf,
+                    vec![prev],
+                    out,
+                    self.cell_delay,
+                )
+                .with_jitter(self.jitter_sigma),
             );
             prev = out;
         }
@@ -153,8 +159,18 @@ impl EdgeDetector {
             Time::FEMTOSECOND
         };
         sim.add_component(
-            LogicGate::new(format!("{n}.dummy"), GateFunc::Buf, vec![prev], ddin, dummy_delay)
-                .with_jitter(if self.dummy_compensation { self.jitter_sigma } else { 0.0 }),
+            LogicGate::new(
+                format!("{n}.dummy"),
+                GateFunc::Buf,
+                vec![prev],
+                ddin,
+                dummy_delay,
+            )
+            .with_jitter(if self.dummy_compensation {
+                self.jitter_sigma
+            } else {
+                0.0
+            }),
         );
         EdgeDetectorHandles { din, ddin, edet }
     }
@@ -194,7 +210,10 @@ mod tests {
         sim.run_until(Time::from_ns(2.0));
         let trace = sim.trace(ed.ddin).unwrap();
         // τ (300 ps) + dummy (50 ps) after the input edge.
-        assert_eq!(trace.rising_edges(), vec![Time::from_ns(1.0) + Time::from_ps(350.0)]);
+        assert_eq!(
+            trace.rising_edges(),
+            vec![Time::from_ns(1.0) + Time::from_ps(350.0)]
+        );
     }
 
     #[test]
@@ -271,7 +290,10 @@ mod tests {
         let edet_rise = sim.trace(ed.edet).unwrap().rising_edges()[0];
         let ddin_rise = sim.trace(ed.ddin).unwrap().rising_edges()[0];
         // Without the dummy, DDIN leads EDET by the XOR delay (50 ps).
-        assert_eq!(edet_rise - ddin_rise, Time::from_ps(50.0) - Time::FEMTOSECOND);
+        assert_eq!(
+            edet_rise - ddin_rise,
+            Time::from_ps(50.0) - Time::FEMTOSECOND
+        );
     }
 
     #[test]

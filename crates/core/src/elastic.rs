@@ -159,12 +159,7 @@ impl ElasticBuffer {
 
     /// Simulates a constant-rate write stream with a relative frequency
     /// offset (`+100e-6` = writes 100 ppm fast) over `n_bits` bits.
-    pub fn run_with_offset(
-        &self,
-        read_rate: Freq,
-        offset: f64,
-        n_bits: usize,
-    ) -> ElasticRunResult {
+    pub fn run_with_offset(&self, read_rate: Freq, offset: f64, n_bits: usize) -> ElasticRunResult {
         let write_period = read_rate.with_offset_frac(offset).period();
         let writes: Vec<Time> = (1..=n_bits as i64).map(|k| write_period * k).collect();
         self.run(&writes, read_rate)
@@ -271,10 +266,7 @@ mod tests {
         let d_small = ElasticBuffer::min_depth_for(rate(), 100e-6, 10_000);
         let d_large = ElasticBuffer::min_depth_for(rate(), 100e-6, 100_000);
         assert!(d_small >= 2);
-        assert!(
-            d_large > d_small,
-            "10x the packet: {d_small} → {d_large}"
-        );
+        assert!(d_large > d_small, "10x the packet: {d_small} → {d_large}");
         // 100 ppm × 100k bits = 10 bits of drift; need roughly 2×10+slack.
         assert!((16..=40).contains(&d_large), "{d_large}");
     }
@@ -295,8 +287,7 @@ mod tests {
         // Writes with bounded jitter but matched mean rate.
         let writes: Vec<Time> = (1..20_000i64)
             .map(|k| {
-                Time::from_ps(400.0) * k
-                    + Time::from_ps(if k % 3 == 0 { 80.0 } else { -60.0 })
+                Time::from_ps(400.0) * k + Time::from_ps(if k % 3 == 0 { 80.0 } else { -60.0 })
             })
             .collect();
         let result = ElasticBuffer::new(8).run(&writes, rate());
@@ -306,10 +297,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "sorted")]
     fn unsorted_writes_rejected() {
-        let _ = ElasticBuffer::new(4).run(
-            &[Time::from_ps(200.0), Time::from_ps(100.0)],
-            rate(),
-        );
+        let _ = ElasticBuffer::new(4).run(&[Time::from_ps(200.0), Time::from_ps(100.0)], rate());
     }
 
     #[test]

@@ -228,9 +228,8 @@ pub fn run_design_flow(spec: &FlowSpec) -> DesignReport {
     // ckj, i.e. per-UI variance ckj²/CID. One UI is 8 stage delays of
     // t_d = UI/8 each, so 8·(σ_rel/8)² = ckj²/CID →
     // σ_rel = ckj·√(8/CID).
-    let sigma_stage = (spec.jitter.ckj_rms.value()
-        * (8.0 / spec.jitter.cid_max as f64).sqrt())
-    .clamp(0.0, 0.05);
+    let sigma_stage =
+        (spec.jitter.ckj_rms.value() * (8.0 / spec.jitter.cid_max as f64).sqrt()).clamp(0.0, 0.05);
     let config = CdrConfig::paper().with_cell_jitter(sigma_stage);
     let result = run_cdr(&bits, spec.bit_rate, &jitter, &config, 0xF10F);
     let mut eye = result.eye.clone();
@@ -241,7 +240,11 @@ pub fn run_design_flow(spec: &FlowSpec) -> DesignReport {
         passed: step4_pass,
         detail: format!(
             "{} over {} bits, eye opening {:.3} UI",
-            if result.errors == 0 { "error-free" } else { "ERRORS" },
+            if result.errors == 0 {
+                "error-free"
+            } else {
+                "ERRORS"
+            },
             result.compared,
             opening.value()
         ),

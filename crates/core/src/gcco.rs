@@ -38,15 +38,17 @@ impl CcoParams {
     /// `f = f_c + K·(I − I₀)`, clamped at 1 % of `f_c` to keep the model
     /// out of unphysical territory.
     pub fn frequency_at(&self, control: Current) -> Freq {
-        let f = self.free_running.hz()
-            + self.gain_hz_per_amp * (control.amps() - self.i_mid.amps());
+        let f =
+            self.free_running.hz() + self.gain_hz_per_amp * (control.amps() - self.i_mid.amps());
         Freq::from_hz(f.max(self.free_running.hz() * 0.01))
     }
 
     /// The control current that produces frequency `f` (inverse of
     /// [`CcoParams::frequency_at`]).
     pub fn control_for(&self, f: Freq) -> Current {
-        Current::from_amps(self.i_mid.amps() + (f.hz() - self.free_running.hz()) / self.gain_hz_per_amp)
+        Current::from_amps(
+            self.i_mid.amps() + (f.hz() - self.free_running.hz()) / self.gain_hz_per_amp,
+        )
     }
 
     /// Per-stage delay of the four-stage ring at the given control
@@ -296,7 +298,10 @@ mod tests {
         let std_rising = sim.trace(g.ck_standard).unwrap().rising_edges();
         let first_after = std_rising.iter().find(|&&t| t > release).unwrap();
         // T/2 = 200 ps after release (+1 fs complement tap).
-        assert_eq!(*first_after - release, Time::from_ps(200.0) + Time::FEMTOSECOND);
+        assert_eq!(
+            *first_after - release,
+            Time::from_ps(200.0) + Time::FEMTOSECOND
+        );
         // Improved clock leads by one stage delay (T/8 = 50 ps).
         let imp_rising = sim.trace(g.ck_improved).unwrap().rising_edges();
         let imp_after = imp_rising.iter().find(|&&t| t > release).unwrap();

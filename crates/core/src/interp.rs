@@ -167,9 +167,8 @@ impl PhaseInterpCdr {
         let tail = &result.phase_error[result.phase_error.len() / 2..];
         if !tail.is_empty() {
             let mean = tail.iter().sum::<f64>() / tail.len() as f64;
-            result.quantization_rms = (tail.iter().map(|e| (e - mean).powi(2)).sum::<f64>()
-                / tail.len() as f64)
-                .sqrt();
+            result.quantization_rms =
+                (tail.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / tail.len() as f64).sqrt();
         }
         result
     }
@@ -214,10 +213,7 @@ mod tests {
         // around the lock point by at least a step.
         let cdr = PhaseInterpCdr::new(PiConfig::typical());
         let result = cdr.run(&bits(30_000), rate(), &JitterConfig::none(), 2);
-        assert!(
-            result.quantization_rms >= 0.25 / 64.0,
-            "{result}"
-        );
+        assert!(result.quantization_rms >= 0.25 / 64.0, "{result}");
     }
 
     #[test]
@@ -268,16 +264,12 @@ mod tests {
     #[test]
     fn slow_jitter_tracked_fast_jitter_not() {
         let cdr = PhaseInterpCdr::new(PiConfig::typical());
-        let slow = JitterConfig::none().with_sj(SinusoidalJitter::new(
-            Ui::new(0.4),
-            Freq::from_khz(50.0),
-        ));
+        let slow =
+            JitterConfig::none().with_sj(SinusoidalJitter::new(Ui::new(0.4), Freq::from_khz(50.0)));
         let ok = cdr.run(&bits(60_000), rate(), &slow, 6);
         assert_eq!(ok.errors, 0, "{ok}");
-        let fast = JitterConfig::none().with_sj(SinusoidalJitter::new(
-            Ui::new(1.4),
-            Freq::from_mhz(625.0),
-        ));
+        let fast = JitterConfig::none()
+            .with_sj(SinusoidalJitter::new(Ui::new(1.4), Freq::from_mhz(625.0)));
         let bad = cdr.run(&bits(60_000), rate(), &fast, 7);
         assert!(bad.errors > 0, "{bad}");
     }

@@ -9,8 +9,8 @@
 //! which is exactly why it tolerates unlimited low-frequency jitter and
 //! needs no jitter-peaking analysis.
 
-use crate::cdr::{build_cdr, CdrConfig};
 use crate::baseline::BangBangCdr;
+use crate::cdr::{build_cdr, CdrConfig};
 use gcco_dsim::Simulator;
 use gcco_signal::{BitStream, EdgeStream, JitterConfig, SinusoidalJitter};
 use gcco_stat::tone_amplitude;
@@ -37,10 +37,8 @@ pub fn gcco_jitter_transfer(
     assert!(f_norm > 0.0 && f_norm < 0.5, "invalid frequency {f_norm}");
     assert!(n_bits >= 512, "need at least 512 bits");
     let bits = BitStream::alternating(n_bits);
-    let jitter = JitterConfig::none().with_sj(SinusoidalJitter::new(
-        amplitude_pp,
-        bit_rate * f_norm,
-    ));
+    let jitter =
+        JitterConfig::none().with_sj(SinusoidalJitter::new(amplitude_pp, bit_rate * f_norm));
     let stream = EdgeStream::synthesize(&bits, bit_rate, &jitter, seed);
 
     let mut sim = Simulator::new(seed ^ 0x77);
@@ -85,10 +83,8 @@ pub fn bang_bang_jitter_transfer(
 ) -> f64 {
     assert!(f_norm > 0.0 && f_norm < 0.5, "invalid frequency {f_norm}");
     let bits = BitStream::alternating(n_bits);
-    let jitter = JitterConfig::none().with_sj(SinusoidalJitter::new(
-        amplitude_pp,
-        bit_rate * f_norm,
-    ));
+    let jitter =
+        JitterConfig::none().with_sj(SinusoidalJitter::new(amplitude_pp, bit_rate * f_norm));
     let result = cdr.run(&bits, bit_rate, &jitter, seed);
     // Recovered clock phase θ = displacement − error; alternating data
     // gives one sample per bit.
@@ -148,14 +144,7 @@ mod tests {
         // The defining property: the gated oscillator follows input jitter
         // at every frequency (gain ≈ 1).
         for f in [0.01, 0.05, 0.2] {
-            let gain = gcco_jitter_transfer(
-                &CdrConfig::paper(),
-                rate(),
-                f,
-                Ui::new(0.08),
-                4096,
-                1,
-            );
+            let gain = gcco_jitter_transfer(&CdrConfig::paper(), rate(), f, Ui::new(0.08), 4096, 1);
             assert!(
                 (gain - 1.0).abs() < 0.25,
                 "f = {f}: gain {gain} should be ~1"
@@ -197,13 +186,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid frequency")]
     fn rejects_nyquist() {
-        let _ = gcco_jitter_transfer(
-            &CdrConfig::paper(),
-            rate(),
-            0.6,
-            Ui::new(0.1),
-            1024,
-            0,
-        );
+        let _ = gcco_jitter_transfer(&CdrConfig::paper(), rate(), 0.6, Ui::new(0.1), 1024, 0);
     }
 }

@@ -159,10 +159,7 @@ mod tests {
         // The paper's core motivation: one 2.5 Gbit/s serial lane carries
         // ~half the throughput of the whole 8-lane bus at a fraction of
         // the I/O power.
-        let cmp = LinkComparison::compare(
-            &ParallelBus::typical_8bit(),
-            &SerialLink::paper_2g5(),
-        );
+        let cmp = LinkComparison::compare(&ParallelBus::typical_8bit(), &SerialLink::paper_2g5());
         assert!(cmp.efficiency_gain > 5.0, "{cmp}");
         assert!(cmp.serial_throughput > 1.9e9);
     }
@@ -182,10 +179,7 @@ mod tests {
 
     #[test]
     fn display() {
-        let cmp = LinkComparison::compare(
-            &ParallelBus::typical_8bit(),
-            &SerialLink::paper_2g5(),
-        );
+        let cmp = LinkComparison::compare(&ParallelBus::typical_8bit(), &SerialLink::paper_2g5());
         assert!(cmp.to_string().contains("energy gain"));
     }
 }

@@ -163,7 +163,7 @@ mod tests {
     fn cable_pull_mid_stream_is_detected_and_recovers() {
         // Traffic, then 100 UI of silence, then traffic again.
         let mut pattern = BitStream::alternating(200);
-        pattern.extend(std::iter::repeat(false).take(100));
+        pattern.extend(std::iter::repeat_n(false, 100));
         pattern.extend(BitStream::alternating(200));
         let stream = EdgeStream::synthesize(&pattern, rate(), &JitterConfig::none(), 2);
         let mut sim = Simulator::new(0);

@@ -147,11 +147,10 @@ impl MultiChannelReceiver {
                 // own mismatch folded into its free-running frequency.
                 let mut config = self.base.clone();
                 config.control = control;
-                config.cco.free_running =
-                    config.cco.free_running.with_offset_frac(ch.mismatch);
+                config.cco.free_running = config.cco.free_running.with_offset_frac(ch.mismatch);
                 // Distinct data phase per channel.
-                let bits: BitStream = Prbs::with_seed(PrbsOrder::P7, 1 + i as u64)
-                    .take_bits(bits_per_channel);
+                let bits: BitStream =
+                    Prbs::with_seed(PrbsOrder::P7, 1 + i as u64).take_bits(bits_per_channel);
                 // Skew modelled by shifting the jitter seed and start; the
                 // CDR is self-aligning so only the per-channel independence
                 // matters.

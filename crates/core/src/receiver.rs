@@ -179,7 +179,6 @@ impl SerialReceiver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     fn rx() -> SerialReceiver {
         SerialReceiver::new(Freq::from_gbps(2.5), CdrConfig::paper())

@@ -136,7 +136,11 @@ impl Component for Deserializer {
             self.log.push(ctx.now(), self.shift & mask(self.width));
             self.shift = 0;
             self.count = 0;
-            ctx.schedule(self.div_clock, !ctx.value(self.div_clock), Time::FEMTOSECOND);
+            ctx.schedule(
+                self.div_clock,
+                !ctx.value(self.div_clock),
+                Time::FEMTOSECOND,
+            );
         }
     }
 }
@@ -183,7 +187,10 @@ mod tests {
             for (i, &bit) in pattern.iter().enumerate() {
                 let slot = rep * 8 + i;
                 if bit != level {
-                    changes.push((Time::from_ps(1000.0) * slot as i64 + Time::from_ps(1.0), bit));
+                    changes.push((
+                        Time::from_ps(1000.0) * slot as i64 + Time::from_ps(1.0),
+                        bit,
+                    ));
                     level = bit;
                 }
             }

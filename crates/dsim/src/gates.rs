@@ -214,10 +214,7 @@ impl LogicGate {
         if self.jitter_sigma == 0.0 {
             return nominal;
         }
-        let rng = self
-            .rng
-            .as_mut()
-            .expect("rng seeded at init");
+        let rng = self.rng.as_mut().expect("rng seeded at init");
         let g = gaussian(rng);
         let scaled = nominal.secs() * (1.0 + self.jitter_sigma * g);
         Time::from_secs(scaled.max(1e-15))
@@ -382,10 +379,7 @@ mod tests {
         sim.run_until(Time::from_ps(500.0));
         assert_eq!(
             sim.trace(y).unwrap().changes(),
-            &[
-                (Time::from_ps(120.0), false),
-                (Time::from_ps(125.0), true)
-            ]
+            &[(Time::from_ps(120.0), false), (Time::from_ps(125.0), true)]
         );
     }
 
@@ -395,8 +389,7 @@ mod tests {
         let a = sim.add_signal("a", false);
         let y = sim.add_signal("y", false);
         sim.add_component(
-            LogicGate::new("buf", GateFunc::Buf, vec![a], y, Time::from_ps(50.0))
-                .with_jitter(0.05),
+            LogicGate::new("buf", GateFunc::Buf, vec![a], y, Time::from_ps(50.0)).with_jitter(0.05),
         );
         sim.probe(y);
         for i in 1..200 {
@@ -407,10 +400,7 @@ mod tests {
         assert_eq!(trace.len(), 199, "every input change must propagate");
         // Delays must vary around 50 ps.
         let rising = trace.rising_edges();
-        let mut distinct = rising
-            .iter()
-            .map(|t| t.fs() % 500_000)
-            .collect::<Vec<_>>();
+        let mut distinct = rising.iter().map(|t| t.fs() % 500_000).collect::<Vec<_>>();
         distinct.dedup();
         assert!(distinct.len() > 50, "jitter must decorrelate edge times");
     }
@@ -424,7 +414,11 @@ mod tests {
             let a = sim.add_signal("a", false);
             let y = sim.add_signal("y", false);
             let gate = LogicGate::new("buf", GateFunc::Buf, vec![a], y, Time::from_ps(40.0));
-            let gate = if inertial { gate.with_inertial_delay() } else { gate };
+            let gate = if inertial {
+                gate.with_inertial_delay()
+            } else {
+                gate
+            };
             sim.add_component(gate);
             sim.probe(y);
             sim.set_after(a, true, Time::from_ps(100.0));
@@ -453,10 +447,7 @@ mod tests {
         sim.run_until(Time::from_ps(500.0));
         assert_eq!(
             sim.trace(y).unwrap().changes(),
-            &[
-                (Time::from_ps(140.0), true),
-                (Time::from_ps(240.0), false)
-            ]
+            &[(Time::from_ps(140.0), true), (Time::from_ps(240.0), false)]
         );
     }
 
@@ -475,7 +466,6 @@ mod tests {
         let mut sim = Simulator::new(0);
         let a = sim.add_signal("a", false);
         let y = sim.add_signal("y", false);
-        let _ = LogicGate::new("g", GateFunc::Buf, vec![a], y, Time::from_ps(1.0))
-            .with_jitter(0.5);
+        let _ = LogicGate::new("g", GateFunc::Buf, vec![a], y, Time::from_ps(1.0)).with_jitter(0.5);
     }
 }

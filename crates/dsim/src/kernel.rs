@@ -15,9 +15,9 @@
 //!   reproducible.
 
 use gcco_units::Time;
+use std::cmp::Reverse;
 use std::collections::btree_map::BTreeMap;
 use std::collections::BinaryHeap;
-use std::cmp::Reverse;
 use std::fmt;
 
 /// Identifier of a signal within a [`Simulator`].
@@ -215,6 +215,11 @@ pub struct Simulator {
     components: Vec<Box<dyn Component>>,
     initialized: bool,
     events_processed: u64,
+    /// Scratch for the signals that changed in the current time step,
+    /// reused across steps so the hot loop stays allocation-free.
+    changed_scratch: Vec<usize>,
+    /// Scratch for the components woken in the current time step.
+    woken_scratch: Vec<usize>,
 }
 
 impl Simulator {
@@ -230,6 +235,8 @@ impl Simulator {
             components: Vec::new(),
             initialized: false,
             events_processed: 0,
+            changed_scratch: Vec::new(),
+            woken_scratch: Vec::new(),
         }
     }
 
@@ -262,7 +269,10 @@ impl Simulator {
     }
 
     /// Adds a component, wiring its sensitivity list, and returns its id.
-    pub fn add_component<C: Component + Sensitive + 'static>(&mut self, component: C) -> ComponentId {
+    pub fn add_component<C: Component + Sensitive + 'static>(
+        &mut self,
+        component: C,
+    ) -> ComponentId {
         let id = ComponentId(self.components.len());
         for sig in component.sensitivity() {
             self.signals[sig.0].fanout.push(id);
@@ -333,10 +343,7 @@ impl Simulator {
         if !self.initialized {
             self.initialized = true;
             for i in 0..self.components.len() {
-                let mut component = std::mem::replace(
-                    &mut self.components[i],
-                    Box::new(Nop),
-                );
+                let mut component = std::mem::replace(&mut self.components[i], Box::new(Nop));
                 let mut ctx = Context {
                     now: self.now,
                     seed: self.seed,
@@ -356,7 +363,7 @@ impl Simulator {
             }
             // Apply every transaction maturing at time t.
             self.now = t;
-            let mut changed: Vec<usize> = Vec::new();
+            self.changed_scratch.clear();
             while let Some(&Reverse((tt, _, sig))) = self.queue.peek() {
                 if tt != t {
                     break;
@@ -372,18 +379,22 @@ impl Simulator {
                     if state.probed {
                         state.trace.changes.push((t, value));
                     }
-                    changed.push(sig);
+                    self.changed_scratch.push(sig);
                 }
             }
             // Wake components sensitive to the changed signals (each at
-            // most once per time step).
-            let mut woken: Vec<usize> = changed
-                .iter()
-                .flat_map(|&sig| self.signals[sig].fanout.iter().map(|c| c.0))
-                .collect();
+            // most once per time step). Both worklists live in reusable
+            // scratch buffers so a multi-million-event run allocates
+            // nothing inside this loop.
+            let woken = &mut self.woken_scratch;
+            woken.clear();
+            for &sig in &self.changed_scratch {
+                woken.extend(self.signals[sig].fanout.iter().map(|c| c.0));
+            }
             woken.sort_unstable();
             woken.dedup();
-            for comp in woken {
+            for wi in 0..self.woken_scratch.len() {
+                let comp = self.woken_scratch[wi];
                 let mut component = std::mem::replace(&mut self.components[comp], Box::new(Nop));
                 let mut ctx = Context {
                     now: self.now,
@@ -471,10 +482,7 @@ mod tests {
         let trace = sim.trace(s).unwrap();
         assert_eq!(
             trace.changes(),
-            &[
-                (Time::from_ps(10.0), true),
-                (Time::from_ps(20.0), false)
-            ]
+            &[(Time::from_ps(10.0), true), (Time::from_ps(20.0), false)]
         );
         assert_eq!(trace.rising_edges(), vec![Time::from_ps(10.0)]);
         assert_eq!(trace.falling_edges(), vec![Time::from_ps(20.0)]);
@@ -484,10 +492,7 @@ mod tests {
     fn trace_value_lookup() {
         let trace = Trace {
             initial: true,
-            changes: vec![
-                (Time::from_ps(10.0), false),
-                (Time::from_ps(30.0), true),
-            ],
+            changes: vec![(Time::from_ps(10.0), false), (Time::from_ps(30.0), true)],
         };
         assert!(trace.value_at(Time::from_ps(5.0)));
         assert!(!trace.value_at(Time::from_ps(10.0)) || !trace.value_at(Time::from_ps(10.0)));

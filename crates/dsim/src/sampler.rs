@@ -168,9 +168,7 @@ mod tests {
         let q = sim.add_signal("q", false);
         let log = SampleLog::new();
         sim.add_component(PeriodicClock::new("ck", clk, Freq::from_ghz(1.0)));
-        sim.add_component(
-            Sampler::new("ff", clk, d, q, Time::from_ps(20.0)).with_log(log.clone()),
-        );
+        sim.add_component(Sampler::new("ff", clk, d, q, Time::from_ps(20.0)).with_log(log.clone()));
         // Data toggles mid-cycle; samples follow the value at clock edges.
         sim.drive(
             d,

@@ -63,7 +63,10 @@ impl PeriodicClock {
     /// Panics if `freq` is zero.
     pub fn new(name: impl Into<String>, output: SignalId, freq: Freq) -> PeriodicClock {
         let half_period = freq.period() / 2;
-        assert!(half_period > Time::ZERO, "frequency too high for the fs grid");
+        assert!(
+            half_period > Time::ZERO,
+            "frequency too high for the fs grid"
+        );
         PeriodicClock {
             name: name.into(),
             output,
@@ -178,9 +181,7 @@ mod tests {
     fn jittered_clock_keeps_mean_period() {
         let mut sim = Simulator::new(11);
         let clk = sim.add_signal("clk", false);
-        sim.add_component(
-            PeriodicClock::new("ck", clk, Freq::from_ghz(1.0)).with_jitter(0.02),
-        );
+        sim.add_component(PeriodicClock::new("ck", clk, Freq::from_ghz(1.0)).with_jitter(0.02));
         sim.probe(clk);
         sim.run_until(Time::from_us(1.0));
         let rising = sim.trace(clk).unwrap().rising_edges();

@@ -35,7 +35,11 @@ use std::io::{self, Write};
 /// ```
 pub fn write_vcd<W: Write>(sim: &Simulator, signals: &[SignalId], mut out: W) -> io::Result<()> {
     writeln!(out, "$date\n    (gcco-dsim)\n$end")?;
-    writeln!(out, "$version\n    gcco-dsim {}\n$end", env!("CARGO_PKG_VERSION"))?;
+    writeln!(
+        out,
+        "$version\n    gcco-dsim {}\n$end",
+        env!("CARGO_PKG_VERSION")
+    )?;
     writeln!(out, "$timescale 1fs $end")?;
     writeln!(out, "$scope module gcco $end")?;
 
@@ -147,7 +151,9 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), codes.len());
-        assert!(codes.iter().all(|c| c.bytes().all(|b| (33..127).contains(&b))));
+        assert!(codes
+            .iter()
+            .all(|c| c.bytes().all(|b| (33..127).contains(&b))));
     }
 
     #[test]

@@ -66,7 +66,8 @@ impl AnalogEye {
         let rel = ((t - self.t_offset) % self.period + self.period) % self.period;
         let x = ((rel / self.period) * self.bins_x as f64) as usize % self.bins_x;
         let span = self.v_range.1 - self.v_range.0;
-        let yf = ((v - self.v_range.0) / span * self.bins_y as f64).clamp(0.0, self.bins_y as f64 - 1.0);
+        let yf =
+            ((v - self.v_range.0) / span * self.bins_y as f64).clamp(0.0, self.bins_y as f64 - 1.0);
         let y = yf as usize;
         self.counts[y * self.bins_x + x] += 1;
         self.total += 1;
@@ -232,13 +233,18 @@ mod tests {
     fn waveform_helper_counts_all() {
         let mut eye = AnalogEye::new(period(), 16, 8, (0.0, 1.0));
         eye.add_waveform(Time::ZERO, Time::from_ps(10.0), &[0.1, 0.5, 0.9, 1.5, -0.5]);
-        assert_eq!(eye.total_samples(), 5, "out-of-range samples clamp, not drop");
+        assert_eq!(
+            eye.total_samples(),
+            5,
+            "out-of-range samples clamp, not drop"
+        );
     }
 
     #[test]
     fn offset_shifts_phase() {
         let mut a = AnalogEye::new(period(), 64, 8, (0.0, 1.0));
-        let mut b = AnalogEye::new(period(), 64, 8, (0.0, 1.0)).with_time_offset(Time::from_ps(100.0));
+        let mut b =
+            AnalogEye::new(period(), 64, 8, (0.0, 1.0)).with_time_offset(Time::from_ps(100.0));
         a.add_sample(Time::from_ps(100.0), 0.5);
         b.add_sample(Time::from_ps(100.0), 0.5);
         let ya = 4usize;

@@ -357,7 +357,9 @@ mod tests {
         eye.add_clock_edge(Time::from_ns(50.0));
         // Tight cluster at the bit boundary (phase 0).
         for i in -2i64..=2 {
-            eye.add_data_transition(Time::from_ns(50.0) - Time::from_ps(200.0) + Time::from_ps(i as f64 * 2.0));
+            eye.add_data_transition(
+                Time::from_ns(50.0) - Time::from_ps(200.0) + Time::from_ps(i as f64 * 2.0),
+            );
         }
         let tight = eye.edge_spread(0.0).unwrap();
         assert!(tight.value() < 0.02, "{tight}");

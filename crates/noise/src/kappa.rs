@@ -205,8 +205,10 @@ mod tests {
     #[test]
     fn kappa_scales_inverse_sqrt_current_at_fixed_swing() {
         let swing = Voltage::from_volts(0.4);
-        let c1 = CmlCell::sized_for_delay(Current::from_microamps(100.0), swing, Time::from_ps(50.0));
-        let c4 = CmlCell::sized_for_delay(Current::from_microamps(400.0), swing, Time::from_ps(50.0));
+        let c1 =
+            CmlCell::sized_for_delay(Current::from_microamps(100.0), swing, Time::from_ps(50.0));
+        let c4 =
+            CmlCell::sized_for_delay(Current::from_microamps(400.0), swing, Time::from_ps(50.0));
         for model in [
             PhaseNoiseModel::Hajimiri { eta: 0.75 },
             PhaseNoiseModel::McNeillVariant { zeta: 1.0 },
@@ -259,7 +261,9 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(Kappa::from_sqrt_secs(1.5e-8).to_string().contains("1.500e-8"));
+        assert!(Kappa::from_sqrt_secs(1.5e-8)
+            .to_string()
+            .contains("1.500e-8"));
         assert!(PhaseNoiseModel::Hajimiri { eta: 0.75 }
             .to_string()
             .contains("Hajimiri"));

@@ -38,6 +38,6 @@ mod power;
 pub use cml::CmlCell;
 pub use kappa::{Kappa, PhaseNoiseModel};
 pub use power::{
-    parasitic_cl_floor, power_noise_tradeoff, size_for_jitter, ChannelPowerBudget,
-    TradeoffPoint, PARASITIC_CL_FLOOR_FARADS,
+    iss_log_grid, parasitic_cl_floor, power_noise_tradeoff, size_for_jitter, tradeoff_point,
+    ChannelPowerBudget, TradeoffPoint, PARASITIC_CL_FLOOR_FARADS,
 };

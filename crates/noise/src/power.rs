@@ -39,25 +39,50 @@ pub fn power_noise_tradeoff(
     iss_range: (Current, Current),
     steps: usize,
 ) -> Vec<TradeoffPoint> {
+    iss_log_grid(iss_range, steps)
+        .into_iter()
+        .map(|iss| tradeoff_point(model, swing, f_ring, n_stages, cid, iss))
+        .collect()
+}
+
+/// The logarithmic tail-current grid behind [`power_noise_tradeoff`]
+/// (Fig. 11 is log-log). Exposed so sweep drivers can fan the per-point
+/// work of [`tradeoff_point`] out over workers.
+///
+/// # Panics
+///
+/// Panics if the current range is empty/invalid or `steps < 2`.
+pub fn iss_log_grid(iss_range: (Current, Current), steps: usize) -> Vec<Current> {
     let (lo, hi) = (iss_range.0.amps(), iss_range.1.amps());
     assert!(lo > 0.0 && hi > lo, "invalid current range [{lo}, {hi}] A");
     assert!(steps >= 2, "need at least 2 sweep steps");
+    (0..steps)
+        .map(|i| Current::from_amps(lo * (hi / lo).powf(i as f64 / (steps - 1) as f64)))
+        .collect()
+}
+
+/// Evaluates one point of the Fig. 11 trade-off at tail current `iss`:
+/// the per-point kernel of [`power_noise_tradeoff`]. Swing is held
+/// constant and the cell delay is pinned to `1/(2·n_stages·f_ring)`, so
+/// `C_L` absorbs the `R_L` change exactly as in the full sweep.
+pub fn tradeoff_point(
+    model: PhaseNoiseModel,
+    swing: Voltage,
+    f_ring: Freq,
+    n_stages: u32,
+    cid: u32,
+    iss: Current,
+) -> TradeoffPoint {
     let delay = Time::from_secs(1.0 / (2.0 * n_stages as f64 * f_ring.hz()));
     let bit_rate = f_ring; // CCO clock = bit rate in the GCCO architecture.
-    (0..steps)
-        .map(|i| {
-            // Logarithmic sweep, as Fig. 11 is log-log.
-            let iss = Current::from_amps(lo * (hi / lo).powf(i as f64 / (steps - 1) as f64));
-            let cell = CmlCell::sized_for_delay(iss, swing, delay);
-            let kappa = model.kappa(&cell);
-            TradeoffPoint {
-                iss,
-                ring_power: cell.power() * n_stages as f64,
-                kappa,
-                sigma_ui: kappa.sigma_ui_after_bits(cid, bit_rate),
-            }
-        })
-        .collect()
+    let cell = CmlCell::sized_for_delay(iss, swing, delay);
+    let kappa = model.kappa(&cell);
+    TradeoffPoint {
+        iss,
+        ring_power: cell.power() * n_stages as f64,
+        kappa,
+        sigma_ui: kappa.sigma_ui_after_bits(cid, bit_rate),
+    }
 }
 
 /// Minimum realistic CML node capacitance in farads (25 fF): device gate +
@@ -178,12 +203,7 @@ impl ChannelPowerBudget {
 
 impl fmt::Display for ChannelPowerBudget {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "channel({} cells, {})",
-            self.total_cells(),
-            self.power()
-        )
+        write!(f, "channel({} cells, {})", self.total_cells(), self.power())
     }
 }
 
@@ -209,7 +229,10 @@ mod tests {
             f_ring(),
             4,
             5,
-            (Current::from_microamps(10.0), Current::from_microamps(1000.0)),
+            (
+                Current::from_microamps(10.0),
+                Current::from_microamps(1000.0),
+            ),
             13,
         );
         assert_eq!(pts.len(), 13);
@@ -234,7 +257,10 @@ mod tests {
             f_ring(),
             4,
             5,
-            (Current::from_microamps(10.0), Current::from_microamps(1000.0)),
+            (
+                Current::from_microamps(10.0),
+                Current::from_microamps(1000.0),
+            ),
             3,
         );
         let slope = (pts[2].kappa.sqrt_secs() / pts[0].kappa.sqrt_secs()).log10()
@@ -326,15 +352,27 @@ mod tests {
 
     #[test]
     fn budget_counts_cells() {
-        let cell = CmlCell::sized_for_delay(
-            Current::from_microamps(100.0),
-            swing(),
-            Time::from_ps(50.0),
-        );
+        let cell =
+            CmlCell::sized_for_delay(Current::from_microamps(100.0), swing(), Time::from_ps(50.0));
         let b = ChannelPowerBudget::paper_channel(cell);
         assert_eq!(b.total_cells(), 16);
         assert!((b.power().milliwatts() - 16.0 * 0.18).abs() < 1e-9);
         assert!(b.to_string().contains("16 cells"));
+    }
+
+    #[test]
+    fn per_point_kernel_matches_the_full_sweep() {
+        let model = PhaseNoiseModel::Hajimiri { eta: 0.75 };
+        let range = (
+            Current::from_microamps(10.0),
+            Current::from_microamps(1000.0),
+        );
+        let full = power_noise_tradeoff(model, swing(), f_ring(), 4, 5, range, 7);
+        let grid = iss_log_grid(range, 7);
+        assert_eq!(grid.len(), full.len());
+        for (iss, pt) in grid.into_iter().zip(full) {
+            assert_eq!(tradeoff_point(model, swing(), f_ring(), 4, 5, iss), pt);
+        }
     }
 
     #[test]
@@ -346,7 +384,10 @@ mod tests {
             f_ring(),
             4,
             5,
-            (Current::from_microamps(100.0), Current::from_microamps(10.0)),
+            (
+                Current::from_microamps(100.0),
+                Current::from_microamps(10.0),
+            ),
             5,
         );
     }

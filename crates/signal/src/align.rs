@@ -142,7 +142,10 @@ mod tests {
         assert_eq!(decoded[0], Symbol::K28_5);
         let payload_start = decoded.iter().position(|s| *s == Symbol::data(0)).unwrap();
         assert!(decoded.len() - payload_start >= 256);
-        for (i, s) in decoded[payload_start..payload_start + 256].iter().enumerate() {
+        for (i, s) in decoded[payload_start..payload_start + 256]
+            .iter()
+            .enumerate()
+        {
             assert_eq!(*s, Symbol::data(i as u8));
         }
     }

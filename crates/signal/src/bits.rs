@@ -94,12 +94,7 @@ impl BitStream {
     /// Compares against another stream, returning the number of differing
     /// bits over the common prefix plus the length mismatch.
     pub fn hamming_distance(&self, other: &BitStream) -> usize {
-        let common = self
-            .0
-            .iter()
-            .zip(&other.0)
-            .filter(|(a, b)| a != b)
-            .count();
+        let common = self.0.iter().zip(&other.0).filter(|(a, b)| a != b).count();
         common + self.0.len().abs_diff(other.0.len())
     }
 }

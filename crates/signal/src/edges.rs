@@ -96,8 +96,8 @@ impl EdgeStream {
                         let width = bits.max(1) as usize;
                         let block = k / width;
                         let frac = (k % width) as f64 / width as f64;
-                        let value = block_values[block] * (1.0 - frac)
-                            + block_values[block + 1] * frac;
+                        let value =
+                            block_values[block] * (1.0 - frac) + block_values[block + 1] * frac;
                         displacement += Ui::new(value);
                     }
                 }

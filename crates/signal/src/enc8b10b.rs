@@ -399,7 +399,11 @@ impl Decoder8b10b {
         let ones = code.count_ones();
         // Track disparity from the wire: a balanced symbol keeps RD, an
         // unbalanced one flips it.
-        let rd_next = if ones == 5 { self.rd } else { self.rd.flipped() };
+        let rd_next = if ones == 5 {
+            self.rd
+        } else {
+            self.rd.flipped()
+        };
         match entry {
             None => {
                 self.rd = rd_next;
@@ -437,9 +441,7 @@ impl Decoder8b10b {
         );
         bits.chunks(10)
             .map(|chunk| {
-                let code = chunk
-                    .iter()
-                    .fold(0u16, |acc, &b| (acc << 1) | u16::from(b));
+                let code = chunk.iter().fold(0u16, |acc, &b| (acc << 1) | u16::from(b));
                 self.decode(code)
             })
             .collect()
@@ -525,11 +527,7 @@ mod tests {
     fn cid_is_at_most_five() {
         // The paper's §2.3 worst case: encoded streams never exceed 5 CID.
         let mut enc = Encoder8b10b::new();
-        let symbols: Vec<Symbol> = (0..=255u8)
-            .cycle()
-            .take(4096)
-            .map(Symbol::data)
-            .collect();
+        let symbols: Vec<Symbol> = (0..=255u8).cycle().take(4096).map(Symbol::data).collect();
         let bits = enc.encode_stream(&symbols);
         let runs = RunLengths::of(bits.bits());
         assert!(runs.max() <= 5, "max run {}", runs.max());
@@ -575,9 +573,7 @@ mod tests {
 
     #[test]
     fn invalid_control_symbol_panics() {
-        let result = std::panic::catch_unwind(|| {
-            Encoder8b10b::new().encode(Symbol::Control(0x00))
-        });
+        let result = std::panic::catch_unwind(|| Encoder8b10b::new().encode(Symbol::Control(0x00)));
         assert!(result.is_err());
     }
 

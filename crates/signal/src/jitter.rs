@@ -175,8 +175,8 @@ mod tests {
     fn is_none_detection() {
         assert!(JitterConfig::none().is_none());
         assert!(!JitterConfig::table1().is_none());
-        let zero_sj = JitterConfig::none()
-            .with_sj(SinusoidalJitter::new(Ui::ZERO, Freq::from_mhz(1.0)));
+        let zero_sj =
+            JitterConfig::none().with_sj(SinusoidalJitter::new(Ui::ZERO, Freq::from_mhz(1.0)));
         assert!(zero_sj.is_none());
     }
 

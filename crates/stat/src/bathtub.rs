@@ -90,7 +90,11 @@ impl Bathtub {
             .collect();
         let (&first, &last) = (ok.first()?, ok.last()?);
         let left = self.cross(first.checked_sub(1), first, target);
-        let right = self.cross(last.checked_add(1).filter(|&i| i < self.points.len()), last, target);
+        let right = self.cross(
+            last.checked_add(1).filter(|&i| i < self.points.len()),
+            last,
+            target,
+        );
         Some(Ui::new(right - left))
     }
 
@@ -192,23 +196,20 @@ mod tests {
             0.5,
             101,
         );
-        let o_small = small.opening_at(1e-12).expect("small-jitter eye must be open");
+        let o_small = small
+            .opening_at(1e-12)
+            .expect("small-jitter eye must be open");
         match large.opening_at(1e-12) {
             // An eye slammed completely shut by the larger jitter is the
             // strongest form of shrinkage.
             None => {}
-            Some(o_large) => assert!(
-                o_small.value() > o_large.value(),
-                "{o_small} vs {o_large}"
-            ),
+            Some(o_large) => assert!(o_small.value() > o_large.value(), "{o_small} vs {o_large}"),
         }
     }
 
     #[test]
     fn opening_none_when_eye_closed() {
-        let closed = GccoStatModel::new(
-            JitterSpec::paper_table1().with_sj(Ui::new(3.0), 0.45),
-        );
+        let closed = GccoStatModel::new(JitterSpec::paper_table1().with_sj(Ui::new(3.0), 0.45));
         let tub = Bathtub::scan(&closed, -0.4, 0.4, 41);
         assert!(tub.opening_at(1e-12).is_none());
     }

@@ -1,5 +1,6 @@
 //! Jitter-tolerance (JTOL) and frequency-tolerance (FTOL) search.
 
+use crate::erf::QTable;
 use crate::model::GccoStatModel;
 use gcco_units::Ui;
 use std::fmt;
@@ -32,6 +33,110 @@ impl fmt::Display for JtolPoint {
 /// Upper amplitude bound for the JTOL bisection, in UIpp.
 pub const JTOL_AMPLITUDE_CAP: f64 = 20.0;
 
+/// Amplitude resolution of the JTOL bisection, in UIpp: the search stops
+/// once the pass/fail bracket is this tight (≈ 18 halvings from the full
+/// cap instead of a fixed 48), which is far below both the paper's plot
+/// resolution and the model's own discretization error.
+pub const JTOL_AMPLITUDE_TOL: f64 = 1e-4;
+
+/// Offset resolution of the FTOL bisection (fractional frequency).
+const FTOL_TOL: f64 = 1e-5;
+
+/// Shared JTOL bisection engine: tolerance-based bracket halving with an
+/// optional warm-start `hint` (typically the previous frequency point's
+/// tolerance) that seeds a narrow bracket and falls back to the full
+/// `[0, cap]` search when the tolerance moved more than ±25–30 % between
+/// points.
+fn jtol_search(
+    ber_at: &mut dyn FnMut(f64) -> f64,
+    freq_norm: f64,
+    target_ber: f64,
+    hint: Option<f64>,
+) -> JtolPoint {
+    const CAP: f64 = JTOL_AMPLITUDE_CAP;
+    const TOL: f64 = JTOL_AMPLITUDE_TOL;
+    let censored = JtolPoint {
+        freq_norm,
+        amplitude_pp: Ui::new(CAP),
+        censored: true,
+    };
+    let zero = JtolPoint {
+        freq_norm,
+        amplitude_pp: Ui::ZERO,
+        censored: false,
+    };
+
+    let (mut lo, mut hi) = match hint {
+        Some(h) if h > 0.0 && h < CAP => {
+            let h_lo = (0.75 * h - TOL).max(0.0);
+            let h_hi = (1.3 * h + TOL).min(CAP);
+            if ber_at(h_lo) > target_ber {
+                // Tolerance shrank past the hint: bracket from below.
+                if ber_at(0.0) > target_ber {
+                    return zero;
+                }
+                (0.0, h_lo)
+            } else if ber_at(h_hi) <= target_ber {
+                // Tolerance grew past the hint: bracket from above.
+                if ber_at(CAP) <= target_ber {
+                    return censored;
+                }
+                (h_hi, CAP)
+            } else {
+                (h_lo, h_hi)
+            }
+        }
+        _ => {
+            if ber_at(CAP) <= target_ber {
+                return censored;
+            }
+            if ber_at(0.0) > target_ber {
+                return zero;
+            }
+            (0.0, CAP)
+        }
+    };
+
+    // Bounded-iteration guard on top of the tolerance exit.
+    for _ in 0..48 {
+        if hi - lo <= TOL {
+            break;
+        }
+        let mid = 0.5 * (lo + hi);
+        if ber_at(mid) <= target_ber {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    JtolPoint {
+        freq_norm,
+        amplitude_pp: Ui::new(lo),
+        censored: false,
+    }
+}
+
+/// [`jtol_at`] with an explicit warm-start hint and optional [`QTable`]
+/// fast path — the sweep-engine entry point.
+pub(crate) fn jtol_at_impl(
+    model: &GccoStatModel,
+    freq_norm: f64,
+    target_ber: f64,
+    hint: Option<f64>,
+    tab: Option<&QTable>,
+) -> JtolPoint {
+    assert!(
+        target_ber > 0.0 && target_ber < 1.0,
+        "invalid target BER {target_ber}"
+    );
+    assert!(freq_norm > 0.0, "invalid SJ frequency {freq_norm}");
+    let mut ber_at = |amp_pp: f64| match tab {
+        None => model.ber_with_sj(Ui::new(amp_pp), freq_norm),
+        Some(t) => model.ber_with_sj_cached(Ui::new(amp_pp), freq_norm, t),
+    };
+    jtol_search(&mut ber_at, freq_norm, target_ber, hint)
+}
+
 /// Maximum tolerable sinusoidal-jitter amplitude (peak-to-peak UI) at
 /// `freq_norm` for which the model's BER stays at or below `target_ber`.
 ///
@@ -53,61 +158,27 @@ pub const JTOL_AMPLITUDE_CAP: f64 = 20.0;
 ///         "low-frequency jitter is tracked, near-Nyquist jitter is not");
 /// ```
 pub fn jtol_at(model: &GccoStatModel, freq_norm: f64, target_ber: f64) -> JtolPoint {
-    assert!(
-        target_ber > 0.0 && target_ber < 1.0,
-        "invalid target BER {target_ber}"
-    );
-    assert!(freq_norm > 0.0, "invalid SJ frequency {freq_norm}");
-
-    let ber_at = |amp_pp: f64| {
-        let spec = model
-            .spec()
-            .clone()
-            .with_sj(Ui::new(amp_pp), freq_norm);
-        model.clone().with_spec(spec).ber()
-    };
-
-    if ber_at(JTOL_AMPLITUDE_CAP) <= target_ber {
-        return JtolPoint {
-            freq_norm,
-            amplitude_pp: Ui::new(JTOL_AMPLITUDE_CAP),
-            censored: true,
-        };
-    }
-    if ber_at(0.0) > target_ber {
-        // Channel jitter alone already fails: zero tolerance.
-        return JtolPoint {
-            freq_norm,
-            amplitude_pp: Ui::ZERO,
-            censored: false,
-        };
-    }
-    let (mut lo, mut hi) = (0.0f64, JTOL_AMPLITUDE_CAP);
-    for _ in 0..48 {
-        let mid = 0.5 * (lo + hi);
-        if ber_at(mid) <= target_ber {
-            lo = mid;
-        } else {
-            hi = mid;
-        }
-    }
-    JtolPoint {
-        freq_norm,
-        amplitude_pp: Ui::new(lo),
-        censored: false,
-    }
+    jtol_at_impl(model, freq_norm, target_ber, None, None)
 }
 
 /// Computes a full jitter-tolerance curve over the given normalized
 /// frequencies.
-pub fn jtol_curve(
-    model: &GccoStatModel,
-    freqs_norm: &[f64],
-    target_ber: f64,
-) -> Vec<JtolPoint> {
+///
+/// Consecutive points warm-start each other: each frequency's bisection
+/// bracket is seeded from its neighbour's tolerance (JTOL curves are smooth
+/// on a log-frequency grid), cutting the evaluations per point roughly in
+/// half versus independent cold searches. Results agree with per-point
+/// [`jtol_at`] to within [`JTOL_AMPLITUDE_TOL`]. For the order-independent
+/// parallel variant see `SweepContext::jtol_curve` in the sweep module.
+pub fn jtol_curve(model: &GccoStatModel, freqs_norm: &[f64], target_ber: f64) -> Vec<JtolPoint> {
+    let mut hint = None;
     freqs_norm
         .iter()
-        .map(|&f| jtol_at(model, f, target_ber))
+        .map(|&f| {
+            let p = jtol_at_impl(model, f, target_ber, hint, None);
+            hint = (!p.censored && p.amplitude_pp > Ui::ZERO).then(|| p.amplitude_pp.value());
+            p
+        })
         .collect()
 }
 
@@ -140,11 +211,7 @@ pub fn ftol(model: &GccoStatModel, target_ber: f64) -> f64 {
         target_ber > 0.0 && target_ber < 1.0,
         "invalid target BER {target_ber}"
     );
-    let worst_ber = |eps: f64| {
-        let plus = model.clone().with_freq_offset(eps).ber();
-        let minus = model.clone().with_freq_offset(-eps).ber();
-        plus.max(minus)
-    };
+    let worst_ber = |eps: f64| model.ber_at_offset(eps).max(model.ber_at_offset(-eps));
     const CAP: f64 = 0.2;
     if worst_ber(0.0) > target_ber {
         return 0.0;
@@ -154,6 +221,9 @@ pub fn ftol(model: &GccoStatModel, target_ber: f64) -> f64 {
     }
     let (mut lo, mut hi) = (0.0f64, CAP);
     for _ in 0..48 {
+        if hi - lo <= FTOL_TOL {
+            break;
+        }
         let mid = 0.5 * (lo + hi);
         if worst_ber(mid) <= target_ber {
             lo = mid;
@@ -198,10 +268,8 @@ mod tests {
         let p = jtol_at(&model(), 0.4, 1e-12);
         let spec = JitterSpec::paper_table1().with_sj(p.amplitude_pp, 0.4);
         let at = GccoStatModel::new(spec.clone()).ber();
-        let above = GccoStatModel::new(
-            spec.with_sj(p.amplitude_pp + gcco_units::Ui::new(0.02), 0.4),
-        )
-        .ber();
+        let above =
+            GccoStatModel::new(spec.with_sj(p.amplitude_pp + gcco_units::Ui::new(0.02), 0.4)).ber();
         assert!(at <= 1e-12, "at tolerance: {at}");
         assert!(above > 1e-12, "just above tolerance: {above}");
     }
@@ -256,10 +324,9 @@ mod tests {
 
     #[test]
     fn zero_tolerance_when_channel_jitter_already_fails() {
-        let hopeless = GccoStatModel::new(
-            JitterSpec::paper_table1().with_sj(gcco_units::Ui::ZERO, 0.1),
-        )
-        .with_freq_offset(0.12);
+        let hopeless =
+            GccoStatModel::new(JitterSpec::paper_table1().with_sj(gcco_units::Ui::ZERO, 0.1))
+                .with_freq_offset(0.12);
         let p = jtol_at(&hopeless, 0.3, 1e-12);
         assert_eq!(p.amplitude_pp, gcco_units::Ui::ZERO);
     }
@@ -279,5 +346,36 @@ mod tests {
     #[should_panic(expected = "invalid target BER")]
     fn rejects_bad_target() {
         let _ = jtol_at(&model(), 0.1, 0.0);
+    }
+
+    #[test]
+    fn warm_started_curve_matches_cold_points() {
+        // The warm-started serial curve must agree with independent cold
+        // bisection at every frequency to within the bracket tolerance.
+        let m = model();
+        let freqs = log_freq_grid(1e-3, 0.45, 7);
+        let warm = jtol_curve(&m, &freqs, 1e-12);
+        for (f, w) in freqs.iter().zip(&warm) {
+            let cold = jtol_at(&m, *f, 1e-12);
+            assert_eq!(w.censored, cold.censored, "f = {f}");
+            assert!(
+                (w.amplitude_pp.value() - cold.amplitude_pp.value()).abs()
+                    <= 2.0 * JTOL_AMPLITUDE_TOL,
+                "f = {f}: warm {w} vs cold {cold}"
+            );
+        }
+    }
+
+    #[test]
+    fn bisection_bracket_is_within_tolerance() {
+        // lo passes, lo + TOL (≥ hi) fails: the returned amplitude is the
+        // passing edge of a TOL-wide bracket.
+        let p = jtol_at(&model(), 0.35, 1e-12);
+        let m = model();
+        assert!(m.ber_with_sj(p.amplitude_pp, 0.35) <= 1e-12);
+        assert!(
+            m.ber_with_sj(p.amplitude_pp + Ui::new(2.0 * JTOL_AMPLITUDE_TOL), 0.35) > 1e-12,
+            "bracket looser than advertised"
+        );
     }
 }

@@ -49,14 +49,18 @@ mod model;
 mod pdf;
 mod spec;
 mod spectrum;
+mod sweep;
 
 pub use bathtub::{total_jitter_pp, Bathtub, BathtubPoint};
 pub use decompose::{decompose_tie, JitterDecomposition};
-pub use erf::{erf, erfc, norm_pdf, q_function, q_inverse, rj_crest_factor};
-pub use jtol::{ftol, jtol_at, jtol_curve, log_freq_grid, JtolPoint, JTOL_AMPLITUDE_CAP};
+pub use erf::{erf, erfc, norm_pdf, q_function, q_inverse, rj_crest_factor, QTable};
+pub use jtol::{
+    ftol, jtol_at, jtol_curve, log_freq_grid, JtolPoint, JTOL_AMPLITUDE_CAP, JTOL_AMPLITUDE_TOL,
+};
 pub use mask::TolMask;
 pub use mc::{monte_carlo_ber, McResult};
 pub use model::{EdgeModel, GccoStatModel, RunDist, RunErrorProb};
-pub use pdf::Pdf;
+pub use pdf::{ConvScratch, Pdf};
 pub use spec::{JitterSpec, SamplingTap};
 pub use spectrum::{amplitude_spectrum, dominant_tone, fft_in_place, tone_amplitude};
+pub use sweep::{available_workers, par_map_grid, SweepContext};

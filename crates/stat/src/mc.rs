@@ -87,10 +87,9 @@ pub fn monte_carlo_ber(model: &GccoStatModel, n_runs: u64, seed: u64) -> McResul
         }
         let boundary = l as f64 + delta_j;
 
-        let x_l = (l as f64 - 0.5 + tap) / (1.0 + eps)
-            + gaussian(&mut rng) * spec.osc_sigma_ui(l);
-        let x_next = (l as f64 + 0.5 + tap) / (1.0 + eps)
-            + gaussian(&mut rng) * spec.osc_sigma_ui(l + 1);
+        let x_l = (l as f64 - 0.5 + tap) / (1.0 + eps) + gaussian(&mut rng) * spec.osc_sigma_ui(l);
+        let x_next =
+            (l as f64 + 0.5 + tap) / (1.0 + eps) + gaussian(&mut rng) * spec.osc_sigma_ui(l + 1);
 
         if x_l >= boundary {
             result.missing += 1;
@@ -132,10 +131,8 @@ mod tests {
     #[test]
     fn analytic_matches_monte_carlo_high_ber() {
         for (amp, freq, eps) in [(0.8, 0.45, 0.0), (0.6, 0.35, 0.02), (1.0, 0.25, -0.01)] {
-            let model = GccoStatModel::new(
-                JitterSpec::paper_table1().with_sj(Ui::new(amp), freq),
-            )
-            .with_freq_offset(eps);
+            let model = GccoStatModel::new(JitterSpec::paper_table1().with_sj(Ui::new(amp), freq))
+                .with_freq_offset(eps);
             let analytic = model.ber();
             assert!(analytic > 1e-4, "pick harsher settings ({analytic})");
             let mc = monte_carlo_ber(&model, 400_000, 42);
@@ -151,9 +148,7 @@ mod tests {
 
     #[test]
     fn monte_carlo_is_deterministic_per_seed() {
-        let model = GccoStatModel::new(
-            JitterSpec::paper_table1().with_sj(Ui::new(0.8), 0.4),
-        );
+        let model = GccoStatModel::new(JitterSpec::paper_table1().with_sj(Ui::new(0.8), 0.4));
         let a = monte_carlo_ber(&model, 50_000, 7);
         let b = monte_carlo_ber(&model, 50_000, 7);
         assert_eq!(a, b);
@@ -169,9 +164,7 @@ mod tests {
 
     #[test]
     fn ci_shrinks_with_sample_count() {
-        let model = GccoStatModel::new(
-            JitterSpec::paper_table1().with_sj(Ui::new(0.8), 0.4),
-        );
+        let model = GccoStatModel::new(JitterSpec::paper_table1().with_sj(Ui::new(0.8), 0.4));
         let small = monte_carlo_ber(&model, 20_000, 3);
         let large = monte_carlo_ber(&model, 200_000, 3);
         assert!(large.ci99() < small.ci99());

@@ -49,9 +49,29 @@
 //! independent (DJ difference = triangular of twice the width, RJ variance
 //! doubled) — a pessimistic bound useful for sensitivity studies.
 
-use crate::pdf::Pdf;
+use crate::erf::QTable;
+use crate::pdf::{ConvScratch, Pdf};
 use crate::spec::{JitterSpec, SamplingTap};
+use gcco_units::Ui;
+use std::cell::RefCell;
 use std::fmt;
+
+/// Per-thread reusable buffers for the BER hot path: the sinusoidal
+/// component PDF, the box-convolution intermediates, and the prefix-sum
+/// workspace. One instance lives in a thread-local so repeated `ber()`
+/// evaluations — and every worker thread of a parallel sweep — perform no
+/// per-call allocation. Contents never affect results.
+#[derive(Debug, Default)]
+struct BerScratch {
+    sin: Pdf,
+    tmp: Pdf,
+    bounded: Pdf,
+    conv: ConvScratch,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<BerScratch> = RefCell::new(BerScratch::default());
+}
 
 /// How the two transitions bounding a run share their DJ/RJ (see module
 /// docs).
@@ -194,6 +214,13 @@ pub struct GccoStatModel {
     include_slip: bool,
     gating_tau_ui: Option<f64>,
     grid_step: f64,
+    /// Cached amplitude/offset-independent core: the DJ base PDF at the
+    /// nominal grid step (uniform, or self-convolved for independent edges)
+    /// and the per-edge RJ variance. Rebuilt by the builders that can
+    /// change it; every other sweep axis (SJ amplitude/frequency, frequency
+    /// offset, phase, tap) reuses it untouched.
+    dj_base: Pdf,
+    rj_var: f64,
 }
 
 impl GccoStatModel {
@@ -202,6 +229,8 @@ impl GccoStatModel {
     /// at the spec's `cid_max`.
     pub fn new(spec: JitterSpec) -> GccoStatModel {
         let run_dist = RunDist::geometric(spec.cid_max.max(1));
+        let grid_step = 1e-3;
+        let (dj_base, rj_var) = Self::build_dj_base(&spec, EdgeModel::ResyncReferenced, grid_step);
         GccoStatModel {
             spec,
             tap: SamplingTap::Standard,
@@ -210,14 +239,38 @@ impl GccoStatModel {
             edge_model: EdgeModel::ResyncReferenced,
             include_slip: true,
             gating_tau_ui: None,
-            grid_step: 1e-3,
+            grid_step,
+            dj_base,
+            rj_var,
         }
+    }
+
+    /// DJ base PDF (per the edge-correlation convention) at `step`, plus
+    /// the per-edge Gaussian variance to fold in analytically.
+    fn build_dj_base(spec: &JitterSpec, edge_model: EdgeModel, step: f64) -> (Pdf, f64) {
+        let dj_pp = spec.dj_pp.value();
+        match edge_model {
+            EdgeModel::ResyncReferenced => (Pdf::uniform(dj_pp, step), spec.rj_rms.value().powi(2)),
+            EdgeModel::IndependentEdges => (
+                Pdf::uniform(dj_pp, step).convolve_box(dj_pp),
+                2.0 * spec.rj_rms.value().powi(2),
+            ),
+        }
+    }
+
+    /// Rebuilds the cached DJ core after a builder changed one of its
+    /// inputs (spec, edge model or grid step).
+    fn refresh_dj_base(&mut self) {
+        let (dj_base, rj_var) = Self::build_dj_base(&self.spec, self.edge_model, self.grid_step);
+        self.dj_base = dj_base;
+        self.rj_var = rj_var;
     }
 
     /// Replaces the jitter specification, keeping every other setting
     /// (tap, offset, run distribution, …).
     pub fn with_spec(mut self, spec: JitterSpec) -> GccoStatModel {
         self.spec = spec;
+        self.refresh_dj_base();
         self
     }
 
@@ -252,6 +305,7 @@ impl GccoStatModel {
     /// Selects the edge-correlation convention.
     pub fn with_edge_model(mut self, edge_model: EdgeModel) -> GccoStatModel {
         self.edge_model = edge_model;
+        self.refresh_dj_base();
         self
     }
 
@@ -307,6 +361,7 @@ impl GccoStatModel {
     pub fn with_grid_step(mut self, step: f64) -> GccoStatModel {
         assert!(step > 0.0 && step <= 0.01, "grid step {step} out of range");
         self.grid_step = step;
+        self.refresh_dj_base();
         self
     }
 
@@ -335,50 +390,70 @@ impl GccoStatModel {
         self.edge_model
     }
 
-    /// Bounded (gridded) part of the closing-transition displacement PDF
-    /// for a run of length `l`, and the total Gaussian sigma to fold in
-    /// analytically.
+    /// Error probabilities for a run of length `l` under explicit SJ and
+    /// frequency-offset values — the shared core behind every public BER
+    /// entry point. `tab` selects the exact `Q` (None) or the precomputed
+    /// table fast path (Some); `scratch` supplies reusable buffers.
     ///
-    /// The grid step adapts to the total bounded width (≤ 2048 bins) so
-    /// wide sinusoidal sweeps stay cheap; the deep tails are exact anyway
-    /// because the Gaussian part is folded in analytically.
-    fn closing_edge_pdf(&self, l: u32) -> (Pdf, f64) {
-        let sj_amp = self.spec.sj_drift_amplitude(l);
+    /// The bounded (gridded) closing-edge displacement PDF combines the
+    /// cached DJ base with the run-dependent sinusoidal drift via a box
+    /// convolution; the grid step adapts to the total bounded width
+    /// (≤ 2048 bins) so wide sinusoidal sweeps stay cheap, and the deep
+    /// tails are exact anyway because the Gaussian part is folded in
+    /// analytically.
+    #[allow(clippy::too_many_arguments)]
+    fn run_error_prob_eval(
+        &self,
+        l: u32,
+        extra_phase: f64,
+        sj_pp: f64,
+        sj_freq: f64,
+        freq_offset: f64,
+        tab: Option<&QTable>,
+        scratch: &mut BerScratch,
+    ) -> RunErrorProb {
+        assert!(l >= 1, "run length must be at least 1");
+        let dj_pp = self.spec.dj_pp.value();
+        let sj_amp = sj_pp * (std::f64::consts::PI * sj_freq * l as f64).sin().abs();
         let dj_width = match self.edge_model {
-            EdgeModel::ResyncReferenced => self.spec.dj_pp.value(),
-            EdgeModel::IndependentEdges => 2.0 * self.spec.dj_pp.value(),
+            EdgeModel::ResyncReferenced => dj_pp,
+            EdgeModel::IndependentEdges => 2.0 * dj_pp,
         };
         let width = dj_width + 2.0 * sj_amp;
         let step = self.grid_step.max(width / 2048.0);
-        let (dj_pdf, rj_var) = match self.edge_model {
-            EdgeModel::ResyncReferenced => (
-                Pdf::uniform(self.spec.dj_pp.value(), step),
-                self.spec.rj_rms.value().powi(2),
-            ),
-            EdgeModel::IndependentEdges => {
-                let u = Pdf::uniform(self.spec.dj_pp.value(), step);
-                (u.convolve(&u), 2.0 * self.spec.rj_rms.value().powi(2))
-            }
-        };
-        let bounded = if sj_amp > step {
-            dj_pdf.convolve(&Pdf::sinusoidal(2.0 * sj_amp, step))
+        let rj_var = self.rj_var;
+
+        // DJ base: cached at the nominal step, rebuilt only when a very
+        // wide sinusoid forces a coarser adaptive grid.
+        let coarse_base;
+        let dj_base = if step > self.grid_step {
+            coarse_base = Self::build_dj_base(&self.spec, self.edge_model, step).0;
+            &coarse_base
         } else {
-            dj_pdf
+            &self.dj_base
         };
-        (bounded, rj_var)
-    }
+        let bounded: &Pdf = if sj_amp > step {
+            scratch.sin.set_sinusoidal(2.0 * sj_amp, step);
+            match self.edge_model {
+                EdgeModel::ResyncReferenced => {
+                    scratch
+                        .sin
+                        .convolve_box_into(dj_pp, &mut scratch.conv, &mut scratch.bounded);
+                }
+                EdgeModel::IndependentEdges => {
+                    scratch
+                        .sin
+                        .convolve_box_into(dj_pp, &mut scratch.conv, &mut scratch.tmp);
+                    scratch
+                        .tmp
+                        .convolve_box_into(dj_pp, &mut scratch.conv, &mut scratch.bounded);
+                }
+            }
+            &scratch.bounded
+        } else {
+            dj_base
+        };
 
-    /// Nominal position of sampling edge `k` (UI after the resync
-    /// transition), including an extra phase offset in UI.
-    fn edge_position(&self, k: u32, extra_phase: f64) -> f64 {
-        (k as f64 - 0.5 + self.tap.phase_offset_ui() + extra_phase) / (1.0 + self.freq_offset)
-    }
-
-    /// Error probabilities for a run of length `l` with an additional
-    /// sampling-phase offset (used for bathtub scans).
-    pub fn run_error_prob_at_phase(&self, l: u32, extra_phase: f64) -> RunErrorProb {
-        assert!(l >= 1, "run length must be at least 1");
-        let (bounded, rj_var) = self.closing_edge_pdf(l);
         // Effective boundary: the closing transition, pulled in by the
         // gating kill margin when that refinement is enabled. The margin
         // depends on the tap: a clock edge survives the freeze only if its
@@ -389,23 +464,30 @@ impl GccoStatModel {
         // missing-pulse rate is unchanged, only its jitter margins and
         // slip exposure move (which is what Figs. 16/17 show and what the
         // event-driven model confirms).
-        let kill = self
-            .gating_tau_ui
-            .map_or(0.0, |tau| {
-                (tau - 0.5 - self.tap.phase_offset_ui()) / (1.0 + self.freq_offset)
-            });
+        let kill = self.gating_tau_ui.map_or(0.0, |tau| {
+            (tau - 0.5 - self.tap.phase_offset_ui()) / (1.0 + freq_offset)
+        });
         let boundary = l as f64 - kill;
+        let edge_position = |k: u32| {
+            (k as f64 - 0.5 + self.tap.phase_offset_ui() + extra_phase) / (1.0 + freq_offset)
+        };
 
-        let mu_l = self.edge_position(l, extra_phase);
+        let mu_l = edge_position(l);
         let sigma_l = (self.spec.osc_sigma_ui(l).powi(2) + rj_var).sqrt();
         // Missing pulse: X_L ≥ B_eff + ΔJ  ⇔  ΔJ − N(0,σ) ≤ μ_L − B_eff.
-        let missing = bounded.gaussian_exceed_below(mu_l - boundary, sigma_l);
+        let missing = match tab {
+            None => bounded.gaussian_exceed_below(mu_l - boundary, sigma_l),
+            Some(t) => bounded.gaussian_exceed_below_with(mu_l - boundary, sigma_l, t),
+        };
 
         let slip = if self.include_slip {
-            let mu_next = self.edge_position(l + 1, extra_phase);
+            let mu_next = edge_position(l + 1);
             let sigma_next = (self.spec.osc_sigma_ui(l + 1).powi(2) + rj_var).sqrt();
             // Bit slip: X_{L+1} ≤ B_eff + ΔJ  ⇔  ΔJ + N(0,σ) ≥ μ_{L+1} − B_eff.
-            bounded.gaussian_exceed_above(mu_next - boundary, sigma_next)
+            match tab {
+                None => bounded.gaussian_exceed_above(mu_next - boundary, sigma_next),
+                Some(t) => bounded.gaussian_exceed_above_with(mu_next - boundary, sigma_next, t),
+            }
         } else {
             0.0
         };
@@ -413,29 +495,147 @@ impl GccoStatModel {
         RunErrorProb { missing, slip }
     }
 
+    /// Error probabilities for a run of length `l` with an additional
+    /// sampling-phase offset (used for bathtub scans).
+    pub fn run_error_prob_at_phase(&self, l: u32, extra_phase: f64) -> RunErrorProb {
+        SCRATCH.with(|s| {
+            self.run_error_prob_eval(
+                l,
+                extra_phase,
+                self.spec.sj_pp.value(),
+                self.spec.sj_freq_norm,
+                self.freq_offset,
+                None,
+                &mut s.borrow_mut(),
+            )
+        })
+    }
+
     /// Error probabilities for a run of length `l`.
     pub fn run_error_prob(&self, l: u32) -> RunErrorProb {
         self.run_error_prob_at_phase(l, 0.0)
     }
 
+    /// The weighted sum over run lengths behind every `ber*` entry point.
+    fn ber_eval(
+        &self,
+        extra_phase: f64,
+        sj_pp: f64,
+        sj_freq: f64,
+        freq_offset: f64,
+        tab: Option<&QTable>,
+    ) -> f64 {
+        let runs_per_bit = 1.0 / self.run_dist.mean();
+        SCRATCH.with(|s| {
+            let scratch = &mut s.borrow_mut();
+            let mut ber = 0.0;
+            for l in 1..=self.run_dist.max_len() {
+                let p_run = self.run_dist.prob(l);
+                if p_run == 0.0 {
+                    continue;
+                }
+                ber += p_run
+                    * runs_per_bit
+                    * self
+                        .run_error_prob_eval(
+                            l,
+                            extra_phase,
+                            sj_pp,
+                            sj_freq,
+                            freq_offset,
+                            tab,
+                            scratch,
+                        )
+                        .total();
+            }
+            ber.min(1.0)
+        })
+    }
+
     /// Bit error ratio with an additional sampling-phase offset in UI
     /// (positive = later sampling).
     pub fn ber_at_phase(&self, extra_phase: f64) -> f64 {
-        let runs_per_bit = 1.0 / self.run_dist.mean();
-        let mut ber = 0.0;
-        for l in 1..=self.run_dist.max_len() {
-            let p_run = self.run_dist.prob(l);
-            if p_run == 0.0 {
-                continue;
-            }
-            ber += p_run * runs_per_bit * self.run_error_prob_at_phase(l, extra_phase).total();
-        }
-        ber.min(1.0)
+        self.ber_eval(
+            extra_phase,
+            self.spec.sj_pp.value(),
+            self.spec.sj_freq_norm,
+            self.freq_offset,
+            None,
+        )
     }
 
     /// Bit error ratio under the configured conditions.
     pub fn ber(&self) -> f64 {
         self.ber_at_phase(0.0)
+    }
+
+    /// Bit error ratio with the sinusoidal jitter overridden to
+    /// `amplitude_pp` at `freq_norm`, **without cloning the model** —
+    /// returns exactly what
+    /// `self.clone().with_spec(spec.with_sj(amplitude_pp, freq_norm)).ber()`
+    /// would, but reuses the cached DJ core. This is the JTOL bisection
+    /// workhorse (tens of evaluations per tolerance point).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive/non-finite `freq_norm` (mirroring
+    /// [`JitterSpec::with_sj`]).
+    pub fn ber_with_sj(&self, amplitude_pp: Ui, freq_norm: f64) -> f64 {
+        assert!(
+            freq_norm > 0.0 && freq_norm.is_finite(),
+            "invalid normalized SJ frequency {freq_norm}"
+        );
+        self.ber_eval(0.0, amplitude_pp.value(), freq_norm, self.freq_offset, None)
+    }
+
+    /// [`GccoStatModel::ber_with_sj`] using a precomputed [`QTable`] for
+    /// the Gaussian tail — the sweep-engine fast path (~1e-9 relative
+    /// deviation from the exact sum; see [`Pdf::gaussian_exceed_above_with`]).
+    pub fn ber_with_sj_cached(&self, amplitude_pp: Ui, freq_norm: f64, tab: &QTable) -> f64 {
+        assert!(
+            freq_norm > 0.0 && freq_norm.is_finite(),
+            "invalid normalized SJ frequency {freq_norm}"
+        );
+        self.ber_eval(
+            0.0,
+            amplitude_pp.value(),
+            freq_norm,
+            self.freq_offset,
+            Some(tab),
+        )
+    }
+
+    /// Bit error ratio with the oscillator frequency offset overridden to
+    /// `epsilon`, without cloning the model (the FTOL bisection workhorse).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `−0.5 < ε < 0.5` (mirroring
+    /// [`GccoStatModel::with_freq_offset`]).
+    pub fn ber_at_offset(&self, epsilon: f64) -> f64 {
+        assert!(
+            epsilon.is_finite() && epsilon.abs() < 0.5,
+            "unreasonable frequency offset {epsilon}"
+        );
+        self.ber_eval(
+            0.0,
+            self.spec.sj_pp.value(),
+            self.spec.sj_freq_norm,
+            epsilon,
+            None,
+        )
+    }
+
+    /// [`GccoStatModel::ber`] with the [`QTable`] fast path (used by sweep
+    /// grids where the same model is evaluated at thousands of points).
+    pub fn ber_cached(&self, tab: &QTable) -> f64 {
+        self.ber_eval(
+            0.0,
+            self.spec.sj_pp.value(),
+            self.spec.sj_freq_norm,
+            self.freq_offset,
+            Some(tab),
+        )
     }
 }
 
@@ -512,8 +712,7 @@ mod tests {
 
     #[test]
     fn frequency_offset_hurts_long_runs_most() {
-        let model = GccoStatModel::new(table1().with_sj(Ui::new(0.2), 0.25))
-            .with_freq_offset(0.02);
+        let model = GccoStatModel::new(table1().with_sj(Ui::new(0.2), 0.25)).with_freq_offset(0.02);
         let p1 = model.run_error_prob(1).total();
         let p5 = model.run_error_prob(5).total();
         assert!(p5 > p1, "L=5 ({p5}) must err more than L=1 ({p1})");
@@ -585,8 +784,7 @@ mod tests {
 
     #[test]
     fn run_dist_from_prbs7_measurement() {
-        let bits = gcco_signal::Prbs::new(gcco_signal::PrbsOrder::P7)
-            .take_bits(127 * 20);
+        let bits = gcco_signal::Prbs::new(gcco_signal::PrbsOrder::P7).take_bits(127 * 20);
         let runs = gcco_signal::RunLengths::of(bits.bits());
         let d = RunDist::from_run_lengths(&runs);
         assert_eq!(d.max_len(), 7);
@@ -616,7 +814,10 @@ mod tests {
         let model = GccoStatModel::new(table1().with_sj(Ui::new(0.2), 0.3));
         let nominal = model.ber_at_phase(0.0);
         let late = model.ber_at_phase(0.45);
-        assert!(late > nominal.max(1e-15) * 10.0, "late {late} nominal {nominal}");
+        assert!(
+            late > nominal.max(1e-15) * 10.0,
+            "late {late} nominal {nominal}"
+        );
     }
 
     #[test]
@@ -698,6 +899,55 @@ mod tests {
     #[should_panic(expected = "design window")]
     fn gating_margin_rejects_tau_outside_window() {
         let _ = GccoStatModel::new(table1()).with_gating_margin(0.4);
+    }
+
+    #[test]
+    fn ber_with_sj_matches_clone_path() {
+        let model = GccoStatModel::new(table1()).with_freq_offset(-0.005);
+        for (amp, freq) in [(0.05, 0.3), (0.4, 0.1), (1.5, 0.02), (6.0, 0.001)] {
+            let borrowed = model.ber_with_sj(Ui::new(amp), freq);
+            let cloned = model
+                .clone()
+                .with_spec(model.spec().clone().with_sj(Ui::new(amp), freq))
+                .ber();
+            assert_eq!(borrowed, cloned, "amp={amp} freq={freq}");
+        }
+    }
+
+    #[test]
+    fn ber_at_offset_matches_clone_path() {
+        let model = GccoStatModel::new(table1().with_sj(Ui::new(0.2), 0.25));
+        for eps in [-0.02, -0.005, 0.0, 0.01] {
+            let borrowed = model.ber_at_offset(eps);
+            let cloned = model.clone().with_freq_offset(eps).ber();
+            assert_eq!(borrowed, cloned, "eps={eps}");
+        }
+    }
+
+    #[test]
+    fn cached_q_path_tracks_exact_path() {
+        let tab = crate::QTable::new();
+        let model = GccoStatModel::new(table1()).with_freq_offset(-0.01);
+        for (amp, freq) in [(0.1, 0.4), (0.6, 0.2), (2.0, 0.01)] {
+            let exact = model.ber_with_sj(Ui::new(amp), freq);
+            let fast = model.ber_with_sj_cached(Ui::new(amp), freq, &tab);
+            assert!(
+                (fast - exact).abs() <= 1e-6 * exact + 1e-30,
+                "amp={amp} freq={freq}: {fast} vs {exact}"
+            );
+        }
+        let exact = model.ber();
+        let fast = model.ber_cached(&tab);
+        assert!(
+            (fast - exact).abs() <= 1e-6 * exact + 1e-30,
+            "{fast} vs {exact}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid normalized SJ frequency")]
+    fn ber_with_sj_rejects_bad_frequency() {
+        let _ = GccoStatModel::new(table1()).ber_with_sj(Ui::new(0.1), 0.0);
     }
 
     #[test]

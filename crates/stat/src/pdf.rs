@@ -8,8 +8,23 @@
 //! component becomes a [`Pdf`] on a uniform grid and components are combined
 //! by [`Pdf::convolve`].
 
-use crate::erf::q_function;
+use crate::erf::{q_function, QTable};
 use std::fmt;
+
+/// Reusable workspace for [`Pdf::convolve_box_into`] and
+/// [`Pdf::set_sinusoidal`], so sweep hot loops (thousands of convolutions
+/// per BER grid) perform no per-call allocation.
+#[derive(Clone, Debug, Default)]
+pub struct ConvScratch {
+    prefix: Vec<f64>,
+}
+
+impl ConvScratch {
+    /// An empty workspace; buffers grow on first use and are then reused.
+    pub fn new() -> ConvScratch {
+        ConvScratch::default()
+    }
+}
 
 /// A probability density sampled on a uniform grid.
 ///
@@ -100,24 +115,8 @@ impl Pdf {
     /// centred on zero — the distribution of a sampled sinusoid (the
     /// sinusoidal-jitter model).
     pub fn sinusoidal(pp: f64, step: f64) -> Pdf {
-        assert!(pp >= 0.0, "negative width {pp}");
-        if pp < 2.0 * step {
-            return Pdf::dirac(0.0, step);
-        }
-        let a = pp / 2.0;
-        let half = (a / step).ceil() as i64;
-        let density: Vec<f64> = (-half..=half)
-            .map(|i| {
-                let x = i as f64 * step;
-                // Integrate the arcsine density over the bin to tame the
-                // endpoint singularities: P(bin) = (asin(hi/a)-asin(lo/a))/π.
-                let lo = ((x - 0.5 * step) / a).clamp(-1.0, 1.0);
-                let hi = ((x + 0.5 * step) / a).clamp(-1.0, 1.0);
-                (hi.asin() - lo.asin()) / std::f64::consts::PI / step
-            })
-            .collect();
-        let mut pdf = Pdf::from_samples(-(half as f64) * step, step, density);
-        pdf.renormalize();
+        let mut pdf = Pdf::dirac(0.0, step);
+        pdf.set_sinusoidal(pp, step);
         pdf
     }
 
@@ -221,6 +220,82 @@ impl Pdf {
         Pdf::from_samples(self.origin + other.origin, self.step, out)
     }
 
+    /// Rebuilds `self` in place as [`Pdf::sinusoidal`]`(pp, step)`, reusing
+    /// the existing sample allocation (the constructor delegates here, so
+    /// the two are identical by construction).
+    ///
+    /// Each bin integrates the arcsine density to tame the endpoint
+    /// singularities — `P(bin) = (asin(hi/a) − asin(lo/a))/π` — and
+    /// adjacent bins share an edge, so one `asin` per bin suffices.
+    pub fn set_sinusoidal(&mut self, pp: f64, step: f64) {
+        assert!(pp >= 0.0, "negative width {pp}");
+        assert!(step > 0.0 && step.is_finite(), "invalid step {step}");
+        self.step = step;
+        self.density.clear();
+        if pp < 2.0 * step {
+            self.origin = 0.0;
+            self.density.push(1.0 / step);
+            return;
+        }
+        let a = pp / 2.0;
+        let half = (a / step).ceil() as i64;
+        self.origin = -(half as f64) * step;
+        let norm = 1.0 / (std::f64::consts::PI * step);
+        let mut prev = (((-half) as f64 - 0.5) * step / a).clamp(-1.0, 1.0).asin();
+        self.density.extend((-half..=half).map(|i| {
+            let hi = ((i as f64 + 0.5) * step / a).clamp(-1.0, 1.0).asin();
+            let d = (hi - prev) * norm;
+            prev = hi;
+            d
+        }));
+        self.renormalize();
+    }
+
+    /// Convolution with a centred uniform ("box") density of width `pp` —
+    /// equivalent to `self.convolve(&Pdf::uniform(pp, self.step()))` but
+    /// computed in O(n + m) with prefix sums instead of the O(n·m) direct
+    /// product: a box convolution is exactly a windowed mean.
+    ///
+    /// The box is discretized identically to [`Pdf::uniform`], so the result
+    /// matches the generic path to floating-point summation order.
+    pub fn convolve_box(&self, pp: f64) -> Pdf {
+        let mut out = Pdf::dirac(0.0, self.step);
+        self.convolve_box_into(pp, &mut ConvScratch::new(), &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`Pdf::convolve_box`]: writes the result into
+    /// `out` (its buffer is reused) using `scratch` for the prefix sums.
+    pub fn convolve_box_into(&self, pp: f64, scratch: &mut ConvScratch, out: &mut Pdf) {
+        assert!(pp >= 0.0, "negative width {pp}");
+        out.step = self.step;
+        out.density.clear();
+        if pp < self.step {
+            // The box collapses to a Dirac: convolution is the identity.
+            out.origin = self.origin;
+            out.density.extend_from_slice(&self.density);
+            return;
+        }
+        let n = self.density.len();
+        let m = (pp / self.step).round() as usize + 1;
+        let inv_m = 1.0 / m as f64;
+        let prefix = &mut scratch.prefix;
+        prefix.clear();
+        prefix.reserve(n + 1);
+        prefix.push(0.0);
+        let mut acc = 0.0;
+        for &d in &self.density {
+            acc += d;
+            prefix.push(acc);
+        }
+        out.origin = self.origin - 0.5 * (m - 1) as f64 * self.step;
+        out.density.extend((0..n + m - 1).map(|k| {
+            let lo = (k + 1).saturating_sub(m);
+            let hi = (k + 1).min(n);
+            (prefix[hi] - prefix[lo]) * inv_m
+        }));
+    }
+
     /// Probability mass at or beyond `threshold`: `P(X ≥ threshold)`.
     ///
     /// Linear interpolation inside the crossing bin keeps the result smooth
@@ -288,6 +363,92 @@ impl Pdf {
             p += d * self.step * q_function((self.x(i) - threshold) / sigma);
         }
         p.min(1.0)
+    }
+
+    /// Bin-index range whose `z` values land strictly inside `(z_lo, z_hi)`
+    /// given `z_i = sign·(x_i − threshold)/σ` — both saturated tails of a
+    /// `Q` sum are contiguous index ranges because `x_i` is affine in `i`.
+    fn z_band(
+        &self,
+        threshold: f64,
+        sigma: f64,
+        sign: f64,
+        z_lo: f64,
+        z_hi: f64,
+    ) -> (usize, usize) {
+        let n = self.density.len();
+        let clamp_idx = |v: f64| (v.ceil().max(0.0) as usize).min(n);
+        // x at which z equals the band edge; sign flips which edge is first.
+        let (x_at_lo, x_at_hi) = (
+            threshold + sign * z_lo * sigma,
+            threshold + sign * z_hi * sigma,
+        );
+        let (x_first, x_last) = if sign > 0.0 {
+            (x_at_lo, x_at_hi)
+        } else {
+            (x_at_hi, x_at_lo)
+        };
+        let i_lo = clamp_idx((x_first - self.origin) / self.step);
+        let i_hi = clamp_idx((x_last - self.origin) / self.step);
+        (i_lo, i_hi.max(i_lo))
+    }
+
+    /// [`Pdf::gaussian_exceed_above`] with `Q` drawn from a precomputed
+    /// [`QTable`] — the sweep-context fast path (~1e-9 relative deviation
+    /// from the exact sum).
+    ///
+    /// Bins whose `z` is beyond the table saturate exactly: `Q = 1` below
+    /// `z = −8` (cheap mass sum, no lookup) and `Q = 0` above `z = 37.5`
+    /// (skipped; the exact value there is < 1e-306, far below anything the
+    /// model resolves). For wide PDFs against a narrow Gaussian most bins
+    /// fall in one of the two saturated ranges, so this prunes the bulk of
+    /// the lookups.
+    pub fn gaussian_exceed_above_with(&self, threshold: f64, sigma: f64, tab: &QTable) -> f64 {
+        if sigma <= 0.0 {
+            return self.tail_above(threshold);
+        }
+        let inv_sigma = 1.0 / sigma;
+        // z_i = (threshold − x_i)/σ decreases with i: the interpolated band
+        // is (i_lo, i_hi), everything after it has Q = 1.
+        let (i_lo, i_hi) = self.z_band(threshold, sigma, -1.0, -8.0, 37.5);
+        let mut p = 0.0;
+        for (i, &d) in self.density[i_lo..i_hi].iter().enumerate() {
+            if d == 0.0 {
+                continue;
+            }
+            p += d * tab.q((threshold - self.x(i_lo + i)) * inv_sigma);
+        }
+        p += self.density[i_hi..].iter().sum::<f64>();
+        (p * self.step).min(1.0)
+    }
+
+    /// [`Pdf::gaussian_exceed_below`] with `Q` drawn from a precomputed
+    /// [`QTable`] (see [`Pdf::gaussian_exceed_above_with`] for the
+    /// saturation pruning).
+    pub fn gaussian_exceed_below_with(&self, threshold: f64, sigma: f64, tab: &QTable) -> f64 {
+        if sigma <= 0.0 {
+            return self.tail_below(threshold);
+        }
+        let inv_sigma = 1.0 / sigma;
+        // z_i = (x_i − threshold)/σ increases with i: everything before the
+        // band has Q = 1, everything after it Q = 0.
+        let (i_lo, i_hi) = self.z_band(threshold, sigma, 1.0, -8.0, 37.5);
+        let mut p = self.density[..i_lo].iter().sum::<f64>();
+        for (i, &d) in self.density[i_lo..i_hi].iter().enumerate() {
+            if d == 0.0 {
+                continue;
+            }
+            p += d * tab.q((self.x(i_lo + i) - threshold) * inv_sigma);
+        }
+        (p * self.step).min(1.0)
+    }
+}
+
+impl Default for Pdf {
+    /// A unit Dirac at the origin — the identity element of convolution,
+    /// used to seed reusable output buffers.
+    fn default() -> Pdf {
+        Pdf::dirac(0.0, 1.0)
     }
 }
 
@@ -418,6 +579,72 @@ mod tests {
         let a = pdf.gaussian_exceed_above(0.2, 0.01);
         let b = pdf.gaussian_exceed_below(-0.2, 0.01);
         assert!((a / b - 1.0).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn box_convolution_matches_generic_convolve() {
+        let sj = Pdf::sinusoidal(0.37, STEP);
+        for pp in [0.0, 0.0004, 0.013, 0.4, 1.7] {
+            let generic = sj.convolve(&Pdf::uniform(pp, STEP));
+            let fast = sj.convolve_box(pp);
+            assert_eq!(fast.samples().len(), generic.samples().len(), "pp = {pp}");
+            assert!(
+                (fast.origin() - generic.origin()).abs() < 1e-12,
+                "pp = {pp}"
+            );
+            for (a, b) in fast.samples().iter().zip(generic.samples()) {
+                assert!((a - b).abs() <= 1e-11 * b.max(1.0), "pp = {pp}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn box_convolution_into_reuses_buffers() {
+        let sj = Pdf::sinusoidal(0.2, STEP);
+        let mut scratch = ConvScratch::new();
+        let mut out = Pdf::dirac(0.0, STEP);
+        sj.convolve_box_into(0.4, &mut scratch, &mut out);
+        let expected = sj.convolve_box(0.4);
+        assert_eq!(out, expected);
+        // Second call with a different width reuses the same buffers.
+        sj.convolve_box_into(0.1, &mut scratch, &mut out);
+        assert_eq!(out, sj.convolve_box(0.1));
+    }
+
+    #[test]
+    fn set_sinusoidal_matches_constructor() {
+        let mut pdf = Pdf::dirac(0.0, STEP);
+        for pp in [0.0, 0.001, 0.05, 0.73] {
+            pdf.set_sinusoidal(pp, STEP);
+            assert_eq!(pdf, Pdf::sinusoidal(pp, STEP), "pp = {pp}");
+        }
+    }
+
+    #[test]
+    fn table_exceed_matches_exact() {
+        let tab = crate::QTable::new();
+        let pdf = Pdf::uniform(0.4, STEP).convolve(&Pdf::sinusoidal(0.1, STEP));
+        for t in [0.0, 0.2, 0.35, 0.6] {
+            for sigma in [0.01, 0.021] {
+                let exact = pdf.gaussian_exceed_above(t, sigma);
+                let fast = pdf.gaussian_exceed_above_with(t, sigma, &tab);
+                assert!(
+                    (fast - exact).abs() <= 1e-8 * exact + 1e-30,
+                    "t={t} σ={sigma}: {fast} vs {exact}"
+                );
+                let exact_b = pdf.gaussian_exceed_below(-t, sigma);
+                let fast_b = pdf.gaussian_exceed_below_with(-t, sigma, &tab);
+                assert!(
+                    (fast_b - exact_b).abs() <= 1e-8 * exact_b + 1e-30,
+                    "t={t} σ={sigma}: {fast_b} vs {exact_b}"
+                );
+            }
+        }
+        // σ = 0 falls back to the sharp tail in both paths.
+        assert_eq!(
+            pdf.gaussian_exceed_above_with(0.1, 0.0, &tab),
+            pdf.tail_above(0.1)
+        );
     }
 
     #[test]

@@ -129,7 +129,10 @@ impl JitterSpec {
     /// data rate is fully felt — this single factor produces the
     /// characteristic JTOL shape of Figs. 9/10.
     pub fn sj_drift_amplitude(&self, n: u32) -> f64 {
-        self.sj_pp.value() * (std::f64::consts::PI * self.sj_freq_norm * n as f64).sin().abs()
+        self.sj_pp.value()
+            * (std::f64::consts::PI * self.sj_freq_norm * n as f64)
+                .sin()
+                .abs()
     }
 }
 

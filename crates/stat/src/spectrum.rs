@@ -155,12 +155,21 @@ mod tests {
     fn fft_parseval() {
         let n = 128;
         let mut data: Vec<f64> = (0..2 * n)
-            .map(|i| if i % 2 == 0 { ((i / 2) as f64 * 0.37).sin() } else { 0.0 })
+            .map(|i| {
+                if i % 2 == 0 {
+                    ((i / 2) as f64 * 0.37).sin()
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let time_energy: f64 = data.chunks(2).map(|c| c[0] * c[0] + c[1] * c[1]).sum();
         fft_in_place(&mut data);
-        let freq_energy: f64 =
-            data.chunks(2).map(|c| c[0] * c[0] + c[1] * c[1]).sum::<f64>() / n as f64;
+        let freq_energy: f64 = data
+            .chunks(2)
+            .map(|c| c[0] * c[0] + c[1] * c[1])
+            .sum::<f64>()
+            / n as f64;
         assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy);
     }
 

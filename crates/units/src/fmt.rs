@@ -46,9 +46,8 @@ pub fn eng(value: f64) -> String {
         .unwrap_or((1e-24, "y"));
     let mantissa = value / scale;
     // Up to 4 significant digits, trimmed.
-    let digits = 4usize.saturating_sub(
-        (mantissa.abs().log10().floor() as i32 + 1).clamp(1, 4) as usize,
-    );
+    let digits =
+        4usize.saturating_sub((mantissa.abs().log10().floor() as i32 + 1).clamp(1, 4) as usize);
     let mut s = format!("{mantissa:.digits$}");
     if s.contains('.') {
         while s.ends_with('0') {

@@ -23,7 +23,9 @@ impl std::error::Error for ParseQuantityError {}
 fn split_number(s: &str) -> Option<(f64, &str)> {
     let s = s.trim();
     let end = s
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E'))
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E')
+        })
         .unwrap_or(s.len());
     // Careful with exponents like "2e9Hz": find may cut at the right spot
     // already since 'e' is allowed above; but "2e-9s" keeps the sign too.
@@ -114,7 +116,10 @@ mod tests {
     #[test]
     fn parses_frequencies() {
         assert_eq!("2.5GHz".parse::<Freq>().unwrap(), Freq::from_ghz(2.5));
-        assert_eq!("156.25 MHz".parse::<Freq>().unwrap(), Freq::from_mhz(156.25));
+        assert_eq!(
+            "156.25 MHz".parse::<Freq>().unwrap(),
+            Freq::from_mhz(156.25)
+        );
         assert_eq!("250kHz".parse::<Freq>().unwrap(), Freq::from_khz(250.0));
         assert_eq!("1e9Hz".parse::<Freq>().unwrap(), Freq::from_ghz(1.0));
         assert_eq!("42Hz".parse::<Freq>().unwrap(), Freq::from_hz(42.0));

@@ -19,7 +19,10 @@ fn main() {
     println!("  target BER      : {:.0e}", spec.target_ber);
     println!("  channel jitter  : {}", spec.jitter);
     println!("  tolerance mask  : {}", spec.mask);
-    println!("  power budget    : {} mW/Gbit/s", spec.power_budget_mw_per_gbps);
+    println!(
+        "  power budget    : {} mW/Gbit/s",
+        spec.power_budget_mw_per_gbps
+    );
     println!();
 
     // The Fig. 11 trade-off the sizing step walks on.
@@ -41,7 +44,11 @@ fn main() {
             p.ring_power.to_string(),
             p.kappa,
             p.sigma_ui,
-            if p.sigma_ui <= 0.01 { "  <- meets spec" } else { "" }
+            if p.sigma_ui <= 0.01 {
+                "  <- meets spec"
+            } else {
+                ""
+            }
         );
     }
     println!();

@@ -15,10 +15,8 @@ fn main() {
     // Fig. 14 conditions: PRBS7, CCO at 2.375 GHz (5 % slow), sinusoidal
     // jitter 0.10 UIpp at 250 MHz, per-cell oscillator jitter.
     let bits = Prbs::new(PrbsOrder::P7).take_bits(25_000 / 4);
-    let jitter = JitterConfig::none().with_sj(SinusoidalJitter::new(
-        Ui::new(0.10),
-        Freq::from_mhz(250.0),
-    ));
+    let jitter =
+        JitterConfig::none().with_sj(SinusoidalJitter::new(Ui::new(0.10), Freq::from_mhz(250.0)));
     let base = CdrConfig::paper()
         .with_freq_offset(2.375 / 2.5 - 1.0)
         .with_cell_jitter(0.0126);

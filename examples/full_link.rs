@@ -31,8 +31,10 @@ fn main() {
     let text: String = result.payload()[..31].iter().map(|&b| b as char).collect();
     println!("first recovered bytes: {text:?}");
     assert_eq!(result.code_errors, 0);
-    assert_eq!(&result.payload()[..payload.len()],
-               &payload.iter().map(|s| s.octet()).collect::<Vec<_>>()[..]);
+    assert_eq!(
+        &result.payload()[..payload.len()],
+        &payload.iter().map(|s| s.octet()).collect::<Vec<_>>()[..]
+    );
 
     // --- Bit layer: the same line stream with a 1:8 deserializer hanging
     // off the recovered clock, as the Fig. 4 "digital core" boundary.

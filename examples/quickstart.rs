@@ -39,5 +39,9 @@ fn main() {
     println!("{}", result.eye.render_ascii(64, 10));
 
     assert_eq!(result.errors, 0, "this operating point runs error-free");
-    println!("BER over {} bits: {:.1e} (0 errors)", result.compared, result.ber());
+    println!(
+        "BER over {} bits: {:.1e} (0 errors)",
+        result.compared,
+        result.ber()
+    );
 }

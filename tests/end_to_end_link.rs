@@ -30,7 +30,9 @@ fn coded_payload_survives_the_channel_byte_exact() {
 
     // Align the recovered stream on the first comma and decode.
     let recovered = result.recovered.bits();
-    let comma_rd_minus = [false, false, true, true, true, true, true, false, true, false];
+    let comma_rd_minus = [
+        false, false, true, true, true, true, true, false, true, false,
+    ];
     let comma_rd_plus: Vec<bool> = comma_rd_minus.iter().map(|b| !b).collect();
     let start = (0..recovered.len().saturating_sub(10))
         .find(|&i| {
@@ -49,7 +51,10 @@ fn coded_payload_survives_the_channel_byte_exact() {
         .position(|s| *s == Symbol::data(0))
         .expect("payload start");
     assert!(decoded.len() - payload_start >= 256, "payload truncated");
-    for (i, sym) in decoded[payload_start..payload_start + 256].iter().enumerate() {
+    for (i, sym) in decoded[payload_start..payload_start + 256]
+        .iter()
+        .enumerate()
+    {
         assert_eq!(*sym, Symbol::data(i as u8), "byte {i}");
     }
 }
@@ -83,7 +88,13 @@ fn link_budget_and_cdr_agree_on_serial_viability() {
     let line_bits = enc.encode_stream(&symbols);
     assert_eq!(line_bits.len(), 8000, "10 line bits per byte");
 
-    let result = run_cdr(&line_bits, rate(), &JitterConfig::table1(), &CdrConfig::paper(), 9);
+    let result = run_cdr(
+        &line_bits,
+        rate(),
+        &JitterConfig::table1(),
+        &CdrConfig::paper(),
+        9,
+    );
     assert_eq!(result.errors, 0, "{result}");
 
     let link = gcco::cdr::SerialLink::paper_2g5();

@@ -5,9 +5,7 @@
 
 use gcco::cdr::{add_los_monitor, CdrConfig, ElasticBuffer, SerialReceiver};
 use gcco::dsim::Simulator;
-use gcco::signal::{
-    BitStream, Decode8b10bError, Decoder8b10b, Encoder8b10b, JitterConfig, Symbol,
-};
+use gcco::signal::{BitStream, Decode8b10bError, Decoder8b10b, Encoder8b10b, JitterConfig, Symbol};
 use gcco::units::{Freq, Time};
 
 fn rate() -> Freq {
@@ -43,8 +41,8 @@ fn single_bit_flip_is_caught_by_the_decoder() {
         } else {
             // An undetected flip must still corrupt at least one symbol
             // (8b10b is not error-correcting) — count silent corruption.
-            let ok = decoded.len() == symbols.len()
-                && decoded.iter().zip(&symbols).all(|(a, b)| a == b);
+            let ok =
+                decoded.len() == symbols.len() && decoded.iter().zip(&symbols).all(|(a, b)| a == b);
             if ok {
                 panic!("flip at bit {flip} vanished entirely");
             }
@@ -88,10 +86,7 @@ fn receiver_reports_code_errors_for_mistuned_oscillator() {
     // Gross mistuning produces bit slips; the 8b10b layer must convert
     // them into visible code errors, never a clean-looking wrong payload.
     let payload: Vec<Symbol> = (0..300).map(|i| Symbol::data((i % 251) as u8)).collect();
-    let rx = SerialReceiver::new(
-        rate(),
-        CdrConfig::paper().with_freq_offset(-0.07),
-    );
+    let rx = SerialReceiver::new(rate(), CdrConfig::paper().with_freq_offset(-0.07));
     let result = rx.transmit_and_receive(&payload, &JitterConfig::none(), 3);
     let expected: Vec<u8> = payload.iter().map(|s| s.octet()).collect();
     let got = result.payload();
@@ -142,7 +137,10 @@ fn duplicate_and_dropped_edges_do_not_wedge_the_cdr() {
     sim.drive(handles.ed.din, &changes);
     sim.run_until(t + Time::from_ns(4.0));
     let clock_edges = sim.trace(handles.clock).unwrap().rising_edges();
-    let after_silence = clock_edges.iter().filter(|&&e| e > t - Time::from_ns(10.0)).count();
+    let after_silence = clock_edges
+        .iter()
+        .filter(|&&e| e > t - Time::from_ns(10.0))
+        .count();
     assert!(after_silence > 10, "CDR must recover after the glitches");
     assert!(!handles.samples.is_empty());
 }

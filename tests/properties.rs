@@ -179,16 +179,14 @@ fn ftol_bound_holds_behaviorally() {
     assert!(f > 0.005, "FTOL {f}");
     // Run the behavioral model at 60 % of the bound on both sides.
     for sign in [-1.0, 1.0] {
-        let config =
-            gcco::cdr::CdrConfig::paper().with_freq_offset(sign * f * 0.6);
+        let config = gcco::cdr::CdrConfig::paper().with_freq_offset(sign * f * 0.6);
         let bits = Prbs::new(PrbsOrder::P7).take_bits(6_000);
-        let result = gcco::cdr::run_cdr(
-            &bits,
-            rate(),
-            &JitterConfig::none(),
-            &config,
-            123,
+        let result = gcco::cdr::run_cdr(&bits, rate(), &JitterConfig::none(), &config, 123);
+        assert_eq!(
+            result.errors,
+            0,
+            "offset {} inside FTOL: {result}",
+            sign * f * 0.6
         );
-        assert_eq!(result.errors, 0, "offset {} inside FTOL: {result}", sign * f * 0.6);
     }
 }

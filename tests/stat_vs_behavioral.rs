@@ -48,17 +48,17 @@ fn deep_margin_points_run_clean_in_the_simulator() {
             dj_pp: Ui::new(0.4),
             dj_correlation: DjCorrelation::Correlated { bits: 64 },
             rj_rms: Ui::new(0.021),
-            sj: Some(SinusoidalJitter::new(
-                Ui::new(sj_amp),
-                rate() * sj_freq,
-            )),
+            sj: Some(SinusoidalJitter::new(Ui::new(sj_amp), rate() * sj_freq)),
             dcd_pp: Ui::ZERO,
         };
         let config = CdrConfig::paper()
             .with_freq_offset(offset)
             .with_cell_jitter(0.0126);
         let result = run_cdr(&bits(8_000), rate(), &jitter, &config, 99);
-        assert_eq!(result.errors, 0, "ε={offset}, SJ {sj_amp}@{sj_freq}: {result}");
+        assert_eq!(
+            result.errors, 0,
+            "ε={offset}, SJ {sj_amp}@{sj_freq}: {result}"
+        );
     }
 }
 
@@ -91,10 +91,8 @@ fn broken_points_break_in_both_models() {
 #[test]
 fn improved_tap_margins_agree_across_layers() {
     // Statistical: bathtub optimum shifts early under a slow oscillator.
-    let model = GccoStatModel::new(
-        JitterSpec::paper_table1().with_sj(Ui::new(0.2), 0.3),
-    )
-    .with_freq_offset(-0.03);
+    let model = GccoStatModel::new(JitterSpec::paper_table1().with_sj(Ui::new(0.2), 0.3))
+        .with_freq_offset(-0.03);
     let tub = gcco::stat::Bathtub::scan(&model, -0.3, 0.3, 61);
     assert!(tub.optimum_phase().phase_ui < 0.0, "{}", tub);
 
@@ -162,10 +160,7 @@ fn three_way_agreement_at_high_ber() {
     assert!(rel < 0.15, "analytic {analytic} vs MC {}", mc.ber());
 
     // Behavioral with the same SJ (no DJ/RJ/CKJ).
-    let jitter = JitterConfig::none().with_sj(SinusoidalJitter::new(
-        Ui::new(1.2),
-        rate() * 0.45,
-    ));
+    let jitter = JitterConfig::none().with_sj(SinusoidalJitter::new(Ui::new(1.2), rate() * 0.45));
     let result = run_cdr(&bits(10_000), rate(), &jitter, &CdrConfig::paper(), 17);
     assert!(
         result.ber() > analytic / 30.0,
