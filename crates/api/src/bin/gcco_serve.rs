@@ -1,0 +1,172 @@
+//! `gcco-serve` — the line-JSON TCP evaluation service.
+//!
+//! ```text
+//! gcco-serve listen [ADDR] [--workers N] [--queue N]
+//!     Bind (default 127.0.0.1:0), print "LISTENING <addr>", run until a
+//!     {"cmd":"shutdown"} line arrives, then drain and exit.
+//!
+//! gcco-serve demo <ADDR>
+//!     Submit a built-in 3-request batch (BER point, FTOL search, ring
+//!     run), print the response lines, exit 0 iff all three succeeded.
+//!
+//! gcco-serve send <ADDR>
+//!     Forward each stdin line to the server, print one response line per
+//!     submitted envelope.
+//!
+//! gcco-serve shutdown <ADDR>
+//!     Ask the server to drain and exit.
+//! ```
+
+use gcco_api::json::{parse_client_line, ClientLine, Envelope};
+use gcco_api::serve::{client_roundtrip, send_shutdown, serve, ServeConfig};
+use gcco_api::{DsimRunSpec, Engine, EvalRequest, ModelSpec, SjOverride};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(120);
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("listen") => listen(&args[1..]),
+        Some("demo") => with_addr(&args[1..], demo),
+        Some("send") => with_addr(&args[1..], send_stdin),
+        Some("shutdown") => with_addr(&args[1..], |addr| {
+            send_shutdown(&addr, CLIENT_TIMEOUT).map(|()| {
+                println!("shutdown acknowledged");
+                0
+            })
+        }),
+        _ => {
+            eprintln!(
+                "usage: gcco-serve listen [ADDR] [--workers N] [--queue N]\n\
+                 \x20      gcco-serve demo <ADDR>\n\
+                 \x20      gcco-serve send <ADDR>\n\
+                 \x20      gcco-serve shutdown <ADDR>"
+            );
+            Ok(2)
+        }
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("gcco-serve: {e}");
+        1
+    });
+    std::process::exit(code);
+}
+
+fn with_addr(
+    args: &[String],
+    f: impl FnOnce(SocketAddr) -> Result<i32, gcco_api::GccoError>,
+) -> Result<i32, gcco_api::GccoError> {
+    let text = args
+        .first()
+        .ok_or_else(|| gcco_api::GccoError::Parse("missing server address".to_string()))?;
+    let addr: SocketAddr = text
+        .parse()
+        .map_err(|_| gcco_api::GccoError::Parse(format!("invalid address \"{text}\"")))?;
+    f(addr)
+}
+
+fn listen(args: &[String]) -> Result<i32, gcco_api::GccoError> {
+    let mut config = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workers" => {
+                config.workers = parse_flag(it.next(), "--workers")?;
+            }
+            "--queue" => {
+                config.queue_capacity = parse_flag(it.next(), "--queue")?;
+            }
+            other if !other.starts_with("--") => {
+                config.addr = other.to_string();
+            }
+            other => {
+                return Err(gcco_api::GccoError::Parse(format!(
+                    "unknown flag \"{other}\""
+                )));
+            }
+        }
+    }
+    let handle = serve(&config, Engine::new())?;
+    // The line the CI smoke step (and any wrapper) greps for.
+    println!("LISTENING {}", handle.local_addr());
+    handle.run_until_shutdown();
+    println!("drained and stopped");
+    Ok(0)
+}
+
+fn parse_flag(value: Option<&String>, flag: &str) -> Result<usize, gcco_api::GccoError> {
+    value
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .ok_or_else(|| gcco_api::GccoError::Parse(format!("{flag} needs a positive integer")))
+}
+
+/// The CI smoke batch: one request per major subsystem, all cheap.
+fn demo(addr: SocketAddr) -> Result<i32, gcco_api::GccoError> {
+    let spec = ModelSpec::paper_table1();
+    let envelopes = vec![
+        Envelope {
+            id: 1,
+            deadline_ms: None,
+            request: EvalRequest::BerPoint {
+                spec: spec.clone(),
+                sj: Some(SjOverride {
+                    amplitude_pp: 1.0,
+                    freq_norm: 1e-4,
+                }),
+            },
+        },
+        Envelope {
+            id: 2,
+            deadline_ms: None,
+            request: EvalRequest::FtolSearch {
+                spec,
+                target_ber: 1e-12,
+            },
+        },
+        Envelope {
+            id: 3,
+            deadline_ms: None,
+            request: EvalRequest::DsimRun {
+                run: DsimRunSpec::paper_ring(),
+            },
+        },
+    ];
+    let replies = gcco_api::serve::submit_batch(&addr, &envelopes, CLIENT_TIMEOUT)?;
+    let mut failures = 0;
+    for line in &replies {
+        match &line.result {
+            Ok(resp) => println!("id {} ok: {}", line.id, resp.kind()),
+            Err((kind, detail)) => {
+                failures += 1;
+                println!("id {} err: {kind}: {detail}", line.id);
+            }
+        }
+    }
+    Ok(if failures == 0 { 0 } else { 1 })
+}
+
+fn send_stdin(addr: SocketAddr) -> Result<i32, gcco_api::GccoError> {
+    let mut code = 0;
+    for line in std::io::stdin().lines() {
+        let line = line.map_err(gcco_api::GccoError::from)?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        // Count the envelopes locally so we know how many responses to
+        // await; commands always answer with exactly one line.
+        let expect = match parse_client_line(&line)? {
+            ClientLine::Requests(envs) => envs.len(),
+            ClientLine::Command(_) => 1,
+        };
+        for reply in client_roundtrip(&addr, line.trim(), expect, CLIENT_TIMEOUT)? {
+            println!("{reply}");
+            if reply.contains("\"err\"") {
+                code = 1;
+            }
+        }
+    }
+    Ok(code)
+}

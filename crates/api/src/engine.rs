@@ -1,0 +1,598 @@
+//! The evaluation engine: dispatches [`EvalRequest`] batches onto the
+//! sweep machinery with an LRU cache of warm [`SweepContext`]s and
+//! cooperative per-request deadlines.
+//!
+//! # Value guarantees
+//!
+//! Every dispatch path calls the exact same per-point kernels the figure
+//! binaries used to call directly (`SweepContext::ber_at_sj`,
+//! `SweepContext::jtol_point`, `gcco_stat::ftol`,
+//! `gcco_noise::tradeoff_point`, …), so engine results are **bit-identical**
+//! to the direct calls — asserted by `tests/engine_parity.rs` and by the
+//! golden-output comparison of the rewired binaries. Deadline-enabled
+//! paths interleave checks *between* independent grid cells / curve
+//! points, never inside a kernel, so enabling a deadline changes when an
+//! evaluation may abort but never what it computes.
+//!
+//! # Caching
+//!
+//! Contexts are shared across requests whose [`ModelSpec::cache_key`]s
+//! match; [`Engine::context_builds`] counts cold builds so tests (and
+//! operators) can assert cache hits.
+
+use crate::error::GccoError;
+use crate::request::{
+    DsimRunOut, DsimRunSpec, EvalRequest, EvalResponse, PowerPointOut, PowerScanSpec, SizedCellOut,
+};
+use crate::spec::ModelSpec;
+use gcco_dsim::{GateFunc, LogicGate, Simulator};
+use gcco_noise::{iss_log_grid, size_for_jitter, tradeoff_point, PhaseNoiseModel};
+use gcco_stat::{available_workers, par_map_grid, SweepContext};
+use gcco_units::{Current, Freq, Time, Ui, Voltage};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Engine tuning knobs.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Maximum number of warm [`SweepContext`]s kept alive (LRU evicted).
+    pub cache_capacity: usize,
+    /// Worker threads for grid/curve parallelism; `None` uses
+    /// [`available_workers`] (the `GCCO_WORKERS` override included).
+    pub workers: Option<usize>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            cache_capacity: 8,
+            workers: None,
+        }
+    }
+}
+
+/// A cooperative deadline: dispatch paths call [`DeadlineGuard::check`]
+/// between independent units of work and abort with
+/// [`GccoError::DeadlineExceeded`] once the wall clock passes the mark.
+///
+/// A zero-millisecond deadline is guaranteed to trip at the first check,
+/// which is what the serve loopback test leans on.
+#[derive(Clone, Copy, Debug)]
+pub struct DeadlineGuard {
+    deadline: Option<(Instant, u64)>,
+}
+
+impl DeadlineGuard {
+    /// A guard that never trips.
+    pub fn unlimited() -> DeadlineGuard {
+        DeadlineGuard { deadline: None }
+    }
+
+    /// A guard tripping `deadline_ms` milliseconds from now.
+    pub fn after_ms(deadline_ms: u64) -> DeadlineGuard {
+        DeadlineGuard {
+            deadline: Some((
+                Instant::now() + Duration::from_millis(deadline_ms),
+                deadline_ms,
+            )),
+        }
+    }
+
+    /// `after_ms` when a deadline is given, else `unlimited`.
+    pub fn from_opt_ms(deadline_ms: Option<u64>) -> DeadlineGuard {
+        match deadline_ms {
+            Some(ms) => DeadlineGuard::after_ms(ms),
+            None => DeadlineGuard::unlimited(),
+        }
+    }
+
+    fn is_set(&self) -> bool {
+        self.deadline.is_some()
+    }
+
+    /// Fails once the deadline has passed.
+    ///
+    /// # Errors
+    ///
+    /// [`GccoError::DeadlineExceeded`] carrying the original budget.
+    pub fn check(&self) -> Result<(), GccoError> {
+        match self.deadline {
+            Some((at, deadline_ms)) if Instant::now() >= at => {
+                Err(GccoError::DeadlineExceeded { deadline_ms })
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Typed evaluation engine with warm-context caching.
+///
+/// One engine is meant to be shared: interior mutability covers the cache
+/// and the build counter, so `&Engine` is all a worker thread needs.
+///
+/// # Examples
+///
+/// ```
+/// use gcco_api::{Engine, EvalRequest, EvalResponse, ModelSpec};
+///
+/// let engine = Engine::new();
+/// let req = EvalRequest::FtolSearch {
+///     spec: ModelSpec::paper_table1(),
+///     target_ber: 1e-12,
+/// };
+/// let resp = engine.evaluate(&req).expect("valid request");
+/// assert!(matches!(resp, EvalResponse::Ftol { value } if value > 0.0));
+/// ```
+pub struct Engine {
+    config: EngineConfig,
+    workers: usize,
+    /// MRU-ordered (key, context) pairs; front = most recently used.
+    cache: Mutex<Vec<(String, Arc<SweepContext>)>>,
+    builds: AtomicU64,
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine with [`EngineConfig::default`].
+    pub fn new() -> Engine {
+        Engine::with_config(EngineConfig::default())
+    }
+
+    /// An engine with explicit tuning.
+    pub fn with_config(config: EngineConfig) -> Engine {
+        let workers = config.workers.unwrap_or_else(available_workers).max(1);
+        Engine {
+            config,
+            workers,
+            cache: Mutex::new(Vec::new()),
+            builds: AtomicU64::new(0),
+        }
+    }
+
+    /// Worker threads used for grids and curves.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Number of cold [`SweepContext`] builds so far — stays flat across
+    /// requests that share a [`ModelSpec::cache_key`].
+    pub fn context_builds(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Returns the warm context for `spec`, building (and caching) it on
+    /// the first sight of its cache key.
+    ///
+    /// # Errors
+    ///
+    /// [`GccoError::InvalidSpec`] when the spec does not validate.
+    pub fn context_for(&self, spec: &ModelSpec) -> Result<Arc<SweepContext>, GccoError> {
+        let key = spec.cache_key();
+        {
+            let mut cache = self.cache.lock().expect("cache lock poisoned");
+            if let Some(pos) = cache.iter().position(|(k, _)| *k == key) {
+                let entry = cache.remove(pos);
+                let ctx = Arc::clone(&entry.1);
+                cache.insert(0, entry);
+                return Ok(ctx);
+            }
+        }
+        // Build outside the lock: context construction convolves PDFs and
+        // must not serialize unrelated requests behind it.
+        let model = spec.build()?;
+        let ctx = Arc::new(SweepContext::new(model).with_workers(self.workers));
+        let mut cache = self.cache.lock().expect("cache lock poisoned");
+        // A racing builder may have inserted the same key meanwhile; keep
+        // the incumbent so all holders share one context (and don't count
+        // the discarded duplicate, so `context_builds` reflects exactly
+        // the contexts that entered the cache).
+        if let Some(pos) = cache.iter().position(|(k, _)| *k == key) {
+            let entry = cache.remove(pos);
+            let ctx = Arc::clone(&entry.1);
+            cache.insert(0, entry);
+            return Ok(ctx);
+        }
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        cache.insert(0, (key, Arc::clone(&ctx)));
+        cache.truncate(self.config.cache_capacity.max(1));
+        Ok(ctx)
+    }
+
+    /// Evaluates one request with no deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`GccoError::InvalidSpec`] when the request fails validation.
+    pub fn evaluate(&self, req: &EvalRequest) -> Result<EvalResponse, GccoError> {
+        self.evaluate_with_deadline(req, DeadlineGuard::unlimited())
+    }
+
+    /// Evaluates a batch in order, one result per request. Requests
+    /// sharing a model spec share one warm context; each request is
+    /// internally parallel, so batches run sequentially for deterministic
+    /// resource use.
+    pub fn evaluate_batch(&self, reqs: &[EvalRequest]) -> Vec<Result<EvalResponse, GccoError>> {
+        reqs.iter().map(|r| self.evaluate(r)).collect()
+    }
+
+    /// Evaluates one request under a cooperative deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`GccoError::InvalidSpec`] on validation failure,
+    /// [`GccoError::DeadlineExceeded`] when the guard trips between work
+    /// units.
+    pub fn evaluate_with_deadline(
+        &self,
+        req: &EvalRequest,
+        guard: DeadlineGuard,
+    ) -> Result<EvalResponse, GccoError> {
+        req.validate()?;
+        guard.check()?;
+        match req {
+            EvalRequest::BerPoint { spec, sj } => {
+                let ctx = self.context_for(spec)?;
+                guard.check()?;
+                let value = match sj {
+                    None => ctx.ber(),
+                    Some(sj) => ctx.ber_at_sj(Ui::new(sj.amplitude_pp), sj.freq_norm),
+                };
+                Ok(EvalResponse::Scalar { value })
+            }
+            EvalRequest::BerGrid {
+                spec,
+                amps_pp,
+                freqs_norm,
+            } => {
+                let ctx = self.context_for(spec)?;
+                guard.check()?;
+                let rows = if guard.is_set() {
+                    // Row-at-a-time with a check between rows: cells are
+                    // independent, so the values match the all-at-once map.
+                    let mut rows = Vec::with_capacity(amps_pp.len());
+                    for &a in amps_pp {
+                        guard.check()?;
+                        rows.push(ctx.map(freqs_norm, |_, &f| ctx.ber_at_sj(Ui::new(a), f)));
+                    }
+                    rows
+                } else {
+                    ctx.ber_grid(amps_pp, freqs_norm)
+                };
+                Ok(EvalResponse::Grid { rows })
+            }
+            EvalRequest::JtolCurve {
+                spec,
+                freqs_norm,
+                target_ber,
+            } => {
+                let ctx = self.context_for(spec)?;
+                guard.check()?;
+                let points = if guard.is_set() {
+                    let mut points = Vec::with_capacity(freqs_norm.len());
+                    for &f in freqs_norm {
+                        guard.check()?;
+                        points.push(ctx.jtol_point(f, *target_ber).into());
+                    }
+                    points
+                } else {
+                    ctx.jtol_curve(freqs_norm, *target_ber)
+                        .into_iter()
+                        .map(Into::into)
+                        .collect()
+                };
+                Ok(EvalResponse::Jtol { points })
+            }
+            EvalRequest::FtolSearch { spec, target_ber } => {
+                let ctx = self.context_for(spec)?;
+                guard.check()?;
+                // Exact-Q path, same as calling `gcco_stat::ftol` directly.
+                let value = gcco_stat::ftol(ctx.model(), *target_ber);
+                Ok(EvalResponse::Ftol { value })
+            }
+            EvalRequest::PowerScan { scan } => {
+                guard.check()?;
+                Ok(self.power_scan(scan, guard)?)
+            }
+            EvalRequest::DsimRun { run } => {
+                guard.check()?;
+                Ok(EvalResponse::Dsim { run: dsim_run(run) })
+            }
+        }
+    }
+
+    fn power_scan(
+        &self,
+        scan: &PowerScanSpec,
+        guard: DeadlineGuard,
+    ) -> Result<EvalResponse, GccoError> {
+        let f_ring = Freq::from_gbps(scan.bit_rate_gbps);
+        let pn = PhaseNoiseModel::Hajimiri { eta: scan.eta };
+        let swing = Voltage::from_volts(scan.swing_v);
+        // The pinned design delay `1/(2·n·f)` — carried to the wire in
+        // integer femtoseconds so `SizedCellOut::to_cell` reconstructs the
+        // engine's cell bit-identically.
+        let design_delay = Time::from_secs(1.0 / (2.0 * f64::from(scan.n_stages) * f_ring.hz()));
+        let sized = size_for_jitter(
+            pn,
+            swing,
+            f_ring,
+            scan.n_stages,
+            scan.cid,
+            scan.sigma_ui_target,
+            Current::from_amps(scan.iss_sizing_max_a),
+        )
+        .map(|cell| SizedCellOut {
+            iss_a: cell.iss.amps(),
+            swing_v: scan.swing_v,
+            delay_fs: design_delay.fs(),
+        });
+        guard.check()?;
+        let grid = iss_log_grid(
+            (
+                Current::from_microamps(scan.iss_min_ua),
+                Current::from_microamps(scan.iss_max_ua),
+            ),
+            scan.steps as usize,
+        );
+        let point = |iss: Current| tradeoff_point(pn, swing, f_ring, scan.n_stages, scan.cid, iss);
+        let raw = if guard.is_set() {
+            let mut raw = Vec::with_capacity(grid.len());
+            for &iss in &grid {
+                guard.check()?;
+                raw.push(point(iss));
+            }
+            raw
+        } else {
+            par_map_grid(&grid, self.workers, |_, &iss| point(iss))
+        };
+        let points = raw
+            .into_iter()
+            .map(|p| PowerPointOut {
+                iss_a: p.iss.amps(),
+                ring_power_mw: p.ring_power.milliwatts(),
+                sigma_ui: p.sigma_ui,
+            })
+            .collect();
+        Ok(EvalResponse::Power { sized, points })
+    }
+}
+
+/// Runs the event-driven ring: one buffer plus `stages − 1` inverters
+/// (odd net inversion), every stage at the same transport delay, with
+/// optional Gaussian delay jitter. Deterministic per seed.
+fn dsim_run(run: &DsimRunSpec) -> DsimRunOut {
+    let mut sim = Simulator::new(run.seed);
+    let stages = run.stages as usize;
+    // Initial values consistent with every gate except the closing
+    // inverter, so exactly one edge is injected at init — multiple
+    // simultaneous mismatches would launch several circulating waves and
+    // divide the measured period.
+    let sigs: Vec<_> = (0..stages)
+        .map(|i| sim.add_signal(format!("ring{i}"), i >= 2 && i % 2 == 0))
+        .collect();
+    let delay = Time::from_secs(run.stage_delay_ps * 1e-12);
+    for i in 0..stages {
+        let func = if i == 0 { GateFunc::Buf } else { GateFunc::Inv };
+        let mut gate = LogicGate::new(
+            format!("stage{i}"),
+            func,
+            vec![sigs[i]],
+            sigs[(i + 1) % stages],
+            delay,
+        );
+        if run.jitter_rel > 0.0 {
+            gate = gate.with_jitter(run.jitter_rel);
+        }
+        sim.add_component(gate);
+    }
+    sim.probe(sigs[0]);
+    sim.run_until(Time::from_secs(run.duration_ns * 1e-9));
+    let events = sim.events_processed();
+    let rises = sim
+        .trace(sigs[0])
+        .map(|t| t.rising_edges())
+        .unwrap_or_default();
+    let periods: Vec<f64> = rises.windows(2).map(|w| (w[1] - w[0]).ps()).collect();
+    let (mean, rms) = if periods.is_empty() {
+        (0.0, 0.0)
+    } else {
+        let mean = periods.iter().sum::<f64>() / periods.len() as f64;
+        let var =
+            periods.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / periods.len() as f64;
+        (mean, var.sqrt())
+    };
+    DsimRunOut {
+        period_ps_mean: mean,
+        period_ps_rms: rms,
+        rising_edges: rises.len() as u64,
+        events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::SjOverride;
+
+    #[test]
+    fn cache_shares_contexts_and_counts_builds() {
+        let engine = Engine::with_config(EngineConfig {
+            cache_capacity: 2,
+            workers: Some(1),
+        });
+        let spec = ModelSpec::paper_table1();
+        let a = engine.context_for(&spec).unwrap();
+        let b = engine.context_for(&spec).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one context");
+        assert_eq!(engine.context_builds(), 1);
+        let other = spec.clone().with_freq_offset(0.01);
+        engine.context_for(&other).unwrap();
+        assert_eq!(engine.context_builds(), 2);
+        // Capacity 2: touch `other` so `spec` is the LRU entry, then a
+        // third distinct spec must evict `spec` but keep `other` warm.
+        engine.context_for(&other).unwrap();
+        engine
+            .context_for(&spec.clone().with_freq_offset(-0.01))
+            .unwrap();
+        assert_eq!(engine.context_builds(), 3);
+        engine.context_for(&other).unwrap();
+        assert_eq!(engine.context_builds(), 3, "other stayed warm");
+        engine.context_for(&spec).unwrap();
+        assert_eq!(engine.context_builds(), 4, "spec was evicted and rebuilt");
+    }
+
+    #[test]
+    fn zero_deadline_trips_and_reports_budget() {
+        let engine = Engine::with_config(EngineConfig {
+            cache_capacity: 2,
+            workers: Some(1),
+        });
+        let req = EvalRequest::BerGrid {
+            spec: ModelSpec::paper_table1(),
+            amps_pp: vec![0.1],
+            freqs_norm: vec![0.1],
+        };
+        let err = engine
+            .evaluate_with_deadline(&req, DeadlineGuard::after_ms(0))
+            .expect_err("zero deadline must trip");
+        assert_eq!(err, GccoError::DeadlineExceeded { deadline_ms: 0 });
+        // And an unlimited guard still computes.
+        assert!(engine.evaluate(&req).is_ok());
+    }
+
+    #[test]
+    fn deadline_path_matches_unlimited_path() {
+        let engine = Engine::with_config(EngineConfig {
+            cache_capacity: 2,
+            workers: Some(2),
+        });
+        let req = EvalRequest::BerGrid {
+            spec: ModelSpec::paper_table1(),
+            amps_pp: vec![0.2, 0.8],
+            freqs_norm: vec![0.01, 0.1, 0.4],
+        };
+        let free = engine.evaluate(&req).unwrap();
+        let timed = engine
+            .evaluate_with_deadline(&req, DeadlineGuard::after_ms(600_000))
+            .unwrap();
+        assert_eq!(free, timed, "deadline checks must not change values");
+    }
+
+    #[test]
+    fn ber_point_uses_the_cached_kernel() {
+        let engine = Engine::with_config(EngineConfig {
+            cache_capacity: 2,
+            workers: Some(1),
+        });
+        let spec = ModelSpec::paper_table1();
+        let resp = engine
+            .evaluate(&EvalRequest::BerPoint {
+                spec: spec.clone(),
+                sj: Some(SjOverride {
+                    amplitude_pp: 1.0,
+                    freq_norm: 1e-4,
+                }),
+            })
+            .unwrap();
+        let ctx = engine.context_for(&spec).unwrap();
+        let direct = ctx.ber_at_sj(Ui::new(1.0), 1e-4);
+        assert_eq!(resp, EvalResponse::Scalar { value: direct });
+        assert_eq!(engine.context_builds(), 1, "point + direct share a context");
+    }
+
+    #[test]
+    fn invalid_spec_is_an_error_not_a_panic() {
+        let engine = Engine::new();
+        let req = EvalRequest::FtolSearch {
+            spec: ModelSpec {
+                freq_offset: 0.9,
+                ..ModelSpec::paper_table1()
+            },
+            target_ber: 1e-12,
+        };
+        let err = engine.evaluate(&req).expect_err("must reject");
+        assert_eq!(err.kind(), "invalid_spec");
+    }
+
+    #[test]
+    fn dsim_ring_oscillates_at_the_expected_period() {
+        let engine = Engine::new();
+        let resp = engine
+            .evaluate(&EvalRequest::DsimRun {
+                run: DsimRunSpec::paper_ring(),
+            })
+            .unwrap();
+        match resp {
+            EvalResponse::Dsim { run } => {
+                // 4 stages × 50 ps per half-period ⇒ 400 ps period.
+                assert!(
+                    (run.period_ps_mean - 400.0).abs() < 1.0,
+                    "period {} ps",
+                    run.period_ps_mean
+                );
+                assert!(run.period_ps_rms < 1e-9, "noiseless ring");
+                assert!(run.rising_edges > 200, "100 ns of 2.5 GHz");
+                assert!(run.events > 0);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dsim_is_deterministic_per_seed() {
+        let engine = Engine::new();
+        let run = DsimRunSpec {
+            jitter_rel: 0.05,
+            duration_ns: 50.0,
+            ..DsimRunSpec::paper_ring()
+        };
+        let a = engine
+            .evaluate(&EvalRequest::DsimRun { run: run.clone() })
+            .unwrap();
+        let b = engine
+            .evaluate(&EvalRequest::DsimRun { run: run.clone() })
+            .unwrap();
+        assert_eq!(a, b, "same seed, same run");
+        let c = engine
+            .evaluate(&EvalRequest::DsimRun {
+                run: DsimRunSpec { seed: 2, ..run },
+            })
+            .unwrap();
+        assert_ne!(a, c, "different seed, different jittered run");
+    }
+
+    #[test]
+    fn power_scan_round_trips_the_sized_cell() {
+        let engine = Engine::new();
+        let resp = engine
+            .evaluate(&EvalRequest::PowerScan {
+                scan: PowerScanSpec::paper_design(),
+            })
+            .unwrap();
+        match resp {
+            EvalResponse::Power { sized, points } => {
+                let sized = sized.expect("paper target reachable");
+                let direct = size_for_jitter(
+                    PhaseNoiseModel::Hajimiri { eta: 0.75 },
+                    Voltage::from_volts(0.4),
+                    Freq::from_gbps(2.5),
+                    4,
+                    5,
+                    0.01,
+                    Current::from_amps(0.01),
+                )
+                .expect("reachable");
+                assert_eq!(sized.to_cell(), direct, "wire round-trip is exact");
+                assert_eq!(points.len(), 25);
+                assert!(points.windows(2).all(|w| w[0].iss_a < w[1].iss_a));
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! The single error type shared by every engine and serve code path.
+
+use std::fmt;
+
+/// Everything that can go wrong between receiving an evaluation request
+/// and producing its response. All engine/serve paths return this instead
+/// of panicking or passing bare strings around; the serve layer maps each
+/// variant onto a stable wire `kind` (see [`GccoError::kind`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GccoError {
+    /// A request or model specification failed validation (out-of-range
+    /// jitter value, empty grid, bad target BER, …).
+    InvalidSpec(String),
+    /// The request's deadline expired before (or while) evaluating it.
+    DeadlineExceeded {
+        /// The deadline the request carried, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The service's bounded request queue was full — backpressure: the
+    /// client should retry after draining some in-flight work.
+    QueueFull {
+        /// The queue capacity that was hit.
+        capacity: usize,
+    },
+    /// A wire message could not be parsed (malformed JSON, missing or
+    /// mistyped field). The payload pinpoints the first offence.
+    Parse(String),
+    /// An I/O failure in the serve layer (socket, bind, …).
+    Io(String),
+    /// The service is shutting down and no longer accepts new work.
+    ShuttingDown,
+}
+
+impl GccoError {
+    /// Stable machine-readable discriminant used on the wire.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            GccoError::InvalidSpec(_) => "invalid_spec",
+            GccoError::DeadlineExceeded { .. } => "deadline_exceeded",
+            GccoError::QueueFull { .. } => "queue_full",
+            GccoError::Parse(_) => "parse_error",
+            GccoError::Io(_) => "io_error",
+            GccoError::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// Human-readable detail for the wire `detail` field.
+    pub fn detail(&self) -> String {
+        match self {
+            GccoError::InvalidSpec(d) | GccoError::Parse(d) | GccoError::Io(d) => d.clone(),
+            GccoError::DeadlineExceeded { deadline_ms } => {
+                format!("deadline of {deadline_ms} ms exceeded")
+            }
+            GccoError::QueueFull { capacity } => {
+                format!("request queue at capacity ({capacity})")
+            }
+            GccoError::ShuttingDown => "service is shutting down".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for GccoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind(), self.detail())
+    }
+}
+
+impl std::error::Error for GccoError {}
+
+impl From<std::io::Error> for GccoError {
+    fn from(e: std::io::Error) -> GccoError {
+        GccoError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable_and_displayed() {
+        let e = GccoError::DeadlineExceeded { deadline_ms: 5 };
+        assert_eq!(e.kind(), "deadline_exceeded");
+        assert!(e.to_string().contains("5 ms"));
+        let q = GccoError::QueueFull { capacity: 8 };
+        assert_eq!(q.kind(), "queue_full");
+        assert!(q.detail().contains('8'));
+        assert_eq!(GccoError::ShuttingDown.kind(), "shutting_down");
+        assert_eq!(
+            GccoError::InvalidSpec("x".into()).to_string(),
+            "invalid_spec: x"
+        );
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::other("boom");
+        let e: GccoError = io.into();
+        assert_eq!(e.kind(), "io_error");
+        assert!(e.detail().contains("boom"));
+    }
+}

@@ -1,0 +1,1057 @@
+//! Hand-rolled line-JSON codec for the evaluation API.
+//!
+//! The workspace deliberately has no serialization dependency (the build
+//! is offline; `vendor/` holds only stubs), so the wire format is written
+//! and parsed here by hand: a small recursive-descent JSON parser plus
+//! explicit encoders for [`EvalRequest`]/[`EvalResponse`] and the
+//! `gcco-serve` envelopes. Floats are emitted with Rust's shortest
+//! round-trip formatting (`{:?}`), so **encode → parse is exact** — the
+//! round-trip property tests in `tests/json_roundtrip.rs` assert equality,
+//! not approximation.
+
+use crate::error::GccoError;
+use crate::request::{
+    DsimRunOut, DsimRunSpec, EvalRequest, EvalResponse, JtolPointOut, PowerPointOut, PowerScanSpec,
+    SizedCellOut, SjOverride,
+};
+use crate::spec::{ModelSpec, RunDistSpec};
+use gcco_stat::{EdgeModel, SamplingTap};
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one complete JSON document; trailing non-whitespace is an
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// [`GccoError::Parse`] describing the first offence and its byte
+    /// offset.
+    pub fn parse(text: &str) -> Result<Json, GccoError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float.
+    ///
+    /// # Errors
+    ///
+    /// [`GccoError::Parse`] when the value is not a number.
+    pub fn as_f64(&self, what: &str) -> Result<f64, GccoError> {
+        match self {
+            Json::Num(x) => Ok(*x),
+            other => Err(type_err(what, "a number", other)),
+        }
+    }
+
+    /// The value as an unsigned integer (rejects fractions and negatives).
+    ///
+    /// # Errors
+    ///
+    /// [`GccoError::Parse`] when the value is not a non-negative integer.
+    pub fn as_u64(&self, what: &str) -> Result<u64, GccoError> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 2f64.powi(53) => Ok(*x as u64),
+            other => Err(type_err(what, "a non-negative integer", other)),
+        }
+    }
+
+    /// The value as a signed integer.
+    ///
+    /// # Errors
+    ///
+    /// [`GccoError::Parse`] when the value is not an integer.
+    pub fn as_i64(&self, what: &str) -> Result<i64, GccoError> {
+        match self {
+            Json::Num(x) if x.fract() == 0.0 && x.abs() <= 2f64.powi(53) => Ok(*x as i64),
+            other => Err(type_err(what, "an integer", other)),
+        }
+    }
+
+    /// The value as a bool.
+    ///
+    /// # Errors
+    ///
+    /// [`GccoError::Parse`] when the value is not a boolean.
+    pub fn as_bool(&self, what: &str) -> Result<bool, GccoError> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(type_err(what, "a boolean", other)),
+        }
+    }
+
+    /// The value as a string slice.
+    ///
+    /// # Errors
+    ///
+    /// [`GccoError::Parse`] when the value is not a string.
+    pub fn as_str(&self, what: &str) -> Result<&str, GccoError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(type_err(what, "a string", other)),
+        }
+    }
+
+    /// The value as an array slice.
+    ///
+    /// # Errors
+    ///
+    /// [`GccoError::Parse`] when the value is not an array.
+    pub fn as_arr(&self, what: &str) -> Result<&[Json], GccoError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(type_err(what, "an array", other)),
+        }
+    }
+
+    /// Required object field.
+    ///
+    /// # Errors
+    ///
+    /// [`GccoError::Parse`] when the field is missing or `self` is not an
+    /// object.
+    pub fn field(&self, key: &str) -> Result<&Json, GccoError> {
+        self.get(key)
+            .ok_or_else(|| GccoError::Parse(format!("missing field \"{key}\"")))
+    }
+}
+
+fn type_err(what: &str, expected: &str, got: &Json) -> GccoError {
+    let tag = match got {
+        Json::Null => "null",
+        Json::Bool(_) => "a boolean",
+        Json::Num(_) => "a number",
+        Json::Str(_) => "a string",
+        Json::Arr(_) => "an array",
+        Json::Obj(_) => "an object",
+    };
+    GccoError::Parse(format!("{what}: expected {expected}, got {tag}"))
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> GccoError {
+        GccoError::Parse(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), GccoError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, GccoError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, GccoError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, GccoError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number bytes"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| GccoError::Parse(format!("invalid number \"{text}\" at byte {start}")))
+    }
+
+    fn string(&mut self) -> Result<String, GccoError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let ch = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(c)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(ch.ok_or_else(|| self.err("invalid unicode escape"))?);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar from the source text.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let ch = rest.chars().next().ok_or_else(|| self.err("empty"))?;
+                    if (ch as u32) < 0x20 {
+                        return Err(self.err("unescaped control character"));
+                    }
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, GccoError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn array(&mut self) -> Result<Json, GccoError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, GccoError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Escapes and quotes a string for JSON output.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float with Rust's shortest round-trip representation
+/// (`5.0`, `0.021`, `1e-12`, …) — exact under encode → parse. Non-finite
+/// values (which validation keeps out of every payload) become `null`.
+pub fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_f64_list(xs: &[f64]) -> String {
+    let mut out = String::from("[");
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_f64(*x));
+    }
+    out.push(']');
+    out
+}
+
+fn parse_f64_list(v: &Json, what: &str) -> Result<Vec<f64>, GccoError> {
+    v.as_arr(what)?
+        .iter()
+        .map(|item| item.as_f64(what))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// ModelSpec
+// ---------------------------------------------------------------------
+
+/// Encodes a [`ModelSpec`] as a JSON object.
+pub fn encode_model_spec(spec: &ModelSpec) -> String {
+    let run_dist = match &spec.run_dist {
+        RunDistSpec::Geometric(n) => format!("{{\"geometric\":{n}}}"),
+        RunDistSpec::Counts(counts) => {
+            let mut out = String::from("{\"counts\":[");
+            for (i, c) in counts.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{c}");
+            }
+            out.push_str("]}");
+            out
+        }
+    };
+    format!(
+        "{{\"dj_pp\":{},\"rj_rms\":{},\"sj_pp\":{},\"sj_freq_norm\":{},\"ckj_rms\":{},\
+         \"cid_max\":{},\"run_dist\":{},\"tap\":{},\"freq_offset\":{},\"edge_model\":{},\
+         \"include_slip\":{},\"gating_tau_ui\":{},\"grid_step\":{}}}",
+        json_f64(spec.dj_pp),
+        json_f64(spec.rj_rms),
+        json_f64(spec.sj_pp),
+        json_f64(spec.sj_freq_norm),
+        json_f64(spec.ckj_rms),
+        spec.cid_max,
+        run_dist,
+        json_string(match spec.tap {
+            SamplingTap::Standard => "standard",
+            SamplingTap::Improved => "improved",
+        }),
+        json_f64(spec.freq_offset),
+        json_string(match spec.edge_model {
+            EdgeModel::ResyncReferenced => "resync_referenced",
+            EdgeModel::IndependentEdges => "independent_edges",
+        }),
+        spec.include_slip,
+        spec.gating_tau_ui.map_or("null".to_string(), json_f64),
+        json_f64(spec.grid_step),
+    )
+}
+
+/// Parses a [`ModelSpec`] from its JSON object.
+///
+/// # Errors
+///
+/// [`GccoError::Parse`] on a missing/mistyped field or unknown tag.
+pub fn parse_model_spec(v: &Json) -> Result<ModelSpec, GccoError> {
+    let run_dist_v = v.field("run_dist")?;
+    let run_dist = if let Some(n) = run_dist_v.get("geometric") {
+        RunDistSpec::Geometric(n.as_u64("run_dist.geometric")? as u32)
+    } else if let Some(counts) = run_dist_v.get("counts") {
+        RunDistSpec::Counts(
+            counts
+                .as_arr("run_dist.counts")?
+                .iter()
+                .map(|c| c.as_u64("run_dist.counts"))
+                .collect::<Result<Vec<_>, _>>()?,
+        )
+    } else {
+        return Err(GccoError::Parse(
+            "run_dist must carry \"geometric\" or \"counts\"".to_string(),
+        ));
+    };
+    let tap = match v.field("tap")?.as_str("tap")? {
+        "standard" => SamplingTap::Standard,
+        "improved" => SamplingTap::Improved,
+        other => return Err(GccoError::Parse(format!("unknown tap \"{other}\""))),
+    };
+    let edge_model = match v.field("edge_model")?.as_str("edge_model")? {
+        "resync_referenced" => EdgeModel::ResyncReferenced,
+        "independent_edges" => EdgeModel::IndependentEdges,
+        other => return Err(GccoError::Parse(format!("unknown edge_model \"{other}\""))),
+    };
+    let gating_tau_ui = match v.field("gating_tau_ui")? {
+        Json::Null => None,
+        tau => Some(tau.as_f64("gating_tau_ui")?),
+    };
+    Ok(ModelSpec {
+        dj_pp: v.field("dj_pp")?.as_f64("dj_pp")?,
+        rj_rms: v.field("rj_rms")?.as_f64("rj_rms")?,
+        sj_pp: v.field("sj_pp")?.as_f64("sj_pp")?,
+        sj_freq_norm: v.field("sj_freq_norm")?.as_f64("sj_freq_norm")?,
+        ckj_rms: v.field("ckj_rms")?.as_f64("ckj_rms")?,
+        cid_max: v.field("cid_max")?.as_u64("cid_max")? as u32,
+        run_dist,
+        tap,
+        freq_offset: v.field("freq_offset")?.as_f64("freq_offset")?,
+        edge_model,
+        include_slip: v.field("include_slip")?.as_bool("include_slip")?,
+        gating_tau_ui,
+        grid_step: v.field("grid_step")?.as_f64("grid_step")?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// EvalRequest
+// ---------------------------------------------------------------------
+
+/// Encodes an [`EvalRequest`] as a JSON object (the envelope's
+/// `"request"` payload).
+pub fn encode_request(req: &EvalRequest) -> String {
+    match req {
+        EvalRequest::BerPoint { spec, sj } => {
+            let sj = match sj {
+                None => "null".to_string(),
+                Some(sj) => format!(
+                    "{{\"amplitude_pp\":{},\"freq_norm\":{}}}",
+                    json_f64(sj.amplitude_pp),
+                    json_f64(sj.freq_norm)
+                ),
+            };
+            format!(
+                "{{\"type\":\"ber_point\",\"spec\":{},\"sj\":{}}}",
+                encode_model_spec(spec),
+                sj
+            )
+        }
+        EvalRequest::BerGrid {
+            spec,
+            amps_pp,
+            freqs_norm,
+        } => format!(
+            "{{\"type\":\"ber_grid\",\"spec\":{},\"amps_pp\":{},\"freqs_norm\":{}}}",
+            encode_model_spec(spec),
+            json_f64_list(amps_pp),
+            json_f64_list(freqs_norm)
+        ),
+        EvalRequest::JtolCurve {
+            spec,
+            freqs_norm,
+            target_ber,
+        } => format!(
+            "{{\"type\":\"jtol_curve\",\"spec\":{},\"freqs_norm\":{},\"target_ber\":{}}}",
+            encode_model_spec(spec),
+            json_f64_list(freqs_norm),
+            json_f64(*target_ber)
+        ),
+        EvalRequest::FtolSearch { spec, target_ber } => format!(
+            "{{\"type\":\"ftol_search\",\"spec\":{},\"target_ber\":{}}}",
+            encode_model_spec(spec),
+            json_f64(*target_ber)
+        ),
+        EvalRequest::PowerScan { scan } => format!(
+            "{{\"type\":\"power_scan\",\"scan\":{{\"bit_rate_gbps\":{},\"swing_v\":{},\
+             \"n_stages\":{},\"cid\":{},\"eta\":{},\"sigma_ui_target\":{},\"iss_min_ua\":{},\
+             \"iss_max_ua\":{},\"steps\":{},\"iss_sizing_max_a\":{}}}}}",
+            json_f64(scan.bit_rate_gbps),
+            json_f64(scan.swing_v),
+            scan.n_stages,
+            scan.cid,
+            json_f64(scan.eta),
+            json_f64(scan.sigma_ui_target),
+            json_f64(scan.iss_min_ua),
+            json_f64(scan.iss_max_ua),
+            scan.steps,
+            json_f64(scan.iss_sizing_max_a)
+        ),
+        EvalRequest::DsimRun { run } => format!(
+            "{{\"type\":\"dsim_run\",\"run\":{{\"seed\":{},\"stages\":{},\"stage_delay_ps\":{},\
+             \"jitter_rel\":{},\"duration_ns\":{}}}}}",
+            run.seed,
+            run.stages,
+            json_f64(run.stage_delay_ps),
+            json_f64(run.jitter_rel),
+            json_f64(run.duration_ns)
+        ),
+    }
+}
+
+/// Parses an [`EvalRequest`] from its JSON object.
+///
+/// # Errors
+///
+/// [`GccoError::Parse`] on malformed input.
+pub fn parse_request(v: &Json) -> Result<EvalRequest, GccoError> {
+    match v.field("type")?.as_str("type")? {
+        "ber_point" => {
+            let sj = match v.field("sj")? {
+                Json::Null => None,
+                sj => Some(SjOverride {
+                    amplitude_pp: sj.field("amplitude_pp")?.as_f64("sj.amplitude_pp")?,
+                    freq_norm: sj.field("freq_norm")?.as_f64("sj.freq_norm")?,
+                }),
+            };
+            Ok(EvalRequest::BerPoint {
+                spec: parse_model_spec(v.field("spec")?)?,
+                sj,
+            })
+        }
+        "ber_grid" => Ok(EvalRequest::BerGrid {
+            spec: parse_model_spec(v.field("spec")?)?,
+            amps_pp: parse_f64_list(v.field("amps_pp")?, "amps_pp")?,
+            freqs_norm: parse_f64_list(v.field("freqs_norm")?, "freqs_norm")?,
+        }),
+        "jtol_curve" => Ok(EvalRequest::JtolCurve {
+            spec: parse_model_spec(v.field("spec")?)?,
+            freqs_norm: parse_f64_list(v.field("freqs_norm")?, "freqs_norm")?,
+            target_ber: v.field("target_ber")?.as_f64("target_ber")?,
+        }),
+        "ftol_search" => Ok(EvalRequest::FtolSearch {
+            spec: parse_model_spec(v.field("spec")?)?,
+            target_ber: v.field("target_ber")?.as_f64("target_ber")?,
+        }),
+        "power_scan" => {
+            let s = v.field("scan")?;
+            Ok(EvalRequest::PowerScan {
+                scan: PowerScanSpec {
+                    bit_rate_gbps: s.field("bit_rate_gbps")?.as_f64("bit_rate_gbps")?,
+                    swing_v: s.field("swing_v")?.as_f64("swing_v")?,
+                    n_stages: s.field("n_stages")?.as_u64("n_stages")? as u32,
+                    cid: s.field("cid")?.as_u64("cid")? as u32,
+                    eta: s.field("eta")?.as_f64("eta")?,
+                    sigma_ui_target: s.field("sigma_ui_target")?.as_f64("sigma_ui_target")?,
+                    iss_min_ua: s.field("iss_min_ua")?.as_f64("iss_min_ua")?,
+                    iss_max_ua: s.field("iss_max_ua")?.as_f64("iss_max_ua")?,
+                    steps: s.field("steps")?.as_u64("steps")? as u32,
+                    iss_sizing_max_a: s.field("iss_sizing_max_a")?.as_f64("iss_sizing_max_a")?,
+                },
+            })
+        }
+        "dsim_run" => {
+            let r = v.field("run")?;
+            Ok(EvalRequest::DsimRun {
+                run: DsimRunSpec {
+                    seed: r.field("seed")?.as_u64("seed")?,
+                    stages: r.field("stages")?.as_u64("stages")? as u32,
+                    stage_delay_ps: r.field("stage_delay_ps")?.as_f64("stage_delay_ps")?,
+                    jitter_rel: r.field("jitter_rel")?.as_f64("jitter_rel")?,
+                    duration_ns: r.field("duration_ns")?.as_f64("duration_ns")?,
+                },
+            })
+        }
+        other => Err(GccoError::Parse(format!(
+            "unknown request type \"{other}\""
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// EvalResponse
+// ---------------------------------------------------------------------
+
+/// Encodes an [`EvalResponse`] as a JSON object.
+pub fn encode_response(resp: &EvalResponse) -> String {
+    match resp {
+        EvalResponse::Scalar { value } => {
+            format!("{{\"type\":\"scalar\",\"value\":{}}}", json_f64(*value))
+        }
+        EvalResponse::Grid { rows } => {
+            let mut out = String::from("{\"type\":\"grid\",\"rows\":[");
+            for (i, row) in rows.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_f64_list(row));
+            }
+            out.push_str("]}");
+            out
+        }
+        EvalResponse::Jtol { points } => {
+            let mut out = String::from("{\"type\":\"jtol\",\"points\":[");
+            for (i, p) in points.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"freq_norm\":{},\"amplitude_pp\":{},\"censored\":{}}}",
+                    json_f64(p.freq_norm),
+                    json_f64(p.amplitude_pp),
+                    p.censored
+                );
+            }
+            out.push_str("]}");
+            out
+        }
+        EvalResponse::Ftol { value } => {
+            format!("{{\"type\":\"ftol\",\"value\":{}}}", json_f64(*value))
+        }
+        EvalResponse::Power { sized, points } => {
+            let sized = match sized {
+                None => "null".to_string(),
+                Some(c) => format!(
+                    "{{\"iss_a\":{},\"swing_v\":{},\"delay_fs\":{}}}",
+                    json_f64(c.iss_a),
+                    json_f64(c.swing_v),
+                    c.delay_fs
+                ),
+            };
+            let mut out = format!("{{\"type\":\"power\",\"sized\":{sized},\"points\":[");
+            for (i, p) in points.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"iss_a\":{},\"ring_power_mw\":{},\"sigma_ui\":{}}}",
+                    json_f64(p.iss_a),
+                    json_f64(p.ring_power_mw),
+                    json_f64(p.sigma_ui)
+                );
+            }
+            out.push_str("]}");
+            out
+        }
+        EvalResponse::Dsim { run } => format!(
+            "{{\"type\":\"dsim\",\"run\":{{\"period_ps_mean\":{},\"period_ps_rms\":{},\
+             \"rising_edges\":{},\"events\":{}}}}}",
+            json_f64(run.period_ps_mean),
+            json_f64(run.period_ps_rms),
+            run.rising_edges,
+            run.events
+        ),
+    }
+}
+
+/// Parses an [`EvalResponse`] from its JSON object.
+///
+/// # Errors
+///
+/// [`GccoError::Parse`] on malformed input.
+pub fn parse_response(v: &Json) -> Result<EvalResponse, GccoError> {
+    match v.field("type")?.as_str("type")? {
+        "scalar" => Ok(EvalResponse::Scalar {
+            value: v.field("value")?.as_f64("value")?,
+        }),
+        "grid" => Ok(EvalResponse::Grid {
+            rows: v
+                .field("rows")?
+                .as_arr("rows")?
+                .iter()
+                .map(|row| parse_f64_list(row, "rows"))
+                .collect::<Result<Vec<_>, _>>()?,
+        }),
+        "jtol" => Ok(EvalResponse::Jtol {
+            points: v
+                .field("points")?
+                .as_arr("points")?
+                .iter()
+                .map(|p| {
+                    Ok(JtolPointOut {
+                        freq_norm: p.field("freq_norm")?.as_f64("freq_norm")?,
+                        amplitude_pp: p.field("amplitude_pp")?.as_f64("amplitude_pp")?,
+                        censored: p.field("censored")?.as_bool("censored")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, GccoError>>()?,
+        }),
+        "ftol" => Ok(EvalResponse::Ftol {
+            value: v.field("value")?.as_f64("value")?,
+        }),
+        "power" => {
+            let sized = match v.field("sized")? {
+                Json::Null => None,
+                c => Some(SizedCellOut {
+                    iss_a: c.field("iss_a")?.as_f64("sized.iss_a")?,
+                    swing_v: c.field("swing_v")?.as_f64("sized.swing_v")?,
+                    delay_fs: c.field("delay_fs")?.as_i64("sized.delay_fs")?,
+                }),
+            };
+            Ok(EvalResponse::Power {
+                sized,
+                points: v
+                    .field("points")?
+                    .as_arr("points")?
+                    .iter()
+                    .map(|p| {
+                        Ok(PowerPointOut {
+                            iss_a: p.field("iss_a")?.as_f64("iss_a")?,
+                            ring_power_mw: p.field("ring_power_mw")?.as_f64("ring_power_mw")?,
+                            sigma_ui: p.field("sigma_ui")?.as_f64("sigma_ui")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, GccoError>>()?,
+            })
+        }
+        "dsim" => {
+            let r = v.field("run")?;
+            Ok(EvalResponse::Dsim {
+                run: DsimRunOut {
+                    period_ps_mean: r.field("period_ps_mean")?.as_f64("period_ps_mean")?,
+                    period_ps_rms: r.field("period_ps_rms")?.as_f64("period_ps_rms")?,
+                    rising_edges: r.field("rising_edges")?.as_u64("rising_edges")?,
+                    events: r.field("events")?.as_u64("events")?,
+                },
+            })
+        }
+        other => Err(GccoError::Parse(format!(
+            "unknown response type \"{other}\""
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// gcco-serve wire envelopes
+// ---------------------------------------------------------------------
+
+/// One submitted request with its wire id and optional deadline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Envelope {
+    /// Client-chosen request id, echoed on the response line.
+    pub id: u64,
+    /// Optional per-request deadline in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// The request payload.
+    pub request: EvalRequest,
+}
+
+/// One parsed client line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClientLine {
+    /// One or more requests (a bare envelope, or `{"batch": [...]}`).
+    Requests(Vec<Envelope>),
+    /// A control command (`{"cmd": "..."}`): `ping`, `stats`, `shutdown`.
+    Command(String),
+}
+
+fn parse_envelope(v: &Json) -> Result<Envelope, GccoError> {
+    let deadline_ms = match v.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(d) => Some(d.as_u64("deadline_ms")?),
+    };
+    Ok(Envelope {
+        id: v.field("id")?.as_u64("id")?,
+        deadline_ms,
+        request: parse_request(v.field("request")?)?,
+    })
+}
+
+/// Parses one client line: a single envelope, a batch, or a command.
+///
+/// # Errors
+///
+/// [`GccoError::Parse`] on malformed input.
+pub fn parse_client_line(line: &str) -> Result<ClientLine, GccoError> {
+    let v = Json::parse(line)?;
+    if let Some(cmd) = v.get("cmd") {
+        return Ok(ClientLine::Command(cmd.as_str("cmd")?.to_string()));
+    }
+    if let Some(batch) = v.get("batch") {
+        let envelopes = batch
+            .as_arr("batch")?
+            .iter()
+            .map(parse_envelope)
+            .collect::<Result<Vec<_>, _>>()?;
+        if envelopes.is_empty() {
+            return Err(GccoError::Parse("empty batch".to_string()));
+        }
+        return Ok(ClientLine::Requests(envelopes));
+    }
+    Ok(ClientLine::Requests(vec![parse_envelope(&v)?]))
+}
+
+/// Encodes an [`Envelope`] as one client line (no trailing newline).
+pub fn encode_envelope(env: &Envelope) -> String {
+    let deadline = env
+        .deadline_ms
+        .map_or("null".to_string(), |d| d.to_string());
+    format!(
+        "{{\"id\":{},\"deadline_ms\":{},\"request\":{}}}",
+        env.id,
+        deadline,
+        encode_request(&env.request)
+    )
+}
+
+/// Encodes a batch of envelopes as one client line (no trailing newline).
+pub fn encode_batch(envs: &[Envelope]) -> String {
+    let mut out = String::from("{\"batch\":[");
+    for (i, env) in envs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&encode_envelope(env));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Encodes one response line for the given request id (no trailing
+/// newline): `{"id":N,"ok":{...}}` or `{"id":N,"err":{...}}`.
+pub fn encode_result_line(id: u64, result: &Result<EvalResponse, GccoError>) -> String {
+    match result {
+        Ok(resp) => format!("{{\"id\":{},\"ok\":{}}}", id, encode_response(resp)),
+        Err(e) => format!(
+            "{{\"id\":{},\"err\":{{\"kind\":{},\"detail\":{}}}}}",
+            id,
+            json_string(e.kind()),
+            json_string(&e.detail())
+        ),
+    }
+}
+
+/// A response line parsed from the wire, error side kept as
+/// `(kind, detail)` strings.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResultLine {
+    /// The echoed request id.
+    pub id: u64,
+    /// The response or the wire error.
+    pub result: Result<EvalResponse, (String, String)>,
+}
+
+/// Parses one server response line.
+///
+/// # Errors
+///
+/// [`GccoError::Parse`] on malformed input.
+pub fn parse_result_line(line: &str) -> Result<ResultLine, GccoError> {
+    let v = Json::parse(line)?;
+    let id = v.field("id")?.as_u64("id")?;
+    if let Some(ok) = v.get("ok") {
+        return Ok(ResultLine {
+            id,
+            result: Ok(parse_response(ok)?),
+        });
+    }
+    let err = v.field("err")?;
+    Ok(ResultLine {
+        id,
+        result: Err((
+            err.field("kind")?.as_str("kind")?.to_string(),
+            err.field("detail")?.as_str("detail")?.to_string(),
+        )),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_handles_the_json_zoo() {
+        let v = Json::parse(
+            r#"{"a": [1, -2.5, 1e-12], "b": {"c": "x\n\"y\u00e9\ud83d\ude00"}, "d": null, "e": true}"#,
+        )
+        .expect("parses");
+        assert_eq!(v.field("a").unwrap().as_arr("a").unwrap().len(), 3);
+        assert_eq!(
+            v.field("b")
+                .unwrap()
+                .field("c")
+                .unwrap()
+                .as_str("c")
+                .unwrap(),
+            "x\n\"yé😀"
+        );
+        assert_eq!(v.field("d").unwrap(), &Json::Null);
+        assert!(v.field("e").unwrap().as_bool("e").unwrap());
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "nul",
+            "{\"a\":1} x",
+            "\"\\q\"",
+            "1e",
+            "{\"a\" 1}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} must fail");
+        }
+    }
+
+    #[test]
+    fn f64_formatting_round_trips_exactly() {
+        for x in [
+            0.0,
+            -0.0,
+            1.0,
+            0.1,
+            1e-12,
+            2.5,
+            0.021,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            -123.456e-7,
+        ] {
+            let text = json_f64(x);
+            let back = Json::parse(&text).unwrap().as_f64("x").unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {text}");
+        }
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn spec_round_trips() {
+        let spec = ModelSpec::paper_table1()
+            .with_sj(0.3, 0.25)
+            .with_freq_offset(-0.01)
+            .with_run_dist(RunDistSpec::Counts(vec![0, 7, 3]));
+        let text = encode_model_spec(&spec);
+        let back = parse_model_spec(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn envelope_and_result_lines_round_trip() {
+        let env = Envelope {
+            id: 7,
+            deadline_ms: Some(250),
+            request: EvalRequest::FtolSearch {
+                spec: ModelSpec::paper_table1(),
+                target_ber: 1e-12,
+            },
+        };
+        let line = encode_envelope(&env);
+        match parse_client_line(&line).unwrap() {
+            ClientLine::Requests(envs) => assert_eq!(envs, vec![env.clone()]),
+            other => panic!("{other:?}"),
+        }
+        let batch = encode_batch(&[env.clone(), env.clone()]);
+        match parse_client_line(&batch).unwrap() {
+            ClientLine::Requests(envs) => assert_eq!(envs.len(), 2),
+            other => panic!("{other:?}"),
+        }
+        let ok_line = encode_result_line(7, &Ok(EvalResponse::Ftol { value: 0.033 }));
+        let parsed = parse_result_line(&ok_line).unwrap();
+        assert_eq!(parsed.id, 7);
+        assert_eq!(parsed.result, Ok(EvalResponse::Ftol { value: 0.033 }));
+        let err_line = encode_result_line(8, &Err(GccoError::QueueFull { capacity: 4 }));
+        let parsed = parse_result_line(&err_line).unwrap();
+        assert_eq!(parsed.id, 8);
+        let (kind, detail) = parsed.result.unwrap_err();
+        assert_eq!(kind, "queue_full");
+        assert!(detail.contains('4'));
+    }
+
+    #[test]
+    fn commands_parse() {
+        assert_eq!(
+            parse_client_line("{\"cmd\":\"shutdown\"}").unwrap(),
+            ClientLine::Command("shutdown".to_string())
+        );
+    }
+}

@@ -1,0 +1,536 @@
+//! Typed evaluation requests and responses — the one entry point every
+//! figure, search, and scan of this workspace goes through.
+
+use crate::error::GccoError;
+use crate::spec::ModelSpec;
+
+/// An explicit sinusoidal-jitter override for a single BER point: the BER
+/// is evaluated as if the spec's SJ were `(amplitude_pp, freq_norm)`,
+/// without rebuilding (or re-keying) the model — exactly the
+/// `GccoStatModel::ber_at_sj` borrow path.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SjOverride {
+    /// Sinusoidal-jitter amplitude, peak-to-peak UI.
+    pub amplitude_pp: f64,
+    /// Sinusoidal-jitter frequency normalized to the data rate.
+    pub freq_norm: f64,
+}
+
+/// Parameters of a Fig. 11 power/phase-noise scan plus the §3.2 analytic
+/// bias sizing it cross-checks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PowerScanSpec {
+    /// Data rate (= ring frequency in the GCCO architecture), Gbit/s.
+    pub bit_rate_gbps: f64,
+    /// CML swing, volts.
+    pub swing_v: f64,
+    /// Ring-oscillator stages.
+    pub n_stages: u32,
+    /// Design CID the sampling-jitter target is referenced to.
+    pub cid: u32,
+    /// Hajimiri phase-noise proportionality constant η.
+    pub eta: f64,
+    /// Sampling-jitter target, UI RMS at `cid`.
+    pub sigma_ui_target: f64,
+    /// Lower edge of the logarithmic tail-current grid, microamps.
+    pub iss_min_ua: f64,
+    /// Upper edge of the logarithmic tail-current grid, microamps.
+    pub iss_max_ua: f64,
+    /// Number of grid points.
+    pub steps: u32,
+    /// Current ceiling for the analytic sizing bisection, amps.
+    pub iss_sizing_max_a: f64,
+}
+
+impl PowerScanSpec {
+    /// The paper's §3.2 / Fig. 11 design point: 2.5 Gbit/s, 0.4 V swing,
+    /// 4 stages, CID 5, η = 0.75, 0.01 UIrms, 2–2000 µA scan in 25 steps.
+    pub fn paper_design() -> PowerScanSpec {
+        PowerScanSpec {
+            bit_rate_gbps: 2.5,
+            swing_v: 0.4,
+            n_stages: 4,
+            cid: 5,
+            eta: 0.75,
+            sigma_ui_target: 0.01,
+            iss_min_ua: 2.0,
+            iss_max_ua: 2000.0,
+            steps: 25,
+            iss_sizing_max_a: 0.01,
+        }
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), GccoError> {
+        let positives = [
+            ("bit_rate_gbps", self.bit_rate_gbps),
+            ("swing_v", self.swing_v),
+            ("eta", self.eta),
+            ("sigma_ui_target", self.sigma_ui_target),
+            ("iss_min_ua", self.iss_min_ua),
+            ("iss_max_ua", self.iss_max_ua),
+            ("iss_sizing_max_a", self.iss_sizing_max_a),
+        ];
+        for (name, v) in positives {
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(GccoError::InvalidSpec(format!(
+                    "{name} must be a positive finite number, got {v}"
+                )));
+            }
+        }
+        if self.iss_max_ua <= self.iss_min_ua {
+            return Err(GccoError::InvalidSpec(format!(
+                "current range [{}, {}] µA is empty",
+                self.iss_min_ua, self.iss_max_ua
+            )));
+        }
+        if self.n_stages < 2 {
+            return Err(GccoError::InvalidSpec(
+                "need at least 2 ring stages".to_string(),
+            ));
+        }
+        if self.cid < 1 {
+            return Err(GccoError::InvalidSpec("cid must be at least 1".to_string()));
+        }
+        if self.steps < 2 {
+            return Err(GccoError::InvalidSpec(
+                "need at least 2 scan steps".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Parameters of an event-driven ring-oscillator run: the free-running
+/// gated-oscillator core simulated at femtosecond resolution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DsimRunSpec {
+    /// Kernel seed (runs are deterministic per seed).
+    pub seed: u64,
+    /// Ring stages (one buffer + `stages − 1` inverters; must be ≥ 2 with
+    /// an odd net inversion, i.e. even stage count).
+    pub stages: u32,
+    /// Per-stage transport delay, picoseconds.
+    pub stage_delay_ps: f64,
+    /// Relative Gaussian delay jitter per stage evaluation (0 = noiseless).
+    pub jitter_rel: f64,
+    /// Simulated duration, nanoseconds.
+    pub duration_ns: f64,
+}
+
+impl DsimRunSpec {
+    /// The paper's ring: 4 stages of 50 ps (2.5 GHz), noiseless, 100 ns.
+    pub fn paper_ring() -> DsimRunSpec {
+        DsimRunSpec {
+            seed: 1,
+            stages: 4,
+            stage_delay_ps: 50.0,
+            jitter_rel: 0.0,
+            duration_ns: 100.0,
+        }
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), GccoError> {
+        if self.stages < 2 || !self.stages.is_multiple_of(2) {
+            return Err(GccoError::InvalidSpec(format!(
+                "ring needs an even stage count >= 2, got {}",
+                self.stages
+            )));
+        }
+        if !(self.stage_delay_ps > 0.0 && self.stage_delay_ps.is_finite()) {
+            return Err(GccoError::InvalidSpec(format!(
+                "stage_delay_ps must be positive and finite, got {}",
+                self.stage_delay_ps
+            )));
+        }
+        if !(self.jitter_rel >= 0.0 && self.jitter_rel < 0.3) {
+            return Err(GccoError::InvalidSpec(format!(
+                "jitter_rel must lie in [0, 0.3), got {}",
+                self.jitter_rel
+            )));
+        }
+        if !(self.duration_ns > 0.0 && self.duration_ns <= 1e6) {
+            return Err(GccoError::InvalidSpec(format!(
+                "duration_ns must lie in (0, 1e6], got {}",
+                self.duration_ns
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// One typed evaluation request: everything the workspace can compute,
+/// as data. Submit to an [`crate::Engine`] directly or over the wire via
+/// `gcco-serve`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EvalRequest {
+    /// A single BER evaluation of `spec`, optionally with the sinusoidal
+    /// jitter overridden per point (the grid/JTOL inner kernel).
+    BerPoint {
+        /// The model under evaluation.
+        spec: ModelSpec,
+        /// Optional SJ override (amplitude, frequency).
+        sj: Option<SjOverride>,
+    },
+    /// A BER map over SJ amplitude × frequency — the Fig. 9/10/17 shape.
+    BerGrid {
+        /// The model under evaluation.
+        spec: ModelSpec,
+        /// SJ amplitudes, peak-to-peak UI (grid rows).
+        amps_pp: Vec<f64>,
+        /// Normalized SJ frequencies (grid columns).
+        freqs_norm: Vec<f64>,
+    },
+    /// A jitter-tolerance curve: one amplitude bisection per frequency.
+    JtolCurve {
+        /// The model under evaluation.
+        spec: ModelSpec,
+        /// Normalized SJ frequencies to search at.
+        freqs_norm: Vec<f64>,
+        /// The BER the tolerance is defined against.
+        target_ber: f64,
+    },
+    /// The §2.3 frequency-tolerance bisection.
+    FtolSearch {
+        /// The model under evaluation.
+        spec: ModelSpec,
+        /// The BER the tolerance is defined against.
+        target_ber: f64,
+    },
+    /// The Fig. 11 power/phase-noise trade-off scan with analytic sizing.
+    PowerScan {
+        /// Scan parameters.
+        scan: PowerScanSpec,
+    },
+    /// An event-driven ring-oscillator simulation.
+    DsimRun {
+        /// Run parameters.
+        run: DsimRunSpec,
+    },
+}
+
+impl EvalRequest {
+    /// Short lowercase tag naming the variant (the wire `type` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EvalRequest::BerPoint { .. } => "ber_point",
+            EvalRequest::BerGrid { .. } => "ber_grid",
+            EvalRequest::JtolCurve { .. } => "jtol_curve",
+            EvalRequest::FtolSearch { .. } => "ftol_search",
+            EvalRequest::PowerScan { .. } => "power_scan",
+            EvalRequest::DsimRun { .. } => "dsim_run",
+        }
+    }
+
+    /// The model spec the request evaluates, when it has one.
+    pub fn model_spec(&self) -> Option<&ModelSpec> {
+        match self {
+            EvalRequest::BerPoint { spec, .. }
+            | EvalRequest::BerGrid { spec, .. }
+            | EvalRequest::JtolCurve { spec, .. }
+            | EvalRequest::FtolSearch { spec, .. } => Some(spec),
+            EvalRequest::PowerScan { .. } | EvalRequest::DsimRun { .. } => None,
+        }
+    }
+
+    /// Validates the request as data (spec ranges, grid shapes, targets).
+    ///
+    /// # Errors
+    ///
+    /// [`GccoError::InvalidSpec`] naming the first offence.
+    pub fn validate(&self) -> Result<(), GccoError> {
+        fn check_target_ber(t: f64) -> Result<(), GccoError> {
+            if t > 0.0 && t < 1.0 {
+                Ok(())
+            } else {
+                Err(GccoError::InvalidSpec(format!(
+                    "target_ber must lie in (0, 1), got {t}"
+                )))
+            }
+        }
+        fn check_freqs(freqs: &[f64]) -> Result<(), GccoError> {
+            if freqs.is_empty() {
+                return Err(GccoError::InvalidSpec(
+                    "frequency list must not be empty".to_string(),
+                ));
+            }
+            for &f in freqs {
+                if !(f > 0.0 && f.is_finite()) {
+                    return Err(GccoError::InvalidSpec(format!(
+                        "normalized frequencies must be positive and finite, got {f}"
+                    )));
+                }
+            }
+            Ok(())
+        }
+        match self {
+            EvalRequest::BerPoint { spec, sj } => {
+                spec.validate()?;
+                if let Some(sj) = sj {
+                    if !(sj.amplitude_pp.is_finite() && sj.amplitude_pp >= 0.0) {
+                        return Err(GccoError::InvalidSpec(format!(
+                            "SJ override amplitude must be finite and non-negative, got {}",
+                            sj.amplitude_pp
+                        )));
+                    }
+                    check_freqs(&[sj.freq_norm])?;
+                }
+                Ok(())
+            }
+            EvalRequest::BerGrid {
+                spec,
+                amps_pp,
+                freqs_norm,
+            } => {
+                spec.validate()?;
+                if amps_pp.is_empty() {
+                    return Err(GccoError::InvalidSpec(
+                        "amplitude list must not be empty".to_string(),
+                    ));
+                }
+                for &a in amps_pp {
+                    if !(a.is_finite() && a >= 0.0) {
+                        return Err(GccoError::InvalidSpec(format!(
+                            "grid amplitudes must be finite and non-negative, got {a}"
+                        )));
+                    }
+                }
+                check_freqs(freqs_norm)
+            }
+            EvalRequest::JtolCurve {
+                spec,
+                freqs_norm,
+                target_ber,
+            } => {
+                spec.validate()?;
+                check_freqs(freqs_norm)?;
+                check_target_ber(*target_ber)
+            }
+            EvalRequest::FtolSearch { spec, target_ber } => {
+                spec.validate()?;
+                check_target_ber(*target_ber)
+            }
+            EvalRequest::PowerScan { scan } => scan.validate(),
+            EvalRequest::DsimRun { run } => run.validate(),
+        }
+    }
+}
+
+/// One point of a jitter-tolerance curve, as plain response data.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JtolPointOut {
+    /// Normalized SJ frequency.
+    pub freq_norm: f64,
+    /// Maximum tolerable SJ amplitude, peak-to-peak UI.
+    pub amplitude_pp: f64,
+    /// `true` when the search hit the amplitude cap.
+    pub censored: bool,
+}
+
+impl From<gcco_stat::JtolPoint> for JtolPointOut {
+    fn from(p: gcco_stat::JtolPoint) -> JtolPointOut {
+        JtolPointOut {
+            freq_norm: p.freq_norm,
+            amplitude_pp: p.amplitude_pp.value(),
+            censored: p.censored,
+        }
+    }
+}
+
+/// The analytically sized CML cell of a power scan, carried exactly
+/// (current in amps, delay in integer femtoseconds) so callers can
+/// reconstruct the identical `CmlCell`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SizedCellOut {
+    /// Tail current, amps.
+    pub iss_a: f64,
+    /// Swing, volts.
+    pub swing_v: f64,
+    /// Stage delay, femtoseconds.
+    pub delay_fs: i64,
+}
+
+impl SizedCellOut {
+    /// Reconstructs the sized cell (bit-identical to the engine's).
+    pub fn to_cell(self) -> gcco_noise::CmlCell {
+        gcco_noise::CmlCell::sized_for_delay(
+            gcco_units::Current::from_amps(self.iss_a),
+            gcco_units::Voltage::from_volts(self.swing_v),
+            gcco_units::Time::from_fs(self.delay_fs),
+        )
+    }
+}
+
+/// One point of the Fig. 11 trade-off scan.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerPointOut {
+    /// Tail current, amps.
+    pub iss_a: f64,
+    /// Whole-ring power, milliwatts.
+    pub ring_power_mw: f64,
+    /// Accumulated sampling-clock jitter at the design CID, UI RMS.
+    pub sigma_ui: f64,
+}
+
+/// Summary statistics of an event-driven ring run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DsimRunOut {
+    /// Mean measured oscillation period, picoseconds.
+    pub period_ps_mean: f64,
+    /// RMS deviation of the period, picoseconds.
+    pub period_ps_rms: f64,
+    /// Rising edges observed on the probed stage.
+    pub rising_edges: u64,
+    /// Kernel events processed.
+    pub events: u64,
+}
+
+/// The typed result of an [`EvalRequest`], one variant per request kind.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EvalResponse {
+    /// A single BER.
+    Scalar {
+        /// The value.
+        value: f64,
+    },
+    /// `rows[a][f]` = BER at `amps_pp[a]`, `freqs_norm[f]`.
+    Grid {
+        /// The BER map rows.
+        rows: Vec<Vec<f64>>,
+    },
+    /// A jitter-tolerance curve.
+    Jtol {
+        /// One point per requested frequency, in request order.
+        points: Vec<JtolPointOut>,
+    },
+    /// The frequency tolerance (fractional offset).
+    Ftol {
+        /// The value.
+        value: f64,
+    },
+    /// Power-scan results.
+    Power {
+        /// The analytically sized cell, when the sizing target was
+        /// reachable.
+        sized: Option<SizedCellOut>,
+        /// The trade-off scan, one point per grid current.
+        points: Vec<PowerPointOut>,
+    },
+    /// Ring-simulation summary.
+    Dsim {
+        /// The run statistics.
+        run: DsimRunOut,
+    },
+}
+
+impl EvalResponse {
+    /// Short lowercase tag naming the variant (the wire `type` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EvalResponse::Scalar { .. } => "scalar",
+            EvalResponse::Grid { .. } => "grid",
+            EvalResponse::Jtol { .. } => "jtol",
+            EvalResponse::Ftol { .. } => "ftol",
+            EvalResponse::Power { .. } => "power",
+            EvalResponse::Dsim { .. } => "dsim",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_cover_all_variants() {
+        let spec = ModelSpec::paper_table1();
+        let reqs = [
+            EvalRequest::BerPoint {
+                spec: spec.clone(),
+                sj: None,
+            },
+            EvalRequest::BerGrid {
+                spec: spec.clone(),
+                amps_pp: vec![0.1],
+                freqs_norm: vec![0.1],
+            },
+            EvalRequest::JtolCurve {
+                spec: spec.clone(),
+                freqs_norm: vec![0.1],
+                target_ber: 1e-12,
+            },
+            EvalRequest::FtolSearch {
+                spec,
+                target_ber: 1e-12,
+            },
+            EvalRequest::PowerScan {
+                scan: PowerScanSpec::paper_design(),
+            },
+            EvalRequest::DsimRun {
+                run: DsimRunSpec::paper_ring(),
+            },
+        ];
+        let kinds: Vec<_> = reqs.iter().map(|r| r.kind()).collect();
+        assert_eq!(
+            kinds,
+            [
+                "ber_point",
+                "ber_grid",
+                "jtol_curve",
+                "ftol_search",
+                "power_scan",
+                "dsim_run"
+            ]
+        );
+        for r in &reqs {
+            assert!(r.validate().is_ok(), "{:?}", r.kind());
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        let spec = ModelSpec::paper_table1();
+        let bad = [
+            EvalRequest::BerGrid {
+                spec: spec.clone(),
+                amps_pp: vec![],
+                freqs_norm: vec![0.1],
+            },
+            EvalRequest::BerGrid {
+                spec: spec.clone(),
+                amps_pp: vec![0.1],
+                freqs_norm: vec![-0.1],
+            },
+            EvalRequest::JtolCurve {
+                spec: spec.clone(),
+                freqs_norm: vec![0.1],
+                target_ber: 0.0,
+            },
+            EvalRequest::FtolSearch {
+                spec: spec.clone(),
+                target_ber: 1.5,
+            },
+            EvalRequest::BerPoint {
+                spec,
+                sj: Some(SjOverride {
+                    amplitude_pp: f64::INFINITY,
+                    freq_norm: 0.1,
+                }),
+            },
+            EvalRequest::PowerScan {
+                scan: PowerScanSpec {
+                    steps: 1,
+                    ..PowerScanSpec::paper_design()
+                },
+            },
+            EvalRequest::DsimRun {
+                run: DsimRunSpec {
+                    stages: 3,
+                    ..DsimRunSpec::paper_ring()
+                },
+            },
+        ];
+        for r in &bad {
+            assert!(r.validate().is_err(), "{r:?} must be rejected");
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! `gcco-serve` internals: a line-delimited-JSON TCP evaluation service
+//! on `std::net` alone — no async runtime, no serialization crate.
+//!
+//! ## Protocol
+//!
+//! One JSON document per line. Clients submit either a single envelope
+//! `{"id":N,"deadline_ms":M,"request":{...}}`, a batch
+//! `{"batch":[envelope,...]}`, or a command `{"cmd":"ping"|"stats"|
+//! "shutdown"}`. The server answers every envelope with exactly one line,
+//! `{"id":N,"ok":{...}}` or `{"id":N,"err":{"kind":...,"detail":...}}`,
+//! in completion order (ids are the correlation mechanism, not ordering).
+//!
+//! ## Semantics
+//!
+//! * **Backpressure** — the request queue is bounded; a submission that
+//!   finds it full is answered immediately with a `queue_full` error
+//!   instead of blocking the connection.
+//! * **Deadlines** — `deadline_ms` covers queue wait *plus* evaluation
+//!   (the guard starts at enqueue). A tripped deadline fails that request
+//!   with `deadline_exceeded`; the worker and server carry on.
+//! * **Graceful drain** — shutdown stops intake (new requests get
+//!   `shutting_down`) but every already-queued job is evaluated and its
+//!   response delivered before the workers exit.
+
+use crate::engine::{DeadlineGuard, Engine};
+use crate::error::GccoError;
+use crate::json::{
+    encode_batch, encode_result_line, parse_client_line, parse_result_line, ClientLine, Envelope,
+    ResultLine,
+};
+use crate::request::EvalRequest;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Serve tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Bounded queue capacity; submissions beyond it get `queue_full`.
+    pub queue_capacity: usize,
+    /// Evaluation worker threads draining the queue.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            queue_capacity: 64,
+            workers: 2,
+        }
+    }
+}
+
+/// How often blocking loops re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(25);
+
+struct Job {
+    id: u64,
+    guard: DeadlineGuard,
+    request: EvalRequest,
+    reply: mpsc::Sender<String>,
+}
+
+struct Shared {
+    engine: Engine,
+    queue: Mutex<VecDeque<Job>>,
+    work_ready: Condvar,
+    shutdown: AtomicBool,
+    queue_capacity: usize,
+}
+
+impl Shared {
+    /// Enqueues one envelope, or answers it immediately on backpressure /
+    /// shutdown. The deadline clock starts here, so queue wait counts.
+    fn submit(&self, env: Envelope, reply: &mpsc::Sender<String>) {
+        if self.shutdown.load(Ordering::SeqCst) {
+            let _ = reply.send(encode_result_line(env.id, &Err(GccoError::ShuttingDown)));
+            return;
+        }
+        let mut queue = self.queue.lock().expect("queue lock poisoned");
+        if queue.len() >= self.queue_capacity {
+            let _ = reply.send(encode_result_line(
+                env.id,
+                &Err(GccoError::QueueFull {
+                    capacity: self.queue_capacity,
+                }),
+            ));
+            return;
+        }
+        queue.push_back(Job {
+            id: env.id,
+            guard: DeadlineGuard::from_opt_ms(env.deadline_ms),
+            request: env.request,
+            reply: reply.clone(),
+        });
+        drop(queue);
+        self.work_ready.notify_one();
+    }
+
+    /// Worker body: evaluate jobs until shutdown *and* the queue is dry —
+    /// the drain guarantee.
+    fn work(&self) {
+        loop {
+            let job = {
+                let mut queue = self.queue.lock().expect("queue lock poisoned");
+                loop {
+                    if let Some(job) = queue.pop_front() {
+                        break Some(job);
+                    }
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        break None;
+                    }
+                    let (q, _) = self
+                        .work_ready
+                        .wait_timeout(queue, POLL)
+                        .expect("queue lock poisoned");
+                    queue = q;
+                }
+            };
+            let Some(job) = job else { return };
+            let result = self.engine.evaluate_with_deadline(&job.request, job.guard);
+            let _ = job.reply.send(encode_result_line(job.id, &result));
+        }
+    }
+
+    fn stats_line(&self) -> String {
+        let queue_len = self.queue.lock().expect("queue lock poisoned").len();
+        format!(
+            "{{\"stats\":{{\"queue_len\":{},\"context_builds\":{},\"workers\":{}}}}}",
+            queue_len,
+            self.engine.context_builds(),
+            self.engine.workers()
+        )
+    }
+}
+
+/// A running server; dropping it without [`ServerHandle::shutdown`] leaks
+/// the listener thread, so call `shutdown` (or send the wire command).
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The engine behind the service (e.g. for build-counter assertions).
+    pub fn engine(&self) -> &Engine {
+        &self.shared.engine
+    }
+
+    /// True once shutdown has been requested (locally or over the wire).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown, drains all queued work, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.work_ready.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks until a wire `shutdown` command flips the flag, then drains
+    /// and joins exactly like [`ServerHandle::shutdown`].
+    pub fn run_until_shutdown(self) {
+        while !self.is_shutting_down() {
+            std::thread::sleep(POLL);
+        }
+        self.shutdown();
+    }
+}
+
+/// Binds the service and spawns its accept loop and worker pool.
+///
+/// # Errors
+///
+/// [`GccoError::Io`] when the address cannot be bound.
+pub fn serve(config: &ServeConfig, engine: Engine) -> Result<ServerHandle, GccoError> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let local_addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let shared = Arc::new(Shared {
+        engine,
+        queue: Mutex::new(VecDeque::new()),
+        work_ready: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        queue_capacity: config.queue_capacity.max(1),
+    });
+    let mut threads = Vec::new();
+    for i in 0..config.workers.max(1) {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("gcco-serve-worker-{i}"))
+                .spawn(move || shared.work())
+                .map_err(|e| GccoError::Io(e.to_string()))?,
+        );
+    }
+    let accept_shared = Arc::clone(&shared);
+    threads.push(
+        std::thread::Builder::new()
+            .name("gcco-serve-accept".to_string())
+            .spawn(move || accept_loop(listener, &accept_shared))
+            .map_err(|e| GccoError::Io(e.to_string()))?,
+    );
+    Ok(ServerHandle {
+        shared,
+        local_addr,
+        threads,
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                if let Ok(handle) = std::thread::Builder::new()
+                    .name("gcco-serve-conn".to_string())
+                    .spawn(move || handle_connection(stream, &shared))
+                {
+                    connections.push(handle);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+        connections.retain(|c| !c.is_finished());
+    }
+    // Connection threads observe the flag within one read timeout; their
+    // writers flush every drained response before exiting.
+    for c in connections {
+        let _ = c.join();
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (reply_tx, reply_rx) = mpsc::channel::<String>();
+    let writer = std::thread::Builder::new()
+        .name("gcco-serve-write".to_string())
+        .spawn(move || {
+            let mut out = write_half;
+            // Exits when every sender (reader + queued jobs) is gone, i.e.
+            // after all of this connection's work has been answered.
+            while let Ok(line) = reply_rx.recv() {
+                if out
+                    .write_all(line.as_bytes())
+                    .and_then(|()| out.write_all(b"\n"))
+                    .and_then(|()| out.flush())
+                    .is_err()
+                {
+                    return;
+                }
+            }
+        });
+    let _ = stream.set_read_timeout(Some(POLL));
+    let mut reader = BufReader::new(stream);
+    let mut acc: Vec<u8> = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut acc) {
+            Ok(0) => break, // EOF
+            Ok(_) => {
+                let at_eof = acc.last() != Some(&b'\n');
+                let line = String::from_utf8_lossy(&acc).trim().to_string();
+                acc.clear();
+                if !line.is_empty() {
+                    handle_line(&line, shared, &reply_tx);
+                }
+                if at_eof || shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // Partial data (if any) stays in `acc`; just re-check the
+                // shutdown flag and keep reading.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    drop(reply_tx);
+    if let Ok(writer) = writer {
+        let _ = writer.join();
+    }
+}
+
+fn handle_line(line: &str, shared: &Arc<Shared>, reply: &mpsc::Sender<String>) {
+    match parse_client_line(line) {
+        Ok(ClientLine::Requests(envelopes)) => {
+            for env in envelopes {
+                shared.submit(env, reply);
+            }
+        }
+        Ok(ClientLine::Command(cmd)) => match cmd.as_str() {
+            "ping" => {
+                let _ = reply.send("{\"pong\":true}".to_string());
+            }
+            "stats" => {
+                let _ = reply.send(shared.stats_line());
+            }
+            "shutdown" => {
+                let _ = reply.send("{\"ok\":\"shutting_down\"}".to_string());
+                shared.shutdown.store(true, Ordering::SeqCst);
+                shared.work_ready.notify_all();
+            }
+            other => {
+                let _ = reply.send(encode_result_line(
+                    0,
+                    &Err(GccoError::Parse(format!("unknown command \"{other}\""))),
+                ));
+            }
+        },
+        Err(e) => {
+            // No id is recoverable from a malformed line; answer on id 0.
+            let _ = reply.send(encode_result_line(0, &Err(e)));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client helpers (used by the binary's client modes, the CI smoke step,
+// and the loopback test)
+// ---------------------------------------------------------------------
+
+/// Connects, submits the envelopes as one batch line, and collects one
+/// response per envelope (any order), within `timeout` overall.
+///
+/// # Errors
+///
+/// [`GccoError::Io`] on connection/transport trouble or timeout,
+/// [`GccoError::Parse`] when a response line is malformed.
+pub fn submit_batch(
+    addr: &SocketAddr,
+    envelopes: &[Envelope],
+    timeout: Duration,
+) -> Result<Vec<ResultLine>, GccoError> {
+    let mut lines = client_roundtrip(addr, &encode_batch(envelopes), envelopes.len(), timeout)?;
+    lines
+        .drain(..)
+        .map(|l| parse_result_line(&l))
+        .collect::<Result<Vec<_>, _>>()
+}
+
+/// Sends one raw line and reads `expect` response lines within `timeout`.
+///
+/// # Errors
+///
+/// [`GccoError::Io`] on connect/write failure or when the deadline passes
+/// before all expected lines arrive.
+pub fn client_roundtrip(
+    addr: &SocketAddr,
+    line: &str,
+    expect: usize,
+    timeout: Duration,
+) -> Result<Vec<String>, GccoError> {
+    let stream = TcpStream::connect_timeout(addr, timeout)?;
+    stream.set_read_timeout(Some(POLL))?;
+    let mut out = stream.try_clone()?;
+    out.write_all(line.as_bytes())?;
+    out.write_all(b"\n")?;
+    out.flush()?;
+    let deadline = std::time::Instant::now() + timeout;
+    let mut reader = BufReader::new(stream);
+    let mut acc: Vec<u8> = Vec::new();
+    let mut lines = Vec::new();
+    while lines.len() < expect {
+        if std::time::Instant::now() >= deadline {
+            return Err(GccoError::Io(format!(
+                "timed out with {}/{expect} responses",
+                lines.len()
+            )));
+        }
+        match reader.read_until(b'\n', &mut acc) {
+            Ok(0) => {
+                return Err(GccoError::Io(format!(
+                    "connection closed with {}/{expect} responses",
+                    lines.len()
+                )))
+            }
+            Ok(_) => {
+                if acc.last() == Some(&b'\n') {
+                    let text = String::from_utf8_lossy(&acc).trim().to_string();
+                    acc.clear();
+                    if !text.is_empty() {
+                        lines.push(text);
+                    }
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(lines)
+}
+
+/// Sends the `shutdown` command and waits for the acknowledgement line.
+///
+/// # Errors
+///
+/// [`GccoError::Io`] when the server cannot be reached in `timeout`.
+pub fn send_shutdown(addr: &SocketAddr, timeout: Duration) -> Result<(), GccoError> {
+    client_roundtrip(addr, "{\"cmd\":\"shutdown\"}", 1, timeout)?;
+    Ok(())
+}

@@ -1,0 +1,433 @@
+//! [`ModelSpec`] — a plain-data, fully serializable description of a
+//! [`GccoStatModel`], canonicalizable into a cache key.
+
+use crate::error::GccoError;
+use gcco_stat::{EdgeModel, GccoStatModel, JitterSpec, RunDist, SamplingTap};
+use gcco_units::Ui;
+
+/// Serializable description of a run-length distribution.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunDistSpec {
+    /// Geometric `P(L) ∝ 2^−L` truncated at the given maximum run length
+    /// (uncoded random data under a line-code CID bound).
+    Geometric(u32),
+    /// Measured run-length counts: `counts[l]` = number of runs of
+    /// length `l` (index 0 unused).
+    Counts(Vec<u64>),
+}
+
+impl RunDistSpec {
+    fn validate(&self) -> Result<(), GccoError> {
+        match self {
+            RunDistSpec::Geometric(max_len) if *max_len >= 1 => Ok(()),
+            RunDistSpec::Geometric(max_len) => Err(GccoError::InvalidSpec(format!(
+                "geometric run distribution needs max_len >= 1, got {max_len}"
+            ))),
+            RunDistSpec::Counts(counts) => {
+                if counts.iter().sum::<u64>() == 0 {
+                    Err(GccoError::InvalidSpec(
+                        "run-length counts must contain at least one run".to_string(),
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    fn build(&self) -> RunDist {
+        match self {
+            RunDistSpec::Geometric(max_len) => RunDist::geometric(*max_len),
+            RunDistSpec::Counts(counts) => RunDist::from_counts(counts),
+        }
+    }
+}
+
+/// A complete, plain-data description of a [`GccoStatModel`]: the Table 1
+/// jitter quantities plus every builder knob (tap, frequency offset, run
+/// distribution, edge-correlation convention, slip term, gating margin,
+/// grid step).
+///
+/// Unlike the model's builders — which `panic!` on out-of-range input —
+/// a `ModelSpec` is validated as data via [`ModelSpec::validate`] /
+/// [`ModelSpec::build`], returning [`GccoError::InvalidSpec`], which is
+/// what lets remote callers submit arbitrary specs safely.
+///
+/// Two specs with equal [`ModelSpec::cache_key`]s build models with
+/// bit-identical behavior; the engine uses the key to share one warm
+/// [`gcco_stat::SweepContext`] across requests.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelSpec {
+    /// Deterministic input jitter, peak-to-peak UI.
+    pub dj_pp: f64,
+    /// Random input jitter, RMS UI.
+    pub rj_rms: f64,
+    /// Sinusoidal input jitter, peak-to-peak UI.
+    pub sj_pp: f64,
+    /// Sinusoidal-jitter frequency normalized to the data rate.
+    pub sj_freq_norm: f64,
+    /// Oscillator (sampling-clock) jitter at `cid_max`, RMS UI.
+    pub ckj_rms: f64,
+    /// Maximum consecutive identical digits the line code guarantees.
+    pub cid_max: u32,
+    /// Run-length distribution of the data.
+    pub run_dist: RunDistSpec,
+    /// Recovered-clock sampling tap.
+    pub tap: SamplingTap,
+    /// Relative oscillator frequency offset `ε = (f_osc − f_data)/f_data`.
+    pub freq_offset: f64,
+    /// Edge-correlation convention for DJ/RJ of the two run-bounding
+    /// transitions.
+    pub edge_model: EdgeModel,
+    /// Whether the bit-slip term `P(X_{L+1} ≤ B)` is included.
+    pub include_slip: bool,
+    /// Gating kill margin: edge-detector delay in oscillator UI, or `None`
+    /// for the paper-faithful boundary.
+    pub gating_tau_ui: Option<f64>,
+    /// PDF grid step in UI.
+    pub grid_step: f64,
+}
+
+/// The model's default PDF grid step (what `GccoStatModel::new` uses).
+pub const DEFAULT_GRID_STEP: f64 = 1e-3;
+
+impl ModelSpec {
+    /// The paper's Table 1 jitter with every knob at the model default:
+    /// standard tap, zero offset, geometric run distribution truncated at
+    /// `cid_max`, resync-referenced edges, slip term on.
+    pub fn paper_table1() -> ModelSpec {
+        ModelSpec::from_jitter_spec(&JitterSpec::paper_table1())
+    }
+
+    /// A spec with the given jitter quantities and default knobs.
+    pub fn from_jitter_spec(spec: &JitterSpec) -> ModelSpec {
+        ModelSpec {
+            dj_pp: spec.dj_pp.value(),
+            rj_rms: spec.rj_rms.value(),
+            sj_pp: spec.sj_pp.value(),
+            sj_freq_norm: spec.sj_freq_norm,
+            ckj_rms: spec.ckj_rms.value(),
+            cid_max: spec.cid_max,
+            run_dist: RunDistSpec::Geometric(spec.cid_max.max(1)),
+            tap: SamplingTap::Standard,
+            freq_offset: 0.0,
+            edge_model: EdgeModel::ResyncReferenced,
+            include_slip: true,
+            gating_tau_ui: None,
+            grid_step: DEFAULT_GRID_STEP,
+        }
+    }
+
+    /// Returns a copy with the given sinusoidal jitter.
+    pub fn with_sj(mut self, amplitude_pp: f64, freq_norm: f64) -> ModelSpec {
+        self.sj_pp = amplitude_pp;
+        self.sj_freq_norm = freq_norm;
+        self
+    }
+
+    /// Returns a copy with the given frequency offset.
+    pub fn with_freq_offset(mut self, epsilon: f64) -> ModelSpec {
+        self.freq_offset = epsilon;
+        self
+    }
+
+    /// Returns a copy with the given sampling tap.
+    pub fn with_tap(mut self, tap: SamplingTap) -> ModelSpec {
+        self.tap = tap;
+        self
+    }
+
+    /// Returns a copy with the slip term enabled or disabled.
+    pub fn with_slip_term(mut self, include: bool) -> ModelSpec {
+        self.include_slip = include;
+        self
+    }
+
+    /// Returns a copy with the given run-length distribution.
+    pub fn with_run_dist(mut self, run_dist: RunDistSpec) -> ModelSpec {
+        self.run_dist = run_dist;
+        self
+    }
+
+    /// Checks every field against the ranges the model builders enforce,
+    /// without building anything.
+    ///
+    /// # Errors
+    ///
+    /// [`GccoError::InvalidSpec`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), GccoError> {
+        let finite_nonneg = [
+            ("dj_pp", self.dj_pp),
+            ("rj_rms", self.rj_rms),
+            ("sj_pp", self.sj_pp),
+            ("ckj_rms", self.ckj_rms),
+        ];
+        for (name, v) in finite_nonneg {
+            if !v.is_finite() || v < 0.0 {
+                return Err(GccoError::InvalidSpec(format!(
+                    "{name} must be finite and non-negative, got {v}"
+                )));
+            }
+        }
+        if !(self.sj_freq_norm > 0.0 && self.sj_freq_norm.is_finite()) {
+            return Err(GccoError::InvalidSpec(format!(
+                "sj_freq_norm must be a positive finite number, got {}",
+                self.sj_freq_norm
+            )));
+        }
+        if self.cid_max < 1 {
+            return Err(GccoError::InvalidSpec(
+                "cid_max must be at least 1".to_string(),
+            ));
+        }
+        if !(self.freq_offset.is_finite() && self.freq_offset.abs() < 0.5) {
+            return Err(GccoError::InvalidSpec(format!(
+                "freq_offset must satisfy |ε| < 0.5, got {}",
+                self.freq_offset
+            )));
+        }
+        if let Some(tau) = self.gating_tau_ui {
+            if !(0.5..1.0).contains(&tau) {
+                return Err(GccoError::InvalidSpec(format!(
+                    "gating_tau_ui must lie in [0.5, 1.0), got {tau}"
+                )));
+            }
+        }
+        if !(self.grid_step > 0.0 && self.grid_step <= 0.01) {
+            return Err(GccoError::InvalidSpec(format!(
+                "grid_step must lie in (0, 0.01], got {}",
+                self.grid_step
+            )));
+        }
+        self.run_dist.validate()
+    }
+
+    /// The jitter quantities as the stat crate's [`JitterSpec`].
+    pub fn jitter_spec(&self) -> JitterSpec {
+        JitterSpec {
+            dj_pp: Ui::new(self.dj_pp),
+            rj_rms: Ui::new(self.rj_rms),
+            sj_pp: Ui::new(self.sj_pp),
+            sj_freq_norm: self.sj_freq_norm,
+            ckj_rms: Ui::new(self.ckj_rms),
+            cid_max: self.cid_max,
+        }
+    }
+
+    /// Validates the spec and builds the described [`GccoStatModel`].
+    ///
+    /// # Errors
+    ///
+    /// [`GccoError::InvalidSpec`] when any field is out of range.
+    pub fn build(&self) -> Result<GccoStatModel, GccoError> {
+        self.validate()?;
+        let mut model = GccoStatModel::new(self.jitter_spec());
+        if self.grid_step != DEFAULT_GRID_STEP {
+            model = model.with_grid_step(self.grid_step);
+        }
+        // `GccoStatModel::new` already installs geometric(cid_max); only
+        // replace the run distribution when the spec asks for something
+        // else, so the default path builds the identical model.
+        if self.run_dist != RunDistSpec::Geometric(self.cid_max.max(1)) {
+            model = model.with_run_dist(self.run_dist.build());
+        }
+        if self.tap != SamplingTap::Standard {
+            model = model.with_tap(self.tap);
+        }
+        if self.freq_offset != 0.0 {
+            model = model.with_freq_offset(self.freq_offset);
+        }
+        if self.edge_model != EdgeModel::ResyncReferenced {
+            model = model.with_edge_model(self.edge_model);
+        }
+        if !self.include_slip {
+            model = model.with_slip_term(false);
+        }
+        if let Some(tau) = self.gating_tau_ui {
+            model = model.with_gating_margin(tau);
+        }
+        Ok(model)
+    }
+
+    /// Canonical cache key: two specs that build behaviorally identical
+    /// models map to the same key. Floats are keyed by their exact bit
+    /// patterns (no formatting round-trip), so "close" specs never alias.
+    pub fn cache_key(&self) -> String {
+        use std::fmt::Write;
+        let mut key = String::with_capacity(128);
+        for v in [
+            self.dj_pp,
+            self.rj_rms,
+            self.sj_pp,
+            self.sj_freq_norm,
+            self.ckj_rms,
+            self.freq_offset,
+            self.grid_step,
+        ] {
+            let _ = write!(key, "{:016x}.", v.to_bits());
+        }
+        let _ = write!(
+            key,
+            "c{}.t{}.e{}.s{}.",
+            self.cid_max,
+            match self.tap {
+                SamplingTap::Standard => 0,
+                SamplingTap::Improved => 1,
+            },
+            match self.edge_model {
+                EdgeModel::ResyncReferenced => 0,
+                EdgeModel::IndependentEdges => 1,
+            },
+            u8::from(self.include_slip),
+        );
+        match self.gating_tau_ui {
+            None => key.push_str("g-."),
+            Some(tau) => {
+                let _ = write!(key, "g{:016x}.", tau.to_bits());
+            }
+        }
+        match &self.run_dist {
+            RunDistSpec::Geometric(n) => {
+                let _ = write!(key, "rg{n}");
+            }
+            RunDistSpec::Counts(counts) => {
+                key.push_str("rc");
+                for c in counts {
+                    let _ = write!(key, ":{c}");
+                }
+            }
+        }
+        key
+    }
+}
+
+impl Default for ModelSpec {
+    fn default() -> ModelSpec {
+        ModelSpec::paper_table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_builds_the_model_default() {
+        let spec = ModelSpec::paper_table1();
+        let built = spec.build().expect("valid");
+        let direct = GccoStatModel::new(JitterSpec::paper_table1());
+        assert_eq!(built, direct);
+        assert_eq!(built.ber(), direct.ber());
+    }
+
+    #[test]
+    fn full_knob_build_matches_builder_chain() {
+        let spec = ModelSpec::paper_table1()
+            .with_sj(0.3, 0.35)
+            .with_freq_offset(-0.01)
+            .with_tap(SamplingTap::Improved)
+            .with_slip_term(false)
+            .with_run_dist(RunDistSpec::Geometric(7));
+        let built = spec.build().expect("valid");
+        let direct = GccoStatModel::new(JitterSpec::paper_table1().with_sj(Ui::new(0.3), 0.35))
+            .with_freq_offset(-0.01)
+            .with_tap(SamplingTap::Improved)
+            .with_slip_term(false)
+            .with_run_dist(RunDist::geometric(7));
+        assert_eq!(built, direct);
+    }
+
+    #[test]
+    fn counts_run_dist_matches_from_counts() {
+        let counts = vec![0u64, 10, 5, 2, 1];
+        let spec = ModelSpec::paper_table1().with_run_dist(RunDistSpec::Counts(counts.clone()));
+        let built = spec.build().expect("valid");
+        assert_eq!(built.run_dist(), &RunDist::from_counts(&counts));
+    }
+
+    #[test]
+    fn validation_catches_each_field() {
+        let ok = ModelSpec::paper_table1();
+        assert!(ok.validate().is_ok());
+        let cases = [
+            ModelSpec {
+                dj_pp: -0.1,
+                ..ok.clone()
+            },
+            ModelSpec {
+                rj_rms: f64::NAN,
+                ..ok.clone()
+            },
+            ModelSpec {
+                sj_freq_norm: 0.0,
+                ..ok.clone()
+            },
+            ModelSpec {
+                cid_max: 0,
+                ..ok.clone()
+            },
+            ModelSpec {
+                freq_offset: 0.7,
+                ..ok.clone()
+            },
+            ModelSpec {
+                gating_tau_ui: Some(0.4),
+                ..ok.clone()
+            },
+            ModelSpec {
+                grid_step: 0.5,
+                ..ok.clone()
+            },
+            ModelSpec {
+                run_dist: RunDistSpec::Geometric(0),
+                ..ok.clone()
+            },
+            ModelSpec {
+                run_dist: RunDistSpec::Counts(vec![0, 0]),
+                ..ok.clone()
+            },
+        ];
+        for (i, bad) in cases.iter().enumerate() {
+            let err = bad.validate().expect_err("must be rejected");
+            assert!(
+                matches!(err, GccoError::InvalidSpec(_)),
+                "case {i}: {err:?}"
+            );
+            assert!(bad.build().is_err(), "case {i} must not build");
+        }
+    }
+
+    #[test]
+    fn cache_keys_separate_and_join_correctly() {
+        let a = ModelSpec::paper_table1();
+        let b = a.clone();
+        assert_eq!(a.cache_key(), b.cache_key());
+        assert_ne!(a.cache_key(), a.clone().with_freq_offset(0.01).cache_key());
+        assert_ne!(
+            a.cache_key(),
+            a.clone().with_tap(SamplingTap::Improved).cache_key()
+        );
+        assert_ne!(
+            a.cache_key(),
+            a.clone()
+                .with_run_dist(RunDistSpec::Geometric(7))
+                .cache_key()
+        );
+        assert_ne!(
+            a.cache_key(),
+            a.clone()
+                .with_run_dist(RunDistSpec::Counts(vec![0, 1]))
+                .cache_key()
+        );
+        // Negative zero and zero are different bit patterns — and the
+        // key must not conflate a gating tau with its float neighbour.
+        assert_ne!(
+            ModelSpec {
+                freq_offset: -0.0,
+                ..a.clone()
+            }
+            .cache_key(),
+            a.cache_key()
+        );
+    }
+}

@@ -1,0 +1,311 @@
+//! Property-style wire-format tests: randomly generated specs, requests
+//! and envelopes survive encode → parse → encode with value *and* text
+//! identity (text identity is the stronger claim: every `f64` must
+//! round-trip bit-exactly through the shortest-representation encoder).
+//!
+//! A seeded LCG stands in for a property-testing framework so the cases
+//! are deterministic and dependency-free.
+
+use gcco_api::json::{
+    encode_batch, encode_envelope, encode_model_spec, encode_request, encode_response,
+    encode_result_line, parse_client_line, parse_model_spec, parse_request, parse_response,
+    parse_result_line, ClientLine, Envelope, Json,
+};
+use gcco_api::{
+    DsimRunSpec, EvalRequest, EvalResponse, GccoError, JtolPointOut, ModelSpec, PowerPointOut,
+    PowerScanSpec, RunDistSpec, SizedCellOut, SjOverride,
+};
+use gcco_stat::{EdgeModel, SamplingTap};
+
+/// Deterministic 64-bit LCG (Knuth's MMIX constants).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    /// Uniform in `[0, n)`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// A finite f64 with a wide dynamic range (plus occasional exact
+    /// decimals and denormal-ish magnitudes) — the values the encoder
+    /// must reproduce bit-exactly.
+    fn f64(&mut self) -> f64 {
+        match self.below(5) {
+            0 => (self.below(2001) as f64 - 1000.0) / 1000.0,
+            1 => f64::from_bits(self.next() >> 12) * 1e-9,
+            2 => (self.below(1 << 20) as f64) * 1e-15,
+            3 => (self.below(100) as f64) / 7.0,
+            _ => {
+                let exp = self.below(61) as i32 - 30;
+                (self.below(1000) as f64 + 1.0) * 10f64.powi(exp)
+            }
+        }
+    }
+
+    fn spec(&mut self) -> ModelSpec {
+        let mut spec = ModelSpec::paper_table1();
+        spec.dj_pp = self.f64().abs().min(0.9);
+        spec.rj_rms = self.f64().abs().min(0.1);
+        spec.ckj_rms = self.f64().abs().min(0.05);
+        spec.cid_max = 1 + self.below(9) as u32;
+        spec.grid_step = 1e-3 + (self.below(90) as f64) * 1e-4;
+        spec.sj_pp = self.f64().abs().min(2.0);
+        spec.sj_freq_norm = (self.f64().abs() + 1e-6).min(0.5);
+        spec.freq_offset = self.f64() * 1e-2;
+        spec.tap = if self.below(2) == 0 {
+            SamplingTap::Standard
+        } else {
+            SamplingTap::Improved
+        };
+        spec.edge_model = if self.below(2) == 0 {
+            EdgeModel::ResyncReferenced
+        } else {
+            EdgeModel::IndependentEdges
+        };
+        spec.include_slip = self.below(2) == 0;
+        spec.run_dist = if self.below(2) == 0 {
+            RunDistSpec::Geometric(1 + self.below(9) as u32)
+        } else {
+            let len = 1 + self.below(6) as usize;
+            RunDistSpec::Counts((0..=len).map(|_| self.below(1000)).collect())
+        };
+        spec.gating_tau_ui = if self.below(3) == 0 {
+            None
+        } else {
+            Some(0.5 + self.f64().abs().min(0.49))
+        };
+        spec
+    }
+
+    fn request(&mut self) -> EvalRequest {
+        match self.below(6) {
+            0 => EvalRequest::BerPoint {
+                spec: self.spec(),
+                sj: if self.below(2) == 0 {
+                    None
+                } else {
+                    Some(SjOverride {
+                        amplitude_pp: self.f64().abs(),
+                        freq_norm: self.f64().abs() + 1e-9,
+                    })
+                },
+            },
+            1 => EvalRequest::BerGrid {
+                spec: self.spec(),
+                amps_pp: (0..1 + self.below(5)).map(|_| self.f64().abs()).collect(),
+                freqs_norm: (0..1 + self.below(5))
+                    .map(|_| self.f64().abs() + 1e-9)
+                    .collect(),
+            },
+            2 => EvalRequest::JtolCurve {
+                spec: self.spec(),
+                freqs_norm: (0..1 + self.below(5))
+                    .map(|_| self.f64().abs() + 1e-9)
+                    .collect(),
+                target_ber: 10f64.powi(-(1 + self.below(14) as i32)),
+            },
+            3 => EvalRequest::FtolSearch {
+                spec: self.spec(),
+                target_ber: 10f64.powi(-(1 + self.below(14) as i32)),
+            },
+            4 => EvalRequest::PowerScan {
+                scan: PowerScanSpec {
+                    bit_rate_gbps: self.f64().abs() + 0.1,
+                    swing_v: self.f64().abs() + 0.1,
+                    n_stages: 2 + self.below(6) as u32,
+                    cid: 1 + self.below(7) as u32,
+                    eta: self.f64().abs() + 0.1,
+                    sigma_ui_target: self.f64().abs() + 1e-4,
+                    iss_min_ua: 1.0 + self.f64().abs(),
+                    iss_max_ua: 1000.0 + self.f64().abs(),
+                    steps: 2 + self.below(30) as u32,
+                    iss_sizing_max_a: self.f64().abs() + 1e-3,
+                },
+            },
+            _ => EvalRequest::DsimRun {
+                run: DsimRunSpec {
+                    seed: self.below(1 << 53),
+                    stages: 2 * (1 + self.below(4) as u32),
+                    stage_delay_ps: self.f64().abs() + 1.0,
+                    jitter_rel: (self.f64().abs() * 1e-3).min(0.29),
+                    duration_ns: self.f64().abs().min(1e5) + 1.0,
+                },
+            },
+        }
+    }
+
+    fn response(&mut self) -> EvalResponse {
+        match self.below(6) {
+            0 => EvalResponse::Scalar { value: self.f64() },
+            1 => EvalResponse::Grid {
+                rows: (0..1 + self.below(4))
+                    .map(|_| (0..1 + self.below(4)).map(|_| self.f64()).collect())
+                    .collect(),
+            },
+            2 => EvalResponse::Jtol {
+                points: (0..1 + self.below(5))
+                    .map(|_| JtolPointOut {
+                        freq_norm: self.f64().abs(),
+                        amplitude_pp: self.f64().abs(),
+                        censored: self.below(2) == 0,
+                    })
+                    .collect(),
+            },
+            3 => EvalResponse::Ftol { value: self.f64() },
+            4 => EvalResponse::Power {
+                sized: if self.below(3) == 0 {
+                    None
+                } else {
+                    Some(SizedCellOut {
+                        iss_a: self.f64().abs(),
+                        swing_v: self.f64().abs(),
+                        delay_fs: self.below(1_000_000) as i64,
+                    })
+                },
+                points: (0..self.below(5))
+                    .map(|_| PowerPointOut {
+                        iss_a: self.f64().abs(),
+                        ring_power_mw: self.f64().abs(),
+                        sigma_ui: self.f64().abs(),
+                    })
+                    .collect(),
+            },
+            _ => EvalResponse::Dsim {
+                run: gcco_api::DsimRunOut {
+                    period_ps_mean: self.f64().abs(),
+                    period_ps_rms: self.f64().abs(),
+                    rising_edges: self.below(100_000),
+                    events: self.below(10_000_000),
+                },
+            },
+        }
+    }
+}
+
+const CASES: u64 = 300;
+
+#[test]
+fn model_specs_round_trip_bit_exactly() {
+    let mut rng = Lcg(0x5eed_0001);
+    for case in 0..CASES {
+        let spec = rng.spec();
+        let text = encode_model_spec(&spec);
+        let parsed = parse_model_spec(&Json::parse(&text).expect("self-encoded JSON parses"))
+            .unwrap_or_else(|e| panic!("case {case}: {e}\n{text}"));
+        assert_eq!(parsed, spec, "case {case}: value drift\n{text}");
+        assert_eq!(
+            encode_model_spec(&parsed),
+            text,
+            "case {case}: text not a fixed point"
+        );
+        assert_eq!(parsed.cache_key(), spec.cache_key(), "case {case}");
+    }
+}
+
+#[test]
+fn requests_round_trip_bit_exactly() {
+    let mut rng = Lcg(0x5eed_0002);
+    for case in 0..CASES {
+        let req = rng.request();
+        let text = encode_request(&req);
+        let parsed = parse_request(&Json::parse(&text).expect("self-encoded JSON parses"))
+            .unwrap_or_else(|e| panic!("case {case}: {e}\n{text}"));
+        assert_eq!(parsed, req, "case {case}: value drift\n{text}");
+        assert_eq!(
+            encode_request(&parsed),
+            text,
+            "case {case}: text not a fixed point"
+        );
+    }
+}
+
+#[test]
+fn responses_round_trip_bit_exactly() {
+    let mut rng = Lcg(0x5eed_0003);
+    for case in 0..CASES {
+        let resp = rng.response();
+        let text = encode_response(&resp);
+        let parsed = parse_response(&Json::parse(&text).expect("self-encoded JSON parses"))
+            .unwrap_or_else(|e| panic!("case {case}: {e}\n{text}"));
+        assert_eq!(parsed, resp, "case {case}: value drift\n{text}");
+        assert_eq!(
+            encode_response(&parsed),
+            text,
+            "case {case}: text not a fixed point"
+        );
+    }
+}
+
+#[test]
+fn envelopes_batches_and_result_lines_round_trip() {
+    let mut rng = Lcg(0x5eed_0004);
+    for case in 0..50 {
+        let envs: Vec<Envelope> = (0..1 + rng.below(4))
+            .map(|_| Envelope {
+                id: rng.below(1 << 53),
+                deadline_ms: if rng.below(2) == 0 {
+                    None
+                } else {
+                    Some(rng.below(100_000))
+                },
+                request: rng.request(),
+            })
+            .collect();
+
+        // Single envelope line.
+        let one = parse_client_line(&encode_envelope(&envs[0])).expect("envelope parses");
+        assert_eq!(
+            one,
+            ClientLine::Requests(vec![envs[0].clone()]),
+            "case {case}"
+        );
+
+        // Batch line.
+        let batch = parse_client_line(&encode_batch(&envs)).expect("batch parses");
+        assert_eq!(batch, ClientLine::Requests(envs.clone()), "case {case}");
+
+        // Result lines, both arms.
+        let ok_line = encode_result_line(envs[0].id, &Ok(rng.response()));
+        let ok = parse_result_line(&ok_line).expect("ok line parses");
+        assert_eq!(ok.id, envs[0].id);
+        assert!(ok.result.is_ok(), "case {case}: {ok_line}");
+
+        let err_line = encode_result_line(7, &Err(GccoError::QueueFull { capacity: 3 }));
+        let err = parse_result_line(&err_line).expect("err line parses");
+        let (kind, detail) = err.result.expect_err("an err line decodes to Err");
+        assert_eq!(kind, "queue_full");
+        assert!(detail.contains('3'), "case {case}: {detail}");
+    }
+}
+
+#[test]
+fn hostile_lines_error_without_panicking() {
+    let hostile = [
+        "",
+        "{",
+        "}",
+        "null",
+        "[1,2,",
+        "{\"batch\":[]}",
+        "{\"id\":1}",
+        "{\"id\":-1,\"request\":{\"type\":\"ber_point\"}}",
+        "{\"request\":{\"type\":\"nope\"}}",
+        "{\"cmd\":3}",
+        "\u{0}\u{0}\u{0}",
+        "{\"id\":1,\"request\":{\"type\":\"ber_grid\",\"spec\":{}}}",
+    ];
+    for line in hostile {
+        assert!(
+            parse_client_line(line).is_err(),
+            "{line:?} must be rejected"
+        );
+    }
+}

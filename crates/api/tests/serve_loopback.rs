@@ -1,0 +1,247 @@
+//! TCP loopback tests for `gcco-serve`'s server core: mixed concurrent
+//! batches, per-request deadlines that fail without killing the server,
+//! backpressure, and the graceful shutdown drain.
+
+use gcco_api::json::{encode_batch, Envelope};
+use gcco_api::serve::{client_roundtrip, send_shutdown, serve, submit_batch, ServeConfig};
+use gcco_api::{
+    DsimRunSpec, Engine, EvalRequest, EvalResponse, ModelSpec, PowerScanSpec, SjOverride,
+};
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(120);
+
+fn mixed_requests() -> Vec<EvalRequest> {
+    let spec = ModelSpec::paper_table1();
+    vec![
+        EvalRequest::BerPoint {
+            spec: spec.clone(),
+            sj: None,
+        },
+        EvalRequest::BerPoint {
+            spec: spec.clone(),
+            sj: Some(SjOverride {
+                amplitude_pp: 1.0,
+                freq_norm: 0.4,
+            }),
+        },
+        EvalRequest::BerGrid {
+            spec: spec.clone(),
+            amps_pp: vec![0.2, 0.8],
+            freqs_norm: vec![0.01, 0.3],
+        },
+        EvalRequest::JtolCurve {
+            spec: spec.clone(),
+            freqs_norm: vec![0.1, 0.4],
+            target_ber: 1e-12,
+        },
+        EvalRequest::FtolSearch {
+            spec,
+            target_ber: 1e-12,
+        },
+        EvalRequest::PowerScan {
+            scan: PowerScanSpec::paper_design(),
+        },
+        EvalRequest::DsimRun {
+            run: DsimRunSpec::paper_ring(),
+        },
+        EvalRequest::BerPoint {
+            spec: ModelSpec::paper_table1().with_freq_offset(100e-6),
+            sj: None,
+        },
+    ]
+}
+
+#[test]
+fn concurrent_mixed_batch_round_trips() {
+    let handle = serve(&ServeConfig::default(), Engine::new()).expect("bind loopback");
+    let addr = handle.local_addr();
+
+    // Two client threads, each submitting the full mixed batch (8
+    // requests each, 16 concurrent total) on its own connection.
+    let clients: Vec<_> = (0..2)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let envelopes: Vec<Envelope> = mixed_requests()
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, request)| Envelope {
+                        id: (c * 100 + i) as u64,
+                        deadline_ms: None,
+                        request,
+                    })
+                    .collect();
+                submit_batch(&addr, &envelopes, TIMEOUT).expect("batch round-trips")
+            })
+        })
+        .collect();
+    for (c, client) in clients.into_iter().enumerate() {
+        let results = client.join().expect("client thread");
+        assert_eq!(results.len(), 8);
+        let ids: HashSet<u64> = results.iter().map(|r| r.id).collect();
+        assert_eq!(ids.len(), 8, "every id answered exactly once");
+        for r in results {
+            let resp = r
+                .result
+                .unwrap_or_else(|e| panic!("client {c} id {} failed: {e:?}", r.id));
+            match (r.id % 100, resp) {
+                (0 | 1 | 7, EvalResponse::Scalar { .. })
+                | (2, EvalResponse::Grid { .. })
+                | (3, EvalResponse::Jtol { .. })
+                | (4, EvalResponse::Ftol { .. })
+                | (5, EvalResponse::Power { .. })
+                | (6, EvalResponse::Dsim { .. }) => {}
+                (i, other) => panic!("request {i} got {:?}", other.kind()),
+            }
+        }
+    }
+    // Both clients submitted the same specs: the shared engine must not
+    // have built more contexts than distinct cache keys (2).
+    assert!(
+        handle.engine().context_builds() <= 2,
+        "context cache must be shared across connections, built {}",
+        handle.engine().context_builds()
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn tripped_deadline_fails_the_request_not_the_server() {
+    let handle = serve(&ServeConfig::default(), Engine::new()).expect("bind loopback");
+    let addr = handle.local_addr();
+
+    let spec = ModelSpec::paper_table1();
+    let envelopes = [
+        Envelope {
+            id: 1,
+            // A deadline of 0 ms is guaranteed already expired at enqueue.
+            deadline_ms: Some(0),
+            request: EvalRequest::BerGrid {
+                spec: spec.clone(),
+                amps_pp: vec![0.2, 0.8],
+                freqs_norm: vec![0.01, 0.3],
+            },
+        },
+        Envelope {
+            id: 2,
+            deadline_ms: None,
+            request: EvalRequest::BerPoint { spec, sj: None },
+        },
+    ];
+    let results = submit_batch(&addr, &envelopes, TIMEOUT).expect("batch round-trips");
+    assert_eq!(results.len(), 2);
+    for r in results {
+        match r.id {
+            1 => {
+                let (kind, _) = r.result.expect_err("0 ms deadline must trip");
+                assert_eq!(kind, "deadline_exceeded");
+            }
+            2 => {
+                r.result.expect("undeadlined request survives");
+            }
+            other => panic!("unexpected id {other}"),
+        }
+    }
+
+    // The server is still alive and serving after the deadline error.
+    let pong = client_roundtrip(&addr, "{\"cmd\":\"ping\"}", 1, TIMEOUT).expect("still serving");
+    assert_eq!(pong, ["{\"pong\":true}"]);
+    handle.shutdown();
+}
+
+#[test]
+fn overflow_gets_queue_full_and_malformed_lines_get_parse_errors() {
+    // One slow worker and a tiny queue force backpressure deterministically.
+    let config = ServeConfig {
+        queue_capacity: 1,
+        workers: 1,
+        ..ServeConfig::default()
+    };
+    let handle = serve(&config, Engine::new()).expect("bind loopback");
+    let addr = handle.local_addr();
+
+    let envelopes: Vec<Envelope> = (0..6)
+        .map(|i| Envelope {
+            id: i,
+            deadline_ms: None,
+            request: EvalRequest::JtolCurve {
+                spec: ModelSpec::paper_table1(),
+                freqs_norm: vec![0.01, 0.1, 0.3],
+                target_ber: 1e-12,
+            },
+        })
+        .collect();
+    let results = submit_batch(&addr, &envelopes, TIMEOUT).expect("all answered");
+    assert_eq!(results.len(), 6);
+    let full = results
+        .iter()
+        .filter(|r| matches!(&r.result, Err((kind, _)) if kind == "queue_full"))
+        .count();
+    let ok = results.iter().filter(|r| r.result.is_ok()).count();
+    assert_eq!(ok + full, 6);
+    assert!(
+        full >= 1,
+        "six instant submissions into a 1-deep queue with one worker must overflow"
+    );
+    assert!(ok >= 1, "the worker must still drain accepted work");
+
+    let err = client_roundtrip(&addr, "this is not json", 1, TIMEOUT).expect("answered");
+    assert!(err[0].contains("\"kind\":\"parse_error\""), "{}", err[0]);
+    handle.shutdown();
+}
+
+#[test]
+fn wire_shutdown_drains_in_flight_work() {
+    let handle = serve(&ServeConfig::default(), Engine::new()).expect("bind loopback");
+    let addr = handle.local_addr();
+
+    // Submit work, wait for proof the batch was accepted (the first
+    // response), then request shutdown from a second connection: every
+    // already-accepted job must still be answered.
+    let envelopes: Vec<Envelope> = (0..4)
+        .map(|i| Envelope {
+            id: 10 + i,
+            deadline_ms: None,
+            request: EvalRequest::BerGrid {
+                spec: ModelSpec::paper_table1(),
+                amps_pp: vec![0.2, 0.6, 1.0],
+                freqs_norm: vec![0.01, 0.1, 0.3],
+            },
+        })
+        .collect();
+    let stream = TcpStream::connect_timeout(&addr, TIMEOUT).expect("connect");
+    {
+        let mut out = stream.try_clone().expect("clone write half");
+        out.write_all(encode_batch(&envelopes).as_bytes())
+            .and_then(|()| out.write_all(b"\n"))
+            .expect("submit batch");
+    }
+    let mut reader = BufReader::new(stream);
+    let mut results = Vec::new();
+    let mut read_line = |reader: &mut BufReader<TcpStream>| {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("response line");
+        assert!(!line.is_empty(), "server closed before draining");
+        results.push(line.trim().to_string());
+    };
+    // One response in hand means handle_line enqueued the whole batch.
+    read_line(&mut reader);
+    send_shutdown(&addr, TIMEOUT).expect("shutdown acknowledged");
+    for _ in 0..3 {
+        read_line(&mut reader);
+    }
+    assert_eq!(results.len(), 4);
+    for line in &results {
+        assert!(
+            line.contains("\"ok\":"),
+            "accepted work must be drained with a real response: {line}"
+        );
+    }
+    // `run_until_shutdown` returns because the wire command flipped the
+    // flag; here the handle observes it too.
+    assert!(handle.is_shutting_down());
+    handle.shutdown();
+}

@@ -16,10 +16,10 @@ fn bench_cached_vs_uncached_ber(c: &mut Criterion) {
         });
     });
     group.bench_function("borrowed_exact_q", |b| {
-        b.iter(|| model.ber_with_sj(Ui::new(0.3), 0.25));
+        b.iter(|| model.ber_at_sj(Ui::new(0.3), 0.25, None));
     });
     group.bench_function("borrowed_table_q", |b| {
-        b.iter(|| model.ber_with_sj_cached(Ui::new(0.3), 0.25, &tab));
+        b.iter(|| model.ber_at_sj(Ui::new(0.3), 0.25, Some(&tab)));
     });
     group.finish();
 }

@@ -1,10 +1,14 @@
 //! Fig. 9 — BER as a function of sinusoidal-jitter frequency (normalized
 //! to the data rate) and amplitude, Table 1 channel jitter, no frequency
 //! offset.
+//!
+//! The figure is expressed as data: one [`ModelSpec`] plus four
+//! [`EvalRequest`]s evaluated through the shared [`Engine`], which builds
+//! the sweep context exactly once and fans every grid and contour point
+//! out over the sweep workers.
 
-use gcco_bench::{fmt_ber, header, result_line};
-use gcco_stat::{GccoStatModel, JitterSpec, SweepContext};
-use gcco_units::Ui;
+use gcco_api::{Engine, EvalRequest, EvalResponse, ModelSpec, SjOverride};
+use gcco_bench::{fmt_ber, header, metrics, result_line};
 
 fn main() {
     header(
@@ -14,17 +18,53 @@ fn main() {
          tolerance collapses toward the data rate",
     );
 
-    let freqs = [1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5];
-    let amps = [0.1, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2];
+    let freqs = vec![1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5];
+    let amps = vec![0.1, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2];
 
-    // One sweep context serves the whole figure: the DJ core and Q-table
-    // are built once and every grid/contour point fans out over workers.
-    let ctx = SweepContext::new(GccoStatModel::new(JitterSpec::paper_table1()));
-    let grid = ctx.ber_grid(&amps, &freqs);
+    // One spec serves the whole figure: the engine builds (and caches) a
+    // single warm sweep context for all four requests.
+    let spec = ModelSpec::paper_table1();
+    let requests = [
+        EvalRequest::BerGrid {
+            spec: spec.clone(),
+            amps_pp: amps.clone(),
+            freqs_norm: freqs.clone(),
+        },
+        EvalRequest::JtolCurve {
+            spec: spec.clone(),
+            freqs_norm: freqs.clone(),
+            target_ber: 1e-12,
+        },
+        EvalRequest::BerPoint {
+            spec: spec.clone(),
+            sj: Some(SjOverride {
+                amplitude_pp: 1.0,
+                freq_norm: 1e-4,
+            }),
+        },
+        EvalRequest::BerPoint {
+            spec,
+            sj: Some(SjOverride {
+                amplitude_pp: 1.0,
+                freq_norm: 0.4,
+            }),
+        },
+    ];
+    let engine = Engine::new();
+    let mut results = engine.evaluate_batch(&requests).into_iter();
+    let mut next = || {
+        results
+            .next()
+            .expect("one result per request")
+            .expect("requests are valid")
+    };
 
+    let EvalResponse::Grid { rows: grid } = next() else {
+        unreachable!("a grid request yields a grid")
+    };
     println!("\nBER map (rows: SJ amplitude UIpp; cols: f_sj/f_bit):");
     print!("  amp\\f ");
-    for f in freqs {
+    for f in &freqs {
         print!("| {f:^8}");
     }
     println!();
@@ -36,12 +76,14 @@ fn main() {
         println!();
     }
 
+    let EvalResponse::Jtol { points: contour } = next() else {
+        unreachable!("a jtol request yields a curve")
+    };
     println!("\nJTOL contour at BER 1e-12 (the boundary the map implies):");
-    let contour = ctx.jtol_curve(&freqs, 1e-12);
     for (f, tol) in freqs.iter().zip(&contour) {
         println!(
             "  f/fb {f:>7}: {:>7.3} UIpp{}",
-            tol.amplitude_pp.value(),
+            tol.amplitude_pp,
             if tol.censored {
                 " (censored — fully tracked)"
             } else {
@@ -50,18 +92,33 @@ fn main() {
         );
         if (f - 0.4).abs() < 1e-9 {
             result_line(
-                "jtol_at_0p4fb_uipp",
-                format!("{:.3}", tol.amplitude_pp.value()),
+                metrics::JTOL_AT_0P4FB_UIPP,
+                format!("{:.3}", tol.amplitude_pp),
             );
         }
     }
 
     // The paper's two headline observations for this figure.
-    let low = ctx.ber_with_sj(Ui::new(1.0), 1e-4);
+    let EvalResponse::Scalar { value: low } = next() else {
+        unreachable!("a point request yields a scalar")
+    };
     assert!(low < 1e-12, "low-frequency SJ must be tracked");
-    let high = ctx.ber_with_sj(Ui::new(1.0), 0.4);
+    let EvalResponse::Scalar { value: high } = next() else {
+        unreachable!("a point request yields a scalar")
+    };
     assert!(high > 1e-6, "near-rate SJ must break the target");
-    result_line("ber_1uipp_at_1e-4fb", fmt_ber(low).trim().to_string());
-    result_line("ber_1uipp_at_0.4fb", fmt_ber(high).trim().to_string());
+    result_line(
+        metrics::BER_1UIPP_AT_0P0001FB,
+        fmt_ber(low).trim().to_string(),
+    );
+    result_line(
+        metrics::BER_1UIPP_AT_0P4FB,
+        fmt_ber(high).trim().to_string(),
+    );
+    assert_eq!(
+        engine.context_builds(),
+        1,
+        "all four requests share one warm sweep context"
+    );
     println!("\nOK: shape matches Fig. 9 — huge low-frequency tolerance, collapse near f_bit.");
 }

@@ -1,9 +1,14 @@
 //! Fig. 10 — BER with a 1 % frequency offset: the accumulated frequency
 //! error over several CID erodes the tolerance (paper §3.1).
+//!
+//! Declarative through [`gcco_api`]: two [`ModelSpec`]s (clean and offset)
+//! and three [`EvalRequest`]s evaluated through one [`Engine`], which keeps
+//! a warm sweep context per spec.
 
-use gcco_bench::{fmt_ber, header, result_line};
-use gcco_stat::{GccoStatModel, JitterSpec, SweepContext, TolMask};
-use gcco_units::Freq;
+use gcco_api::{Engine, EvalRequest, EvalResponse, ModelSpec};
+use gcco_bench::{fmt_ber, header, metrics, result_line};
+use gcco_stat::TolMask;
+use gcco_units::{Freq, Ui};
 
 fn main() {
     header(
@@ -16,21 +21,50 @@ fn main() {
     // The oscillator runs 1 % slow (the Fig. 14 direction: eye erodes on
     // the accumulated right edge).
     let offset = -0.01;
-    let freqs = [1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5];
-    let amps = [0.1, 0.2, 0.4, 0.6, 0.8, 1.0];
+    let freqs = vec![1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5];
+    let amps = vec![0.1, 0.2, 0.4, 0.6, 0.8, 1.0];
 
-    // Two sweep contexts — clean and offset — share the per-model cached
-    // state; every map cell and tolerance point fans out over workers.
-    let clean = SweepContext::new(GccoStatModel::new(JitterSpec::paper_table1()));
-    let offs = SweepContext::new(clean.model().clone().with_freq_offset(offset));
+    // Two specs — clean and offset — each get a warm engine context;
+    // every map cell and tolerance point fans out over workers.
+    let clean_spec = ModelSpec::paper_table1();
+    let offs_spec = clean_spec.clone().with_freq_offset(offset);
+    let jfreqs = vec![1e-3, 1e-2, 0.1, 0.3, 0.45];
+
+    let engine = Engine::new();
+    let requests = [
+        EvalRequest::BerGrid {
+            spec: offs_spec.clone(),
+            amps_pp: amps.clone(),
+            freqs_norm: freqs.clone(),
+        },
+        EvalRequest::JtolCurve {
+            spec: clean_spec,
+            freqs_norm: jfreqs.clone(),
+            target_ber: 1e-12,
+        },
+        EvalRequest::JtolCurve {
+            spec: offs_spec,
+            freqs_norm: jfreqs.clone(),
+            target_ber: 1e-12,
+        },
+    ];
+    let mut results = engine.evaluate_batch(&requests).into_iter();
+    let mut next = || {
+        results
+            .next()
+            .expect("one result per request")
+            .expect("requests are valid")
+    };
 
     println!("\nBER map with ε = {offset:+.2} (rows: SJ UIpp; cols: f_sj/f_bit):");
     print!("  amp\\f ");
-    for f in freqs {
+    for f in &freqs {
         print!("| {f:^8}");
     }
     println!();
-    let grid = offs.ber_grid(&amps, &freqs);
+    let EvalResponse::Grid { rows: grid } = next() else {
+        unreachable!("a grid request yields a grid")
+    };
     for (amp, row) in amps.iter().zip(&grid) {
         print!("  {amp:>4} ");
         for ber in row {
@@ -41,26 +75,32 @@ fn main() {
 
     // JTOL with and without offset, against the mask.
     let mask = TolMask::infiniband(Freq::from_gbps(2.5));
-    let jfreqs = [1e-3, 1e-2, 0.1, 0.3, 0.45];
-    let clean_tol = clean.jtol_curve(&jfreqs, 1e-12);
-    let offs_tol = offs.jtol_curve(&jfreqs, 1e-12);
+    let EvalResponse::Jtol { points: clean_tol } = next() else {
+        unreachable!("a jtol request yields a curve")
+    };
+    let EvalResponse::Jtol { points: offs_tol } = next() else {
+        unreachable!("a jtol request yields a curve")
+    };
     println!("\nJTOL at 1e-12: clean vs 1 % offset vs mask:");
     println!("  f/fb    | clean     | 1% offset | mask req | offset margin");
     let mut worst_margin: f64 = f64::INFINITY;
     for ((f, c), o) in jfreqs.iter().zip(&clean_tol).zip(&offs_tol) {
         let req = mask.required_pp_norm(*f);
-        let margin = mask.margin(*f, o.amplitude_pp);
+        let margin = mask.margin(*f, Ui::new(o.amplitude_pp));
         worst_margin = worst_margin.min(margin);
         println!(
             "  {f:>6} | {:>6.3} UI{} | {:>6.3} UI{} | {:>5.2} UI | {margin:>5.2}x",
-            c.amplitude_pp.value(),
+            c.amplitude_pp,
             if c.censored { "+" } else { " " },
-            o.amplitude_pp.value(),
+            o.amplitude_pp,
             if o.censored { "+" } else { " " },
             req.value(),
         );
     }
-    result_line("worst_margin_at_1pct_offset", format!("{worst_margin:.3}"));
+    result_line(
+        metrics::WORST_MARGIN_AT_1PCT_OFFSET,
+        format!("{worst_margin:.3}"),
+    );
     // The paper's conclusion: margin nearly evaporates near the data rate.
     assert!(
         worst_margin < 2.0,

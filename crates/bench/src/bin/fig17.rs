@@ -2,9 +2,14 @@
 //! sampling point (compare with Fig. 10's standard tap). As in the paper,
 //! the erroneous-sampling-of-the-next-bit (slip) term is excluded here;
 //! we also report it, since the paper flags it as the improved tap's cost.
+//!
+//! The grid and both tolerance curves are [`EvalRequest`]s evaluated
+//! through one [`Engine`] (one warm context per tap); the slip-cost coda
+//! stays on the direct model API, which the engine does not expose.
 
-use gcco_bench::{fmt_ber, header, result_line};
-use gcco_stat::{GccoStatModel, JitterSpec, SamplingTap, SweepContext};
+use gcco_api::{Engine, EvalRequest, EvalResponse, ModelSpec};
+use gcco_bench::{fmt_ber, header, metrics, result_line};
+use gcco_stat::{GccoStatModel, JitterSpec, SamplingTap};
 use gcco_units::Ui;
 
 fn main() {
@@ -15,25 +20,52 @@ fn main() {
     );
 
     let offset = -0.01;
-    let freqs = [1e-3, 1e-2, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5];
-    let amps = [0.2, 0.4, 0.6, 0.8, 1.0];
+    let freqs = vec![1e-3, 1e-2, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5];
+    let amps = vec![0.2, 0.4, 0.6, 0.8, 1.0];
 
-    // One context per model configuration; grids and tolerance curves fan
-    // out over workers with the per-model cached state shared.
-    let std_base = SweepContext::new(
-        GccoStatModel::new(JitterSpec::paper_table1())
-            .with_freq_offset(offset)
-            .with_slip_term(false),
-    );
-    let imp_base = SweepContext::new(std_base.model().clone().with_tap(SamplingTap::Improved));
+    // One spec per model configuration; the engine keeps a warm context
+    // for each and fans grid/curve points out over workers.
+    let std_spec = ModelSpec::paper_table1()
+        .with_freq_offset(offset)
+        .with_slip_term(false);
+    let imp_spec = std_spec.clone().with_tap(SamplingTap::Improved);
+    let jfreqs = vec![1e-2, 0.1, 0.2, 0.3, 0.45];
+
+    let engine = Engine::new();
+    let requests = [
+        EvalRequest::BerGrid {
+            spec: imp_spec.clone(),
+            amps_pp: amps.clone(),
+            freqs_norm: freqs.clone(),
+        },
+        EvalRequest::JtolCurve {
+            spec: std_spec,
+            freqs_norm: jfreqs.clone(),
+            target_ber: 1e-12,
+        },
+        EvalRequest::JtolCurve {
+            spec: imp_spec,
+            freqs_norm: jfreqs.clone(),
+            target_ber: 1e-12,
+        },
+    ];
+    let mut results = engine.evaluate_batch(&requests).into_iter();
+    let mut next = || {
+        results
+            .next()
+            .expect("one result per request")
+            .expect("requests are valid")
+    };
 
     println!("\nBER map, improved tap, slip term excluded (paper convention):");
     print!("  amp\\f ");
-    for f in freqs {
+    for f in &freqs {
         print!("| {f:^8}");
     }
     println!();
-    let grid = imp_base.ber_grid(&amps, &freqs);
+    let EvalResponse::Grid { rows: grid } = next() else {
+        unreachable!("a grid request yields a grid")
+    };
     for (amp, row) in amps.iter().zip(&grid) {
         print!("  {amp:>4} ");
         for ber in row {
@@ -44,23 +76,26 @@ fn main() {
 
     println!("\nJTOL at 1e-12, 1 % offset: standard (Fig. 10) vs improved (Fig. 17):");
     println!("  f/fb   | standard  | improved  | gain");
-    let jfreqs = [1e-2, 0.1, 0.2, 0.3, 0.45];
-    let std_tol = std_base.jtol_curve(&jfreqs, 1e-12);
-    let imp_tol = imp_base.jtol_curve(&jfreqs, 1e-12);
+    let EvalResponse::Jtol { points: std_tol } = next() else {
+        unreachable!("a jtol request yields a curve")
+    };
+    let EvalResponse::Jtol { points: imp_tol } = next() else {
+        unreachable!("a jtol request yields a curve")
+    };
     for ((f, s), i) in jfreqs.iter().zip(&std_tol).zip(&imp_tol) {
-        let gain = i.amplitude_pp.value() / s.amplitude_pp.value().max(1e-9);
+        let gain = i.amplitude_pp / s.amplitude_pp.max(1e-9);
         println!(
             "  {f:>5} | {:>6.3} UI | {:>6.3} UI | {gain:>4.2}x",
-            s.amplitude_pp.value(),
-            i.amplitude_pp.value(),
+            s.amplitude_pp, i.amplitude_pp,
         );
         if (f - 0.3).abs() < 1e-9 {
-            result_line("jtol_gain_at_0p3fb", format!("{gain:.3}"));
+            result_line(metrics::JTOL_GAIN_AT_0P3FB, format!("{gain:.3}"));
             assert!(gain > 1.0, "improved tap must widen the tolerance");
         }
     }
 
     // The caveat the paper itself raises: the slip term the figure ignores.
+    // (run_error_prob has no EvalRequest — this stays on the direct API.)
     println!("\nthe cost the paper flags (slip probability at L = 5, SJ 0.3 UIpp @ 0.3 f_b):");
     for (name, tap) in [
         ("standard", SamplingTap::Standard),

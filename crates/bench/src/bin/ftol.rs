@@ -1,12 +1,21 @@
 //! §2.3 — frequency tolerance (FTOL) and CID statistics: the ±100 ppm
 //! data-rate spec, the 8b10b CID ≤ 5 guarantee, and the measured maximum
 //! frequency offset at BER 1e-12.
+//!
+//! The four FTOL bisections and the ±100 ppm BER check are
+//! [`EvalRequest`]s batched through the [`Engine`]; the run-length
+//! statistics feed the specs as explicit [`RunDistSpec::Counts`].
 
-use gcco_bench::{fmt_ber, header, result_line};
+use gcco_api::{Engine, EvalRequest, EvalResponse, ModelSpec, RunDistSpec};
+use gcco_bench::{fmt_ber, header, metrics, result_line};
 use gcco_signal::{Encoder8b10b, Prbs, PrbsOrder, RunLengths, Symbol};
-use gcco_stat::{
-    available_workers, ftol, par_map_grid, GccoStatModel, JitterSpec, RunDist, SamplingTap,
-};
+use gcco_stat::SamplingTap;
+
+/// The measured run-length histogram as an explicit counts table — the
+/// same table `RunDist::from_run_lengths` builds internally.
+fn counts_of(runs: &RunLengths) -> RunDistSpec {
+    RunDistSpec::Counts((0..=runs.max()).map(|l| runs.count(l)).collect())
+}
 
 fn main() {
     header(
@@ -34,18 +43,18 @@ fn main() {
         prbs_runs.max(),
         prbs_runs.mean()
     );
-    result_line("cid_8b10b", coded_runs.max());
-    result_line("cid_prbs7", prbs_runs.max());
+    result_line(metrics::CID_8B10B, coded_runs.max());
+    result_line(metrics::CID_PRBS7, prbs_runs.max());
     assert!(coded_runs.max() <= 5);
     assert_eq!(prbs_runs.max(), 7);
 
     // FTOL of the statistical model for both stimuli and both taps: four
-    // independent bisections, fanned out over the sweep workers.
+    // independent bisections, batched through the engine.
     println!("\nfrequency tolerance at BER 1e-12 (Table 1 jitter, no SJ):");
     println!("  stimulus | tap      | FTOL");
-    let combos: Vec<(&str, RunDist, &str, SamplingTap)> = [
-        ("8b10b", RunDist::from_run_lengths(&coded_runs)),
-        ("PRBS7", RunDist::from_run_lengths(&prbs_runs)),
+    let combos: Vec<(&str, RunDistSpec, &str, SamplingTap)> = [
+        ("8b10b", counts_of(&coded_runs)),
+        ("PRBS7", counts_of(&prbs_runs)),
     ]
     .into_iter()
     .flat_map(|(name, dist)| {
@@ -56,25 +65,47 @@ fn main() {
         .map(|(tname, tap)| (name, dist.clone(), tname, tap))
     })
     .collect();
-    let ftols = par_map_grid(&combos, available_workers(), |_, (_, dist, _, tap)| {
-        let model = GccoStatModel::new(JitterSpec::paper_table1())
-            .with_run_dist(dist.clone())
-            .with_tap(*tap);
-        ftol(&model, 1e-12)
+    let engine = Engine::new();
+    let mut requests: Vec<EvalRequest> = combos
+        .iter()
+        .map(|(_, dist, _, tap)| EvalRequest::FtolSearch {
+            spec: ModelSpec::paper_table1()
+                .with_run_dist(dist.clone())
+                .with_tap(*tap),
+            target_ber: 1e-12,
+        })
+        .collect();
+    // BER right at the ±100 ppm corner rides along in the same batch.
+    requests.push(EvalRequest::BerPoint {
+        spec: ModelSpec::paper_table1().with_freq_offset(100e-6),
+        sj: None,
     });
-    for ((name, _, tname, tap), f) in combos.iter().zip(ftols) {
+    let mut results = engine.evaluate_batch(&requests).into_iter();
+    let mut next = || {
+        results
+            .next()
+            .expect("one result per request")
+            .expect("requests are valid")
+    };
+    for (name, _, tname, tap) in &combos {
+        let EvalResponse::Ftol { value: f } = next() else {
+            unreachable!("an ftol request yields an offset")
+        };
         println!("  {name:>7}  | {tname:>8} | ±{:.3} %", f * 100.0);
         if *name == "8b10b" && *tap == SamplingTap::Standard {
-            result_line("ftol_8b10b_standard_pct", format!("{:.3}", f * 100.0));
+            result_line(
+                metrics::FTOL_8B10B_STANDARD_PCT,
+                format!("{:.3}", f * 100.0),
+            );
             assert!(f > 100e-6 * 10.0, "FTOL must dwarf the ±100 ppm spec");
         }
     }
 
     // BER right at the ±100 ppm corner: immeasurably low.
-    let at_spec = GccoStatModel::new(JitterSpec::paper_table1())
-        .with_freq_offset(100e-6)
-        .ber();
-    result_line("ber_at_100ppm", fmt_ber(at_spec).trim().to_string());
+    let EvalResponse::Scalar { value: at_spec } = next() else {
+        unreachable!("a point request yields a scalar")
+    };
+    result_line(metrics::BER_AT_100PPM, fmt_ber(at_spec).trim().to_string());
     assert!(at_spec < 1e-12);
     println!("\nOK: the ±100 ppm spec sits orders of magnitude inside the measured FTOL.");
 }

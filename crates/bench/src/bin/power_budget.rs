@@ -1,11 +1,14 @@
 //! §1/§2 claim — power consumption below 5 mW/Gbit/s, and the comparison
 //! against the conventional per-channel PLL-based CDR the paper avoids.
+//!
+//! The analytic sizing and the Fig. 11 I_SS scan are one
+//! [`EvalRequest::PowerScan`] evaluated through the [`Engine`]; the sized
+//! cell comes back exactly (amps + integer femtoseconds), so the budget
+//! arithmetic below is bit-identical to sizing in-process.
 
-use gcco_bench::{header, result_line};
-use gcco_noise::{
-    iss_log_grid, size_for_jitter, tradeoff_point, ChannelPowerBudget, PhaseNoiseModel,
-};
-use gcco_stat::{available_workers, par_map_grid};
+use gcco_api::{Engine, EvalRequest, EvalResponse, PowerScanSpec};
+use gcco_bench::{header, metrics, result_line};
+use gcco_noise::ChannelPowerBudget;
 use gcco_units::{Current, Freq, Voltage};
 
 fn main() {
@@ -16,16 +19,17 @@ fn main() {
     );
 
     let bit_rate = Freq::from_gbps(2.5);
-    let cell = size_for_jitter(
-        PhaseNoiseModel::Hajimiri { eta: 0.75 },
-        Voltage::from_volts(0.4),
-        bit_rate,
-        4,
-        5,
-        0.01,
-        Current::from_amps(0.01),
-    )
-    .expect("reachable");
+    let scan_spec = PowerScanSpec::paper_design();
+    let engine = Engine::new();
+    let response = engine
+        .evaluate(&EvalRequest::PowerScan {
+            scan: scan_spec.clone(),
+        })
+        .expect("the paper design point is a valid scan");
+    let EvalResponse::Power { sized, points } = response else {
+        unreachable!("a power scan yields a power response")
+    };
+    let cell = sized.expect("reachable").to_cell();
     println!("\nsized cell: {cell}");
 
     let budget = ChannelPowerBudget::paper_channel(cell);
@@ -40,51 +44,34 @@ fn main() {
     println!("  channel power    : {}", budget.power());
     let eff = budget.mw_per_gbps(bit_rate);
     println!("  efficiency       : {eff:.2} mW/Gbit/s (target < 5)");
-    result_line("gcco_mw_per_gbps", format!("{eff:.3}"));
+    result_line(metrics::GCCO_MW_PER_GBPS, format!("{eff:.3}"));
     assert!(eff < 5.0);
 
-    // Cross-check the sizing against a brute-force Fig. 11 I_SS scan,
-    // fanned out over the sweep workers: the cheapest bias on the grid
-    // that still meets 0.01 UIrms must cost no less than the sized point.
-    let grid = iss_log_grid(
-        (
-            Current::from_microamps(2.0),
-            Current::from_microamps(2000.0),
-        ),
-        25,
-    );
-    let scan = par_map_grid(&grid, available_workers(), |_, &iss| {
-        tradeoff_point(
-            PhaseNoiseModel::Hajimiri { eta: 0.75 },
-            Voltage::from_volts(0.4),
-            bit_rate,
-            4,
-            5,
-            iss,
-        )
-    });
+    // Cross-check the sizing against the brute-force Fig. 11 I_SS scan
+    // from the same response: the cheapest bias on the grid that still
+    // meets 0.01 UIrms must cost no less than the sized point.
     // The speed floor binds as well: below it the cell cannot drive the
     // parasitic load at the 50 ps stage delay (same constraint as the
     // analytic sizing).
-    let iss_floor = Voltage::from_volts(0.4).volts()
+    let iss_floor = Voltage::from_volts(scan_spec.swing_v).volts()
         * std::f64::consts::LN_2
         * gcco_noise::PARASITIC_CL_FLOOR_FARADS
         / cell.delay().secs();
-    let cheapest = scan
+    let cheapest = points
         .iter()
-        .find(|p| p.sigma_ui <= 0.01 && p.iss.amps() >= iss_floor)
+        .find(|p| p.sigma_ui <= scan_spec.sigma_ui_target && p.iss_a >= iss_floor)
         .expect("scan range must reach the jitter target");
+    let cheapest_iss = Current::from_amps(cheapest.iss_a);
     let scan_eff = ChannelPowerBudget::paper_channel(gcco_noise::CmlCell::sized_for_delay(
-        cheapest.iss,
-        Voltage::from_volts(0.4),
+        cheapest_iss,
+        Voltage::from_volts(scan_spec.swing_v),
         cell.delay(),
     ))
     .mw_per_gbps(bit_rate);
     println!(
-        "  I_SS scan check  : cheapest grid bias meeting 0.01 UIrms is {} -> {scan_eff:.2} mW/Gbit/s",
-        cheapest.iss
+        "  I_SS scan check  : cheapest grid bias meeting 0.01 UIrms is {cheapest_iss} -> {scan_eff:.2} mW/Gbit/s",
     );
-    result_line("scan_mw_per_gbps", format!("{scan_eff:.3}"));
+    result_line(metrics::SCAN_MW_PER_GBPS, format!("{scan_eff:.3}"));
     assert!(
         scan_eff >= eff * 0.99,
         "the analytic sizing must not be beaten by the grid scan"
@@ -106,8 +93,11 @@ fn main() {
     println!("\nper-channel PLL-based CDR (same cell currency):");
     println!("  cells            : {}", pll_cdr.total_cells());
     println!("  efficiency       : {pll_eff:.2} mW/Gbit/s");
-    result_line("pll_cdr_mw_per_gbps", format!("{pll_eff:.3}"));
-    result_line("gcco_vs_pll_power_ratio", format!("{:.2}", pll_eff / eff));
+    result_line(metrics::PLL_CDR_MW_PER_GBPS, format!("{pll_eff:.3}"));
+    result_line(
+        metrics::GCCO_VS_PLL_POWER_RATIO,
+        format!("{:.2}", pll_eff / eff),
+    );
     assert!(
         pll_eff / eff > 2.0,
         "the paper's motivation: GCCO is the low-power option"

@@ -1,0 +1,109 @@
+//! Golden-output guard for the engine-rewired experiment binaries.
+//!
+//! `fig09`, `fig10`, `fig17`, `ftol` and `power_budget` now express their
+//! grids and searches as `EvalRequest`s executed through `gcco_api::Engine`.
+//! The rewiring contract is byte-identical output: every sweep kernel the
+//! engine dispatches is the same one the binaries called directly, and
+//! `par_map_grid` is bit-identical for any worker count. These goldens
+//! pin that — any numeric drift (or accidental format change) fails here.
+
+use std::process::Command;
+
+fn check(bin_path: &str, golden: &str, name: &str) {
+    let out = Command::new(bin_path)
+        .env_remove("GCCO_WORKERS")
+        .output()
+        .unwrap_or_else(|e| panic!("failed to run {name}: {e}"));
+    assert!(
+        out.status.success(),
+        "{name} exited with {:?}:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let got = String::from_utf8(out.stdout).expect("binaries print UTF-8");
+    if got != golden {
+        for (i, (g, w)) in golden.lines().zip(got.lines()).enumerate() {
+            assert_eq!(
+                w,
+                g,
+                "{name}: first divergence at line {} (golden vs run)",
+                i + 1
+            );
+        }
+        assert_eq!(
+            got.lines().count(),
+            golden.lines().count(),
+            "{name}: line count differs from golden"
+        );
+        panic!("{name}: output differs from golden only in line endings");
+    }
+}
+
+#[test]
+fn fig09_output_is_golden() {
+    check(
+        env!("CARGO_BIN_EXE_fig09"),
+        include_str!("golden/fig09.txt"),
+        "fig09",
+    );
+}
+
+#[test]
+fn fig10_output_is_golden() {
+    check(
+        env!("CARGO_BIN_EXE_fig10"),
+        include_str!("golden/fig10.txt"),
+        "fig10",
+    );
+}
+
+#[test]
+fn fig17_output_is_golden() {
+    check(
+        env!("CARGO_BIN_EXE_fig17"),
+        include_str!("golden/fig17.txt"),
+        "fig17",
+    );
+}
+
+#[test]
+fn ftol_output_is_golden() {
+    check(
+        env!("CARGO_BIN_EXE_ftol"),
+        include_str!("golden/ftol.txt"),
+        "ftol",
+    );
+}
+
+#[test]
+fn power_budget_output_is_golden() {
+    check(
+        env!("CARGO_BIN_EXE_power_budget"),
+        include_str!("golden/power_budget.txt"),
+        "power_budget",
+    );
+}
+
+#[test]
+fn goldens_carry_the_registered_result_keys() {
+    // Belt and braces with the `metrics` drift guard: the values recorded
+    // in the goldens use exactly the registered key spellings.
+    for golden in [
+        include_str!("golden/fig09.txt"),
+        include_str!("golden/fig10.txt"),
+        include_str!("golden/fig17.txt"),
+        include_str!("golden/ftol.txt"),
+        include_str!("golden/power_budget.txt"),
+    ] {
+        for line in golden.lines().filter(|l| l.starts_with("RESULT ")) {
+            let key = line["RESULT ".len()..]
+                .split(" = ")
+                .next()
+                .expect("RESULT lines are 'RESULT key = value'");
+            assert!(
+                gcco_bench::metrics::ALL_KEYS.contains(&key),
+                "golden RESULT key {key:?} is not in the metrics registry"
+            );
+        }
+    }
+}

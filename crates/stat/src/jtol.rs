@@ -130,10 +130,7 @@ pub(crate) fn jtol_at_impl(
         "invalid target BER {target_ber}"
     );
     assert!(freq_norm > 0.0, "invalid SJ frequency {freq_norm}");
-    let mut ber_at = |amp_pp: f64| match tab {
-        None => model.ber_with_sj(Ui::new(amp_pp), freq_norm),
-        Some(t) => model.ber_with_sj_cached(Ui::new(amp_pp), freq_norm, t),
-    };
+    let mut ber_at = |amp_pp: f64| model.ber_at_sj(Ui::new(amp_pp), freq_norm, tab);
     jtol_search(&mut ber_at, freq_norm, target_ber, hint)
 }
 
@@ -372,9 +369,13 @@ mod tests {
         // passing edge of a TOL-wide bracket.
         let p = jtol_at(&model(), 0.35, 1e-12);
         let m = model();
-        assert!(m.ber_with_sj(p.amplitude_pp, 0.35) <= 1e-12);
+        assert!(m.ber_at_sj(p.amplitude_pp, 0.35, None) <= 1e-12);
         assert!(
-            m.ber_with_sj(p.amplitude_pp + Ui::new(2.0 * JTOL_AMPLITUDE_TOL), 0.35) > 1e-12,
+            m.ber_at_sj(
+                p.amplitude_pp + Ui::new(2.0 * JTOL_AMPLITUDE_TOL),
+                0.35,
+                None
+            ) > 1e-12,
             "bracket looser than advertised"
         );
     }

@@ -576,33 +576,37 @@ impl GccoStatModel {
     /// would, but reuses the cached DJ core. This is the JTOL bisection
     /// workhorse (tens of evaluations per tolerance point).
     ///
+    /// `tab` selects the Gaussian-tail path: `None` evaluates the exact
+    /// `Q` sum, `Some` uses the precomputed [`QTable`] fast path (~1e-9
+    /// relative deviation; see [`Pdf::gaussian_exceed_above_with`]).
+    ///
     /// # Panics
     ///
     /// Panics on a non-positive/non-finite `freq_norm` (mirroring
     /// [`JitterSpec::with_sj`]).
-    pub fn ber_with_sj(&self, amplitude_pp: Ui, freq_norm: f64) -> f64 {
+    pub fn ber_at_sj(&self, amplitude_pp: Ui, freq_norm: f64, tab: Option<&QTable>) -> f64 {
         assert!(
             freq_norm > 0.0 && freq_norm.is_finite(),
             "invalid normalized SJ frequency {freq_norm}"
         );
-        self.ber_eval(0.0, amplitude_pp.value(), freq_norm, self.freq_offset, None)
+        self.ber_eval(0.0, amplitude_pp.value(), freq_norm, self.freq_offset, tab)
     }
 
-    /// [`GccoStatModel::ber_with_sj`] using a precomputed [`QTable`] for
-    /// the Gaussian tail — the sweep-engine fast path (~1e-9 relative
-    /// deviation from the exact sum; see [`Pdf::gaussian_exceed_above_with`]).
+    /// Deprecated alias for [`GccoStatModel::ber_at_sj`] with the exact
+    /// Gaussian-tail path.
+    #[deprecated(since = "0.1.0", note = "use ber_at_sj(amplitude_pp, freq_norm, None)")]
+    pub fn ber_with_sj(&self, amplitude_pp: Ui, freq_norm: f64) -> f64 {
+        self.ber_at_sj(amplitude_pp, freq_norm, None)
+    }
+
+    /// Deprecated alias for [`GccoStatModel::ber_at_sj`] with the
+    /// [`QTable`] fast path.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ber_at_sj(amplitude_pp, freq_norm, Some(tab))"
+    )]
     pub fn ber_with_sj_cached(&self, amplitude_pp: Ui, freq_norm: f64, tab: &QTable) -> f64 {
-        assert!(
-            freq_norm > 0.0 && freq_norm.is_finite(),
-            "invalid normalized SJ frequency {freq_norm}"
-        );
-        self.ber_eval(
-            0.0,
-            amplitude_pp.value(),
-            freq_norm,
-            self.freq_offset,
-            Some(tab),
-        )
+        self.ber_at_sj(amplitude_pp, freq_norm, Some(tab))
     }
 
     /// Bit error ratio with the oscillator frequency offset overridden to
@@ -902,10 +906,10 @@ mod tests {
     }
 
     #[test]
-    fn ber_with_sj_matches_clone_path() {
+    fn ber_at_sj_matches_clone_path() {
         let model = GccoStatModel::new(table1()).with_freq_offset(-0.005);
         for (amp, freq) in [(0.05, 0.3), (0.4, 0.1), (1.5, 0.02), (6.0, 0.001)] {
-            let borrowed = model.ber_with_sj(Ui::new(amp), freq);
+            let borrowed = model.ber_at_sj(Ui::new(amp), freq, None);
             let cloned = model
                 .clone()
                 .with_spec(model.spec().clone().with_sj(Ui::new(amp), freq))
@@ -929,8 +933,8 @@ mod tests {
         let tab = crate::QTable::new();
         let model = GccoStatModel::new(table1()).with_freq_offset(-0.01);
         for (amp, freq) in [(0.1, 0.4), (0.6, 0.2), (2.0, 0.01)] {
-            let exact = model.ber_with_sj(Ui::new(amp), freq);
-            let fast = model.ber_with_sj_cached(Ui::new(amp), freq, &tab);
+            let exact = model.ber_at_sj(Ui::new(amp), freq, None);
+            let fast = model.ber_at_sj(Ui::new(amp), freq, Some(&tab));
             assert!(
                 (fast - exact).abs() <= 1e-6 * exact + 1e-30,
                 "amp={amp} freq={freq}: {fast} vs {exact}"
@@ -946,8 +950,23 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "invalid normalized SJ frequency")]
-    fn ber_with_sj_rejects_bad_frequency() {
-        let _ = GccoStatModel::new(table1()).ber_with_sj(Ui::new(0.1), 0.0);
+    fn ber_at_sj_rejects_bad_frequency() {
+        let _ = GccoStatModel::new(table1()).ber_at_sj(Ui::new(0.1), 0.0, None);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_sj_shims_still_agree() {
+        let tab = crate::QTable::new();
+        let model = GccoStatModel::new(table1());
+        assert_eq!(
+            model.ber_with_sj(Ui::new(0.3), 0.25),
+            model.ber_at_sj(Ui::new(0.3), 0.25, None)
+        );
+        assert_eq!(
+            model.ber_with_sj_cached(Ui::new(0.3), 0.25, &tab),
+            model.ber_at_sj(Ui::new(0.3), 0.25, Some(&tab))
+        );
     }
 
     #[test]

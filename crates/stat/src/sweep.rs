@@ -191,10 +191,11 @@ impl SweepContext {
         self.model.ber_cached(&self.qtab)
     }
 
-    /// Single-point cached BER with overridden sinusoidal jitter.
-    pub fn ber_with_sj(&self, amplitude_pp: Ui, freq_norm: f64) -> f64 {
+    /// Single-point cached BER with overridden sinusoidal jitter (the
+    /// [`GccoStatModel::ber_at_sj`] fast path with this context's Q-table).
+    pub fn ber_at_sj(&self, amplitude_pp: Ui, freq_norm: f64) -> f64 {
         self.model
-            .ber_with_sj_cached(amplitude_pp, freq_norm, &self.qtab)
+            .ber_at_sj(amplitude_pp, freq_norm, Some(&self.qtab))
     }
 
     /// BER over an SJ amplitude × frequency grid: `grid[a][f]` is the BER
@@ -207,11 +208,19 @@ impl SweepContext {
             .flat_map(|&a| freqs_norm.iter().map(move |&f| (a, f)))
             .collect();
         let flat = self.map(&cells, |_, &(a, f)| {
-            self.model.ber_with_sj_cached(Ui::new(a), f, &self.qtab)
+            self.model.ber_at_sj(Ui::new(a), f, Some(&self.qtab))
         });
         flat.chunks(freqs_norm.len().max(1))
             .map(|row| row.to_vec())
             .collect()
+    }
+
+    /// One cold jitter-tolerance bisection at `freq_norm` with the cached
+    /// Q fast path — the per-point kernel of [`SweepContext::jtol_curve`],
+    /// exposed so request engines can interleave deadline checks between
+    /// points without changing any value.
+    pub fn jtol_point(&self, freq_norm: f64, target_ber: f64) -> JtolPoint {
+        jtol_at_impl(&self.model, freq_norm, target_ber, None, Some(&self.qtab))
     }
 
     /// Jitter-tolerance curve over `freqs_norm`, one bisection per point,
@@ -221,9 +230,7 @@ impl SweepContext {
     /// [`crate::jtol_curve`] agrees to within
     /// [`crate::JTOL_AMPLITUDE_TOL`].
     pub fn jtol_curve(&self, freqs_norm: &[f64], target_ber: f64) -> Vec<JtolPoint> {
-        self.map(freqs_norm, |_, &f| {
-            jtol_at_impl(&self.model, f, target_ber, None, Some(&self.qtab))
-        })
+        self.map(freqs_norm, |_, &f| self.jtol_point(f, target_ber))
     }
 }
 
@@ -287,7 +294,7 @@ mod tests {
         let grid = ctx.ber_grid(&[0.2, 0.8], &[0.05, 0.25]);
         for (i, &a) in [0.2, 0.8].iter().enumerate() {
             for (j, &f) in [0.05, 0.25].iter().enumerate() {
-                let exact = model.ber_with_sj(Ui::new(a), f);
+                let exact = model.ber_at_sj(Ui::new(a), f, None);
                 let fast = grid[i][j];
                 assert!(
                     (fast - exact).abs() <= 1e-6 * exact + 1e-30,

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub use gcco_analog as analog;
+pub use gcco_api as api;
 pub use gcco_core as cdr;
 pub use gcco_dsim as dsim;
 pub use gcco_eye as eye;
