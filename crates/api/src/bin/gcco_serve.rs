@@ -13,12 +13,16 @@
 //!     Forward each stdin line to the server, print one response line per
 //!     submitted envelope.
 //!
+//! gcco-serve metrics <ADDR>
+//!     Fetch {"cmd":"metrics"} and print the Prometheus-style text
+//!     exposition (cache, queue, latency-histogram, outcome series).
+//!
 //! gcco-serve shutdown <ADDR>
 //!     Ask the server to drain and exit.
 //! ```
 
 use gcco_api::json::{parse_client_line, ClientLine, Envelope};
-use gcco_api::serve::{client_roundtrip, send_shutdown, serve, ServeConfig};
+use gcco_api::serve::{client_roundtrip, fetch_metrics, send_shutdown, serve, ServeConfig};
 use gcco_api::{DsimRunSpec, Engine, EvalRequest, ModelSpec, SjOverride};
 use std::net::SocketAddr;
 use std::time::Duration;
@@ -31,6 +35,12 @@ fn main() {
         Some("listen") => listen(&args[1..]),
         Some("demo") => with_addr(&args[1..], demo),
         Some("send") => with_addr(&args[1..], send_stdin),
+        Some("metrics") => with_addr(&args[1..], |addr| {
+            fetch_metrics(&addr, CLIENT_TIMEOUT).map(|text| {
+                print!("{text}");
+                0
+            })
+        }),
         Some("shutdown") => with_addr(&args[1..], |addr| {
             send_shutdown(&addr, CLIENT_TIMEOUT).map(|()| {
                 println!("shutdown acknowledged");
@@ -42,6 +52,7 @@ fn main() {
                 "usage: gcco-serve listen [ADDR] [--workers N] [--queue N]\n\
                  \x20      gcco-serve demo <ADDR>\n\
                  \x20      gcco-serve send <ADDR>\n\
+                 \x20      gcco-serve metrics <ADDR>\n\
                  \x20      gcco-serve shutdown <ADDR>"
             );
             Ok(2)

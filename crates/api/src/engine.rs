@@ -27,6 +27,7 @@ use crate::request::{
 use crate::spec::ModelSpec;
 use gcco_dsim::{GateFunc, LogicGate, Simulator};
 use gcco_noise::{iss_log_grid, size_for_jitter, tradeoff_point, PhaseNoiseModel};
+use gcco_obs::{Counter, Registry};
 use gcco_stat::{available_workers, par_map_grid, SweepContext};
 use gcco_units::{Current, Freq, Time, Ui, Voltage};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -130,6 +131,12 @@ pub struct Engine {
     /// MRU-ordered (key, context) pairs; front = most recently used.
     cache: Mutex<Vec<(String, Arc<SweepContext>)>>,
     builds: AtomicU64,
+    obs: Registry,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_builds: Arc<Counter>,
+    cache_evictions: Arc<Counter>,
+    deadline_trips: Arc<Counter>,
 }
 
 impl Default for Engine {
@@ -144,15 +151,38 @@ impl Engine {
         Engine::with_config(EngineConfig::default())
     }
 
-    /// An engine with explicit tuning.
+    /// An engine with explicit tuning and its own fresh metrics registry.
     pub fn with_config(config: EngineConfig) -> Engine {
+        Engine::with_config_and_obs(config, Registry::new())
+    }
+
+    /// An engine with explicit tuning recording into `obs` — engine
+    /// dispatch, cache, and sweep metrics all land in that registry.
+    ///
+    /// A `cache_capacity` of 0 is clamped to 1: a zero-capacity cache
+    /// would evict on every build and thrash warm contexts, which is
+    /// never what an operator wants.
+    pub fn with_config_and_obs(mut config: EngineConfig, obs: Registry) -> Engine {
+        config.cache_capacity = config.cache_capacity.max(1);
         let workers = config.workers.unwrap_or_else(available_workers).max(1);
         Engine {
             config,
             workers,
             cache: Mutex::new(Vec::new()),
             builds: AtomicU64::new(0),
+            cache_hits: obs.counter("gcco_engine_cache_hits_total"),
+            cache_misses: obs.counter("gcco_engine_cache_misses_total"),
+            cache_builds: obs.counter("gcco_engine_cache_builds_total"),
+            cache_evictions: obs.counter("gcco_engine_cache_evictions_total"),
+            deadline_trips: obs.counter("gcco_engine_deadline_trips_total"),
+            obs,
         }
+    }
+
+    /// The metrics registry this engine (and every context it builds)
+    /// records into.
+    pub fn obs(&self) -> &Registry {
+        &self.obs
     }
 
     /// Worker threads used for grids and curves.
@@ -180,13 +210,23 @@ impl Engine {
                 let entry = cache.remove(pos);
                 let ctx = Arc::clone(&entry.1);
                 cache.insert(0, entry);
+                self.cache_hits.inc();
                 return Ok(ctx);
             }
         }
+        self.cache_misses.inc();
         // Build outside the lock: context construction convolves PDFs and
         // must not serialize unrelated requests behind it.
+        let _span = self
+            .obs
+            .histogram("gcco_engine_context_build_seconds")
+            .span();
         let model = spec.build()?;
-        let ctx = Arc::new(SweepContext::new(model).with_workers(self.workers));
+        let ctx = Arc::new(
+            SweepContext::new(model)
+                .with_workers(self.workers)
+                .with_obs(self.obs.clone()),
+        );
         let mut cache = self.cache.lock().expect("cache lock poisoned");
         // A racing builder may have inserted the same key meanwhile; keep
         // the incumbent so all holders share one context (and don't count
@@ -199,8 +239,11 @@ impl Engine {
             return Ok(ctx);
         }
         self.builds.fetch_add(1, Ordering::Relaxed);
+        self.cache_builds.inc();
         cache.insert(0, (key, Arc::clone(&ctx)));
-        cache.truncate(self.config.cache_capacity.max(1));
+        let before = cache.len();
+        cache.truncate(self.config.cache_capacity);
+        self.cache_evictions.add((before - cache.len()) as u64);
         Ok(ctx)
     }
 
@@ -233,6 +276,24 @@ impl Engine {
         req: &EvalRequest,
         guard: DeadlineGuard,
     ) -> Result<EvalResponse, GccoError> {
+        let kind = req.kind();
+        self.obs
+            .counter_with("gcco_engine_requests_total", "kind", kind)
+            .inc();
+        let _span = self
+            .obs
+            .histogram_with("gcco_engine_request_seconds", "kind", kind)
+            .span();
+        let result = self.dispatch(req, guard);
+        if matches!(result, Err(GccoError::DeadlineExceeded { .. })) {
+            self.deadline_trips.inc();
+        }
+        result
+    }
+
+    /// The uninstrumented dispatch body — kernels only, no metrics, so
+    /// counting and timing provably cannot perturb a computed value.
+    fn dispatch(&self, req: &EvalRequest, guard: DeadlineGuard) -> Result<EvalResponse, GccoError> {
         req.validate()?;
         guard.check()?;
         match req {
@@ -445,6 +506,73 @@ mod tests {
         assert_eq!(engine.context_builds(), 3, "other stayed warm");
         engine.context_for(&spec).unwrap();
         assert_eq!(engine.context_builds(), 4, "spec was evicted and rebuilt");
+    }
+
+    #[test]
+    fn zero_cache_capacity_clamps_to_one_instead_of_thrashing() {
+        let engine = Engine::with_config(EngineConfig {
+            cache_capacity: 0,
+            workers: Some(1),
+        });
+        let spec = ModelSpec::paper_table1();
+        engine.context_for(&spec).unwrap();
+        let again = engine.context_for(&spec).unwrap();
+        assert_eq!(
+            engine.context_builds(),
+            1,
+            "capacity 0 must behave as capacity 1, not evict every build"
+        );
+        assert!(Arc::ptr_eq(&engine.context_for(&spec).unwrap(), &again));
+        assert_eq!(
+            engine
+                .obs()
+                .counter("gcco_engine_cache_evictions_total")
+                .get(),
+            0
+        );
+    }
+
+    #[test]
+    fn obs_counters_track_cache_requests_and_deadlines() {
+        let engine = Engine::with_config(EngineConfig {
+            cache_capacity: 1,
+            workers: Some(1),
+        });
+        let spec = ModelSpec::paper_table1();
+        let req = EvalRequest::BerPoint {
+            spec: spec.clone(),
+            sj: None,
+        };
+        engine.evaluate(&req).unwrap();
+        engine.evaluate(&req).unwrap();
+        let obs = engine.obs();
+        assert_eq!(obs.counter("gcco_engine_cache_misses_total").get(), 1);
+        assert_eq!(obs.counter("gcco_engine_cache_hits_total").get(), 1);
+        assert_eq!(obs.counter("gcco_engine_cache_builds_total").get(), 1);
+        assert_eq!(
+            obs.counter_with("gcco_engine_requests_total", "kind", "ber_point")
+                .get(),
+            2
+        );
+        assert_eq!(
+            obs.histogram_with("gcco_engine_request_seconds", "kind", "ber_point")
+                .count(),
+            2
+        );
+        // A distinct spec into a capacity-1 cache evicts the incumbent.
+        engine
+            .evaluate(&EvalRequest::BerPoint {
+                spec: spec.with_freq_offset(0.01),
+                sj: None,
+            })
+            .unwrap();
+        assert_eq!(obs.counter("gcco_engine_cache_evictions_total").get(), 1);
+        // A tripped deadline is counted.
+        let err = engine
+            .evaluate_with_deadline(&req, DeadlineGuard::after_ms(0))
+            .expect_err("zero deadline trips");
+        assert_eq!(err.kind(), "deadline_exceeded");
+        assert_eq!(obs.counter("gcco_engine_deadline_trips_total").get(), 1);
     }
 
     #[test]

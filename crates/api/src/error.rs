@@ -25,6 +25,13 @@ pub enum GccoError {
     /// A wire message could not be parsed (malformed JSON, missing or
     /// mistyped field). The payload pinpoints the first offence.
     Parse(String),
+    /// A batch used the same request id more than once, which would make
+    /// response correlation ambiguous (ids are the only correlation
+    /// mechanism — responses arrive in completion order).
+    DuplicateId {
+        /// The id that appeared more than once.
+        id: u64,
+    },
     /// An I/O failure in the serve layer (socket, bind, …).
     Io(String),
     /// The service is shutting down and no longer accepts new work.
@@ -39,6 +46,7 @@ impl GccoError {
             GccoError::DeadlineExceeded { .. } => "deadline_exceeded",
             GccoError::QueueFull { .. } => "queue_full",
             GccoError::Parse(_) => "parse_error",
+            GccoError::DuplicateId { .. } => "duplicate_id",
             GccoError::Io(_) => "io_error",
             GccoError::ShuttingDown => "shutting_down",
         }
@@ -53,6 +61,9 @@ impl GccoError {
             }
             GccoError::QueueFull { capacity } => {
                 format!("request queue at capacity ({capacity})")
+            }
+            GccoError::DuplicateId { id } => {
+                format!("request id {id} appears more than once in the batch")
             }
             GccoError::ShuttingDown => "service is shutting down".to_string(),
         }
@@ -86,6 +97,9 @@ mod tests {
         assert_eq!(q.kind(), "queue_full");
         assert!(q.detail().contains('8'));
         assert_eq!(GccoError::ShuttingDown.kind(), "shutting_down");
+        let d = GccoError::DuplicateId { id: 9 };
+        assert_eq!(d.kind(), "duplicate_id");
+        assert!(d.detail().contains('9'));
         assert_eq!(
             GccoError::InvalidSpec("x".into()).to_string(),
             "invalid_spec: x"

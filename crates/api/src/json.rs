@@ -844,11 +844,28 @@ fn parse_envelope(v: &Json) -> Result<Envelope, GccoError> {
     })
 }
 
+/// Rejects a batch whose envelopes reuse a request id: ids are the only
+/// correlation mechanism on the wire (responses arrive in completion
+/// order), so a duplicated id would make its responses ambiguous.
+///
+/// # Errors
+///
+/// [`GccoError::DuplicateId`] naming the first repeated id.
+pub fn check_unique_ids(envelopes: &[Envelope]) -> Result<(), GccoError> {
+    for (i, env) in envelopes.iter().enumerate() {
+        if envelopes[..i].iter().any(|e| e.id == env.id) {
+            return Err(GccoError::DuplicateId { id: env.id });
+        }
+    }
+    Ok(())
+}
+
 /// Parses one client line: a single envelope, a batch, or a command.
 ///
 /// # Errors
 ///
-/// [`GccoError::Parse`] on malformed input.
+/// [`GccoError::Parse`] on malformed input, [`GccoError::DuplicateId`]
+/// when a batch reuses a request id.
 pub fn parse_client_line(line: &str) -> Result<ClientLine, GccoError> {
     let v = Json::parse(line)?;
     if let Some(cmd) = v.get("cmd") {
@@ -863,6 +880,7 @@ pub fn parse_client_line(line: &str) -> Result<ClientLine, GccoError> {
         if envelopes.is_empty() {
             return Err(GccoError::Parse("empty batch".to_string()));
         }
+        check_unique_ids(&envelopes)?;
         return Ok(ClientLine::Requests(envelopes));
     }
     Ok(ClientLine::Requests(vec![parse_envelope(&v)?]))
@@ -906,6 +924,20 @@ pub fn encode_result_line(id: u64, result: &Result<EvalResponse, GccoError>) -> 
             json_string(&e.detail())
         ),
     }
+}
+
+/// Encodes an **id-less** error line (no trailing newline):
+/// `{"err":{"kind":...,"detail":...}}`. This is the reply to input the
+/// server cannot correlate to any envelope — a malformed line or an
+/// unknown command — and is deliberately shaped so it can never be
+/// mistaken for the response to a legitimate request (every envelope
+/// response carries an `"id"` field; this line has none).
+pub fn encode_error_line(e: &GccoError) -> String {
+    format!(
+        "{{\"err\":{{\"kind\":{},\"detail\":{}}}}}",
+        json_string(e.kind()),
+        json_string(&e.detail())
+    )
 }
 
 /// A response line parsed from the wire, error side kept as
@@ -1030,7 +1062,9 @@ mod tests {
             ClientLine::Requests(envs) => assert_eq!(envs, vec![env.clone()]),
             other => panic!("{other:?}"),
         }
-        let batch = encode_batch(&[env.clone(), env.clone()]);
+        let mut second = env.clone();
+        second.id = 8;
+        let batch = encode_batch(&[env.clone(), second]);
         match parse_client_line(&batch).unwrap() {
             ClientLine::Requests(envs) => assert_eq!(envs.len(), 2),
             other => panic!("{other:?}"),
@@ -1045,6 +1079,43 @@ mod tests {
         let (kind, detail) = parsed.result.unwrap_err();
         assert_eq!(kind, "queue_full");
         assert!(detail.contains('4'));
+    }
+
+    #[test]
+    fn duplicate_batch_ids_are_rejected() {
+        let env = Envelope {
+            id: 7,
+            deadline_ms: None,
+            request: EvalRequest::FtolSearch {
+                spec: ModelSpec::paper_table1(),
+                target_ber: 1e-12,
+            },
+        };
+        let batch = encode_batch(&[env.clone(), env.clone()]);
+        let err = parse_client_line(&batch).expect_err("duplicate ids must be rejected");
+        assert_eq!(err, GccoError::DuplicateId { id: 7 });
+        assert_eq!(err.kind(), "duplicate_id");
+        // Distinct ids are fine.
+        let ok = encode_batch(&[env.clone(), Envelope { id: 8, ..env }]);
+        assert!(parse_client_line(&ok).is_ok());
+    }
+
+    #[test]
+    fn idless_error_lines_carry_no_id_field() {
+        let line = encode_error_line(&GccoError::Parse("bad".to_string()));
+        let v = Json::parse(&line).unwrap();
+        assert!(v.get("id").is_none(), "{line}");
+        assert_eq!(
+            v.field("err")
+                .unwrap()
+                .field("kind")
+                .unwrap()
+                .as_str("kind")
+                .unwrap(),
+            "parse_error"
+        );
+        // It is not an envelope response, so the envelope parser refuses it.
+        assert!(parse_result_line(&line).is_err());
     }
 
     #[test]

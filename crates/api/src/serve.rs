@@ -6,9 +6,25 @@
 //! One JSON document per line. Clients submit either a single envelope
 //! `{"id":N,"deadline_ms":M,"request":{...}}`, a batch
 //! `{"batch":[envelope,...]}`, or a command `{"cmd":"ping"|"stats"|
-//! "shutdown"}`. The server answers every envelope with exactly one line,
-//! `{"id":N,"ok":{...}}` or `{"id":N,"err":{"kind":...,"detail":...}}`,
-//! in completion order (ids are the correlation mechanism, not ordering).
+//! "metrics"|"shutdown"}`. The server answers every envelope with exactly
+//! one line, `{"id":N,"ok":{...}}` or `{"id":N,"err":{"kind":...,
+//! "detail":...}}`, in completion order (ids are the correlation
+//! mechanism, not ordering). Ids must be unique within a batch; a batch
+//! that reuses an id is rejected whole with a `duplicate_id` error.
+//!
+//! A line the server cannot correlate to any envelope — malformed JSON,
+//! an unknown command — is answered with an **id-less** error object
+//! `{"err":{"kind":...,"detail":...}}`, never with a made-up id (an id
+//! of 0 would collide with a legitimate envelope using `"id":0`).
+//!
+//! ## Observability
+//!
+//! Every hot path records into the engine's [`gcco_obs::Registry`]:
+//! queue depth and wait time, responses by outcome kind, per-connection
+//! request counts, `queue_full` rejections, plus the engine's own cache
+//! and latency series. `{"cmd":"stats"}` returns a one-line JSON summary;
+//! `{"cmd":"metrics"}` returns the full Prometheus-style text exposition
+//! as a JSON string: `{"metrics":"# TYPE ...\n..."}`.
 //!
 //! ## Semantics
 //!
@@ -25,10 +41,11 @@
 use crate::engine::{DeadlineGuard, Engine};
 use crate::error::GccoError;
 use crate::json::{
-    encode_batch, encode_result_line, parse_client_line, parse_result_line, ClientLine, Envelope,
-    ResultLine,
+    check_unique_ids, encode_batch, encode_error_line, encode_result_line, json_string,
+    parse_client_line, parse_result_line, ClientLine, Envelope, ResultLine,
 };
-use crate::request::EvalRequest;
+use crate::request::{EvalRequest, EvalResponse};
+use gcco_obs::{Counter, Gauge, Histogram, Registry};
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -36,7 +53,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Serve tuning knobs.
 #[derive(Clone, Debug)]
@@ -67,6 +84,47 @@ struct Job {
     guard: DeadlineGuard,
     request: EvalRequest,
     reply: mpsc::Sender<String>,
+    enqueued_at: Instant,
+}
+
+/// Pre-resolved serve-layer metric handles (all living in the engine's
+/// registry, so one `metrics` read covers the whole service).
+struct ServeObs {
+    registry: Registry,
+    connections_total: Arc<Counter>,
+    active_connections: Arc<Gauge>,
+    requests_total: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    queue_wait: Arc<Histogram>,
+    queue_full_total: Arc<Counter>,
+    connection_requests: Arc<Histogram>,
+}
+
+impl ServeObs {
+    fn new(registry: Registry) -> ServeObs {
+        ServeObs {
+            connections_total: registry.counter("gcco_serve_connections_total"),
+            active_connections: registry.gauge("gcco_serve_active_connections"),
+            requests_total: registry.counter("gcco_serve_requests_total"),
+            queue_depth: registry.gauge("gcco_serve_queue_depth"),
+            queue_wait: registry.histogram("gcco_serve_queue_wait_seconds"),
+            queue_full_total: registry.counter("gcco_serve_queue_full_total"),
+            connection_requests: registry.histogram("gcco_serve_connection_request_count"),
+            registry,
+        }
+    }
+
+    /// Counts one delivered envelope response by outcome kind
+    /// (`ok` / the error's stable wire kind).
+    fn count_outcome(&self, result: &Result<EvalResponse, GccoError>) {
+        let outcome = match result {
+            Ok(_) => "ok",
+            Err(e) => e.kind(),
+        };
+        self.registry
+            .counter_with("gcco_serve_responses_total", "outcome", outcome)
+            .inc();
+    }
 }
 
 struct Shared {
@@ -75,24 +133,40 @@ struct Shared {
     work_ready: Condvar,
     shutdown: AtomicBool,
     queue_capacity: usize,
+    obs: ServeObs,
 }
 
 impl Shared {
+    /// Answers one envelope immediately (rejections and failures that
+    /// never reach a worker), counting the outcome.
+    fn answer(
+        &self,
+        id: u64,
+        result: &Result<EvalResponse, GccoError>,
+        reply: &mpsc::Sender<String>,
+    ) {
+        self.obs.count_outcome(result);
+        let _ = reply.send(encode_result_line(id, result));
+    }
+
     /// Enqueues one envelope, or answers it immediately on backpressure /
     /// shutdown. The deadline clock starts here, so queue wait counts.
     fn submit(&self, env: Envelope, reply: &mpsc::Sender<String>) {
+        self.obs.requests_total.inc();
         if self.shutdown.load(Ordering::SeqCst) {
-            let _ = reply.send(encode_result_line(env.id, &Err(GccoError::ShuttingDown)));
+            self.answer(env.id, &Err(GccoError::ShuttingDown), reply);
             return;
         }
         let mut queue = self.queue.lock().expect("queue lock poisoned");
         if queue.len() >= self.queue_capacity {
-            let _ = reply.send(encode_result_line(
+            self.obs.queue_full_total.inc();
+            self.answer(
                 env.id,
                 &Err(GccoError::QueueFull {
                     capacity: self.queue_capacity,
                 }),
-            ));
+                reply,
+            );
             return;
         }
         queue.push_back(Job {
@@ -100,7 +174,9 @@ impl Shared {
             guard: DeadlineGuard::from_opt_ms(env.deadline_ms),
             request: env.request,
             reply: reply.clone(),
+            enqueued_at: Instant::now(),
         });
+        self.obs.queue_depth.inc();
         drop(queue);
         self.work_ready.notify_one();
     }
@@ -126,24 +202,59 @@ impl Shared {
                 }
             };
             let Some(job) = job else { return };
+            self.obs.queue_depth.dec();
+            self.obs
+                .queue_wait
+                .observe(job.enqueued_at.elapsed().as_secs_f64());
             let result = self.engine.evaluate_with_deadline(&job.request, job.guard);
+            self.obs.count_outcome(&result);
             let _ = job.reply.send(encode_result_line(job.id, &result));
         }
     }
 
+    /// The enriched `{"cmd":"stats"}` reply: queue, cache, outcome, and
+    /// connection series as one JSON object.
     fn stats_line(&self) -> String {
         let queue_len = self.queue.lock().expect("queue lock poisoned").len();
+        let reg = &self.obs.registry;
+        let counter = |name: &str| reg.counter(name).get();
         format!(
-            "{{\"stats\":{{\"queue_len\":{},\"context_builds\":{},\"workers\":{}}}}}",
+            "{{\"stats\":{{\"queue_len\":{},\"queue_capacity\":{},\"workers\":{},\
+             \"context_builds\":{},\"cache_hits\":{},\"cache_misses\":{},\
+             \"cache_evictions\":{},\"deadline_trips\":{},\"requests_total\":{},\
+             \"responses_total\":{},\"responses_ok\":{},\"queue_full_total\":{},\
+             \"connections_total\":{},\"active_connections\":{}}}}}",
             queue_len,
+            self.queue_capacity,
+            self.engine.workers(),
             self.engine.context_builds(),
-            self.engine.workers()
+            counter("gcco_engine_cache_hits_total"),
+            counter("gcco_engine_cache_misses_total"),
+            counter("gcco_engine_cache_evictions_total"),
+            counter("gcco_engine_deadline_trips_total"),
+            self.obs.requests_total.get(),
+            reg.counter_sum("gcco_serve_responses_total"),
+            reg.counter_with("gcco_serve_responses_total", "outcome", "ok")
+                .get(),
+            self.obs.queue_full_total.get(),
+            self.obs.connections_total.get(),
+            self.obs.active_connections.get(),
+        )
+    }
+
+    /// The `{"cmd":"metrics"}` reply: the Prometheus-style exposition of
+    /// the whole registry, wrapped as a one-line JSON string.
+    fn metrics_line(&self) -> String {
+        format!(
+            "{{\"metrics\":{}}}",
+            json_string(&self.obs.registry.render_prometheus())
         )
     }
 }
 
-/// A running server; dropping it without [`ServerHandle::shutdown`] leaks
-/// the listener thread, so call `shutdown` (or send the wire command).
+/// A running server. [`ServerHandle::shutdown`] is the explicit drain
+/// path; merely dropping the handle also requests shutdown and joins
+/// every thread (no leaks), draining queued work on the way out.
 pub struct ServerHandle {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
@@ -161,18 +272,27 @@ impl ServerHandle {
         &self.shared.engine
     }
 
+    /// The metrics registry behind the service.
+    pub fn obs(&self) -> &Registry {
+        self.shared.engine.obs()
+    }
+
     /// True once shutdown has been requested (locally or over the wire).
     pub fn is_shutting_down(&self) -> bool {
         self.shared.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Requests shutdown, drains all queued work, and joins every thread.
-    pub fn shutdown(mut self) {
+    fn stop_and_join(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.work_ready.notify_all();
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+    }
+
+    /// Requests shutdown, drains all queued work, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
     }
 
     /// Blocks until a wire `shutdown` command flips the flag, then drains
@@ -185,6 +305,16 @@ impl ServerHandle {
     }
 }
 
+impl Drop for ServerHandle {
+    /// Dropping the handle must not leak the accept/worker threads: set
+    /// the shutdown flag and join, same as [`ServerHandle::shutdown`]
+    /// (after an explicit `shutdown` this is a no-op — the thread list is
+    /// already empty).
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
 /// Binds the service and spawns its accept loop and worker pool.
 ///
 /// # Errors
@@ -194,12 +324,14 @@ pub fn serve(config: &ServeConfig, engine: Engine) -> Result<ServerHandle, GccoE
     let listener = TcpListener::bind(&config.addr)?;
     let local_addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
+    let obs = ServeObs::new(engine.obs().clone());
     let shared = Arc::new(Shared {
         engine,
         queue: Mutex::new(VecDeque::new()),
         work_ready: Condvar::new(),
         shutdown: AtomicBool::new(false),
         queue_capacity: config.queue_capacity.max(1),
+        obs,
     });
     let mut threads = Vec::new();
     for i in 0..config.workers.max(1) {
@@ -254,6 +386,8 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
+    shared.obs.connections_total.inc();
+    shared.obs.active_connections.inc();
     let (reply_tx, reply_rx) = mpsc::channel::<String>();
     let writer = std::thread::Builder::new()
         .name("gcco-serve-write".to_string())
@@ -275,6 +409,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     let _ = stream.set_read_timeout(Some(POLL));
     let mut reader = BufReader::new(stream);
     let mut acc: Vec<u8> = Vec::new();
+    let mut submitted: u64 = 0;
     loop {
         match reader.read_until(b'\n', &mut acc) {
             Ok(0) => break, // EOF
@@ -283,7 +418,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                 let line = String::from_utf8_lossy(&acc).trim().to_string();
                 acc.clear();
                 if !line.is_empty() {
-                    handle_line(&line, shared, &reply_tx);
+                    submitted += handle_line(&line, shared, &reply_tx);
                 }
                 if at_eof || shared.shutdown.load(Ordering::SeqCst) {
                     break;
@@ -299,41 +434,57 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
             Err(_) => break,
         }
     }
+    shared.obs.connection_requests.observe(submitted as f64);
+    shared.obs.active_connections.dec();
     drop(reply_tx);
     if let Ok(writer) = writer {
         let _ = writer.join();
     }
 }
 
-fn handle_line(line: &str, shared: &Arc<Shared>, reply: &mpsc::Sender<String>) {
+/// Handles one client line and returns how many envelopes it submitted
+/// (0 for commands and rejected lines).
+fn handle_line(line: &str, shared: &Arc<Shared>, reply: &mpsc::Sender<String>) -> u64 {
     match parse_client_line(line) {
         Ok(ClientLine::Requests(envelopes)) => {
+            let n = envelopes.len() as u64;
             for env in envelopes {
                 shared.submit(env, reply);
             }
+            n
         }
-        Ok(ClientLine::Command(cmd)) => match cmd.as_str() {
-            "ping" => {
-                let _ = reply.send("{\"pong\":true}".to_string());
+        Ok(ClientLine::Command(cmd)) => {
+            match cmd.as_str() {
+                "ping" => {
+                    let _ = reply.send("{\"pong\":true}".to_string());
+                }
+                "stats" => {
+                    let _ = reply.send(shared.stats_line());
+                }
+                "metrics" => {
+                    let _ = reply.send(shared.metrics_line());
+                }
+                "shutdown" => {
+                    let _ = reply.send("{\"ok\":\"shutting_down\"}".to_string());
+                    shared.shutdown.store(true, Ordering::SeqCst);
+                    shared.work_ready.notify_all();
+                }
+                other => {
+                    // Unknown commands carry no envelope id to answer on;
+                    // reply with the id-less error shape.
+                    let _ = reply.send(encode_error_line(&GccoError::Parse(format!(
+                        "unknown command \"{other}\""
+                    ))));
+                }
             }
-            "stats" => {
-                let _ = reply.send(shared.stats_line());
-            }
-            "shutdown" => {
-                let _ = reply.send("{\"ok\":\"shutting_down\"}".to_string());
-                shared.shutdown.store(true, Ordering::SeqCst);
-                shared.work_ready.notify_all();
-            }
-            other => {
-                let _ = reply.send(encode_result_line(
-                    0,
-                    &Err(GccoError::Parse(format!("unknown command \"{other}\""))),
-                ));
-            }
-        },
+            0
+        }
         Err(e) => {
-            // No id is recoverable from a malformed line; answer on id 0.
-            let _ = reply.send(encode_result_line(0, &Err(e)));
+            // No id is recoverable from a malformed (or duplicate-id)
+            // line; answer with an id-less error object so the reply can
+            // never be confused with a response to a real envelope.
+            let _ = reply.send(encode_error_line(&e));
+            0
         }
     }
 }
@@ -348,6 +499,8 @@ fn handle_line(line: &str, shared: &Arc<Shared>, reply: &mpsc::Sender<String>) {
 ///
 /// # Errors
 ///
+/// [`GccoError::DuplicateId`] before anything is sent when the batch
+/// reuses an id (the responses would be uncorrelatable),
 /// [`GccoError::Io`] on connection/transport trouble or timeout,
 /// [`GccoError::Parse`] when a response line is malformed.
 pub fn submit_batch(
@@ -355,6 +508,7 @@ pub fn submit_batch(
     envelopes: &[Envelope],
     timeout: Duration,
 ) -> Result<Vec<ResultLine>, GccoError> {
+    check_unique_ids(envelopes)?;
     let mut lines = client_roundtrip(addr, &encode_batch(envelopes), envelopes.len(), timeout)?;
     lines
         .drain(..)
@@ -363,6 +517,9 @@ pub fn submit_batch(
 }
 
 /// Sends one raw line and reads `expect` response lines within `timeout`.
+/// A final response delivered without a trailing newline right before the
+/// peer closes the connection still counts — the partial line is flushed
+/// at EOF before deciding between success and a closed-connection error.
 ///
 /// # Errors
 ///
@@ -393,10 +550,20 @@ pub fn client_roundtrip(
         }
         match reader.read_until(b'\n', &mut acc) {
             Ok(0) => {
-                return Err(GccoError::Io(format!(
-                    "connection closed with {}/{expect} responses",
-                    lines.len()
-                )))
+                // EOF: a peer may flush its final response and close
+                // without a trailing newline — count that line before
+                // deciding whether the connection closed short.
+                let text = String::from_utf8_lossy(&acc).trim().to_string();
+                acc.clear();
+                if !text.is_empty() {
+                    lines.push(text);
+                }
+                if lines.len() < expect {
+                    return Err(GccoError::Io(format!(
+                        "connection closed with {}/{expect} responses",
+                        lines.len()
+                    )));
+                }
             }
             Ok(_) => {
                 if acc.last() == Some(&b'\n') {
@@ -422,4 +589,17 @@ pub fn client_roundtrip(
 pub fn send_shutdown(addr: &SocketAddr, timeout: Duration) -> Result<(), GccoError> {
     client_roundtrip(addr, "{\"cmd\":\"shutdown\"}", 1, timeout)?;
     Ok(())
+}
+
+/// Fetches the Prometheus-style metrics exposition over the wire
+/// (`{"cmd":"metrics"}`) and returns the unescaped multi-line text.
+///
+/// # Errors
+///
+/// [`GccoError::Io`] on transport trouble, [`GccoError::Parse`] when the
+/// reply is not the expected `{"metrics":"..."}` object.
+pub fn fetch_metrics(addr: &SocketAddr, timeout: Duration) -> Result<String, GccoError> {
+    let lines = client_roundtrip(addr, "{\"cmd\":\"metrics\"}", 1, timeout)?;
+    let v = crate::json::Json::parse(&lines[0])?;
+    Ok(v.field("metrics")?.as_str("metrics")?.to_string())
 }

@@ -190,7 +190,94 @@ fn overflow_gets_queue_full_and_malformed_lines_get_parse_errors() {
 
     let err = client_roundtrip(&addr, "this is not json", 1, TIMEOUT).expect("answered");
     assert!(err[0].contains("\"kind\":\"parse_error\""), "{}", err[0]);
+    // Uncorrelatable lines are answered with the id-less error shape —
+    // never a fabricated id that could collide with a real envelope's.
+    assert!(err[0].starts_with("{\"err\":"), "{}", err[0]);
+    assert!(!err[0].contains("\"id\""), "{}", err[0]);
+    let err = client_roundtrip(&addr, "{\"cmd\":\"frobnicate\"}", 1, TIMEOUT).expect("answered");
+    assert!(err[0].starts_with("{\"err\":"), "{}", err[0]);
+    assert!(!err[0].contains("\"id\""), "{}", err[0]);
+    assert!(err[0].contains("frobnicate"), "{}", err[0]);
     handle.shutdown();
+}
+
+#[test]
+fn duplicate_batch_ids_are_rejected_before_any_evaluation() {
+    let handle = serve(&ServeConfig::default(), Engine::new()).expect("bind loopback");
+    let addr = handle.local_addr();
+
+    let env = |id: u64| Envelope {
+        id,
+        deadline_ms: None,
+        request: EvalRequest::BerPoint {
+            spec: ModelSpec::paper_table1(),
+            sj: None,
+        },
+    };
+
+    // Client-side: submit_batch refuses to send an uncorrelatable batch.
+    let err = submit_batch(&addr, &[env(3), env(3)], TIMEOUT).expect_err("duplicate ids");
+    assert_eq!(err, gcco_api::GccoError::DuplicateId { id: 3 });
+
+    // Wire-side: a raw duplicate-id batch line is rejected whole with the
+    // id-less error (answering on either id would be ambiguous).
+    let raw = encode_batch(&[env(3), env(3)]);
+    let reply = client_roundtrip(&addr, &raw, 1, TIMEOUT).expect("answered");
+    assert!(reply[0].starts_with("{\"err\":"), "{}", reply[0]);
+    assert!(
+        reply[0].contains("\"kind\":\"duplicate_id\""),
+        "{}",
+        reply[0]
+    );
+    assert!(!reply[0].contains("\"id\""), "{}", reply[0]);
+
+    // Nothing was evaluated or enqueued; the server still serves.
+    let results = submit_batch(&addr, &[env(1), env(2)], TIMEOUT).expect("distinct ids fine");
+    assert_eq!(results.len(), 2);
+    assert!(results.iter().all(|r| r.result.is_ok()));
+    handle.shutdown();
+}
+
+#[test]
+fn dropping_the_handle_shuts_down_and_joins_instead_of_leaking() {
+    let addr;
+    {
+        let handle = serve(&ServeConfig::default(), Engine::new()).expect("bind loopback");
+        addr = handle.local_addr();
+        // Prove it is live, then drop without calling shutdown().
+        let pong = client_roundtrip(&addr, "{\"cmd\":\"ping\"}", 1, TIMEOUT).expect("live");
+        assert_eq!(pong, ["{\"pong\":true}"]);
+    }
+    // Drop returned, so the accept/worker threads joined. The listener is
+    // gone with them: a fresh round-trip must now fail (connection refused
+    // or closed before a response arrives).
+    assert!(
+        client_roundtrip(&addr, "{\"cmd\":\"ping\"}", 1, Duration::from_secs(2)).is_err(),
+        "dropped server must stop serving"
+    );
+}
+
+#[test]
+fn client_roundtrip_keeps_final_response_without_trailing_newline() {
+    // A peer that flushes its last line and closes without the trailing
+    // newline: the partial line must be counted at EOF, not dropped.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    let server = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("accept");
+        let mut line = String::new();
+        BufReader::new(stream.try_clone().expect("clone"))
+            .read_line(&mut line)
+            .expect("request line");
+        stream
+            .write_all(b"{\"pong\":true}") // no trailing newline
+            .and_then(|()| stream.flush())
+            .expect("reply");
+        // Dropping the stream closes the connection right after the flush.
+    });
+    let lines = client_roundtrip(&addr, "{\"cmd\":\"ping\"}", 1, TIMEOUT).expect("flushed at EOF");
+    assert_eq!(lines, ["{\"pong\":true}"]);
+    server.join().expect("server thread");
 }
 
 #[test]

@@ -1,0 +1,187 @@
+//! Loopback tests for the observability surface of `gcco-serve`: the
+//! enriched `{"cmd":"stats"}` reply, the `{"cmd":"metrics"}` Prometheus
+//! exposition, the queue-depth gauge under a backed-up worker, and
+//! metric accounting across concurrent connections.
+
+use gcco_api::json::{Envelope, Json};
+use gcco_api::serve::{client_roundtrip, fetch_metrics, serve, submit_batch, ServeConfig};
+use gcco_api::{DsimRunSpec, Engine, EvalRequest, ModelSpec};
+use std::time::{Duration, Instant};
+
+const TIMEOUT: Duration = Duration::from_secs(120);
+
+fn ber_point(id: u64) -> Envelope {
+    Envelope {
+        id,
+        deadline_ms: None,
+        request: EvalRequest::BerPoint {
+            spec: ModelSpec::paper_table1(),
+            sj: None,
+        },
+    }
+}
+
+/// Pulls a numeric field out of the `{"stats":{...}}` reply.
+fn stat(line: &str, field: &str) -> i64 {
+    let v = Json::parse(line).expect("stats line parses");
+    v.field("stats")
+        .and_then(|s| s.field(field))
+        .and_then(|f| f.as_i64(field))
+        .unwrap_or_else(|e| panic!("stats field {field} in {line}: {e}"))
+}
+
+#[test]
+fn stats_and_metrics_reflect_cache_parity_and_outcomes() {
+    let handle = serve(&ServeConfig::default(), Engine::new()).expect("bind loopback");
+    let addr = handle.local_addr();
+
+    // Two sequential submissions of the same spec: the first must miss
+    // and build the context, the second must hit the warm cache.
+    submit_batch(&addr, &[ber_point(1)], TIMEOUT).expect("first")[0]
+        .result
+        .as_ref()
+        .expect("first evaluates");
+    submit_batch(&addr, &[ber_point(2)], TIMEOUT).expect("second")[0]
+        .result
+        .as_ref()
+        .expect("second evaluates");
+
+    let stats = &client_roundtrip(&addr, "{\"cmd\":\"stats\"}", 1, TIMEOUT).expect("stats")[0];
+    assert_eq!(stat(stats, "cache_misses"), 1, "{stats}");
+    assert_eq!(stat(stats, "cache_hits"), 1, "{stats}");
+    assert_eq!(stat(stats, "context_builds"), 1, "{stats}");
+    assert_eq!(stat(stats, "requests_total"), 2, "{stats}");
+    assert_eq!(stat(stats, "responses_ok"), 2, "{stats}");
+    assert_eq!(stat(stats, "queue_full_total"), 0, "{stats}");
+    assert_eq!(stat(stats, "deadline_trips"), 0, "{stats}");
+    assert!(stat(stats, "connections_total") >= 2, "{stats}");
+
+    let text = fetch_metrics(&addr, TIMEOUT).expect("metrics exposition");
+    // Cache series, exactly as the parity above predicts.
+    assert!(text.contains("gcco_engine_cache_hits_total 1"), "{text}");
+    assert!(text.contains("gcco_engine_cache_misses_total 1"), "{text}");
+    // Outcome-kind series.
+    assert!(
+        text.contains("gcco_serve_responses_total{outcome=\"ok\"} 2"),
+        "{text}"
+    );
+    // Latency summaries for both engine and serve layers.
+    assert!(
+        text.contains("# TYPE gcco_engine_request_seconds summary"),
+        "{text}"
+    );
+    assert!(
+        text.contains("gcco_engine_request_seconds{kind=\"ber_point\",quantile=\"0.99\"}"),
+        "{text}"
+    );
+    assert!(
+        text.contains("gcco_engine_request_seconds_count{kind=\"ber_point\"} 2"),
+        "{text}"
+    );
+    assert!(
+        text.contains("gcco_serve_queue_wait_seconds_count 2"),
+        "{text}"
+    );
+    // Queue gauge series is present (and idle right now).
+    assert!(
+        text.contains("# TYPE gcco_serve_queue_depth gauge"),
+        "{text}"
+    );
+    assert!(text.contains("gcco_serve_queue_depth 0"), "{text}");
+    handle.shutdown();
+}
+
+#[test]
+fn queue_depth_gauge_is_visible_while_a_worker_is_backed_up() {
+    // One worker, so queued jobs pile up behind one slow evaluation.
+    let config = ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    };
+    let handle = serve(&config, Engine::new()).expect("bind loopback");
+    let addr = handle.local_addr();
+
+    // ~500k ring cycles each: slow enough to observe, far from timeouts.
+    let slow = DsimRunSpec {
+        duration_ns: 200_000.0,
+        ..DsimRunSpec::paper_ring()
+    };
+    let envelopes: Vec<Envelope> = (0..4)
+        .map(|i| Envelope {
+            id: i,
+            deadline_ms: None,
+            request: EvalRequest::DsimRun { run: slow.clone() },
+        })
+        .collect();
+    let submitter = {
+        let envelopes = envelopes.clone();
+        std::thread::spawn(move || submit_batch(&addr, &envelopes, TIMEOUT))
+    };
+
+    // From a second connection, poll stats until the backlog is visible.
+    let deadline = Instant::now() + TIMEOUT;
+    let mut saw_depth = false;
+    while Instant::now() < deadline && !saw_depth {
+        let stats = &client_roundtrip(&addr, "{\"cmd\":\"stats\"}", 1, TIMEOUT).expect("stats")[0];
+        saw_depth = stat(stats, "queue_len") >= 1;
+        if !saw_depth {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    assert!(saw_depth, "queue backlog never became visible in stats");
+
+    // The gauge agrees with the queue over the metrics exposition too
+    // (sampled while the batch may still be draining, so >= 0 is all that
+    // is stable; series presence is the contract).
+    let text = fetch_metrics(&addr, TIMEOUT).expect("metrics exposition");
+    assert!(text.contains("gcco_serve_queue_depth"), "{text}");
+
+    let results = submitter.join().expect("submitter").expect("batch");
+    assert_eq!(results.len(), 4);
+    assert!(results.iter().all(|r| r.result.is_ok()));
+
+    // Drained: the gauge must be back to zero and every wait recorded.
+    let stats = &client_roundtrip(&addr, "{\"cmd\":\"stats\"}", 1, TIMEOUT).expect("stats")[0];
+    assert_eq!(stat(stats, "queue_len"), 0, "{stats}");
+    let text = fetch_metrics(&addr, TIMEOUT).expect("metrics exposition");
+    assert!(text.contains("gcco_serve_queue_depth 0"), "{text}");
+    assert!(
+        text.contains("gcco_serve_queue_wait_seconds_count 4"),
+        "{text}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_connections_are_each_counted() {
+    let handle = serve(&ServeConfig::default(), Engine::new()).expect("bind loopback");
+    let addr = handle.local_addr();
+
+    let clients: Vec<_> = (0..3)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let envelopes = [ber_point(c * 10 + 1), ber_point(c * 10 + 2)];
+                submit_batch(&addr, &envelopes, TIMEOUT).expect("batch")
+            })
+        })
+        .collect();
+    let mut answered = 0;
+    for client in clients {
+        let results = client.join().expect("client thread");
+        answered += results.iter().filter(|r| r.result.is_ok()).count();
+    }
+    assert_eq!(answered, 6);
+
+    let stats = &client_roundtrip(&addr, "{\"cmd\":\"stats\"}", 1, TIMEOUT).expect("stats")[0];
+    assert!(stat(stats, "connections_total") >= 3, "{stats}");
+    assert_eq!(stat(stats, "requests_total"), 6, "{stats}");
+    assert_eq!(stat(stats, "responses_ok"), 6, "{stats}");
+    assert_eq!(stat(stats, "responses_total"), 6, "{stats}");
+
+    // After shutdown joins every connection thread, the active-connection
+    // gauge must balance back to zero.
+    let registry = handle.obs().clone();
+    handle.shutdown();
+    assert_eq!(registry.gauge("gcco_serve_active_connections").get(), 0);
+    assert!(registry.counter("gcco_serve_connections_total").get() >= 3);
+}

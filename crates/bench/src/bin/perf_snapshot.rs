@@ -34,7 +34,7 @@ fn main() {
     let workers = ctx.workers();
     let mut report = BenchReport {
         workers,
-        entries: Vec::new(),
+        ..Default::default()
     };
     println!("\nworkers: {workers}\n");
 
@@ -144,6 +144,11 @@ fn main() {
             ("mevents_per_s", format!("{meps:.1}")),
         ],
     );
+
+    // The sweep contexts above reported into the process-global registry;
+    // embed its snapshot (grid counts, per-kind wall-time summaries,
+    // worker gauge) alongside the timing entries.
+    report.record_obs(gcco_obs::global());
 
     let path = Path::new("BENCH_sweep.json");
     report.write(path).expect("write BENCH_sweep.json");

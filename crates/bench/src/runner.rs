@@ -81,6 +81,10 @@ pub struct BenchReport {
     pub workers: usize,
     /// The measurements.
     pub entries: Vec<BenchEntry>,
+    /// Flat observability-registry snapshot (`gcco_obs` metric rows as
+    /// name/value pairs; histograms expand to `_count`/`_sum_seconds`/
+    /// `_p50`/`_p95`/`_p99` rows). Empty when not recorded.
+    pub obs: Vec<(String, f64)>,
 }
 
 impl BenchReport {
@@ -114,6 +118,12 @@ impl BenchReport {
                 .map(|(k, v)| (k.to_string(), v.clone()))
                 .collect(),
         });
+    }
+
+    /// Records the flat snapshot of an observability registry (normally
+    /// [`gcco_obs::global()`], which the sweep contexts report into).
+    pub fn record_obs(&mut self, registry: &gcco_obs::Registry) {
+        self.obs = registry.snapshot_flat();
     }
 
     /// Serializes the report as pretty-printed JSON (hand-rolled — the
@@ -153,7 +163,20 @@ impl BenchReport {
                 "    },\n"
             });
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ],\n");
+        out.push_str("  \"obs\": {");
+        for (i, (name, value)) in self.obs.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {}: {}",
+                json_string(name),
+                json_number(*value)
+            ));
+        }
+        if !self.obs.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
         out
     }
 
@@ -290,6 +313,18 @@ mod tests {
         assert!(json.contains("\"baseline_ms\": null"));
         assert_eq!(report.entries[0].speedup(), Some(3.0));
         assert_eq!(report.entries[1].speedup(), None);
+        // Without a recorded registry the obs section is an empty object.
+        assert!(json.contains("\"obs\": {}"));
+    }
+
+    #[test]
+    fn report_embeds_obs_snapshot() {
+        let registry = gcco_obs::Registry::default();
+        registry.counter("bench_demo_total").add(3);
+        let mut report = BenchReport::default();
+        report.record_obs(&registry);
+        let json = report.to_json();
+        assert!(json.contains("\"bench_demo_total\": 3.000"));
     }
 
     #[test]

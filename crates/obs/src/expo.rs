@@ -1,0 +1,220 @@
+//! Read-out formats: Prometheus-style text exposition and flat
+//! `(name, value)` snapshots for JSON embedding.
+
+use crate::metrics::Histogram;
+use crate::{Entry, Metric, Registry};
+use std::fmt::Write as _;
+
+/// Quantiles reported for every histogram, in exposition order:
+/// `(quantile, prometheus label, flat-snapshot suffix)`.
+const QUANTILES: [(f64, &str, &str); 3] = [
+    (0.5, "0.5", "p50"),
+    (0.95, "0.95", "p95"),
+    (0.99, "0.99", "p99"),
+];
+
+/// One metric frozen at snapshot time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricSnapshot {
+    /// Base metric name.
+    pub name: String,
+    /// Optional `(key, value)` label.
+    pub label: Option<(String, String)>,
+    /// The frozen value.
+    pub value: SnapshotValue,
+}
+
+/// The frozen value of one metric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SnapshotValue {
+    /// A counter's count.
+    Counter(u64),
+    /// A gauge's level.
+    Gauge(i64),
+    /// A histogram summary.
+    Summary {
+        /// Number of observations.
+        count: u64,
+        /// Sum of observations, seconds.
+        sum_seconds: f64,
+        /// `(quantile, seconds)` pairs in [`QUANTILES`] order.
+        quantiles: Vec<(f64, f64)>,
+    },
+}
+
+fn label_suffix(label: &Option<(String, String)>) -> String {
+    match label {
+        None => String::new(),
+        Some((k, v)) => format!("{{{k}=\"{v}\"}}"),
+    }
+}
+
+fn summarize(h: &Histogram) -> SnapshotValue {
+    SnapshotValue::Summary {
+        count: h.count(),
+        sum_seconds: h.sum_seconds(),
+        quantiles: QUANTILES
+            .iter()
+            .map(|&(q, _, _)| (q, h.quantile(q)))
+            .collect(),
+    }
+}
+
+impl Registry {
+    /// Freezes every metric. Entries are sorted by name then label, so
+    /// output is deterministic regardless of registration order.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        self.sorted_entries()
+            .iter()
+            .map(|e| MetricSnapshot {
+                name: e.name.clone(),
+                label: e.label.clone(),
+                value: match &e.metric {
+                    Metric::Counter(c) => SnapshotValue::Counter(c.get()),
+                    Metric::Gauge(g) => SnapshotValue::Gauge(g.get()),
+                    Metric::Histogram(h) => summarize(h),
+                },
+            })
+            .collect()
+    }
+
+    /// A flat `(name, value)` list for JSON embedding: counters and
+    /// gauges verbatim, histograms expanded into
+    /// `<name>_count`/`<name>_sum_seconds`/`<name>_p50`/`_p95`/`_p99`
+    /// rows (labels rendered Prometheus-style after the suffix).
+    pub fn snapshot_flat(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        for s in self.snapshot() {
+            let label = label_suffix(&s.label);
+            match s.value {
+                SnapshotValue::Counter(v) => out.push((format!("{}{label}", s.name), v as f64)),
+                SnapshotValue::Gauge(v) => out.push((format!("{}{label}", s.name), v as f64)),
+                SnapshotValue::Summary {
+                    count,
+                    sum_seconds,
+                    quantiles,
+                } => {
+                    out.push((format!("{}_count{label}", s.name), count as f64));
+                    out.push((format!("{}_sum_seconds{label}", s.name), sum_seconds));
+                    for ((_, secs), (_, _, tag)) in quantiles.iter().zip(QUANTILES.iter()) {
+                        out.push((format!("{}_{tag}{label}", s.name), *secs));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Prometheus-style text exposition: counters and gauges as single
+    /// samples, histograms as summaries (`quantile`-labeled samples plus
+    /// `_sum`/`_count`), each base name introduced by one `# TYPE` line.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_typed: Option<String> = None;
+        for e in self.sorted_entries() {
+            let type_tag = match &e.metric {
+                Metric::Counter(_) => "counter",
+                Metric::Gauge(_) => "gauge",
+                Metric::Histogram(_) => "summary",
+            };
+            if last_typed.as_deref() != Some(e.name.as_str()) {
+                let _ = writeln!(out, "# TYPE {} {type_tag}", e.name);
+                last_typed = Some(e.name.clone());
+            }
+            render_entry(&mut out, &e);
+        }
+        out
+    }
+}
+
+fn render_entry(out: &mut String, e: &Entry) {
+    let label = label_suffix(&e.label);
+    match &e.metric {
+        Metric::Counter(c) => {
+            let _ = writeln!(out, "{}{label} {}", e.name, c.get());
+        }
+        Metric::Gauge(g) => {
+            let _ = writeln!(out, "{}{label} {}", e.name, g.get());
+        }
+        Metric::Histogram(h) => {
+            for (q, tag, _) in QUANTILES {
+                let sample = h.quantile(q);
+                let sep = match &e.label {
+                    None => format!("{{quantile=\"{tag}\"}}"),
+                    Some((k, v)) => format!("{{{k}=\"{v}\",quantile=\"{tag}\"}}"),
+                };
+                let _ = writeln!(out, "{}{sep} {sample}", e.name);
+            }
+            let _ = writeln!(out, "{}_sum{label} {}", e.name, h.sum_seconds());
+            let _ = writeln!(out, "{}_count{label} {}", e.name, h.count());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prometheus_exposition_has_types_labels_and_summaries() {
+        let reg = Registry::new();
+        reg.counter_with("responses_total", "outcome", "ok").add(2);
+        reg.counter_with("responses_total", "outcome", "queue_full")
+            .inc();
+        reg.gauge("queue_depth").set(4);
+        reg.histogram_with("request_seconds", "kind", "ber_grid")
+            .observe(0.002);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE responses_total counter"), "{text}");
+        assert_eq!(
+            text.matches("# TYPE responses_total").count(),
+            1,
+            "one TYPE line per base name: {text}"
+        );
+        assert!(text.contains("responses_total{outcome=\"ok\"} 2"), "{text}");
+        assert!(
+            text.contains("responses_total{outcome=\"queue_full\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE queue_depth gauge"), "{text}");
+        assert!(text.contains("queue_depth 4"), "{text}");
+        assert!(text.contains("# TYPE request_seconds summary"), "{text}");
+        assert!(
+            text.contains("request_seconds{kind=\"ber_grid\",quantile=\"0.99\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("request_seconds_count{kind=\"ber_grid\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn exposition_is_deterministic_under_registration_order() {
+        let a = Registry::new();
+        a.counter("b_total").inc();
+        a.gauge("a_depth").set(1);
+        let b = Registry::new();
+        b.gauge("a_depth").set(1);
+        b.counter("b_total").inc();
+        assert_eq!(a.render_prometheus(), b.render_prometheus());
+    }
+
+    #[test]
+    fn flat_snapshot_expands_histograms() {
+        let reg = Registry::new();
+        reg.counter("events_total").add(3);
+        reg.histogram("wait_seconds").observe(0.01);
+        let flat = reg.snapshot_flat();
+        let get = |name: &str| {
+            flat.iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing {name} in {flat:?}"))
+                .1
+        };
+        assert_eq!(get("events_total"), 3.0);
+        assert_eq!(get("wait_seconds_count"), 1.0);
+        assert!(get("wait_seconds_sum_seconds") > 0.0);
+        assert!(get("wait_seconds_p99") >= 0.01);
+    }
+}

@@ -1,0 +1,289 @@
+//! `gcco-obs` — the workspace's observability layer: a std-only,
+//! zero-dependency metrics kit for the serving and sweep hot paths.
+//!
+//! The paper's own method is "instrument the model until the failure is
+//! visible" (the Fig. 13 delay-window sweep, the Fig. 11 noise/power
+//! trade-off); this crate applies the same discipline to the runtime:
+//! every hot path (engine dispatch, serve queue, sweep grids) records
+//! into a named [`Registry`] of
+//!
+//! * [`Counter`] — monotonic `AtomicU64` event counts;
+//! * [`Gauge`] — instantaneous signed levels (queue depth, live
+//!   connections);
+//! * [`Histogram`] — log₂-bucketed latency distributions with
+//!   `p50`/`p95`/`p99` summaries, fed either directly
+//!   ([`Histogram::observe`]) or by a scoped timer [`Span`] that records
+//!   on drop.
+//!
+//! All metric mutation is lock-free (`Relaxed` atomics on pre-resolved
+//! handles); the registry's mutex is touched only at handle-resolution
+//! and exposition time. **Instrumentation never changes a computed
+//! value** — nothing in this crate is called from inside a numeric
+//! kernel, and recording has no side channel back into the evaluation.
+//!
+//! Two read-out formats:
+//!
+//! * [`Registry::render_prometheus`] — Prometheus-style text exposition
+//!   (counters, gauges, and summaries with `quantile` labels), served by
+//!   `gcco-serve` under `{"cmd":"metrics"}`;
+//! * [`Registry::snapshot_flat`] — a flat `(name, value)` list for JSON
+//!   embedding (`{"cmd":"stats"}` enrichment, `BENCH_sweep.json`).
+//!
+//! # Examples
+//!
+//! ```
+//! use gcco_obs::Registry;
+//!
+//! let reg = Registry::new();
+//! reg.counter("requests_total").inc();
+//! reg.gauge("queue_depth").set(3);
+//! {
+//!     let _span = reg.histogram("eval_seconds").span();
+//!     // ... timed work ...
+//! }
+//! let text = reg.render_prometheus();
+//! assert!(text.contains("requests_total 1"));
+//! assert!(text.contains("eval_seconds_count 1"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod expo;
+mod metrics;
+
+pub use expo::MetricSnapshot;
+pub use metrics::{Counter, Gauge, Histogram, Span};
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One registered metric: its full identity plus the shared handle.
+#[derive(Clone)]
+pub(crate) struct Entry {
+    /// Base metric name (Prometheus-style `snake_case`, unit-suffixed).
+    pub(crate) name: String,
+    /// Optional single `key="value"` label.
+    pub(crate) label: Option<(String, String)>,
+    /// The handle.
+    pub(crate) metric: Metric,
+}
+
+/// A handle to any of the three metric kinds.
+#[derive(Clone)]
+pub(crate) enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of metrics.
+///
+/// Cloning a `Registry` clones a shared handle (all clones observe the
+/// same metrics), so it can be threaded through engines, contexts, and
+/// connection threads freely. Handle resolution (`counter`, `gauge`,
+/// `histogram`, and their `_with` labeled variants) creates the metric on
+/// first sight and returns the shared instance afterwards; hot paths
+/// should resolve once and keep the `Arc`.
+#[derive(Clone, Default)]
+pub struct Registry {
+    entries: Arc<Mutex<Vec<Entry>>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.entries.lock().map(|e| e.len()).unwrap_or(0);
+        write!(f, "Registry({n} metrics)")
+    }
+}
+
+/// The process-wide registry, for instrumentation points with no natural
+/// owner to thread a [`Registry`] through (e.g. a `SweepContext` built
+/// outside any engine). Engines and servers use their own registries so
+/// tests can assert exact counts.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn resolve<T, New, Pick>(
+        &self,
+        name: &str,
+        label: Option<(&str, &str)>,
+        new: New,
+        pick: Pick,
+    ) -> Arc<T>
+    where
+        New: FnOnce() -> Metric,
+        Pick: Fn(&Metric) -> Option<Arc<T>>,
+    {
+        let mut entries = self.entries.lock().expect("obs registry poisoned");
+        for e in entries.iter() {
+            if e.name == name && e.label.as_ref().map(|(k, v)| (k.as_str(), v.as_str())) == label {
+                return pick(&e.metric).unwrap_or_else(|| {
+                    panic!("metric \"{name}\" already registered with a different kind")
+                });
+            }
+        }
+        let metric = new();
+        let handle = pick(&metric).expect("freshly built metric has the right kind");
+        entries.push(Entry {
+            name: name.to_string(),
+            label: label.map(|(k, v)| (k.to_string(), v.to_string())),
+            metric,
+        });
+        handle
+    }
+
+    /// The counter `name`, created at zero on first resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.resolve(
+            name,
+            None,
+            || Metric::Counter(Arc::new(Counter::new())),
+            |m| match m {
+                Metric::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// The counter `name{key="value"}`, created at zero on first
+    /// resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a metric-kind collision for the same name and label.
+    pub fn counter_with(&self, name: &str, key: &str, value: &str) -> Arc<Counter> {
+        self.resolve(
+            name,
+            Some((key, value)),
+            || Metric::Counter(Arc::new(Counter::new())),
+            |m| match m {
+                Metric::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// The gauge `name`, created at zero on first resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.resolve(
+            name,
+            None,
+            || Metric::Gauge(Arc::new(Gauge::new())),
+            |m| match m {
+                Metric::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        )
+    }
+
+    /// The histogram `name`, created empty on first resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.resolve(
+            name,
+            None,
+            || Metric::Histogram(Arc::new(Histogram::new())),
+            |m| match m {
+                Metric::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// The histogram `name{key="value"}`, created empty on first
+    /// resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a metric-kind collision for the same name and label.
+    pub fn histogram_with(&self, name: &str, key: &str, value: &str) -> Arc<Histogram> {
+        self.resolve(
+            name,
+            Some((key, value)),
+            || Metric::Histogram(Arc::new(Histogram::new())),
+            |m| match m {
+                Metric::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Sum of every counter registered under `name`, across all labels —
+    /// e.g. total responses regardless of outcome.
+    pub fn counter_sum(&self, name: &str) -> u64 {
+        let entries = self.entries.lock().expect("obs registry poisoned");
+        entries
+            .iter()
+            .filter(|e| e.name == name)
+            .filter_map(|e| match &e.metric {
+                Metric::Counter(c) => Some(c.get()),
+                _ => None,
+            })
+            .sum()
+    }
+
+    pub(crate) fn sorted_entries(&self) -> Vec<Entry> {
+        let mut entries = self.entries.lock().expect("obs registry poisoned").clone();
+        entries.sort_by(|a, b| (&a.name, &a.label).cmp(&(&b.name, &b.label)));
+        entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_per_name_and_label() {
+        let reg = Registry::new();
+        let a = reg.counter("x_total");
+        let b = reg.counter("x_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "same name resolves to one counter");
+        let l1 = reg.counter_with("y_total", "kind", "a");
+        let l2 = reg.counter_with("y_total", "kind", "b");
+        l1.inc();
+        assert_eq!(l2.get(), 0, "distinct labels are distinct counters");
+        assert_eq!(reg.counter_sum("y_total"), 1);
+        assert_eq!(reg.counter_sum("x_total"), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_collisions_panic() {
+        let reg = Registry::new();
+        reg.counter("clash");
+        reg.gauge("clash");
+    }
+
+    #[test]
+    fn clones_share_state_and_global_is_stable() {
+        let reg = Registry::new();
+        let clone = reg.clone();
+        clone.gauge("depth").set(7);
+        assert_eq!(reg.gauge("depth").get(), 7);
+        let g1 = global() as *const Registry;
+        let g2 = global() as *const Registry;
+        assert_eq!(g1, g2);
+    }
+}

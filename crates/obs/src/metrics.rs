@@ -1,0 +1,259 @@
+//! The three metric primitives and the scoped timer span.
+//!
+//! Everything here is plain `std::sync::atomic` state mutated with
+//! `Relaxed` ordering: metrics are statistical reads, not synchronization
+//! points, and the hot paths they instrument must pay as close to nothing
+//! as possible.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed level (queue depth, live connections, worker
+/// count).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.value.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Sets the level.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ microsecond buckets: bucket `i` covers
+/// `[2^i, 2^(i+1))` µs, so 40 buckets span 1 µs to ≈ 6.4 days — every
+/// latency this workspace can produce.
+pub(crate) const BUCKETS: usize = 40;
+
+/// A log₂-bucketed latency histogram over seconds.
+///
+/// Observations are bucketed by `floor(log2(max(µs, 1)))`, giving
+/// factor-of-two resolution from 1 µs up; [`Histogram::quantile`] reports
+/// the upper bound of the bucket holding the requested rank, i.e. a
+/// conservative (never under-reported) latency estimate.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Histogram(count={}, sum={:.6}s)",
+            self.count(),
+            self.sum_seconds()
+        )
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    fn bucket_index(micros: u64) -> usize {
+        let idx = 63 - micros.max(1).leading_zeros() as usize;
+        idx.min(BUCKETS - 1)
+    }
+
+    /// Upper bound of bucket `i`, in seconds.
+    pub(crate) fn bucket_upper_seconds(i: usize) -> f64 {
+        (1u64 << (i + 1).min(63)) as f64 * 1e-6
+    }
+
+    /// Records one observation of `secs` (negative or non-finite values
+    /// are clamped to zero).
+    pub fn observe(&self, secs: f64) {
+        let micros = if secs.is_finite() && secs > 0.0 {
+            (secs * 1e6).round() as u64
+        } else {
+            0
+        };
+        self.buckets[Self::bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Starts a scoped timer that records into this histogram on drop.
+    pub fn span(self: &Arc<Self>) -> Span {
+        Span {
+            hist: Arc::clone(self),
+            start: Instant::now(),
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, in seconds.
+    pub fn sum_seconds(&self) -> f64 {
+        self.sum_micros.load(Ordering::Relaxed) as f64 * 1e-6
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) in seconds: the upper bound of the
+    /// bucket containing the ranked observation, or 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Self::bucket_upper_seconds(i);
+            }
+        }
+        Self::bucket_upper_seconds(BUCKETS - 1)
+    }
+}
+
+/// A scoped timer: created by [`Histogram::span`], records the elapsed
+/// wall time into its histogram when dropped. Binding it to `_span` times
+/// the rest of the scope.
+pub struct Span {
+    hist: Arc<Histogram>,
+    start: Instant,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.hist.observe(self.start.elapsed().as_secs_f64());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_do_arithmetic() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-3);
+        assert_eq!(g.get(), -3);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles_are_conservative() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram reports zero");
+        // 90 fast observations (~100 µs) and 10 slow ones (~50 ms).
+        for _ in 0..90 {
+            h.observe(100e-6);
+        }
+        for _ in 0..10 {
+            h.observe(50e-3);
+        }
+        assert_eq!(h.count(), 100);
+        assert!((h.sum_seconds() - (90.0 * 100e-6 + 10.0 * 50e-3)).abs() < 1e-6);
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        // p50 sits in the 64–128 µs bucket; p99 in the 32.8–65.5 ms one.
+        assert!((100e-6..256e-6).contains(&p50), "p50 = {p50}");
+        assert!((50e-3..132e-3).contains(&p99), "p99 = {p99}");
+        assert!(h.quantile(0.0) > 0.0);
+        assert!(h.quantile(1.0) >= p99);
+    }
+
+    #[test]
+    fn degenerate_observations_do_not_panic() {
+        let h = Histogram::new();
+        h.observe(0.0);
+        h.observe(-1.0);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY); // clamped to zero (non-finite)
+        h.observe(1e9); // far beyond the last bucket: clamped into it
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        let h = Arc::new(Histogram::new());
+        {
+            let _span = h.span();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.sum_seconds() >= 1e-3, "span measured the sleep");
+    }
+}

@@ -24,6 +24,7 @@
 use crate::erf::QTable;
 use crate::jtol::{jtol_at_impl, JtolPoint};
 use crate::model::GccoStatModel;
+use gcco_obs::Registry;
 use gcco_units::Ui;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -138,15 +139,19 @@ pub struct SweepContext {
     model: GccoStatModel,
     qtab: QTable,
     workers: usize,
+    obs: Registry,
 }
 
 impl SweepContext {
-    /// Wraps a model with a fresh Q-table and [`available_workers`] workers.
+    /// Wraps a model with a fresh Q-table and [`available_workers`]
+    /// workers, recording sweep metrics into the [`gcco_obs::global`]
+    /// registry (override with [`SweepContext::with_obs`]).
     pub fn new(model: GccoStatModel) -> SweepContext {
         SweepContext {
             model,
             qtab: QTable::new(),
             workers: available_workers(),
+            obs: gcco_obs::global().clone(),
         }
     }
 
@@ -159,6 +164,28 @@ impl SweepContext {
         assert!(workers >= 1, "worker count must be at least 1");
         self.workers = workers;
         self
+    }
+
+    /// Records this context's sweep metrics (per-grid wall time, worker
+    /// count) into `obs` instead of the global registry. Instrumentation
+    /// is timing-only — it never changes a computed value.
+    pub fn with_obs(mut self, obs: Registry) -> SweepContext {
+        self.obs = obs;
+        self
+    }
+
+    /// Starts the timing span for one grid/curve evaluation of `kind` and
+    /// publishes the worker gauge. The returned span records on drop.
+    fn grid_span(&self, kind: &str) -> gcco_obs::Span {
+        self.obs
+            .counter_with("gcco_sweep_grids_total", "kind", kind)
+            .inc();
+        self.obs
+            .gauge("gcco_sweep_workers")
+            .set(self.workers as i64);
+        self.obs
+            .histogram_with("gcco_sweep_grid_seconds", "kind", kind)
+            .span()
     }
 
     /// The wrapped model.
@@ -203,6 +230,7 @@ impl SweepContext {
     /// Points are evaluated in parallel; the flattened work list keeps all
     /// workers busy even when one axis is short.
     pub fn ber_grid(&self, amps_pp: &[f64], freqs_norm: &[f64]) -> Vec<Vec<f64>> {
+        let _span = self.grid_span("ber_grid");
         let cells: Vec<(f64, f64)> = amps_pp
             .iter()
             .flat_map(|&a| freqs_norm.iter().map(move |&f| (a, f)))
@@ -230,6 +258,7 @@ impl SweepContext {
     /// [`crate::jtol_curve`] agrees to within
     /// [`crate::JTOL_AMPLITUDE_TOL`].
     pub fn jtol_curve(&self, freqs_norm: &[f64], target_ber: f64) -> Vec<JtolPoint> {
+        let _span = self.grid_span("jtol_curve");
         self.map(freqs_norm, |_, &f| self.jtol_point(f, target_ber))
     }
 }
@@ -302,6 +331,31 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn instrumentation_records_without_changing_values() {
+        let ctx = SweepContext::new(GccoStatModel::new(JitterSpec::paper_table1()));
+        let bare = ctx.ber_grid(&[0.2, 0.8], &[0.05, 0.25]);
+        let reg = gcco_obs::Registry::new();
+        let instrumented = ctx.clone().with_obs(reg.clone());
+        assert_eq!(
+            instrumented.ber_grid(&[0.2, 0.8], &[0.05, 0.25]),
+            bare,
+            "metrics recording must not change a single computed number"
+        );
+        assert_eq!(reg.counter_sum("gcco_sweep_grids_total"), 1);
+        assert_eq!(
+            reg.histogram_with("gcco_sweep_grid_seconds", "kind", "ber_grid")
+                .count(),
+            1
+        );
+        assert_eq!(
+            reg.gauge("gcco_sweep_workers").get(),
+            instrumented.workers() as i64
+        );
+        instrumented.jtol_curve(&[0.1], 1e-12);
+        assert_eq!(reg.counter_sum("gcco_sweep_grids_total"), 2);
     }
 
     #[test]

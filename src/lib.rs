@@ -28,6 +28,7 @@ pub use gcco_core as cdr;
 pub use gcco_dsim as dsim;
 pub use gcco_eye as eye;
 pub use gcco_noise as noise;
+pub use gcco_obs as obs;
 pub use gcco_signal as signal;
 pub use gcco_stat as stat;
 pub use gcco_units as units;
