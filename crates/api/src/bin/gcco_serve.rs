@@ -1,9 +1,13 @@
 //! `gcco-serve` — the line-JSON TCP evaluation service.
 //!
 //! ```text
-//! gcco-serve listen [ADDR] [--workers N] [--queue N]
+//! gcco-serve listen [ADDR] [--workers N] [--queue N] [--cache-capacity N] [--store DIR]
 //!     Bind (default 127.0.0.1:0), print "LISTENING <addr>", run until a
 //!     {"cmd":"shutdown"} line arrives, then drain and exit.
+//!     --cache-capacity bounds the engine's warm-context LRU; --store
+//!     attaches a persistent gcco-store result journal at DIR, so
+//!     previously computed responses survive restarts and show up as
+//!     gcco_store_* counters in {"cmd":"metrics"}.
 //!
 //! gcco-serve demo <ADDR>
 //!     Submit a built-in 3-request batch (BER point, FTOL search, ring
@@ -23,8 +27,10 @@
 
 use gcco_api::json::{parse_client_line, ClientLine, Envelope};
 use gcco_api::serve::{client_roundtrip, fetch_metrics, send_shutdown, serve, ServeConfig};
-use gcco_api::{DsimRunSpec, Engine, EvalRequest, ModelSpec, SjOverride};
+use gcco_api::{DsimRunSpec, Engine, EngineConfig, EvalRequest, ModelSpec, SjOverride};
+use gcco_store::Store;
 use std::net::SocketAddr;
+use std::sync::Arc;
 use std::time::Duration;
 
 const CLIENT_TIMEOUT: Duration = Duration::from_secs(120);
@@ -49,7 +55,7 @@ fn main() {
         }),
         _ => {
             eprintln!(
-                "usage: gcco-serve listen [ADDR] [--workers N] [--queue N]\n\
+                "usage: gcco-serve listen [ADDR] [--workers N] [--queue N] [--cache-capacity N] [--store DIR]\n\
                  \x20      gcco-serve demo <ADDR>\n\
                  \x20      gcco-serve send <ADDR>\n\
                  \x20      gcco-serve metrics <ADDR>\n\
@@ -80,6 +86,8 @@ fn with_addr(
 
 fn listen(args: &[String]) -> Result<i32, gcco_api::GccoError> {
     let mut config = ServeConfig::default();
+    let mut engine_config = EngineConfig::default();
+    let mut store_dir: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -88,6 +96,18 @@ fn listen(args: &[String]) -> Result<i32, gcco_api::GccoError> {
             }
             "--queue" => {
                 config.queue_capacity = parse_flag(it.next(), "--queue")?;
+            }
+            "--cache-capacity" => {
+                engine_config.cache_capacity = parse_flag(it.next(), "--cache-capacity")?;
+            }
+            "--store" => {
+                store_dir = Some(
+                    it.next()
+                        .ok_or_else(|| {
+                            gcco_api::GccoError::Parse("--store needs a directory".to_string())
+                        })?
+                        .clone(),
+                );
             }
             other if !other.starts_with("--") => {
                 config.addr = other.to_string();
@@ -99,7 +119,17 @@ fn listen(args: &[String]) -> Result<i32, gcco_api::GccoError> {
             }
         }
     }
-    let handle = serve(&config, Engine::new())?;
+    let mut engine = Engine::with_config(engine_config);
+    if let Some(dir) = store_dir {
+        let store = Arc::new(Store::open(&dir)?);
+        let recovery = store.recovery();
+        println!(
+            "STORE {dir}: {} records recovered, {} torn bytes truncated",
+            recovery.intact_records, recovery.torn_bytes
+        );
+        engine = engine.with_store(store);
+    }
+    let handle = serve(&config, engine)?;
     // The line the CI smoke step (and any wrapper) greps for.
     println!("LISTENING {}", handle.local_addr());
     handle.run_until_shutdown();

@@ -29,6 +29,7 @@ use gcco_dsim::{GateFunc, LogicGate, Simulator};
 use gcco_noise::{iss_log_grid, size_for_jitter, tradeoff_point, PhaseNoiseModel};
 use gcco_obs::{Counter, Registry};
 use gcco_stat::{available_workers, par_map_grid, SweepContext};
+use gcco_store::Store;
 use gcco_units::{Current, Freq, Time, Ui, Voltage};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -107,6 +108,17 @@ impl DeadlineGuard {
     }
 }
 
+/// The engine's persistent second cache tier: a shared [`Store`] plus the
+/// counters that account for it. Created only by [`Engine::with_store`],
+/// so store metrics appear in the registry exactly when a store is
+/// attached.
+struct StoreTier {
+    store: Arc<Store>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    appends: Arc<Counter>,
+}
+
 /// Typed evaluation engine with warm-context caching.
 ///
 /// One engine is meant to be shared: interior mutability covers the cache
@@ -130,6 +142,7 @@ pub struct Engine {
     workers: usize,
     /// MRU-ordered (key, context) pairs; front = most recently used.
     cache: Mutex<Vec<(String, Arc<SweepContext>)>>,
+    store: Option<StoreTier>,
     builds: AtomicU64,
     obs: Registry,
     cache_hits: Arc<Counter>,
@@ -169,6 +182,7 @@ impl Engine {
             config,
             workers,
             cache: Mutex::new(Vec::new()),
+            store: None,
             builds: AtomicU64::new(0),
             cache_hits: obs.counter("gcco_engine_cache_hits_total"),
             cache_misses: obs.counter("gcco_engine_cache_misses_total"),
@@ -177,6 +191,40 @@ impl Engine {
             deadline_trips: obs.counter("gcco_engine_deadline_trips_total"),
             obs,
         }
+    }
+
+    /// Attaches a persistent result store as the second cache tier behind
+    /// the warm-context LRU: a request whose [`EvalRequest::cache_key`]
+    /// is journaled returns the stored response **bit-identically** (the
+    /// wire codec round-trips every `f64` exactly); a miss computes,
+    /// appends, and returns. Only successful responses are stored, so
+    /// errors (deadline trips, invalid specs) re-evaluate every time.
+    ///
+    /// Attaching registers the `gcco_store_*` counters in this engine's
+    /// registry — including the store's recovery tallies
+    /// (`gcco_store_recovered_records`, `gcco_store_torn_bytes`) — so
+    /// store health is visible wherever engine metrics are exposed.
+    #[must_use]
+    pub fn with_store(mut self, store: Arc<Store>) -> Engine {
+        let recovery = store.recovery();
+        self.obs
+            .counter("gcco_store_recovered_records")
+            .add(recovery.intact_records);
+        self.obs
+            .counter("gcco_store_torn_bytes")
+            .add(recovery.torn_bytes);
+        self.store = Some(StoreTier {
+            store,
+            hits: self.obs.counter("gcco_store_hits_total"),
+            misses: self.obs.counter("gcco_store_misses_total"),
+            appends: self.obs.counter("gcco_store_appends_total"),
+        });
+        self
+    }
+
+    /// The attached persistent store, when there is one.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref().map(|tier| &tier.store)
     }
 
     /// The metrics registry this engine (and every context it builds)
@@ -284,11 +332,42 @@ impl Engine {
             .obs
             .histogram_with("gcco_engine_request_seconds", "kind", kind)
             .span();
-        let result = self.dispatch(req, guard);
+        let result = self.dispatch_stored(req, guard);
         if matches!(result, Err(GccoError::DeadlineExceeded { .. })) {
             self.deadline_trips.inc();
         }
         result
+    }
+
+    /// Dispatch through the persistent tier when one is attached: store
+    /// hit → parse and return the journaled response; miss → compute via
+    /// [`Engine::dispatch`], append, return. Validation and the deadline
+    /// run *before* the lookup, so attaching a store never changes which
+    /// requests are accepted — only whether they recompute.
+    fn dispatch_stored(
+        &self,
+        req: &EvalRequest,
+        guard: DeadlineGuard,
+    ) -> Result<EvalResponse, GccoError> {
+        let Some(tier) = &self.store else {
+            return self.dispatch(req, guard);
+        };
+        req.validate()?;
+        guard.check()?;
+        let key = req.cache_key();
+        if let Some(bytes) = tier.store.get(&key)? {
+            let text = String::from_utf8(bytes)
+                .map_err(|e| GccoError::Io(format!("stored response is not UTF-8: {e}")))?;
+            let resp = crate::json::parse_response(&crate::json::Json::parse(&text)?)?;
+            tier.hits.inc();
+            return Ok(resp);
+        }
+        tier.misses.inc();
+        let resp = self.dispatch(req, guard)?;
+        tier.store
+            .append(&key, crate::json::encode_response(&resp).as_bytes())?;
+        tier.appends.inc();
+        Ok(resp)
     }
 
     /// The uninstrumented dispatch body — kernels only, no metrics, so

@@ -19,6 +19,13 @@
 //! * [`serve`] — the `gcco-serve` TCP service: batch submission, bounded
 //!   queue with backpressure, request timeouts, graceful drain.
 //!
+//! Attaching a [`gcco_store::Store`] via [`Engine::with_store`] adds a
+//! persistent second cache tier behind the warm-context LRU: every
+//! successful response is journaled under its [`EvalRequest::cache_key`],
+//! and a byte-identical request is served from disk bit-identically —
+//! across process restarts (`gcco-serve --store DIR`, resumable
+//! campaigns).
+//!
 //! # Examples
 //!
 //! A Fig. 9-shaped BER grid as data:

@@ -232,6 +232,89 @@ impl EvalRequest {
         }
     }
 
+    /// Canonical content key for the whole request — the persistence
+    /// analogue of [`ModelSpec::cache_key`], extended to every variant.
+    ///
+    /// Two requests that would compute bit-identical responses map to the
+    /// same key; any semantic difference (a float one ULP apart, a grid
+    /// point more, a different seed) yields a different key. Like the
+    /// spec key, floats are keyed by their exact `to_bits` patterns, so
+    /// the key is immune to formatting and field-order differences on the
+    /// wire: parse → `cache_key` is the canonicalization.
+    ///
+    /// The `gcco-store` journal uses this string directly as the record
+    /// key, which keeps collisions structurally impossible rather than
+    /// merely improbable.
+    pub fn cache_key(&self) -> String {
+        use std::fmt::Write;
+        fn push_f64s(key: &mut String, tag: char, values: &[f64]) {
+            key.push('|');
+            key.push(tag);
+            for (i, v) in values.iter().enumerate() {
+                if i > 0 {
+                    key.push(',');
+                }
+                let _ = write!(key, "{:016x}", v.to_bits());
+            }
+        }
+        let mut key = String::with_capacity(256);
+        key.push_str(self.kind());
+        if let Some(spec) = self.model_spec() {
+            key.push('|');
+            key.push_str(&spec.cache_key());
+        }
+        match self {
+            EvalRequest::BerPoint { sj, .. } => match sj {
+                None => key.push_str("|sj-"),
+                Some(sj) => push_f64s(&mut key, 's', &[sj.amplitude_pp, sj.freq_norm]),
+            },
+            EvalRequest::BerGrid {
+                amps_pp,
+                freqs_norm,
+                ..
+            } => {
+                push_f64s(&mut key, 'a', amps_pp);
+                push_f64s(&mut key, 'f', freqs_norm);
+            }
+            EvalRequest::JtolCurve {
+                freqs_norm,
+                target_ber,
+                ..
+            } => {
+                push_f64s(&mut key, 'f', freqs_norm);
+                push_f64s(&mut key, 't', &[*target_ber]);
+            }
+            EvalRequest::FtolSearch { target_ber, .. } => {
+                push_f64s(&mut key, 't', &[*target_ber]);
+            }
+            EvalRequest::PowerScan { scan } => {
+                push_f64s(
+                    &mut key,
+                    'p',
+                    &[
+                        scan.bit_rate_gbps,
+                        scan.swing_v,
+                        scan.eta,
+                        scan.sigma_ui_target,
+                        scan.iss_min_ua,
+                        scan.iss_max_ua,
+                        scan.iss_sizing_max_a,
+                    ],
+                );
+                let _ = write!(key, "|n{}.c{}.k{}", scan.n_stages, scan.cid, scan.steps);
+            }
+            EvalRequest::DsimRun { run } => {
+                push_f64s(
+                    &mut key,
+                    'd',
+                    &[run.stage_delay_ps, run.jitter_rel, run.duration_ns],
+                );
+                let _ = write!(key, "|x{:016x}.n{}", run.seed, run.stages);
+            }
+        }
+        key
+    }
+
     /// Validates the request as data (spec ranges, grid shapes, targets).
     ///
     /// # Errors
@@ -483,6 +566,66 @@ mod tests {
         );
         for r in &reqs {
             assert!(r.validate().is_ok(), "{:?}", r.kind());
+        }
+    }
+
+    #[test]
+    fn cache_keys_are_distinct_across_variants_and_payloads() {
+        let spec = ModelSpec::paper_table1();
+        let reqs = [
+            EvalRequest::BerPoint {
+                spec: spec.clone(),
+                sj: None,
+            },
+            EvalRequest::BerPoint {
+                spec: spec.clone(),
+                sj: Some(SjOverride {
+                    amplitude_pp: 0.1,
+                    freq_norm: 0.1,
+                }),
+            },
+            EvalRequest::BerGrid {
+                spec: spec.clone(),
+                amps_pp: vec![0.1],
+                freqs_norm: vec![0.1],
+            },
+            EvalRequest::BerGrid {
+                spec: spec.clone(),
+                amps_pp: vec![0.1, 0.2],
+                freqs_norm: vec![0.1],
+            },
+            EvalRequest::JtolCurve {
+                spec: spec.clone(),
+                freqs_norm: vec![0.1],
+                target_ber: 1e-12,
+            },
+            EvalRequest::FtolSearch {
+                spec,
+                target_ber: 1e-12,
+            },
+            EvalRequest::PowerScan {
+                scan: PowerScanSpec::paper_design(),
+            },
+            EvalRequest::DsimRun {
+                run: DsimRunSpec::paper_ring(),
+            },
+            EvalRequest::DsimRun {
+                run: DsimRunSpec {
+                    seed: 2,
+                    ..DsimRunSpec::paper_ring()
+                },
+            },
+        ];
+        let keys: Vec<String> = reqs.iter().map(EvalRequest::cache_key).collect();
+        for (i, a) in keys.iter().enumerate() {
+            assert!(a.starts_with(reqs[i].kind()), "{a}");
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b, "distinct requests must never share a key");
+            }
+        }
+        // Keys are pure content functions: a clone keys identically.
+        for r in &reqs {
+            assert_eq!(r.cache_key(), r.clone().cache_key());
         }
     }
 

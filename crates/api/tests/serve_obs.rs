@@ -153,6 +153,54 @@ fn queue_depth_gauge_is_visible_while_a_worker_is_backed_up() {
 }
 
 #[test]
+fn store_counters_surface_over_tcp_and_survive_a_restart() {
+    let dir = std::env::temp_dir().join(format!("gcco-serve-obs-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // First server life: one miss computes and journals, one hit reads.
+    let engine =
+        Engine::new().with_store(std::sync::Arc::new(gcco_store::Store::open(&dir).unwrap()));
+    let handle = serve(&ServeConfig::default(), engine).expect("bind loopback");
+    let addr = handle.local_addr();
+    submit_batch(&addr, &[ber_point(1)], TIMEOUT).expect("first")[0]
+        .result
+        .as_ref()
+        .expect("first evaluates");
+    submit_batch(&addr, &[ber_point(2)], TIMEOUT).expect("second")[0]
+        .result
+        .as_ref()
+        .expect("second evaluates");
+    let text = fetch_metrics(&addr, TIMEOUT).expect("metrics exposition");
+    assert!(text.contains("gcco_store_hits_total 1"), "{text}");
+    assert!(text.contains("gcco_store_misses_total 1"), "{text}");
+    assert!(text.contains("gcco_store_appends_total 1"), "{text}");
+    assert!(text.contains("gcco_store_recovered_records 0"), "{text}");
+    handle.shutdown();
+
+    // Second life against the same directory: the warm LRU is gone but
+    // the journal is not — the same request is a pure store hit, and the
+    // recovery counter reports the journaled record.
+    let engine =
+        Engine::new().with_store(std::sync::Arc::new(gcco_store::Store::open(&dir).unwrap()));
+    let handle = serve(&ServeConfig::default(), engine).expect("rebind loopback");
+    let addr = handle.local_addr();
+    submit_batch(&addr, &[ber_point(3)], TIMEOUT).expect("after restart")[0]
+        .result
+        .as_ref()
+        .expect("evaluates from the journal");
+    let text = fetch_metrics(&addr, TIMEOUT).expect("metrics exposition");
+    assert!(text.contains("gcco_store_hits_total 1"), "{text}");
+    assert!(text.contains("gcco_store_misses_total 0"), "{text}");
+    assert!(text.contains("gcco_store_recovered_records 1"), "{text}");
+    assert!(text.contains("gcco_store_torn_bytes 0"), "{text}");
+    // No context was ever built in this life: the engine series proves
+    // the response came from disk, not a recompute.
+    assert!(text.contains("gcco_engine_cache_builds_total 0"), "{text}");
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn concurrent_connections_are_each_counted() {
     let handle = serve(&ServeConfig::default(), Engine::new()).expect("bind loopback");
     let addr = handle.local_addr();

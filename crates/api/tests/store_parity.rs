@@ -1,0 +1,188 @@
+//! Persistent-tier parity tests (ISSUE 4 acceptance): for **every**
+//! `EvalRequest` kind, a response served from the disk store compares
+//! byte-identical — via the wire codec — to a freshly computed one, both
+//! within one process and across a store reopen (the restart case the
+//! tier exists for).
+
+use gcco_api::json::encode_response;
+use gcco_api::{
+    DeadlineGuard, DsimRunSpec, Engine, EngineConfig, EvalRequest, ModelSpec, PowerScanSpec,
+    SjOverride,
+};
+use gcco_store::Store;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gcco-store-parity-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn engine() -> Engine {
+    Engine::with_config(EngineConfig {
+        cache_capacity: 4,
+        workers: Some(1),
+    })
+}
+
+/// One cheap request per kind — every dispatch arm crosses the store.
+fn one_request_per_kind() -> Vec<EvalRequest> {
+    let spec = ModelSpec::paper_table1();
+    vec![
+        EvalRequest::BerPoint {
+            spec: spec.clone(),
+            sj: Some(SjOverride {
+                amplitude_pp: 0.5,
+                freq_norm: 1e-3,
+            }),
+        },
+        EvalRequest::BerGrid {
+            spec: spec.clone(),
+            amps_pp: vec![0.2, 0.8],
+            freqs_norm: vec![1e-3, 0.1],
+        },
+        EvalRequest::JtolCurve {
+            spec: spec.clone(),
+            freqs_norm: vec![1e-3, 0.3],
+            target_ber: 1e-12,
+        },
+        EvalRequest::FtolSearch {
+            spec,
+            target_ber: 1e-12,
+        },
+        EvalRequest::PowerScan {
+            scan: PowerScanSpec {
+                steps: 5,
+                ..PowerScanSpec::paper_design()
+            },
+        },
+        EvalRequest::DsimRun {
+            run: DsimRunSpec {
+                duration_ns: 20.0,
+                ..DsimRunSpec::paper_ring()
+            },
+        },
+    ]
+}
+
+#[test]
+fn every_kind_round_trips_bit_exactly_through_the_store() {
+    let dir = tmp_dir("kinds");
+    let requests = one_request_per_kind();
+
+    // Reference: a store-less engine.
+    let plain = engine();
+    let fresh: Vec<String> = requests
+        .iter()
+        .map(|r| encode_response(&plain.evaluate(r).expect("fresh evaluation")))
+        .collect();
+
+    // Cold store: every request misses, computes, appends.
+    let cold = engine().with_store(Arc::new(Store::open(&dir).unwrap()));
+    for (req, want) in requests.iter().zip(&fresh) {
+        let got = encode_response(&cold.evaluate(req).expect("cold evaluation"));
+        assert_eq!(&got, want, "{}: cold store changed the bytes", req.kind());
+    }
+    let obs = cold.obs();
+    assert_eq!(
+        obs.counter("gcco_store_misses_total").get(),
+        requests.len() as u64
+    );
+    assert_eq!(
+        obs.counter("gcco_store_appends_total").get(),
+        requests.len() as u64
+    );
+    assert_eq!(obs.counter("gcco_store_hits_total").get(), 0);
+    // Re-evaluating in-process now hits the journal, bit-identically.
+    for (req, want) in requests.iter().zip(&fresh) {
+        let got = encode_response(&cold.evaluate(req).expect("hit"));
+        assert_eq!(&got, want, "{}: in-process hit drifted", req.kind());
+    }
+    assert_eq!(
+        obs.counter("gcco_store_hits_total").get(),
+        requests.len() as u64
+    );
+    drop(cold);
+
+    // Reopened store in a fresh engine: pure disk hits — the engine never
+    // builds a context, proving the values came from the journal.
+    let warm = engine().with_store(Arc::new(Store::open(&dir).unwrap()));
+    for (req, want) in requests.iter().zip(&fresh) {
+        let got = encode_response(&warm.evaluate(req).expect("warm evaluation"));
+        assert_eq!(&got, want, "{}: reopened store drifted", req.kind());
+    }
+    let obs = warm.obs();
+    assert_eq!(
+        obs.counter("gcco_store_hits_total").get(),
+        requests.len() as u64
+    );
+    assert_eq!(obs.counter("gcco_store_misses_total").get(), 0);
+    assert_eq!(
+        warm.context_builds(),
+        0,
+        "a fully warm store must never build a context"
+    );
+    assert_eq!(
+        obs.counter("gcco_store_recovered_records").get(),
+        requests.len() as u64
+    );
+    assert_eq!(obs.counter("gcco_store_torn_bytes").get(), 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn errors_are_never_journaled() {
+    let dir = tmp_dir("errors");
+    let engine = engine().with_store(Arc::new(Store::open(&dir).unwrap()));
+    let bad = EvalRequest::FtolSearch {
+        spec: ModelSpec {
+            freq_offset: 0.9,
+            ..ModelSpec::paper_table1()
+        },
+        target_ber: 1e-12,
+    };
+    assert_eq!(
+        engine.evaluate(&bad).expect_err("must reject").kind(),
+        "invalid_spec"
+    );
+    // A tripped deadline aborts before (or instead of) the append.
+    let slow = EvalRequest::BerGrid {
+        spec: ModelSpec::paper_table1(),
+        amps_pp: vec![0.2],
+        freqs_norm: vec![1e-3],
+    };
+    assert_eq!(
+        engine
+            .evaluate_with_deadline(&slow, DeadlineGuard::after_ms(0))
+            .expect_err("zero deadline trips")
+            .kind(),
+        "deadline_exceeded"
+    );
+    let store = engine.store().expect("store attached");
+    assert!(store.is_empty(), "no failed evaluation may be journaled");
+    assert_eq!(engine.obs().counter("gcco_store_appends_total").get(), 0);
+    // After the deadline trip, the same request under no deadline
+    // computes and journals normally.
+    engine.evaluate(&slow).expect("unlimited evaluation");
+    assert_eq!(engine.store().unwrap().len(), 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn store_metrics_absent_without_a_store() {
+    let plain = engine();
+    plain
+        .evaluate(&EvalRequest::DsimRun {
+            run: DsimRunSpec {
+                duration_ns: 10.0,
+                ..DsimRunSpec::paper_ring()
+            },
+        })
+        .unwrap();
+    let text = plain.obs().render_prometheus();
+    assert!(
+        !text.contains("gcco_store_"),
+        "store counters must only exist once a store is attached:\n{text}"
+    );
+}

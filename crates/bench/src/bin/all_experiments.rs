@@ -36,6 +36,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablation_dummy",
     "ablation_gating",
     "ablation_correlation",
+    "campaign",
 ];
 
 fn main() {

@@ -7,8 +7,8 @@
 //! the sweep context exactly once and fans every grid and contour point
 //! out over the sweep workers.
 
-use gcco_api::{Engine, EvalRequest, EvalResponse, ModelSpec, SjOverride};
-use gcco_bench::{fmt_ber, header, metrics, result_line};
+use gcco_api::{EvalRequest, EvalResponse, ModelSpec, SjOverride};
+use gcco_bench::{engine_from_env, fmt_ber, header, metrics, result_line};
 
 fn main() {
     header(
@@ -50,7 +50,7 @@ fn main() {
             }),
         },
     ];
-    let engine = Engine::new();
+    let engine = engine_from_env();
     let mut results = engine.evaluate_batch(&requests).into_iter();
     let mut next = || {
         results
@@ -115,9 +115,10 @@ fn main() {
         metrics::BER_1UIPP_AT_0P4FB,
         fmt_ber(high).trim().to_string(),
     );
-    assert_eq!(
-        engine.context_builds(),
-        1,
+    // At most one build: exactly 1 cold, 0 when every response replays
+    // from a warm `GCCO_STORE` journal.
+    assert!(
+        engine.context_builds() <= 1,
         "all four requests share one warm sweep context"
     );
     println!("\nOK: shape matches Fig. 9 — huge low-frequency tolerance, collapse near f_bit.");

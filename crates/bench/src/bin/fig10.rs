@@ -5,8 +5,8 @@
 //! and three [`EvalRequest`]s evaluated through one [`Engine`], which keeps
 //! a warm sweep context per spec.
 
-use gcco_api::{Engine, EvalRequest, EvalResponse, ModelSpec};
-use gcco_bench::{fmt_ber, header, metrics, result_line};
+use gcco_api::{EvalRequest, EvalResponse, ModelSpec};
+use gcco_bench::{engine_from_env, fmt_ber, header, metrics, result_line};
 use gcco_stat::TolMask;
 use gcco_units::{Freq, Ui};
 
@@ -30,7 +30,7 @@ fn main() {
     let offs_spec = clean_spec.clone().with_freq_offset(offset);
     let jfreqs = vec![1e-3, 1e-2, 0.1, 0.3, 0.45];
 
-    let engine = Engine::new();
+    let engine = engine_from_env();
     let requests = [
         EvalRequest::BerGrid {
             spec: offs_spec.clone(),

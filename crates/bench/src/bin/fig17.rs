@@ -7,8 +7,8 @@
 //! through one [`Engine`] (one warm context per tap); the slip-cost coda
 //! stays on the direct model API, which the engine does not expose.
 
-use gcco_api::{Engine, EvalRequest, EvalResponse, ModelSpec};
-use gcco_bench::{fmt_ber, header, metrics, result_line};
+use gcco_api::{EvalRequest, EvalResponse, ModelSpec};
+use gcco_bench::{engine_from_env, fmt_ber, header, metrics, result_line};
 use gcco_stat::{GccoStatModel, JitterSpec, SamplingTap};
 use gcco_units::Ui;
 
@@ -31,7 +31,7 @@ fn main() {
     let imp_spec = std_spec.clone().with_tap(SamplingTap::Improved);
     let jfreqs = vec![1e-2, 0.1, 0.2, 0.3, 0.45];
 
-    let engine = Engine::new();
+    let engine = engine_from_env();
     let requests = [
         EvalRequest::BerGrid {
             spec: imp_spec.clone(),

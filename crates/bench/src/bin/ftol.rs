@@ -6,8 +6,8 @@
 //! [`EvalRequest`]s batched through the [`Engine`]; the run-length
 //! statistics feed the specs as explicit [`RunDistSpec::Counts`].
 
-use gcco_api::{Engine, EvalRequest, EvalResponse, ModelSpec, RunDistSpec};
-use gcco_bench::{fmt_ber, header, metrics, result_line};
+use gcco_api::{EvalRequest, EvalResponse, ModelSpec, RunDistSpec};
+use gcco_bench::{engine_from_env, fmt_ber, header, metrics, result_line};
 use gcco_signal::{Encoder8b10b, Prbs, PrbsOrder, RunLengths, Symbol};
 use gcco_stat::SamplingTap;
 
@@ -65,7 +65,7 @@ fn main() {
         .map(|(tname, tap)| (name, dist.clone(), tname, tap))
     })
     .collect();
-    let engine = Engine::new();
+    let engine = engine_from_env();
     let mut requests: Vec<EvalRequest> = combos
         .iter()
         .map(|(_, dist, _, tap)| EvalRequest::FtolSearch {

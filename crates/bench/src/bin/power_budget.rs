@@ -6,8 +6,8 @@
 //! cell comes back exactly (amps + integer femtoseconds), so the budget
 //! arithmetic below is bit-identical to sizing in-process.
 
-use gcco_api::{Engine, EvalRequest, EvalResponse, PowerScanSpec};
-use gcco_bench::{header, metrics, result_line};
+use gcco_api::{EvalRequest, EvalResponse, PowerScanSpec};
+use gcco_bench::{engine_from_env, header, metrics, result_line};
 use gcco_noise::ChannelPowerBudget;
 use gcco_units::{Current, Freq, Voltage};
 
@@ -20,7 +20,7 @@ fn main() {
 
     let bit_rate = Freq::from_gbps(2.5);
     let scan_spec = PowerScanSpec::paper_design();
-    let engine = Engine::new();
+    let engine = engine_from_env();
     let response = engine
         .evaluate(&EvalRequest::PowerScan {
             scan: scan_spec.clone(),

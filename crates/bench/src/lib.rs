@@ -12,6 +12,30 @@
 pub mod metrics;
 pub mod runner;
 
+/// Builds the engine every experiment binary evaluates through, honoring
+/// the `GCCO_STORE` environment variable: when set, a persistent
+/// `gcco-store` journal at that directory is attached as the engine's
+/// second cache tier, so re-running a figure binary replays journaled
+/// responses bit-identically instead of recomputing (the golden tests
+/// assert byte-identical stdout with and without it).
+///
+/// # Panics
+///
+/// Panics when `GCCO_STORE` names a path that cannot be opened as a
+/// store — a figure run against a corrupt/foreign journal should fail
+/// loudly, not silently recompute.
+pub fn engine_from_env() -> gcco_api::Engine {
+    let engine = gcco_api::Engine::new();
+    match std::env::var("GCCO_STORE") {
+        Ok(dir) if !dir.is_empty() => {
+            let store =
+                gcco_store::Store::open(&dir).unwrap_or_else(|e| panic!("GCCO_STORE={dir}: {e}"));
+            engine.with_store(std::sync::Arc::new(store))
+        }
+        _ => engine,
+    }
+}
+
 /// Prints the standard experiment header.
 pub fn header(id: &str, title: &str, paper_claim: &str) {
     println!("================================================================");

@@ -37,6 +37,12 @@ pub const ALL_KEYS: &[&str] = &[
     BB_LOCK_BITS,
     POWER_RATIO_BB_OVER_GCCO,
     POWER_RATIO_PI_OVER_GCCO,
+    // campaign
+    CAMPAIGN_CORNERS,
+    CAMPAIGN_PASS,
+    CAMPAIGN_YIELD_PCT,
+    CAMPAIGN_WORST_BER,
+    CAMPAIGN_STORE_HITS,
     // fig01
     PARALLEL_GBPS,
     SERIAL_GBPS,
@@ -149,6 +155,18 @@ pub const BB_LOCK_BITS: &str = "bb_lock_bits";
 pub const POWER_RATIO_BB_OVER_GCCO: &str = "power_ratio_bb_over_gcco";
 /// PI/GCCO power ratio.
 pub const POWER_RATIO_PI_OVER_GCCO: &str = "power_ratio_pi_over_gcco";
+
+// campaign — multi-channel corner-yield campaign
+/// Corner count in the campaign grid.
+pub const CAMPAIGN_CORNERS: &str = "campaign_corners";
+/// Corners meeting the BER target.
+pub const CAMPAIGN_PASS: &str = "campaign_pass";
+/// Yield: passing corners over all corners, percent.
+pub const CAMPAIGN_YIELD_PCT: &str = "campaign_yield_pct";
+/// Worst corner BER.
+pub const CAMPAIGN_WORST_BER: &str = "campaign_worst_ber";
+/// Store hits this run (>0 proves a resume replayed journaled corners).
+pub const CAMPAIGN_STORE_HITS: &str = "campaign_store_hits";
 
 // fig01 — parallel-optical motivation
 /// Aggregate parallel throughput, Gbit/s.

@@ -7,11 +7,21 @@
 //! `par_map_grid` is bit-identical for any worker count. These goldens
 //! pin that — any numeric drift (or accidental format change) fails here.
 
+use std::path::PathBuf;
 use std::process::Command;
 
 fn check(bin_path: &str, golden: &str, name: &str) {
-    let out = Command::new(bin_path)
-        .env_remove("GCCO_WORKERS")
+    check_with_store(bin_path, golden, name, None);
+}
+
+fn check_with_store(bin_path: &str, golden: &str, name: &str, store: Option<&PathBuf>) {
+    let mut cmd = Command::new(bin_path);
+    cmd.env_remove("GCCO_WORKERS");
+    match store {
+        Some(dir) => cmd.env("GCCO_STORE", dir),
+        None => cmd.env_remove("GCCO_STORE"),
+    };
+    let out = cmd
         .output()
         .unwrap_or_else(|e| panic!("failed to run {name}: {e}"));
     assert!(
@@ -82,6 +92,47 @@ fn power_budget_output_is_golden() {
         include_str!("golden/power_budget.txt"),
         "power_budget",
     );
+}
+
+#[test]
+fn goldens_hold_with_a_persistent_store_cold_and_warm() {
+    // The store tier must be invisible in the output: a cold run (journal
+    // being written) and a warm run (every response replayed from disk)
+    // both produce the exact golden bytes. One shared store directory per
+    // binary; the warm pass reuses the journal the cold pass wrote.
+    let base = std::env::temp_dir().join(format!("gcco-golden-store-{}", std::process::id()));
+    for (bin, golden, name) in [
+        (
+            env!("CARGO_BIN_EXE_fig09"),
+            include_str!("golden/fig09.txt"),
+            "fig09",
+        ),
+        (
+            env!("CARGO_BIN_EXE_fig10"),
+            include_str!("golden/fig10.txt"),
+            "fig10",
+        ),
+        (
+            env!("CARGO_BIN_EXE_fig17"),
+            include_str!("golden/fig17.txt"),
+            "fig17",
+        ),
+        (
+            env!("CARGO_BIN_EXE_ftol"),
+            include_str!("golden/ftol.txt"),
+            "ftol",
+        ),
+        (
+            env!("CARGO_BIN_EXE_power_budget"),
+            include_str!("golden/power_budget.txt"),
+            "power_budget",
+        ),
+    ] {
+        let dir = base.join(name);
+        check_with_store(bin, golden, &format!("{name} (store, cold)"), Some(&dir));
+        check_with_store(bin, golden, &format!("{name} (store, warm)"), Some(&dir));
+    }
+    let _ = std::fs::remove_dir_all(&base);
 }
 
 #[test]

@@ -592,23 +592,6 @@ impl GccoStatModel {
         self.ber_eval(0.0, amplitude_pp.value(), freq_norm, self.freq_offset, tab)
     }
 
-    /// Deprecated alias for [`GccoStatModel::ber_at_sj`] with the exact
-    /// Gaussian-tail path.
-    #[deprecated(since = "0.1.0", note = "use ber_at_sj(amplitude_pp, freq_norm, None)")]
-    pub fn ber_with_sj(&self, amplitude_pp: Ui, freq_norm: f64) -> f64 {
-        self.ber_at_sj(amplitude_pp, freq_norm, None)
-    }
-
-    /// Deprecated alias for [`GccoStatModel::ber_at_sj`] with the
-    /// [`QTable`] fast path.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use ber_at_sj(amplitude_pp, freq_norm, Some(tab))"
-    )]
-    pub fn ber_with_sj_cached(&self, amplitude_pp: Ui, freq_norm: f64, tab: &QTable) -> f64 {
-        self.ber_at_sj(amplitude_pp, freq_norm, Some(tab))
-    }
-
     /// Bit error ratio with the oscillator frequency offset overridden to
     /// `epsilon`, without cloning the model (the FTOL bisection workhorse).
     ///
@@ -952,21 +935,6 @@ mod tests {
     #[should_panic(expected = "invalid normalized SJ frequency")]
     fn ber_at_sj_rejects_bad_frequency() {
         let _ = GccoStatModel::new(table1()).ber_at_sj(Ui::new(0.1), 0.0, None);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_sj_shims_still_agree() {
-        let tab = crate::QTable::new();
-        let model = GccoStatModel::new(table1());
-        assert_eq!(
-            model.ber_with_sj(Ui::new(0.3), 0.25),
-            model.ber_at_sj(Ui::new(0.3), 0.25, None)
-        );
-        assert_eq!(
-            model.ber_with_sj_cached(Ui::new(0.3), 0.25, &tab),
-            model.ber_at_sj(Ui::new(0.3), 0.25, Some(&tab))
-        );
     }
 
     #[test]

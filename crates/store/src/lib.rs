@@ -1,0 +1,528 @@
+//! `gcco-store` — the workspace's persistence tier: a std-only,
+//! disk-backed, content-addressed result store.
+//!
+//! The sweep engine's warm-context LRU dies with the process; this crate
+//! is the tier underneath it. A [`Store`] is a directory holding one
+//! **append-only journal** of `(key → value)` records, where the key is a
+//! canonical content string (the `gcco-api` layer uses
+//! `EvalRequest::cache_key`, the `ModelSpec::cache_key` canonicalization
+//! extended to full requests) and the value is opaque bytes (the wire
+//! encoding of the response, which round-trips bit-exactly).
+//!
+//! # Journal format
+//!
+//! ```text
+//! magic   "gcco-store v1\n"                             (14 bytes)
+//! record  key_len:u32le  val_len:u32le  checksum:u64le  (16-byte header)
+//!         key bytes (UTF-8)  value bytes
+//! ```
+//!
+//! `checksum` is [`fnv1a_64`] over the key bytes followed by the value
+//! bytes. Records are framed purely by their lengths, so the journal needs
+//! no escaping and appends are a single `write_all`.
+//!
+//! # Recovery contract
+//!
+//! [`Store::open`] scans the journal front to back. Every record whose
+//! frame fits and whose checksum verifies is kept; at the **first** record
+//! that is short or corrupt, the file is truncated right there and
+//! everything from that offset on is dropped (the torn tail a crash or
+//! kill mid-append can leave). Recovery therefore keeps an intact prefix
+//! and never resurrects partial data — `tests/recovery.rs` asserts this
+//! for a truncation at every byte offset of the final record.
+//!
+//! Duplicate keys are legal; the **last** record for a key wins (which is
+//! what makes both re-appending and [`Store::compact`] safe).
+//!
+//! # Concurrency
+//!
+//! A `Store` is `Sync`: one internal mutex serializes index lookups,
+//! reads, and appends, so any number of engine workers can share one
+//! store behind an `Arc`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// The journal's leading magic: names the crate and pins the format
+/// version (bump the suffix on any incompatible layout change).
+pub const MAGIC: &[u8] = b"gcco-store v1\n";
+
+/// Journal file name inside the store directory.
+pub const JOURNAL_NAME: &str = "journal.gccostore";
+
+/// Per-record header bytes: `key_len:u32le`, `val_len:u32le`,
+/// `checksum:u64le`.
+const HEADER_LEN: usize = 16;
+
+/// Sanity bound on key length (a canonical request key is ≲ 1 KiB).
+const MAX_KEY_LEN: u32 = 1 << 20;
+
+/// Sanity bound on value length (responses are line-JSON; 256 MiB is far
+/// beyond any real payload and mostly guards recovery against garbage
+/// lengths in a torn header).
+const MAX_VAL_LEN: u32 = 1 << 28;
+
+/// 64-bit FNV-1a over `bytes` — the journal's record checksum, also used
+/// by tests to pin known-answer hashes of canonical keys.
+#[must_use]
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// What [`Store::open`] found (and repaired) in the journal.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Intact records recovered from the journal (including superseded
+    /// duplicates).
+    pub intact_records: u64,
+    /// Bytes of torn tail truncated away (0 for a clean journal).
+    pub torn_bytes: u64,
+}
+
+/// Where a live value sits in the journal.
+#[derive(Clone, Copy, Debug)]
+struct ValueLoc {
+    /// Byte offset of the value (past header and key).
+    offset: u64,
+    /// Value length in bytes.
+    len: u32,
+}
+
+struct Inner {
+    /// Open read/append handle on the journal.
+    file: File,
+    /// Live index: key → location of its latest value.
+    index: HashMap<String, ValueLoc>,
+    /// Total intact records ever appended to the current journal file
+    /// (superseded duplicates included).
+    records: u64,
+    /// Current journal length in bytes (the append offset).
+    tail: u64,
+}
+
+/// A persistent content-addressed key/value store backed by one
+/// append-only journal file. See the crate docs for format and recovery
+/// semantics.
+///
+/// # Examples
+///
+/// ```
+/// let dir = std::env::temp_dir().join(format!("gcco-store-doc-{}", std::process::id()));
+/// let _ = std::fs::remove_dir_all(&dir);
+/// let store = gcco_store::Store::open(&dir).unwrap();
+/// store.append("key-a", b"{\"value\":1.0}").unwrap();
+/// assert_eq!(store.get("key-a").unwrap().as_deref(), Some(&b"{\"value\":1.0}"[..]));
+///
+/// // A reopened store serves the same bytes from disk.
+/// drop(store);
+/// let store = gcco_store::Store::open(&dir).unwrap();
+/// assert_eq!(store.get("key-a").unwrap().as_deref(), Some(&b"{\"value\":1.0}"[..]));
+/// assert_eq!(store.recovery().intact_records, 1);
+/// # std::fs::remove_dir_all(&dir).unwrap();
+/// ```
+pub struct Store {
+    inner: Mutex<Inner>,
+    journal_path: PathBuf,
+    recovery: RecoveryReport,
+}
+
+impl Store {
+    /// Opens (creating if needed) the store at directory `dir`, running
+    /// crash recovery on its journal: intact records are indexed, a torn
+    /// tail is truncated away.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure, plus `InvalidData` when the file exists but does
+    /// not begin with the [`MAGIC`] of a version-1 journal (foreign files
+    /// are refused rather than clobbered).
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Store> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let journal_path = dir.join(JOURNAL_NAME);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&journal_path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        if bytes.is_empty() {
+            file.write_all(MAGIC)?;
+            file.flush()?;
+        } else if bytes.len() < MAGIC.len() {
+            // Torn before the magic finished: only a fresh journal can be
+            // this short, so rewriting the magic loses nothing.
+            if !MAGIC.starts_with(&bytes[..]) {
+                return Err(foreign_file_error(&journal_path));
+            }
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(MAGIC)?;
+            file.flush()?;
+            bytes.clear();
+        } else if &bytes[..MAGIC.len()] != MAGIC {
+            return Err(foreign_file_error(&journal_path));
+        }
+
+        // Scan records; stop (and truncate) at the first torn/corrupt one.
+        let mut index = HashMap::new();
+        let mut records = 0u64;
+        let mut good = MAGIC.len().min(bytes.len());
+        while let Some((key, loc, next)) = read_record(&bytes, good) {
+            index.insert(key, loc);
+            records += 1;
+            good = next;
+        }
+        let torn = (bytes.len() - good) as u64;
+        if torn > 0 {
+            file.set_len(good as u64)?;
+        }
+        let tail = good.max(MAGIC.len()) as u64;
+        file.seek(SeekFrom::Start(tail))?;
+        Ok(Store {
+            inner: Mutex::new(Inner {
+                file,
+                index,
+                records,
+                tail,
+            }),
+            journal_path,
+            recovery: RecoveryReport {
+                intact_records: records,
+                torn_bytes: torn,
+            },
+        })
+    }
+
+    /// What recovery found when this store was opened.
+    pub fn recovery(&self) -> RecoveryReport {
+        self.recovery
+    }
+
+    /// Path of the journal file.
+    pub fn journal_path(&self) -> &Path {
+        &self.journal_path
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.lock().index.len()
+    }
+
+    /// Whether the store holds no live keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total intact records in the current journal, superseded duplicates
+    /// included (`records() - len()` is the compactable overhead).
+    pub fn records(&self) -> u64 {
+        self.lock().records
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &str) -> bool {
+        self.lock().index.contains_key(key)
+    }
+
+    /// The latest value stored under `key`, read back from the journal.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure reading the journal.
+    pub fn get(&self, key: &str) -> io::Result<Option<Vec<u8>>> {
+        let mut inner = self.lock();
+        let Some(loc) = inner.index.get(key).copied() else {
+            return Ok(None);
+        };
+        let mut value = vec![0u8; loc.len as usize];
+        let tail = inner.tail;
+        inner.file.seek(SeekFrom::Start(loc.offset))?;
+        inner.file.read_exact(&mut value)?;
+        inner.file.seek(SeekFrom::Start(tail))?;
+        Ok(Some(value))
+    }
+
+    /// Appends one `(key, value)` record; the key's previous value (if
+    /// any) is superseded. The record is written with a single
+    /// `write_all` and flushed, so a killed process can tear at most the
+    /// final record — which recovery then drops.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure, plus `InvalidInput` when key or value exceed the
+    /// format's length bounds.
+    pub fn append(&self, key: &str, value: &[u8]) -> io::Result<()> {
+        if key.len() as u64 > u64::from(MAX_KEY_LEN) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("key of {} bytes exceeds the format bound", key.len()),
+            ));
+        }
+        if value.len() as u64 > u64::from(MAX_VAL_LEN) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("value of {} bytes exceeds the format bound", value.len()),
+            ));
+        }
+        let mut record = Vec::with_capacity(HEADER_LEN + key.len() + value.len());
+        record.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        record.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        let mut sum = fnv1a_64(key.as_bytes());
+        for &b in value {
+            sum ^= u64::from(b);
+            sum = sum.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        record.extend_from_slice(&sum.to_le_bytes());
+        record.extend_from_slice(key.as_bytes());
+        record.extend_from_slice(value);
+
+        let mut inner = self.lock();
+        let tail = inner.tail;
+        inner.file.seek(SeekFrom::Start(tail))?;
+        inner.file.write_all(&record)?;
+        inner.file.flush()?;
+        let value_offset = inner.tail + (HEADER_LEN + key.len()) as u64;
+        inner.tail += record.len() as u64;
+        inner.records += 1;
+        inner.index.insert(
+            key.to_string(),
+            ValueLoc {
+                offset: value_offset,
+                len: value.len() as u32,
+            },
+        );
+        Ok(())
+    }
+
+    /// Rewrites the journal keeping only the latest record per key (in
+    /// stable journal order), atomically: the compacted file is written
+    /// beside the journal, synced, then renamed over it. Returns the
+    /// bytes reclaimed.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure; on error the original journal is untouched.
+    pub fn compact(&self) -> io::Result<u64> {
+        let mut inner = self.lock();
+        let before = inner.tail;
+
+        // Live records in journal order, so compaction is deterministic.
+        let mut live: Vec<(String, ValueLoc)> =
+            inner.index.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        live.sort_by_key(|(_, loc)| loc.offset);
+
+        let tmp_path = self.journal_path.with_extension("compacting");
+        let mut tmp = File::create(&tmp_path)?;
+        tmp.write_all(MAGIC)?;
+        let mut new_index = HashMap::with_capacity(live.len());
+        let mut tail = MAGIC.len() as u64;
+        for (key, loc) in &live {
+            let mut value = vec![0u8; loc.len as usize];
+            inner.file.seek(SeekFrom::Start(loc.offset))?;
+            inner.file.read_exact(&mut value)?;
+            let mut record = Vec::with_capacity(HEADER_LEN + key.len() + value.len());
+            record.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            record.extend_from_slice(&(value.len() as u32).to_le_bytes());
+            let mut sum = fnv1a_64(key.as_bytes());
+            for &b in &value {
+                sum ^= u64::from(b);
+                sum = sum.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            record.extend_from_slice(&sum.to_le_bytes());
+            record.extend_from_slice(key.as_bytes());
+            record.extend_from_slice(&value);
+            tmp.write_all(&record)?;
+            new_index.insert(
+                key.clone(),
+                ValueLoc {
+                    offset: tail + (HEADER_LEN + key.len()) as u64,
+                    len: loc.len,
+                },
+            );
+            tail += record.len() as u64;
+        }
+        tmp.sync_all()?;
+        drop(tmp);
+        std::fs::rename(&tmp_path, &self.journal_path)?;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&self.journal_path)?;
+        file.seek(SeekFrom::Start(tail))?;
+        inner.file = file;
+        inner.records = new_index.len() as u64;
+        inner.index = new_index;
+        inner.tail = tail;
+        Ok(before.saturating_sub(tail))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("store lock poisoned")
+    }
+}
+
+fn foreign_file_error(path: &Path) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!(
+            "{} exists but is not a gcco-store v1 journal (refusing to clobber it)",
+            path.display()
+        ),
+    )
+}
+
+/// Tries to read one intact record at byte offset `at` of `bytes`.
+/// Returns `(key, value location, next offset)`, or `None` when the
+/// record is short, over-long, non-UTF-8-keyed, or checksum-corrupt —
+/// i.e. where recovery must truncate.
+fn read_record(bytes: &[u8], at: usize) -> Option<(String, ValueLoc, usize)> {
+    let header = bytes.get(at..at + HEADER_LEN)?;
+    let key_len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    let val_len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    let checksum = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+    if key_len > MAX_KEY_LEN || val_len > MAX_VAL_LEN {
+        return None;
+    }
+    let key_start = at + HEADER_LEN;
+    let val_start = key_start + key_len as usize;
+    let end = val_start + val_len as usize;
+    let key_bytes = bytes.get(key_start..val_start)?;
+    let val_bytes = bytes.get(val_start..end)?;
+    let mut sum = fnv1a_64(key_bytes);
+    for &b in val_bytes {
+        sum ^= u64::from(b);
+        sum = sum.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    if sum != checksum {
+        return None;
+    }
+    let key = String::from_utf8(key_bytes.to_vec()).ok()?;
+    Some((
+        key,
+        ValueLoc {
+            offset: val_start as u64,
+            len: val_len,
+        },
+        end,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("gcco-store-unit-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn round_trip_and_reopen() {
+        let dir = tmp_dir("roundtrip");
+        let store = Store::open(&dir).unwrap();
+        assert!(store.is_empty());
+        store.append("alpha", b"one").unwrap();
+        store.append("beta", b"two").unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get("alpha").unwrap().as_deref(), Some(&b"one"[..]));
+        assert_eq!(store.get("missing").unwrap(), None);
+        drop(store);
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(
+            store.recovery(),
+            RecoveryReport {
+                intact_records: 2,
+                torn_bytes: 0
+            }
+        );
+        assert_eq!(store.get("beta").unwrap().as_deref(), Some(&b"two"[..]));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn last_writer_wins_and_compaction_reclaims() {
+        let dir = tmp_dir("lww");
+        let store = Store::open(&dir).unwrap();
+        store.append("k", b"old-value").unwrap();
+        store.append("other", b"kept").unwrap();
+        store.append("k", b"new").unwrap();
+        assert_eq!(store.get("k").unwrap().as_deref(), Some(&b"new"[..]));
+        assert_eq!(store.records(), 3);
+        assert_eq!(store.len(), 2);
+        let reclaimed = store.compact().unwrap();
+        assert!(reclaimed > 0, "superseded record must be reclaimed");
+        assert_eq!(store.records(), 2);
+        assert_eq!(store.get("k").unwrap().as_deref(), Some(&b"new"[..]));
+        assert_eq!(store.get("other").unwrap().as_deref(), Some(&b"kept"[..]));
+        // Appends after compaction land correctly and survive reopen.
+        store.append("post", b"compact").unwrap();
+        drop(store);
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.recovery().torn_bytes, 0);
+        assert_eq!(store.get("post").unwrap().as_deref(), Some(&b"compact"[..]));
+        assert_eq!(store.get("k").unwrap().as_deref(), Some(&b"new"[..]));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_files_are_refused() {
+        let dir = tmp_dir("foreign");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(JOURNAL_NAME), b"definitely not a journal").unwrap();
+        let err = match Store::open(&dir) {
+            Ok(_) => panic!("foreign file must be refused"),
+            Err(err) => err,
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oversized_keys_and_values_are_rejected() {
+        let dir = tmp_dir("bounds");
+        let store = Store::open(&dir).unwrap();
+        let long_key = "k".repeat(MAX_KEY_LEN as usize + 1);
+        assert_eq!(
+            store.append(&long_key, b"v").unwrap_err().kind(),
+            io::ErrorKind::InvalidInput
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_value_and_unicode_key_round_trip() {
+        let dir = tmp_dir("edge");
+        let store = Store::open(&dir).unwrap();
+        store.append("clé-ε", b"").unwrap();
+        assert_eq!(store.get("clé-ε").unwrap().as_deref(), Some(&b""[..]));
+        drop(store);
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.get("clé-ε").unwrap().as_deref(), Some(&b""[..]));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -31,4 +31,5 @@ pub use gcco_noise as noise;
 pub use gcco_obs as obs;
 pub use gcco_signal as signal;
 pub use gcco_stat as stat;
+pub use gcco_store as store;
 pub use gcco_units as units;
