@@ -1,13 +1,21 @@
 //! `gcco-serve` — the line-JSON TCP evaluation service.
 //!
 //! ```text
-//! gcco-serve listen [ADDR] [--workers N] [--queue N] [--cache-capacity N] [--store DIR]
+//! gcco-serve listen [ADDR] [--workers N] [--queue N] [--cache-capacity N]
+//!                   [--store DIR] [--sync os|append|close]
+//!                   [--store-faults fail-appends|fail-gets|seeded:<seed>]
 //!     Bind (default 127.0.0.1:0), print "LISTENING <addr>", run until a
 //!     {"cmd":"shutdown"} line arrives, then drain and exit.
 //!     --cache-capacity bounds the engine's warm-context LRU; --store
 //!     attaches a persistent gcco-store result journal at DIR, so
 //!     previously computed responses survive restarts and show up as
 //!     gcco_store_* counters in {"cmd":"metrics"}.
+//!     --sync picks the journal's durability policy (default "os"; see
+//!     the gcco-store docs for what each buys). --store-faults injects a
+//!     deterministic store fault schedule — for chaos testing only: the
+//!     service keeps answering (cache-only degradation) while the
+//!     gcco_store_errors_total / gcco_store_degraded_total counters count
+//!     the damage. Both flags require --store.
 //!
 //! gcco-serve demo <ADDR>
 //!     Submit a built-in 3-request batch (BER point, FTOL search, ring
@@ -28,7 +36,8 @@
 use gcco_api::json::{parse_client_line, ClientLine, Envelope};
 use gcco_api::serve::{client_roundtrip, fetch_metrics, send_shutdown, serve, ServeConfig};
 use gcco_api::{DsimRunSpec, Engine, EngineConfig, EvalRequest, ModelSpec, SjOverride};
-use gcco_store::Store;
+use gcco_faults::{ScriptedFaults, SeededStoreFaults, When};
+use gcco_store::{FaultInjector, Store, StoreConfig, SyncPolicy};
 use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
@@ -55,7 +64,9 @@ fn main() {
         }),
         _ => {
             eprintln!(
-                "usage: gcco-serve listen [ADDR] [--workers N] [--queue N] [--cache-capacity N] [--store DIR]\n\
+                "usage: gcco-serve listen [ADDR] [--workers N] [--queue N] [--cache-capacity N] \
+                 [--store DIR] [--sync os|append|close] \
+                 [--store-faults fail-appends|fail-gets|seeded:<seed>]\n\
                  \x20      gcco-serve demo <ADDR>\n\
                  \x20      gcco-serve send <ADDR>\n\
                  \x20      gcco-serve metrics <ADDR>\n\
@@ -88,6 +99,8 @@ fn listen(args: &[String]) -> Result<i32, gcco_api::GccoError> {
     let mut config = ServeConfig::default();
     let mut engine_config = EngineConfig::default();
     let mut store_dir: Option<String> = None;
+    let mut sync = SyncPolicy::Os;
+    let mut store_faults: Option<Box<dyn FaultInjector>> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -109,6 +122,21 @@ fn listen(args: &[String]) -> Result<i32, gcco_api::GccoError> {
                         .clone(),
                 );
             }
+            "--sync" => {
+                sync = match it.next().map(String::as_str) {
+                    Some("os") => SyncPolicy::Os,
+                    Some("append") => SyncPolicy::Append,
+                    Some("close") => SyncPolicy::Close,
+                    other => {
+                        return Err(gcco_api::GccoError::Parse(format!(
+                            "--sync needs os|append|close, got {other:?}"
+                        )));
+                    }
+                };
+            }
+            "--store-faults" => {
+                store_faults = Some(parse_store_faults(it.next())?);
+            }
             other if !other.starts_with("--") => {
                 config.addr = other.to_string();
             }
@@ -119,14 +147,27 @@ fn listen(args: &[String]) -> Result<i32, gcco_api::GccoError> {
             }
         }
     }
+    if store_dir.is_none() && (store_faults.is_some() || sync != SyncPolicy::Os) {
+        return Err(gcco_api::GccoError::Parse(
+            "--sync and --store-faults require --store".to_string(),
+        ));
+    }
     let mut engine = Engine::with_config(engine_config);
     if let Some(dir) = store_dir {
-        let store = Arc::new(Store::open(&dir)?);
+        let chaotic = store_faults.is_some();
+        let mut store_config = StoreConfig::with_sync(sync);
+        if let Some(faults) = store_faults {
+            store_config = store_config.with_faults(faults);
+        }
+        let store = Arc::new(Store::open_with(&dir, store_config)?);
         let recovery = store.recovery();
         println!(
             "STORE {dir}: {} records recovered, {} torn bytes truncated",
             recovery.intact_records, recovery.torn_bytes
         );
+        if chaotic {
+            println!("STORE FAULTS ACTIVE: this journal is being deliberately damaged");
+        }
         engine = engine.with_store(store);
     }
     let handle = serve(&config, engine)?;
@@ -135,6 +176,34 @@ fn listen(args: &[String]) -> Result<i32, gcco_api::GccoError> {
     handle.run_until_shutdown();
     println!("drained and stopped");
     Ok(0)
+}
+
+/// Parses `--store-faults` schedules: `fail-appends` / `fail-gets` fail
+/// every consultation of that operation; `seeded:<seed>` runs a moderate
+/// probabilistic mix (20% append failures, 10% short, 10% torn, 20% get
+/// failures) reproducible from the seed.
+fn parse_store_faults(
+    value: Option<&String>,
+) -> Result<Box<dyn FaultInjector>, gcco_api::GccoError> {
+    match value.map(String::as_str) {
+        Some("fail-appends") => Ok(Box::new(ScriptedFaults::new().fail_append(When::Always))),
+        Some("fail-gets") => Ok(Box::new(ScriptedFaults::new().fail_get(When::Always))),
+        Some(spec) if spec.starts_with("seeded:") => {
+            let seed: u64 = spec["seeded:".len()..].parse().map_err(|_| {
+                gcco_api::GccoError::Parse(format!("bad seed in --store-faults \"{spec}\""))
+            })?;
+            Ok(Box::new(
+                SeededStoreFaults::new(seed)
+                    .with_append_fail(0.2)
+                    .with_append_short(0.1)
+                    .with_append_torn(0.1)
+                    .with_get_fail(0.2),
+            ))
+        }
+        other => Err(gcco_api::GccoError::Parse(format!(
+            "--store-faults needs fail-appends|fail-gets|seeded:<seed>, got {other:?}"
+        ))),
+    }
 }
 
 fn parse_flag(value: Option<&String>, flag: &str) -> Result<usize, gcco_api::GccoError> {

@@ -117,6 +117,13 @@ struct StoreTier {
     hits: Arc<Counter>,
     misses: Arc<Counter>,
     appends: Arc<Counter>,
+    /// Individual store I/O failures (a degraded request can raise this
+    /// more than once: a failed lookup *and* a failed append).
+    errors: Arc<Counter>,
+    /// Requests answered despite a store failure — degraded to cache-only
+    /// evaluation instead of failing the request (at most one per
+    /// request).
+    degraded: Arc<Counter>,
 }
 
 /// Typed evaluation engine with warm-context caching.
@@ -204,6 +211,13 @@ impl Engine {
     /// registry — including the store's recovery tallies
     /// (`gcco_store_recovered_records`, `gcco_store_torn_bytes`) — so
     /// store health is visible wherever engine metrics are exposed.
+    ///
+    /// The store is an accelerator, never a dependency: a store I/O error
+    /// (disk failure, injected fault) **degrades** the request to
+    /// cache-only evaluation instead of failing it — the response is
+    /// computed as if no store were attached, `gcco_store_errors_total`
+    /// counts each failing store operation, and
+    /// `gcco_store_degraded_total` counts each request answered that way.
     #[must_use]
     pub fn with_store(mut self, store: Arc<Store>) -> Engine {
         let recovery = store.recovery();
@@ -218,6 +232,8 @@ impl Engine {
             hits: self.obs.counter("gcco_store_hits_total"),
             misses: self.obs.counter("gcco_store_misses_total"),
             appends: self.obs.counter("gcco_store_appends_total"),
+            errors: self.obs.counter("gcco_store_errors_total"),
+            degraded: self.obs.counter("gcco_store_degraded_total"),
         });
         self
     }
@@ -344,6 +360,12 @@ impl Engine {
     /// [`Engine::dispatch`], append, return. Validation and the deadline
     /// run *before* the lookup, so attaching a store never changes which
     /// requests are accepted — only whether they recompute.
+    ///
+    /// The store can only ever help: a failing lookup (I/O error, or a
+    /// stored value that no longer parses) falls through to computation,
+    /// and a failing append is swallowed — either way the request is
+    /// answered from the cache/compute tiers and the failure is visible
+    /// only in `gcco_store_errors_total` / `gcco_store_degraded_total`.
     fn dispatch_stored(
         &self,
         req: &EvalRequest,
@@ -355,18 +377,42 @@ impl Engine {
         req.validate()?;
         guard.check()?;
         let key = req.cache_key();
-        if let Some(bytes) = tier.store.get(&key)? {
-            let text = String::from_utf8(bytes)
-                .map_err(|e| GccoError::Io(format!("stored response is not UTF-8: {e}")))?;
-            let resp = crate::json::parse_response(&crate::json::Json::parse(&text)?)?;
-            tier.hits.inc();
-            return Ok(resp);
+        let mut store_failed = false;
+        match tier.store.get(&key) {
+            Ok(Some(bytes)) => match decode_stored(&bytes) {
+                Ok(resp) => {
+                    tier.hits.inc();
+                    return Ok(resp);
+                }
+                Err(_) => {
+                    // A checksummed journal should never hand back an
+                    // undecodable value; treat it like any other store
+                    // failure and recompute (the append below re-journals
+                    // a fresh value under the same key, healing it).
+                    tier.errors.inc();
+                    store_failed = true;
+                }
+            },
+            Ok(None) => tier.misses.inc(),
+            Err(_) => {
+                tier.errors.inc();
+                store_failed = true;
+            }
         }
-        tier.misses.inc();
         let resp = self.dispatch(req, guard)?;
-        tier.store
-            .append(&key, crate::json::encode_response(&resp).as_bytes())?;
-        tier.appends.inc();
+        match tier
+            .store
+            .append(&key, crate::json::encode_response(&resp).as_bytes())
+        {
+            Ok(()) => tier.appends.inc(),
+            Err(_) => {
+                tier.errors.inc();
+                store_failed = true;
+            }
+        }
+        if store_failed {
+            tier.degraded.inc();
+        }
         Ok(resp)
     }
 
@@ -501,6 +547,13 @@ impl Engine {
             .collect();
         Ok(EvalResponse::Power { sized, points })
     }
+}
+
+/// Decodes one journaled wire-codec response.
+fn decode_stored(bytes: &[u8]) -> Result<EvalResponse, GccoError> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|e| GccoError::Io(format!("stored response is not UTF-8: {e}")))?;
+    crate::json::parse_response(&crate::json::Json::parse(text)?)
 }
 
 /// Runs the event-driven ring: one buffer plus `stages − 1` inverters
@@ -711,6 +764,60 @@ mod tests {
         let direct = ctx.ber_at_sj(Ui::new(1.0), 1e-4);
         assert_eq!(resp, EvalResponse::Scalar { value: direct });
         assert_eq!(engine.context_builds(), 1, "point + direct share a context");
+    }
+
+    #[test]
+    fn store_errors_degrade_to_cache_only_evaluation() {
+        use gcco_faults::{ScriptedFaults, When};
+        use gcco_store::StoreConfig;
+
+        let dir = std::env::temp_dir().join(format!(
+            "gcco-engine-degrade-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Script: the 1st append fails, and the 2nd value read fails
+        // (gets are only consulted for keys the index actually holds, so
+        // misses don't advance the get sequence).
+        let faults = ScriptedFaults::new()
+            .fail_append(When::Nth(0))
+            .fail_get(When::Nth(1));
+        let store =
+            Store::open_with(&dir, StoreConfig::default().with_faults(Box::new(faults))).unwrap();
+        let engine = Engine::with_config(EngineConfig {
+            cache_capacity: 2,
+            workers: Some(1),
+        })
+        .with_store(Arc::new(store));
+        let reference = Engine::with_config(EngineConfig {
+            cache_capacity: 2,
+            workers: Some(1),
+        });
+        let req = EvalRequest::BerPoint {
+            spec: ModelSpec::paper_table1(),
+            sj: None,
+        };
+        let expected = reference.evaluate(&req).expect("reference");
+
+        // 1: miss, compute, append fails → degraded but answered.
+        // 2: miss (nothing journaled), compute, append lands.
+        // 3: get #0 proceeds → a real store hit.
+        // 4: get #1 fails → degraded, recompute, re-append heals the key.
+        for _ in 0..4 {
+            assert_eq!(
+                engine.evaluate(&req).expect("every request answered"),
+                expected,
+                "degraded evaluation must stay bit-identical"
+            );
+        }
+        let counter = |name: &str| engine.obs().counter(name).get();
+        assert_eq!(counter("gcco_store_errors_total"), 2);
+        assert_eq!(counter("gcco_store_degraded_total"), 2);
+        assert_eq!(counter("gcco_store_hits_total"), 1);
+        assert_eq!(counter("gcco_store_misses_total"), 2);
+        assert_eq!(counter("gcco_store_appends_total"), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -133,6 +133,9 @@ struct Shared {
     work_ready: Condvar,
     shutdown: AtomicBool,
     queue_capacity: usize,
+    /// Threads draining the serve queue — distinct from the engine's own
+    /// sweep-parallelism pool, and reported separately in `stats`.
+    serve_workers: usize,
     obs: ServeObs,
 }
 
@@ -151,14 +154,25 @@ impl Shared {
 
     /// Enqueues one envelope, or answers it immediately on backpressure /
     /// shutdown. The deadline clock starts here, so queue wait counts.
+    ///
+    /// The shutdown check happens *under the queue lock* — the same lock
+    /// the workers' exit decision holds. Checking the flag before taking
+    /// the lock opened a race: a submit could observe `shutdown == false`,
+    /// lose the CPU, and enqueue after the last worker saw an empty queue
+    /// and exited, leaving the job accepted but never answered. With the
+    /// check under the lock (and the flag only ever *set* under the same
+    /// lock, see [`Shared::request_shutdown`]) every job enqueued while
+    /// the flag read false is guaranteed to be drained.
     fn submit(&self, env: Envelope, reply: &mpsc::Sender<String>) {
         self.obs.requests_total.inc();
+        let mut queue = self.queue.lock().expect("queue lock poisoned");
         if self.shutdown.load(Ordering::SeqCst) {
+            drop(queue);
             self.answer(env.id, &Err(GccoError::ShuttingDown), reply);
             return;
         }
-        let mut queue = self.queue.lock().expect("queue lock poisoned");
         if queue.len() >= self.queue_capacity {
+            drop(queue);
             self.obs.queue_full_total.inc();
             self.answer(
                 env.id,
@@ -179,6 +193,20 @@ impl Shared {
         self.obs.queue_depth.inc();
         drop(queue);
         self.work_ready.notify_one();
+    }
+
+    /// Flips the shutdown flag under the queue lock and wakes everyone.
+    ///
+    /// Setting the flag under the same lock [`Shared::submit`] checks it
+    /// under makes the drain proof two-state: a submit either ran before
+    /// this (its job is in the queue, and workers only exit on
+    /// empty-queue-with-flag-set, so it drains) or after (it observes the
+    /// flag and answers `shutting_down`). There is no third interleaving.
+    fn request_shutdown(&self) {
+        let queue = self.queue.lock().expect("queue lock poisoned");
+        self.shutdown.store(true, Ordering::SeqCst);
+        drop(queue);
+        self.work_ready.notify_all();
     }
 
     /// Worker body: evaluate jobs until shutdown *and* the queue is dry —
@@ -219,13 +247,15 @@ impl Shared {
         let reg = &self.obs.registry;
         let counter = |name: &str| reg.counter(name).get();
         format!(
-            "{{\"stats\":{{\"queue_len\":{},\"queue_capacity\":{},\"workers\":{},\
+            "{{\"stats\":{{\"queue_len\":{},\"queue_capacity\":{},\
+             \"serve_workers\":{},\"engine_workers\":{},\
              \"context_builds\":{},\"cache_hits\":{},\"cache_misses\":{},\
              \"cache_evictions\":{},\"deadline_trips\":{},\"requests_total\":{},\
              \"responses_total\":{},\"responses_ok\":{},\"queue_full_total\":{},\
              \"connections_total\":{},\"active_connections\":{}}}}}",
             queue_len,
             self.queue_capacity,
+            self.serve_workers,
             self.engine.workers(),
             self.engine.context_builds(),
             counter("gcco_engine_cache_hits_total"),
@@ -283,8 +313,7 @@ impl ServerHandle {
     }
 
     fn stop_and_join(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.work_ready.notify_all();
+        self.shared.request_shutdown();
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
@@ -331,6 +360,7 @@ pub fn serve(config: &ServeConfig, engine: Engine) -> Result<ServerHandle, GccoE
         work_ready: Condvar::new(),
         shutdown: AtomicBool::new(false),
         queue_capacity: config.queue_capacity.max(1),
+        serve_workers: config.workers.max(1),
         obs,
     });
     let mut threads = Vec::new();
@@ -466,8 +496,7 @@ fn handle_line(line: &str, shared: &Arc<Shared>, reply: &mpsc::Sender<String>) -
                 }
                 "shutdown" => {
                     let _ = reply.send("{\"ok\":\"shutting_down\"}".to_string());
-                    shared.shutdown.store(true, Ordering::SeqCst);
-                    shared.work_ready.notify_all();
+                    shared.request_shutdown();
                 }
                 other => {
                     // Unknown commands carry no envelope id to answer on;
@@ -514,6 +543,125 @@ pub fn submit_batch(
         .drain(..)
         .map(|l| parse_result_line(&l))
         .collect::<Result<Vec<_>, _>>()
+}
+
+/// Backoff and budget knobs for [`submit_batch_with_retry`]: bounded
+/// attempts with decorrelated-jitter exponential backoff — each sleep is
+/// drawn uniformly from `[base, prev * 3]` and clamped to `cap` (the AWS
+/// "decorrelated jitter" schedule), so concurrent retrying clients spread
+/// out instead of thundering back in lockstep.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (clamped to at least 1).
+    pub attempts: u32,
+    /// Smallest sleep between attempts and the jitter floor.
+    pub base: Duration,
+    /// Largest sleep between attempts.
+    pub cap: Duration,
+    /// Seed for the jitter stream. The default is fixed so test schedules
+    /// reproduce; give each concurrent client its own seed to decorrelate.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 5,
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(1),
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The next sleep: `min(cap, uniform(base, prev * 3))`.
+    fn next_sleep(&self, rng: &mut gcco_faults::SplitMix64, prev: Duration) -> Duration {
+        let base = self.base.as_millis() as u64;
+        let hi = (prev.as_millis() as u64).saturating_mul(3).max(base + 1);
+        let ms = rng.between(base, hi).min(self.cap.as_millis() as u64);
+        Duration::from_millis(ms)
+    }
+}
+
+/// [`submit_batch`] wrapped in a retry loop, for transports that may
+/// fault mid-exchange (see `gcco_faults::ChaosProxy`) and servers that
+/// may shed load.
+///
+/// Retried: transport-level failures (`io` — connect refused/reset,
+/// timeout, connection closed short; `parse` — a response line mangled in
+/// flight), which re-send the *whole* outstanding batch; and per-envelope
+/// `queue_full` rejections, which re-send only the rejected envelopes.
+/// Everything else — `shutting_down`, `invalid_spec`, `duplicate_id`,
+/// `deadline_exceeded`, evaluation errors — is a real answer and is
+/// returned, never retried.
+///
+/// Re-sending is safe precisely because the server replays: responses are
+/// deterministic functions of the request (bit-identical through the
+/// engine's cache and store tiers), and duplicate work is absorbed as a
+/// cache or store hit rather than recomputed state.
+///
+/// Results are returned in the order of `envelopes`, whatever order the
+/// attempts delivered them in.
+///
+/// # Errors
+///
+/// [`GccoError::DuplicateId`] before anything is sent when the batch
+/// reuses an id; [`GccoError::Io`] when the attempt budget is exhausted
+/// with envelopes still unanswered (carrying the last failure's detail).
+pub fn submit_batch_with_retry(
+    addr: &SocketAddr,
+    envelopes: &[Envelope],
+    timeout: Duration,
+    policy: &RetryPolicy,
+) -> Result<Vec<ResultLine>, GccoError> {
+    check_unique_ids(envelopes)?;
+    let mut rng = gcco_faults::SplitMix64::new(policy.seed);
+    let mut pending: Vec<Envelope> = envelopes.to_vec();
+    let mut done: std::collections::HashMap<u64, ResultLine> = std::collections::HashMap::new();
+    let mut sleep = policy.base;
+    let mut last_failure = String::new();
+    let attempts = policy.attempts.max(1);
+    for attempt in 1..=attempts {
+        match submit_batch(addr, &pending, timeout) {
+            Ok(results) => {
+                let mut rejected: Vec<u64> = Vec::new();
+                for line in results {
+                    if matches!(&line.result, Err((kind, _)) if kind == "queue_full") {
+                        rejected.push(line.id);
+                    } else {
+                        done.insert(line.id, line);
+                    }
+                }
+                pending.retain(|env| rejected.contains(&env.id));
+                if pending.is_empty() {
+                    let mut out = Vec::with_capacity(envelopes.len());
+                    for env in envelopes {
+                        out.push(done.remove(&env.id).expect("every id answered"));
+                    }
+                    return Ok(out);
+                }
+                last_failure = format!("{} envelopes rejected queue_full", pending.len());
+            }
+            // A transport failure may have lost responses for envelopes
+            // the server *did* evaluate; re-sending them is safe because
+            // the server replays bit-identically (see above).
+            Err(e @ (GccoError::Io(_) | GccoError::Parse(_))) => {
+                last_failure = e.to_string();
+            }
+            Err(e) => return Err(e),
+        }
+        if attempt < attempts {
+            std::thread::sleep(sleep);
+            sleep = policy.next_sleep(&mut rng, sleep);
+        }
+    }
+    Err(GccoError::Io(format!(
+        "retry budget exhausted after {attempts} attempts with {} of {} envelopes unanswered \
+         (last failure: {last_failure})",
+        pending.len(),
+        envelopes.len(),
+    )))
 }
 
 /// Sends one raw line and reads `expect` response lines within `timeout`.
@@ -602,4 +750,104 @@ pub fn fetch_metrics(addr: &SocketAddr, timeout: Duration) -> Result<String, Gcc
     let lines = client_roundtrip(addr, "{\"cmd\":\"metrics\"}", 1, timeout)?;
     let v = crate::json::Json::parse(&lines[0])?;
     Ok(v.field("metrics")?.as_str("metrics")?.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::request::DsimRunSpec;
+    use std::sync::Barrier;
+
+    fn shared_with_workers(workers: usize) -> (Arc<Shared>, Vec<JoinHandle<()>>) {
+        let engine = Engine::with_config(EngineConfig {
+            cache_capacity: 4,
+            workers: Some(1),
+        });
+        let obs = ServeObs::new(engine.obs().clone());
+        let shared = Arc::new(Shared {
+            engine,
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            queue_capacity: 64,
+            serve_workers: workers,
+            obs,
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || shared.work())
+            })
+            .collect();
+        (shared, handles)
+    }
+
+    /// Regression for the submit-vs-shutdown race: `submit` used to check
+    /// the shutdown flag *before* taking the queue lock, so a submitter
+    /// could pass the check, stall, and enqueue after the last worker had
+    /// already seen an empty queue and exited — an accepted envelope that
+    /// was never answered. With the check (and the flag's only store)
+    /// under the queue lock, every envelope gets exactly one reply: an
+    /// evaluation result if it won the race, `shutting_down` if it lost.
+    #[test]
+    fn submit_racing_shutdown_always_answers() {
+        const ITERATIONS: u64 = 1000;
+        const SUBMITTERS: u64 = 4;
+        for iter in 0..ITERATIONS {
+            let (shared, workers) = shared_with_workers(2);
+            let barrier = Arc::new(Barrier::new(SUBMITTERS as usize + 1));
+            let mut receivers = Vec::new();
+            let mut submitters = Vec::new();
+            for id in 0..SUBMITTERS {
+                let shared = Arc::clone(&shared);
+                let barrier = Arc::clone(&barrier);
+                let (tx, rx) = mpsc::channel::<String>();
+                receivers.push(rx);
+                submitters.push(std::thread::spawn(move || {
+                    let env = Envelope {
+                        id,
+                        deadline_ms: None,
+                        request: EvalRequest::DsimRun {
+                            run: DsimRunSpec {
+                                seed: iter,
+                                stages: 4,
+                                stage_delay_ps: 50.0,
+                                jitter_rel: 0.0,
+                                duration_ns: 1.0,
+                            },
+                        },
+                    };
+                    barrier.wait();
+                    shared.submit(env, &tx);
+                }));
+            }
+            let stopper = {
+                let shared = Arc::clone(&shared);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    shared.request_shutdown();
+                })
+            };
+            for t in submitters {
+                t.join().expect("submitter panicked");
+            }
+            stopper.join().expect("stopper panicked");
+            for w in workers {
+                w.join().expect("worker panicked");
+            }
+            for (id, rx) in receivers.iter().enumerate() {
+                let line = rx.try_recv().unwrap_or_else(|_| {
+                    panic!("iteration {iter}: envelope {id} never answered — job lost to the race")
+                });
+                let parsed = parse_result_line(&line).expect("well-formed reply");
+                assert_eq!(parsed.id, id as u64);
+                assert!(
+                    rx.try_recv().is_err(),
+                    "iteration {iter}: envelope {id} answered more than once"
+                );
+            }
+        }
+    }
 }

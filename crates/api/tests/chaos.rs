@@ -1,0 +1,360 @@
+//! Chaos-proxy loopback tests: `gcco-serve` behind a `gcco_faults`
+//! transport layer that resets, truncates, delays, and black-holes
+//! connections on deterministic schedules, plus injected store failures
+//! surfacing as graceful degradation over the wire.
+//!
+//! The invariants under test:
+//!
+//! * every transport fault is survivable by [`submit_batch_with_retry`]
+//!   within its attempt budget, and the retried answer is bit-identical
+//!   to the clean one (the server replays through its cache/store tiers);
+//! * a fault-free proxy is invisible: responses through it equal direct
+//!   responses exactly;
+//! * injected store IO errors never fail a request — evaluation degrades
+//!   to cache-only and the degradation counters move;
+//! * shutdown with in-flight connections still answers every accepted
+//!   envelope exactly once.
+
+use gcco_api::json::Envelope;
+use gcco_api::serve::{
+    fetch_metrics, send_shutdown, serve, submit_batch, submit_batch_with_retry, RetryPolicy,
+    ServeConfig,
+};
+use gcco_api::{DsimRunSpec, Engine, EvalRequest, ModelSpec};
+use gcco_faults::{ChaosProxy, ConnFault, FaultWeights, ProxyPlan, ScriptedFaults, When};
+use gcco_store::{Store, StoreConfig};
+use std::time::Duration;
+
+/// Generous per-attempt budget for clean paths (CI machines are slow).
+const TIMEOUT: Duration = Duration::from_secs(120);
+/// Per-attempt budget when a black hole may eat the whole attempt.
+const ATTEMPT_TIMEOUT: Duration = Duration::from_secs(2);
+
+fn fast_policy(attempts: u32) -> RetryPolicy {
+    RetryPolicy {
+        attempts,
+        base: Duration::from_millis(10),
+        cap: Duration::from_millis(200),
+        ..RetryPolicy::default()
+    }
+}
+
+fn ber_point(id: u64) -> Envelope {
+    Envelope {
+        id,
+        deadline_ms: None,
+        request: EvalRequest::BerPoint {
+            spec: ModelSpec::paper_table1(),
+            sj: None,
+        },
+    }
+}
+
+fn dsim(id: u64, seed: u64, duration_ns: f64) -> Envelope {
+    Envelope {
+        id,
+        deadline_ms: None,
+        request: EvalRequest::DsimRun {
+            run: DsimRunSpec {
+                seed,
+                duration_ns,
+                ..DsimRunSpec::paper_ring()
+            },
+        },
+    }
+}
+
+#[test]
+fn a_faultless_proxy_is_byte_invisible() {
+    let handle = serve(&ServeConfig::default(), Engine::new()).expect("bind loopback");
+    let direct = submit_batch(&handle.local_addr(), &[ber_point(1)], TIMEOUT).expect("direct");
+    let proxy = ChaosProxy::spawn(handle.local_addr(), ProxyPlan::Cycle(vec![ConnFault::None]))
+        .expect("proxy");
+    let proxied = submit_batch(&proxy.local_addr(), &[ber_point(1)], TIMEOUT).expect("proxied");
+    assert_eq!(direct, proxied, "a clean proxy must not perturb anything");
+    assert_eq!(proxy.faults_injected(), 0);
+    proxy.shutdown();
+    handle.shutdown();
+}
+
+#[test]
+fn retry_survives_a_connection_reset() {
+    let handle = serve(&ServeConfig::default(), Engine::new()).expect("bind loopback");
+    let expected = submit_batch(&handle.local_addr(), &[ber_point(7)], TIMEOUT).expect("direct");
+    // First connection reset before the upstream sees it; second clean.
+    let proxy = ChaosProxy::spawn(
+        handle.local_addr(),
+        ProxyPlan::Cycle(vec![ConnFault::Reset, ConnFault::None]),
+    )
+    .expect("proxy");
+    let got = submit_batch_with_retry(
+        &proxy.local_addr(),
+        &[ber_point(7)],
+        TIMEOUT,
+        &fast_policy(5),
+    )
+    .expect("the retry after the reset must land");
+    assert_eq!(got, expected, "retried answer must be bit-identical");
+    assert_eq!(proxy.connections(), 2, "exactly one retry was needed");
+    assert_eq!(proxy.faults_injected(), 1);
+    proxy.shutdown();
+    handle.shutdown();
+}
+
+#[test]
+fn retry_survives_truncation_because_the_server_replays() {
+    let handle = serve(&ServeConfig::default(), Engine::new()).expect("bind loopback");
+    // Truncate after 10 response bytes: the upstream *did* evaluate the
+    // request — the client just never saw the full answer. The retry is
+    // only safe because the re-submitted request replays bit-identically
+    // through the warm cache instead of diverging.
+    let proxy = ChaosProxy::spawn(
+        handle.local_addr(),
+        ProxyPlan::Cycle(vec![ConnFault::Truncate { bytes: 10 }, ConnFault::None]),
+    )
+    .expect("proxy");
+    let got = submit_batch_with_retry(
+        &proxy.local_addr(),
+        &[ber_point(3)],
+        TIMEOUT,
+        &fast_policy(5),
+    )
+    .expect("the retry after the cut must land");
+    let expected = submit_batch(&handle.local_addr(), &[ber_point(3)], TIMEOUT).expect("direct");
+    assert_eq!(got, expected);
+    assert_eq!(proxy.connections(), 2);
+    assert_eq!(
+        handle.engine().context_builds(),
+        1,
+        "the lost-then-retried request must hit the warm cache, not rebuild"
+    );
+    proxy.shutdown();
+    handle.shutdown();
+}
+
+#[test]
+fn retry_survives_a_black_hole_via_its_own_timeout() {
+    let handle = serve(&ServeConfig::default(), Engine::new()).expect("bind loopback");
+    let proxy = ChaosProxy::spawn(
+        handle.local_addr(),
+        ProxyPlan::Cycle(vec![ConnFault::BlackHole, ConnFault::None]),
+    )
+    .expect("proxy");
+    let got = submit_batch_with_retry(
+        &proxy.local_addr(),
+        &[dsim(1, 9, 100.0)],
+        ATTEMPT_TIMEOUT,
+        &fast_policy(3),
+    )
+    .expect("the attempt after the black hole must land");
+    assert_eq!(got.len(), 1);
+    got[0].result.as_ref().expect("evaluates");
+    assert_eq!(proxy.connections(), 2);
+    proxy.shutdown();
+    handle.shutdown();
+}
+
+#[test]
+fn the_attempt_budget_is_a_hard_bound() {
+    let handle = serve(&ServeConfig::default(), Engine::new()).expect("bind loopback");
+    // Every connection reset: no budget can succeed, and the client must
+    // stop exactly at its bound instead of hammering forever.
+    let proxy = ChaosProxy::spawn(
+        handle.local_addr(),
+        ProxyPlan::Cycle(vec![ConnFault::Reset]),
+    )
+    .expect("proxy");
+    let err = submit_batch_with_retry(
+        &proxy.local_addr(),
+        &[ber_point(1)],
+        TIMEOUT,
+        &fast_policy(3),
+    )
+    .expect_err("all-reset cannot succeed");
+    assert!(err.to_string().contains("retry budget exhausted"), "{err}");
+    assert_eq!(
+        proxy.connections(),
+        3,
+        "exactly `attempts` connections, then stop"
+    );
+    proxy.shutdown();
+    handle.shutdown();
+}
+
+#[test]
+fn queue_full_rejections_are_retried_per_envelope() {
+    // One worker, queue of one: a slow batch wedges the service so the
+    // second client's envelopes bounce with `queue_full`, which the retry
+    // loop re-submits (only the rejected ones) until capacity frees.
+    let config = ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServeConfig::default()
+    };
+    let handle = serve(&config, Engine::new()).expect("bind loopback");
+    let addr = handle.local_addr();
+    let wedge: Vec<Envelope> = (0..2).map(|i| dsim(i, 1, 200_000.0)).collect();
+    let wedger = std::thread::spawn(move || submit_batch(&addr, &wedge, TIMEOUT));
+    // Let the wedge land first so the worker and queue slot are taken.
+    std::thread::sleep(Duration::from_millis(100));
+    let policy = RetryPolicy {
+        attempts: 40,
+        base: Duration::from_millis(50),
+        cap: Duration::from_millis(500),
+        ..RetryPolicy::default()
+    };
+    let results = submit_batch_with_retry(
+        &addr,
+        &[dsim(10, 2, 100.0), dsim(11, 3, 100.0), dsim(12, 4, 100.0)],
+        TIMEOUT,
+        &policy,
+    )
+    .expect("retries must outlast the wedge");
+    assert_eq!(
+        results.iter().map(|r| r.id).collect::<Vec<_>>(),
+        vec![10, 11, 12],
+        "results come back in envelope order"
+    );
+    assert!(results.iter().all(|r| r.result.is_ok()));
+    wedger.join().expect("wedger").expect("wedge batch");
+    assert!(
+        handle.obs().counter("gcco_serve_queue_full_total").get() >= 1,
+        "the wedge must actually have caused rejections"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn seeded_chaos_campaigns_answer_every_envelope_at_every_seed() {
+    // The acceptance gate: at several distinct seeds, concurrent clients
+    // pushing batches through a seeded fault mix all end with exactly one
+    // reply per envelope — no lost, no duplicated ids — and the server
+    // drains to zero active connections afterwards.
+    for seed in [1u64, 7, 42] {
+        let handle = serve(&ServeConfig::default(), Engine::new()).expect("bind loopback");
+        let proxy = ChaosProxy::spawn(
+            handle.local_addr(),
+            ProxyPlan::Seeded {
+                seed,
+                weights: FaultWeights::default_mix(),
+            },
+        )
+        .expect("proxy");
+        let proxy_addr = proxy.local_addr();
+        let clients: Vec<_> = (0..4u64)
+            .map(|c| {
+                std::thread::spawn(move || {
+                    let envelopes: Vec<Envelope> =
+                        (0..3).map(|i| dsim(c * 10 + i, seed + c, 100.0)).collect();
+                    let policy = RetryPolicy {
+                        seed: seed ^ c,
+                        ..fast_policy(10)
+                    };
+                    let expected: Vec<u64> = envelopes.iter().map(|e| e.id).collect();
+                    let results =
+                        submit_batch_with_retry(&proxy_addr, &envelopes, ATTEMPT_TIMEOUT, &policy)
+                            .expect("10 attempts must outlast the default mix");
+                    assert_eq!(
+                        results.iter().map(|r| r.id).collect::<Vec<_>>(),
+                        expected,
+                        "seed {seed} client {c}: exactly one reply per envelope, in order"
+                    );
+                    assert!(
+                        results.iter().all(|r| r.result.is_ok()),
+                        "seed {seed} client {c}: every envelope evaluates"
+                    );
+                })
+            })
+            .collect();
+        for client in clients {
+            client.join().expect("client under chaos");
+        }
+        assert!(
+            proxy.connections() >= 4,
+            "seed {seed}: every client connected at least once"
+        );
+        proxy.shutdown();
+        let registry = handle.obs().clone();
+        handle.shutdown();
+        assert_eq!(
+            registry.gauge("gcco_serve_active_connections").get(),
+            0,
+            "seed {seed}: the drain must balance the connection gauge"
+        );
+        assert_eq!(
+            registry.gauge("gcco_serve_queue_depth").get(),
+            0,
+            "seed {seed}: the drain must empty the queue"
+        );
+    }
+}
+
+#[test]
+fn shutdown_with_in_flight_connections_answers_every_accepted_envelope() {
+    let handle = serve(
+        &ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        Engine::new(),
+    )
+    .expect("bind loopback");
+    let addr = handle.local_addr();
+    // Four connections, each holding slow jobs, all in flight when the
+    // wire shutdown lands: the drain guarantee says each already-accepted
+    // envelope still gets exactly one reply.
+    let clients: Vec<_> = (0..4u64)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let envelopes: Vec<Envelope> =
+                    (0..2).map(|i| dsim(c * 10 + i, c, 150_000.0)).collect();
+                submit_batch(&addr, &envelopes, TIMEOUT).expect("accepted work must be answered")
+            })
+        })
+        .collect();
+    // Long enough for every batch line to be read and enqueued, short
+    // enough that the slow jobs are still being evaluated.
+    std::thread::sleep(Duration::from_millis(300));
+    send_shutdown(&addr, TIMEOUT).expect("wire shutdown");
+    for (c, client) in clients.into_iter().enumerate() {
+        let results = client.join().expect("client thread");
+        assert_eq!(results.len(), 2, "client {c}: one reply per envelope");
+        for r in &results {
+            assert!(
+                r.result.is_ok(),
+                "client {c}: pre-shutdown envelope {} must evaluate, got {:?}",
+                r.id,
+                r.result
+            );
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn injected_store_errors_degrade_but_never_fail_requests_over_tcp() {
+    let dir = std::env::temp_dir().join(format!("gcco-chaos-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Every append fails: the journal never accepts a record, yet every
+    // request must still be answered (cache-only degradation) and the
+    // counters must say exactly how often the store let us down.
+    let faults = ScriptedFaults::new().fail_append(When::Always);
+    let store = Store::open_with(&dir, StoreConfig::default().with_faults(Box::new(faults)))
+        .expect("store opens");
+    let engine = Engine::new().with_store(std::sync::Arc::new(store));
+    let handle = serve(&ServeConfig::default(), engine).expect("bind loopback");
+    let addr = handle.local_addr();
+    let envelopes: Vec<Envelope> = (0..3).map(|i| dsim(i, 100 + i, 100.0)).collect();
+    let results = submit_batch(&addr, &envelopes, TIMEOUT).expect("batch");
+    assert!(
+        results.iter().all(|r| r.result.is_ok()),
+        "store failure must never surface to the client: {results:?}"
+    );
+    let text = fetch_metrics(&addr, TIMEOUT).expect("metrics");
+    assert!(text.contains("gcco_store_errors_total 3"), "{text}");
+    assert!(text.contains("gcco_store_degraded_total 3"), "{text}");
+    assert!(text.contains("gcco_store_misses_total 3"), "{text}");
+    assert!(text.contains("gcco_store_appends_total 0"), "{text}");
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -55,6 +55,14 @@ fn stats_and_metrics_reflect_cache_parity_and_outcomes() {
     assert_eq!(stat(stats, "queue_full_total"), 0, "{stats}");
     assert_eq!(stat(stats, "deadline_trips"), 0, "{stats}");
     assert!(stat(stats, "connections_total") >= 2, "{stats}");
+    // The two thread pools are distinct series: the serve queue drainers
+    // (a config knob) and the engine's sweep-parallelism pool.
+    assert_eq!(
+        stat(stats, "serve_workers"),
+        ServeConfig::default().workers as i64,
+        "{stats}"
+    );
+    assert!(stat(stats, "engine_workers") >= 1, "{stats}");
 
     let text = fetch_metrics(&addr, TIMEOUT).expect("metrics exposition");
     // Cache series, exactly as the parity above predicts.

@@ -1,0 +1,316 @@
+//! Deterministic [`FaultInjector`] implementations for `gcco-store`.
+//!
+//! Two flavours:
+//!
+//! * [`ScriptedFaults`] — an explicit rule list ("fail the 2nd append",
+//!   "tear every 3rd append after 10 bytes") for tests that pin exact
+//!   outcomes;
+//! * [`SeededStoreFaults`] — per-operation failure probabilities driven
+//!   by a [`SplitMix64`] stream, for chaos campaigns where the *class* of
+//!   behavior (every request still answered, counters move) is the
+//!   assertion and the seed is the reproducer.
+
+use crate::SplitMix64;
+use gcco_store::{FaultAction, FaultInjector, StoreOp};
+
+/// Which consultations of one operation kind a scripted rule fires on.
+/// Sequence numbers are 0-based, exactly as [`FaultInjector::decide`]
+/// receives them: the store's first append has `seq == 0`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum When {
+    /// Only the consultation with this exact 0-based sequence number.
+    Nth(u64),
+    /// Every `n`-th consultation, 1-based cadence: `EveryNth(2)` fires on
+    /// `seq` 1, 3, 5, … (the 2nd, 4th, … operation).
+    EveryNth(u64),
+    /// Every consultation with `seq >= n`.
+    From(u64),
+    /// Every consultation.
+    Always,
+}
+
+impl When {
+    fn matches(self, seq: u64) -> bool {
+        match self {
+            When::Nth(n) => seq == n,
+            When::EveryNth(n) => n > 0 && (seq + 1).is_multiple_of(n),
+            When::From(n) => seq >= n,
+            When::Always => true,
+        }
+    }
+}
+
+/// An explicit, ordered fault script: the first rule matching
+/// `(op, seq)` decides the action; no match means proceed.
+///
+/// # Examples
+///
+/// ```
+/// use gcco_faults::{ScriptedFaults, When};
+/// use gcco_store::{FaultAction, FaultInjector, StoreOp};
+///
+/// let mut s = ScriptedFaults::new()
+///     .fail_append(When::Nth(1))
+///     .fail_get(When::Always);
+/// assert_eq!(s.decide(StoreOp::Append, 0, 64), FaultAction::Proceed);
+/// assert_eq!(s.decide(StoreOp::Append, 1, 64), FaultAction::Fail);
+/// assert_eq!(s.decide(StoreOp::Get, 0, 64), FaultAction::Fail);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ScriptedFaults {
+    rules: Vec<(StoreOp, When, FaultAction)>,
+}
+
+impl ScriptedFaults {
+    /// An empty script (injects nothing until rules are added).
+    #[must_use]
+    pub fn new() -> ScriptedFaults {
+        ScriptedFaults::default()
+    }
+
+    /// Adds a raw rule.
+    #[must_use]
+    pub fn rule(mut self, op: StoreOp, when: When, action: FaultAction) -> ScriptedFaults {
+        self.rules.push((op, when, action));
+        self
+    }
+
+    /// Fails the (single) open consultation.
+    #[must_use]
+    pub fn fail_open(self) -> ScriptedFaults {
+        self.rule(StoreOp::Open, When::Always, FaultAction::Fail)
+    }
+
+    /// Fails matching appends before any bytes are written.
+    #[must_use]
+    pub fn fail_append(self, when: When) -> ScriptedFaults {
+        self.rule(StoreOp::Append, when, FaultAction::Fail)
+    }
+
+    /// Short-writes matching appends: `keep` bytes land, the append
+    /// errors, the store rolls the journal back.
+    #[must_use]
+    pub fn short_append(self, when: When, keep: usize) -> ScriptedFaults {
+        self.rule(StoreOp::Append, when, FaultAction::ShortWrite { keep })
+    }
+
+    /// Tears matching appends: `keep` bytes land but the append reports
+    /// success — the power-cut lie, visible at the next open's recovery.
+    #[must_use]
+    pub fn torn_append(self, when: When, keep: usize) -> ScriptedFaults {
+        self.rule(StoreOp::Append, when, FaultAction::TornWrite { keep })
+    }
+
+    /// Fails matching gets.
+    #[must_use]
+    pub fn fail_get(self, when: When) -> ScriptedFaults {
+        self.rule(StoreOp::Get, when, FaultAction::Fail)
+    }
+
+    /// Fails matching compactions.
+    #[must_use]
+    pub fn fail_compact(self, when: When) -> ScriptedFaults {
+        self.rule(StoreOp::Compact, when, FaultAction::Fail)
+    }
+}
+
+impl FaultInjector for ScriptedFaults {
+    fn decide(&mut self, op: StoreOp, seq: u64, _len: usize) -> FaultAction {
+        self.rules
+            .iter()
+            .find(|(rule_op, when, _)| *rule_op == op && when.matches(seq))
+            .map_or(FaultAction::Proceed, |(_, _, action)| *action)
+    }
+}
+
+/// Per-operation fault probabilities driven by one seeded [`SplitMix64`]
+/// stream. Deterministic for a fixed sequence of store operations: the
+/// same seed and the same op sequence always produce the same faults.
+///
+/// For appends the three probabilities are evaluated as disjoint slices
+/// of one uniform draw (fail, then short, then torn), so their sum must
+/// stay ≤ 1; the torn/short cut point is drawn uniformly over the record
+/// length.
+#[derive(Clone, Debug)]
+pub struct SeededStoreFaults {
+    rng: SplitMix64,
+    open_fail: f64,
+    get_fail: f64,
+    append_fail: f64,
+    append_short: f64,
+    append_torn: f64,
+    compact_fail: f64,
+}
+
+impl SeededStoreFaults {
+    /// A schedule with every probability at zero (inject nothing).
+    #[must_use]
+    pub fn new(seed: u64) -> SeededStoreFaults {
+        SeededStoreFaults {
+            rng: SplitMix64::new(seed),
+            open_fail: 0.0,
+            get_fail: 0.0,
+            append_fail: 0.0,
+            append_short: 0.0,
+            append_torn: 0.0,
+            compact_fail: 0.0,
+        }
+    }
+
+    /// Probability that the open consultation fails.
+    #[must_use]
+    pub fn with_open_fail(mut self, p: f64) -> SeededStoreFaults {
+        self.open_fail = p;
+        self
+    }
+
+    /// Probability that a get fails.
+    #[must_use]
+    pub fn with_get_fail(mut self, p: f64) -> SeededStoreFaults {
+        self.get_fail = p;
+        self
+    }
+
+    /// Probability that an append fails cleanly (nothing written).
+    #[must_use]
+    pub fn with_append_fail(mut self, p: f64) -> SeededStoreFaults {
+        self.append_fail = p;
+        self
+    }
+
+    /// Probability that an append short-writes (partial bytes + error).
+    #[must_use]
+    pub fn with_append_short(mut self, p: f64) -> SeededStoreFaults {
+        self.append_short = p;
+        self
+    }
+
+    /// Probability that an append tears (partial bytes, reported OK).
+    #[must_use]
+    pub fn with_append_torn(mut self, p: f64) -> SeededStoreFaults {
+        self.append_torn = p;
+        self
+    }
+
+    /// Probability that a compaction fails.
+    #[must_use]
+    pub fn with_compact_fail(mut self, p: f64) -> SeededStoreFaults {
+        self.compact_fail = p;
+        self
+    }
+}
+
+impl FaultInjector for SeededStoreFaults {
+    fn decide(&mut self, op: StoreOp, _seq: u64, len: usize) -> FaultAction {
+        match op {
+            StoreOp::Open => {
+                if self.rng.chance(self.open_fail) {
+                    FaultAction::Fail
+                } else {
+                    FaultAction::Proceed
+                }
+            }
+            StoreOp::Get => {
+                if self.rng.chance(self.get_fail) {
+                    FaultAction::Fail
+                } else {
+                    FaultAction::Proceed
+                }
+            }
+            StoreOp::Compact => {
+                if self.rng.chance(self.compact_fail) {
+                    FaultAction::Fail
+                } else {
+                    FaultAction::Proceed
+                }
+            }
+            StoreOp::Append => {
+                let r = self.rng.next_f64();
+                if r < self.append_fail {
+                    FaultAction::Fail
+                } else if r < self.append_fail + self.append_short {
+                    let keep = self.rng.below(len as u64) as usize;
+                    FaultAction::ShortWrite { keep }
+                } else if r < self.append_fail + self.append_short + self.append_torn {
+                    let keep = self.rng.below(len as u64) as usize;
+                    FaultAction::TornWrite { keep }
+                } else {
+                    FaultAction::Proceed
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn when_matching_is_exact() {
+        assert!(When::Nth(2).matches(2));
+        assert!(!When::Nth(2).matches(3));
+        // EveryNth(2) fires on the 2nd, 4th, … consultation (seq 1, 3, …).
+        assert!(!When::EveryNth(2).matches(0));
+        assert!(When::EveryNth(2).matches(1));
+        assert!(!When::EveryNth(2).matches(2));
+        assert!(When::EveryNth(2).matches(3));
+        assert!(!When::EveryNth(0).matches(0), "cadence 0 never fires");
+        assert!(When::From(3).matches(3));
+        assert!(!When::From(3).matches(2));
+        assert!(When::Always.matches(0));
+    }
+
+    #[test]
+    fn scripted_first_match_wins_and_ops_are_independent() {
+        let mut s = ScriptedFaults::new()
+            .short_append(When::Nth(0), 5)
+            .fail_append(When::Always)
+            .fail_compact(When::Nth(0));
+        assert_eq!(
+            s.decide(StoreOp::Append, 0, 64),
+            FaultAction::ShortWrite { keep: 5 },
+            "earlier rule shadows the later catch-all"
+        );
+        assert_eq!(s.decide(StoreOp::Append, 1, 64), FaultAction::Fail);
+        assert_eq!(s.decide(StoreOp::Get, 0, 64), FaultAction::Proceed);
+        assert_eq!(s.decide(StoreOp::Compact, 0, 0), FaultAction::Fail);
+        assert_eq!(s.decide(StoreOp::Compact, 1, 0), FaultAction::Proceed);
+    }
+
+    #[test]
+    fn seeded_schedule_is_reproducible_per_seed() {
+        let run = |seed: u64| -> Vec<FaultAction> {
+            let mut f = SeededStoreFaults::new(seed)
+                .with_append_fail(0.2)
+                .with_append_short(0.2)
+                .with_append_torn(0.2)
+                .with_get_fail(0.5);
+            (0..32)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        f.decide(StoreOp::Append, i / 2, 80)
+                    } else {
+                        f.decide(StoreOp::Get, i / 2, 80)
+                    }
+                })
+                .collect()
+        };
+        assert_eq!(run(11), run(11), "same seed, same schedule");
+        assert_ne!(run(11), run(12), "seed changes the schedule");
+        let faults = run(11)
+            .iter()
+            .filter(|a| **a != FaultAction::Proceed)
+            .count();
+        assert!(faults > 0, "rates this high must inject something");
+    }
+
+    #[test]
+    fn seeded_zero_rates_inject_nothing() {
+        let mut f = SeededStoreFaults::new(999);
+        for seq in 0..64 {
+            assert_eq!(f.decide(StoreOp::Append, seq, 100), FaultAction::Proceed);
+            assert_eq!(f.decide(StoreOp::Get, seq, 100), FaultAction::Proceed);
+        }
+    }
+}

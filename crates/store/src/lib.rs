@@ -34,6 +34,42 @@
 //! Duplicate keys are legal; the **last** record for a key wins (which is
 //! what makes both re-appending and [`Store::compact`] safe).
 //!
+//! # Durability
+//!
+//! The exact guarantee depends on the configured [`SyncPolicy`]:
+//!
+//! * [`SyncPolicy::Os`] (the default, and the only pre-v1.1 behavior) —
+//!   every append hands its bytes to the operating system before
+//!   returning (`write_all` on an unbuffered `File`; the subsequent
+//!   `flush` is a no-op). This is **process-kill-safe**: a `kill -9`
+//!   cannot lose an acknowledged append, because the bytes already left
+//!   the process. It is **not power-loss-safe**: an OS crash or power cut
+//!   can drop any appends still sitting in the page cache.
+//! * [`SyncPolicy::Append`] — additionally `sync_data`s the journal after
+//!   every append, so an acknowledged append survives power loss. This is
+//!   the strongest (and slowest) policy: one fsync per append.
+//! * [`SyncPolicy::Close`] — like [`SyncPolicy::Os`] per append, plus a
+//!   best-effort `sync_data` when the store is dropped and after every
+//!   [`Store::compact`]; the power-loss exposure window is bounded by the
+//!   store's lifetime instead of being unbounded.
+//!
+//! Under every policy, [`Store::compact`] syncs the compacted file *and*
+//! fsyncs the parent directory after the rename (on Unix), so a completed
+//! compaction cannot be un-renamed by a power cut. Recovery makes all
+//! three policies consistent after the fact: whatever prefix of the
+//! journal reached the disk is kept, the torn remainder is dropped.
+//!
+//! # Fault injection
+//!
+//! A [`FaultInjector`] passed via [`StoreConfig::faults`] is consulted
+//! before every open / get / append / compact and can fail the operation,
+//! cut an append short (partial write + error), or tear it (partial write
+//! reported as success — the lie a dying page cache tells). This is how
+//! the chaos suite exercises recovery and the engine's degradation paths
+//! *in-process* instead of only via `kill -9` in CI; the `gcco-faults`
+//! crate provides deterministic seeded and scripted injectors. A store
+//! without an injector pays one branch per operation.
+//!
 //! # Concurrency
 //!
 //! A `Store` is `Sync`: one internal mutex serializes index lookups,
@@ -80,6 +116,116 @@ pub fn fnv1a_64(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// When journal bytes are forced out of the page cache onto the disk.
+/// See the crate-level *Durability* section for the exact guarantee each
+/// policy buys.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Hand bytes to the OS per append, never fsync: process-kill-safe,
+    /// not power-loss-safe. The default (and the historical behavior).
+    #[default]
+    Os,
+    /// `sync_data` after every append: acknowledged appends survive power
+    /// loss, at one fsync of latency each.
+    Append,
+    /// `sync_data` once when the store is dropped (best-effort) and after
+    /// every compaction: bounds the power-loss window to the store's
+    /// lifetime.
+    Close,
+}
+
+/// Which store operation a [`FaultInjector`] is being consulted about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreOp {
+    /// [`Store::open_with`] (consulted once, before touching the journal).
+    Open,
+    /// A [`Store::get`] that found its key and is about to read the value.
+    Get,
+    /// A [`Store::append`] about to write its record.
+    Append,
+    /// A [`Store::compact`] about to rewrite the journal.
+    Compact,
+}
+
+/// What an injected fault layer tells one store operation to do.
+///
+/// `ShortWrite` and `TornWrite` are meaningful only for
+/// [`StoreOp::Append`]; for any other operation they act like
+/// [`FaultAction::Fail`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// No fault: perform the operation normally.
+    Proceed,
+    /// Fail the operation with an injected `io::Error` before any bytes
+    /// move.
+    Fail,
+    /// Write only the first `keep` bytes of the record, then fail the
+    /// append — a partial write surfaced as an error (ENOSPC, a torn
+    /// pipe). The store rolls the journal back to the pre-append length
+    /// so in-process state stays consistent.
+    ShortWrite {
+        /// Bytes of the record that reach the journal (clamped to the
+        /// record length).
+        keep: usize,
+    },
+    /// Write only the first `keep` bytes of the record but **report
+    /// success** — simulating a power cut after an acknowledged append:
+    /// the in-process index believes the record exists (as a page cache
+    /// would), while the on-disk tail is torn. A same-process `get` of
+    /// the key fails with an I/O error; the next [`Store::open`] recovery
+    /// scan drops the torn record.
+    TornWrite {
+        /// Bytes of the record that reach the journal (clamped to the
+        /// record length).
+        keep: usize,
+    },
+}
+
+/// A deterministic fault schedule threaded through the store's I/O paths.
+///
+/// `seq` counts consultations **per operation kind** (the third `Append`
+/// ever consulted has `seq == 2`), and `len` is the record length for
+/// appends (0 otherwise), so an injector can target "the Nth append" or
+/// "tear the header off". Implementations live in `gcco-faults`; the
+/// trait lives here so the store needs no dependency on them.
+pub trait FaultInjector: Send {
+    /// Decides what the store operation identified by `(op, seq)` does.
+    fn decide(&mut self, op: StoreOp, seq: u64, len: usize) -> FaultAction;
+}
+
+/// Tuning for [`Store::open_with`]: durability policy plus an optional
+/// fault-injection layer. `Default` is a faultless [`SyncPolicy::Os`]
+/// store — exactly what [`Store::open`] builds.
+#[derive(Default)]
+pub struct StoreConfig {
+    /// When journal bytes are fsynced. See [`SyncPolicy`].
+    pub sync: SyncPolicy,
+    /// Deterministic fault schedule consulted on every open / get /
+    /// append / compact; `None` injects nothing.
+    pub faults: Option<Box<dyn FaultInjector>>,
+}
+
+impl StoreConfig {
+    /// A faultless config with the given durability policy.
+    #[must_use]
+    pub fn with_sync(sync: SyncPolicy) -> StoreConfig {
+        StoreConfig { sync, faults: None }
+    }
+
+    /// Installs a fault injector.
+    #[must_use]
+    pub fn with_faults(mut self, faults: Box<dyn FaultInjector>) -> StoreConfig {
+        self.faults = Some(faults);
+        self
+    }
+}
+
+/// The `io::Error` every injected fault surfaces as, tagged so tests and
+/// operators can tell an injected failure from a real one.
+fn injected_error(op: StoreOp, seq: u64) -> io::Error {
+    io::Error::other(format!("injected fault: {op:?} #{seq}"))
+}
+
 /// What [`Store::open`] found (and repaired) in the journal.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
@@ -109,6 +255,29 @@ struct Inner {
     records: u64,
     /// Current journal length in bytes (the append offset).
     tail: u64,
+    /// Injected fault schedule (None for a production store).
+    faults: Option<Box<dyn FaultInjector>>,
+    /// Per-operation consultation counters for the injector:
+    /// `[get, append, compact]`.
+    fault_seq: [u64; 3],
+}
+
+impl Inner {
+    /// Consults the fault injector (if any) for one operation.
+    fn fault(&mut self, op: StoreOp, len: usize) -> (FaultAction, u64) {
+        let Some(injector) = self.faults.as_mut() else {
+            return (FaultAction::Proceed, 0);
+        };
+        let slot = match op {
+            StoreOp::Get => 0,
+            StoreOp::Append => 1,
+            StoreOp::Compact => 2,
+            StoreOp::Open => unreachable!("open faults are decided before Inner exists"),
+        };
+        let seq = self.fault_seq[slot];
+        self.fault_seq[slot] += 1;
+        (injector.decide(op, seq, len), seq)
+    }
 }
 
 /// A persistent content-addressed key/value store backed by one
@@ -135,12 +304,14 @@ pub struct Store {
     inner: Mutex<Inner>,
     journal_path: PathBuf,
     recovery: RecoveryReport,
+    sync: SyncPolicy,
 }
 
 impl Store {
     /// Opens (creating if needed) the store at directory `dir`, running
     /// crash recovery on its journal: intact records are indexed, a torn
-    /// tail is truncated away.
+    /// tail is truncated away. Equivalent to [`Store::open_with`] under
+    /// [`StoreConfig::default`] (no fsync per append, no faults).
     ///
     /// # Errors
     ///
@@ -148,6 +319,21 @@ impl Store {
     /// not begin with the [`MAGIC`] of a version-1 journal (foreign files
     /// are refused rather than clobbered).
     pub fn open(dir: impl AsRef<Path>) -> io::Result<Store> {
+        Store::open_with(dir, StoreConfig::default())
+    }
+
+    /// [`Store::open`] with an explicit durability policy and (for the
+    /// chaos suite) an injected fault schedule.
+    ///
+    /// # Errors
+    ///
+    /// As [`Store::open`], plus whatever the fault injector decides.
+    pub fn open_with(dir: impl AsRef<Path>, mut config: StoreConfig) -> io::Result<Store> {
+        if let Some(injector) = config.faults.as_mut() {
+            if injector.decide(StoreOp::Open, 0, 0) != FaultAction::Proceed {
+                return Err(injected_error(StoreOp::Open, 0));
+            }
+        }
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
         let journal_path = dir.join(JOURNAL_NAME);
@@ -193,18 +379,28 @@ impl Store {
         }
         let tail = good.max(MAGIC.len()) as u64;
         file.seek(SeekFrom::Start(tail))?;
+        if config.sync == SyncPolicy::Append {
+            // A power cut must not lose the journal file itself: persist
+            // the directory entry up front, so every later `sync_data`
+            // has a durable file to land in.
+            file.sync_all()?;
+            sync_dir(dir)?;
+        }
         Ok(Store {
             inner: Mutex::new(Inner {
                 file,
                 index,
                 records,
                 tail,
+                faults: config.faults,
+                fault_seq: [0; 3],
             }),
             journal_path,
             recovery: RecoveryReport {
                 intact_records: records,
                 torn_bytes: torn,
             },
+            sync: config.sync,
         })
     }
 
@@ -249,6 +445,13 @@ impl Store {
         let Some(loc) = inner.index.get(key).copied() else {
             return Ok(None);
         };
+        if let (
+            FaultAction::Fail | FaultAction::ShortWrite { .. } | FaultAction::TornWrite { .. },
+            seq,
+        ) = inner.fault(StoreOp::Get, loc.len as usize)
+        {
+            return Err(injected_error(StoreOp::Get, seq));
+        }
         let mut value = vec![0u8; loc.len as usize];
         let tail = inner.tail;
         inner.file.seek(SeekFrom::Start(loc.offset))?;
@@ -258,9 +461,13 @@ impl Store {
     }
 
     /// Appends one `(key, value)` record; the key's previous value (if
-    /// any) is superseded. The record is written with a single
-    /// `write_all` and flushed, so a killed process can tear at most the
-    /// final record — which recovery then drops.
+    /// any) is superseded. The record is written with a single `write_all`
+    /// (plus an fsync when [`SyncPolicy::Append`] asks for one), so a
+    /// killed process can tear at most the final record — which recovery
+    /// then drops. On a partial write the journal is rolled back to its
+    /// pre-append length, so in-process state never diverges from disk;
+    /// if even the rollback fails, the torn tail is left for the next
+    /// open's recovery scan to drop.
     ///
     /// # Errors
     ///
@@ -293,9 +500,28 @@ impl Store {
 
         let mut inner = self.lock();
         let tail = inner.tail;
+        let (action, seq) = inner.fault(StoreOp::Append, record.len());
+        let (written, report_ok) = match action {
+            FaultAction::Proceed => (record.len(), true),
+            FaultAction::Fail => return Err(injected_error(StoreOp::Append, seq)),
+            FaultAction::ShortWrite { keep } => (keep.min(record.len()), false),
+            FaultAction::TornWrite { keep } => (keep.min(record.len()), true),
+        };
         inner.file.seek(SeekFrom::Start(tail))?;
-        inner.file.write_all(&record)?;
-        inner.file.flush()?;
+        inner.file.write_all(&record[..written])?;
+        if self.sync == SyncPolicy::Append {
+            inner.file.sync_data()?;
+        }
+        if !report_ok {
+            // A partial write surfaced as an error: roll the journal back
+            // to the pre-append length so disk matches the (unchanged)
+            // in-memory state. A failed rollback leaves a torn tail that
+            // the next open's recovery drops — either way no index entry
+            // points at the partial record.
+            let _ = inner.file.set_len(tail);
+            let _ = inner.file.seek(SeekFrom::Start(tail));
+            return Err(injected_error(StoreOp::Append, seq));
+        }
         let value_offset = inner.tail + (HEADER_LEN + key.len()) as u64;
         inner.tail += record.len() as u64;
         inner.records += 1;
@@ -311,14 +537,22 @@ impl Store {
 
     /// Rewrites the journal keeping only the latest record per key (in
     /// stable journal order), atomically: the compacted file is written
-    /// beside the journal, synced, then renamed over it. Returns the
-    /// bytes reclaimed.
+    /// beside the journal, synced, renamed over it, and the parent
+    /// directory is fsynced (on Unix) so the rename itself survives a
+    /// power cut. Returns the bytes reclaimed.
     ///
     /// # Errors
     ///
     /// Any I/O failure; on error the original journal is untouched.
     pub fn compact(&self) -> io::Result<u64> {
         let mut inner = self.lock();
+        if let (
+            FaultAction::Fail | FaultAction::ShortWrite { .. } | FaultAction::TornWrite { .. },
+            seq,
+        ) = inner.fault(StoreOp::Compact, 0)
+        {
+            return Err(injected_error(StoreOp::Compact, seq));
+        }
         let before = inner.tail;
 
         // Live records in journal order, so compaction is deterministic.
@@ -359,6 +593,12 @@ impl Store {
         tmp.sync_all()?;
         drop(tmp);
         std::fs::rename(&tmp_path, &self.journal_path)?;
+        if let Some(parent) = self.journal_path.parent() {
+            // The rename is only durable once the directory entry is: an
+            // un-fsynced rename can roll back to the tmp name on power
+            // loss, which recovery would refuse as a missing journal.
+            sync_dir(parent)?;
+        }
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -373,6 +613,35 @@ impl Store {
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
         self.inner.lock().expect("store lock poisoned")
+    }
+}
+
+impl Drop for Store {
+    /// [`SyncPolicy::Close`] promises a sync at end of life; it is
+    /// best-effort (Drop cannot report failure), which is why the policy's
+    /// documented guarantee is a bounded loss window, not zero loss.
+    fn drop(&mut self) {
+        if self.sync == SyncPolicy::Close {
+            if let Ok(inner) = self.inner.get_mut() {
+                let _ = inner.file.sync_data();
+            }
+        }
+    }
+}
+
+/// Fsyncs a directory so a rename/create inside it is durable. On
+/// non-Unix platforms directories cannot be opened for syncing; the call
+/// is a documented no-op there (the rename is still atomic, just not
+/// power-cut-durable).
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+        Ok(())
     }
 }
 

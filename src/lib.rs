@@ -27,6 +27,7 @@ pub use gcco_api as api;
 pub use gcco_core as cdr;
 pub use gcco_dsim as dsim;
 pub use gcco_eye as eye;
+pub use gcco_faults as faults;
 pub use gcco_noise as noise;
 pub use gcco_obs as obs;
 pub use gcco_signal as signal;
