@@ -587,11 +587,20 @@ fn dsim_run(run: &DsimRunSpec) -> DsimRunOut {
     sim.probe(sigs[0]);
     sim.run_until(Time::from_secs(run.duration_ns * 1e-9));
     let events = sim.events_processed();
-    let rises = sim
-        .trace(sigs[0])
-        .map(|t| t.rising_edges())
-        .unwrap_or_default();
-    let periods: Vec<f64> = rises.windows(2).map(|w| (w[1] - w[0]).ps()).collect();
+    // Stream the rising edges straight into the period list — the edge
+    // times themselves are never needed, only consecutive differences.
+    let mut rise_count = 0u64;
+    let mut periods: Vec<f64> = Vec::new();
+    if let Some(trace) = sim.trace(sigs[0]) {
+        let mut prev: Option<Time> = None;
+        for r in trace.rising_edges_iter() {
+            if let Some(p) = prev {
+                periods.push((r - p).ps());
+            }
+            prev = Some(r);
+            rise_count += 1;
+        }
+    }
     let (mean, rms) = if periods.is_empty() {
         (0.0, 0.0)
     } else {
@@ -603,7 +612,7 @@ fn dsim_run(run: &DsimRunSpec) -> DsimRunOut {
     DsimRunOut {
         period_ps_mean: mean,
         period_ps_rms: rms,
-        rising_edges: rises.len() as u64,
+        rising_edges: rise_count,
         events,
     }
 }

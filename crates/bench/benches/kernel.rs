@@ -1,11 +1,81 @@
-//! Performance of the event-driven simulation layer: raw kernel event
-//! throughput, the free-running GCCO, and a full CDR channel.
+//! Performance of the two computational kernels: the statistical BER math
+//! (convolution, table-driven Gaussian exceedance, full `ber_at_phase`)
+//! and the event-driven simulation layer (raw event throughput, the
+//! free-running GCCO, and a full CDR channel). Each stat kernel is pinned
+//! at the grid sizes the model actually uses, so a regression in a future
+//! change shows up against a named kernel rather than only in the
+//! end-to-end figures.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gcco_core::{build_cdr, CcoParams, CdrConfig, GatedOscillator};
 use gcco_dsim::Simulator;
 use gcco_signal::{JitterConfig, Prbs, PrbsOrder};
+use gcco_stat::{ConvScratch, GccoStatModel, JitterSpec, Pdf, QTable};
 use gcco_units::{Freq, Time};
+
+fn bench_stat_convolve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stat/convolve");
+    // Sinusoidal SJ against the paper's DJ box at the model's 1e-3 grid:
+    // the base-PDF product `build_dj_base` evaluates, at the small / Fig. 9
+    // sweet-spot sizes (bin counts 251 and 1201).
+    for &pp in &[0.25f64, 1.2] {
+        let step = 1e-3;
+        let sin = Pdf::sinusoidal(pp, step);
+        let dj = Pdf::uniform(0.37, step);
+        group.throughput(Throughput::Elements(
+            (sin.samples().len() * dj.samples().len()) as u64,
+        ));
+        group.bench_with_input(BenchmarkId::from_parameter(pp), &pp, |b, _| {
+            b.iter(|| sin.convolve(&dj).samples()[0]);
+        });
+    }
+    group.finish();
+}
+
+fn bench_stat_box_convolve(c: &mut Criterion) {
+    // The windowed-mean box convolution on the JTOL probe shape
+    // (wide sinusoid, coarsened grid), allocation-free as the model runs it.
+    c.bench_function("stat/box_convolve_jtol", |b| {
+        let sin = Pdf::sinusoidal(8.0, 8.0 / 2048.0);
+        let mut scratch = ConvScratch::new();
+        let mut out = Pdf::dirac(0.0, 1.0);
+        b.iter(|| {
+            sin.convolve_box_into(0.37, &mut scratch, &mut out);
+            out.samples()[0]
+        });
+    });
+}
+
+fn bench_stat_gaussian_exceed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stat/gaussian_exceed");
+    // Bathtub-style threshold scan over the bounded-jitter PDF with the
+    // batched Q-table evaluator — the innermost sum of every BER number.
+    let tab = QTable::new();
+    let scan = Pdf::sinusoidal(1.2, 1e-3).convolve_box(0.37);
+    group.throughput(Throughput::Elements(scan.samples().len() as u64));
+    group.bench_function("bathtub_40thr", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..40 {
+                let t = -0.6 + 0.03 * i as f64;
+                acc += scan.gaussian_exceed_above_with(t, 0.0208, &tab)
+                    + scan.gaussian_exceed_below_with(-t, 0.0208, &tab);
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+fn bench_stat_ber_at_phase(c: &mut Criterion) {
+    // End-to-end single BER evaluation (all run lengths, missing + slip):
+    // the unit of work every grid point, bathtub scan and JTOL bisection
+    // probe reduces to.
+    c.bench_function("stat/ber_at_phase", |b| {
+        let model = GccoStatModel::new(JitterSpec::paper_table1());
+        b.iter(|| model.ber_at_phase(0.02));
+    });
+}
 
 fn bench_free_running_gcco(c: &mut Criterion) {
     let mut group = c.benchmark_group("dsim/free_ring");
@@ -70,6 +140,10 @@ fn bench_cdr_channel(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_stat_convolve,
+    bench_stat_box_convolve,
+    bench_stat_gaussian_exceed,
+    bench_stat_ber_at_phase,
     bench_free_running_gcco,
     bench_jittered_ring,
     bench_cdr_channel

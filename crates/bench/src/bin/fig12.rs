@@ -71,8 +71,7 @@ fn main() {
         );
     }
     let first_rise_after = trace
-        .rising_edges()
-        .into_iter()
+        .rising_edges_iter()
         .find(|&t| t > release)
         .expect("clock restarts");
     let latency = first_rise_after - release;

@@ -105,7 +105,10 @@ pub const ALL_KEYS: &[&str] = &[
     // perf_snapshot
     GRID_SPEEDUP,
     JTOL_SPEEDUP,
+    STAT_KERNEL_SPEEDUP,
     DSIM_MEVENTS_PER_S,
+    DSIM_CDR_SPEEDUP,
+    DSIM_CDR_MEVENTS_PER_S,
     // power_budget
     GCCO_MW_PER_GBPS,
     SCAN_MW_PER_GBPS,
@@ -291,8 +294,15 @@ pub const BB_GAIN_AT_0P1: &str = "bb_gain_at_0p1";
 pub const GRID_SPEEDUP: &str = "grid_speedup";
 /// Parallel-over-serial JTOL speedup.
 pub const JTOL_SPEEDUP: &str = "jtol_speedup";
-/// Event-driven kernel throughput, Mevents/s.
+/// Lane-batched-over-scalar speedup of the composite BER/JTOL kernel mix,
+/// single thread.
+pub const STAT_KERNEL_SPEEDUP: &str = "stat_kernel_speedup";
+/// Event-driven kernel throughput on the free-running ring, Mevents/s.
 pub const DSIM_MEVENTS_PER_S: &str = "dsim_mevents_per_s";
+/// Calendar-over-heap scheduler speedup on the million-bit PRBS31 CDR run.
+pub const DSIM_CDR_SPEEDUP: &str = "dsim_cdr_speedup";
+/// Event throughput of the PRBS31 CDR run (calendar scheduler), Mevents/s.
+pub const DSIM_CDR_MEVENTS_PER_S: &str = "dsim_cdr_mevents_per_s";
 
 // power_budget
 /// GCCO channel efficiency, mW/Gbit/s.

@@ -219,7 +219,7 @@ pub fn run_cdr(
     let mut eye = DigitalEye::new(bit_rate, 256);
     let clock_trace = sim.trace(handles.clock).unwrap();
     let data_trace = sim.trace(handles.ed.ddin).unwrap();
-    for t in clock_trace.rising_edges() {
+    for t in clock_trace.rising_edges_iter() {
         eye.add_clock_edge(t);
     }
     for &(t, _) in data_trace.changes() {

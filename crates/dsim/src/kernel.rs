@@ -13,10 +13,30 @@
 //! * all randomness (per-gate delay jitter) comes from per-component RNGs
 //!   seeded deterministically from the simulator seed, so a run is exactly
 //!   reproducible.
+//!
+//! # Scheduler
+//!
+//! Events are ordered by `(time, seq)` where `seq` is a global scheduling
+//! counter — ties in time resolve in scheduling order, and since `seq` is
+//! unique the order is total. Two interchangeable schedulers implement that
+//! contract:
+//!
+//! * [`CalendarQueue`] (the default) — a bucketed calendar queue / timing
+//!   wheel tuned to the near-periodic T/8 event cadence of a gated ring
+//!   oscillator (50 ps at 2.5 Gbit/s). Events within the wheel horizon go
+//!   into power-of-two time buckets reused for the whole run (no per-event
+//!   allocation once warm); far-future events (e.g. a pre-scheduled PRBS
+//!   stimulus) fall back to a time-sorted overflow vector that pops by
+//!   cursor and is examined only at its head.
+//! * `BinaryHeap` — the reference scheduler, kept for differential tests
+//!   and baseline measurements ([`Simulator::with_heap_scheduler`]).
+//!
+//! Both produce the exact same pop order (asserted by the
+//! `scheduler_equivalence` property suite), so traces are bit-identical
+//! whichever is active.
 
 use gcco_units::Time;
 use std::cmp::Reverse;
-use std::collections::btree_map::BTreeMap;
 use std::collections::BinaryHeap;
 use std::fmt;
 
@@ -27,6 +47,367 @@ pub struct SignalId(pub(crate) usize);
 /// Identifier of a component within a [`Simulator`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ComponentId(pub(crate) usize);
+
+/// A scheduled signal-update event: `(maturity time, scheduling sequence
+/// number, signal index)`. The sequence number makes the order total.
+type Event = (Time, u64, usize);
+
+/// Calendar-queue day width as a power-of-two number of femtoseconds.
+/// 2¹⁶ fs = 65.5 ps sits just above the T/8 = 50 ps stage cadence of the
+/// paper's 2.5 GHz four-stage ring, so one "day" holds roughly one stage
+/// event per active wavefront — the calendar queue's ideal load.
+const DAY_SHIFT: u32 = 16;
+/// Number of wheel slots (power of two). 512 days × 65.5 ps ≈ 33.6 ns of
+/// horizon — two orders of magnitude beyond any gate or loop delay in the
+/// modelled circuits, so only pre-scheduled far-future stimulus ever takes
+/// the overflow path.
+const RING_SLOTS: usize = 512;
+
+/// The calendar day (bucket ordinal) a simulation time falls in.
+#[inline]
+fn day_of(t: Time) -> u64 {
+    debug_assert!(t.fs() >= 0, "event scheduled at negative time");
+    (t.fs() as u64) >> DAY_SHIFT
+}
+
+/// Where the memoized next event of a [`CalendarQueue`] lives.
+#[derive(Clone, Copy)]
+enum NextLoc {
+    /// `ring[slot][idx]`.
+    Ring { slot: usize, idx: usize },
+    /// Head of the overflow store.
+    Overflow,
+}
+
+/// Far-future events beyond the wheel horizon: a `(time, seq)`-sorted
+/// vector with a pop cursor. Pre-scheduled stimulus ([`Simulator::drive`])
+/// arrives in increasing time order, so its pushes are plain appends and
+/// its pops walk the vector sequentially — O(1) each where a binary heap
+/// pays a cache-hostile `log n` sift per pop on megabyte-sized stimulus
+/// queues. Out-of-order far-future pushes (rare: only dynamically
+/// scheduled events more than the full wheel horizon ahead) pay a
+/// binary-search insert.
+struct Overflow {
+    /// Sorted by `(time, seq)`; entries before `head` are popped.
+    buf: Vec<Event>,
+    head: usize,
+}
+
+impl Overflow {
+    fn new() -> Overflow {
+        Overflow {
+            buf: Vec::new(),
+            head: 0,
+        }
+    }
+
+    fn push(&mut self, ev: Event) {
+        let key = (ev.0, ev.1);
+        match self.buf.last() {
+            Some(&(t, s, _)) if (t, s) > key => {
+                let pos =
+                    self.head + self.buf[self.head..].partition_point(|&(t, s, _)| (t, s) < key);
+                self.buf.insert(pos, ev);
+            }
+            _ => self.buf.push(ev),
+        }
+    }
+
+    fn peek(&self) -> Option<Event> {
+        self.buf.get(self.head).copied()
+    }
+
+    fn pop(&mut self) -> Option<Event> {
+        let ev = self.buf.get(self.head).copied()?;
+        self.head += 1;
+        if self.head == self.buf.len() {
+            self.buf.clear();
+            self.head = 0;
+        } else if self.head >= 1024 && 2 * self.head >= self.buf.len() {
+            // Amortized compaction keeps the dead prefix bounded when pops
+            // interleave with fresh pushes.
+            self.buf.drain(..self.head);
+            self.head = 0;
+        }
+        Some(ev)
+    }
+}
+
+/// Bucketed calendar queue / timing wheel (see the module docs for the
+/// tuning rationale). Slot vectors are allocated once and reused for the
+/// whole run — pushing and popping wheel events is allocation-free once
+/// every slot has seen its high-water mark.
+pub(crate) struct CalendarQueue {
+    /// `ring[day & (RING_SLOTS-1)]` holds the (unsorted) events of exactly
+    /// one calendar day: every resident event's day lies in
+    /// `[cur_day, cur_day + RING_SLOTS)`, and within that window each slot
+    /// maps to a single day.
+    ring: Vec<Vec<Event>>,
+    /// Events in the wheel (excludes the overflow store).
+    ring_len: usize,
+    /// Day of the most recently **popped** event; no queued event is
+    /// earlier, and reactions to that event can schedule no earlier than
+    /// it, so this is a valid scan floor. It must not advance on peeks:
+    /// a peek can see a min far beyond the current time, while reactions
+    /// at the current time may still schedule closer events.
+    cur_day: u64,
+    /// Events beyond the wheel horizon at scheduling time.
+    overflow: Overflow,
+    /// Total queued events.
+    len: usize,
+    /// Occupancy bitmap: bit `s` of `occ[s / 64]` is set iff `ring[s]` is
+    /// non-empty, so the scan for the next non-empty slot is a handful of
+    /// word tests instead of a walk over empty slot vectors.
+    occ: [u64; RING_SLOTS / 64],
+    /// Memoized location of the minimum event (cleared by pops, replaced
+    /// in place by pushes that beat it).
+    next: Option<(Event, NextLoc)>,
+}
+
+impl CalendarQueue {
+    fn new() -> CalendarQueue {
+        CalendarQueue {
+            ring: (0..RING_SLOTS).map(|_| Vec::new()).collect(),
+            ring_len: 0,
+            cur_day: 0,
+            overflow: Overflow::new(),
+            len: 0,
+            occ: [0; RING_SLOTS / 64],
+            next: None,
+        }
+    }
+
+    fn push(&mut self, ev: Event) {
+        let day = day_of(ev.0);
+        debug_assert!(day >= self.cur_day, "event scheduled before cur_day");
+        let loc = if day < self.cur_day + RING_SLOTS as u64 {
+            let slot = day as usize & (RING_SLOTS - 1);
+            self.ring[slot].push(ev);
+            self.ring_len += 1;
+            self.occ[slot / 64] |= 1 << (slot % 64);
+            NextLoc::Ring {
+                slot,
+                idx: self.ring[slot].len() - 1,
+            }
+        } else {
+            self.overflow.push(ev);
+            NextLoc::Overflow
+        };
+        self.len += 1;
+        // A pushed event can only displace the memoized minimum, never a
+        // ring index: pushes append after any memoized `idx`. An event that
+        // beats the old minimum beats *every* queued event, so its own
+        // location (heap top, if it overflowed) becomes the new memo — no
+        // rescan needed. An empty queue's first event is trivially the
+        // minimum.
+        match self.next {
+            Some((cur, _)) if (ev.0, ev.1) < (cur.0, cur.1) => self.next = Some((ev, loc)),
+            None if self.len == 1 => self.next = Some((ev, loc)),
+            _ => {}
+        }
+    }
+
+    /// First slot with events, scanning cyclically from `s0`: the masked
+    /// tail of `s0`'s bitmap word, then whole words (the wrap-around pass
+    /// re-covers the low bits of `s0`'s word last, completing the cycle).
+    fn first_occupied_slot(&self, s0: usize) -> Option<usize> {
+        const WORDS: usize = RING_SLOTS / 64;
+        let (w0, b0) = (s0 / 64, s0 % 64);
+        let tail = self.occ[w0] >> b0;
+        if tail != 0 {
+            return Some(s0 + tail.trailing_zeros() as usize);
+        }
+        for k in 1..=WORDS {
+            let w = (w0 + k) % WORDS;
+            if self.occ[w] != 0 {
+                return Some(w * 64 + self.occ[w].trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Locates the minimum event (by `(time, seq)`) and memoizes it.
+    fn find_next(&mut self) -> Option<(Event, NextLoc)> {
+        if let Some(found) = self.next {
+            return Some(found);
+        }
+        if self.len == 0 {
+            return None;
+        }
+        // Wheel candidate: the first occupied slot at or after `cur_day`
+        // (cyclically — resident days all lie within RING_SLOTS of
+        // cur_day, so cyclic slot order from cur_day *is* day order) holds
+        // exactly one day's events, and days order by time, so its
+        // `(time, seq)` minimum is the wheel minimum.
+        let ring_min = if self.ring_len > 0 {
+            let slot = self
+                .first_occupied_slot(self.cur_day as usize & (RING_SLOTS - 1))
+                .expect("ring_len > 0 but occupancy bitmap is empty");
+            let (idx, &ev) = self.ring[slot]
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &(t, seq, _))| (t, seq))
+                .expect("occupied slot is empty");
+            Some((ev, NextLoc::Ring { slot, idx }))
+        } else {
+            None
+        };
+        let over_min = self.overflow.peek().map(|ev| (ev, NextLoc::Overflow));
+        let best = match (ring_min, over_min) {
+            (Some(r), Some(o)) => {
+                if (r.0 .0, r.0 .1) <= (o.0 .0, o.0 .1) {
+                    r
+                } else {
+                    o
+                }
+            }
+            (Some(r), None) => r,
+            (None, Some(o)) => o,
+            (None, None) => unreachable!("len > 0 but no event found"),
+        };
+        self.next = Some(best);
+        Some(best)
+    }
+
+    fn peek(&mut self) -> Option<Event> {
+        self.find_next().map(|(ev, _)| ev)
+    }
+
+    fn pop(&mut self) -> Option<Event> {
+        let (ev, loc) = self.find_next()?;
+        // Advancing the scan floor is safe only now: the popped event is
+        // the global minimum, every remaining event is at or after it, and
+        // reactions it triggers schedule strictly after it.
+        self.cur_day = day_of(ev.0);
+        match loc {
+            NextLoc::Ring { slot, idx } => {
+                // Order within a slot comes from the min-scan, so removal
+                // order does not matter: swap_remove keeps it O(1).
+                self.ring[slot].swap_remove(idx);
+                self.ring_len -= 1;
+                if self.ring[slot].is_empty() {
+                    self.occ[slot / 64] &= !(1 << (slot % 64));
+                }
+            }
+            NextLoc::Overflow => {
+                self.overflow.pop();
+            }
+        }
+        self.len -= 1;
+        self.next = None;
+        Some(ev)
+    }
+}
+
+/// The event scheduler: the calendar queue, or the reference binary heap
+/// kept for baseline measurement and differential testing. Both pop in
+/// identical `(time, seq)` order.
+pub(crate) enum EventQueue {
+    Calendar(CalendarQueue),
+    Heap(BinaryHeap<Reverse<Event>>),
+}
+
+impl EventQueue {
+    fn calendar() -> EventQueue {
+        EventQueue::Calendar(CalendarQueue::new())
+    }
+
+    fn heap() -> EventQueue {
+        EventQueue::Heap(BinaryHeap::new())
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, ev: Event) {
+        match self {
+            EventQueue::Calendar(q) => q.push(ev),
+            EventQueue::Heap(q) => q.push(Reverse(ev)),
+        }
+    }
+
+    #[inline]
+    fn peek(&mut self) -> Option<Event> {
+        match self {
+            EventQueue::Calendar(q) => q.peek(),
+            EventQueue::Heap(q) => q.peek().map(|&Reverse(ev)| ev),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<Event> {
+        match self {
+            EventQueue::Calendar(q) => q.pop(),
+            EventQueue::Heap(q) => q.pop().map(|Reverse(ev)| ev),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            EventQueue::Calendar(q) => q.len,
+            EventQueue::Heap(q) => q.len(),
+        }
+    }
+}
+
+/// A signal's projected waveform: pending `(time, value)` transactions in
+/// strictly increasing time order.
+///
+/// Stored as a sorted vector with a consumed-prefix cursor instead of a
+/// `BTreeMap`: the hot operations — append a transaction later than every
+/// pending one (the overwhelmingly common case), mature the earliest one,
+/// truncate the projected tail (transport rule), or clear (inertial rule)
+/// — are all O(1) amortized and allocation-free once the buffer is warm.
+#[derive(Default)]
+struct Pending {
+    buf: Vec<(Time, bool)>,
+    /// Index of the first live entry; everything before it has matured.
+    head: usize,
+}
+
+impl Pending {
+    /// Transport-delay scheduling: drops every projected transaction at or
+    /// after `at`, then appends `(at, value)`.
+    fn schedule_transport(&mut self, at: Time, value: bool) {
+        let cut = self.head + self.buf[self.head..].partition_point(|e| e.0 < at);
+        self.buf.truncate(cut);
+        self.buf.push((at, value));
+        // Compact once the dead prefix dominates; each compaction moves at
+        // most as many entries as have matured since the last one, so the
+        // cost stays O(1) amortized per operation.
+        if self.head >= 32 && 2 * self.head >= self.buf.len() {
+            self.buf.drain(..self.head);
+            self.head = 0;
+        }
+    }
+
+    /// Inertial scheduling: drops *every* projected transaction, then
+    /// appends `(at, value)`.
+    fn schedule_inertial(&mut self, at: Time, value: bool) {
+        self.buf.clear();
+        self.head = 0;
+        self.buf.push((at, value));
+    }
+
+    /// Matures the transaction at exactly `t`, if one is still projected.
+    ///
+    /// Entries are strictly time-ordered and every entry earlier than the
+    /// current simulation time has already matured or been superseded, so
+    /// a live match can only sit at the head.
+    fn take_at(&mut self, t: Time) -> Option<bool> {
+        let live = &self.buf[self.head..];
+        debug_assert!(live.first().is_none_or(|e| e.0 >= t));
+        if live.first().map(|e| e.0) == Some(t) {
+            let v = self.buf[self.head].1;
+            self.head += 1;
+            if self.head == self.buf.len() {
+                self.buf.clear();
+                self.head = 0;
+            }
+            Some(v)
+        } else {
+            None
+        }
+    }
+}
 
 /// A recorded waveform: the initial value plus every change.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -54,26 +435,37 @@ impl Trace {
         }
     }
 
-    /// Times of rising (`false→true`) transitions.
+    /// Times of rising (`false→true`) transitions, collected into a fresh
+    /// vector. Prefer [`Trace::rising_edges_iter`] on analysis hot paths.
     pub fn rising_edges(&self) -> Vec<Time> {
-        self.edges(true)
+        self.rising_edges_iter().collect()
     }
 
-    /// Times of falling (`true→false`) transitions.
+    /// Times of falling (`true→false`) transitions, collected into a fresh
+    /// vector. Prefer [`Trace::falling_edges_iter`] on analysis hot paths.
     pub fn falling_edges(&self) -> Vec<Time> {
-        self.edges(false)
+        self.falling_edges_iter().collect()
     }
 
-    fn edges(&self, rising: bool) -> Vec<Time> {
+    /// Iterator over rising (`false→true`) transition times — the
+    /// allocation-free form of [`Trace::rising_edges`].
+    pub fn rising_edges_iter(&self) -> impl Iterator<Item = Time> + '_ {
+        self.edges_iter(true)
+    }
+
+    /// Iterator over falling (`true→false`) transition times — the
+    /// allocation-free form of [`Trace::falling_edges`].
+    pub fn falling_edges_iter(&self) -> impl Iterator<Item = Time> + '_ {
+        self.edges_iter(false)
+    }
+
+    fn edges_iter(&self, rising: bool) -> impl Iterator<Item = Time> + '_ {
         let mut prev = self.initial;
-        let mut out = Vec::new();
-        for &(t, v) in &self.changes {
-            if v != prev && v == rising {
-                out.push(t);
-            }
+        self.changes.iter().filter_map(move |&(t, v)| {
+            let edge = v != prev && v == rising;
             prev = v;
-        }
-        out
+            edge.then_some(t)
+        })
     }
 
     /// Number of recorded changes.
@@ -91,7 +483,7 @@ struct SignalState {
     name: String,
     value: bool,
     /// Projected waveform (transport-delay transactions).
-    pending: BTreeMap<Time, bool>,
+    pending: Pending,
     probed: bool,
     trace: Trace,
     /// Components sensitive to this signal.
@@ -104,7 +496,7 @@ pub struct Context<'a> {
     now: Time,
     seed: u64,
     signals: &'a mut [SignalState],
-    queue: &'a mut BinaryHeap<Reverse<(Time, u64, usize)>>,
+    queue: &'a mut EventQueue,
     seq: &'a mut u64,
 }
 
@@ -128,7 +520,8 @@ impl Context<'_> {
 
     /// Schedules `sig := value` after `delay`, with transport semantics
     /// (any previously projected transaction at or after the new time is
-    /// removed).
+    /// removed). Allocation-free once the per-signal and scheduler buffers
+    /// are warm.
     ///
     /// # Panics
     ///
@@ -141,11 +534,9 @@ impl Context<'_> {
             self.signals[sig.0].name
         );
         let at = self.now + delay;
-        let state = &mut self.signals[sig.0];
-        state.pending.split_off(&at);
-        state.pending.insert(at, value);
+        self.signals[sig.0].pending.schedule_transport(at, value);
         *self.seq += 1;
-        self.queue.push(Reverse((at, *self.seq, sig.0)));
+        self.queue.push((at, *self.seq, sig.0));
     }
 
     /// Schedules `sig := value` after `delay` with **inertial** semantics
@@ -163,11 +554,9 @@ impl Context<'_> {
             self.signals[sig.0].name
         );
         let at = self.now + delay;
-        let state = &mut self.signals[sig.0];
-        state.pending.clear();
-        state.pending.insert(at, value);
+        self.signals[sig.0].pending.schedule_inertial(at, value);
         *self.seq += 1;
-        self.queue.push(Reverse((at, *self.seq, sig.0)));
+        self.queue.push((at, *self.seq, sig.0));
     }
 }
 
@@ -210,7 +599,7 @@ pub struct Simulator {
     now: Time,
     seq: u64,
     seed: u64,
-    queue: BinaryHeap<Reverse<(Time, u64, usize)>>,
+    queue: EventQueue,
     signals: Vec<SignalState>,
     components: Vec<Box<dyn Component>>,
     initialized: bool,
@@ -223,14 +612,14 @@ pub struct Simulator {
 }
 
 impl Simulator {
-    /// Creates an empty simulator. `seed` fixes all per-component RNG
-    /// streams.
+    /// Creates an empty simulator using the calendar-queue scheduler.
+    /// `seed` fixes all per-component RNG streams.
     pub fn new(seed: u64) -> Simulator {
         Simulator {
             now: Time::ZERO,
             seq: 0,
             seed,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::calendar(),
             signals: Vec::new(),
             components: Vec::new(),
             initialized: false,
@@ -238,6 +627,25 @@ impl Simulator {
             changed_scratch: Vec::new(),
             woken_scratch: Vec::new(),
         }
+    }
+
+    /// Switches to the reference `BinaryHeap` scheduler.
+    ///
+    /// The heap is the pre-calendar-queue scheduler, kept for baseline
+    /// benchmarking and for differential tests — it pops events in exactly
+    /// the same `(time, seq)` order as the calendar queue, so traces are
+    /// bit-identical; only the throughput differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events have already been scheduled.
+    pub fn with_heap_scheduler(mut self) -> Simulator {
+        assert!(
+            self.queue.len() == 0 && self.seq == 0,
+            "scheduler must be selected before any event is scheduled"
+        );
+        self.queue = EventQueue::heap();
+        self
     }
 
     /// The master seed.
@@ -257,7 +665,7 @@ impl Simulator {
         self.signals.push(SignalState {
             name: name.into(),
             value: initial,
-            pending: BTreeMap::new(),
+            pending: Pending::default(),
             probed: false,
             trace: Trace {
                 initial,
@@ -357,20 +765,20 @@ impl Simulator {
         }
 
         let start_events = self.events_processed;
-        while let Some(&Reverse((t, _, _))) = self.queue.peek() {
+        while let Some((t, _, _)) = self.queue.peek() {
             if t > deadline {
                 break;
             }
             // Apply every transaction maturing at time t.
             self.now = t;
             self.changed_scratch.clear();
-            while let Some(&Reverse((tt, _, sig))) = self.queue.peek() {
+            while let Some((tt, _, sig)) = self.queue.peek() {
                 if tt != t {
                     break;
                 }
                 self.queue.pop();
                 let state = &mut self.signals[sig];
-                let Some(value) = state.pending.remove(&t) else {
+                let Some(value) = state.pending.take_at(t) else {
                     continue; // superseded transaction
                 };
                 self.events_processed += 1;
@@ -489,13 +897,44 @@ mod tests {
     }
 
     #[test]
+    fn edge_iterators_match_collected_edges() {
+        let trace = Trace {
+            initial: false,
+            changes: vec![
+                (Time::from_ps(10.0), true),
+                (Time::from_ps(20.0), false),
+                (Time::from_ps(30.0), true),
+                (Time::from_ps(45.0), false),
+            ],
+        };
+        assert_eq!(
+            trace.rising_edges_iter().collect::<Vec<_>>(),
+            trace.rising_edges()
+        );
+        assert_eq!(
+            trace.falling_edges_iter().collect::<Vec<_>>(),
+            trace.falling_edges()
+        );
+        assert_eq!(trace.rising_edges_iter().count(), 2);
+        // An initial-high trace must not report a leading rising edge.
+        let high = Trace {
+            initial: true,
+            changes: vec![(Time::from_ps(5.0), false), (Time::from_ps(9.0), true)],
+        };
+        assert_eq!(
+            high.rising_edges_iter().collect::<Vec<_>>(),
+            vec![Time::from_ps(9.0)]
+        );
+    }
+
+    #[test]
     fn trace_value_lookup() {
         let trace = Trace {
             initial: true,
             changes: vec![(Time::from_ps(10.0), false), (Time::from_ps(30.0), true)],
         };
         assert!(trace.value_at(Time::from_ps(5.0)));
-        assert!(!trace.value_at(Time::from_ps(10.0)) || !trace.value_at(Time::from_ps(10.0)));
+        assert!(!trace.value_at(Time::from_ps(10.0)));
         assert!(!trace.value_at(Time::from_ps(29.0)));
         assert!(trace.value_at(Time::from_ps(30.0)));
         assert_eq!(trace.len(), 2);
@@ -544,6 +983,57 @@ mod tests {
     }
 
     #[test]
+    fn far_future_events_cross_the_wheel_horizon() {
+        // Events beyond the 33.6 ns wheel horizon take the overflow
+        // path; they must still apply in exact time order, interleaved
+        // with near-term wheel events. Schedule in increasing time order
+        // with alternating values so nothing is superseded.
+        let mut sim = Simulator::new(0);
+        let s = sim.add_signal("s", false);
+        sim.probe(s);
+        let times_ns = [0.010, 0.8, 33.7, 61.0, 120.0, 250.0, 500.0];
+        for (i, &t) in times_ns.iter().enumerate() {
+            sim.set_after(s, i % 2 == 0, Time::from_ns(t));
+        }
+        sim.run_until(Time::from_us(1.0));
+        let change_times: Vec<Time> = sim
+            .trace(s)
+            .unwrap()
+            .changes()
+            .iter()
+            .map(|c| c.0)
+            .collect();
+        let expect: Vec<Time> = times_ns.iter().map(|&t| Time::from_ns(t)).collect();
+        assert_eq!(change_times, expect);
+        assert_eq!(sim.events_processed(), times_ns.len() as u64);
+    }
+
+    #[test]
+    fn heap_and_calendar_schedulers_agree() {
+        let run = |heap: bool| {
+            let base = Simulator::new(11);
+            let mut sim = if heap {
+                base.with_heap_scheduler()
+            } else {
+                base
+            };
+            let a = sim.add_signal("a", false);
+            let y = sim.add_signal("y", false);
+            sim.add_component(
+                LogicGate::new("buf", GateFunc::Buf, vec![a], y, Time::from_ps(41.0))
+                    .with_jitter(0.08),
+            );
+            sim.probe(y);
+            for i in 1..300 {
+                sim.set_after(a, i % 2 == 1, Time::from_ps(173.0) * i);
+            }
+            sim.run_until(Time::from_us(1.0));
+            (sim.events_processed(), sim.trace(y).unwrap().clone())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
     fn derive_seed_spreads() {
         let sim = Simulator::new(1);
         let a = sim.derive_seed(0);
@@ -558,5 +1048,14 @@ mod tests {
         let mut sim = Simulator::new(0);
         let s = sim.add_signal("s", false);
         sim.set_after(s, true, Time::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "before any event")]
+    fn heap_scheduler_must_be_selected_first() {
+        let mut sim = Simulator::new(0);
+        let s = sim.add_signal("s", false);
+        sim.set_after(s, true, Time::from_ps(1.0));
+        let _ = sim.with_heap_scheduler();
     }
 }

@@ -186,6 +186,13 @@ const QTAB_Z_HI: f64 = 37.5;
 const QTAB_PER_UNIT: f64 = 128.0;
 
 impl QTable {
+    /// Block width of [`QTable::q_batch`]'s all-in-band fast path. This is
+    /// a branch-amortization granularity, not a SIMD register width (the
+    /// `exp` calls stay scalar either way), so it is deliberately wider
+    /// than [`crate::lanes::LANES`]: callers batching `z` arguments should
+    /// feed slices in multiples of it to stay on the fast path.
+    pub const BATCH: usize = 8;
+
     /// Builds the table (~6k entries, ~48 KiB) by sampling [`q_function`].
     pub fn new() -> QTable {
         let n = ((QTAB_Z_HI - QTAB_Z_LO + 1.0) * QTAB_PER_UNIT) as usize + 4;
@@ -224,6 +231,58 @@ impl QTable {
         let v = -a * s * sm1 * sm2 / 6.0 + b * s1 * sm1 * sm2 / 2.0 - c * s1 * s * sm2 / 2.0
             + d * s1 * s * sm1 / 6.0;
         v.exp()
+    }
+
+    /// Batch form of [`QTable::q`]: `out[i] = q(zs[i])`, bit-identical.
+    ///
+    /// Used by the lane-batched tail sums in [`crate::Pdf`]: the stencil
+    /// index math and the Lagrange polynomial are evaluated chunk-wise in
+    /// straight-line code (per-element expressions unchanged, so the bits
+    /// match the scalar path exactly), which lets them pipeline across
+    /// elements instead of serializing behind each `exp` call. Values
+    /// outside the interpolated band take the same per-element saturation /
+    /// exact-`q_function` branches the scalar path takes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn q_batch(&self, zs: &[f64], out: &mut [f64]) {
+        assert_eq!(zs.len(), out.len(), "q_batch length mismatch");
+        const B: usize = QTable::BATCH;
+        let (zc, zrem) = zs.as_chunks::<B>();
+        let (oc, orem) = out.as_chunks_mut::<B>();
+        for (z, o) in zc.iter().zip(oc) {
+            if z.iter().all(|&v| v > QTAB_Z_LO && v < QTAB_Z_HI) {
+                // All lanes in-band: branch-free interpolation, then the
+                // (scalar) exponentials.
+                let mut ln = [0.0f64; B];
+                for l in 0..B {
+                    let u = (z[l] - QTAB_Z_LO) * QTAB_PER_UNIT;
+                    let i = (u as usize).max(1);
+                    let s = u - i as f64;
+                    let (a, b, c, d) = (
+                        self.ln_q[i - 1],
+                        self.ln_q[i],
+                        self.ln_q[i + 1],
+                        self.ln_q[i + 2],
+                    );
+                    let (s1, sm1, sm2) = (s + 1.0, s - 1.0, s - 2.0);
+                    ln[l] = -a * s * sm1 * sm2 / 6.0 + b * s1 * sm1 * sm2 / 2.0
+                        - c * s1 * s * sm2 / 2.0
+                        + d * s1 * s * sm1 / 6.0;
+                }
+                for l in 0..B {
+                    o[l] = ln[l].exp();
+                }
+            } else {
+                for l in 0..B {
+                    o[l] = self.q(z[l]);
+                }
+            }
+        }
+        for (&z, o) in zrem.iter().zip(orem) {
+            *o = self.q(z);
+        }
     }
 }
 
@@ -416,5 +475,24 @@ mod tests {
         // Outside the table: saturation below, exact passthrough above.
         assert_eq!(tab.q(-15.0), 1.0);
         assert_eq!(tab.q(40.0), q_function(40.0));
+    }
+
+    #[test]
+    fn q_batch_is_bitwise_identical_to_scalar() {
+        let tab = QTable::new();
+        // Mixed in-band / saturated / exact-tail values at every chunk
+        // alignment, including the exact band edges.
+        let zs: Vec<f64> = (0..203)
+            .map(|i| -12.0 + i as f64 * 0.25)
+            .chain([QTAB_Z_LO, QTAB_Z_HI, 0.0, 7.034])
+            .collect();
+        for start in 0..8 {
+            let slice = &zs[start..];
+            let mut out = vec![0.0; slice.len()];
+            tab.q_batch(slice, &mut out);
+            for (&z, &got) in slice.iter().zip(&out) {
+                assert_eq!(got.to_bits(), tab.q(z).to_bits(), "z = {z}");
+            }
+        }
     }
 }

@@ -43,6 +43,7 @@ mod bathtub;
 mod decompose;
 mod erf;
 mod jtol;
+pub mod lanes;
 mod mask;
 mod mc;
 mod model;

@@ -66,6 +66,9 @@ struct BerScratch {
     sin: Pdf,
     tmp: Pdf,
     bounded: Pdf,
+    /// Coarse-grid DJ base for the adaptive-step path (wide sinusoids),
+    /// rebuilt in place instead of allocating a fresh `Pdf` per run length.
+    coarse: Pdf,
     conv: ConvScratch,
 }
 
@@ -424,11 +427,23 @@ impl GccoStatModel {
         let rj_var = self.rj_var;
 
         // DJ base: cached at the nominal step, rebuilt only when a very
-        // wide sinusoid forces a coarser adaptive grid.
-        let coarse_base;
-        let dj_base = if step > self.grid_step {
-            coarse_base = Self::build_dj_base(&self.spec, self.edge_model, step).0;
-            &coarse_base
+        // wide sinusoid forces a coarser adaptive grid — and then into the
+        // reusable scratch buffers rather than fresh allocations (this path
+        // runs once per run length per JTOL bisection probe). The in-place
+        // builders produce exactly what `build_dj_base` produces.
+        let dj_base: &Pdf = if step > self.grid_step {
+            match self.edge_model {
+                EdgeModel::ResyncReferenced => {
+                    scratch.coarse.set_uniform(dj_pp, step);
+                }
+                EdgeModel::IndependentEdges => {
+                    scratch.tmp.set_uniform(dj_pp, step);
+                    scratch
+                        .tmp
+                        .convolve_box_into(dj_pp, &mut scratch.conv, &mut scratch.coarse);
+                }
+            }
+            &scratch.coarse
         } else {
             &self.dj_base
         };

@@ -9,6 +9,7 @@
 //! by [`Pdf::convolve`].
 
 use crate::erf::{q_function, QTable};
+use crate::lanes;
 use std::fmt;
 
 /// Reusable workspace for [`Pdf::convolve_box_into`] and
@@ -205,19 +206,71 @@ impl Pdf {
             other.step
         );
         let n = self.density.len() + other.density.len() - 1;
+        let m = other.density.len();
+        let rows = self.density.len();
         let mut out = vec![0.0; n];
-        for (i, &a) in self.density.iter().enumerate() {
-            if a == 0.0 {
-                continue;
-            }
-            for (j, &b) in other.density.iter().enumerate() {
-                out[i + j] += a * b;
+        // Row-wise accumulation: each source bin scatters a scaled copy of
+        // the other density. Rows are applied in index order and each
+        // output element is a same-order sum of `a·b` products, so both
+        // the fused row blocks and the single-row remainder are
+        // bit-identical to the scalar nested loop (densities are
+        // non-negative, so the block kernel's `+ 0.0` terms for zero rows
+        // inside a block are bitwise no-ops — see [`lanes::axpy_rows`]).
+        // Blocks that are all zeros or nearly so (dual-Dirac densities)
+        // skip or fall back to the row-at-a-time kernel.
+        const R: usize = lanes::ROWS;
+        let mut i = 0;
+        if m >= R {
+            while i + R <= rows {
+                let a: &[f64; R] = self.density[i..i + R].try_into().expect("block of R");
+                let nz = a.iter().filter(|&&v| v != 0.0).count();
+                if nz == 0 {
+                    i += R;
+                    continue;
+                }
+                if nz <= 2 {
+                    for (r, &ar) in a.iter().enumerate() {
+                        if ar != 0.0 {
+                            lanes::axpy(&mut out[i + r..i + r + m], ar, &other.density);
+                        }
+                    }
+                } else {
+                    lanes::axpy_rows(&mut out[i..i + m + R - 1], a, &other.density);
+                }
+                i += R;
             }
         }
-        for d in &mut out {
-            *d *= self.step;
+        for (r, &a) in self.density[i..].iter().enumerate() {
+            if a != 0.0 {
+                lanes::axpy(&mut out[i + r..i + r + m], a, &other.density);
+            }
         }
+        lanes::scale(&mut out, self.step);
         Pdf::from_samples(self.origin + other.origin, self.step, out)
+    }
+
+    /// Rebuilds `self` in place as [`Pdf::uniform`]`(pp, step)`, reusing the
+    /// existing sample allocation — the allocation-free form used by the
+    /// BER hot path when an adaptive grid step forces a coarser DJ base
+    /// than the model's cached one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pp` is negative or `step` is not positive/finite.
+    pub fn set_uniform(&mut self, pp: f64, step: f64) {
+        assert!(pp >= 0.0, "negative width {pp}");
+        assert!(step > 0.0 && step.is_finite(), "invalid step {step}");
+        self.step = step;
+        self.density.clear();
+        if pp < step {
+            self.origin = 0.0;
+            self.density.push(1.0 / step);
+            return;
+        }
+        let n = (pp / step).round() as usize + 1;
+        let d = 1.0 / (n as f64 * step);
+        self.origin = -0.5 * (n - 1) as f64 * step;
+        self.density.resize(n, d);
     }
 
     /// Rebuilds `self` in place as [`Pdf::sinusoidal`]`(pp, step)`, reusing
@@ -241,13 +294,25 @@ impl Pdf {
         let half = (a / step).ceil() as i64;
         self.origin = -(half as f64) * step;
         let norm = 1.0 / (std::f64::consts::PI * step);
-        let mut prev = (((-half) as f64 - 0.5) * step / a).clamp(-1.0, 1.0).asin();
-        self.density.extend((-half..=half).map(|i| {
-            let hi = ((i as f64 + 0.5) * step / a).clamp(-1.0, 1.0).asin();
-            let d = (hi - prev) * norm;
-            prev = hi;
-            d
-        }));
+        // The arcsine density is even and `asin` is odd to the last bit
+        // (`asin(-x) == -asin(x)`, verified by `asin_is_odd_bitwise`), so
+        // the negative-side bin edges are exact sign flips of the positive
+        // ones: evaluate `asin` only for edges ≥ 0 and mirror. This halves
+        // the dominant cost of the kernel while producing the identical
+        // bits the full sweep produced — `(-e_prev) - (-e) ≡ e - e_prev`
+        // and `e0 - (-e0) ≡ e0 + e0` exactly in IEEE arithmetic.
+        let h = half as usize;
+        self.density.resize(2 * h + 1, 0.0);
+        let e0 = (0.5 * step / a).clamp(-1.0, 1.0).asin();
+        self.density[h] = (e0 - (-e0)) * norm;
+        let mut prev = e0;
+        for j in 1..=h {
+            let e = ((j as f64 + 0.5) * step / a).clamp(-1.0, 1.0).asin();
+            let d = (e - prev) * norm;
+            self.density[h + j] = d;
+            self.density[h - j] = d;
+            prev = e;
+        }
         self.renormalize();
     }
 
@@ -289,11 +354,34 @@ impl Pdf {
             prefix.push(acc);
         }
         out.origin = self.origin - 0.5 * (m - 1) as f64 * self.step;
-        out.density.extend((0..n + m - 1).map(|k| {
-            let lo = (k + 1).saturating_sub(m);
-            let hi = (k + 1).min(n);
-            (prefix[hi] - prefix[lo]) * inv_m
-        }));
+        // Output bin k is the window mean (prefix[hi] − prefix[lo])·inv_m
+        // with hi = min(k+1, n) and lo = max(k+1−m, 0). Instead of clamping
+        // per element, split the k range into the regions where each clamp
+        // is constant — every region body is then a branch-free elementwise
+        // pass over offset views of `prefix` that the lane kernels turn
+        // into SIMD. The arithmetic per element is exactly the clamped
+        // expression, so the output is bit-identical.
+        let dens = &mut out.density;
+        dens.resize(n + m - 1, 0.0);
+        let ramp = (m - 1).min(n); // k < ramp: lo = 0, hi = k + 1
+        lanes::diff_const_scale(&mut dens[..ramp], &prefix[1..ramp + 1], prefix[0], inv_m);
+        if m - 1 > n {
+            // Wide box: a flat plateau where the window covers everything.
+            let v = (prefix[n] - prefix[0]) * inv_m;
+            dens[ramp..m - 1].fill(v);
+        } else {
+            // k in [m−1, n): both window edges slide — the steady state.
+            lanes::diff_scale(
+                &mut dens[m - 1..n],
+                &prefix[m..n + 1],
+                &prefix[..n + 1 - m],
+                inv_m,
+            );
+        }
+        // Tail ramp-down: hi pinned at n, lo slides to the end.
+        let tail = n.max(m - 1);
+        let lo0 = tail + 1 - m;
+        lanes::const_diff_scale(&mut dens[tail..], prefix[n], &prefix[lo0..n], inv_m);
     }
 
     /// Probability mass at or beyond `threshold`: `P(X ≥ threshold)`.
@@ -411,15 +499,53 @@ impl Pdf {
         // z_i = (threshold − x_i)/σ decreases with i: the interpolated band
         // is (i_lo, i_hi), everything after it has Q = 1.
         let (i_lo, i_hi) = self.z_band(threshold, sigma, -1.0, -8.0, 37.5);
-        let mut p = 0.0;
-        for (i, &d) in self.density[i_lo..i_hi].iter().enumerate() {
-            if d == 0.0 {
-                continue;
-            }
-            p += d * tab.q((threshold - self.x(i_lo + i)) * inv_sigma);
-        }
+        let mut p = self.q_weighted_band(0.0, i_lo, i_hi, tab, |x| (threshold - x) * inv_sigma);
         p += self.density[i_hi..].iter().sum::<f64>();
         (p * self.step).min(1.0)
+    }
+
+    /// The interpolated-band inner sum `p0 + Σ d_i · Q(z(x_i))` shared by
+    /// the two table-based exceedance kernels, batched: `z` values and
+    /// table interpolations are computed in [`QTable::BATCH`]-wide blocks
+    /// ([`QTable::q_batch`]), while the weighted accumulation itself runs
+    /// in the original serial index order onto the caller's accumulator —
+    /// term values and addition order both match the scalar loop, so the
+    /// sum is bit-identical. All-zero density blocks (dual-Dirac PDFs are
+    /// mostly zeros) skip the table work entirely, exactly as the scalar
+    /// `d == 0` guard did.
+    fn q_weighted_band(
+        &self,
+        p0: f64,
+        i_lo: usize,
+        i_hi: usize,
+        tab: &QTable,
+        z_of_x: impl Fn(f64) -> f64,
+    ) -> f64 {
+        const B: usize = QTable::BATCH;
+        let mut zs = [0.0f64; B];
+        let mut qs = [0.0f64; B];
+        let mut p = p0;
+        let mut i = i_lo;
+        while i < i_hi {
+            let len = (i_hi - i).min(B);
+            let d = &self.density[i..i + len];
+            if d.iter().all(|&v| v == 0.0) {
+                i += len;
+                continue;
+            }
+            for (l, z) in zs[..len].iter_mut().enumerate() {
+                *z = z_of_x(self.x(i + l));
+            }
+            tab.q_batch(&zs[..len], &mut qs[..len]);
+            for (l, &dv) in d.iter().enumerate() {
+                if dv == 0.0 {
+                    continue;
+                }
+                p += dv * qs[l];
+            }
+            i += len;
+        }
+        p
     }
 
     /// [`Pdf::gaussian_exceed_below`] with `Q` drawn from a precomputed
@@ -433,13 +559,8 @@ impl Pdf {
         // z_i = (x_i − threshold)/σ increases with i: everything before the
         // band has Q = 1, everything after it Q = 0.
         let (i_lo, i_hi) = self.z_band(threshold, sigma, 1.0, -8.0, 37.5);
-        let mut p = self.density[..i_lo].iter().sum::<f64>();
-        for (i, &d) in self.density[i_lo..i_hi].iter().enumerate() {
-            if d == 0.0 {
-                continue;
-            }
-            p += d * tab.q((self.x(i_lo + i) - threshold) * inv_sigma);
-        }
+        let head = self.density[..i_lo].iter().sum::<f64>();
+        let p = self.q_weighted_band(head, i_lo, i_hi, tab, |x| (x - threshold) * inv_sigma);
         (p * self.step).min(1.0)
     }
 }
@@ -520,6 +641,50 @@ mod tests {
         // Convolution is commutative.
         let c2 = b.convolve(&a);
         assert!((c2.std_dev() - c.std_dev()).abs() < 1e-12);
+    }
+
+    /// Bitwise oracle for the laned convolve: the pre-lane nested loop.
+    #[test]
+    fn convolve_matches_nested_loop_bitwise() {
+        // Dense × dense, sparse (dual-Dirac) × dense — exercising the
+        // fused row blocks, the sparse-block fallback and the all-zero
+        // block skip — and a kernel shorter than a row block.
+        let cases = [
+            (Pdf::sinusoidal(0.23, STEP), Pdf::gaussian(0.021, STEP, 8.0)),
+            (Pdf::dual_dirac(0.31, STEP), Pdf::gaussian(0.021, STEP, 8.0)),
+            (Pdf::sinusoidal(0.23, STEP), Pdf::uniform(3.0 * STEP, STEP)),
+            // Zeros *inside* dense row blocks: the fused kernel's `+ 0.0`
+            // terms must be bitwise no-ops against the row-skipping oracle.
+            (
+                Pdf::from_samples(
+                    0.0,
+                    STEP,
+                    (0..40)
+                        .map(|i| if i % 3 == 0 { 0.0 } else { 0.1 + i as f64 })
+                        .collect(),
+                ),
+                Pdf::gaussian(0.021, STEP, 8.0),
+            ),
+        ];
+        for (a, b) in &cases {
+            let fast = a.convolve(b);
+            let n = a.samples().len() + b.samples().len() - 1;
+            let mut want = vec![0.0; n];
+            for (i, &av) in a.samples().iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                for (j, &bv) in b.samples().iter().enumerate() {
+                    want[i + j] += av * bv;
+                }
+            }
+            for d in &mut want {
+                *d *= STEP;
+            }
+            for (i, (got, exp)) in fast.samples().iter().zip(&want).enumerate() {
+                assert_eq!(got.to_bits(), exp.to_bits(), "bin {i}");
+            }
+        }
     }
 
     #[test]
@@ -617,6 +782,156 @@ mod tests {
         for pp in [0.0, 0.001, 0.05, 0.73] {
             pdf.set_sinusoidal(pp, STEP);
             assert_eq!(pdf, Pdf::sinusoidal(pp, STEP), "pp = {pp}");
+        }
+    }
+
+    /// The mirrored sinusoidal kernel assumes libm's `asin` is odd to the
+    /// last bit. Verify that over the exact bin-edge arguments the kernel
+    /// evaluates, plus a dense sweep of the domain.
+    #[test]
+    fn asin_is_odd_bitwise() {
+        let (pp, step) = (0.73, STEP);
+        let a = pp / 2.0;
+        let half = (a / step).ceil() as i64;
+        for j in 0..=half {
+            let x: f64 = ((j as f64 + 0.5) * step / a).clamp(-1.0, 1.0);
+            assert_eq!((-x).asin().to_bits(), (-x.asin()).to_bits(), "x = {x}");
+        }
+        for i in 0..=10_000 {
+            let x = i as f64 / 10_000.0;
+            assert_eq!((-x).asin().to_bits(), (-x.asin()).to_bits(), "x = {x}");
+        }
+    }
+
+    /// Bitwise oracle for the mirrored `set_sinusoidal`: the pre-mirror
+    /// implementation evaluated `asin` at every bin edge, negative side
+    /// included. The halved kernel must reproduce those bits exactly.
+    #[test]
+    fn set_sinusoidal_matches_full_sweep_oracle() {
+        let oracle = |pp: f64, step: f64| -> Pdf {
+            let a = pp / 2.0;
+            let half = (a / step).ceil() as i64;
+            let norm = 1.0 / (std::f64::consts::PI * step);
+            let mut prev = (((-half) as f64 - 0.5) * step / a).clamp(-1.0, 1.0).asin();
+            let density: Vec<f64> = (-half..=half)
+                .map(|i| {
+                    let hi = ((i as f64 + 0.5) * step / a).clamp(-1.0, 1.0).asin();
+                    let d = (hi - prev) * norm;
+                    prev = hi;
+                    d
+                })
+                .collect();
+            let mut pdf = Pdf::from_samples(-(half as f64) * step, step, density);
+            pdf.renormalize();
+            pdf
+        };
+        let mut pdf = Pdf::dirac(0.0, STEP);
+        for pp in [0.002, 0.0031, 0.05, 0.37, 0.73, 2.4] {
+            pdf.set_sinusoidal(pp, STEP);
+            let want = oracle(pp, STEP);
+            assert_eq!(pdf.samples().len(), want.samples().len(), "pp = {pp}");
+            for (i, (got, exp)) in pdf.samples().iter().zip(want.samples()).enumerate() {
+                assert_eq!(
+                    got.to_bits(),
+                    exp.to_bits(),
+                    "pp = {pp}, bin {i}: {got} vs {exp}"
+                );
+            }
+        }
+    }
+
+    /// Bitwise oracle for the region-split box convolution: the pre-split
+    /// implementation clamped the window edges per element.
+    #[test]
+    fn convolve_box_matches_clamped_oracle_bitwise() {
+        let sj = Pdf::sinusoidal(0.37, STEP);
+        for pp in [0.0004, 0.013, 0.1, 0.4, 1.7] {
+            let fast = sj.convolve_box(pp);
+            // Per-element clamped window expression (the original loop).
+            let n = sj.samples().len();
+            let m = (pp / STEP).round() as usize + 1;
+            if m < 2 {
+                continue;
+            }
+            let inv_m = 1.0 / m as f64;
+            let mut prefix = vec![0.0];
+            let mut acc = 0.0;
+            for &d in sj.samples() {
+                acc += d;
+                prefix.push(acc);
+            }
+            let want: Vec<f64> = (0..n + m - 1)
+                .map(|k| {
+                    let lo = (k + 1).saturating_sub(m);
+                    let hi = (k + 1).min(n);
+                    (prefix[hi] - prefix[lo]) * inv_m
+                })
+                .collect();
+            assert_eq!(fast.samples().len(), want.len(), "pp = {pp}");
+            for (i, (got, exp)) in fast.samples().iter().zip(&want).enumerate() {
+                assert_eq!(got.to_bits(), exp.to_bits(), "pp = {pp}, bin {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn set_uniform_matches_constructor() {
+        let mut pdf = Pdf::sinusoidal(0.2, STEP);
+        for pp in [0.0, 0.0004, 0.013, 0.4, 1.7] {
+            for step in [STEP, 2.7e-3] {
+                pdf.set_uniform(pp, step);
+                assert_eq!(pdf, Pdf::uniform(pp, step), "pp = {pp}, step = {step}");
+            }
+        }
+    }
+
+    /// The laned band sum must be bitwise identical to a scalar replica of
+    /// the pre-lane loop — including PDFs with embedded zeros (dual-Dirac)
+    /// at every chunk alignment.
+    #[test]
+    fn table_exceed_is_bitwise_stable() {
+        let tab = crate::QTable::new();
+        let scalar_above = |pdf: &Pdf, threshold: f64, sigma: f64| -> f64 {
+            let inv_sigma = 1.0 / sigma;
+            let (i_lo, i_hi) = pdf.z_band(threshold, sigma, -1.0, -8.0, 37.5);
+            let mut p = 0.0;
+            for (i, &d) in pdf.samples()[i_lo..i_hi].iter().enumerate() {
+                if d == 0.0 {
+                    continue;
+                }
+                p += d * tab.q((threshold - pdf.x(i_lo + i)) * inv_sigma);
+            }
+            p += pdf.samples()[i_hi..].iter().sum::<f64>();
+            (p * pdf.step()).min(1.0)
+        };
+        let scalar_below = |pdf: &Pdf, threshold: f64, sigma: f64| -> f64 {
+            let inv_sigma = 1.0 / sigma;
+            let (i_lo, i_hi) = pdf.z_band(threshold, sigma, 1.0, -8.0, 37.5);
+            let mut p = pdf.samples()[..i_lo].iter().sum::<f64>();
+            for (i, &d) in pdf.samples()[i_lo..i_hi].iter().enumerate() {
+                if d == 0.0 {
+                    continue;
+                }
+                p += d * tab.q((pdf.x(i_lo + i) - threshold) * inv_sigma);
+            }
+            (p * pdf.step()).min(1.0)
+        };
+        let pdfs = [
+            Pdf::uniform(0.4, STEP).convolve(&Pdf::sinusoidal(0.1, STEP)),
+            Pdf::dual_dirac(0.4, STEP),
+            Pdf::uniform(0.013, STEP),
+        ];
+        for pdf in &pdfs {
+            for t in [-0.4, 0.0, 0.05, 0.21, 0.6] {
+                for sigma in [0.004, 0.021] {
+                    let fast = pdf.gaussian_exceed_above_with(t, sigma, &tab);
+                    let want = scalar_above(pdf, t, sigma);
+                    assert_eq!(fast.to_bits(), want.to_bits(), "above t={t} σ={sigma}");
+                    let fast = pdf.gaussian_exceed_below_with(t, sigma, &tab);
+                    let want = scalar_below(pdf, t, sigma);
+                    assert_eq!(fast.to_bits(), want.to_bits(), "below t={t} σ={sigma}");
+                }
+            }
         }
     }
 
