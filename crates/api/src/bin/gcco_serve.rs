@@ -33,7 +33,7 @@
 //!     Ask the server to drain and exit.
 //! ```
 
-use gcco_api::json::{parse_client_line, ClientLine, Envelope};
+use gcco_api::json::{parse_client_line, ClientLine, Envelope, PROTOCOL_VERSION};
 use gcco_api::serve::{client_roundtrip, fetch_metrics, send_shutdown, serve, ServeConfig};
 use gcco_api::{DsimRunSpec, Engine, EngineConfig, EvalRequest, ModelSpec, SjOverride};
 use gcco_faults::{ScriptedFaults, SeededStoreFaults, When};
@@ -219,6 +219,7 @@ fn demo(addr: SocketAddr) -> Result<i32, gcco_api::GccoError> {
     let envelopes = vec![
         Envelope {
             id: 1,
+            v: Some(PROTOCOL_VERSION),
             deadline_ms: None,
             request: EvalRequest::BerPoint {
                 spec: spec.clone(),
@@ -230,6 +231,7 @@ fn demo(addr: SocketAddr) -> Result<i32, gcco_api::GccoError> {
         },
         Envelope {
             id: 2,
+            v: Some(PROTOCOL_VERSION),
             deadline_ms: None,
             request: EvalRequest::FtolSearch {
                 spec,
@@ -238,6 +240,7 @@ fn demo(addr: SocketAddr) -> Result<i32, gcco_api::GccoError> {
         },
         Envelope {
             id: 3,
+            v: Some(PROTOCOL_VERSION),
             deadline_ms: None,
             request: EvalRequest::DsimRun {
                 run: DsimRunSpec::paper_ring(),

@@ -22,13 +22,17 @@
 
 use crate::error::GccoError;
 use crate::request::{
-    DsimRunOut, DsimRunSpec, EvalRequest, EvalResponse, PowerPointOut, PowerScanSpec, SizedCellOut,
+    ChannelOut, DsimRunOut, DsimRunSpec, EvalRequest, EvalResponse, MultiChannelSpec,
+    PowerPointOut, PowerScanSpec, SizedCellOut,
 };
 use crate::spec::ModelSpec;
 use gcco_dsim::{GateFunc, LogicGate, Simulator};
-use gcco_noise::{iss_log_grid, size_for_jitter, tradeoff_point, PhaseNoiseModel};
+use gcco_noise::{
+    iss_log_grid, size_for_jitter, tradeoff_point, ChannelPowerBudget, PhaseNoiseModel,
+    PAPER_MW_PER_GBPS_BUDGET,
+};
 use gcco_obs::{Counter, Registry};
-use gcco_stat::{available_workers, par_map_grid, SweepContext};
+use gcco_stat::{available_workers, par_map_grid, settling_time_ui, SweepContext};
 use gcco_store::Store;
 use gcco_units::{Current, Freq, Time, Ui, Voltage};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -489,7 +493,98 @@ impl Engine {
                 guard.check()?;
                 Ok(EvalResponse::Dsim { run: dsim_run(run) })
             }
+            EvalRequest::MultiChannel { mc } => {
+                guard.check()?;
+                self.multi_channel(mc, guard)
+            }
         }
+    }
+
+    /// Evaluates a multi-channel scenario: every lane's BER is computed
+    /// **through [`Engine::dispatch_stored`] as a [`EvalRequest::BerPoint`]
+    /// sub-request**, so with a store attached each lane is journaled
+    /// under its own canonical key and a campaign killed mid-group
+    /// resumes from the finished lanes; settling time is the closed-form
+    /// [`settling_time_ui`] on the lane's model (no context needed, so a
+    /// fully warm replay builds nothing).
+    ///
+    /// Lanes are independent, so the parallel fan-out and the
+    /// deadline-guarded serial loop produce bit-identical lane vectors —
+    /// `par_map_grid` returns results in input order.
+    fn multi_channel(
+        &self,
+        mc: &MultiChannelSpec,
+        guard: DeadlineGuard,
+    ) -> Result<EvalResponse, GccoError> {
+        let specs = mc.channel_specs();
+        let eval_channel = |i: usize, lane: &ModelSpec| -> Result<ChannelOut, GccoError> {
+            let sub = EvalRequest::BerPoint {
+                spec: lane.clone(),
+                sj: None,
+            };
+            let ber = match self.dispatch_stored(&sub, guard)? {
+                EvalResponse::Scalar { value } => value,
+                other => {
+                    // Only reachable if a store journaled a non-scalar
+                    // value under a ber_point key — corruption, not a
+                    // client mistake.
+                    return Err(GccoError::Io(format!(
+                        "channel {i}: stored ber_point value has kind \"{}\"",
+                        other.kind()
+                    )));
+                }
+            };
+            let settling_ui = settling_time_ui(&lane.build()?);
+            Ok(ChannelOut {
+                index: i as u32,
+                freq_offset: lane.freq_offset,
+                ber,
+                settling_ui,
+            })
+        };
+        let channels: Vec<ChannelOut> = if guard.is_set() {
+            let mut out = Vec::with_capacity(specs.len());
+            for (i, lane) in specs.iter().enumerate() {
+                guard.check()?;
+                out.push(eval_channel(i, lane)?);
+            }
+            out
+        } else {
+            par_map_grid(&specs, self.workers, |i, lane| eval_channel(i, lane))
+                .into_iter()
+                .collect::<Result<Vec<_>, GccoError>>()?
+        };
+        let worst_ber = channels.iter().map(|c| c.ber).fold(0.0_f64, f64::max);
+        let passing = channels.iter().filter(|c| c.ber <= mc.target_ber).count();
+        let yield_pct = 100.0 * passing as f64 / channels.len() as f64;
+        // Power roll-up: size one paper delay cell for the *per-channel*
+        // oscillator jitter budget (the control-current ripple is shared
+        // across lanes, not a per-cell thermal contribution) and scale to
+        // the full 16-cell channel. `size_for_jitter` requires a strictly
+        // positive jitter target, so a noiseless spec reports no roll-up.
+        let f_bit = Freq::from_gbps(mc.bit_rate_gbps);
+        let mw_per_gbps = if mc.spec.ckj_rms > 0.0 {
+            size_for_jitter(
+                PhaseNoiseModel::Hajimiri { eta: 0.75 },
+                Voltage::from_volts(0.4),
+                f_bit,
+                4,
+                mc.spec.cid_max,
+                mc.spec.ckj_rms,
+                Current::from_amps(0.01),
+            )
+            .map(|cell| ChannelPowerBudget::paper_channel(cell).mw_per_gbps(f_bit))
+        } else {
+            None
+        };
+        let within_budget = mw_per_gbps.is_some_and(|m| m < PAPER_MW_PER_GBPS_BUDGET);
+        Ok(EvalResponse::MultiChannel {
+            channels,
+            worst_ber,
+            yield_pct,
+            mw_per_gbps,
+            within_budget,
+        })
     }
 
     fn power_scan(
@@ -888,6 +983,78 @@ mod tests {
             })
             .unwrap();
         assert_ne!(a, c, "different seed, different jittered run");
+    }
+
+    #[test]
+    fn multi_channel_matches_direct_per_lane_evaluation() {
+        let parallel = Engine::with_config(EngineConfig {
+            cache_capacity: 8,
+            workers: Some(2),
+        });
+        let serial = Engine::with_config(EngineConfig {
+            cache_capacity: 8,
+            workers: Some(1),
+        });
+        let mc = MultiChannelSpec::paper_quad();
+        let req = EvalRequest::MultiChannel { mc: mc.clone() };
+        let par = parallel.evaluate(&req).unwrap();
+        let ser = serial.evaluate(&req).unwrap();
+        assert_eq!(par, ser, "lane fan-out must not depend on worker count");
+        let EvalResponse::MultiChannel {
+            channels,
+            worst_ber,
+            yield_pct,
+            mw_per_gbps,
+            within_budget,
+        } = par
+        else {
+            panic!("unexpected response shape");
+        };
+        assert_eq!(channels.len(), mc.channels as usize);
+        for (i, (lane, out)) in mc.channel_specs().iter().zip(&channels).enumerate() {
+            assert_eq!(out.index as usize, i);
+            assert_eq!(out.freq_offset.to_bits(), lane.freq_offset.to_bits());
+            let direct_ber = serial.context_for(lane).unwrap().ber();
+            assert_eq!(out.ber.to_bits(), direct_ber.to_bits(), "lane {i} BER");
+            let direct_settling = settling_time_ui(&lane.build().unwrap());
+            assert_eq!(
+                out.settling_ui.to_bits(),
+                direct_settling.to_bits(),
+                "lane {i} settling"
+            );
+        }
+        let expected_worst = channels.iter().map(|c| c.ber).fold(0.0_f64, f64::max);
+        assert_eq!(worst_ber.to_bits(), expected_worst.to_bits());
+        let expected_yield = 100.0
+            * channels.iter().filter(|c| c.ber <= mc.target_ber).count() as f64
+            / channels.len() as f64;
+        assert_eq!(yield_pct.to_bits(), expected_yield.to_bits());
+        let mw = mw_per_gbps.expect("paper jitter budget is positive");
+        assert!(mw > 0.0, "{mw}");
+        assert_eq!(within_budget, mw < PAPER_MW_PER_GBPS_BUDGET);
+    }
+
+    #[test]
+    fn multi_channel_deadline_path_matches_unlimited() {
+        let engine = Engine::with_config(EngineConfig {
+            cache_capacity: 8,
+            workers: Some(2),
+        });
+        let req = EvalRequest::MultiChannel {
+            mc: MultiChannelSpec {
+                channels: 2,
+                ..MultiChannelSpec::paper_quad()
+            },
+        };
+        let free = engine.evaluate(&req).unwrap();
+        let timed = engine
+            .evaluate_with_deadline(&req, DeadlineGuard::after_ms(600_000))
+            .unwrap();
+        assert_eq!(free, timed, "guarded serial loop must not change values");
+        let err = engine
+            .evaluate_with_deadline(&req, DeadlineGuard::after_ms(0))
+            .expect_err("zero deadline trips");
+        assert_eq!(err, GccoError::DeadlineExceeded { deadline_ms: 0 });
     }
 
     #[test]

@@ -36,6 +36,12 @@ pub enum GccoError {
     Io(String),
     /// The service is shutting down and no longer accepts new work.
     ShuttingDown,
+    /// An envelope declared a protocol version this build does not speak
+    /// (see `gcco_api::json::PROTOCOL_VERSION` for the current one).
+    UnsupportedVersion {
+        /// The version the envelope declared.
+        v: u64,
+    },
 }
 
 impl GccoError {
@@ -49,6 +55,7 @@ impl GccoError {
             GccoError::DuplicateId { .. } => "duplicate_id",
             GccoError::Io(_) => "io_error",
             GccoError::ShuttingDown => "shutting_down",
+            GccoError::UnsupportedVersion { .. } => "unsupported_version",
         }
     }
 
@@ -66,6 +73,12 @@ impl GccoError {
                 format!("request id {id} appears more than once in the batch")
             }
             GccoError::ShuttingDown => "service is shutting down".to_string(),
+            GccoError::UnsupportedVersion { v } => {
+                format!(
+                    "protocol version {v} is not supported (this build speaks v2; \
+                     v1 envelopes — no \"v\" field — are still accepted)"
+                )
+            }
         }
     }
 }
@@ -104,6 +117,10 @@ mod tests {
             GccoError::InvalidSpec("x".into()).to_string(),
             "invalid_spec: x"
         );
+        let v = GccoError::UnsupportedVersion { v: 3 };
+        assert_eq!(v.kind(), "unsupported_version");
+        assert!(v.detail().contains('3'));
+        assert!(v.detail().contains("v2"));
     }
 
     #[test]

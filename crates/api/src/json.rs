@@ -11,12 +11,33 @@
 
 use crate::error::GccoError;
 use crate::request::{
-    DsimRunOut, DsimRunSpec, EvalRequest, EvalResponse, JtolPointOut, PowerPointOut, PowerScanSpec,
-    SizedCellOut, SjOverride,
+    ChannelOut, DsimRunOut, DsimRunSpec, EvalRequest, EvalResponse, JtolPointOut, MultiChannelSpec,
+    PowerPointOut, PowerScanSpec, SizedCellOut, SjOverride,
 };
 use crate::spec::{ModelSpec, RunDistSpec};
 use gcco_stat::{EdgeModel, SamplingTap};
 use std::fmt::Write as _;
+
+/// The protocol version this build speaks. Envelopes may declare theirs
+/// in an optional top-level `"v"` field; see [`parse_envelope`]'s gate in
+/// [`parse_client_line`] for the acceptance policy:
+///
+/// * `"v": 2` — current, accepted.
+/// * `"v": 1` or no `"v"` field — the pre-versioning wire format,
+///   accepted for one release; responses to such envelopes carry a
+///   `"note"` field with [`V1_DEPRECATION_NOTE`].
+/// * anything else — rejected with
+///   [`GccoError::UnsupportedVersion`] (wire kind
+///   `"unsupported_version"`), so a client from the future gets a
+///   structured error instead of a confusing field-level parse failure.
+pub const PROTOCOL_VERSION: u64 = 2;
+
+/// Deprecation note attached (as a top-level `"note"` field) to every
+/// response for a v1 envelope — one that declared `"v":1` or carried no
+/// `"v"` field at all.
+pub const V1_DEPRECATION_NOTE: &str =
+    "protocol v1 envelope (no \"v\" field) is deprecated and will be rejected \
+     in the next release; send \"v\":2";
 
 /// A parsed JSON value.
 #[derive(Clone, Debug, PartialEq)]
@@ -581,6 +602,18 @@ pub fn encode_request(req: &EvalRequest) -> String {
             json_f64(run.jitter_rel),
             json_f64(run.duration_ns)
         ),
+        EvalRequest::MultiChannel { mc } => format!(
+            "{{\"type\":\"multi_channel\",\"mc\":{{\"channels\":{},\"mismatch_sigma\":{},\
+             \"ripple_rms_ui\":{},\"seed\":{},\"bit_rate_gbps\":{},\"target_ber\":{},\
+             \"spec\":{}}}}}",
+            mc.channels,
+            json_f64(mc.mismatch_sigma),
+            json_f64(mc.ripple_rms_ui),
+            mc.seed,
+            json_f64(mc.bit_rate_gbps),
+            json_f64(mc.target_ber),
+            encode_model_spec(&mc.spec)
+        ),
     }
 }
 
@@ -644,6 +677,20 @@ pub fn parse_request(v: &Json) -> Result<EvalRequest, GccoError> {
                     stage_delay_ps: r.field("stage_delay_ps")?.as_f64("stage_delay_ps")?,
                     jitter_rel: r.field("jitter_rel")?.as_f64("jitter_rel")?,
                     duration_ns: r.field("duration_ns")?.as_f64("duration_ns")?,
+                },
+            })
+        }
+        "multi_channel" => {
+            let m = v.field("mc")?;
+            Ok(EvalRequest::MultiChannel {
+                mc: MultiChannelSpec {
+                    channels: m.field("channels")?.as_u64("channels")? as u32,
+                    mismatch_sigma: m.field("mismatch_sigma")?.as_f64("mismatch_sigma")?,
+                    ripple_rms_ui: m.field("ripple_rms_ui")?.as_f64("ripple_rms_ui")?,
+                    seed: m.field("seed")?.as_u64("seed")?,
+                    bit_rate_gbps: m.field("bit_rate_gbps")?.as_f64("bit_rate_gbps")?,
+                    target_ber: m.field("target_ber")?.as_f64("target_ber")?,
+                    spec: parse_model_spec(m.field("spec")?)?,
                 },
             })
         }
@@ -728,6 +775,37 @@ pub fn encode_response(resp: &EvalResponse) -> String {
             run.rising_edges,
             run.events
         ),
+        EvalResponse::MultiChannel {
+            channels,
+            worst_ber,
+            yield_pct,
+            mw_per_gbps,
+            within_budget,
+        } => {
+            let mut out = String::from("{\"type\":\"multi_channel\",\"channels\":[");
+            for (i, c) in channels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"index\":{},\"freq_offset\":{},\"ber\":{},\"settling_ui\":{}}}",
+                    c.index,
+                    json_f64(c.freq_offset),
+                    json_f64(c.ber),
+                    json_f64(c.settling_ui)
+                );
+            }
+            let _ = write!(
+                out,
+                "],\"worst_ber\":{},\"yield_pct\":{},\"mw_per_gbps\":{},\"within_budget\":{}}}",
+                json_f64(*worst_ber),
+                json_f64(*yield_pct),
+                mw_per_gbps.map_or("null".to_string(), json_f64),
+                within_budget
+            );
+            out
+        }
     }
 }
 
@@ -802,6 +880,28 @@ pub fn parse_response(v: &Json) -> Result<EvalResponse, GccoError> {
                 },
             })
         }
+        "multi_channel" => Ok(EvalResponse::MultiChannel {
+            channels: v
+                .field("channels")?
+                .as_arr("channels")?
+                .iter()
+                .map(|c| {
+                    Ok(ChannelOut {
+                        index: c.field("index")?.as_u64("index")? as u32,
+                        freq_offset: c.field("freq_offset")?.as_f64("freq_offset")?,
+                        ber: c.field("ber")?.as_f64("ber")?,
+                        settling_ui: c.field("settling_ui")?.as_f64("settling_ui")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, GccoError>>()?,
+            worst_ber: v.field("worst_ber")?.as_f64("worst_ber")?,
+            yield_pct: v.field("yield_pct")?.as_f64("yield_pct")?,
+            mw_per_gbps: match v.field("mw_per_gbps")? {
+                Json::Null => None,
+                m => Some(m.as_f64("mw_per_gbps")?),
+            },
+            within_budget: v.field("within_budget")?.as_bool("within_budget")?,
+        }),
         other => Err(GccoError::Parse(format!(
             "unknown response type \"{other}\""
         ))),
@@ -817,10 +917,22 @@ pub fn parse_response(v: &Json) -> Result<EvalResponse, GccoError> {
 pub struct Envelope {
     /// Client-chosen request id, echoed on the response line.
     pub id: u64,
+    /// Declared protocol version; `None` means the field was absent —
+    /// the legacy v1 format. See [`PROTOCOL_VERSION`] for the policy.
+    pub v: Option<u64>,
     /// Optional per-request deadline in milliseconds.
     pub deadline_ms: Option<u64>,
     /// The request payload.
     pub request: EvalRequest,
+}
+
+impl Envelope {
+    /// Whether this envelope used the deprecated pre-versioning format
+    /// (`"v"` absent or `1`); responses to such envelopes carry
+    /// [`V1_DEPRECATION_NOTE`].
+    pub fn is_legacy(&self) -> bool {
+        self.v.unwrap_or(1) < PROTOCOL_VERSION
+    }
 }
 
 /// One parsed client line.
@@ -833,12 +945,24 @@ pub enum ClientLine {
 }
 
 fn parse_envelope(v: &Json) -> Result<Envelope, GccoError> {
+    let version = match v.get("v") {
+        None | Some(Json::Null) => None,
+        Some(x) => Some(x.as_u64("v")?),
+    };
+    // Version gate before touching the payload: a future request kind
+    // should fail with a structured version error, not a field-level
+    // parse error inside a request shape this build has never heard of.
+    match version {
+        None | Some(1) | Some(PROTOCOL_VERSION) => {}
+        Some(other) => return Err(GccoError::UnsupportedVersion { v: other }),
+    }
     let deadline_ms = match v.get("deadline_ms") {
         None | Some(Json::Null) => None,
         Some(d) => Some(d.as_u64("deadline_ms")?),
     };
     Ok(Envelope {
         id: v.field("id")?.as_u64("id")?,
+        v: version,
         deadline_ms,
         request: parse_request(v.field("request")?)?,
     })
@@ -887,13 +1011,17 @@ pub fn parse_client_line(line: &str) -> Result<ClientLine, GccoError> {
 }
 
 /// Encodes an [`Envelope`] as one client line (no trailing newline).
+/// A `v: None` envelope is emitted without a `"v"` field, byte-faithful
+/// to the legacy format it parsed from.
 pub fn encode_envelope(env: &Envelope) -> String {
     let deadline = env
         .deadline_ms
         .map_or("null".to_string(), |d| d.to_string());
+    let version = env.v.map_or(String::new(), |v| format!("\"v\":{v},"));
     format!(
-        "{{\"id\":{},\"deadline_ms\":{},\"request\":{}}}",
+        "{{\"id\":{},{}\"deadline_ms\":{},\"request\":{}}}",
         env.id,
+        version,
         deadline,
         encode_request(&env.request)
     )
@@ -915,11 +1043,25 @@ pub fn encode_batch(envs: &[Envelope]) -> String {
 /// Encodes one response line for the given request id (no trailing
 /// newline): `{"id":N,"ok":{...}}` or `{"id":N,"err":{...}}`.
 pub fn encode_result_line(id: u64, result: &Result<EvalResponse, GccoError>) -> String {
+    encode_result_line_with_note(id, None, result)
+}
+
+/// Like [`encode_result_line`], with an optional advisory `"note"` field
+/// between the id and the payload — how the server attaches
+/// [`V1_DEPRECATION_NOTE`] to responses for legacy envelopes without
+/// disturbing the `ok`/`err` shape.
+pub fn encode_result_line_with_note(
+    id: u64,
+    note: Option<&str>,
+    result: &Result<EvalResponse, GccoError>,
+) -> String {
+    let note = note.map_or(String::new(), |n| format!("\"note\":{},", json_string(n)));
     match result {
-        Ok(resp) => format!("{{\"id\":{},\"ok\":{}}}", id, encode_response(resp)),
+        Ok(resp) => format!("{{\"id\":{},{}\"ok\":{}}}", id, note, encode_response(resp)),
         Err(e) => format!(
-            "{{\"id\":{},\"err\":{{\"kind\":{},\"detail\":{}}}}}",
+            "{{\"id\":{},{}\"err\":{{\"kind\":{},\"detail\":{}}}}}",
             id,
+            note,
             json_string(e.kind()),
             json_string(&e.detail())
         ),
@@ -946,6 +1088,8 @@ pub fn encode_error_line(e: &GccoError) -> String {
 pub struct ResultLine {
     /// The echoed request id.
     pub id: u64,
+    /// Advisory server note (e.g. the v1 deprecation warning), if any.
+    pub note: Option<String>,
     /// The response or the wire error.
     pub result: Result<EvalResponse, (String, String)>,
 }
@@ -958,15 +1102,21 @@ pub struct ResultLine {
 pub fn parse_result_line(line: &str) -> Result<ResultLine, GccoError> {
     let v = Json::parse(line)?;
     let id = v.field("id")?.as_u64("id")?;
+    let note = match v.get("note") {
+        None | Some(Json::Null) => None,
+        Some(n) => Some(n.as_str("note")?.to_string()),
+    };
     if let Some(ok) = v.get("ok") {
         return Ok(ResultLine {
             id,
+            note,
             result: Ok(parse_response(ok)?),
         });
     }
     let err = v.field("err")?;
     Ok(ResultLine {
         id,
+        note,
         result: Err((
             err.field("kind")?.as_str("kind")?.to_string(),
             err.field("detail")?.as_str("detail")?.to_string(),
@@ -1051,6 +1201,7 @@ mod tests {
     fn envelope_and_result_lines_round_trip() {
         let env = Envelope {
             id: 7,
+            v: Some(PROTOCOL_VERSION),
             deadline_ms: Some(250),
             request: EvalRequest::FtolSearch {
                 spec: ModelSpec::paper_table1(),
@@ -1085,6 +1236,7 @@ mod tests {
     fn duplicate_batch_ids_are_rejected() {
         let env = Envelope {
             id: 7,
+            v: None,
             deadline_ms: None,
             request: EvalRequest::FtolSearch {
                 spec: ModelSpec::paper_table1(),
@@ -1124,5 +1276,124 @@ mod tests {
             parse_client_line("{\"cmd\":\"shutdown\"}").unwrap(),
             ClientLine::Command("shutdown".to_string())
         );
+    }
+
+    #[test]
+    fn multi_channel_request_and_response_round_trip() {
+        let req = EvalRequest::MultiChannel {
+            mc: MultiChannelSpec::paper_quad(),
+        };
+        let text = encode_request(&req);
+        let back = parse_request(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, req);
+
+        let resp = EvalResponse::MultiChannel {
+            channels: vec![
+                ChannelOut {
+                    index: 0,
+                    freq_offset: 0.0013,
+                    ber: 1e-15,
+                    settling_ui: 9.25,
+                },
+                ChannelOut {
+                    index: 1,
+                    freq_offset: -0.002,
+                    ber: 2.5e-13,
+                    settling_ui: 11.0,
+                },
+            ],
+            worst_ber: 2.5e-13,
+            yield_pct: 100.0,
+            mw_per_gbps: Some(3.8),
+            within_budget: true,
+        };
+        let text = encode_response(&resp);
+        let back = parse_response(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, resp);
+
+        // The null side of the optional power roll-up.
+        let resp = EvalResponse::MultiChannel {
+            channels: vec![],
+            worst_ber: 1.0,
+            yield_pct: 0.0,
+            mw_per_gbps: None,
+            within_budget: false,
+        };
+        let text = encode_response(&resp);
+        assert!(text.contains("\"mw_per_gbps\":null"), "{text}");
+        assert_eq!(parse_response(&Json::parse(&text).unwrap()).unwrap(), resp);
+    }
+
+    #[test]
+    fn version_gate_accepts_v1_v2_and_rejects_the_rest() {
+        let request = "{\"type\":\"ftol_search\",\"spec\":SPEC,\"target_ber\":1e-12}"
+            .replace("SPEC", &encode_model_spec(&ModelSpec::paper_table1()));
+
+        // Legacy: no "v" field. Accepted, flagged legacy, and re-encoded
+        // without inventing a version it never declared.
+        let legacy = format!("{{\"id\":1,\"request\":{request}}}");
+        let ClientLine::Requests(envs) = parse_client_line(&legacy).unwrap() else {
+            panic!("not requests");
+        };
+        assert_eq!(envs[0].v, None);
+        assert!(envs[0].is_legacy());
+        assert!(!encode_envelope(&envs[0]).contains("\"v\":"));
+
+        // Explicit v1 and current v2.
+        for (v, legacy_expected) in [(1, true), (2, false)] {
+            let line = format!("{{\"id\":1,\"v\":{v},\"request\":{request}}}");
+            let ClientLine::Requests(envs) = parse_client_line(&line).unwrap() else {
+                panic!("not requests");
+            };
+            assert_eq!(envs[0].v, Some(v));
+            assert_eq!(envs[0].is_legacy(), legacy_expected, "v{v}");
+            let reencoded = encode_envelope(&envs[0]);
+            assert!(reencoded.contains(&format!("\"v\":{v}")), "{reencoded}");
+        }
+
+        // Unknown versions get the structured error — even when the
+        // payload would not parse, the version gate fires first.
+        for line in [
+            format!("{{\"id\":1,\"v\":3,\"request\":{request}}}"),
+            "{\"id\":1,\"v\":99,\"request\":{\"type\":\"from_the_future\"}}".to_string(),
+        ] {
+            let err = parse_client_line(&line).expect_err("unknown v must be rejected");
+            assert!(
+                matches!(err, GccoError::UnsupportedVersion { .. }),
+                "{line}: {err:?}"
+            );
+            assert_eq!(err.kind(), "unsupported_version");
+        }
+
+        // A non-integer version is a parse error, not a crash.
+        let bad = format!("{{\"id\":1,\"v\":\"two\",\"request\":{request}}}");
+        assert!(matches!(parse_client_line(&bad), Err(GccoError::Parse(_))));
+    }
+
+    #[test]
+    fn result_line_notes_round_trip_and_default_off() {
+        let plain = encode_result_line(4, &Ok(EvalResponse::Scalar { value: 1.0 }));
+        assert!(!plain.contains("note"), "{plain}");
+        assert_eq!(parse_result_line(&plain).unwrap().note, None);
+
+        let noted = encode_result_line_with_note(
+            4,
+            Some(V1_DEPRECATION_NOTE),
+            &Ok(EvalResponse::Scalar { value: 1.0 }),
+        );
+        let parsed = parse_result_line(&noted).unwrap();
+        assert_eq!(parsed.id, 4);
+        assert_eq!(parsed.note.as_deref(), Some(V1_DEPRECATION_NOTE));
+        assert_eq!(parsed.result, Ok(EvalResponse::Scalar { value: 1.0 }));
+
+        // Notes ride on error lines too.
+        let err_line = encode_result_line_with_note(
+            5,
+            Some(V1_DEPRECATION_NOTE),
+            &Err(GccoError::ShuttingDown),
+        );
+        let parsed = parse_result_line(&err_line).unwrap();
+        assert_eq!(parsed.note.as_deref(), Some(V1_DEPRECATION_NOTE));
+        assert_eq!(parsed.result.unwrap_err().0, "shutting_down");
     }
 }

@@ -2,9 +2,10 @@
 //!
 //! Everything this repository can compute — BER points and grids
 //! (Figs. 9/10/17), jitter-tolerance curves, the §2.3 frequency-tolerance
-//! search, the Fig. 11 power/phase-noise scan, event-driven ring runs —
-//! is expressible as one typed value, [`EvalRequest`], evaluated through
-//! one entry point, [`Engine`]:
+//! search, the Fig. 11 power/phase-noise scan, event-driven ring runs,
+//! multi-channel yield scenarios ([`MultiChannelSpec`]) — is expressible
+//! as one typed value, [`EvalRequest`], evaluated through one entry
+//! point, [`Engine`]:
 //!
 //! * [`ModelSpec`] — a plain-data, serializable, *validated* description
 //!   of a [`gcco_stat::GccoStatModel`] (the builders panic; specs return
@@ -61,7 +62,7 @@ mod spec;
 pub use engine::{DeadlineGuard, Engine, EngineConfig};
 pub use error::GccoError;
 pub use request::{
-    DsimRunOut, DsimRunSpec, EvalRequest, EvalResponse, JtolPointOut, PowerPointOut, PowerScanSpec,
-    SizedCellOut, SjOverride,
+    ChannelOut, DsimRunOut, DsimRunSpec, EvalRequest, EvalResponse, JtolPointOut, MultiChannelSpec,
+    PowerPointOut, PowerScanSpec, RequestParts, SizedCellOut, SjOverride,
 };
-pub use spec::{ModelSpec, RunDistSpec, DEFAULT_GRID_STEP};
+pub use spec::{ModelSpec, ModelSpecBuilder, RunDistSpec, DEFAULT_GRID_STEP};

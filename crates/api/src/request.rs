@@ -3,6 +3,9 @@
 
 use crate::error::GccoError;
 use crate::spec::ModelSpec;
+use gcco_faults::SplitMix64;
+use gcco_noise::compose_ripple_jitter;
+use gcco_stat::q_inverse;
 
 /// An explicit sinusoidal-jitter override for a single BER point: the BER
 /// is evaluated as if the spec's SJ were `(amplitude_pp, freq_norm)`,
@@ -158,6 +161,126 @@ impl DsimRunSpec {
     }
 }
 
+/// A multi-channel GCCO receiver scenario: `channels` gated-oscillator
+/// lanes hanging off one shared PLL, each lane carrying the base `spec`
+/// perturbed by a deterministic per-channel frequency mismatch and the
+/// PLL's control-current ripple.
+///
+/// The per-channel mismatch is drawn from a Gaussian of RMS
+/// `mismatch_sigma` via the seeded [`SplitMix64`] stream and the
+/// workspace's own deterministic normal inverse ([`q_inverse`]), so the
+/// derived lane specs — and therefore every BER, settling time, and
+/// cache key downstream — are bit-identical across platforms, worker
+/// counts, and store generations. The ripple is *shared* (the PLL is
+/// common), so it enters every lane as the same correlated jitter term,
+/// composed with the lane's own oscillator jitter in RSS
+/// ([`compose_ripple_jitter`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MultiChannelSpec {
+    /// Number of gated-oscillator lanes sharing the PLL.
+    pub channels: u32,
+    /// RMS of the per-channel relative frequency mismatch (the PLL
+    /// replica-bias spread), as a fraction of the data rate.
+    pub mismatch_sigma: f64,
+    /// Shared control-current ripple, RMS UI, injected into every lane's
+    /// sampling-clock jitter.
+    pub ripple_rms_ui: f64,
+    /// Seed of the mismatch draw (scenarios are deterministic per seed).
+    pub seed: u64,
+    /// Per-channel data rate, Gbit/s (the paper's 2.5).
+    pub bit_rate_gbps: f64,
+    /// BER a lane must meet to count toward the aggregate yield.
+    pub target_ber: f64,
+    /// The base channel model every lane starts from.
+    pub spec: ModelSpec,
+}
+
+impl MultiChannelSpec {
+    /// The paper-shaped default group: 4 lanes at 2.5 Gbit/s off one PLL,
+    /// 0.2 % RMS frequency mismatch, 0.005 UI RMS shared ripple, Table 1
+    /// jitter, yield counted against BER 1e-12.
+    pub fn paper_quad() -> MultiChannelSpec {
+        MultiChannelSpec {
+            channels: 4,
+            mismatch_sigma: 0.002,
+            ripple_rms_ui: 0.005,
+            seed: 1,
+            bit_rate_gbps: 2.5,
+            target_ber: 1e-12,
+            spec: ModelSpec::paper_table1(),
+        }
+    }
+
+    /// Derives the per-lane [`ModelSpec`]s: lane `i` gets
+    /// `freq_offset = base + mismatch_sigma · z_i` with `z_i` the `i`-th
+    /// deterministic standard-normal draw of the seeded stream, and
+    /// `ckj_rms = RSS(base ckj, ripple)` identical across lanes (the
+    /// ripple is common-mode from the shared PLL).
+    ///
+    /// This is a pure function of the spec — the engine, the validator,
+    /// and the tests all call it and must agree bit-for-bit.
+    pub fn channel_specs(&self) -> Vec<ModelSpec> {
+        let mut rng = SplitMix64::new(self.seed);
+        let ckj = compose_ripple_jitter(self.spec.ckj_rms, self.ripple_rms_ui);
+        (0..self.channels)
+            .map(|_| {
+                // Uniform draw strictly inside (0, 1): the +0.5 offset on
+                // the 53-bit integer keeps both endpoints out, so the
+                // normal inverse below is always finite.
+                let u = ((rng.next_u64() >> 11) as f64 + 0.5) * 2f64.powi(-53);
+                let z = q_inverse(u);
+                ModelSpec {
+                    ckj_rms: ckj,
+                    freq_offset: self.spec.freq_offset + self.mismatch_sigma * z,
+                    ..self.spec.clone()
+                }
+            })
+            .collect()
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), GccoError> {
+        if !(1..=1024).contains(&self.channels) {
+            return Err(GccoError::InvalidSpec(format!(
+                "channels must lie in [1, 1024], got {}",
+                self.channels
+            )));
+        }
+        if !(self.mismatch_sigma.is_finite() && (0.0..=0.1).contains(&self.mismatch_sigma)) {
+            return Err(GccoError::InvalidSpec(format!(
+                "mismatch_sigma must lie in [0, 0.1], got {}",
+                self.mismatch_sigma
+            )));
+        }
+        if !(self.ripple_rms_ui.is_finite() && (0.0..=0.5).contains(&self.ripple_rms_ui)) {
+            return Err(GccoError::InvalidSpec(format!(
+                "ripple_rms_ui must lie in [0, 0.5], got {}",
+                self.ripple_rms_ui
+            )));
+        }
+        if !(self.bit_rate_gbps > 0.0 && self.bit_rate_gbps.is_finite()) {
+            return Err(GccoError::InvalidSpec(format!(
+                "bit_rate_gbps must be a positive finite number, got {}",
+                self.bit_rate_gbps
+            )));
+        }
+        if !(self.target_ber > 0.0 && self.target_ber < 1.0) {
+            return Err(GccoError::InvalidSpec(format!(
+                "target_ber must lie in (0, 1), got {}",
+                self.target_ber
+            )));
+        }
+        self.spec.validate()?;
+        // Every derived lane must itself be evaluable — a wild mismatch
+        // draw that walks a lane's |ε| past 0.5 is a spec problem, and it
+        // is better named here than deep inside a worker thread.
+        for (i, lane) in self.channel_specs().iter().enumerate() {
+            lane.validate()
+                .map_err(|e| GccoError::InvalidSpec(format!("channel {i}: {}", e.detail())))?;
+        }
+        Ok(())
+    }
+}
+
 /// One typed evaluation request: everything the workspace can compute,
 /// as data. Submit to an [`crate::Engine`] directly or over the wire via
 /// `gcco-serve`.
@@ -206,30 +329,129 @@ pub enum EvalRequest {
         /// Run parameters.
         run: DsimRunSpec,
     },
+    /// A multi-channel scenario: per-lane BER + settling, worst-lane BER,
+    /// aggregate yield, and the mW/Gbit/s power roll-up.
+    MultiChannel {
+        /// Scenario parameters.
+        mc: MultiChannelSpec,
+    },
+}
+
+/// The variant-independent facets of an [`EvalRequest`], resolved by one
+/// per-variant table ([`EvalRequest::parts`]) instead of a match arm per
+/// accessor. Adding a request kind means adding one row here; `kind()`,
+/// `model_spec()`, `cache_key()`, and `validate()` all read from it.
+#[derive(Clone, Copy, Debug)]
+pub struct RequestParts<'a> {
+    /// Short lowercase tag naming the variant (the wire `type` field).
+    pub kind: &'static str,
+    /// The model spec the request evaluates, when it has one.
+    pub model_spec: Option<&'a ModelSpec>,
 }
 
 impl EvalRequest {
-    /// Short lowercase tag naming the variant (the wire `type` field).
-    pub fn kind(&self) -> &'static str {
+    /// The single variant table: every accessor that used to duplicate a
+    /// six-way match (`kind`, `model_spec`, the shared prefix of
+    /// `cache_key`, the spec check of `validate`) reads from this one
+    /// place.
+    pub fn parts(&self) -> RequestParts<'_> {
         match self {
-            EvalRequest::BerPoint { .. } => "ber_point",
-            EvalRequest::BerGrid { .. } => "ber_grid",
-            EvalRequest::JtolCurve { .. } => "jtol_curve",
-            EvalRequest::FtolSearch { .. } => "ftol_search",
-            EvalRequest::PowerScan { .. } => "power_scan",
-            EvalRequest::DsimRun { .. } => "dsim_run",
+            EvalRequest::BerPoint { spec, .. } => RequestParts {
+                kind: "ber_point",
+                model_spec: Some(spec),
+            },
+            EvalRequest::BerGrid { spec, .. } => RequestParts {
+                kind: "ber_grid",
+                model_spec: Some(spec),
+            },
+            EvalRequest::JtolCurve { spec, .. } => RequestParts {
+                kind: "jtol_curve",
+                model_spec: Some(spec),
+            },
+            EvalRequest::FtolSearch { spec, .. } => RequestParts {
+                kind: "ftol_search",
+                model_spec: Some(spec),
+            },
+            EvalRequest::PowerScan { .. } => RequestParts {
+                kind: "power_scan",
+                model_spec: None,
+            },
+            EvalRequest::DsimRun { .. } => RequestParts {
+                kind: "dsim_run",
+                model_spec: None,
+            },
+            EvalRequest::MultiChannel { mc } => RequestParts {
+                kind: "multi_channel",
+                model_spec: Some(&mc.spec),
+            },
         }
     }
 
-    /// The model spec the request evaluates, when it has one.
+    /// Short lowercase tag naming the variant (the wire `type` field).
+    pub fn kind(&self) -> &'static str {
+        self.parts().kind
+    }
+
+    /// The model spec the request evaluates, when it has one (for
+    /// [`EvalRequest::MultiChannel`], the *base* spec the lanes derive
+    /// from).
     pub fn model_spec(&self) -> Option<&ModelSpec> {
-        match self {
-            EvalRequest::BerPoint { spec, .. }
-            | EvalRequest::BerGrid { spec, .. }
-            | EvalRequest::JtolCurve { spec, .. }
-            | EvalRequest::FtolSearch { spec, .. } => Some(spec),
-            EvalRequest::PowerScan { .. } | EvalRequest::DsimRun { .. } => None,
+        self.parts().model_spec
+    }
+
+    /// A single-point BER request with the spec's own sinusoidal jitter.
+    pub fn ber_point(spec: ModelSpec) -> EvalRequest {
+        EvalRequest::BerPoint { spec, sj: None }
+    }
+
+    /// A single-point BER request with the sinusoidal jitter overridden
+    /// to `(amplitude_pp, freq_norm)` for this point only.
+    pub fn ber_point_at(spec: ModelSpec, amplitude_pp: f64, freq_norm: f64) -> EvalRequest {
+        EvalRequest::BerPoint {
+            spec,
+            sj: Some(SjOverride {
+                amplitude_pp,
+                freq_norm,
+            }),
         }
+    }
+
+    /// A BER map over SJ amplitude × frequency (the Fig. 9/10/17 shape).
+    pub fn ber_grid(spec: ModelSpec, amps_pp: Vec<f64>, freqs_norm: Vec<f64>) -> EvalRequest {
+        EvalRequest::BerGrid {
+            spec,
+            amps_pp,
+            freqs_norm,
+        }
+    }
+
+    /// A jitter-tolerance curve against `target_ber`.
+    pub fn jtol_curve(spec: ModelSpec, freqs_norm: Vec<f64>, target_ber: f64) -> EvalRequest {
+        EvalRequest::JtolCurve {
+            spec,
+            freqs_norm,
+            target_ber,
+        }
+    }
+
+    /// The §2.3 frequency-tolerance bisection against `target_ber`.
+    pub fn ftol_search(spec: ModelSpec, target_ber: f64) -> EvalRequest {
+        EvalRequest::FtolSearch { spec, target_ber }
+    }
+
+    /// The Fig. 11 power/phase-noise trade-off scan.
+    pub fn power_scan(scan: PowerScanSpec) -> EvalRequest {
+        EvalRequest::PowerScan { scan }
+    }
+
+    /// An event-driven ring-oscillator run.
+    pub fn dsim_run(run: DsimRunSpec) -> EvalRequest {
+        EvalRequest::DsimRun { run }
+    }
+
+    /// A multi-channel scenario evaluation.
+    pub fn multi_channel(mc: MultiChannelSpec) -> EvalRequest {
+        EvalRequest::MultiChannel { mc }
     }
 
     /// Canonical content key for the whole request — the persistence
@@ -257,9 +479,10 @@ impl EvalRequest {
                 let _ = write!(key, "{:016x}", v.to_bits());
             }
         }
+        let parts = self.parts();
         let mut key = String::with_capacity(256);
-        key.push_str(self.kind());
-        if let Some(spec) = self.model_spec() {
+        key.push_str(parts.kind);
+        if let Some(spec) = parts.model_spec {
             key.push('|');
             key.push_str(&spec.cache_key());
         }
@@ -311,6 +534,19 @@ impl EvalRequest {
                 );
                 let _ = write!(key, "|x{:016x}.n{}", run.seed, run.stages);
             }
+            EvalRequest::MultiChannel { mc } => {
+                push_f64s(
+                    &mut key,
+                    'm',
+                    &[
+                        mc.mismatch_sigma,
+                        mc.ripple_rms_ui,
+                        mc.bit_rate_gbps,
+                        mc.target_ber,
+                    ],
+                );
+                let _ = write!(key, "|x{:016x}.n{}", mc.seed, mc.channels);
+            }
         }
         key
     }
@@ -345,9 +581,15 @@ impl EvalRequest {
             }
             Ok(())
         }
+        // The spec check is variant-independent: one table lookup instead
+        // of a `spec.validate()?` line repeated per arm. (For
+        // `MultiChannel` the base spec is checked here and the derived
+        // lanes below.)
+        if let Some(spec) = self.parts().model_spec {
+            spec.validate()?;
+        }
         match self {
-            EvalRequest::BerPoint { spec, sj } => {
-                spec.validate()?;
+            EvalRequest::BerPoint { sj, .. } => {
                 if let Some(sj) = sj {
                     if !(sj.amplitude_pp.is_finite() && sj.amplitude_pp >= 0.0) {
                         return Err(GccoError::InvalidSpec(format!(
@@ -360,11 +602,10 @@ impl EvalRequest {
                 Ok(())
             }
             EvalRequest::BerGrid {
-                spec,
                 amps_pp,
                 freqs_norm,
+                ..
             } => {
-                spec.validate()?;
                 if amps_pp.is_empty() {
                     return Err(GccoError::InvalidSpec(
                         "amplitude list must not be empty".to_string(),
@@ -380,20 +621,17 @@ impl EvalRequest {
                 check_freqs(freqs_norm)
             }
             EvalRequest::JtolCurve {
-                spec,
                 freqs_norm,
                 target_ber,
+                ..
             } => {
-                spec.validate()?;
                 check_freqs(freqs_norm)?;
                 check_target_ber(*target_ber)
             }
-            EvalRequest::FtolSearch { spec, target_ber } => {
-                spec.validate()?;
-                check_target_ber(*target_ber)
-            }
+            EvalRequest::FtolSearch { target_ber, .. } => check_target_ber(*target_ber),
             EvalRequest::PowerScan { scan } => scan.validate(),
             EvalRequest::DsimRun { run } => run.validate(),
+            EvalRequest::MultiChannel { mc } => mc.validate(),
         }
     }
 }
@@ -467,6 +705,20 @@ pub struct DsimRunOut {
     pub events: u64,
 }
 
+/// One lane of a multi-channel scenario result.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChannelOut {
+    /// Lane index (the position of its mismatch draw in the seeded
+    /// stream).
+    pub index: u32,
+    /// The lane's drawn relative frequency offset.
+    pub freq_offset: f64,
+    /// The lane's BER under the composed (oscillator + ripple) jitter.
+    pub ber: f64,
+    /// Expected lock/settling time of the lane, in UI.
+    pub settling_ui: f64,
+}
+
 /// The typed result of an [`EvalRequest`], one variant per request kind.
 #[derive(Clone, Debug, PartialEq)]
 pub enum EvalResponse {
@@ -503,6 +755,21 @@ pub enum EvalResponse {
         /// The run statistics.
         run: DsimRunOut,
     },
+    /// Multi-channel scenario roll-up.
+    MultiChannel {
+        /// Per-lane results, in lane order.
+        channels: Vec<ChannelOut>,
+        /// The worst (largest) per-lane BER.
+        worst_ber: f64,
+        /// Percentage of lanes meeting the scenario's target BER.
+        yield_pct: f64,
+        /// Per-channel power efficiency from the §3.2 sizing, mW per
+        /// Gbit/s, when the jitter budget was reachable.
+        mw_per_gbps: Option<f64>,
+        /// Whether the roll-up comes in under the paper's 5 mW/Gbit/s
+        /// budget ([`gcco_noise::PAPER_MW_PER_GBPS_BUDGET`]).
+        within_budget: bool,
+    },
 }
 
 impl EvalResponse {
@@ -515,6 +782,7 @@ impl EvalResponse {
             EvalResponse::Ftol { .. } => "ftol",
             EvalResponse::Power { .. } => "power",
             EvalResponse::Dsim { .. } => "dsim",
+            EvalResponse::MultiChannel { .. } => "multi_channel",
         }
     }
 }
@@ -551,6 +819,9 @@ mod tests {
             EvalRequest::DsimRun {
                 run: DsimRunSpec::paper_ring(),
             },
+            EvalRequest::MultiChannel {
+                mc: MultiChannelSpec::paper_quad(),
+            },
         ];
         let kinds: Vec<_> = reqs.iter().map(|r| r.kind()).collect();
         assert_eq!(
@@ -561,12 +832,105 @@ mod tests {
                 "jtol_curve",
                 "ftol_search",
                 "power_scan",
-                "dsim_run"
+                "dsim_run",
+                "multi_channel"
             ]
         );
         for r in &reqs {
             assert!(r.validate().is_ok(), "{:?}", r.kind());
         }
+    }
+
+    #[test]
+    fn constructor_helpers_build_the_same_requests_as_literals() {
+        let spec = ModelSpec::paper_table1();
+        assert_eq!(
+            EvalRequest::ber_point(spec.clone()),
+            EvalRequest::BerPoint {
+                spec: spec.clone(),
+                sj: None
+            }
+        );
+        assert_eq!(
+            EvalRequest::ber_point_at(spec.clone(), 0.5, 1e-3),
+            EvalRequest::BerPoint {
+                spec: spec.clone(),
+                sj: Some(SjOverride {
+                    amplitude_pp: 0.5,
+                    freq_norm: 1e-3
+                })
+            }
+        );
+        assert_eq!(
+            EvalRequest::ber_grid(spec.clone(), vec![0.1], vec![0.2]),
+            EvalRequest::BerGrid {
+                spec: spec.clone(),
+                amps_pp: vec![0.1],
+                freqs_norm: vec![0.2]
+            }
+        );
+        assert_eq!(
+            EvalRequest::jtol_curve(spec.clone(), vec![0.2], 1e-12),
+            EvalRequest::JtolCurve {
+                spec: spec.clone(),
+                freqs_norm: vec![0.2],
+                target_ber: 1e-12
+            }
+        );
+        assert_eq!(
+            EvalRequest::ftol_search(spec.clone(), 1e-12),
+            EvalRequest::FtolSearch {
+                spec,
+                target_ber: 1e-12
+            }
+        );
+        assert_eq!(
+            EvalRequest::power_scan(PowerScanSpec::paper_design()),
+            EvalRequest::PowerScan {
+                scan: PowerScanSpec::paper_design()
+            }
+        );
+        assert_eq!(
+            EvalRequest::dsim_run(DsimRunSpec::paper_ring()),
+            EvalRequest::DsimRun {
+                run: DsimRunSpec::paper_ring()
+            }
+        );
+        assert_eq!(
+            EvalRequest::multi_channel(MultiChannelSpec::paper_quad()),
+            EvalRequest::MultiChannel {
+                mc: MultiChannelSpec::paper_quad()
+            }
+        );
+    }
+
+    #[test]
+    fn channel_specs_are_deterministic_and_carry_the_composed_ripple() {
+        let mc = MultiChannelSpec::paper_quad();
+        let lanes = mc.channel_specs();
+        assert_eq!(lanes.len(), 4);
+        // Bit-identical on every call — the derivation is a pure function.
+        for (a, b) in lanes.iter().zip(mc.channel_specs().iter()) {
+            assert_eq!(a.cache_key(), b.cache_key());
+        }
+        // The ripple composes in RSS identically across lanes (shared
+        // PLL), and strictly exceeds the base oscillator jitter.
+        let ckj = compose_ripple_jitter(mc.spec.ckj_rms, mc.ripple_rms_ui);
+        for lane in &lanes {
+            assert_eq!(lane.ckj_rms.to_bits(), ckj.to_bits());
+            assert!(lane.ckj_rms > mc.spec.ckj_rms);
+        }
+        // Distinct lanes draw distinct offsets; a different seed draws a
+        // different set.
+        assert_ne!(lanes[0].freq_offset, lanes[1].freq_offset);
+        let reseeded = MultiChannelSpec {
+            seed: 2,
+            ..MultiChannelSpec::paper_quad()
+        };
+        assert_ne!(
+            reseeded.channel_specs()[0].freq_offset,
+            lanes[0].freq_offset
+        );
     }
 
     #[test]
@@ -613,6 +977,21 @@ mod tests {
                 run: DsimRunSpec {
                     seed: 2,
                     ..DsimRunSpec::paper_ring()
+                },
+            },
+            EvalRequest::MultiChannel {
+                mc: MultiChannelSpec::paper_quad(),
+            },
+            EvalRequest::MultiChannel {
+                mc: MultiChannelSpec {
+                    seed: 2,
+                    ..MultiChannelSpec::paper_quad()
+                },
+            },
+            EvalRequest::MultiChannel {
+                mc: MultiChannelSpec {
+                    channels: 8,
+                    ..MultiChannelSpec::paper_quad()
                 },
             },
         ];
@@ -669,6 +1048,30 @@ mod tests {
                 run: DsimRunSpec {
                     stages: 3,
                     ..DsimRunSpec::paper_ring()
+                },
+            },
+            EvalRequest::MultiChannel {
+                mc: MultiChannelSpec {
+                    channels: 0,
+                    ..MultiChannelSpec::paper_quad()
+                },
+            },
+            EvalRequest::MultiChannel {
+                mc: MultiChannelSpec {
+                    mismatch_sigma: -0.001,
+                    ..MultiChannelSpec::paper_quad()
+                },
+            },
+            EvalRequest::MultiChannel {
+                mc: MultiChannelSpec {
+                    ripple_rms_ui: f64::NAN,
+                    ..MultiChannelSpec::paper_quad()
+                },
+            },
+            EvalRequest::MultiChannel {
+                mc: MultiChannelSpec {
+                    target_ber: 0.0,
+                    ..MultiChannelSpec::paper_quad()
                 },
             },
         ];

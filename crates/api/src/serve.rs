@@ -4,13 +4,22 @@
 //! ## Protocol
 //!
 //! One JSON document per line. Clients submit either a single envelope
-//! `{"id":N,"deadline_ms":M,"request":{...}}`, a batch
+//! `{"id":N,"v":2,"deadline_ms":M,"request":{...}}`, a batch
 //! `{"batch":[envelope,...]}`, or a command `{"cmd":"ping"|"stats"|
 //! "metrics"|"shutdown"}`. The server answers every envelope with exactly
 //! one line, `{"id":N,"ok":{...}}` or `{"id":N,"err":{"kind":...,
 //! "detail":...}}`, in completion order (ids are the correlation
 //! mechanism, not ordering). Ids must be unique within a batch; a batch
 //! that reuses an id is rejected whole with a `duplicate_id` error.
+//!
+//! The optional `"v"` field declares the envelope's protocol version
+//! (see [`crate::json::PROTOCOL_VERSION`]): `2` is current; `1` — or an
+//! absent field, the pre-versioning format — is accepted for one more
+//! release, and every response to such an envelope carries a top-level
+//! `"note"` field with the deprecation warning
+//! ([`crate::json::V1_DEPRECATION_NOTE`]); any other version is rejected
+//! with a structured `unsupported_version` error before the request
+//! payload is even examined.
 //!
 //! A line the server cannot correlate to any envelope — malformed JSON,
 //! an unknown command — is answered with an **id-less** error object
@@ -41,8 +50,8 @@
 use crate::engine::{DeadlineGuard, Engine};
 use crate::error::GccoError;
 use crate::json::{
-    check_unique_ids, encode_batch, encode_error_line, encode_result_line, json_string,
-    parse_client_line, parse_result_line, ClientLine, Envelope, ResultLine,
+    check_unique_ids, encode_batch, encode_error_line, encode_result_line_with_note, json_string,
+    parse_client_line, parse_result_line, ClientLine, Envelope, ResultLine, V1_DEPRECATION_NOTE,
 };
 use crate::request::{EvalRequest, EvalResponse};
 use gcco_obs::{Counter, Gauge, Histogram, Registry};
@@ -81,10 +90,19 @@ const POLL: Duration = Duration::from_millis(25);
 
 struct Job {
     id: u64,
+    /// Whether the envelope used the deprecated v1 format — its response
+    /// gets the deprecation note attached.
+    legacy: bool,
     guard: DeadlineGuard,
     request: EvalRequest,
     reply: mpsc::Sender<String>,
     enqueued_at: Instant,
+}
+
+/// The advisory note for a response line: the deprecation warning for
+/// legacy (v1) envelopes, nothing otherwise.
+fn note_for(legacy: bool) -> Option<&'static str> {
+    legacy.then_some(V1_DEPRECATION_NOTE)
 }
 
 /// Pre-resolved serve-layer metric handles (all living in the engine's
@@ -145,11 +163,12 @@ impl Shared {
     fn answer(
         &self,
         id: u64,
+        legacy: bool,
         result: &Result<EvalResponse, GccoError>,
         reply: &mpsc::Sender<String>,
     ) {
         self.obs.count_outcome(result);
-        let _ = reply.send(encode_result_line(id, result));
+        let _ = reply.send(encode_result_line_with_note(id, note_for(legacy), result));
     }
 
     /// Enqueues one envelope, or answers it immediately on backpressure /
@@ -165,10 +184,11 @@ impl Shared {
     /// the flag read false is guaranteed to be drained.
     fn submit(&self, env: Envelope, reply: &mpsc::Sender<String>) {
         self.obs.requests_total.inc();
+        let legacy = env.is_legacy();
         let mut queue = self.queue.lock().expect("queue lock poisoned");
         if self.shutdown.load(Ordering::SeqCst) {
             drop(queue);
-            self.answer(env.id, &Err(GccoError::ShuttingDown), reply);
+            self.answer(env.id, legacy, &Err(GccoError::ShuttingDown), reply);
             return;
         }
         if queue.len() >= self.queue_capacity {
@@ -176,6 +196,7 @@ impl Shared {
             self.obs.queue_full_total.inc();
             self.answer(
                 env.id,
+                legacy,
                 &Err(GccoError::QueueFull {
                     capacity: self.queue_capacity,
                 }),
@@ -185,6 +206,7 @@ impl Shared {
         }
         queue.push_back(Job {
             id: env.id,
+            legacy,
             guard: DeadlineGuard::from_opt_ms(env.deadline_ms),
             request: env.request,
             reply: reply.clone(),
@@ -236,7 +258,11 @@ impl Shared {
                 .observe(job.enqueued_at.elapsed().as_secs_f64());
             let result = self.engine.evaluate_with_deadline(&job.request, job.guard);
             self.obs.count_outcome(&result);
-            let _ = job.reply.send(encode_result_line(job.id, &result));
+            let _ = job.reply.send(encode_result_line_with_note(
+                job.id,
+                note_for(job.legacy),
+                &result,
+            ));
         }
     }
 
@@ -783,6 +809,45 @@ mod tests {
         (shared, handles)
     }
 
+    /// A v1 (field-less) envelope is still served, but its response warns;
+    /// a v2 envelope's response stays clean.
+    #[test]
+    fn legacy_envelopes_get_the_deprecation_note() {
+        let (shared, workers) = shared_with_workers(1);
+        let (tx, rx) = mpsc::channel::<String>();
+        let run = DsimRunSpec {
+            seed: 1,
+            stages: 4,
+            stage_delay_ps: 50.0,
+            jitter_rel: 0.0,
+            duration_ns: 1.0,
+        };
+        for (id, v) in [(0u64, None), (1, Some(crate::json::PROTOCOL_VERSION))] {
+            shared.submit(
+                Envelope {
+                    id,
+                    v,
+                    deadline_ms: None,
+                    request: EvalRequest::DsimRun { run: run.clone() },
+                },
+                &tx,
+            );
+        }
+        shared.request_shutdown();
+        for w in workers {
+            w.join().expect("worker panicked");
+        }
+        let mut notes = std::collections::HashMap::new();
+        for _ in 0..2 {
+            let parsed =
+                parse_result_line(&rx.try_recv().expect("both envelopes answered")).unwrap();
+            assert!(parsed.result.is_ok(), "legacy requests still evaluate");
+            notes.insert(parsed.id, parsed.note);
+        }
+        assert_eq!(notes[&0].as_deref(), Some(V1_DEPRECATION_NOTE));
+        assert_eq!(notes[&1], None, "current-version responses carry no note");
+    }
+
     /// Regression for the submit-vs-shutdown race: `submit` used to check
     /// the shutdown flag *before* taking the queue lock, so a submitter
     /// could pass the check, stall, and enqueue after the last worker had
@@ -807,6 +872,7 @@ mod tests {
                 submitters.push(std::thread::spawn(move || {
                     let env = Envelope {
                         id,
+                        v: Some(crate::json::PROTOCOL_VERSION),
                         deadline_ms: None,
                         request: EvalRequest::DsimRun {
                             run: DsimRunSpec {

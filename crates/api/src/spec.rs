@@ -307,6 +307,139 @@ impl Default for ModelSpec {
     }
 }
 
+impl ModelSpec {
+    /// A validated builder starting from [`ModelSpec::paper_table1`] — the
+    /// struct-literal-free way to assemble a spec. Unlike `ModelSpec { ..
+    /// base }` update syntax, [`ModelSpecBuilder::build`] validates the
+    /// result, and [`ModelSpecBuilder::cid_max`] keeps the run
+    /// distribution consistent with the new CID bound unless one was set
+    /// explicitly.
+    pub fn builder() -> ModelSpecBuilder {
+        ModelSpecBuilder {
+            spec: ModelSpec::paper_table1(),
+            explicit_run_dist: false,
+        }
+    }
+}
+
+/// Builder for [`ModelSpec`] with validated output and paper-Table-1
+/// defaults. See [`ModelSpec::builder`].
+///
+/// # Examples
+///
+/// ```
+/// use gcco_api::ModelSpec;
+///
+/// let spec = ModelSpec::builder()
+///     .cid_max(7)
+///     .freq_offset(-0.01)
+///     .build()
+///     .expect("in range");
+/// assert_eq!(spec.cid_max, 7);
+/// // cid_max also re-derived the default geometric run distribution.
+/// assert_eq!(spec.run_dist, gcco_api::RunDistSpec::Geometric(7));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ModelSpecBuilder {
+    spec: ModelSpec,
+    /// Whether [`ModelSpecBuilder::run_dist`] was called: an explicit run
+    /// distribution survives later `cid_max` changes; the implicit
+    /// geometric default tracks them.
+    explicit_run_dist: bool,
+}
+
+impl ModelSpecBuilder {
+    /// Sets the deterministic input jitter, peak-to-peak UI.
+    pub fn dj_pp(mut self, v: f64) -> ModelSpecBuilder {
+        self.spec.dj_pp = v;
+        self
+    }
+
+    /// Sets the random input jitter, RMS UI.
+    pub fn rj_rms(mut self, v: f64) -> ModelSpecBuilder {
+        self.spec.rj_rms = v;
+        self
+    }
+
+    /// Sets the sinusoidal jitter (amplitude pp UI, normalized frequency).
+    pub fn sj(mut self, amplitude_pp: f64, freq_norm: f64) -> ModelSpecBuilder {
+        self.spec.sj_pp = amplitude_pp;
+        self.spec.sj_freq_norm = freq_norm;
+        self
+    }
+
+    /// Sets the oscillator (sampling-clock) jitter at `cid_max`, RMS UI.
+    pub fn ckj_rms(mut self, v: f64) -> ModelSpecBuilder {
+        self.spec.ckj_rms = v;
+        self
+    }
+
+    /// Sets the CID bound — and, unless a run distribution was set
+    /// explicitly, re-derives the default geometric distribution truncated
+    /// at the new bound (the invariant `paper_table1` establishes).
+    pub fn cid_max(mut self, n: u32) -> ModelSpecBuilder {
+        self.spec.cid_max = n;
+        if !self.explicit_run_dist {
+            self.spec.run_dist = RunDistSpec::Geometric(n.max(1));
+        }
+        self
+    }
+
+    /// Sets an explicit run-length distribution (pinned against later
+    /// [`ModelSpecBuilder::cid_max`] calls).
+    pub fn run_dist(mut self, run_dist: RunDistSpec) -> ModelSpecBuilder {
+        self.spec.run_dist = run_dist;
+        self.explicit_run_dist = true;
+        self
+    }
+
+    /// Sets the recovered-clock sampling tap.
+    pub fn tap(mut self, tap: SamplingTap) -> ModelSpecBuilder {
+        self.spec.tap = tap;
+        self
+    }
+
+    /// Sets the relative oscillator frequency offset ε.
+    pub fn freq_offset(mut self, epsilon: f64) -> ModelSpecBuilder {
+        self.spec.freq_offset = epsilon;
+        self
+    }
+
+    /// Sets the edge-correlation convention.
+    pub fn edge_model(mut self, edge_model: EdgeModel) -> ModelSpecBuilder {
+        self.spec.edge_model = edge_model;
+        self
+    }
+
+    /// Enables or disables the bit-slip term.
+    pub fn include_slip(mut self, include: bool) -> ModelSpecBuilder {
+        self.spec.include_slip = include;
+        self
+    }
+
+    /// Sets the gating kill margin (`None` = paper-faithful boundary).
+    pub fn gating_tau_ui(mut self, tau: Option<f64>) -> ModelSpecBuilder {
+        self.spec.gating_tau_ui = tau;
+        self
+    }
+
+    /// Sets the PDF grid step in UI.
+    pub fn grid_step(mut self, step: f64) -> ModelSpecBuilder {
+        self.spec.grid_step = step;
+        self
+    }
+
+    /// Validates and returns the assembled spec.
+    ///
+    /// # Errors
+    ///
+    /// [`GccoError::InvalidSpec`] naming the first offending field.
+    pub fn build(self) -> Result<ModelSpec, GccoError> {
+        self.spec.validate()?;
+        Ok(self.spec)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,6 +528,65 @@ mod tests {
             );
             assert!(bad.build().is_err(), "case {i} must not build");
         }
+    }
+
+    #[test]
+    fn builder_defaults_are_paper_table1() {
+        let built = ModelSpec::builder().build().expect("valid");
+        assert_eq!(built, ModelSpec::paper_table1());
+        assert_eq!(
+            built.cache_key(),
+            ModelSpec::paper_table1().cache_key(),
+            "default builder output must alias the paper spec in the cache"
+        );
+    }
+
+    #[test]
+    fn builder_cid_max_tracks_run_dist_unless_pinned() {
+        let tracked = ModelSpec::builder().cid_max(9).build().expect("valid");
+        assert_eq!(tracked.cid_max, 9);
+        assert_eq!(tracked.run_dist, RunDistSpec::Geometric(9));
+
+        let pinned = ModelSpec::builder()
+            .run_dist(RunDistSpec::Geometric(3))
+            .cid_max(9)
+            .build()
+            .expect("valid");
+        assert_eq!(pinned.cid_max, 9);
+        assert_eq!(
+            pinned.run_dist,
+            RunDistSpec::Geometric(3),
+            "explicit run_dist must survive a later cid_max change"
+        );
+    }
+
+    #[test]
+    fn builder_matches_struct_update_and_validates() {
+        let djrj = 1.5;
+        let base = ModelSpec::paper_table1();
+        let literal = ModelSpec {
+            dj_pp: base.dj_pp * djrj,
+            rj_rms: base.rj_rms * djrj,
+            cid_max: 7,
+            run_dist: RunDistSpec::Geometric(7),
+            freq_offset: -0.01,
+            ..base.clone()
+        };
+        let built = ModelSpec::builder()
+            .dj_pp(base.dj_pp * djrj)
+            .rj_rms(base.rj_rms * djrj)
+            .cid_max(7)
+            .freq_offset(-0.01)
+            .build()
+            .expect("valid");
+        assert_eq!(built, literal);
+        assert_eq!(built.cache_key(), literal.cache_key());
+
+        let err = ModelSpec::builder()
+            .rj_rms(f64::NAN)
+            .build()
+            .expect_err("NaN must be rejected");
+        assert!(matches!(err, GccoError::InvalidSpec(_)), "{err:?}");
     }
 
     #[test]

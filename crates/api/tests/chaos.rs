@@ -15,7 +15,7 @@
 //! * shutdown with in-flight connections still answers every accepted
 //!   envelope exactly once.
 
-use gcco_api::json::Envelope;
+use gcco_api::json::{Envelope, PROTOCOL_VERSION};
 use gcco_api::serve::{
     fetch_metrics, send_shutdown, serve, submit_batch, submit_batch_with_retry, RetryPolicy,
     ServeConfig,
@@ -42,6 +42,7 @@ fn fast_policy(attempts: u32) -> RetryPolicy {
 fn ber_point(id: u64) -> Envelope {
     Envelope {
         id,
+        v: Some(PROTOCOL_VERSION),
         deadline_ms: None,
         request: EvalRequest::BerPoint {
             spec: ModelSpec::paper_table1(),
@@ -53,6 +54,7 @@ fn ber_point(id: u64) -> Envelope {
 fn dsim(id: u64, seed: u64, duration_ns: f64) -> Envelope {
     Envelope {
         id,
+        v: Some(PROTOCOL_VERSION),
         deadline_ms: None,
         request: EvalRequest::DsimRun {
             run: DsimRunSpec {

@@ -12,8 +12,8 @@ use gcco_api::json::{
     parse_result_line, ClientLine, Envelope, Json,
 };
 use gcco_api::{
-    DsimRunSpec, EvalRequest, EvalResponse, GccoError, JtolPointOut, ModelSpec, PowerPointOut,
-    PowerScanSpec, RunDistSpec, SizedCellOut, SjOverride,
+    ChannelOut, DsimRunSpec, EvalRequest, EvalResponse, GccoError, JtolPointOut, ModelSpec,
+    MultiChannelSpec, PowerPointOut, PowerScanSpec, RunDistSpec, SizedCellOut, SjOverride,
 };
 use gcco_stat::{EdgeModel, SamplingTap};
 
@@ -86,7 +86,7 @@ impl Lcg {
     }
 
     fn request(&mut self) -> EvalRequest {
-        match self.below(6) {
+        match self.below(7) {
             0 => EvalRequest::BerPoint {
                 spec: self.spec(),
                 sj: if self.below(2) == 0 {
@@ -130,7 +130,7 @@ impl Lcg {
                     iss_sizing_max_a: self.f64().abs() + 1e-3,
                 },
             },
-            _ => EvalRequest::DsimRun {
+            5 => EvalRequest::DsimRun {
                 run: DsimRunSpec {
                     seed: self.below(1 << 53),
                     stages: 2 * (1 + self.below(4) as u32),
@@ -139,11 +139,22 @@ impl Lcg {
                     duration_ns: self.f64().abs().min(1e5) + 1.0,
                 },
             },
+            _ => EvalRequest::MultiChannel {
+                mc: MultiChannelSpec {
+                    channels: 1 + self.below(16) as u32,
+                    mismatch_sigma: self.f64().abs().min(0.09),
+                    ripple_rms_ui: self.f64().abs().min(0.4),
+                    seed: self.below(1 << 53),
+                    bit_rate_gbps: self.f64().abs() + 0.1,
+                    target_ber: 10f64.powi(-(1 + self.below(14) as i32)),
+                    spec: self.spec(),
+                },
+            },
         }
     }
 
     fn response(&mut self) -> EvalResponse {
-        match self.below(6) {
+        match self.below(7) {
             0 => EvalResponse::Scalar { value: self.f64() },
             1 => EvalResponse::Grid {
                 rows: (0..1 + self.below(4))
@@ -178,13 +189,31 @@ impl Lcg {
                     })
                     .collect(),
             },
-            _ => EvalResponse::Dsim {
+            5 => EvalResponse::Dsim {
                 run: gcco_api::DsimRunOut {
                     period_ps_mean: self.f64().abs(),
                     period_ps_rms: self.f64().abs(),
                     rising_edges: self.below(100_000),
                     events: self.below(10_000_000),
                 },
+            },
+            _ => EvalResponse::MultiChannel {
+                channels: (0..self.below(8))
+                    .map(|i| ChannelOut {
+                        index: i as u32,
+                        freq_offset: self.f64() * 1e-2,
+                        ber: self.f64().abs().min(1.0),
+                        settling_ui: self.f64().abs(),
+                    })
+                    .collect(),
+                worst_ber: self.f64().abs().min(1.0),
+                yield_pct: (self.below(101)) as f64,
+                mw_per_gbps: if self.below(3) == 0 {
+                    None
+                } else {
+                    Some(self.f64().abs())
+                },
+                within_budget: self.below(2) == 0,
             },
         }
     }
@@ -251,6 +280,11 @@ fn envelopes_batches_and_result_lines_round_trip() {
         let envs: Vec<Envelope> = (0..1 + rng.below(4))
             .map(|_| Envelope {
                 id: rng.below(1 << 53),
+                v: match rng.below(3) {
+                    0 => None,
+                    1 => Some(1),
+                    _ => Some(2),
+                },
                 deadline_ms: if rng.below(2) == 0 {
                     None
                 } else {
@@ -301,6 +335,10 @@ fn hostile_lines_error_without_panicking() {
         "{\"cmd\":3}",
         "\u{0}\u{0}\u{0}",
         "{\"id\":1,\"request\":{\"type\":\"ber_grid\",\"spec\":{}}}",
+        "{\"id\":1,\"v\":3,\"request\":{\"type\":\"dsim_run\"}}",
+        "{\"id\":1,\"v\":\"two\",\"request\":{\"type\":\"dsim_run\"}}",
+        "{\"id\":1,\"v\":-1,\"request\":{\"type\":\"dsim_run\"}}",
+        "{\"id\":1,\"v\":2.5,\"request\":{\"type\":\"dsim_run\"}}",
     ];
     for line in hostile {
         assert!(

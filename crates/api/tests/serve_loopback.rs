@@ -2,7 +2,7 @@
 //! batches, per-request deadlines that fail without killing the server,
 //! backpressure, and the graceful shutdown drain.
 
-use gcco_api::json::{encode_batch, Envelope};
+use gcco_api::json::{encode_batch, Envelope, PROTOCOL_VERSION};
 use gcco_api::serve::{client_roundtrip, send_shutdown, serve, submit_batch, ServeConfig};
 use gcco_api::{
     DsimRunSpec, Engine, EvalRequest, EvalResponse, ModelSpec, PowerScanSpec, SjOverride,
@@ -70,6 +70,7 @@ fn concurrent_mixed_batch_round_trips() {
                     .enumerate()
                     .map(|(i, request)| Envelope {
                         id: (c * 100 + i) as u64,
+                        v: Some(PROTOCOL_VERSION),
                         deadline_ms: None,
                         request,
                     })
@@ -117,6 +118,7 @@ fn tripped_deadline_fails_the_request_not_the_server() {
     let envelopes = [
         Envelope {
             id: 1,
+            v: Some(PROTOCOL_VERSION),
             // A deadline of 0 ms is guaranteed already expired at enqueue.
             deadline_ms: Some(0),
             request: EvalRequest::BerGrid {
@@ -127,6 +129,7 @@ fn tripped_deadline_fails_the_request_not_the_server() {
         },
         Envelope {
             id: 2,
+            v: Some(PROTOCOL_VERSION),
             deadline_ms: None,
             request: EvalRequest::BerPoint { spec, sj: None },
         },
@@ -166,6 +169,7 @@ fn overflow_gets_queue_full_and_malformed_lines_get_parse_errors() {
     let envelopes: Vec<Envelope> = (0..6)
         .map(|i| Envelope {
             id: i,
+            v: Some(PROTOCOL_VERSION),
             deadline_ms: None,
             request: EvalRequest::JtolCurve {
                 spec: ModelSpec::paper_table1(),
@@ -208,6 +212,7 @@ fn duplicate_batch_ids_are_rejected_before_any_evaluation() {
 
     let env = |id: u64| Envelope {
         id,
+        v: Some(PROTOCOL_VERSION),
         deadline_ms: None,
         request: EvalRequest::BerPoint {
             spec: ModelSpec::paper_table1(),
@@ -291,6 +296,7 @@ fn wire_shutdown_drains_in_flight_work() {
     let envelopes: Vec<Envelope> = (0..4)
         .map(|i| Envelope {
             id: 10 + i,
+            v: Some(PROTOCOL_VERSION),
             deadline_ms: None,
             request: EvalRequest::BerGrid {
                 spec: ModelSpec::paper_table1(),

@@ -3,7 +3,7 @@
 //! exposition, the queue-depth gauge under a backed-up worker, and
 //! metric accounting across concurrent connections.
 
-use gcco_api::json::{Envelope, Json};
+use gcco_api::json::{Envelope, Json, PROTOCOL_VERSION};
 use gcco_api::serve::{client_roundtrip, fetch_metrics, serve, submit_batch, ServeConfig};
 use gcco_api::{DsimRunSpec, Engine, EvalRequest, ModelSpec};
 use std::time::{Duration, Instant};
@@ -13,6 +13,7 @@ const TIMEOUT: Duration = Duration::from_secs(120);
 fn ber_point(id: u64) -> Envelope {
     Envelope {
         id,
+        v: Some(PROTOCOL_VERSION),
         deadline_ms: None,
         request: EvalRequest::BerPoint {
             spec: ModelSpec::paper_table1(),
@@ -117,6 +118,7 @@ fn queue_depth_gauge_is_visible_while_a_worker_is_backed_up() {
     let envelopes: Vec<Envelope> = (0..4)
         .map(|i| Envelope {
             id: i,
+            v: Some(PROTOCOL_VERSION),
             deadline_ms: None,
             request: EvalRequest::DsimRun { run: slow.clone() },
         })

@@ -6,8 +6,8 @@
 
 use gcco_api::json::encode_response;
 use gcco_api::{
-    DeadlineGuard, DsimRunSpec, Engine, EngineConfig, EvalRequest, ModelSpec, PowerScanSpec,
-    SjOverride,
+    DeadlineGuard, DsimRunSpec, Engine, EngineConfig, EvalRequest, ModelSpec, MultiChannelSpec,
+    PowerScanSpec, SjOverride,
 };
 use gcco_store::Store;
 use std::path::PathBuf;
@@ -129,6 +129,86 @@ fn every_kind_round_trips_bit_exactly_through_the_store() {
     );
     assert_eq!(obs.counter("gcco_store_torn_bytes").get(), 0);
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The multi-channel tentpole's store contract: each lane is journaled
+/// under its own canonical `ber_point` key *in addition to* the outer
+/// `multi_channel` response, so a campaign killed mid-group resumes from
+/// the finished lanes — and every replay path is byte-identical to the
+/// store-less reference.
+#[test]
+fn multi_channel_journals_per_lane_and_resumes_partially() {
+    let dir = tmp_dir("mc");
+    let mc = MultiChannelSpec::paper_quad();
+    let req = EvalRequest::MultiChannel { mc: mc.clone() };
+
+    // Reference: a store-less engine.
+    let plain = engine();
+    let want = encode_response(&plain.evaluate(&req).expect("fresh evaluation"));
+
+    // Cold store: the outer response plus one BerPoint per lane land in
+    // the journal, each under its canonical key.
+    let cold = engine().with_store(Arc::new(Store::open(&dir).unwrap()));
+    let got = encode_response(&cold.evaluate(&req).expect("cold evaluation"));
+    assert_eq!(got, want, "cold store changed the bytes");
+    {
+        let store = cold.store().expect("store attached");
+        assert_eq!(store.len(), mc.channels as usize + 1);
+        for lane in mc.channel_specs() {
+            let key = EvalRequest::BerPoint {
+                spec: lane,
+                sj: None,
+            }
+            .cache_key();
+            assert!(
+                store.contains(&key),
+                "every lane journaled under its canonical ber_point key"
+            );
+        }
+        assert!(store.contains(&req.cache_key()), "outer response journaled");
+    }
+    drop(cold);
+
+    // Partial resume: a fresh store pre-seeded with only two lane results
+    // (a campaign killed mid-group). The group completes, replays the
+    // finished lanes from disk, and still matches the reference bytes.
+    let dir2 = tmp_dir("mc-partial");
+    {
+        let pre = engine().with_store(Arc::new(Store::open(&dir2).unwrap()));
+        for lane in mc.channel_specs().into_iter().take(2) {
+            pre.evaluate(&EvalRequest::BerPoint {
+                spec: lane,
+                sj: None,
+            })
+            .expect("pre-seeded lane");
+        }
+    }
+    let resumed = engine().with_store(Arc::new(Store::open(&dir2).unwrap()));
+    let got = encode_response(&resumed.evaluate(&req).expect("resumed evaluation"));
+    assert_eq!(got, want, "partial resume must replay bit-identically");
+    assert_eq!(
+        resumed.obs().counter("gcco_store_hits_total").get(),
+        2,
+        "the two pre-journaled lanes replay from disk"
+    );
+    assert_eq!(
+        resumed.context_builds(),
+        2,
+        "only the two missing lanes compute"
+    );
+
+    // Warm reopen of the complete journal: one outer hit, zero builds.
+    let warm = engine().with_store(Arc::new(Store::open(&dir).unwrap()));
+    let got = encode_response(&warm.evaluate(&req).expect("warm evaluation"));
+    assert_eq!(got, want, "reopened store drifted");
+    assert_eq!(warm.obs().counter("gcco_store_hits_total").get(), 1);
+    assert_eq!(
+        warm.context_builds(),
+        0,
+        "a fully warm multi-channel replay must never build a context"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&dir2).unwrap();
 }
 
 #[test]

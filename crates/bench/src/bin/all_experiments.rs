@@ -37,6 +37,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablation_gating",
     "ablation_correlation",
     "campaign",
+    "mc_campaign",
 ];
 
 fn main() {

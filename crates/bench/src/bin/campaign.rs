@@ -32,7 +32,7 @@
 //! worker-count invariant), with the engine pinned to one internal worker
 //! per corner to avoid oversubscription.
 
-use gcco_api::{Engine, EngineConfig, EvalRequest, EvalResponse, ModelSpec, RunDistSpec};
+use gcco_api::{Engine, EngineConfig, EvalRequest, EvalResponse, ModelSpec};
 use gcco_bench::{fmt_ber, header, metrics, result_line};
 use gcco_stat::{available_workers, par_map_grid};
 use gcco_store::Store;
@@ -58,21 +58,17 @@ impl Corner {
     /// corner severity, at the corner's mismatch and CID.
     fn spec(&self) -> ModelSpec {
         let base = ModelSpec::paper_table1();
-        ModelSpec {
-            dj_pp: base.dj_pp * self.djrj,
-            rj_rms: base.rj_rms * self.djrj,
-            cid_max: self.cid,
-            run_dist: RunDistSpec::Geometric(self.cid),
-            freq_offset: self.eps,
-            ..base
-        }
+        ModelSpec::builder()
+            .dj_pp(base.dj_pp * self.djrj)
+            .rj_rms(base.rj_rms * self.djrj)
+            .cid_max(self.cid)
+            .freq_offset(self.eps)
+            .build()
+            .expect("corner grid stays in-range")
     }
 
     fn request(&self) -> EvalRequest {
-        EvalRequest::BerPoint {
-            spec: self.spec(),
-            sj: None,
-        }
+        EvalRequest::ber_point(self.spec())
     }
 
     /// The corner's report line — `{:?}` floats, so the bytes are exact.

@@ -7,7 +7,7 @@
 //! the sweep context exactly once and fans every grid and contour point
 //! out over the sweep workers.
 
-use gcco_api::{EvalRequest, EvalResponse, ModelSpec, SjOverride};
+use gcco_api::{EvalRequest, EvalResponse, ModelSpec};
 use gcco_bench::{engine_from_env, fmt_ber, header, metrics, result_line};
 
 fn main() {
@@ -25,30 +25,10 @@ fn main() {
     // single warm sweep context for all four requests.
     let spec = ModelSpec::paper_table1();
     let requests = [
-        EvalRequest::BerGrid {
-            spec: spec.clone(),
-            amps_pp: amps.clone(),
-            freqs_norm: freqs.clone(),
-        },
-        EvalRequest::JtolCurve {
-            spec: spec.clone(),
-            freqs_norm: freqs.clone(),
-            target_ber: 1e-12,
-        },
-        EvalRequest::BerPoint {
-            spec: spec.clone(),
-            sj: Some(SjOverride {
-                amplitude_pp: 1.0,
-                freq_norm: 1e-4,
-            }),
-        },
-        EvalRequest::BerPoint {
-            spec,
-            sj: Some(SjOverride {
-                amplitude_pp: 1.0,
-                freq_norm: 0.4,
-            }),
-        },
+        EvalRequest::ber_grid(spec.clone(), amps.clone(), freqs.clone()),
+        EvalRequest::jtol_curve(spec.clone(), freqs.clone(), 1e-12),
+        EvalRequest::ber_point_at(spec.clone(), 1.0, 1e-4),
+        EvalRequest::ber_point_at(spec, 1.0, 0.4),
     ];
     let engine = engine_from_env();
     let mut results = engine.evaluate_batch(&requests).into_iter();

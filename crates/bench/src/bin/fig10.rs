@@ -32,21 +32,9 @@ fn main() {
 
     let engine = engine_from_env();
     let requests = [
-        EvalRequest::BerGrid {
-            spec: offs_spec.clone(),
-            amps_pp: amps.clone(),
-            freqs_norm: freqs.clone(),
-        },
-        EvalRequest::JtolCurve {
-            spec: clean_spec,
-            freqs_norm: jfreqs.clone(),
-            target_ber: 1e-12,
-        },
-        EvalRequest::JtolCurve {
-            spec: offs_spec,
-            freqs_norm: jfreqs.clone(),
-            target_ber: 1e-12,
-        },
+        EvalRequest::ber_grid(offs_spec.clone(), amps.clone(), freqs.clone()),
+        EvalRequest::jtol_curve(clean_spec, jfreqs.clone(), 1e-12),
+        EvalRequest::jtol_curve(offs_spec, jfreqs.clone(), 1e-12),
     ];
     let mut results = engine.evaluate_batch(&requests).into_iter();
     let mut next = || {

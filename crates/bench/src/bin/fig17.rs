@@ -33,21 +33,9 @@ fn main() {
 
     let engine = engine_from_env();
     let requests = [
-        EvalRequest::BerGrid {
-            spec: imp_spec.clone(),
-            amps_pp: amps.clone(),
-            freqs_norm: freqs.clone(),
-        },
-        EvalRequest::JtolCurve {
-            spec: std_spec,
-            freqs_norm: jfreqs.clone(),
-            target_ber: 1e-12,
-        },
-        EvalRequest::JtolCurve {
-            spec: imp_spec,
-            freqs_norm: jfreqs.clone(),
-            target_ber: 1e-12,
-        },
+        EvalRequest::ber_grid(imp_spec.clone(), amps.clone(), freqs.clone()),
+        EvalRequest::jtol_curve(std_spec, jfreqs.clone(), 1e-12),
+        EvalRequest::jtol_curve(imp_spec, jfreqs.clone(), 1e-12),
     ];
     let mut results = engine.evaluate_batch(&requests).into_iter();
     let mut next = || {

@@ -68,18 +68,21 @@ fn main() {
     let engine = engine_from_env();
     let mut requests: Vec<EvalRequest> = combos
         .iter()
-        .map(|(_, dist, _, tap)| EvalRequest::FtolSearch {
-            spec: ModelSpec::paper_table1()
-                .with_run_dist(dist.clone())
-                .with_tap(*tap),
-            target_ber: 1e-12,
+        .map(|(_, dist, _, tap)| {
+            EvalRequest::ftol_search(
+                ModelSpec::builder()
+                    .run_dist(dist.clone())
+                    .tap(*tap)
+                    .build()
+                    .expect("measured run counts are valid"),
+                1e-12,
+            )
         })
         .collect();
     // BER right at the ±100 ppm corner rides along in the same batch.
-    requests.push(EvalRequest::BerPoint {
-        spec: ModelSpec::paper_table1().with_freq_offset(100e-6),
-        sj: None,
-    });
+    requests.push(EvalRequest::ber_point(
+        ModelSpec::paper_table1().with_freq_offset(100e-6),
+    ));
     let mut results = engine.evaluate_batch(&requests).into_iter();
     let mut next = || {
         results

@@ -22,9 +22,7 @@ fn main() {
     let scan_spec = PowerScanSpec::paper_design();
     let engine = engine_from_env();
     let response = engine
-        .evaluate(&EvalRequest::PowerScan {
-            scan: scan_spec.clone(),
-        })
+        .evaluate(&EvalRequest::power_scan(scan_spec.clone()))
         .expect("the paper design point is a valid scan");
     let EvalResponse::Power { sized, points } = response else {
         unreachable!("a power scan yields a power response")

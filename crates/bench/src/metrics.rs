@@ -43,6 +43,13 @@ pub const ALL_KEYS: &[&str] = &[
     CAMPAIGN_YIELD_PCT,
     CAMPAIGN_WORST_BER,
     CAMPAIGN_STORE_HITS,
+    // mc_campaign
+    MC_CELLS,
+    MC_PASS,
+    MC_MIN_YIELD_PCT,
+    MC_WORST_BER,
+    MC_MW_PER_GBPS,
+    MC_STORE_HITS,
     // fig01
     PARALLEL_GBPS,
     SERIAL_GBPS,
@@ -170,6 +177,20 @@ pub const CAMPAIGN_YIELD_PCT: &str = "campaign_yield_pct";
 pub const CAMPAIGN_WORST_BER: &str = "campaign_worst_ber";
 /// Store hits this run (>0 proves a resume replayed journaled corners).
 pub const CAMPAIGN_STORE_HITS: &str = "campaign_store_hits";
+
+// mc_campaign — multi-channel yield-grid campaign
+/// Cell count in the multi-channel grid.
+pub const MC_CELLS: &str = "mc_cells";
+/// Cells whose aggregate yield is 100 %.
+pub const MC_PASS: &str = "mc_pass";
+/// Minimum per-cell yield across the grid, percent.
+pub const MC_MIN_YIELD_PCT: &str = "mc_min_yield_pct";
+/// Worst per-channel BER across every cell.
+pub const MC_WORST_BER: &str = "mc_worst_ber";
+/// Channel efficiency reported by the worst-yield cell, mW/Gbit/s.
+pub const MC_MW_PER_GBPS: &str = "mc_mw_per_gbps";
+/// Store hits this run (>0 proves a resume replayed journaled cells).
+pub const MC_STORE_HITS: &str = "mc_store_hits";
 
 // fig01 — parallel-optical motivation
 /// Aggregate parallel throughput, Gbit/s.

@@ -38,6 +38,7 @@ mod power;
 pub use cml::CmlCell;
 pub use kappa::{Kappa, PhaseNoiseModel};
 pub use power::{
-    iss_log_grid, parasitic_cl_floor, power_noise_tradeoff, size_for_jitter, tradeoff_point,
-    ChannelPowerBudget, TradeoffPoint, PARASITIC_CL_FLOOR_FARADS,
+    compose_ripple_jitter, iss_log_grid, parasitic_cl_floor, power_noise_tradeoff, size_for_jitter,
+    tradeoff_point, ChannelPowerBudget, TradeoffPoint, PAPER_MW_PER_GBPS_BUDGET,
+    PARASITIC_CL_FLOOR_FARADS,
 };

@@ -85,6 +85,25 @@ pub fn tradeoff_point(
     }
 }
 
+/// The paper's headline power-efficiency budget: a GCCO CDR channel must
+/// come in under 5 mW per Gbit/s (abstract and §4). Multi-channel power
+/// roll-ups are checked against this constant.
+pub const PAPER_MW_PER_GBPS_BUDGET: f64 = 5.0;
+
+/// Composes the per-channel oscillator jitter with the shared-PLL
+/// control-current ripple, both in RMS UI.
+///
+/// In the multi-channel receiver every gated oscillator is biased from
+/// one PLL-regulated control current, so supply/control ripple appears
+/// as a jitter term that is *correlated across channels* but independent
+/// of each channel's own thermal phase noise — against the asynchronous
+/// data edges the two therefore add in power (root-sum-square). The
+/// result feeds a per-channel `ckj_rms` so the statistical engine prices
+/// the ripple exactly like oscillator jitter.
+pub fn compose_ripple_jitter(ckj_rms_ui: f64, ripple_rms_ui: f64) -> f64 {
+    (ckj_rms_ui * ckj_rms_ui + ripple_rms_ui * ripple_rms_ui).sqrt()
+}
+
 /// Minimum realistic CML node capacitance in farads (25 fF): device gate +
 /// junction + wiring parasitics in a 0.18 µm process. The noise sizing
 /// cannot shrink the cell below the current needed to drive this load at
@@ -219,6 +238,14 @@ mod tests {
 
     fn f_ring() -> Freq {
         Freq::from_ghz(2.5)
+    }
+
+    #[test]
+    fn ripple_composition_is_root_sum_square() {
+        assert_eq!(compose_ripple_jitter(0.0, 0.0), 0.0);
+        assert!((compose_ripple_jitter(0.003, 0.004) - 0.005).abs() < 1e-18);
+        // Ripple-free composition is the identity.
+        assert_eq!(compose_ripple_jitter(0.01, 0.0), 0.01);
     }
 
     #[test]

@@ -48,6 +48,7 @@ mod mask;
 mod mc;
 mod model;
 mod pdf;
+mod settling;
 mod spec;
 mod spectrum;
 mod sweep;
@@ -62,6 +63,7 @@ pub use mask::TolMask;
 pub use mc::{monte_carlo_ber, McResult};
 pub use model::{EdgeModel, GccoStatModel, RunDist, RunErrorProb};
 pub use pdf::{ConvScratch, Pdf};
+pub use settling::{settling_time_ui, LOCK_CONFIRM_TRANSITIONS};
 pub use spec::{JitterSpec, SamplingTap};
 pub use spectrum::{amplitude_spectrum, dominant_tone, fft_in_place, tone_amplitude};
 pub use sweep::{available_workers, par_map_grid, SweepContext};

@@ -1,0 +1,143 @@
+//! Lock/settling time of a gated-oscillator channel under jitter.
+//!
+//! A GCCO channel has no phase accumulator to converge: every data
+//! transition re-launches the oscillator, so "lock" is the moment the
+//! receiver can *trust* the alignment — operationally, the first run of
+//! [`LOCK_CONFIRM_TRANSITIONS`] consecutive transitions whose resampled
+//! edge lands inside the half-UI decision guard band. Mesochronous
+//! settling analyses model exactly this confirmation race: each
+//! transition is a Bernoulli trial whose failure probability is the
+//! chance that the jitter accumulated since the previous
+//! resynchronization walks the sampling edge out of the guard band.
+//!
+//! Per transition, the oscillator drifts for one mean run length
+//! `E[L]` bits (from the line code's [`RunDist`]), accumulating
+//! Gaussian phase noise of RMS `ckj_rms` (the Table 1 budget is quoted
+//! *at* `cid_max`, and the guard band is consumed deterministically by
+//! the frequency offset: `δ = 0.5 − |ε|·cid_max` UI. The outlier
+//! probability per transition is the two-sided Gaussian tail
+//! `p_out = 2·Q(δ/σ)`, and the expected number of transitions until
+//! `K` consecutive clean ones is the classic run-of-successes formula
+//! `E[T] = (1 − p^K) / ((1 − p)·p^K)` with `p = 1 − p_out`.
+//!
+//! The returned settling time is `E[T] · E[L]` in UI (bit slots). It is
+//! exact, closed-form, and — crucially for the wire codec, which maps
+//! non-finite floats to `null` — always finite: `p_out` is clamped to
+//! `1 − 1e-12`, so a hopeless channel reports an astronomically large
+//! but representable settling time instead of `inf`.
+
+use crate::model::GccoStatModel;
+use crate::q_function;
+
+/// Consecutive in-guard-band transitions required to declare lock.
+///
+/// Three confirmations is the conventional mesochronous choice: one
+/// transition proves nothing under jitter, two can still be a
+/// coincidence, three bounds the false-lock probability below the
+/// per-transition outlier floor squared.
+pub const LOCK_CONFIRM_TRANSITIONS: u32 = 3;
+
+/// Expected settling (lock-confirmation) time of a gated-oscillator
+/// channel, in UI.
+///
+/// Deterministic and always finite. With zero oscillator jitter and
+/// zero frequency offset this is exactly
+/// `LOCK_CONFIRM_TRANSITIONS · E[L]` — the time to merely *observe*
+/// the confirmation run — and it grows monotonically with both the
+/// oscillator jitter `ckj_rms` and the frequency offset `|ε|`.
+///
+/// # Examples
+///
+/// ```
+/// use gcco_stat::{settling_time_ui, GccoStatModel, JitterSpec};
+///
+/// let nominal = settling_time_ui(&GccoStatModel::new(JitterSpec::paper_table1()));
+/// let offset = settling_time_ui(
+///     &GccoStatModel::new(JitterSpec::paper_table1()).with_freq_offset(0.09),
+/// );
+/// assert!(offset > nominal, "offset eats guard band, settling grows");
+/// ```
+pub fn settling_time_ui(model: &GccoStatModel) -> f64 {
+    let spec = model.spec();
+    let mean_run = model.run_dist().mean();
+    // Guard band left after the deterministic offset drift over the
+    // worst-case run: half a UI minus |ε|·cid_max.
+    let guard_ui = 0.5 - model.freq_offset().abs() * spec.cid_max as f64;
+    let sigma = spec.ckj_rms.value();
+    // Two-sided Gaussian outlier probability per transition, clamped
+    // away from 1.0 so the expectation below stays finite.
+    let p_out = if sigma <= 0.0 {
+        if guard_ui > 0.0 {
+            0.0
+        } else {
+            1.0 - 1e-12
+        }
+    } else {
+        (2.0 * q_function(guard_ui / sigma)).clamp(0.0, 1.0 - 1e-12)
+    };
+    let p = 1.0 - p_out;
+    let k = LOCK_CONFIRM_TRANSITIONS as f64;
+    // E[transitions until K consecutive successes]. When p_out is below
+    // f64 resolution, 1 - p_out rounds to exactly 1.0 and the general
+    // formula would evaluate 0/0 — the limit is K.
+    let expected_transitions = if p >= 1.0 {
+        k
+    } else {
+        let pk = p.powf(k);
+        (1.0 - pk) / ((1.0 - p) * pk)
+    };
+    expected_transitions * mean_run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GccoStatModel, JitterSpec};
+    use gcco_units::Ui;
+
+    fn model(ckj: f64, eps: f64) -> GccoStatModel {
+        let mut spec = JitterSpec::paper_table1();
+        spec.ckj_rms = Ui::new(ckj);
+        GccoStatModel::new(spec).with_freq_offset(eps)
+    }
+
+    #[test]
+    fn clean_channel_settles_in_exactly_k_runs() {
+        let m = model(0.0, 0.0);
+        let mean_run = m.run_dist().mean();
+        let t = settling_time_ui(&m);
+        assert_eq!(
+            t.to_bits(),
+            (LOCK_CONFIRM_TRANSITIONS as f64 * mean_run).to_bits(),
+            "no jitter, no offset: settling is the bare confirmation run"
+        );
+    }
+
+    #[test]
+    fn settling_grows_with_jitter_and_offset() {
+        let base = settling_time_ui(&model(0.05, 0.0));
+        let more_jitter = settling_time_ui(&model(0.10, 0.0));
+        assert!(more_jitter > base, "{more_jitter} vs {base}");
+
+        let offset = settling_time_ui(&model(0.05, 0.04));
+        assert!(offset > base, "{offset} vs {base}");
+    }
+
+    #[test]
+    fn settling_is_always_finite_even_when_hopeless() {
+        // Guard band fully consumed by the offset: the clamp keeps the
+        // expectation finite (the wire codec would null an infinity).
+        let t = settling_time_ui(&model(0.0, 0.12));
+        assert!(t.is_finite(), "{t}");
+        assert!(t > 1e6, "a hopeless channel must look hopeless: {t}");
+        let t = settling_time_ui(&model(0.3, 0.09));
+        assert!(t.is_finite(), "{t}");
+    }
+
+    #[test]
+    fn settling_is_deterministic() {
+        let a = settling_time_ui(&model(0.02, 0.01));
+        let b = settling_time_ui(&model(0.02, 0.01));
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
