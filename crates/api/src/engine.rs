@@ -35,9 +35,15 @@ use gcco_obs::{Counter, Registry};
 use gcco_stat::{available_workers, par_map_grid, settling_time_ui, SweepContext};
 use gcco_store::Store;
 use gcco_units::{Current, Freq, Time, Ui, Voltage};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// How often a single-flight follower wakes to re-check its own deadline
+/// while parked on the leader's slot. Purely a latency bound on follower
+/// deadline trips — the leader's `notify_all` wakes followers immediately.
+const SINGLEFLIGHT_POLL: Duration = Duration::from_millis(5);
 
 /// Engine tuning knobs.
 #[derive(Clone, Debug)]
@@ -155,12 +161,70 @@ pub struct Engine {
     cache: Mutex<Vec<(String, Arc<SweepContext>)>>,
     store: Option<StoreTier>,
     builds: AtomicU64,
+    /// Single-flight slots: one entry per canonical cache key currently
+    /// being computed; followers park on the slot instead of recomputing.
+    inflight: Mutex<HashMap<String, Arc<InflightSlot>>>,
     obs: Registry,
     cache_hits: Arc<Counter>,
     cache_misses: Arc<Counter>,
     cache_builds: Arc<Counter>,
     cache_evictions: Arc<Counter>,
     deadline_trips: Arc<Counter>,
+    singleflight_leaders: Arc<Counter>,
+    singleflight_waits: Arc<Counter>,
+}
+
+/// One in-flight computation other threads can wait on: the leader
+/// publishes its result (success *or* error) exactly once and wakes every
+/// parked follower.
+struct InflightSlot {
+    done: Mutex<Option<Result<EvalResponse, GccoError>>>,
+    cv: Condvar,
+}
+
+impl InflightSlot {
+    fn new() -> InflightSlot {
+        InflightSlot {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// Leadership over one single-flight slot. Publishing removes the slot
+/// from the map and wakes followers; if the leader unwinds without
+/// publishing (a panicking kernel), `Drop` publishes an `Io` error so
+/// followers fail instead of parking forever.
+struct SingleflightLead<'a> {
+    engine: &'a Engine,
+    key: &'a str,
+    published: bool,
+}
+
+impl SingleflightLead<'_> {
+    fn publish(&mut self, result: Result<EvalResponse, GccoError>) {
+        self.published = true;
+        let slot = self
+            .engine
+            .inflight
+            .lock()
+            .expect("inflight lock poisoned")
+            .remove(self.key);
+        if let Some(slot) = slot {
+            *slot.done.lock().expect("slot lock poisoned") = Some(result);
+            slot.cv.notify_all();
+        }
+    }
+}
+
+impl Drop for SingleflightLead<'_> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.publish(Err(GccoError::Io(
+                "single-flight leader unwound without publishing".to_string(),
+            )));
+        }
+    }
 }
 
 impl Default for Engine {
@@ -195,11 +259,14 @@ impl Engine {
             cache: Mutex::new(Vec::new()),
             store: None,
             builds: AtomicU64::new(0),
+            inflight: Mutex::new(HashMap::new()),
             cache_hits: obs.counter("gcco_engine_cache_hits_total"),
             cache_misses: obs.counter("gcco_engine_cache_misses_total"),
             cache_builds: obs.counter("gcco_engine_cache_builds_total"),
             cache_evictions: obs.counter("gcco_engine_cache_evictions_total"),
             deadline_trips: obs.counter("gcco_engine_deadline_trips_total"),
+            singleflight_leaders: obs.counter("gcco_singleflight_leaders_total"),
+            singleflight_waits: obs.counter("gcco_singleflight_waits_total"),
             obs,
         }
     }
@@ -352,11 +419,69 @@ impl Engine {
             .obs
             .histogram_with("gcco_engine_request_seconds", "kind", kind)
             .span();
-        let result = self.dispatch_stored(req, guard);
+        let result = self.dispatch_coalesced(req, guard);
         if matches!(result, Err(GccoError::DeadlineExceeded { .. })) {
             self.deadline_trips.inc();
         }
         result
+    }
+
+    /// Single-flight coalescing around [`Engine::dispatch_stored`]:
+    /// concurrent requests with the same canonical [`EvalRequest::cache_key`]
+    /// perform exactly one computation. The first arrival (the *leader*)
+    /// registers a slot, computes, and publishes its result — success or
+    /// error — to every thread that arrived meanwhile (the *followers*,
+    /// counted by `gcco_singleflight_waits_total`). Followers receive the
+    /// leader's result by clone, which is bit-identical: `EvalResponse`
+    /// holds plain `f64`s, and cloning copies bits.
+    ///
+    /// Error semantics: validation runs *before* coalescing (an invalid
+    /// request never occupies a slot), and every leader error — deadline
+    /// trip included — propagates to followers as-is rather than leaving
+    /// them hung or silently recomputing. A follower's *own* deadline is
+    /// still honored while it waits: the park re-checks its guard every
+    /// [`SINGLEFLIGHT_POLL`].
+    fn dispatch_coalesced(
+        &self,
+        req: &EvalRequest,
+        guard: DeadlineGuard,
+    ) -> Result<EvalResponse, GccoError> {
+        req.validate()?;
+        let key = req.cache_key();
+        let existing = {
+            let mut map = self.inflight.lock().expect("inflight lock poisoned");
+            match map.get(&key) {
+                Some(slot) => Some(Arc::clone(slot)),
+                None => {
+                    map.insert(key.clone(), Arc::new(InflightSlot::new()));
+                    None
+                }
+            }
+        };
+        let Some(slot) = existing else {
+            self.singleflight_leaders.inc();
+            let mut lead = SingleflightLead {
+                engine: self,
+                key: &key,
+                published: false,
+            };
+            let result = self.dispatch_stored(req, guard);
+            lead.publish(result.clone());
+            return result;
+        };
+        self.singleflight_waits.inc();
+        let mut done = slot.done.lock().expect("slot lock poisoned");
+        loop {
+            if let Some(result) = done.as_ref() {
+                return result.clone();
+            }
+            guard.check()?;
+            done = slot
+                .cv
+                .wait_timeout(done, SINGLEFLIGHT_POLL)
+                .expect("slot lock poisoned")
+                .0;
+        }
     }
 
     /// Dispatch through the persistent tier when one is attached: store

@@ -1068,6 +1068,36 @@ pub fn encode_result_line_with_note(
     }
 }
 
+/// Re-encodes a parsed [`ResultLine`] (no trailing newline),
+/// **byte-identically** to the line the server emitted: field order is
+/// fixed and the float codec is exact (`f64`s round-trip through their
+/// shortest decimal form), so `parse_result_line` → this function is the
+/// identity on every line `gcco-serve` produces. This is what lets a
+/// proxy tier — `gcco-router` — forward responses without perturbing a
+/// byte, keeping cluster results comparable to a single-server run with
+/// `==` on the raw wire text.
+pub fn encode_parsed_result_line(line: &ResultLine) -> String {
+    let note = line
+        .note
+        .as_deref()
+        .map_or(String::new(), |n| format!("\"note\":{},", json_string(n)));
+    match &line.result {
+        Ok(resp) => format!(
+            "{{\"id\":{},{}\"ok\":{}}}",
+            line.id,
+            note,
+            encode_response(resp)
+        ),
+        Err((kind, detail)) => format!(
+            "{{\"id\":{},{}\"err\":{{\"kind\":{},\"detail\":{}}}}}",
+            line.id,
+            note,
+            json_string(kind),
+            json_string(detail)
+        ),
+    }
+}
+
 /// Encodes an **id-less** error line (no trailing newline):
 /// `{"err":{"kind":...,"detail":...}}`. This is the reply to input the
 /// server cannot correlate to any envelope — a malformed line or an
@@ -1395,5 +1425,36 @@ mod tests {
         let parsed = parse_result_line(&err_line).unwrap();
         assert_eq!(parsed.note.as_deref(), Some(V1_DEPRECATION_NOTE));
         assert_eq!(parsed.result.unwrap_err().0, "shutting_down");
+    }
+
+    /// `parse_result_line` → `encode_parsed_result_line` is the identity
+    /// on every line shape the server emits — ok, error, noted, awkward
+    /// floats — the byte-forwarding contract the router tier leans on.
+    #[test]
+    fn parsed_result_lines_re_encode_byte_identically() {
+        let lines = [
+            encode_result_line(0, &Ok(EvalResponse::Scalar { value: 1e-12 })),
+            encode_result_line(
+                7,
+                &Ok(EvalResponse::Grid {
+                    rows: vec![vec![0.1, f64::MIN_POSITIVE], vec![-0.0, 2.5e-308]],
+                }),
+            ),
+            encode_result_line(3, &Err(GccoError::QueueFull { capacity: 4 })),
+            encode_result_line_with_note(
+                9,
+                Some(V1_DEPRECATION_NOTE),
+                &Ok(EvalResponse::Scalar { value: 0.021 }),
+            ),
+            encode_result_line_with_note(
+                11,
+                Some("weird \"note\"\n"),
+                &Err(GccoError::Parse("x".into())),
+            ),
+        ];
+        for line in lines {
+            let parsed = parse_result_line(&line).expect("well-formed");
+            assert_eq!(encode_parsed_result_line(&parsed), line);
+        }
     }
 }

@@ -601,13 +601,28 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
-    /// The next sleep: `min(cap, uniform(base, prev * 3))`.
+    /// The next sleep: `min(cap, uniform(base, prev * 3))`, computed in
+    /// whole microseconds with a 1 µs floor whenever `base > 0` — a
+    /// sub-millisecond policy must still back off, never degrade into a
+    /// zero-sleep hot spin. A `base` of zero keeps zero sleeps (an
+    /// explicit no-backoff policy). When `cap < base` every sleep is
+    /// exactly `cap`: the draw is at least `base`, and the clamp wins.
     fn next_sleep(&self, rng: &mut gcco_faults::SplitMix64, prev: Duration) -> Duration {
-        let base = self.base.as_millis() as u64;
-        let hi = (prev.as_millis() as u64).saturating_mul(3).max(base + 1);
-        let ms = rng.between(base, hi).min(self.cap.as_millis() as u64);
-        Duration::from_millis(ms)
+        let base = duration_to_micros(self.base);
+        let hi = duration_to_micros(prev)
+            .saturating_mul(3)
+            .max(base.saturating_add(1));
+        let mut us = rng.between(base, hi).min(duration_to_micros(self.cap));
+        if us == 0 && self.base > Duration::ZERO {
+            us = 1;
+        }
+        Duration::from_micros(us)
     }
+}
+
+/// Whole microseconds of `d`, saturating at `u64::MAX` (~584k years).
+fn duration_to_micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
 /// [`submit_batch`] wrapped in a retry loop, for transports that may
@@ -650,6 +665,21 @@ pub fn submit_batch_with_retry(
     let attempts = policy.attempts.max(1);
     for attempt in 1..=attempts {
         match submit_batch(addr, &pending, timeout) {
+            // Audit the attempt's id mapping before consuming anything:
+            // the returned ids must be exactly the pending ids, each
+            // answered once. A parseable-but-mangled exchange (chaos
+            // proxy, buggy middlebox, hostile server) that answers a
+            // foreign id or the same id twice counts as a failed attempt
+            // and leaves `pending`/`done` untouched — otherwise a foreign
+            // id would pollute the result map while a real envelope goes
+            // unanswered, and the final reassembly below would have no
+            // line for it.
+            Ok(results) if !ids_match_pending(&results, &pending) => {
+                last_failure = format!(
+                    "response ids do not match the {} submitted envelopes",
+                    pending.len()
+                );
+            }
             Ok(results) => {
                 let mut rejected: Vec<u64> = Vec::new();
                 for line in results {
@@ -663,7 +693,13 @@ pub fn submit_batch_with_retry(
                 if pending.is_empty() {
                     let mut out = Vec::with_capacity(envelopes.len());
                     for env in envelopes {
-                        out.push(done.remove(&env.id).expect("every id answered"));
+                        // Unreachable by construction: every attempt's ids
+                        // were audited against `pending` above, so the
+                        // union of answered ids is exactly the input ids.
+                        out.push(
+                            done.remove(&env.id)
+                                .expect("audited attempt answered every id"),
+                        );
                     }
                     return Ok(out);
                 }
@@ -688,6 +724,15 @@ pub fn submit_batch_with_retry(
         pending.len(),
         envelopes.len(),
     )))
+}
+
+/// True when `results` answers exactly the ids in `pending`, each once.
+fn ids_match_pending(results: &[ResultLine], pending: &[Envelope]) -> bool {
+    let mut seen = std::collections::HashSet::with_capacity(results.len());
+    results.len() == pending.len()
+        && results
+            .iter()
+            .all(|line| pending.iter().any(|env| env.id == line.id) && seen.insert(line.id))
 }
 
 /// Sends one raw line and reads `expect` response lines within `timeout`.
@@ -915,5 +960,153 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Draws the full backoff schedule a retry loop would sleep, starting
+    /// from `prev = base` exactly as `submit_batch_with_retry` does.
+    fn schedule(policy: &RetryPolicy, steps: usize) -> Vec<Duration> {
+        let mut rng = gcco_faults::SplitMix64::new(policy.seed);
+        let mut prev = policy.base;
+        let mut out = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            prev = policy.next_sleep(&mut rng, prev);
+            out.push(prev);
+        }
+        out
+    }
+
+    /// Regression for the sub-millisecond hot spin: `next_sleep` used to
+    /// compute in whole milliseconds, so `base`, `cap`, and `prev` below
+    /// 1 ms all truncated to 0 and every sleep in the schedule was zero —
+    /// a retry loop that was supposed to back off for hundreds of
+    /// microseconds instead spun flat out. Microsecond arithmetic keeps
+    /// every sleep strictly positive for any `base > 0`.
+    #[test]
+    fn sub_millisecond_policy_never_sleeps_zero() {
+        let policy = RetryPolicy {
+            attempts: 16,
+            base: Duration::from_micros(300),
+            cap: Duration::from_micros(900),
+            ..RetryPolicy::default()
+        };
+        for (i, sleep) in schedule(&policy, 64).iter().enumerate() {
+            assert!(
+                *sleep > Duration::ZERO,
+                "step {i}: sub-ms policy degenerated into a zero sleep"
+            );
+            assert!(*sleep <= policy.cap, "step {i}: {sleep:?} exceeds cap");
+            assert!(
+                *sleep >= policy.base.min(policy.cap),
+                "step {i}: {sleep:?} under floor"
+            );
+        }
+    }
+
+    /// The schedule is a pure function of the seed — two policies with the
+    /// same knobs sleep the identical sequence, which is what lets chaos
+    /// tests pin timing-sensitive scenarios.
+    #[test]
+    fn backoff_schedule_is_deterministic_and_bounded() {
+        let policy = RetryPolicy::default();
+        let a = schedule(&policy, 32);
+        assert_eq!(a, schedule(&policy, 32));
+        for (i, sleep) in a.iter().enumerate() {
+            assert!(*sleep >= policy.base, "step {i}: {sleep:?} under base");
+            assert!(*sleep <= policy.cap, "step {i}: {sleep:?} over cap");
+        }
+        assert!(
+            a.iter().any(|s| *s > policy.base),
+            "jitter never left the floor — the decorrelated draw is broken"
+        );
+    }
+
+    /// `cap < base` edge: the uniform draw is always at least `base`, so
+    /// the clamp wins and every sleep is exactly `cap` — still positive,
+    /// never zero, never above the configured ceiling.
+    #[test]
+    fn cap_below_base_clamps_every_sleep_to_cap() {
+        let policy = RetryPolicy {
+            attempts: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(2),
+            ..RetryPolicy::default()
+        };
+        for sleep in schedule(&policy, 16) {
+            assert_eq!(sleep, policy.cap);
+        }
+    }
+
+    /// `prev == 0` edge: a positive `base` recovers on the next draw (the
+    /// uniform range is `[base, base + 1µs)` when `prev * 3 < base`), and
+    /// an explicit zero-backoff policy (`base == 0`) keeps zero sleeps
+    /// rather than being silently floored.
+    #[test]
+    fn zero_prev_and_zero_base_edges() {
+        let positive = RetryPolicy {
+            base: Duration::from_micros(250),
+            ..RetryPolicy::default()
+        };
+        let mut rng = gcco_faults::SplitMix64::new(positive.seed);
+        let next = positive.next_sleep(&mut rng, Duration::ZERO);
+        assert!(
+            next >= positive.base,
+            "prev == 0 must not drag the draw under base"
+        );
+
+        let zero = RetryPolicy {
+            base: Duration::ZERO,
+            ..RetryPolicy::default()
+        };
+        let mut rng = gcco_faults::SplitMix64::new(zero.seed);
+        assert_eq!(
+            zero.next_sleep(&mut rng, Duration::ZERO),
+            Duration::ZERO,
+            "base == 0 is an explicit no-backoff policy, not a bug to floor away"
+        );
+    }
+
+    /// The id audit behind `submit_batch_with_retry`: an attempt whose
+    /// response ids drift from the submitted envelopes (foreign id,
+    /// duplicated id, short or long count) is rejected wholesale.
+    #[test]
+    fn id_audit_rejects_foreign_duplicate_and_miscounted_ids() {
+        let env = |id| Envelope {
+            id,
+            v: Some(crate::json::PROTOCOL_VERSION),
+            deadline_ms: None,
+            request: EvalRequest::DsimRun {
+                run: DsimRunSpec {
+                    seed: id,
+                    stages: 4,
+                    stage_delay_ps: 50.0,
+                    jitter_rel: 0.0,
+                    duration_ns: 1.0,
+                },
+            },
+        };
+        let line = |id| ResultLine {
+            id,
+            note: None,
+            result: Err(("queue_full".into(), "test".into())),
+        };
+        let pending = [env(1), env(2)];
+        assert!(ids_match_pending(&[line(1), line(2)], &pending));
+        assert!(
+            ids_match_pending(&[line(2), line(1)], &pending),
+            "order is free"
+        );
+        assert!(
+            !ids_match_pending(&[line(1), line(3)], &pending),
+            "foreign id"
+        );
+        assert!(
+            !ids_match_pending(&[line(1), line(1)], &pending),
+            "duplicate id"
+        );
+        assert!(!ids_match_pending(&[line(1)], &pending), "short count");
+        assert!(
+            !ids_match_pending(&[line(1), line(2), line(2)], &pending),
+            "long count"
+        );
     }
 }

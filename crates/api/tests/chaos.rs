@@ -20,9 +20,11 @@ use gcco_api::serve::{
     fetch_metrics, send_shutdown, serve, submit_batch, submit_batch_with_retry, RetryPolicy,
     ServeConfig,
 };
-use gcco_api::{DsimRunSpec, Engine, EvalRequest, ModelSpec};
+use gcco_api::{DsimRunSpec, Engine, EvalRequest, GccoError, ModelSpec};
 use gcco_faults::{ChaosProxy, ConnFault, FaultWeights, ProxyPlan, ScriptedFaults, When};
 use gcco_store::{Store, StoreConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener};
 use std::time::Duration;
 
 /// Generous per-attempt budget for clean paths (CI machines are slow).
@@ -331,6 +333,164 @@ fn shutdown_with_in_flight_connections_answers_every_accepted_envelope() {
         }
     }
     handle.shutdown();
+}
+
+/// Spawns a parseable-but-hostile fake server: it accepts exactly
+/// `conns` connections, reads one batch line from each, and answers with
+/// one well-formed result line per id in `ids` — ids chosen by the test
+/// to be foreign, duplicated, or half-right. Every line parses cleanly,
+/// so only the retry loop's id audit stands between the client and a
+/// polluted result map.
+fn hostile_server(conns: usize, ids: Vec<u64>) -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind hostile server");
+    let addr = listener.local_addr().expect("hostile server addr");
+    std::thread::spawn(move || {
+        for _ in 0..conns {
+            let Ok((mut stream, _)) = listener.accept() else {
+                return;
+            };
+            let mut reader = BufReader::new(stream.try_clone().expect("clone hostile stream"));
+            let mut line = String::new();
+            let _ = reader.read_line(&mut line);
+            for id in &ids {
+                let _ = writeln!(
+                    stream,
+                    "{{\"id\":{id},\"err\":{{\"kind\":\"hostile\",\"detail\":\"wrong id on purpose\"}}}}"
+                );
+            }
+        }
+    });
+    addr
+}
+
+#[test]
+fn a_hostile_server_mangling_response_ids_is_a_failed_attempt_not_a_panic() {
+    // Before the id audit in `submit_batch_with_retry`, the half-right
+    // case was a client *panic*: the foreign id landed in the result map
+    // while envelope 2 went unanswered, and reassembly had no line for
+    // it. All three manglings must now count as failed attempts and
+    // surface as a structured error once the budget runs out.
+    for (case, ids) in [
+        ("all ids foreign", vec![1001u64, 1002]),
+        ("one id duplicated", vec![1, 1]),
+        ("one right, one foreign", vec![1, 999]),
+    ] {
+        let addr = hostile_server(3, ids);
+        let err = submit_batch_with_retry(
+            &addr,
+            &[ber_point(1), ber_point(2)],
+            TIMEOUT,
+            &fast_policy(3),
+        )
+        .expect_err("mangled ids must never be accepted as answers");
+        let text = err.to_string();
+        assert!(
+            text.contains("retry budget exhausted after 3 attempts"),
+            "{case}: {text}"
+        );
+        assert!(
+            text.contains("response ids do not match the 2 submitted envelopes"),
+            "{case}: {text}"
+        );
+        assert!(
+            matches!(err, GccoError::Io(_)),
+            "{case}: expected a structured io error, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn mixed_queue_full_and_transport_faults_preserve_order_and_answer_each_id_once() {
+    // The satellite property test: per-envelope `queue_full` rejections
+    // (partial retry — only the rejected subset is re-sent) interleaved
+    // with transport faults (whole-batch retry) at several seeds. The
+    // invariant: results come back in envelope order with exactly one
+    // reply per id, and are bit-identical to a clean direct exchange.
+    for seed in [3u64, 11, 29] {
+        // One worker and two queue slots: the wedge batch deterministically
+        // occupies the worker plus one slot (its own second envelope never
+        // bounces), leaving exactly one slot for the client's envelopes —
+        // so each clean client attempt admits one and rejects the rest.
+        let config = ServeConfig {
+            workers: 1,
+            queue_capacity: 2,
+            ..ServeConfig::default()
+        };
+        let handle = serve(&config, Engine::new()).expect("bind loopback");
+        let addr = handle.local_addr();
+        // Fast faults only (no black hole): faulted attempts fail in
+        // milliseconds, so the client keeps reaching the server while
+        // the wedge still holds the worker and the queue slot.
+        let proxy = ChaosProxy::spawn(
+            addr,
+            ProxyPlan::Seeded {
+                seed,
+                weights: FaultWeights {
+                    none: 3,
+                    delay: 2,
+                    truncate: 2,
+                    reset: 2,
+                    black_hole: 0,
+                },
+            },
+        )
+        .expect("proxy");
+        let proxy_addr = proxy.local_addr();
+        let wedge: Vec<Envelope> = (100..102).map(|i| dsim(i, 1, 80_000.0)).collect();
+        let wedger = std::thread::spawn(move || submit_batch(&addr, &wedge, TIMEOUT));
+        // The worker must be busy and the queue slot taken before the
+        // client starts, so its early clean attempts bounce `queue_full`.
+        let wedged_by = std::time::Instant::now() + Duration::from_secs(30);
+        while handle.obs().gauge("gcco_serve_queue_depth").get() < 1 {
+            assert!(
+                std::time::Instant::now() < wedged_by,
+                "seed {seed}: the wedge batch never occupied the queue"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let envelopes = vec![
+            dsim(1, seed, 100.0),
+            ber_point(2),
+            dsim(3, seed + 1, 100.0),
+            dsim(4, seed + 2, 100.0),
+        ];
+        let expected_ids: Vec<u64> = envelopes.iter().map(|e| e.id).collect();
+        let policy = RetryPolicy {
+            attempts: 60,
+            base: Duration::from_millis(25),
+            cap: Duration::from_millis(250),
+            seed,
+        };
+        let results = submit_batch_with_retry(&proxy_addr, &envelopes, ATTEMPT_TIMEOUT, &policy)
+            .expect("the budget must outlast both the wedge and the faults");
+        assert_eq!(
+            results.iter().map(|r| r.id).collect::<Vec<_>>(),
+            expected_ids,
+            "seed {seed}: envelope order, exactly one reply per id"
+        );
+        assert!(
+            results.iter().all(|r| r.result.is_ok()),
+            "seed {seed}: every envelope evaluates: {results:?}"
+        );
+        wedger.join().expect("wedger").expect("wedge batch");
+        // Replay safety is what makes partial re-sends correct: the
+        // answers assembled across faulted and partial attempts must
+        // equal a clean direct exchange bit for bit. The direct exchange
+        // also retries `queue_full` — a faulted attempt's duplicates may
+        // still be draining through the one-worker queue.
+        let direct =
+            submit_batch_with_retry(&addr, &envelopes, TIMEOUT, &fast_policy(10)).expect("direct");
+        assert_eq!(
+            results, direct,
+            "seed {seed}: retried results replay bit-identically"
+        );
+        assert!(
+            handle.obs().counter("gcco_serve_queue_full_total").get() >= 1,
+            "seed {seed}: the wedge must actually have rejected envelopes"
+        );
+        proxy.shutdown();
+        handle.shutdown();
+    }
 }
 
 #[test]

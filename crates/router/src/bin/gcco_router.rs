@@ -1,0 +1,93 @@
+//! `gcco-router` — the sharded cluster front for `gcco-serve`.
+//!
+//! ```text
+//! gcco-router listen [ADDR] --backend ADDR [--backend ADDR ...]
+//!                    [--vnodes N] [--probe-ms N] [--attempts N]
+//!     Bind (default 127.0.0.1:0), print "ROUTING <addr> -> N backends",
+//!     run until a {"cmd":"shutdown"} line arrives, then drain and exit.
+//!     Envelopes are consistent-hashed by cache key across the backends;
+//!     batches split into per-backend sub-batches with health-checked
+//!     failover. Shutting the router down leaves the backends running.
+//!
+//! The router speaks the gcco-serve wire protocol, so use the gcco-serve
+//! binary's client modes (demo/send/metrics/shutdown) against it.
+//! ```
+
+use gcco_api::serve::RetryPolicy;
+use gcco_api::GccoError;
+use gcco_router::{route, RouterConfig};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("listen") => listen(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: gcco-router listen [ADDR] --backend ADDR [--backend ADDR ...] \
+                 [--vnodes N] [--probe-ms N] [--attempts N]"
+            );
+            Ok(2)
+        }
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("gcco-router: {e}");
+        1
+    });
+    std::process::exit(code);
+}
+
+fn listen(args: &[String]) -> Result<i32, GccoError> {
+    let mut config = RouterConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--backend" => {
+                let text = it
+                    .next()
+                    .ok_or_else(|| GccoError::Parse("--backend needs an address".to_string()))?;
+                let addr: SocketAddr = text
+                    .parse()
+                    .map_err(|_| GccoError::Parse(format!("invalid backend address \"{text}\"")))?;
+                config.backends.push(addr);
+            }
+            "--vnodes" => {
+                config.vnodes = parse_flag(it.next(), "--vnodes")?;
+            }
+            "--probe-ms" => {
+                config.probe_interval =
+                    Duration::from_millis(parse_flag(it.next(), "--probe-ms")? as u64);
+            }
+            "--attempts" => {
+                config.retry = RetryPolicy {
+                    attempts: parse_flag(it.next(), "--attempts")? as u32,
+                    ..RetryPolicy::default()
+                };
+            }
+            other if !other.starts_with("--") => {
+                config.addr = other.to_string();
+            }
+            other => {
+                return Err(GccoError::Parse(format!("unknown flag \"{other}\"")));
+            }
+        }
+    }
+    let handle = route(&config)?;
+    // The line the CI smoke step (and any wrapper) greps for.
+    println!(
+        "ROUTING {} -> {} backends",
+        handle.local_addr(),
+        config.backends.len()
+    );
+    handle.run_until_shutdown();
+    println!("drained and stopped");
+    Ok(0)
+}
+
+fn parse_flag(value: Option<&String>, flag: &str) -> Result<usize, GccoError> {
+    value
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .ok_or_else(|| GccoError::Parse(format!("{flag} needs a positive integer")))
+}
