@@ -75,8 +75,9 @@ impl GccoError {
             GccoError::ShuttingDown => "service is shutting down".to_string(),
             GccoError::UnsupportedVersion { v } => {
                 format!(
-                    "protocol version {v} is not supported (this build speaks v2; \
-                     v1 envelopes — no \"v\" field — are still accepted)"
+                    "protocol version {v} is not supported (this build speaks v2 only; \
+                     send \"v\":2 — v1 envelopes, with or without a \"v\" field, were \
+                     retired after their deprecation release)"
                 )
             }
         }

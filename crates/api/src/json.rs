@@ -10,6 +10,7 @@
 //! not approximation.
 
 use crate::error::GccoError;
+use crate::optimize::{BestDesignOut, ComboReportOut, OptimizeOut, OptimizeSpec};
 use crate::request::{
     ChannelOut, DsimRunOut, DsimRunSpec, EvalRequest, EvalResponse, JtolPointOut, MultiChannelSpec,
     PowerPointOut, PowerScanSpec, SizedCellOut, SjOverride,
@@ -18,26 +19,18 @@ use crate::spec::{ModelSpec, RunDistSpec};
 use gcco_stat::{EdgeModel, SamplingTap};
 use std::fmt::Write as _;
 
-/// The protocol version this build speaks. Envelopes may declare theirs
-/// in an optional top-level `"v"` field; see [`parse_envelope`]'s gate in
+/// The protocol version this build speaks. Every envelope must declare it
+/// in a top-level `"v"` field; see [`parse_envelope`]'s gate in
 /// [`parse_client_line`] for the acceptance policy:
 ///
 /// * `"v": 2` — current, accepted.
-/// * `"v": 1` or no `"v"` field — the pre-versioning wire format,
-///   accepted for one release; responses to such envelopes carry a
-///   `"note"` field with [`V1_DEPRECATION_NOTE`].
-/// * anything else — rejected with
-///   [`GccoError::UnsupportedVersion`] (wire kind
-///   `"unsupported_version"`), so a client from the future gets a
-///   structured error instead of a confusing field-level parse failure.
+/// * anything else — including `"v": 1` and an absent `"v"` field, the
+///   pre-versioning wire format whose one-release deprecation window has
+///   closed — is rejected with [`GccoError::UnsupportedVersion`] (wire
+///   kind `"unsupported_version"`), so a stale or future client gets a
+///   structured version error instead of a confusing field-level parse
+///   failure.
 pub const PROTOCOL_VERSION: u64 = 2;
-
-/// Deprecation note attached (as a top-level `"note"` field) to every
-/// response for a v1 envelope — one that declared `"v":1` or carried no
-/// `"v"` field at all.
-pub const V1_DEPRECATION_NOTE: &str =
-    "protocol v1 envelope (no \"v\" field) is deprecated and will be rejected \
-     in the next release; send \"v\":2";
 
 /// A parsed JSON value.
 #[derive(Clone, Debug, PartialEq)]
@@ -435,6 +428,23 @@ fn parse_f64_list(v: &Json, what: &str) -> Result<Vec<f64>, GccoError> {
 // ModelSpec
 // ---------------------------------------------------------------------
 
+/// The wire name of a sampling tap (used by model specs, optimizer
+/// requests, and optimizer reports alike).
+fn tap_str(tap: SamplingTap) -> &'static str {
+    match tap {
+        SamplingTap::Standard => "standard",
+        SamplingTap::Improved => "improved",
+    }
+}
+
+fn parse_tap(s: &str) -> Result<SamplingTap, GccoError> {
+    match s {
+        "standard" => Ok(SamplingTap::Standard),
+        "improved" => Ok(SamplingTap::Improved),
+        other => Err(GccoError::Parse(format!("unknown tap \"{other}\""))),
+    }
+}
+
 /// Encodes a [`ModelSpec`] as a JSON object.
 pub fn encode_model_spec(spec: &ModelSpec) -> String {
     let run_dist = match &spec.run_dist {
@@ -462,10 +472,7 @@ pub fn encode_model_spec(spec: &ModelSpec) -> String {
         json_f64(spec.ckj_rms),
         spec.cid_max,
         run_dist,
-        json_string(match spec.tap {
-            SamplingTap::Standard => "standard",
-            SamplingTap::Improved => "improved",
-        }),
+        json_string(tap_str(spec.tap)),
         json_f64(spec.freq_offset),
         json_string(match spec.edge_model {
             EdgeModel::ResyncReferenced => "resync_referenced",
@@ -499,11 +506,7 @@ pub fn parse_model_spec(v: &Json) -> Result<ModelSpec, GccoError> {
             "run_dist must carry \"geometric\" or \"counts\"".to_string(),
         ));
     };
-    let tap = match v.field("tap")?.as_str("tap")? {
-        "standard" => SamplingTap::Standard,
-        "improved" => SamplingTap::Improved,
-        other => return Err(GccoError::Parse(format!("unknown tap \"{other}\""))),
-    };
+    let tap = parse_tap(v.field("tap")?.as_str("tap")?)?;
     let edge_model = match v.field("edge_model")?.as_str("edge_model")? {
         "resync_referenced" => EdgeModel::ResyncReferenced,
         "independent_edges" => EdgeModel::IndependentEdges,
@@ -614,6 +617,43 @@ pub fn encode_request(req: &EvalRequest) -> String {
             json_f64(mc.target_ber),
             encode_model_spec(&mc.spec)
         ),
+        EvalRequest::Optimize { opt } => {
+            let mut taps = String::from("[");
+            for (i, &tap) in opt.taps.iter().enumerate() {
+                if i > 0 {
+                    taps.push(',');
+                }
+                taps.push_str(&json_string(tap_str(tap)));
+            }
+            taps.push(']');
+            let mut cids = String::from("[");
+            for (i, cid) in opt.cids.iter().enumerate() {
+                if i > 0 {
+                    cids.push(',');
+                }
+                let _ = write!(cids, "{cid}");
+            }
+            cids.push(']');
+            format!(
+                "{{\"type\":\"optimize\",\"opt\":{{\"base\":{},\"target_ber\":{},\
+                 \"budget_mw_per_gbps\":{},\"bit_rate_gbps\":{},\"freq_margin\":{},\
+                 \"margin_hi\":{},\"taps\":{},\"cids\":{},\"ckj_lo\":{},\"ckj_hi\":{},\
+                 \"rel_tol\":{},\"seed\":{},\"max_probes\":{}}}}}",
+                encode_model_spec(&opt.base),
+                json_f64(opt.target_ber),
+                json_f64(opt.budget_mw_per_gbps),
+                json_f64(opt.bit_rate_gbps),
+                json_f64(opt.freq_margin),
+                json_f64(opt.margin_hi),
+                taps,
+                cids,
+                json_f64(opt.ckj_lo),
+                json_f64(opt.ckj_hi),
+                json_f64(opt.rel_tol),
+                opt.seed,
+                opt.max_probes
+            )
+        }
     }
 }
 
@@ -691,6 +731,40 @@ pub fn parse_request(v: &Json) -> Result<EvalRequest, GccoError> {
                     bit_rate_gbps: m.field("bit_rate_gbps")?.as_f64("bit_rate_gbps")?,
                     target_ber: m.field("target_ber")?.as_f64("target_ber")?,
                     spec: parse_model_spec(m.field("spec")?)?,
+                },
+            })
+        }
+        "optimize" => {
+            let o = v.field("opt")?;
+            let taps = o
+                .field("taps")?
+                .as_arr("taps")?
+                .iter()
+                .map(|t| parse_tap(t.as_str("taps")?))
+                .collect::<Result<Vec<_>, GccoError>>()?;
+            let cids = o
+                .field("cids")?
+                .as_arr("cids")?
+                .iter()
+                .map(|c| c.as_u64("cids").map(|n| n as u32))
+                .collect::<Result<Vec<_>, GccoError>>()?;
+            Ok(EvalRequest::Optimize {
+                opt: OptimizeSpec {
+                    base: parse_model_spec(o.field("base")?)?,
+                    target_ber: o.field("target_ber")?.as_f64("target_ber")?,
+                    budget_mw_per_gbps: o
+                        .field("budget_mw_per_gbps")?
+                        .as_f64("budget_mw_per_gbps")?,
+                    bit_rate_gbps: o.field("bit_rate_gbps")?.as_f64("bit_rate_gbps")?,
+                    freq_margin: o.field("freq_margin")?.as_f64("freq_margin")?,
+                    margin_hi: o.field("margin_hi")?.as_f64("margin_hi")?,
+                    taps,
+                    cids,
+                    ckj_lo: o.field("ckj_lo")?.as_f64("ckj_lo")?,
+                    ckj_hi: o.field("ckj_hi")?.as_f64("ckj_hi")?,
+                    rel_tol: o.field("rel_tol")?.as_f64("rel_tol")?,
+                    seed: o.field("seed")?.as_u64("seed")?,
+                    max_probes: o.field("max_probes")?.as_u64("max_probes")?,
                 },
             })
         }
@@ -806,6 +880,43 @@ pub fn encode_response(resp: &EvalResponse) -> String {
             );
             out
         }
+        EvalResponse::Optimize { out } => {
+            let best = match &out.best {
+                None => "null".to_string(),
+                Some(b) => format!(
+                    "{{\"spec\":{},\"mw_per_gbps\":{},\"worst_ber\":{},\"margin\":{},\
+                     \"settling_ui\":{}}}",
+                    encode_model_spec(&b.spec),
+                    json_f64(b.mw_per_gbps),
+                    json_f64(b.worst_ber),
+                    json_f64(b.margin),
+                    json_f64(b.settling_ui)
+                ),
+            };
+            let mut s = format!("{{\"type\":\"optimize\",\"best\":{best},\"per_combo\":[");
+            for (i, c) in out.per_combo.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(
+                    s,
+                    "{{\"tap\":{},\"cid_max\":{},\"ckj_rms\":{},\"mw_per_gbps\":{},\
+                     \"worst_ber\":{},\"probes\":{}}}",
+                    json_string(tap_str(c.tap)),
+                    c.cid_max,
+                    c.ckj_rms.map_or("null".to_string(), json_f64),
+                    c.mw_per_gbps.map_or("null".to_string(), json_f64),
+                    c.worst_ber.map_or("null".to_string(), json_f64),
+                    c.probes
+                );
+            }
+            let _ = write!(
+                s,
+                "],\"probes\":{},\"store_hits\":{},\"converged\":{}}}",
+                out.probes, out.store_hits, out.converged
+            );
+            s
+        }
     }
 }
 
@@ -902,6 +1013,48 @@ pub fn parse_response(v: &Json) -> Result<EvalResponse, GccoError> {
             },
             within_budget: v.field("within_budget")?.as_bool("within_budget")?,
         }),
+        "optimize" => {
+            let best = match v.field("best")? {
+                Json::Null => None,
+                b => Some(BestDesignOut {
+                    spec: parse_model_spec(b.field("spec")?)?,
+                    mw_per_gbps: b.field("mw_per_gbps")?.as_f64("best.mw_per_gbps")?,
+                    worst_ber: b.field("worst_ber")?.as_f64("best.worst_ber")?,
+                    margin: b.field("margin")?.as_f64("best.margin")?,
+                    settling_ui: b.field("settling_ui")?.as_f64("best.settling_ui")?,
+                }),
+            };
+            let per_combo = v
+                .field("per_combo")?
+                .as_arr("per_combo")?
+                .iter()
+                .map(|c| {
+                    let opt_f64 = |name: &str| -> Result<Option<f64>, GccoError> {
+                        match c.field(name)? {
+                            Json::Null => Ok(None),
+                            x => Ok(Some(x.as_f64(name)?)),
+                        }
+                    };
+                    Ok(ComboReportOut {
+                        tap: parse_tap(c.field("tap")?.as_str("per_combo.tap")?)?,
+                        cid_max: c.field("cid_max")?.as_u64("cid_max")? as u32,
+                        ckj_rms: opt_f64("ckj_rms")?,
+                        mw_per_gbps: opt_f64("mw_per_gbps")?,
+                        worst_ber: opt_f64("worst_ber")?,
+                        probes: c.field("probes")?.as_u64("probes")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, GccoError>>()?;
+            Ok(EvalResponse::Optimize {
+                out: OptimizeOut {
+                    best,
+                    per_combo,
+                    probes: v.field("probes")?.as_u64("probes")?,
+                    store_hits: v.field("store_hits")?.as_u64("store_hits")?,
+                    converged: v.field("converged")?.as_bool("converged")?,
+                },
+            })
+        }
         other => Err(GccoError::Parse(format!(
             "unknown response type \"{other}\""
         ))),
@@ -917,22 +1070,15 @@ pub fn parse_response(v: &Json) -> Result<EvalResponse, GccoError> {
 pub struct Envelope {
     /// Client-chosen request id, echoed on the response line.
     pub id: u64,
-    /// Declared protocol version; `None` means the field was absent —
-    /// the legacy v1 format. See [`PROTOCOL_VERSION`] for the policy.
+    /// Declared protocol version; `None` means the field was absent.
+    /// Only `Some(`[`PROTOCOL_VERSION`]`)` passes the parse gate — the
+    /// `Option` survives so a client can encode (and a test can exercise)
+    /// the rejected shapes.
     pub v: Option<u64>,
     /// Optional per-request deadline in milliseconds.
     pub deadline_ms: Option<u64>,
     /// The request payload.
     pub request: EvalRequest,
-}
-
-impl Envelope {
-    /// Whether this envelope used the deprecated pre-versioning format
-    /// (`"v"` absent or `1`); responses to such envelopes carry
-    /// [`V1_DEPRECATION_NOTE`].
-    pub fn is_legacy(&self) -> bool {
-        self.v.unwrap_or(1) < PROTOCOL_VERSION
-    }
 }
 
 /// One parsed client line.
@@ -949,12 +1095,14 @@ fn parse_envelope(v: &Json) -> Result<Envelope, GccoError> {
         None | Some(Json::Null) => None,
         Some(x) => Some(x.as_u64("v")?),
     };
-    // Version gate before touching the payload: a future request kind
-    // should fail with a structured version error, not a field-level
-    // parse error inside a request shape this build has never heard of.
-    match version {
-        None | Some(1) | Some(PROTOCOL_VERSION) => {}
-        Some(other) => return Err(GccoError::UnsupportedVersion { v: other }),
+    // Version gate before touching the payload: a request from another
+    // protocol generation should fail with a structured version error,
+    // not a field-level parse error inside a request shape this build
+    // has never heard of. An absent field is the retired v1 format.
+    if version != Some(PROTOCOL_VERSION) {
+        return Err(GccoError::UnsupportedVersion {
+            v: version.unwrap_or(1),
+        });
     }
     let deadline_ms = match v.get("deadline_ms") {
         None | Some(Json::Null) => None,
@@ -1011,8 +1159,8 @@ pub fn parse_client_line(line: &str) -> Result<ClientLine, GccoError> {
 }
 
 /// Encodes an [`Envelope`] as one client line (no trailing newline).
-/// A `v: None` envelope is emitted without a `"v"` field, byte-faithful
-/// to the legacy format it parsed from.
+/// A `v: None` envelope is emitted without a `"v"` field — a shape the
+/// parse gate rejects, kept encodable for tests and version probes.
 pub fn encode_envelope(env: &Envelope) -> String {
     let deadline = env
         .deadline_ms
@@ -1047,9 +1195,9 @@ pub fn encode_result_line(id: u64, result: &Result<EvalResponse, GccoError>) -> 
 }
 
 /// Like [`encode_result_line`], with an optional advisory `"note"` field
-/// between the id and the payload — how the server attaches
-/// [`V1_DEPRECATION_NOTE`] to responses for legacy envelopes without
-/// disturbing the `ok`/`err` shape.
+/// between the id and the payload — the slot a server or proxy tier uses
+/// to attach out-of-band warnings without disturbing the `ok`/`err`
+/// shape (and which [`ResultLine`] preserves when forwarding).
 pub fn encode_result_line_with_note(
     id: u64,
     note: Option<&str>,
@@ -1118,7 +1266,8 @@ pub fn encode_error_line(e: &GccoError) -> String {
 pub struct ResultLine {
     /// The echoed request id.
     pub id: u64,
-    /// Advisory server note (e.g. the v1 deprecation warning), if any.
+    /// Advisory server note, if any (preserved byte-faithfully when a
+    /// proxy tier forwards the line).
     pub note: Option<String>,
     /// The response or the wire error.
     pub result: Result<EvalResponse, (String, String)>,
@@ -1266,7 +1415,7 @@ mod tests {
     fn duplicate_batch_ids_are_rejected() {
         let env = Envelope {
             id: 7,
-            v: None,
+            v: Some(PROTOCOL_VERSION),
             deadline_ms: None,
             request: EvalRequest::FtolSearch {
                 spec: ModelSpec::paper_table1(),
@@ -1355,41 +1504,38 @@ mod tests {
     }
 
     #[test]
-    fn version_gate_accepts_v1_v2_and_rejects_the_rest() {
+    fn version_gate_accepts_only_the_current_version() {
         let request = "{\"type\":\"ftol_search\",\"spec\":SPEC,\"target_ber\":1e-12}"
             .replace("SPEC", &encode_model_spec(&ModelSpec::paper_table1()));
 
-        // Legacy: no "v" field. Accepted, flagged legacy, and re-encoded
-        // without inventing a version it never declared.
-        let legacy = format!("{{\"id\":1,\"request\":{request}}}");
-        let ClientLine::Requests(envs) = parse_client_line(&legacy).unwrap() else {
+        // Current version: accepted and re-encoded with its version.
+        let line = format!("{{\"id\":1,\"v\":{PROTOCOL_VERSION},\"request\":{request}}}");
+        let ClientLine::Requests(envs) = parse_client_line(&line).unwrap() else {
             panic!("not requests");
         };
-        assert_eq!(envs[0].v, None);
-        assert!(envs[0].is_legacy());
-        assert!(!encode_envelope(&envs[0]).contains("\"v\":"));
+        assert_eq!(envs[0].v, Some(PROTOCOL_VERSION));
+        let reencoded = encode_envelope(&envs[0]);
+        assert!(
+            reencoded.contains(&format!("\"v\":{PROTOCOL_VERSION}")),
+            "{reencoded}"
+        );
 
-        // Explicit v1 and current v2.
-        for (v, legacy_expected) in [(1, true), (2, false)] {
-            let line = format!("{{\"id\":1,\"v\":{v},\"request\":{request}}}");
-            let ClientLine::Requests(envs) = parse_client_line(&line).unwrap() else {
-                panic!("not requests");
-            };
-            assert_eq!(envs[0].v, Some(v));
-            assert_eq!(envs[0].is_legacy(), legacy_expected, "v{v}");
-            let reencoded = encode_envelope(&envs[0]);
-            assert!(reencoded.contains(&format!("\"v\":{v}")), "{reencoded}");
-        }
-
-        // Unknown versions get the structured error — even when the
-        // payload would not parse, the version gate fires first.
-        for line in [
-            format!("{{\"id\":1,\"v\":3,\"request\":{request}}}"),
-            "{\"id\":1,\"v\":99,\"request\":{\"type\":\"from_the_future\"}}".to_string(),
+        // Everything else gets the structured error: the retired v1
+        // format (explicit or as an absent field) and unknown future
+        // versions alike — even when the payload would not parse, the
+        // version gate fires first.
+        for (line, want_v) in [
+            (format!("{{\"id\":1,\"request\":{request}}}"), 1),
+            (format!("{{\"id\":1,\"v\":1,\"request\":{request}}}"), 1),
+            (format!("{{\"id\":1,\"v\":3,\"request\":{request}}}"), 3),
+            (
+                "{\"id\":1,\"v\":99,\"request\":{\"type\":\"from_the_future\"}}".to_string(),
+                99,
+            ),
         ] {
-            let err = parse_client_line(&line).expect_err("unknown v must be rejected");
+            let err = parse_client_line(&line).expect_err("wrong v must be rejected");
             assert!(
-                matches!(err, GccoError::UnsupportedVersion { .. }),
+                matches!(err, GccoError::UnsupportedVersion { v } if v == want_v),
                 "{line}: {err:?}"
             );
             assert_eq!(err.kind(), "unsupported_version");
@@ -1406,24 +1552,22 @@ mod tests {
         assert!(!plain.contains("note"), "{plain}");
         assert_eq!(parse_result_line(&plain).unwrap().note, None);
 
+        let advisory = "served from a draining backend";
         let noted = encode_result_line_with_note(
             4,
-            Some(V1_DEPRECATION_NOTE),
+            Some(advisory),
             &Ok(EvalResponse::Scalar { value: 1.0 }),
         );
         let parsed = parse_result_line(&noted).unwrap();
         assert_eq!(parsed.id, 4);
-        assert_eq!(parsed.note.as_deref(), Some(V1_DEPRECATION_NOTE));
+        assert_eq!(parsed.note.as_deref(), Some(advisory));
         assert_eq!(parsed.result, Ok(EvalResponse::Scalar { value: 1.0 }));
 
         // Notes ride on error lines too.
-        let err_line = encode_result_line_with_note(
-            5,
-            Some(V1_DEPRECATION_NOTE),
-            &Err(GccoError::ShuttingDown),
-        );
+        let err_line =
+            encode_result_line_with_note(5, Some(advisory), &Err(GccoError::ShuttingDown));
         let parsed = parse_result_line(&err_line).unwrap();
-        assert_eq!(parsed.note.as_deref(), Some(V1_DEPRECATION_NOTE));
+        assert_eq!(parsed.note.as_deref(), Some(advisory));
         assert_eq!(parsed.result.unwrap_err().0, "shutting_down");
     }
 
@@ -1443,7 +1587,7 @@ mod tests {
             encode_result_line(3, &Err(GccoError::QueueFull { capacity: 4 })),
             encode_result_line_with_note(
                 9,
-                Some(V1_DEPRECATION_NOTE),
+                Some("served from a draining backend"),
                 &Ok(EvalResponse::Scalar { value: 0.021 }),
             ),
             encode_result_line_with_note(

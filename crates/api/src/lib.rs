@@ -3,9 +3,10 @@
 //! Everything this repository can compute — BER points and grids
 //! (Figs. 9/10/17), jitter-tolerance curves, the §2.3 frequency-tolerance
 //! search, the Fig. 11 power/phase-noise scan, event-driven ring runs,
-//! multi-channel yield scenarios ([`MultiChannelSpec`]) — is expressible
-//! as one typed value, [`EvalRequest`], evaluated through one entry
-//! point, [`Engine`]:
+//! multi-channel yield scenarios ([`MultiChannelSpec`]), and the paper's
+//! whole top-down design loop as a single optimization ([`OptimizeSpec`])
+//! — is expressible as one typed value, [`EvalRequest`], evaluated
+//! through one entry point, [`Engine`]:
 //!
 //! * [`ModelSpec`] — a plain-data, serializable, *validated* description
 //!   of a [`gcco_stat::GccoStatModel`] (the builders panic; specs return
@@ -55,12 +56,16 @@
 mod engine;
 mod error;
 pub mod json;
+mod optimize;
 mod request;
 pub mod serve;
 mod spec;
 
 pub use engine::{DeadlineGuard, Engine, EngineConfig};
 pub use error::GccoError;
+pub use optimize::{
+    run_optimize, BestDesignOut, ComboReportOut, OptimizeOut, OptimizeSpec, ProbeOracle,
+};
 pub use request::{
     ChannelOut, DsimRunOut, DsimRunSpec, EvalRequest, EvalResponse, JtolPointOut, MultiChannelSpec,
     PowerPointOut, PowerScanSpec, RequestParts, SizedCellOut, SjOverride,

@@ -2,10 +2,11 @@
 //! figure, search, and scan of this workspace goes through.
 
 use crate::error::GccoError;
+use crate::optimize::{OptimizeOut, OptimizeSpec};
 use crate::spec::ModelSpec;
 use gcco_faults::SplitMix64;
 use gcco_noise::compose_ripple_jitter;
-use gcco_stat::q_inverse;
+use gcco_stat::{q_inverse, SamplingTap};
 
 /// An explicit sinusoidal-jitter override for a single BER point: the BER
 /// is evaluated as if the spec's SJ were `(amplitude_pp, freq_norm)`,
@@ -335,6 +336,14 @@ pub enum EvalRequest {
         /// Scenario parameters.
         mc: MultiChannelSpec,
     },
+    /// The paper's top-down design loop as one request: a deterministic
+    /// seeded search over `(tap, cid_max, ckj_rms, freq_offset)` whose
+    /// probes are ordinary [`EvalRequest::BerPoint`] sub-requests — and
+    /// therefore memoized, resumable, and shardable like any other.
+    Optimize {
+        /// Optimizer configuration.
+        opt: OptimizeSpec,
+    },
 }
 
 /// The variant-independent facets of an [`EvalRequest`], resolved by one
@@ -383,6 +392,10 @@ impl EvalRequest {
             EvalRequest::MultiChannel { mc } => RequestParts {
                 kind: "multi_channel",
                 model_spec: Some(&mc.spec),
+            },
+            EvalRequest::Optimize { opt } => RequestParts {
+                kind: "optimize",
+                model_spec: Some(&opt.base),
             },
         }
     }
@@ -452,6 +465,11 @@ impl EvalRequest {
     /// A multi-channel scenario evaluation.
     pub fn multi_channel(mc: MultiChannelSpec) -> EvalRequest {
         EvalRequest::MultiChannel { mc }
+    }
+
+    /// A design-space optimization run.
+    pub fn optimize(opt: OptimizeSpec) -> EvalRequest {
+        EvalRequest::Optimize { opt }
     }
 
     /// Canonical content key for the whole request — the persistence
@@ -547,6 +565,36 @@ impl EvalRequest {
                 );
                 let _ = write!(key, "|x{:016x}.n{}", mc.seed, mc.channels);
             }
+            EvalRequest::Optimize { opt } => {
+                push_f64s(
+                    &mut key,
+                    'o',
+                    &[
+                        opt.target_ber,
+                        opt.budget_mw_per_gbps,
+                        opt.bit_rate_gbps,
+                        opt.freq_margin,
+                        opt.margin_hi,
+                        opt.ckj_lo,
+                        opt.ckj_hi,
+                        opt.rel_tol,
+                    ],
+                );
+                let _ = write!(key, "|x{:016x}.p{}|t", opt.seed, opt.max_probes);
+                for tap in &opt.taps {
+                    key.push(match tap {
+                        SamplingTap::Standard => '0',
+                        SamplingTap::Improved => '1',
+                    });
+                }
+                key.push_str("|c");
+                for (i, cid) in opt.cids.iter().enumerate() {
+                    if i > 0 {
+                        key.push(',');
+                    }
+                    let _ = write!(key, "{cid}");
+                }
+            }
         }
         key
     }
@@ -632,6 +680,10 @@ impl EvalRequest {
             EvalRequest::PowerScan { scan } => scan.validate(),
             EvalRequest::DsimRun { run } => run.validate(),
             EvalRequest::MultiChannel { mc } => mc.validate(),
+            // `opt.validate()` re-checks the base spec the table lookup
+            // above already covered; harmless, and it keeps OptimizeSpec
+            // self-contained for non-request callers.
+            EvalRequest::Optimize { opt } => opt.validate(),
         }
     }
 }
@@ -770,6 +822,11 @@ pub enum EvalResponse {
         /// budget ([`gcco_noise::PAPER_MW_PER_GBPS_BUDGET`]).
         within_budget: bool,
     },
+    /// Design-space optimization report.
+    Optimize {
+        /// The recovered design, evidence, and probe accounting.
+        out: OptimizeOut,
+    },
 }
 
 impl EvalResponse {
@@ -783,6 +840,7 @@ impl EvalResponse {
             EvalResponse::Power { .. } => "power",
             EvalResponse::Dsim { .. } => "dsim",
             EvalResponse::MultiChannel { .. } => "multi_channel",
+            EvalResponse::Optimize { .. } => "optimize",
         }
     }
 }
@@ -822,6 +880,9 @@ mod tests {
             EvalRequest::MultiChannel {
                 mc: MultiChannelSpec::paper_quad(),
             },
+            EvalRequest::Optimize {
+                opt: OptimizeSpec::paper_flow(),
+            },
         ];
         let kinds: Vec<_> = reqs.iter().map(|r| r.kind()).collect();
         assert_eq!(
@@ -833,7 +894,8 @@ mod tests {
                 "ftol_search",
                 "power_scan",
                 "dsim_run",
-                "multi_channel"
+                "multi_channel",
+                "optimize"
             ]
         );
         for r in &reqs {
@@ -900,6 +962,12 @@ mod tests {
             EvalRequest::multi_channel(MultiChannelSpec::paper_quad()),
             EvalRequest::MultiChannel {
                 mc: MultiChannelSpec::paper_quad()
+            }
+        );
+        assert_eq!(
+            EvalRequest::optimize(OptimizeSpec::paper_flow()),
+            EvalRequest::Optimize {
+                opt: OptimizeSpec::paper_flow()
             }
         );
     }
@@ -994,6 +1062,27 @@ mod tests {
                     ..MultiChannelSpec::paper_quad()
                 },
             },
+            EvalRequest::Optimize {
+                opt: OptimizeSpec::paper_flow(),
+            },
+            EvalRequest::Optimize {
+                opt: OptimizeSpec {
+                    seed: 2,
+                    ..OptimizeSpec::paper_flow()
+                },
+            },
+            EvalRequest::Optimize {
+                opt: OptimizeSpec {
+                    taps: vec![SamplingTap::Improved],
+                    ..OptimizeSpec::paper_flow()
+                },
+            },
+            EvalRequest::Optimize {
+                opt: OptimizeSpec {
+                    cids: vec![4, 5, 6],
+                    ..OptimizeSpec::paper_flow()
+                },
+            },
         ];
         let keys: Vec<String> = reqs.iter().map(EvalRequest::cache_key).collect();
         for (i, a) in keys.iter().enumerate() {
@@ -1072,6 +1161,19 @@ mod tests {
                 mc: MultiChannelSpec {
                     target_ber: 0.0,
                     ..MultiChannelSpec::paper_quad()
+                },
+            },
+            EvalRequest::Optimize {
+                opt: OptimizeSpec {
+                    taps: vec![],
+                    ..OptimizeSpec::paper_flow()
+                },
+            },
+            EvalRequest::Optimize {
+                opt: OptimizeSpec {
+                    freq_margin: 0.02,
+                    margin_hi: 0.01,
+                    ..OptimizeSpec::paper_flow()
                 },
             },
         ];

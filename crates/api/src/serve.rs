@@ -12,14 +12,12 @@
 //! mechanism, not ordering). Ids must be unique within a batch; a batch
 //! that reuses an id is rejected whole with a `duplicate_id` error.
 //!
-//! The optional `"v"` field declares the envelope's protocol version
-//! (see [`crate::json::PROTOCOL_VERSION`]): `2` is current; `1` — or an
-//! absent field, the pre-versioning format — is accepted for one more
-//! release, and every response to such an envelope carries a top-level
-//! `"note"` field with the deprecation warning
-//! ([`crate::json::V1_DEPRECATION_NOTE`]); any other version is rejected
-//! with a structured `unsupported_version` error before the request
-//! payload is even examined.
+//! The `"v"` field declares the envelope's protocol version (see
+//! [`crate::json::PROTOCOL_VERSION`]): `2` is current and required. Any
+//! other version — including `1` or an absent field, the pre-versioning
+//! format whose deprecation window has closed — is rejected with a
+//! structured `unsupported_version` error before the request payload is
+//! even examined.
 //!
 //! A line the server cannot correlate to any envelope — malformed JSON,
 //! an unknown command — is answered with an **id-less** error object
@@ -50,8 +48,8 @@
 use crate::engine::{DeadlineGuard, Engine};
 use crate::error::GccoError;
 use crate::json::{
-    check_unique_ids, encode_batch, encode_error_line, encode_result_line_with_note, json_string,
-    parse_client_line, parse_result_line, ClientLine, Envelope, ResultLine, V1_DEPRECATION_NOTE,
+    check_unique_ids, encode_batch, encode_error_line, encode_result_line, json_string,
+    parse_client_line, parse_result_line, ClientLine, Envelope, ResultLine,
 };
 use crate::request::{EvalRequest, EvalResponse};
 use gcco_obs::{Counter, Gauge, Histogram, Registry};
@@ -90,19 +88,10 @@ const POLL: Duration = Duration::from_millis(25);
 
 struct Job {
     id: u64,
-    /// Whether the envelope used the deprecated v1 format — its response
-    /// gets the deprecation note attached.
-    legacy: bool,
     guard: DeadlineGuard,
     request: EvalRequest,
     reply: mpsc::Sender<String>,
     enqueued_at: Instant,
-}
-
-/// The advisory note for a response line: the deprecation warning for
-/// legacy (v1) envelopes, nothing otherwise.
-fn note_for(legacy: bool) -> Option<&'static str> {
-    legacy.then_some(V1_DEPRECATION_NOTE)
 }
 
 /// Pre-resolved serve-layer metric handles (all living in the engine's
@@ -163,12 +152,11 @@ impl Shared {
     fn answer(
         &self,
         id: u64,
-        legacy: bool,
         result: &Result<EvalResponse, GccoError>,
         reply: &mpsc::Sender<String>,
     ) {
         self.obs.count_outcome(result);
-        let _ = reply.send(encode_result_line_with_note(id, note_for(legacy), result));
+        let _ = reply.send(encode_result_line(id, result));
     }
 
     /// Enqueues one envelope, or answers it immediately on backpressure /
@@ -184,11 +172,10 @@ impl Shared {
     /// the flag read false is guaranteed to be drained.
     fn submit(&self, env: Envelope, reply: &mpsc::Sender<String>) {
         self.obs.requests_total.inc();
-        let legacy = env.is_legacy();
         let mut queue = self.queue.lock().expect("queue lock poisoned");
         if self.shutdown.load(Ordering::SeqCst) {
             drop(queue);
-            self.answer(env.id, legacy, &Err(GccoError::ShuttingDown), reply);
+            self.answer(env.id, &Err(GccoError::ShuttingDown), reply);
             return;
         }
         if queue.len() >= self.queue_capacity {
@@ -196,7 +183,6 @@ impl Shared {
             self.obs.queue_full_total.inc();
             self.answer(
                 env.id,
-                legacy,
                 &Err(GccoError::QueueFull {
                     capacity: self.queue_capacity,
                 }),
@@ -206,7 +192,6 @@ impl Shared {
         }
         queue.push_back(Job {
             id: env.id,
-            legacy,
             guard: DeadlineGuard::from_opt_ms(env.deadline_ms),
             request: env.request,
             reply: reply.clone(),
@@ -258,11 +243,7 @@ impl Shared {
                 .observe(job.enqueued_at.elapsed().as_secs_f64());
             let result = self.engine.evaluate_with_deadline(&job.request, job.guard);
             self.obs.count_outcome(&result);
-            let _ = job.reply.send(encode_result_line_with_note(
-                job.id,
-                note_for(job.legacy),
-                &result,
-            ));
+            let _ = job.reply.send(encode_result_line(job.id, &result));
         }
     }
 
@@ -521,8 +502,11 @@ fn handle_line(line: &str, shared: &Arc<Shared>, reply: &mpsc::Sender<String>) -
                     let _ = reply.send(shared.metrics_line());
                 }
                 "shutdown" => {
-                    let _ = reply.send("{\"ok\":\"shutting_down\"}".to_string());
+                    // Flag first, ack second: a client that receives the
+                    // acknowledgement must observe `is_shutting_down()`
+                    // (the ack is its linearization point).
                     shared.request_shutdown();
+                    let _ = reply.send("{\"ok\":\"shutting_down\"}".to_string());
                 }
                 other => {
                     // Unknown commands carry no envelope id to answer on;
@@ -854,12 +838,12 @@ mod tests {
         (shared, handles)
     }
 
-    /// A v1 (field-less) envelope is still served, but its response warns;
-    /// a v2 envelope's response stays clean.
+    /// A v1 envelope (explicit `"v":1` or the field-less pre-versioning
+    /// shape) no longer reaches the queue: the wire gate rejects it with
+    /// a structured version error. A v2 envelope still serves, with no
+    /// advisory note attached.
     #[test]
-    fn legacy_envelopes_get_the_deprecation_note() {
-        let (shared, workers) = shared_with_workers(1);
-        let (tx, rx) = mpsc::channel::<String>();
+    fn v1_envelopes_are_rejected_with_a_version_error() {
         let run = DsimRunSpec {
             seed: 1,
             stages: 4,
@@ -867,30 +851,41 @@ mod tests {
             jitter_rel: 0.0,
             duration_ns: 1.0,
         };
-        for (id, v) in [(0u64, None), (1, Some(crate::json::PROTOCOL_VERSION))] {
-            shared.submit(
-                Envelope {
-                    id,
-                    v,
-                    deadline_ms: None,
-                    request: EvalRequest::DsimRun { run: run.clone() },
-                },
-                &tx,
+        let request = crate::json::encode_request(&EvalRequest::DsimRun { run: run.clone() });
+        for line in [
+            format!("{{\"id\":0,\"request\":{request}}}"),
+            format!("{{\"id\":0,\"v\":1,\"request\":{request}}}"),
+        ] {
+            let err = parse_client_line(&line).expect_err("retired versions are rejected");
+            assert!(
+                matches!(err, GccoError::UnsupportedVersion { v: 1 }),
+                "{line}: {err:?}"
+            );
+            // The id-less error line the connection answers with.
+            assert!(
+                encode_error_line(&err).contains("unsupported_version"),
+                "{err:?}"
             );
         }
+
+        let (shared, workers) = shared_with_workers(1);
+        let (tx, rx) = mpsc::channel::<String>();
+        shared.submit(
+            Envelope {
+                id: 1,
+                v: Some(crate::json::PROTOCOL_VERSION),
+                deadline_ms: None,
+                request: EvalRequest::DsimRun { run },
+            },
+            &tx,
+        );
         shared.request_shutdown();
         for w in workers {
             w.join().expect("worker panicked");
         }
-        let mut notes = std::collections::HashMap::new();
-        for _ in 0..2 {
-            let parsed =
-                parse_result_line(&rx.try_recv().expect("both envelopes answered")).unwrap();
-            assert!(parsed.result.is_ok(), "legacy requests still evaluate");
-            notes.insert(parsed.id, parsed.note);
-        }
-        assert_eq!(notes[&0].as_deref(), Some(V1_DEPRECATION_NOTE));
-        assert_eq!(notes[&1], None, "current-version responses carry no note");
+        let parsed = parse_result_line(&rx.try_recv().expect("envelope answered")).unwrap();
+        assert!(parsed.result.is_ok(), "current-version requests evaluate");
+        assert_eq!(parsed.note, None, "responses carry no advisory note");
     }
 
     /// Regression for the submit-vs-shutdown race: `submit` used to check

@@ -561,6 +561,114 @@ mod tests {
     }
 
     #[test]
+    fn builder_run_dist_pinning_edge_cases() {
+        // Pinning is positional-independent: an explicit run_dist set
+        // *after* a cid_max call still survives a further cid_max call.
+        let spec = ModelSpec::builder()
+            .cid_max(4)
+            .run_dist(RunDistSpec::Geometric(6))
+            .cid_max(11)
+            .build()
+            .expect("valid");
+        assert_eq!(spec.cid_max, 11);
+        assert_eq!(spec.run_dist, RunDistSpec::Geometric(6));
+
+        // A measured-counts distribution pins just like a geometric one.
+        let counts = RunDistSpec::Counts(vec![0, 8, 4, 2]);
+        let spec = ModelSpec::builder()
+            .run_dist(counts.clone())
+            .cid_max(9)
+            .build()
+            .expect("valid");
+        assert_eq!(spec.run_dist, counts);
+
+        // Without an explicit distribution, repeated cid_max calls each
+        // re-derive it — only the last one sticks.
+        let spec = ModelSpec::builder()
+            .cid_max(3)
+            .cid_max(8)
+            .build()
+            .expect("valid");
+        assert_eq!(spec.run_dist, RunDistSpec::Geometric(8));
+    }
+
+    /// Property test: for random knob settings, the builder chain and the
+    /// equivalent struct-update literal produce equal specs with equal
+    /// cache keys — the builder adds validation, never a key-visible
+    /// difference — and perturbing any one knob separates the keys.
+    #[test]
+    fn builder_and_literal_cache_keys_agree_on_random_specs() {
+        /// SplitMix64: tiny, seedable, and good enough to sweep knobs.
+        struct SplitMix64(u64);
+        impl SplitMix64 {
+            fn next(&mut self) -> u64 {
+                self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = self.0;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            }
+            fn unit(&mut self) -> f64 {
+                (self.next() >> 11) as f64 / (1u64 << 53) as f64
+            }
+            fn below(&mut self, n: u64) -> u64 {
+                self.next() % n
+            }
+        }
+
+        let mut rng = SplitMix64(0x6cc0_0919);
+        for case in 0..200 {
+            let base = ModelSpec::paper_table1();
+            let dj_pp = 0.5 * rng.unit();
+            let rj_rms = 0.001 + 0.03 * rng.unit();
+            let ckj_rms = 0.001 + 0.03 * rng.unit();
+            let cid_max = 1 + rng.below(11) as u32;
+            let freq_offset = 0.08 * (rng.unit() - 0.5);
+            let tap = if rng.below(2) == 0 {
+                SamplingTap::Standard
+            } else {
+                SamplingTap::Improved
+            };
+            let include_slip = rng.below(2) == 0;
+            let pinned =
+                (rng.below(2) == 0).then(|| RunDistSpec::Geometric(1 + rng.below(9) as u32));
+
+            let mut builder = ModelSpec::builder()
+                .dj_pp(dj_pp)
+                .rj_rms(rj_rms)
+                .ckj_rms(ckj_rms)
+                .tap(tap)
+                .include_slip(include_slip)
+                .freq_offset(freq_offset);
+            if let Some(run_dist) = &pinned {
+                builder = builder.run_dist(run_dist.clone());
+            }
+            let built = builder.cid_max(cid_max).build().expect("in range");
+
+            let literal = ModelSpec {
+                dj_pp,
+                rj_rms,
+                ckj_rms,
+                cid_max,
+                run_dist: pinned.unwrap_or(RunDistSpec::Geometric(cid_max)),
+                tap,
+                include_slip,
+                freq_offset,
+                ..base
+            };
+            assert_eq!(built, literal, "case {case}");
+            assert_eq!(built.cache_key(), literal.cache_key(), "case {case}");
+
+            // One-knob perturbations must separate the keys.
+            let bumped = ModelSpec {
+                cid_max: cid_max + 1,
+                ..literal.clone()
+            };
+            assert_ne!(literal.cache_key(), bumped.cache_key(), "case {case}");
+        }
+    }
+
+    #[test]
     fn builder_matches_struct_update_and_validates() {
         let djrj = 1.5;
         let base = ModelSpec::paper_table1();

@@ -9,11 +9,12 @@
 use gcco_api::json::{
     encode_batch, encode_envelope, encode_model_spec, encode_request, encode_response,
     encode_result_line, parse_client_line, parse_model_spec, parse_request, parse_response,
-    parse_result_line, ClientLine, Envelope, Json,
+    parse_result_line, ClientLine, Envelope, Json, PROTOCOL_VERSION,
 };
 use gcco_api::{
-    ChannelOut, DsimRunSpec, EvalRequest, EvalResponse, GccoError, JtolPointOut, ModelSpec,
-    MultiChannelSpec, PowerPointOut, PowerScanSpec, RunDistSpec, SizedCellOut, SjOverride,
+    BestDesignOut, ChannelOut, ComboReportOut, DsimRunSpec, EvalRequest, EvalResponse, GccoError,
+    JtolPointOut, ModelSpec, MultiChannelSpec, OptimizeOut, OptimizeSpec, PowerPointOut,
+    PowerScanSpec, RunDistSpec, SizedCellOut, SjOverride,
 };
 use gcco_stat::{EdgeModel, SamplingTap};
 
@@ -85,8 +86,24 @@ impl Lcg {
         spec
     }
 
+    fn tap(&mut self) -> SamplingTap {
+        if self.below(2) == 0 {
+            SamplingTap::Standard
+        } else {
+            SamplingTap::Improved
+        }
+    }
+
+    fn opt_f64(&mut self) -> Option<f64> {
+        if self.below(3) == 0 {
+            None
+        } else {
+            Some(self.f64().abs())
+        }
+    }
+
     fn request(&mut self) -> EvalRequest {
-        match self.below(7) {
+        match self.below(8) {
             0 => EvalRequest::BerPoint {
                 spec: self.spec(),
                 sj: if self.below(2) == 0 {
@@ -139,6 +156,27 @@ impl Lcg {
                     duration_ns: self.f64().abs().min(1e5) + 1.0,
                 },
             },
+            6 => EvalRequest::Optimize {
+                opt: OptimizeSpec {
+                    base: self.spec(),
+                    target_ber: 10f64.powi(-(1 + self.below(14) as i32)),
+                    budget_mw_per_gbps: self.f64().abs() + 0.1,
+                    bit_rate_gbps: self.f64().abs() + 0.1,
+                    freq_margin: 1e-3 + self.f64().abs().min(0.01),
+                    margin_hi: 0.05 + self.f64().abs().min(0.4),
+                    taps: match self.below(3) {
+                        0 => vec![SamplingTap::Standard],
+                        1 => vec![SamplingTap::Improved],
+                        _ => vec![SamplingTap::Standard, SamplingTap::Improved],
+                    },
+                    cids: (0..1 + self.below(3)).map(|i| 3 + i as u32).collect(),
+                    ckj_lo: 1e-3 + self.f64().abs().min(1e-3),
+                    ckj_hi: 0.01 + self.f64().abs().min(0.04),
+                    rel_tol: 0.01 + self.f64().abs().min(0.5),
+                    seed: self.below(1 << 53),
+                    max_probes: 2 + self.below(1000),
+                },
+            },
             _ => EvalRequest::MultiChannel {
                 mc: MultiChannelSpec {
                     channels: 1 + self.below(16) as u32,
@@ -154,7 +192,7 @@ impl Lcg {
     }
 
     fn response(&mut self) -> EvalResponse {
-        match self.below(7) {
+        match self.below(8) {
             0 => EvalResponse::Scalar { value: self.f64() },
             1 => EvalResponse::Grid {
                 rows: (0..1 + self.below(4))
@@ -195,6 +233,34 @@ impl Lcg {
                     period_ps_rms: self.f64().abs(),
                     rising_edges: self.below(100_000),
                     events: self.below(10_000_000),
+                },
+            },
+            6 => EvalResponse::Optimize {
+                out: OptimizeOut {
+                    best: if self.below(3) == 0 {
+                        None
+                    } else {
+                        Some(BestDesignOut {
+                            spec: self.spec(),
+                            mw_per_gbps: self.f64().abs(),
+                            worst_ber: self.f64().abs().min(1.0),
+                            margin: self.f64().abs().min(0.4),
+                            settling_ui: self.f64().abs(),
+                        })
+                    },
+                    per_combo: (0..self.below(5))
+                        .map(|_| ComboReportOut {
+                            tap: self.tap(),
+                            cid_max: 1 + self.below(8) as u32,
+                            ckj_rms: self.opt_f64(),
+                            mw_per_gbps: self.opt_f64(),
+                            worst_ber: self.opt_f64(),
+                            probes: self.below(1000),
+                        })
+                        .collect(),
+                    probes: self.below(10_000),
+                    store_hits: self.below(10_000),
+                    converged: self.below(2) == 0,
                 },
             },
             _ => EvalResponse::MultiChannel {
@@ -280,11 +346,9 @@ fn envelopes_batches_and_result_lines_round_trip() {
         let envs: Vec<Envelope> = (0..1 + rng.below(4))
             .map(|_| Envelope {
                 id: rng.below(1 << 53),
-                v: match rng.below(3) {
-                    0 => None,
-                    1 => Some(1),
-                    _ => Some(2),
-                },
+                // The version gate accepts only the current protocol, so
+                // the round-trip space is v:2 envelopes.
+                v: Some(PROTOCOL_VERSION),
                 deadline_ms: if rng.below(2) == 0 {
                     None
                 } else {
@@ -335,6 +399,7 @@ fn hostile_lines_error_without_panicking() {
         "{\"cmd\":3}",
         "\u{0}\u{0}\u{0}",
         "{\"id\":1,\"request\":{\"type\":\"ber_grid\",\"spec\":{}}}",
+        "{\"id\":1,\"v\":1,\"request\":{\"type\":\"dsim_run\"}}",
         "{\"id\":1,\"v\":3,\"request\":{\"type\":\"dsim_run\"}}",
         "{\"id\":1,\"v\":\"two\",\"request\":{\"type\":\"dsim_run\"}}",
         "{\"id\":1,\"v\":-1,\"request\":{\"type\":\"dsim_run\"}}",

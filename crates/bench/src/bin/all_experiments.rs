@@ -38,6 +38,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablation_correlation",
     "campaign",
     "mc_campaign",
+    "optimize",
 ];
 
 fn main() {

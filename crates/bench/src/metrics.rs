@@ -50,6 +50,13 @@ pub const ALL_KEYS: &[&str] = &[
     MC_WORST_BER,
     MC_MW_PER_GBPS,
     MC_STORE_HITS,
+    // optimize
+    OPT_PROBES,
+    OPT_STORE_HITS,
+    OPT_CONVERGED,
+    OPT_BEST_MW_PER_GBPS,
+    OPT_BEST_CKJ_UIRMS,
+    OPT_BEST_WORST_BER,
     // fig01
     PARALLEL_GBPS,
     SERIAL_GBPS,
@@ -191,6 +198,20 @@ pub const MC_WORST_BER: &str = "mc_worst_ber";
 pub const MC_MW_PER_GBPS: &str = "mc_mw_per_gbps";
 /// Store hits this run (>0 proves a resume replayed journaled cells).
 pub const MC_STORE_HITS: &str = "mc_store_hits";
+
+// optimize — top-down design-space optimizer
+/// Oracle probes the search consumed.
+pub const OPT_PROBES: &str = "opt_probes";
+/// Probes answered from the store journal (>0 proves a resume replayed).
+pub const OPT_STORE_HITS: &str = "opt_store_hits";
+/// Whether the search finished inside its probe cap.
+pub const OPT_CONVERGED: &str = "opt_converged";
+/// Recovered design's channel efficiency, mW/Gbit/s.
+pub const OPT_BEST_MW_PER_GBPS: &str = "opt_best_mw_per_gbps";
+/// Recovered design's oscillator-jitter budget, UIrms.
+pub const OPT_BEST_CKJ_UIRMS: &str = "opt_best_ckj_uirms";
+/// Worst BER over the recovered design's evidence pair.
+pub const OPT_BEST_WORST_BER: &str = "opt_best_worst_ber";
 
 // fig01 — parallel-optical motivation
 /// Aggregate parallel throughput, Gbit/s.

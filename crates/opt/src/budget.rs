@@ -1,0 +1,68 @@
+//! Probe-budget accounting: a hard cap on oracle evaluations that the
+//! search debits *before* a batch is handed out, so a run can never
+//! overshoot its budget no matter where the caller stops driving it.
+
+/// A hard probe budget. Debits happen up front ([`ProbeBudget::try_take`])
+/// so the number of probes a search emits is exactly the number it
+/// accounted for — there is no "one last batch" overshoot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProbeBudget {
+    max: u64,
+    used: u64,
+}
+
+impl ProbeBudget {
+    /// A budget of `max` oracle probes.
+    pub fn new(max: u64) -> ProbeBudget {
+        ProbeBudget { max, used: 0 }
+    }
+
+    /// Debits `n` probes if the budget allows, returning whether it did.
+    /// A refusal leaves the tally untouched, so the caller can finalize
+    /// with exact accounting.
+    pub fn try_take(&mut self, n: u64) -> bool {
+        if self.used.saturating_add(n) > self.max {
+            return false;
+        }
+        self.used += n;
+        true
+    }
+
+    /// Probes debited so far.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Probes still available.
+    pub fn remaining(&self) -> u64 {
+        self.max - self.used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debits_up_front_and_refuses_overshoot() {
+        let mut b = ProbeBudget::new(5);
+        assert!(b.try_take(2));
+        assert!(b.try_take(2));
+        assert_eq!(b.used(), 4);
+        assert_eq!(b.remaining(), 1);
+        // A refused debit changes nothing.
+        assert!(!b.try_take(2));
+        assert_eq!(b.used(), 4);
+        assert!(b.try_take(1));
+        assert!(!b.try_take(1));
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn zero_budget_refuses_everything() {
+        let mut b = ProbeBudget::new(0);
+        assert!(!b.try_take(1));
+        assert!(b.try_take(0));
+        assert_eq!(b.used(), 0);
+    }
+}

@@ -1,0 +1,226 @@
+//! One-dimensional feasibility climb: maximize a strictly positive knob
+//! under a monotone feasibility predicate (feasible at small values,
+//! infeasible past some threshold) by geometric expansion and geometric
+//! bisection — the scalar engine both optimizer axes (oscillator jitter,
+//! frequency margin) run on.
+
+/// Ask/tell maximizer of a scalar `x ∈ [lo, hi]` under a *monotone*
+/// feasibility predicate: if `x` is feasible, every `x' < x` is too.
+///
+/// The protocol is strict alternation: [`Climb::ask`] yields the next
+/// candidate (or `None` once converged), the caller evaluates it and
+/// answers with [`Climb::tell`]. The climb expands geometrically (×2,
+/// capped at `hi`) while feasible, contracts (÷2, floored at `lo`) while
+/// infeasible, and once it holds a bracket `[good, bad]` bisects it
+/// geometrically until `bad ≤ good·(1 + rel_tol)`.
+///
+/// Everything is plain `f64` arithmetic on the caller's answers — no
+/// clock, no randomness — so a climb replayed against the same oracle
+/// emits the identical candidate sequence, which is what makes optimizer
+/// runs resumable from a probe journal.
+#[derive(Clone, Debug)]
+pub struct Climb {
+    lo: f64,
+    hi: f64,
+    rel_tol: f64,
+    /// Candidate awaiting an answer (meaningless once `done`).
+    x: f64,
+    /// Largest value answered feasible so far.
+    good: Option<f64>,
+    /// Smallest value answered infeasible so far.
+    bad: Option<f64>,
+    done: bool,
+}
+
+impl Climb {
+    /// A climb over `[lo, hi]` starting at `init`, converging when the
+    /// bracket ratio falls under `1 + rel_tol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo ≤ init ≤ hi` and `rel_tol > 0` (the geometric
+    /// steps need a strictly positive domain).
+    pub fn new(lo: f64, hi: f64, init: f64, rel_tol: f64) -> Climb {
+        assert!(
+            lo > 0.0 && lo <= init && init <= hi && lo.is_finite() && hi.is_finite(),
+            "climb needs 0 < lo <= init <= hi, got lo={lo} init={init} hi={hi}"
+        );
+        assert!(rel_tol > 0.0, "rel_tol must be positive, got {rel_tol}");
+        Climb {
+            lo,
+            hi,
+            rel_tol,
+            x: init,
+            good: None,
+            bad: None,
+            done: false,
+        }
+    }
+
+    /// A climb that already knows `good` is feasible (no probe spent on
+    /// it) and only expands upward from there — the margin phase, where
+    /// the winning design was just demonstrated feasible at the required
+    /// offset. Converges immediately when `hi` is already within
+    /// tolerance of `good`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < good ≤ hi` and `rel_tol > 0`.
+    pub fn with_known_good(good: f64, hi: f64, rel_tol: f64) -> Climb {
+        assert!(
+            good > 0.0 && good <= hi && hi.is_finite(),
+            "climb needs 0 < good <= hi, got good={good} hi={hi}"
+        );
+        assert!(rel_tol > 0.0, "rel_tol must be positive, got {rel_tol}");
+        let mut climb = Climb {
+            lo: good,
+            hi,
+            rel_tol,
+            x: good,
+            good: Some(good),
+            bad: None,
+            done: false,
+        };
+        climb.advance();
+        climb
+    }
+
+    /// The next candidate to evaluate, or `None` once the climb is done.
+    pub fn ask(&self) -> Option<f64> {
+        if self.done {
+            None
+        } else {
+            Some(self.x)
+        }
+    }
+
+    /// Answers the outstanding candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the climb is already done.
+    pub fn tell(&mut self, feasible: bool) {
+        assert!(!self.done, "tell on a finished climb");
+        if feasible {
+            self.good = Some(self.x);
+        } else {
+            self.bad = Some(self.x);
+        }
+        self.advance();
+    }
+
+    /// The largest value demonstrated feasible, `None` when even `lo` was
+    /// infeasible. Meaningful any time; final once [`Climb::ask`] returns
+    /// `None`.
+    pub fn result(&self) -> Option<f64> {
+        self.good
+    }
+
+    fn advance(&mut self) {
+        match (self.good, self.bad) {
+            (Some(good), Some(bad)) => {
+                let mid = (good * bad).sqrt();
+                // The `mid` guards end the climb when the bracket is so
+                // tight the geometric mean no longer separates it (an f64
+                // resolution floor well under any practical rel_tol).
+                if bad <= good * (1.0 + self.rel_tol) || mid <= good || mid >= bad {
+                    self.done = true;
+                } else {
+                    self.x = mid;
+                }
+            }
+            (Some(good), None) => {
+                if good >= self.hi {
+                    self.done = true;
+                } else {
+                    self.x = (good * 2.0).min(self.hi);
+                }
+            }
+            (None, Some(bad)) => {
+                if bad <= self.lo {
+                    self.done = true;
+                } else {
+                    self.x = (bad / 2.0).max(self.lo);
+                }
+            }
+            (None, None) => {} // initial candidate still outstanding
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives a climb against a threshold predicate, returning the result
+    /// and the candidate trace.
+    fn drive(mut climb: Climb, threshold: f64) -> (Option<f64>, Vec<f64>) {
+        let mut trace = Vec::new();
+        while let Some(x) = climb.ask() {
+            trace.push(x);
+            climb.tell(x <= threshold);
+            assert!(trace.len() < 500, "climb failed to terminate");
+        }
+        (climb.result(), trace)
+    }
+
+    #[test]
+    fn converges_onto_a_threshold_from_below_and_above() {
+        for init in [1e-3, 0.01, 0.3] {
+            let (result, _) = drive(Climb::new(1e-4, 0.5, init, 0.01), 0.013);
+            let best = result.expect("threshold is inside the domain");
+            assert!(best <= 0.013, "result {best} must be feasible");
+            assert!(
+                0.013 <= best * 1.01,
+                "bracket must be rel_tol-tight, got {best}"
+            );
+        }
+    }
+
+    #[test]
+    fn fully_feasible_domain_answers_hi_exactly() {
+        let (result, _) = drive(Climb::new(1e-4, 0.5, 1e-3, 0.01), 1.0);
+        assert_eq!(result, Some(0.5));
+    }
+
+    #[test]
+    fn fully_infeasible_domain_answers_none() {
+        let (result, trace) = drive(Climb::new(1e-4, 0.5, 0.1, 0.01), 0.0);
+        assert_eq!(result, None);
+        // The contraction must have probed the floor itself before giving
+        // up — infeasibility is demonstrated, not assumed.
+        assert_eq!(*trace.last().expect("probed at least once"), 1e-4);
+    }
+
+    #[test]
+    fn candidate_sequence_is_deterministic() {
+        let (_, a) = drive(Climb::new(1e-4, 0.5, 0.02, 0.05), 0.0042);
+        let (_, b) = drive(Climb::new(1e-4, 0.5, 0.02, 0.05), 0.0042);
+        assert_eq!(a, b, "identical oracles must replay identical probes");
+    }
+
+    #[test]
+    fn known_good_start_expands_without_reprobing_the_anchor() {
+        let (result, trace) = drive(Climb::with_known_good(0.002, 0.25, 0.02), 0.017);
+        let best = result.expect("anchor is feasible by construction");
+        assert!(best >= 0.002, "must never fall under the known-good anchor");
+        assert!(best <= 0.017 && 0.017 <= best * 1.02);
+        assert!(
+            trace.iter().all(|&x| x > 0.002),
+            "the anchor itself must not be re-probed: {trace:?}"
+        );
+    }
+
+    #[test]
+    fn known_good_at_the_cap_converges_without_probes() {
+        let climb = Climb::with_known_good(0.25, 0.25, 0.02);
+        assert_eq!(climb.ask(), None);
+        assert_eq!(climb.result(), Some(0.25));
+    }
+
+    #[test]
+    #[should_panic(expected = "climb needs")]
+    fn rejects_an_inverted_domain() {
+        Climb::new(0.5, 0.1, 0.2, 0.01);
+    }
+}

@@ -1,0 +1,42 @@
+//! # gcco-opt — design-space optimizer core for the GCCO top-down flow
+//!
+//! The paper's contribution is a *flow*: the statistical BER model sizes
+//! the oscillator (jitter budget → bias current → power), the behavioral
+//! model fixes the topology (tap choice, CID bound, frequency-offset
+//! margin). This crate automates that loop as a deterministic, seeded
+//! pattern search:
+//!
+//! * [`Climb`] — the 1-D scalar engine: geometric expansion + geometric
+//!   bisection of a monotone feasibility edge;
+//! * [`DesignSearch`] — the ask/tell state machine over
+//!   `(tap, cid_max, ckj_rms, freq_offset)` probe points: per discrete
+//!   `(tap, cid_max)` corner it climbs the oscillator-jitter budget to
+//!   the BER feasibility edge (each candidate probed at both signs of the
+//!   required offset margin), prices corners with the analytic
+//!   [`PowerModel`], picks the cheapest one under the power budget, and
+//!   finally climbs the winner's offset margin;
+//! * [`ProbeBudget`] — hard up-front probe accounting, so exhaustion
+//!   yields a partial-evidence outcome instead of an overshoot.
+//!
+//! The crate deliberately sits *below* the API layer: it owns no oracle,
+//! no request types, and no I/O. Callers (the `gcco-api` engine, the
+//! `optimize` bench binary, unit tests) pull [`ProbePoint`] batches out
+//! of the machine, evaluate them however they like — a warm in-process
+//! engine, a journaled store, a router-sharded cluster — and feed BERs
+//! back in. Because every internal decision is plain `f64` arithmetic
+//! plus one seeded [`gcco_faults::SplitMix64`] stream, two drivers
+//! answering the same BERs replay bit-identical probe sequences; that is
+//! the contract that makes optimizer runs memoizable, kill-resumable,
+//! and shardable.
+
+mod budget;
+mod climb;
+mod power;
+mod search;
+
+pub use budget::ProbeBudget;
+pub use climb::Climb;
+pub use power::PowerModel;
+pub use search::{
+    BestPoint, Combo, ComboReport, DesignSearch, ProbePoint, SearchOutcome, SearchSpace, SearchStep,
+};

@@ -1,0 +1,122 @@
+//! The optimizer's power objective: the paper's §3.2 analytic sizing
+//! chain, `size_for_jitter` → [`ChannelPowerBudget::paper_channel`] →
+//! mW/Gbit/s, packaged as a pure function of the two knobs it depends on
+//! (CID bound and oscillator-jitter budget).
+
+use gcco_noise::{size_for_jitter, ChannelPowerBudget, CmlCell, PhaseNoiseModel};
+use gcco_units::{Current, Freq, Voltage};
+
+/// The analytic power roll-up of one GCCO channel, parameterized exactly
+/// like the engine's multi-channel roll-up: Hajimiri phase noise, fixed
+/// swing and stage count, a sizing-current ceiling, and the channel data
+/// rate. Given a `(cid_max, ckj_rms)` design point it sizes the minimum
+/// bias current meeting that jitter budget and prices the full paper
+/// channel (ring + delay line + misc gates) at it.
+///
+/// Power is *monotone non-increasing* in `ckj_rms` (a looser jitter
+/// budget never needs more current), which is the property the search
+/// leans on: maximizing the feasible `ckj_rms` minimizes channel power.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerModel {
+    /// CML swing, volts.
+    pub swing_v: f64,
+    /// Hajimiri phase-noise proportionality constant η.
+    pub eta: f64,
+    /// Ring-oscillator stages.
+    pub n_stages: u32,
+    /// Channel data rate (= ring frequency), Gbit/s.
+    pub bit_rate_gbps: f64,
+    /// Current ceiling for the sizing bisection, amps.
+    pub iss_max_a: f64,
+}
+
+impl PowerModel {
+    /// The paper's §3.2 operating conditions at the given data rate:
+    /// 0.4 V swing, η = 0.75, 4 stages, 10 mA sizing ceiling — the same
+    /// constants the engine's multi-channel power roll-up uses.
+    pub fn paper(bit_rate_gbps: f64) -> PowerModel {
+        PowerModel {
+            swing_v: 0.4,
+            eta: 0.75,
+            n_stages: 4,
+            bit_rate_gbps,
+            iss_max_a: 0.01,
+        }
+    }
+
+    /// Sizes the minimum-current CML cell meeting `ckj_rms` UI RMS at
+    /// `cid` bits, or `None` when the target is non-positive or out of
+    /// reach even at the current ceiling.
+    pub fn size(&self, cid: u32, ckj_rms: f64) -> Option<CmlCell> {
+        if !ckj_rms.is_finite() || ckj_rms <= 0.0 {
+            return None;
+        }
+        size_for_jitter(
+            PhaseNoiseModel::Hajimiri { eta: self.eta },
+            Voltage::from_volts(self.swing_v),
+            Freq::from_gbps(self.bit_rate_gbps),
+            self.n_stages,
+            cid,
+            ckj_rms,
+            Current::from_amps(self.iss_max_a),
+        )
+    }
+
+    /// Channel power efficiency at the design point, mW per Gbit/s —
+    /// the paper's headline metric — or `None` when the jitter budget is
+    /// unreachable.
+    pub fn mw_per_gbps(&self, cid: u32, ckj_rms: f64) -> Option<f64> {
+        self.size(cid, ckj_rms).map(|cell| {
+            ChannelPowerBudget::paper_channel(cell).mw_per_gbps(Freq::from_gbps(self.bit_rate_gbps))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcco_noise::PAPER_MW_PER_GBPS_BUDGET;
+
+    #[test]
+    fn paper_design_point_fits_the_paper_budget() {
+        let mw = PowerModel::paper(2.5)
+            .mw_per_gbps(5, 0.01)
+            .expect("the paper's own design point must be sizeable");
+        assert!(
+            mw > 0.0 && mw < PAPER_MW_PER_GBPS_BUDGET,
+            "Table 1 point must come in under 5 mW/Gbit/s, got {mw}"
+        );
+    }
+
+    #[test]
+    fn power_is_monotone_non_increasing_in_the_jitter_budget() {
+        let pm = PowerModel::paper(2.5);
+        let mut last = f64::INFINITY;
+        for ckj in [0.002, 0.005, 0.01, 0.02, 0.05] {
+            let mw = pm.mw_per_gbps(5, ckj).expect("sizeable");
+            assert!(
+                mw <= last,
+                "looser jitter budget must never cost more power ({ckj}: {mw} > {last})"
+            );
+            last = mw;
+        }
+    }
+
+    #[test]
+    fn tighter_cid_bound_is_cheaper_at_fixed_jitter() {
+        // Fewer consecutive identical digits = less free-run accumulation
+        // = a weaker κ requirement = less current.
+        let pm = PowerModel::paper(2.5);
+        let at = |cid| pm.mw_per_gbps(cid, 0.01).expect("sizeable");
+        assert!(at(4) <= at(5) && at(5) <= at(7));
+    }
+
+    #[test]
+    fn unreachable_and_degenerate_targets_report_none() {
+        let pm = PowerModel::paper(2.5);
+        assert_eq!(pm.mw_per_gbps(5, 0.0), None);
+        assert_eq!(pm.mw_per_gbps(5, -0.01), None);
+        // A vanishing jitter budget needs unbounded current.
+        assert_eq!(pm.mw_per_gbps(5, 1e-12), None);
+    }
+}

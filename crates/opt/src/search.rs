@@ -1,0 +1,656 @@
+//! The design-space search state machine: per discrete `(tap, cid_max)`
+//! combination, climb the oscillator-jitter budget to the BER feasibility
+//! edge, price each combination with the analytic [`PowerModel`], pick
+//! the cheapest one under the power budget, then climb the winning
+//! design's frequency-offset margin.
+//!
+//! The machine is an **ask/tell** driver: it owns no oracle. Callers pull
+//! probe batches out of [`DesignSearch::next_step`], evaluate each probe's
+//! BER however they like (a local engine, a TCP client, a synthetic test
+//! function), and answer with [`DesignSearch::tell`]. All internal
+//! arithmetic is deterministic `f64` plus one seeded [`SplitMix64`] stream
+//! (the per-combination starting guesses), so two drivers answering the
+//! same BERs step through bit-identical probe sequences — the property
+//! that makes probes journalable, resumable, and shardable.
+
+use crate::budget::ProbeBudget;
+use crate::climb::Climb;
+use crate::power::PowerModel;
+use gcco_faults::SplitMix64;
+
+/// One discrete corner of the search space: a sampling tap (kept as a
+/// plain index so this crate stays below the API layer; `0` = standard,
+/// `1` = improved) and a line-code CID bound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Combo {
+    /// Sampling-tap index (0 = standard, 1 = improved).
+    pub tap: u8,
+    /// Maximum consecutive identical digits.
+    pub cid_max: u32,
+}
+
+/// One oracle probe: evaluate the BER of the jitter environment with
+/// these four knobs applied.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProbePoint {
+    /// Sampling-tap index (0 = standard, 1 = improved).
+    pub tap: u8,
+    /// CID bound (the run distribution re-derives from it).
+    pub cid_max: u32,
+    /// Oscillator-jitter budget, UI RMS.
+    pub ckj_rms: f64,
+    /// Relative frequency offset to evaluate at.
+    pub freq_offset: f64,
+}
+
+/// The full search configuration. See [`DesignSearch::new`] for the
+/// invariants it must satisfy.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SearchSpace {
+    /// Discrete corners, searched in order.
+    pub combos: Vec<Combo>,
+    /// Lower edge of the oscillator-jitter climb, UI RMS.
+    pub ckj_lo: f64,
+    /// Upper edge of the oscillator-jitter climb, UI RMS.
+    pub ckj_hi: f64,
+    /// Relative bracket width both climbs converge to.
+    pub rel_tol: f64,
+    /// Required frequency-offset margin: every jitter candidate is probed
+    /// at `±freq_margin` and must meet the BER target at both.
+    pub freq_margin: f64,
+    /// Cap of the final margin climb.
+    pub margin_hi: f64,
+    /// The BER a probe must meet to count as feasible.
+    pub target_ber: f64,
+    /// Power budget the winning design must come in under, mW/Gbit/s.
+    pub budget_mw_per_gbps: f64,
+    /// The analytic power objective.
+    pub power: PowerModel,
+    /// Seed of the per-combination starting guesses.
+    pub seed: u64,
+    /// Hard cap on oracle probes across the whole search.
+    pub max_probes: u64,
+}
+
+/// What the driver should do next.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SearchStep {
+    /// Evaluate every probe (the batch is independent — shard it freely)
+    /// and answer with [`DesignSearch::tell`] in the same order.
+    Probes(Vec<ProbePoint>),
+    /// The search is over; this is its final, stable outcome.
+    Done(SearchOutcome),
+}
+
+/// Per-combination result, reported for every corner the search reached.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ComboReport {
+    /// Sampling-tap index.
+    pub tap: u8,
+    /// CID bound.
+    pub cid_max: u32,
+    /// Largest oscillator-jitter budget demonstrated feasible at
+    /// `±freq_margin`, or `None` when even `ckj_lo` failed the BER target.
+    pub ckj_rms: Option<f64>,
+    /// Channel power at that budget, or `None` when infeasible/unsizeable.
+    pub mw_per_gbps: Option<f64>,
+    /// Worst (largest) BER observed at the accepted budget's probe pair —
+    /// the feasibility evidence.
+    pub worst_ber: Option<f64>,
+    /// Oracle probes this combination consumed.
+    pub probes: u64,
+}
+
+/// The recovered operating point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BestPoint {
+    /// Sampling-tap index.
+    pub tap: u8,
+    /// CID bound.
+    pub cid_max: u32,
+    /// Oscillator-jitter budget, UI RMS.
+    pub ckj_rms: f64,
+    /// Channel power at the operating point, mW/Gbit/s.
+    pub mw_per_gbps: f64,
+    /// Worst BER over the `±freq_margin` evidence pair.
+    pub worst_ber: f64,
+    /// Largest frequency-offset margin demonstrated feasible
+    /// (≥ `freq_margin`; grown by the final margin climb).
+    pub margin: f64,
+}
+
+/// The search's final report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SearchOutcome {
+    /// The cheapest feasible design under the power budget, or `None`
+    /// when no corner produced one.
+    pub best: Option<BestPoint>,
+    /// Every corner's result, in search order (corners never reached
+    /// before probe exhaustion are absent).
+    pub per_combo: Vec<ComboReport>,
+    /// Total oracle probes consumed.
+    pub probes: u64,
+    /// `false` when the probe budget ran out before the search finished
+    /// (the outcome is then the best evidence gathered so far).
+    pub converged: bool,
+}
+
+enum Phase {
+    /// Climbing the jitter budget of `combos[idx]`.
+    Combos {
+        idx: usize,
+        climb: Climb,
+        /// Worst BER of the most recent *feasible* probe pair — tracks
+        /// `climb`'s running `good`, so when the climb finishes this is
+        /// the evidence for its result.
+        best_ber: Option<f64>,
+        /// Probe tally at combo entry (for per-combo accounting).
+        probes_at_entry: u64,
+    },
+    /// Growing the winner's frequency-offset margin.
+    Margin {
+        winner: BestPoint,
+        climb: Climb,
+    },
+    Finished(SearchOutcome),
+}
+
+/// The optimizer state machine. See the module docs for the protocol.
+pub struct DesignSearch {
+    space: SearchSpace,
+    /// Seeded log-uniform starting guess per combination, drawn up front
+    /// so a combination's guess depends only on its index, never on how
+    /// earlier climbs went.
+    inits: Vec<f64>,
+    phase: Phase,
+    pending: Option<Vec<ProbePoint>>,
+    budget: ProbeBudget,
+    reports: Vec<ComboReport>,
+    exhausted: bool,
+}
+
+impl DesignSearch {
+    /// Builds the search over `space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the space is structurally invalid: no combos, an
+    /// empty/inverted jitter bracket, a non-positive tolerance, target or
+    /// budget, or a margin cap under the required margin. (The API layer
+    /// validates request data before it gets here; these asserts guard
+    /// direct library misuse.)
+    pub fn new(space: SearchSpace) -> DesignSearch {
+        assert!(!space.combos.is_empty(), "search needs at least one combo");
+        assert!(
+            space.ckj_lo > 0.0 && space.ckj_lo < space.ckj_hi && space.ckj_hi.is_finite(),
+            "jitter bracket needs 0 < lo < hi, got [{}, {}]",
+            space.ckj_lo,
+            space.ckj_hi
+        );
+        assert!(space.rel_tol > 0.0, "rel_tol must be positive");
+        assert!(
+            space.freq_margin > 0.0 && space.freq_margin <= space.margin_hi,
+            "margins need 0 < freq_margin <= margin_hi, got {} and {}",
+            space.freq_margin,
+            space.margin_hi
+        );
+        assert!(space.target_ber > 0.0, "target_ber must be positive");
+        assert!(
+            space.budget_mw_per_gbps > 0.0,
+            "power budget must be positive"
+        );
+        let mut rng = SplitMix64::new(space.seed);
+        let ratio = space.ckj_hi / space.ckj_lo;
+        let inits: Vec<f64> = (0..space.combos.len())
+            .map(|_| {
+                // Uniform in (0, 1) (the +0.5 keeps endpoints out), mapped
+                // log-uniformly into the bracket — the same deterministic
+                // draw convention the multi-channel lane derivation uses.
+                let u = ((rng.next_u64() >> 11) as f64 + 0.5) * 2f64.powi(-53);
+                (space.ckj_lo * ratio.powf(u)).clamp(space.ckj_lo, space.ckj_hi)
+            })
+            .collect();
+        let climb = Climb::new(space.ckj_lo, space.ckj_hi, inits[0], space.rel_tol);
+        DesignSearch {
+            budget: ProbeBudget::new(space.max_probes),
+            inits,
+            phase: Phase::Combos {
+                idx: 0,
+                climb,
+                best_ber: None,
+                probes_at_entry: 0,
+            },
+            pending: None,
+            reports: Vec::with_capacity(space.combos.len()),
+            exhausted: false,
+            space,
+        }
+    }
+
+    fn combo_climb(&self, idx: usize) -> Climb {
+        Climb::new(
+            self.space.ckj_lo,
+            self.space.ckj_hi,
+            self.inits[idx],
+            self.space.rel_tol,
+        )
+    }
+
+    /// The `±freq_margin` evidence pair for one jitter candidate (or the
+    /// `±m` pair of the margin climb).
+    fn pair(&self, combo: Combo, ckj_rms: f64, margin: f64) -> Vec<ProbePoint> {
+        [margin, -margin]
+            .into_iter()
+            .map(|freq_offset| ProbePoint {
+                tap: combo.tap,
+                cid_max: combo.cid_max,
+                ckj_rms,
+                freq_offset,
+            })
+            .collect()
+    }
+
+    /// What to do next. Idempotent while a probe batch is outstanding:
+    /// asking again re-issues the same batch.
+    pub fn next_step(&mut self) -> SearchStep {
+        if let Some(batch) = &self.pending {
+            return SearchStep::Probes(batch.clone());
+        }
+        loop {
+            match &self.phase {
+                Phase::Finished(outcome) => return SearchStep::Done(outcome.clone()),
+                Phase::Combos { idx, climb, .. } => match climb.ask() {
+                    Some(x) => {
+                        if !self.budget.try_take(2) {
+                            self.exhaust_in_combo();
+                            continue;
+                        }
+                        let combo = self.space.combos[*idx];
+                        let batch = self.pair(combo, x, self.space.freq_margin);
+                        self.pending = Some(batch.clone());
+                        return SearchStep::Probes(batch);
+                    }
+                    None => self.close_combo(),
+                },
+                Phase::Margin { winner, climb } => match climb.ask() {
+                    Some(m) => {
+                        if !self.budget.try_take(2) {
+                            self.exhausted = true;
+                            let point = self.settled_winner();
+                            self.finish(Some(point));
+                            continue;
+                        }
+                        let combo = Combo {
+                            tap: winner.tap,
+                            cid_max: winner.cid_max,
+                        };
+                        let batch = self.pair(combo, winner.ckj_rms, m);
+                        self.pending = Some(batch.clone());
+                        return SearchStep::Probes(batch);
+                    }
+                    None => {
+                        let point = self.settled_winner();
+                        self.finish(Some(point));
+                    }
+                },
+            }
+        }
+    }
+
+    /// Answers the outstanding probe batch with its BERs, in batch order.
+    /// A probe is feasible when its BER is finite and at most the target;
+    /// the candidate is feasible when every probe of its pair is.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no batch is outstanding or the answer count mismatches.
+    pub fn tell(&mut self, bers: &[f64]) {
+        let batch = self
+            .pending
+            .take()
+            .expect("tell without an outstanding batch");
+        assert_eq!(
+            bers.len(),
+            batch.len(),
+            "answer count must match the probe batch"
+        );
+        let feasible = bers
+            .iter()
+            .all(|b| b.is_finite() && *b <= self.space.target_ber);
+        let worst = bers.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        match &mut self.phase {
+            Phase::Combos {
+                climb, best_ber, ..
+            } => {
+                if feasible {
+                    *best_ber = Some(worst);
+                }
+                climb.tell(feasible);
+            }
+            Phase::Margin { climb, .. } => climb.tell(feasible),
+            Phase::Finished(_) => unreachable!("no batch can be outstanding when finished"),
+        }
+    }
+
+    /// Probes consumed so far.
+    pub fn probes(&self) -> u64 {
+        self.budget.used()
+    }
+
+    /// Records the current combo's report and moves to the next combo or,
+    /// past the last one, to the winner's margin phase.
+    fn close_combo(&mut self) {
+        let Phase::Combos {
+            idx,
+            climb,
+            best_ber,
+            probes_at_entry,
+        } = &self.phase
+        else {
+            unreachable!("close_combo outside the combo phase");
+        };
+        let idx = *idx;
+        let combo = self.space.combos[idx];
+        let ckj = climb.result();
+        let report = ComboReport {
+            tap: combo.tap,
+            cid_max: combo.cid_max,
+            ckj_rms: ckj,
+            mw_per_gbps: ckj.and_then(|c| self.space.power.mw_per_gbps(combo.cid_max, c)),
+            worst_ber: ckj.and(*best_ber),
+            probes: self.budget.used() - probes_at_entry,
+        };
+        self.reports.push(report);
+        let next = idx + 1;
+        if next < self.space.combos.len() {
+            self.phase = Phase::Combos {
+                idx: next,
+                climb: self.combo_climb(next),
+                best_ber: None,
+                probes_at_entry: self.budget.used(),
+            };
+        } else {
+            self.start_margin_or_finish();
+        }
+    }
+
+    /// The cheapest in-budget feasible combo, if any.
+    fn pick_winner(&self) -> Option<BestPoint> {
+        self.reports
+            .iter()
+            .filter_map(|r| {
+                let (ckj, mw, ber) = (r.ckj_rms?, r.mw_per_gbps?, r.worst_ber?);
+                (mw < self.space.budget_mw_per_gbps).then_some(BestPoint {
+                    tap: r.tap,
+                    cid_max: r.cid_max,
+                    ckj_rms: ckj,
+                    mw_per_gbps: mw,
+                    worst_ber: ber,
+                    margin: self.space.freq_margin,
+                })
+            })
+            // Min-by-power with a robustness tie-break: the §3.2 sizing
+            // hits the parasitic speed floor over most of the jitter
+            // range, so exact power ties are the norm — at equal power
+            // the corner with the larger demonstrated jitter budget wins
+            // (the paper's own argument for the improved tap: better
+            // tolerance at zero power cost). Remaining ties keep the
+            // earlier combo, so the pick is deterministic.
+            .reduce(|a, b| {
+                let better = b.mw_per_gbps < a.mw_per_gbps
+                    || (b.mw_per_gbps == a.mw_per_gbps && b.ckj_rms > a.ckj_rms);
+                if better {
+                    b
+                } else {
+                    a
+                }
+            })
+    }
+
+    fn start_margin_or_finish(&mut self) {
+        match self.pick_winner() {
+            None => self.finish(None),
+            Some(winner) => {
+                let climb = Climb::with_known_good(
+                    self.space.freq_margin,
+                    self.space.margin_hi,
+                    self.space.rel_tol,
+                );
+                self.phase = Phase::Margin { winner, climb };
+            }
+        }
+    }
+
+    /// The margin-phase winner with the climb's current margin folded in.
+    fn settled_winner(&self) -> BestPoint {
+        let Phase::Margin { winner, climb } = &self.phase else {
+            unreachable!("settled_winner outside the margin phase");
+        };
+        BestPoint {
+            margin: climb.result().unwrap_or(self.space.freq_margin),
+            ..*winner
+        }
+    }
+
+    /// Ends the search mid-combo on probe exhaustion: the incomplete
+    /// climb's best-so-far still counts as demonstrated evidence, so it
+    /// is reported like a finished combo before picking a winner (whose
+    /// margin stays at the required `freq_margin` — growing it would need
+    /// probes there is no budget for).
+    fn exhaust_in_combo(&mut self) {
+        self.exhausted = true;
+        self.close_combo_partial();
+        let winner = self.pick_winner();
+        self.finish(winner);
+    }
+
+    fn close_combo_partial(&mut self) {
+        let Phase::Combos {
+            idx,
+            climb,
+            best_ber,
+            probes_at_entry,
+        } = &self.phase
+        else {
+            unreachable!("close_combo_partial outside the combo phase");
+        };
+        let combo = self.space.combos[*idx];
+        let ckj = climb.result();
+        self.reports.push(ComboReport {
+            tap: combo.tap,
+            cid_max: combo.cid_max,
+            ckj_rms: ckj,
+            mw_per_gbps: ckj.and_then(|c| self.space.power.mw_per_gbps(combo.cid_max, c)),
+            worst_ber: ckj.and(*best_ber),
+            probes: self.budget.used() - probes_at_entry,
+        });
+    }
+
+    fn finish(&mut self, best: Option<BestPoint>) {
+        self.phase = Phase::Finished(SearchOutcome {
+            best,
+            per_combo: self.reports.clone(),
+            probes: self.budget.used(),
+            converged: !self.exhausted,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic analytic oracle: feasible iff the jitter budget is
+    /// under a per-combo threshold shrunk by the offset magnitude.
+    fn synthetic_ber(p: &ProbePoint, limit: impl Fn(u8, u32) -> f64, margin_limit: f64) -> f64 {
+        let lim = limit(p.tap, p.cid_max);
+        if p.ckj_rms <= lim && p.freq_offset.abs() <= margin_limit {
+            1e-13
+        } else {
+            1e-3
+        }
+    }
+
+    fn space(combos: Vec<Combo>, max_probes: u64) -> SearchSpace {
+        SearchSpace {
+            combos,
+            ckj_lo: 1e-3,
+            ckj_hi: 0.2,
+            rel_tol: 0.02,
+            freq_margin: 0.002,
+            margin_hi: 0.2,
+            target_ber: 1e-12,
+            budget_mw_per_gbps: 5.0,
+            power: PowerModel::paper(2.5),
+            seed: 1,
+            max_probes,
+        }
+    }
+
+    fn drive(mut search: DesignSearch, oracle: impl Fn(&ProbePoint) -> f64) -> SearchOutcome {
+        loop {
+            match search.next_step() {
+                SearchStep::Done(outcome) => return outcome,
+                SearchStep::Probes(batch) => {
+                    let bers: Vec<f64> = batch.iter().map(&oracle).collect();
+                    search.tell(&bers);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn picks_the_cheapest_feasible_combo_and_grows_its_margin() {
+        // The improved tap tolerates 2.2× the jitter of the standard tap,
+        // so it sizes cheaper and must win.
+        let combos = vec![Combo { tap: 0, cid_max: 5 }, Combo { tap: 1, cid_max: 5 }];
+        let limit = |tap: u8, _| if tap == 1 { 0.022 } else { 0.010 };
+        let outcome = drive(DesignSearch::new(space(combos, 1000)), |p| {
+            synthetic_ber(p, limit, 0.05)
+        });
+        assert!(outcome.converged);
+        let best = outcome.best.expect("a feasible design exists");
+        assert_eq!(best.tap, 1);
+        assert!(best.ckj_rms <= 0.022 && 0.022 <= best.ckj_rms * 1.02);
+        // The margin climb must have pushed past the required 0.002
+        // toward the oracle's 0.05 edge.
+        assert!(best.margin <= 0.05 && 0.05 <= best.margin * 1.02);
+        assert!(best.worst_ber <= 1e-12);
+        assert_eq!(outcome.per_combo.len(), 2);
+        let std_combo = &outcome.per_combo[0];
+        assert_eq!(std_combo.tap, 0);
+        let std_ckj = std_combo.ckj_rms.expect("standard tap is also feasible");
+        assert!(std_ckj <= 0.010);
+        // Both corners sit on the parasitic speed floor, so power ties —
+        // the tie-break must have picked the corner with more jitter
+        // headroom.
+        assert!(std_combo.mw_per_gbps.expect("sizeable") >= best.mw_per_gbps);
+        assert!(best.ckj_rms > std_ckj);
+    }
+
+    #[test]
+    fn infeasible_everywhere_reports_no_best_but_converges() {
+        let combos = vec![Combo { tap: 0, cid_max: 5 }];
+        let outcome = drive(DesignSearch::new(space(combos, 1000)), |_| 0.5);
+        assert!(outcome.converged);
+        assert!(outcome.best.is_none());
+        assert_eq!(outcome.per_combo[0].ckj_rms, None);
+        assert_eq!(outcome.per_combo[0].worst_ber, None);
+    }
+
+    #[test]
+    fn probe_budget_exhaustion_reports_partial_evidence() {
+        let combos = vec![Combo { tap: 0, cid_max: 5 }, Combo { tap: 1, cid_max: 5 }];
+        let limit = |tap: u8, _| if tap == 1 { 0.022 } else { 0.010 };
+        let outcome = drive(DesignSearch::new(space(combos, 6)), |p| {
+            synthetic_ber(p, limit, 0.05)
+        });
+        assert!(!outcome.converged);
+        assert!(outcome.probes <= 6);
+        assert!(!outcome.per_combo.is_empty());
+    }
+
+    #[test]
+    fn identical_drives_are_bit_identical() {
+        let combos = vec![
+            Combo { tap: 0, cid_max: 4 },
+            Combo { tap: 0, cid_max: 5 },
+            Combo { tap: 1, cid_max: 5 },
+        ];
+        let limit = |tap: u8, cid: u32| {
+            let base: f64 = if tap == 1 { 0.022 } else { 0.010 };
+            base * 5.0 / cid as f64
+        };
+        let run = || {
+            drive(DesignSearch::new(space(combos.clone(), 1000)), |p| {
+                synthetic_ber(p, limit, 0.05)
+            })
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn seed_changes_the_probe_trace_but_not_feasibility_within_tolerance() {
+        let combos = vec![Combo { tap: 0, cid_max: 5 }];
+        let limit = |_, _| 0.013;
+        let outcome_of = |seed| {
+            let mut sp = space(combos.clone(), 1000);
+            sp.seed = seed;
+            drive(DesignSearch::new(sp), |p| synthetic_ber(p, limit, 0.05))
+        };
+        // Different seeds start the climb at different guesses…
+        let first_candidate = |seed| {
+            let mut sp = space(combos.clone(), 1000);
+            sp.seed = seed;
+            let mut s = DesignSearch::new(sp);
+            match s.next_step() {
+                SearchStep::Probes(batch) => batch[0].ckj_rms,
+                SearchStep::Done(_) => panic!("a fresh search must probe"),
+            }
+        };
+        assert_ne!(first_candidate(1), first_candidate(7));
+        let (a, b) = (outcome_of(1), outcome_of(7));
+        let (ba, bb) = (a.best.unwrap(), b.best.unwrap());
+        // …but both converge onto the same feasibility edge.
+        assert!(ba.ckj_rms <= 0.013 && 0.013 <= ba.ckj_rms * 1.02);
+        assert!(bb.ckj_rms <= 0.013 && 0.013 <= bb.ckj_rms * 1.02);
+    }
+
+    #[test]
+    fn reasking_reissues_the_same_batch() {
+        let combos = vec![Combo { tap: 0, cid_max: 5 }];
+        let mut search = DesignSearch::new(space(combos, 1000));
+        let SearchStep::Probes(first) = search.next_step() else {
+            panic!("a fresh search must probe");
+        };
+        let SearchStep::Probes(again) = search.next_step() else {
+            panic!("re-ask must re-issue");
+        };
+        assert_eq!(first, again);
+        assert_eq!(search.probes(), 2, "a re-ask must not double-debit");
+    }
+
+    #[test]
+    fn every_candidate_is_probed_at_both_margin_signs() {
+        let combos = vec![Combo { tap: 0, cid_max: 5 }];
+        let mut search = DesignSearch::new(space(combos, 1000));
+        let mut batches = 0;
+        loop {
+            match search.next_step() {
+                SearchStep::Done(_) => break,
+                SearchStep::Probes(batch) => {
+                    batches += 1;
+                    assert_eq!(batch.len(), 2);
+                    assert_eq!(batch[0].freq_offset, -batch[1].freq_offset);
+                    assert!(batch[0].freq_offset > 0.0);
+                    let bers: Vec<f64> = batch
+                        .iter()
+                        .map(|p| synthetic_ber(p, |_, _| 0.013, 0.05))
+                        .collect();
+                    search.tell(&bers);
+                }
+            }
+        }
+        assert_eq!(search.probes(), 2 * batches);
+    }
+}

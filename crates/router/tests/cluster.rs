@@ -58,8 +58,8 @@ fn envelope(id: u64, request: EvalRequest) -> Envelope {
     }
 }
 
-/// One envelope of every request kind, plus a legacy (v1) envelope whose
-/// response carries the deprecation note — the full wire surface.
+/// One envelope of every request kind, plus an SJ-override BER point —
+/// the full wire surface.
 fn mixed_batch() -> Vec<Envelope> {
     let spec = ModelSpec::paper_table1();
     let mut batch = vec![
@@ -80,18 +80,16 @@ fn mixed_batch() -> Vec<Envelope> {
             EvalRequest::multi_channel(MultiChannelSpec::paper_quad()),
         ),
     ];
-    batch.push(Envelope {
-        id: 8,
-        v: None, // legacy: the response carries the deprecation note
-        deadline_ms: None,
-        request: EvalRequest::BerPoint {
+    batch.push(envelope(
+        8,
+        EvalRequest::BerPoint {
             spec,
             sj: Some(SjOverride {
                 amplitude_pp: 0.4,
                 freq_norm: 0.01,
             }),
         },
-    });
+    ));
     batch
 }
 

@@ -30,6 +30,7 @@ pub use gcco_eye as eye;
 pub use gcco_faults as faults;
 pub use gcco_noise as noise;
 pub use gcco_obs as obs;
+pub use gcco_opt as opt;
 pub use gcco_router as router;
 pub use gcco_signal as signal;
 pub use gcco_stat as stat;
