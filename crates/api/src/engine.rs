@@ -635,6 +635,15 @@ impl Engine {
                 guard.check()?;
                 self.optimize(opt, guard)
             }
+            EvalRequest::Baseline { arch, spec, metric } => {
+                guard.check()?;
+                self.obs
+                    .counter_with("gcco_baseline_runs_total", "arch", arch.wire_name())
+                    .inc();
+                Ok(EvalResponse::Baseline {
+                    out: crate::baseline::run_baseline(*arch, spec, metric),
+                })
+            }
         }
     }
 

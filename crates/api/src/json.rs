@@ -9,6 +9,7 @@
 //! round-trip property tests in `tests/json_roundtrip.rs` assert equality,
 //! not approximation.
 
+use crate::baseline::{BaselineMetric, BaselineOut, BaselineSpec, CdrArchKind};
 use crate::error::GccoError;
 use crate::optimize::{BestDesignOut, ComboReportOut, OptimizeOut, OptimizeSpec};
 use crate::request::{
@@ -654,6 +655,34 @@ pub fn encode_request(req: &EvalRequest) -> String {
                 opt.max_probes
             )
         }
+        EvalRequest::Baseline { arch, spec, metric } => {
+            let metric = match metric {
+                BaselineMetric::Track => "{\"kind\":\"track\"}".to_string(),
+                BaselineMetric::CaptureRange { hi } => {
+                    format!("{{\"kind\":\"capture_range\",\"hi\":{}}}", json_f64(*hi))
+                }
+                BaselineMetric::JtolPoint { freq_norm } => format!(
+                    "{{\"kind\":\"jtol_point\",\"freq_norm\":{}}}",
+                    json_f64(*freq_norm)
+                ),
+            };
+            format!(
+                "{{\"type\":\"baseline\",\"arch\":{},\"spec\":{{\"bits\":{},\"seed\":{},\
+                 \"bit_rate_gbps\":{},\"freq_offset\":{},\"kp\":{},\"ki\":{},\"sj_amp_pp\":{},\
+                 \"sj_freq_norm\":{},\"rj_rms_ui\":{}}},\"metric\":{}}}",
+                json_string(arch.wire_name()),
+                spec.bits,
+                spec.seed,
+                json_f64(spec.bit_rate_gbps),
+                json_f64(spec.freq_offset),
+                json_f64(spec.kp),
+                json_f64(spec.ki),
+                json_f64(spec.sj_amp_pp),
+                json_f64(spec.sj_freq_norm),
+                json_f64(spec.rj_rms_ui),
+                metric
+            )
+        }
     }
 }
 
@@ -766,6 +795,43 @@ pub fn parse_request(v: &Json) -> Result<EvalRequest, GccoError> {
                     seed: o.field("seed")?.as_u64("seed")?,
                     max_probes: o.field("max_probes")?.as_u64("max_probes")?,
                 },
+            })
+        }
+        "baseline" => {
+            let arch_name = v.field("arch")?.as_str("arch")?;
+            let arch = CdrArchKind::from_wire(arch_name).ok_or_else(|| {
+                GccoError::Parse(format!("unknown baseline arch \"{arch_name}\""))
+            })?;
+            let s = v.field("spec")?;
+            let m = v.field("metric")?;
+            let metric = match m.field("kind")?.as_str("metric.kind")? {
+                "track" => BaselineMetric::Track,
+                "capture_range" => BaselineMetric::CaptureRange {
+                    hi: m.field("hi")?.as_f64("metric.hi")?,
+                },
+                "jtol_point" => BaselineMetric::JtolPoint {
+                    freq_norm: m.field("freq_norm")?.as_f64("metric.freq_norm")?,
+                },
+                other => {
+                    return Err(GccoError::Parse(format!(
+                        "unknown baseline metric \"{other}\""
+                    )))
+                }
+            };
+            Ok(EvalRequest::Baseline {
+                arch,
+                spec: BaselineSpec {
+                    bits: s.field("bits")?.as_u64("bits")? as u32,
+                    seed: s.field("seed")?.as_u64("seed")?,
+                    bit_rate_gbps: s.field("bit_rate_gbps")?.as_f64("bit_rate_gbps")?,
+                    freq_offset: s.field("freq_offset")?.as_f64("freq_offset")?,
+                    kp: s.field("kp")?.as_f64("kp")?,
+                    ki: s.field("ki")?.as_f64("ki")?,
+                    sj_amp_pp: s.field("sj_amp_pp")?.as_f64("sj_amp_pp")?,
+                    sj_freq_norm: s.field("sj_freq_norm")?.as_f64("sj_freq_norm")?,
+                    rj_rms_ui: s.field("rj_rms_ui")?.as_f64("rj_rms_ui")?,
+                },
+                metric,
             })
         }
         other => Err(GccoError::Parse(format!(
@@ -917,6 +983,16 @@ pub fn encode_response(resp: &EvalResponse) -> String {
             );
             s
         }
+        EvalResponse::Baseline { out } => format!(
+            "{{\"type\":\"baseline\",\"out\":{{\"lock_bits\":{},\"errors\":{},\"updates\":{},\
+             \"residual_rms_ui\":{},\"capture_range\":{},\"jtol_amp_pp\":{}}}}}",
+            out.lock_bits.map_or("null".to_string(), |b| b.to_string()),
+            out.errors,
+            out.updates,
+            out.residual_rms_ui.map_or("null".to_string(), json_f64),
+            out.capture_range.map_or("null".to_string(), json_f64),
+            out.jtol_amp_pp.map_or("null".to_string(), json_f64)
+        ),
     }
 }
 
@@ -1052,6 +1128,28 @@ pub fn parse_response(v: &Json) -> Result<EvalResponse, GccoError> {
                     probes: v.field("probes")?.as_u64("probes")?,
                     store_hits: v.field("store_hits")?.as_u64("store_hits")?,
                     converged: v.field("converged")?.as_bool("converged")?,
+                },
+            })
+        }
+        "baseline" => {
+            let o = v.field("out")?;
+            let opt_f64 = |name: &str| -> Result<Option<f64>, GccoError> {
+                match o.field(name)? {
+                    Json::Null => Ok(None),
+                    x => Ok(Some(x.as_f64(name)?)),
+                }
+            };
+            Ok(EvalResponse::Baseline {
+                out: BaselineOut {
+                    lock_bits: match o.field("lock_bits")? {
+                        Json::Null => None,
+                        b => Some(b.as_u64("lock_bits")?),
+                    },
+                    errors: o.field("errors")?.as_u64("errors")?,
+                    updates: o.field("updates")?.as_u64("updates")?,
+                    residual_rms_ui: opt_f64("residual_rms_ui")?,
+                    capture_range: opt_f64("capture_range")?,
+                    jtol_amp_pp: opt_f64("jtol_amp_pp")?,
                 },
             })
         }
@@ -1501,6 +1599,67 @@ mod tests {
         let text = encode_response(&resp);
         assert!(text.contains("\"mw_per_gbps\":null"), "{text}");
         assert_eq!(parse_response(&Json::parse(&text).unwrap()).unwrap(), resp);
+    }
+
+    #[test]
+    fn baseline_request_and_response_round_trip() {
+        for arch in CdrArchKind::ALL {
+            for metric in [
+                BaselineMetric::Track,
+                BaselineMetric::CaptureRange { hi: 0.1 },
+                BaselineMetric::JtolPoint { freq_norm: 0.01 },
+            ] {
+                let req = EvalRequest::Baseline {
+                    arch,
+                    spec: BaselineSpec {
+                        freq_offset: 0.0015,
+                        rj_rms_ui: 0.01,
+                        ..BaselineSpec::typical(arch)
+                    },
+                    metric,
+                };
+                let text = encode_request(&req);
+                let back = parse_request(&Json::parse(&text).unwrap()).unwrap();
+                assert_eq!(back, req);
+            }
+        }
+
+        let resp = EvalResponse::Baseline {
+            out: BaselineOut {
+                lock_bits: Some(207),
+                errors: 3,
+                updates: 14_975,
+                residual_rms_ui: Some(0.0123),
+                capture_range: None,
+                jtol_amp_pp: Some(0.75),
+            },
+        };
+        let text = encode_response(&resp);
+        let back = parse_response(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, resp);
+
+        // The no-lock side: every optional field rides as null.
+        let resp = EvalResponse::Baseline {
+            out: BaselineOut {
+                lock_bits: None,
+                errors: 991,
+                updates: 14_975,
+                residual_rms_ui: None,
+                capture_range: None,
+                jtol_amp_pp: None,
+            },
+        };
+        let text = encode_response(&resp);
+        assert!(text.contains("\"lock_bits\":null"), "{text}");
+        assert!(text.contains("\"residual_rms_ui\":null"), "{text}");
+        assert_eq!(parse_response(&Json::parse(&text).unwrap()).unwrap(), resp);
+
+        // Unknown arch and metric names are structured parse errors.
+        let bad = "{\"type\":\"baseline\",\"arch\":\"pll\",\"spec\":{},\"metric\":{}}";
+        assert!(matches!(
+            parse_request(&Json::parse(bad).unwrap()),
+            Err(GccoError::Parse(_))
+        ));
     }
 
     #[test]

@@ -53,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod baseline;
 mod engine;
 mod error;
 pub mod json;
@@ -61,6 +62,7 @@ mod request;
 pub mod serve;
 mod spec;
 
+pub use baseline::{run_baseline, BaselineMetric, BaselineOut, BaselineSpec, CdrArchKind};
 pub use engine::{DeadlineGuard, Engine, EngineConfig};
 pub use error::GccoError;
 pub use optimize::{

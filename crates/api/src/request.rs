@@ -1,6 +1,7 @@
 //! Typed evaluation requests and responses — the one entry point every
 //! figure, search, and scan of this workspace goes through.
 
+use crate::baseline::{BaselineMetric, BaselineOut, BaselineSpec, CdrArchKind};
 use crate::error::GccoError;
 use crate::optimize::{OptimizeOut, OptimizeSpec};
 use crate::spec::ModelSpec;
@@ -344,6 +345,17 @@ pub enum EvalRequest {
         /// Optimizer configuration.
         opt: OptimizeSpec,
     },
+    /// A competing-CDR baseline evaluation: one behavioral loop
+    /// ([`CdrArchKind`]) measured under one [`BaselineMetric`] — the
+    /// quantitative backing for the paper's §1 architecture comparison.
+    Baseline {
+        /// Which CDR architecture to run.
+        arch: CdrArchKind,
+        /// The loop and jitter environment.
+        spec: BaselineSpec,
+        /// What to measure.
+        metric: BaselineMetric,
+    },
 }
 
 /// The variant-independent facets of an [`EvalRequest`], resolved by one
@@ -396,6 +408,10 @@ impl EvalRequest {
             EvalRequest::Optimize { opt } => RequestParts {
                 kind: "optimize",
                 model_spec: Some(&opt.base),
+            },
+            EvalRequest::Baseline { .. } => RequestParts {
+                kind: "baseline",
+                model_spec: None,
             },
         }
     }
@@ -470,6 +486,11 @@ impl EvalRequest {
     /// A design-space optimization run.
     pub fn optimize(opt: OptimizeSpec) -> EvalRequest {
         EvalRequest::Optimize { opt }
+    }
+
+    /// A competing-CDR baseline evaluation.
+    pub fn baseline(arch: CdrArchKind, spec: BaselineSpec, metric: BaselineMetric) -> EvalRequest {
+        EvalRequest::Baseline { arch, spec, metric }
     }
 
     /// Canonical content key for the whole request — the persistence
@@ -595,6 +616,39 @@ impl EvalRequest {
                     let _ = write!(key, "{cid}");
                 }
             }
+            EvalRequest::Baseline { arch, spec, metric } => {
+                push_f64s(
+                    &mut key,
+                    'l',
+                    &[
+                        spec.bit_rate_gbps,
+                        spec.freq_offset,
+                        spec.kp,
+                        spec.ki,
+                        spec.sj_amp_pp,
+                        spec.sj_freq_norm,
+                        spec.rj_rms_ui,
+                    ],
+                );
+                let _ = write!(
+                    key,
+                    "|x{:016x}.n{}.a{}",
+                    spec.seed,
+                    spec.bits,
+                    arch.key_char()
+                );
+                match metric {
+                    BaselineMetric::Track => key.push_str("|mt"),
+                    BaselineMetric::CaptureRange { hi } => {
+                        key.push_str("|mc");
+                        push_f64s(&mut key, 'h', &[*hi]);
+                    }
+                    BaselineMetric::JtolPoint { freq_norm } => {
+                        key.push_str("|mj");
+                        push_f64s(&mut key, 'f', &[*freq_norm]);
+                    }
+                }
+            }
         }
         key
     }
@@ -684,6 +738,10 @@ impl EvalRequest {
             // above already covered; harmless, and it keeps OptimizeSpec
             // self-contained for non-request callers.
             EvalRequest::Optimize { opt } => opt.validate(),
+            EvalRequest::Baseline { spec, metric, .. } => {
+                spec.validate()?;
+                metric.validate()
+            }
         }
     }
 }
@@ -827,6 +885,11 @@ pub enum EvalResponse {
         /// The recovered design, evidence, and probe accounting.
         out: OptimizeOut,
     },
+    /// Competing-CDR baseline measurement.
+    Baseline {
+        /// The measured trace summary and bisected metric value.
+        out: BaselineOut,
+    },
 }
 
 impl EvalResponse {
@@ -841,6 +904,7 @@ impl EvalResponse {
             EvalResponse::Dsim { .. } => "dsim",
             EvalResponse::MultiChannel { .. } => "multi_channel",
             EvalResponse::Optimize { .. } => "optimize",
+            EvalResponse::Baseline { .. } => "baseline",
         }
     }
 }
@@ -883,6 +947,11 @@ mod tests {
             EvalRequest::Optimize {
                 opt: OptimizeSpec::paper_flow(),
             },
+            EvalRequest::Baseline {
+                arch: CdrArchKind::BangBang,
+                spec: BaselineSpec::typical(CdrArchKind::BangBang),
+                metric: BaselineMetric::Track,
+            },
         ];
         let kinds: Vec<_> = reqs.iter().map(|r| r.kind()).collect();
         assert_eq!(
@@ -895,7 +964,8 @@ mod tests {
                 "power_scan",
                 "dsim_run",
                 "multi_channel",
-                "optimize"
+                "optimize",
+                "baseline"
             ]
         );
         for r in &reqs {
@@ -968,6 +1038,18 @@ mod tests {
             EvalRequest::optimize(OptimizeSpec::paper_flow()),
             EvalRequest::Optimize {
                 opt: OptimizeSpec::paper_flow()
+            }
+        );
+        assert_eq!(
+            EvalRequest::baseline(
+                CdrArchKind::Gardner,
+                BaselineSpec::typical(CdrArchKind::Gardner),
+                BaselineMetric::Track
+            ),
+            EvalRequest::Baseline {
+                arch: CdrArchKind::Gardner,
+                spec: BaselineSpec::typical(CdrArchKind::Gardner),
+                metric: BaselineMetric::Track
             }
         );
     }
@@ -1083,6 +1165,34 @@ mod tests {
                     ..OptimizeSpec::paper_flow()
                 },
             },
+            EvalRequest::Baseline {
+                arch: CdrArchKind::BangBang,
+                spec: BaselineSpec::typical(CdrArchKind::BangBang),
+                metric: BaselineMetric::Track,
+            },
+            EvalRequest::Baseline {
+                arch: CdrArchKind::BangBangFd,
+                spec: BaselineSpec::typical(CdrArchKind::BangBang),
+                metric: BaselineMetric::Track,
+            },
+            EvalRequest::Baseline {
+                arch: CdrArchKind::BangBang,
+                spec: BaselineSpec {
+                    seed: 2,
+                    ..BaselineSpec::typical(CdrArchKind::BangBang)
+                },
+                metric: BaselineMetric::Track,
+            },
+            EvalRequest::Baseline {
+                arch: CdrArchKind::BangBang,
+                spec: BaselineSpec::typical(CdrArchKind::BangBang),
+                metric: BaselineMetric::CaptureRange { hi: 0.1 },
+            },
+            EvalRequest::Baseline {
+                arch: CdrArchKind::BangBang,
+                spec: BaselineSpec::typical(CdrArchKind::BangBang),
+                metric: BaselineMetric::JtolPoint { freq_norm: 0.01 },
+            },
         ];
         let keys: Vec<String> = reqs.iter().map(EvalRequest::cache_key).collect();
         for (i, a) in keys.iter().enumerate() {
@@ -1175,6 +1285,27 @@ mod tests {
                     margin_hi: 0.01,
                     ..OptimizeSpec::paper_flow()
                 },
+            },
+            EvalRequest::Baseline {
+                arch: CdrArchKind::BangBang,
+                spec: BaselineSpec {
+                    kp: 0.0,
+                    ..BaselineSpec::typical(CdrArchKind::BangBang)
+                },
+                metric: BaselineMetric::Track,
+            },
+            EvalRequest::Baseline {
+                arch: CdrArchKind::BangBang,
+                spec: BaselineSpec {
+                    freq_offset: f64::NAN,
+                    ..BaselineSpec::typical(CdrArchKind::BangBang)
+                },
+                metric: BaselineMetric::Track,
+            },
+            EvalRequest::Baseline {
+                arch: CdrArchKind::BangBang,
+                spec: BaselineSpec::typical(CdrArchKind::BangBang),
+                metric: BaselineMetric::CaptureRange { hi: 0.0 },
             },
         ];
         for r in &bad {

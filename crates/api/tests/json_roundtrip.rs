@@ -12,9 +12,10 @@ use gcco_api::json::{
     parse_result_line, ClientLine, Envelope, Json, PROTOCOL_VERSION,
 };
 use gcco_api::{
-    BestDesignOut, ChannelOut, ComboReportOut, DsimRunSpec, EvalRequest, EvalResponse, GccoError,
-    JtolPointOut, ModelSpec, MultiChannelSpec, OptimizeOut, OptimizeSpec, PowerPointOut,
-    PowerScanSpec, RunDistSpec, SizedCellOut, SjOverride,
+    BaselineMetric, BaselineOut, BaselineSpec, BestDesignOut, CdrArchKind, ChannelOut,
+    ComboReportOut, DsimRunSpec, EvalRequest, EvalResponse, GccoError, JtolPointOut, ModelSpec,
+    MultiChannelSpec, OptimizeOut, OptimizeSpec, PowerPointOut, PowerScanSpec, RunDistSpec,
+    SizedCellOut, SjOverride,
 };
 use gcco_stat::{EdgeModel, SamplingTap};
 
@@ -102,8 +103,12 @@ impl Lcg {
         }
     }
 
+    fn arch(&mut self) -> CdrArchKind {
+        CdrArchKind::ALL[self.below(CdrArchKind::ALL.len() as u64) as usize]
+    }
+
     fn request(&mut self) -> EvalRequest {
-        match self.below(8) {
+        match self.below(9) {
             0 => EvalRequest::BerPoint {
                 spec: self.spec(),
                 sj: if self.below(2) == 0 {
@@ -177,7 +182,7 @@ impl Lcg {
                     max_probes: 2 + self.below(1000),
                 },
             },
-            _ => EvalRequest::MultiChannel {
+            7 => EvalRequest::MultiChannel {
                 mc: MultiChannelSpec {
                     channels: 1 + self.below(16) as u32,
                     mismatch_sigma: self.f64().abs().min(0.09),
@@ -188,11 +193,34 @@ impl Lcg {
                     spec: self.spec(),
                 },
             },
+            _ => EvalRequest::Baseline {
+                arch: self.arch(),
+                spec: BaselineSpec {
+                    bits: 1000 + self.below(100_000) as u32,
+                    seed: self.below(1 << 53),
+                    bit_rate_gbps: self.f64().abs() + 0.1,
+                    freq_offset: (self.f64() * 1e-2).clamp(-0.2, 0.2),
+                    kp: (self.f64().abs() + 1e-4).min(0.5),
+                    ki: self.f64().abs().min(0.1),
+                    sj_amp_pp: self.f64().abs().min(2.0),
+                    sj_freq_norm: (self.f64().abs() + 1e-6).min(0.5),
+                    rj_rms_ui: self.f64().abs().min(0.2),
+                },
+                metric: match self.below(3) {
+                    0 => BaselineMetric::Track,
+                    1 => BaselineMetric::CaptureRange {
+                        hi: (self.f64().abs() + 1e-4).min(0.2),
+                    },
+                    _ => BaselineMetric::JtolPoint {
+                        freq_norm: (self.f64().abs() + 1e-6).min(0.5),
+                    },
+                },
+            },
         }
     }
 
     fn response(&mut self) -> EvalResponse {
-        match self.below(8) {
+        match self.below(9) {
             0 => EvalResponse::Scalar { value: self.f64() },
             1 => EvalResponse::Grid {
                 rows: (0..1 + self.below(4))
@@ -261,6 +289,20 @@ impl Lcg {
                     probes: self.below(10_000),
                     store_hits: self.below(10_000),
                     converged: self.below(2) == 0,
+                },
+            },
+            7 => EvalResponse::Baseline {
+                out: BaselineOut {
+                    lock_bits: if self.below(3) == 0 {
+                        None
+                    } else {
+                        Some(self.below(1 << 40))
+                    },
+                    errors: self.below(1 << 40),
+                    updates: self.below(1 << 40),
+                    residual_rms_ui: self.opt_f64(),
+                    capture_range: self.opt_f64(),
+                    jtol_amp_pp: self.opt_f64(),
                 },
             },
             _ => EvalResponse::MultiChannel {

@@ -6,8 +6,8 @@
 
 use gcco_api::json::encode_response;
 use gcco_api::{
-    DeadlineGuard, DsimRunSpec, Engine, EngineConfig, EvalRequest, ModelSpec, MultiChannelSpec,
-    PowerScanSpec, SjOverride,
+    BaselineMetric, BaselineSpec, CdrArchKind, DeadlineGuard, DsimRunSpec, Engine, EngineConfig,
+    EvalRequest, ModelSpec, MultiChannelSpec, PowerScanSpec, SjOverride,
 };
 use gcco_store::Store;
 use std::path::PathBuf;
@@ -62,6 +62,14 @@ fn one_request_per_kind() -> Vec<EvalRequest> {
                 duration_ns: 20.0,
                 ..DsimRunSpec::paper_ring()
             },
+        },
+        EvalRequest::Baseline {
+            arch: CdrArchKind::BangBang,
+            spec: BaselineSpec {
+                bits: 5_000,
+                ..BaselineSpec::typical(CdrArchKind::BangBang)
+            },
+            metric: BaselineMetric::Track,
         },
     ]
 }
@@ -209,6 +217,70 @@ fn multi_channel_journals_per_lane_and_resumes_partially() {
     );
     std::fs::remove_dir_all(&dir).unwrap();
     std::fs::remove_dir_all(&dir2).unwrap();
+}
+
+/// Baseline responses replay bit-identically through the journal, for
+/// every architecture and metric shape — including the bisected metrics,
+/// whose dozens of internal runs collapse into one journaled record.
+#[test]
+fn baseline_responses_replay_bit_identically() {
+    let dir = tmp_dir("baseline");
+    let requests: Vec<EvalRequest> = CdrArchKind::ALL
+        .into_iter()
+        .flat_map(|arch| {
+            let spec = BaselineSpec {
+                bits: 5_000,
+                ..BaselineSpec::typical(arch)
+            };
+            [
+                EvalRequest::Baseline {
+                    arch,
+                    spec,
+                    metric: BaselineMetric::Track,
+                },
+                EvalRequest::Baseline {
+                    arch,
+                    spec,
+                    metric: BaselineMetric::JtolPoint { freq_norm: 0.01 },
+                },
+            ]
+        })
+        .collect();
+
+    let plain = engine();
+    let fresh: Vec<String> = requests
+        .iter()
+        .map(|r| encode_response(&plain.evaluate(r).expect("fresh evaluation")))
+        .collect();
+
+    let cold = engine().with_store(Arc::new(Store::open(&dir).unwrap()));
+    for (req, want) in requests.iter().zip(&fresh) {
+        let got = encode_response(&cold.evaluate(req).expect("cold evaluation"));
+        assert_eq!(&got, want, "cold store changed the bytes");
+        assert!(
+            cold.store().unwrap().contains(&req.cache_key()),
+            "journaled under the canonical key"
+        );
+    }
+    drop(cold);
+
+    let warm = engine().with_store(Arc::new(Store::open(&dir).unwrap()));
+    for (req, want) in requests.iter().zip(&fresh) {
+        let got = encode_response(&warm.evaluate(req).expect("warm evaluation"));
+        assert_eq!(&got, want, "reopened store drifted");
+    }
+    let obs = warm.obs();
+    assert_eq!(
+        obs.counter("gcco_store_hits_total").get(),
+        requests.len() as u64
+    );
+    assert_eq!(
+        obs.counter_with("gcco_baseline_runs_total", "arch", "bang_bang")
+            .get(),
+        0,
+        "warm replays never rerun a loop"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

@@ -31,6 +31,7 @@ const EXPERIMENTS: &[&str] = &[
     "power_budget",
     "ftol",
     "baselines",
+    "baseline_suite",
     "jitter_transfer",
     "temperature",
     "ablation_dummy",

@@ -37,6 +37,21 @@ pub const ALL_KEYS: &[&str] = &[
     BB_LOCK_BITS,
     POWER_RATIO_BB_OVER_GCCO,
     POWER_RATIO_PI_OVER_GCCO,
+    // baseline_suite
+    BASELINE_STORE_HITS,
+    BASELINE_GCCO_JTOL_0P01FB,
+    BASELINE_BB_LOCK_BITS,
+    BASELINE_BB_JTOL_0P01FB,
+    BASELINE_BB_CAPTURE_PCT,
+    BASELINE_MM_LOCK_BITS,
+    BASELINE_MM_JTOL_0P01FB,
+    BASELINE_MM_CAPTURE_PCT,
+    BASELINE_GARDNER_LOCK_BITS,
+    BASELINE_GARDNER_JTOL_0P01FB,
+    BASELINE_GARDNER_CAPTURE_PCT,
+    BASELINE_FD_LOCK_BITS,
+    BASELINE_FD_JTOL_0P01FB,
+    BASELINE_FD_CAPTURE_PCT,
     // campaign
     CAMPAIGN_CORNERS,
     CAMPAIGN_PASS,
@@ -172,6 +187,36 @@ pub const BB_LOCK_BITS: &str = "bb_lock_bits";
 pub const POWER_RATIO_BB_OVER_GCCO: &str = "power_ratio_bb_over_gcco";
 /// PI/GCCO power ratio.
 pub const POWER_RATIO_PI_OVER_GCCO: &str = "power_ratio_pi_over_gcco";
+
+// baseline_suite — behavioral CDR bake-off
+/// Store hits this run (>0 proves a warm run replayed journaled rows).
+pub const BASELINE_STORE_HITS: &str = "baseline_store_hits";
+/// GCCO JTOL at 0.01 f_b, UIpp (engine jtol_curve).
+pub const BASELINE_GCCO_JTOL_0P01FB: &str = "baseline_gcco_jtol_0p01fb";
+/// Bang-bang behavioral lock acquisition, bits (or `none`).
+pub const BASELINE_BB_LOCK_BITS: &str = "baseline_bb_lock_bits";
+/// Bang-bang behavioral JTOL at 0.01 f_b, UIpp.
+pub const BASELINE_BB_JTOL_0P01FB: &str = "baseline_bb_jtol_0p01fb";
+/// Bang-bang bisected capture range, percent of f_b.
+pub const BASELINE_BB_CAPTURE_PCT: &str = "baseline_bb_capture_pct";
+/// Mueller-Muller behavioral lock acquisition, bits (or `none`).
+pub const BASELINE_MM_LOCK_BITS: &str = "baseline_mm_lock_bits";
+/// Mueller-Muller behavioral JTOL at 0.01 f_b, UIpp.
+pub const BASELINE_MM_JTOL_0P01FB: &str = "baseline_mm_jtol_0p01fb";
+/// Mueller-Muller bisected capture range, percent of f_b.
+pub const BASELINE_MM_CAPTURE_PCT: &str = "baseline_mm_capture_pct";
+/// Gardner behavioral lock acquisition, bits (or `none`).
+pub const BASELINE_GARDNER_LOCK_BITS: &str = "baseline_gardner_lock_bits";
+/// Gardner behavioral JTOL at 0.01 f_b, UIpp.
+pub const BASELINE_GARDNER_JTOL_0P01FB: &str = "baseline_gardner_jtol_0p01fb";
+/// Gardner bisected capture range, percent of f_b.
+pub const BASELINE_GARDNER_CAPTURE_PCT: &str = "baseline_gardner_capture_pct";
+/// FD-assisted bang-bang lock acquisition, bits (or `none`).
+pub const BASELINE_FD_LOCK_BITS: &str = "baseline_fd_lock_bits";
+/// FD-assisted bang-bang JTOL at 0.01 f_b, UIpp.
+pub const BASELINE_FD_JTOL_0P01FB: &str = "baseline_fd_jtol_0p01fb";
+/// FD-assisted bang-bang bisected capture range, percent of f_b.
+pub const BASELINE_FD_CAPTURE_PCT: &str = "baseline_fd_capture_pct";
 
 // campaign — multi-channel corner-yield campaign
 /// Corner count in the campaign grid.

@@ -15,7 +15,18 @@ fn check(bin_path: &str, golden: &str, name: &str) {
 }
 
 fn check_with_store(bin_path: &str, golden: &str, name: &str, store: Option<&PathBuf>) {
+    check_with_args(bin_path, &[], golden, name, store);
+}
+
+fn check_with_args(
+    bin_path: &str,
+    args: &[&str],
+    golden: &str,
+    name: &str,
+    store: Option<&PathBuf>,
+) {
     let mut cmd = Command::new(bin_path);
+    cmd.args(args);
     cmd.env_remove("GCCO_WORKERS");
     match store {
         Some(dir) => cmd.env("GCCO_STORE", dir),
@@ -95,6 +106,49 @@ fn power_budget_output_is_golden() {
 }
 
 #[test]
+fn baseline_suite_quick_output_is_golden() {
+    check_with_args(
+        env!("CARGO_BIN_EXE_baseline_suite"),
+        &["--quick"],
+        include_str!("golden/baseline_suite.txt"),
+        "baseline_suite",
+        None,
+    );
+}
+
+#[test]
+fn baseline_suite_reports_match_serial_cold_and_warm() {
+    // The `--report` file excludes run-local store statistics, so an
+    // uninterrupted serial run, a cold-journal run and a warm replay must
+    // write byte-identical reports (the stdout differs only in the store
+    // banner and hit counter, which is why this compares the report).
+    let dir = std::env::temp_dir().join(format!("gcco-baseline-golden-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let report = |tag: &str, store: bool| -> String {
+        let path = dir.join(format!("report-{tag}.txt"));
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_baseline_suite"));
+        cmd.args(["--quick", "--report"]).arg(&path);
+        if store {
+            cmd.arg("--store").arg(dir.join("store"));
+        }
+        let out = cmd.output().expect("baseline_suite runs");
+        assert!(
+            out.status.success(),
+            "baseline_suite ({tag}) failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::read_to_string(&path).expect("report written")
+    };
+    let serial = report("serial", false);
+    let cold = report("cold", true);
+    let warm = report("warm", true);
+    assert_eq!(serial, cold, "cold store changed the report bytes");
+    assert_eq!(serial, warm, "warm replay changed the report bytes");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn goldens_hold_with_a_persistent_store_cold_and_warm() {
     // The store tier must be invisible in the output: a cold run (journal
     // being written) and a warm run (every response replayed from disk)
@@ -145,6 +199,7 @@ fn goldens_carry_the_registered_result_keys() {
         include_str!("golden/fig17.txt"),
         include_str!("golden/ftol.txt"),
         include_str!("golden/power_budget.txt"),
+        include_str!("golden/baseline_suite.txt"),
     ] {
         for line in golden.lines().filter(|l| l.starts_with("RESULT ")) {
             let key = line["RESULT ".len()..]

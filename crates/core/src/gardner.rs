@@ -1,0 +1,222 @@
+//! Gardner timing-recovery baseline.
+//!
+//! The non-decision-aided symbol-rate TED (after SatDump's
+//! `GardnerClockRecoveryBlock`): two samples per symbol — the strobe `x`
+//! at the estimated bit center and a midpoint sample `x_mid` half a
+//! symbol earlier — give the timing error
+//!
+//! ```text
+//! e = x_mid · (x − x_prev)
+//! ```
+//!
+//! which is positive when sampling late, so the mu/omega loop runs with
+//! inverted signs relative to the Mueller&Müller update:
+//!
+//! ```text
+//! omega ← clamp(omega − gain_omega·e, omega_mid ± omega_mid·omega_limit)
+//! t     ← t + omega − gain_mu·e
+//! ```
+//!
+//! Gardner needs no slicer decisions (it acquires with a closed eye) but
+//! pays double the sampling rate — 2×-oversampled analog samplers per
+//! channel, precisely the power axis the paper's gated-oscillator CDR
+//! removes.
+
+use crate::cdr_arch::{CdrArch, CdrTrace, LockDetector, NrzWaveform};
+use gcco_signal::{BitStream, EdgeStream, JitterConfig};
+use gcco_units::Freq;
+
+/// Gardner loop parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GardnerConfig {
+    /// Proportional (timing) gain on the TED output.
+    pub gain_mu: f64,
+    /// Integral (symbol-period) gain on the TED output.
+    pub gain_omega: f64,
+    /// Relative bound on the symbol-period estimate around its center
+    /// (`omega_mid·omega_limit`) — this *is* the loop's capture range.
+    pub omega_limit: f64,
+    /// Local clock frequency offset versus the data rate (fraction): the
+    /// loop's initial (and center) period estimate is `1 + freq_offset` UI.
+    pub freq_offset: f64,
+}
+
+impl GardnerConfig {
+    /// A conventional design point matching [`crate::MmConfig::typical`]:
+    /// gain_mu = 0.05, gain_omega = 0.25·gain_mu², ±2 % period pull range.
+    pub fn typical() -> GardnerConfig {
+        GardnerConfig {
+            gain_mu: 0.05,
+            gain_omega: 0.25 * 0.05 * 0.05,
+            omega_limit: 0.02,
+            freq_offset: 0.0,
+        }
+    }
+}
+
+impl Default for GardnerConfig {
+    fn default() -> GardnerConfig {
+        GardnerConfig::typical()
+    }
+}
+
+/// A Gardner timing-recovery loop sampling a band-limited NRZ waveform
+/// twice per symbol.
+///
+/// # Examples
+///
+/// ```
+/// use gcco_core::{CdrArch, GardnerCdr, GardnerConfig};
+/// use gcco_signal::{JitterConfig, Prbs, PrbsOrder};
+/// use gcco_units::Freq;
+///
+/// let bits = Prbs::new(PrbsOrder::P7).take_bits(5_000);
+/// let cdr = GardnerCdr::new(GardnerConfig::typical());
+/// let trace = cdr.track(&bits, Freq::from_gbps(2.5), &JitterConfig::none(), 1);
+/// assert!(trace.lock_bits.is_some());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct GardnerCdr {
+    config: GardnerConfig,
+}
+
+impl GardnerCdr {
+    /// Creates a CDR with the given loop parameters.
+    pub fn new(config: GardnerConfig) -> GardnerCdr {
+        GardnerCdr { config }
+    }
+
+    /// The loop parameters.
+    pub fn config(&self) -> &GardnerConfig {
+        &self.config
+    }
+}
+
+impl CdrArch for GardnerCdr {
+    fn name(&self) -> &'static str {
+        "gardner"
+    }
+
+    fn track(
+        &self,
+        bits: &BitStream,
+        bit_rate: Freq,
+        jitter: &JitterConfig,
+        seed: u64,
+    ) -> CdrTrace {
+        let stream = EdgeStream::synthesize(bits, bit_rate, jitter, seed);
+        let wave = NrzWaveform::new(&stream, NrzWaveform::DEFAULT_RISE_UI);
+        let n = bits.bits().len();
+        let omega_mid = 1.0 + self.config.freq_offset;
+        let omega_lo = omega_mid * (1.0 - self.config.omega_limit);
+        let omega_hi = omega_mid * (1.0 + self.config.omega_limit);
+        let mut omega = omega_mid;
+        // Start a quarter UI late of bit 0's center, like the M&M loop.
+        let mut t = 0.75;
+        let mut x_prev = 0.0;
+        let mut trace = CdrTrace::with_capacity(n);
+        let mut lock = LockDetector::new();
+
+        while t < n as f64 - 1.0 {
+            let x = wave.sample(t);
+            let x_mid = wave.sample(t - omega / 2.0);
+            let e = x_mid * (x - x_prev);
+            // Phase error and decided bit, for the common trace currency.
+            let centered = t - 0.5;
+            let k = centered.round().max(0.0) as usize;
+            let err = centered - centered.round();
+            trace.phase_error.push(err);
+            // Sampling error: the slicer missed the nearest bit, or the
+            // strobe left the quarter-UI eye margin (a slipping loop
+            // slices each bit it lands in correctly — the damage is
+            // framing, which the phase excursion exposes).
+            if k >= n || (x >= 0.0) != bits.bits()[k] || err.abs() > 0.25 {
+                trace.record_error(trace.updates);
+            }
+            lock.observe(err, k, trace.updates);
+            trace.updates += 1;
+            // Second-order update; e > 0 means sampling late, so both
+            // corrections run opposite to the M&M signs.
+            omega = (omega - self.config.gain_omega * e).clamp(omega_lo, omega_hi);
+            t += omega - self.config.gain_mu * e;
+            x_prev = x;
+        }
+        if let Some((update, bit)) = lock.lock() {
+            trace.lock_update = Some(update);
+            trace.lock_bits = Some(bit);
+        }
+        trace
+    }
+
+    /// The omega clamp is the capture range, exactly as for the M&M loop.
+    fn capture_range(&self) -> f64 {
+        self.config.omega_limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcco_signal::{Prbs, PrbsOrder};
+    use gcco_units::Ui;
+
+    fn rate() -> Freq {
+        Freq::from_gbps(2.5)
+    }
+
+    fn bits(n: usize) -> BitStream {
+        Prbs::new(PrbsOrder::P7).take_bits(n)
+    }
+
+    #[test]
+    fn converges_on_clean_prbs() {
+        // Documented bound: from 0.25 UI initial offset at gain_mu = 0.05
+        // the loop reaches the ±0.1 band within ~tens of symbols; allow
+        // 500 bits with margin.
+        let cdr = GardnerCdr::new(GardnerConfig::typical());
+        let trace = cdr.track(&bits(10_000), rate(), &JitterConfig::none(), 1);
+        let lock = trace.lock_bits.expect("must lock");
+        assert!(lock < 500, "lock took {lock} bits");
+        assert!(trace.residual_rms().expect("locked") < 0.05);
+        assert_eq!(trace.errors, 0, "{trace}");
+    }
+
+    #[test]
+    fn absorbs_offset_inside_the_omega_clamp() {
+        let config = GardnerConfig {
+            freq_offset: 0.01, // half the ±2 % clamp
+            ..GardnerConfig::typical()
+        };
+        let cdr = GardnerCdr::new(config);
+        let trace = cdr.track(&bits(30_000), rate(), &JitterConfig::none(), 2);
+        assert!(trace.lock_bits.is_some(), "{trace}");
+        assert!(trace.residual_rms().expect("locked") < 0.1);
+    }
+
+    #[test]
+    fn offset_beyond_the_clamp_defeats_the_loop() {
+        let config = GardnerConfig {
+            freq_offset: 0.05, // 2.5× the clamp: unreachable period
+            ..GardnerConfig::typical()
+        };
+        let cdr = GardnerCdr::new(config);
+        let trace = cdr.track(&bits(30_000), rate(), &JitterConfig::none(), 2);
+        assert!(trace.errors > 0, "{trace}");
+    }
+
+    #[test]
+    fn rj_raises_the_residual() {
+        let cdr = GardnerCdr::new(GardnerConfig::typical());
+        let clean = cdr.track(&bits(20_000), rate(), &JitterConfig::none(), 3);
+        let noisy = cdr.track(
+            &bits(20_000),
+            rate(),
+            &JitterConfig {
+                rj_rms: Ui::new(0.02),
+                ..JitterConfig::none()
+            },
+            3,
+        );
+        assert!(noisy.residual_rms().unwrap() > clean.residual_rms().unwrap());
+    }
+}
